@@ -1,0 +1,88 @@
+//! Benchmarks for the packet simulator's event rate and the fluid solver —
+//! the cost ceiling for every §VII experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fatpaths_core::ecmp::DistanceMatrix;
+use fatpaths_core::fwd::RoutingTables;
+use fatpaths_core::layers::{build_random_layers, LayerConfig};
+use fatpaths_net::topo::slimfly::slim_fly;
+use fatpaths_sim::fluid::max_min_rates;
+use fatpaths_sim::{LoadBalancing, Routing, SimConfig, Simulator, Transport};
+use fatpaths_workloads::arrivals::FlowSpec;
+use std::hint::black_box;
+
+fn adversarial_flows(n: u64, p: u64, nr: u64, size: u64) -> Vec<FlowSpec> {
+    let offset = p * (nr / 2 + 1);
+    (0..n)
+        .map(|e| FlowSpec {
+            src: e as u32,
+            dst: ((e + offset) % n) as u32,
+            size,
+            start: 0,
+        })
+        .collect()
+}
+
+fn bench_packet_sim(c: &mut Criterion) {
+    let t = slim_fly(7, 5).unwrap();
+    let flows = adversarial_flows(t.num_endpoints() as u64, 5, t.num_routers() as u64, 256 * 1024);
+    let ls = build_random_layers(&t.graph, &LayerConfig::new(9, 0.6, 1));
+    let rt = RoutingTables::build(&t.graph, &ls);
+    let dm = DistanceMatrix::build(&t.graph);
+    let mut g = c.benchmark_group("packet_sim_sf98_490flows");
+    g.sample_size(10);
+    g.bench_function("ndp_fatpaths", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                &t,
+                Routing::Layered(&rt),
+                SimConfig { lb: LoadBalancing::FatPathsLayers, ..SimConfig::default() },
+            );
+            sim.add_flows(&flows);
+            black_box(sim.run())
+        })
+    });
+    g.bench_function("ndp_ecmp", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                &t,
+                Routing::Minimal(&dm),
+                SimConfig { lb: LoadBalancing::EcmpFlow, ..SimConfig::default() },
+            );
+            sim.add_flows(&flows);
+            black_box(sim.run())
+        })
+    });
+    g.bench_function("tcp_dctcp_fatpaths", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                &t,
+                Routing::Layered(&rt),
+                SimConfig {
+                    transport: Transport::tcp_default(fatpaths_sim::TcpVariant::Dctcp),
+                    lb: LoadBalancing::FatPathsLayers,
+                    ..SimConfig::default()
+                },
+            );
+            sim.add_flows(&flows);
+            black_box(sim.run())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    // 10k flows over 20k links, 3 links per path.
+    let paths: Vec<Vec<u32>> = (0..10_000u32)
+        .map(|i| vec![i % 20_000, (i * 7 + 1) % 20_000, (i * 13 + 2) % 20_000])
+        .collect();
+    let mut g = c.benchmark_group("fluid");
+    g.sample_size(10);
+    g.bench_function("max_min_10k_flows", |b| {
+        b.iter(|| black_box(max_min_rates(&paths, 20_000, 10.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_packet_sim, bench_fluid);
+criterion_main!(benches);

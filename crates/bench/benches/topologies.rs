@@ -1,0 +1,37 @@
+//! Benchmarks for topology construction — the substrate every experiment
+//! pays for first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fatpaths_net::topo::{
+    dragonfly::dragonfly, fattree::fat_tree, hyperx::hyperx, jellyfish::jellyfish,
+    slimfly::slim_fly, xpander::xpander,
+};
+use std::hint::black_box;
+
+fn bench_topologies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_construction");
+    g.bench_function("slim_fly_q19", |b| {
+        b.iter(|| black_box(slim_fly(19, 14).unwrap()))
+    });
+    g.bench_function("dragonfly_p8", |b| b.iter(|| black_box(dragonfly(8))));
+    g.bench_function("hyperx_3_11", |b| b.iter(|| black_box(hyperx(3, 11, 10))));
+    g.bench_function("fat_tree_k28", |b| b.iter(|| black_box(fat_tree(28, 2))));
+    g.bench_function("jellyfish_722_29", |b| {
+        b.iter(|| black_box(jellyfish(722, 29, 14, 1)))
+    });
+    g.bench_function("xpander_k32", |b| b.iter(|| black_box(xpander(32, 32, 16, 1))));
+    g.finish();
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let t = slim_fly(19, 14).unwrap();
+    let mut g = c.benchmark_group("graph_ops");
+    g.bench_function("bfs_sf722", |b| b.iter(|| black_box(t.graph.bfs(0))));
+    g.bench_function("diameter_apl_sampled_64", |b| {
+        b.iter(|| black_box(t.graph.diameter_apl_sampled(64)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_topologies, bench_graph_ops);
+criterion_main!(benches);

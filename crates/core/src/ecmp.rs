@@ -1,0 +1,150 @@
+//! ECMP-style minimal multipath primitives (§VII-A3 baselines).
+//!
+//! A compact all-pairs hop-distance matrix supports, at every router, the
+//! set of output ports lying on *some* shortest path to a destination.
+//! On top of it:
+//!
+//! * **ECMP** — flow-hash (FNV) picks one port per flow, statically;
+//! * **packet spraying** — per-packet random pick (NDP's oblivious load
+//!   balancing on fat trees);
+//! * **LetFlow** — per-flowlet random re-pick (the simulator re-hashes with
+//!   the flowlet id).
+
+use crate::fwd::fnv1a;
+use fatpaths_net::graph::{Graph, RouterId, UNREACHABLE};
+use rayon::prelude::*;
+
+/// All-pairs hop distances stored as `u8` (paths in the paper's networks
+/// are ≤ 6 hops). `dist[dst * nr + src]`.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    nr: usize,
+    dist: Vec<u8>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix with one BFS per destination (Rayon-parallel).
+    pub fn build(g: &Graph) -> Self {
+        let nr = g.n();
+        let mut dist = vec![u8::MAX; nr * nr];
+        dist.par_chunks_mut(nr).enumerate().for_each(|(dst, row)| {
+            let d = g.bfs(dst as u32);
+            for (s, &dv) in d.iter().enumerate() {
+                row[s] = if dv == UNREACHABLE { u8::MAX } else { dv.min(254) as u8 };
+            }
+        });
+        DistanceMatrix { nr, dist }
+    }
+
+    /// Hop distance `src → dst` (`None` if unreachable).
+    #[inline]
+    pub fn get(&self, src: RouterId, dst: RouterId) -> Option<u32> {
+        let d = self.dist[dst as usize * self.nr + src as usize];
+        (d != u8::MAX).then_some(d as u32)
+    }
+
+    /// Ports of `src` that lie on a shortest path toward `dst`, appended to
+    /// `out` (cleared first).
+    pub fn minimal_ports(&self, g: &Graph, src: RouterId, dst: RouterId, out: &mut Vec<u16>) {
+        out.clear();
+        if src == dst {
+            return;
+        }
+        let row = &self.dist[dst as usize * self.nr..(dst as usize + 1) * self.nr];
+        let ds = row[src as usize];
+        debug_assert!(ds != u8::MAX);
+        for (port, &nb) in g.neighbors(src).iter().enumerate() {
+            if row[nb as usize] + 1 == ds {
+                out.push(port as u16);
+            }
+        }
+    }
+
+    /// Number of minimal next hops from `src` toward `dst`.
+    pub fn minimal_degree(&self, g: &Graph, src: RouterId, dst: RouterId) -> usize {
+        let mut v = Vec::new();
+        self.minimal_ports(g, src, dst, &mut v);
+        v.len()
+    }
+
+    /// ECMP port selection: FNV hash of `flow_key` (constant per flow) over
+    /// the minimal port set.
+    pub fn ecmp_port(&self, g: &Graph, src: RouterId, dst: RouterId, flow_key: u64) -> Option<u16> {
+        let mut ports = Vec::new();
+        self.minimal_ports(g, src, dst, &mut ports);
+        if ports.is_empty() {
+            return None;
+        }
+        let h = fnv1a(flow_key ^ ((src as u64) << 32));
+        Some(ports[(h % ports.len() as u64) as usize])
+    }
+
+    /// Per-packet spraying: uniform pick keyed by a per-packet nonce.
+    pub fn spray_port(&self, g: &Graph, src: RouterId, dst: RouterId, nonce: u64) -> Option<u16> {
+        self.ecmp_port(g, src, dst, nonce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatpaths_net::topo::{fattree::fat_tree, hyperx::hyperx, slimfly::slim_fly};
+
+    #[test]
+    fn distances_match_bfs() {
+        let t = slim_fly(5, 1).unwrap();
+        let dm = DistanceMatrix::build(&t.graph);
+        let d0 = t.graph.bfs(0);
+        for v in 0..t.num_routers() as u32 {
+            assert_eq!(dm.get(0, v), Some(d0[v as usize]));
+        }
+    }
+
+    #[test]
+    fn sf_has_single_minimal_port_mostly() {
+        // Shortest paths fall short (§IV-C1): most SF pairs at distance 2
+        // have exactly 1 minimal next hop.
+        let t = slim_fly(7, 1).unwrap();
+        let dm = DistanceMatrix::build(&t.graph);
+        let mut single = 0;
+        let mut total = 0;
+        for s in 0..t.num_routers() as u32 {
+            for d in 0..t.num_routers() as u32 {
+                if dm.get(s, d) == Some(2) {
+                    total += 1;
+                    if dm.minimal_degree(&t.graph, s, d) == 1 {
+                        single += 1;
+                    }
+                }
+            }
+        }
+        assert!(single * 10 > total * 8, "{single}/{total}");
+    }
+
+    #[test]
+    fn fat_tree_has_many_minimal_ports() {
+        // FT inter-pod pairs have k/2 minimal first hops — the diversity
+        // ECMP exploits.
+        let t = fat_tree(8, 1);
+        let dm = DistanceMatrix::build(&t.graph);
+        // Edge router 0 (pod 0) → edge router 4 (pod 1).
+        assert_eq!(dm.minimal_degree(&t.graph, 0, 4), 4);
+    }
+
+    #[test]
+    fn ecmp_is_stable_per_flow_and_spreads_across_flows() {
+        let t = hyperx(2, 4, 1);
+        let dm = DistanceMatrix::build(&t.graph);
+        // HX corner pair with 2 minimal ports.
+        let (s, d) = (0u32, 5u32);
+        assert!(dm.minimal_degree(&t.graph, s, d) >= 2);
+        let p1 = dm.ecmp_port(&t.graph, s, d, 42).unwrap();
+        assert_eq!(dm.ecmp_port(&t.graph, s, d, 42).unwrap(), p1);
+        // Across many flow keys both ports are used.
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..64u64 {
+            seen.insert(dm.ecmp_port(&t.graph, s, d, k).unwrap());
+        }
+        assert!(seen.len() >= 2);
+    }
+}

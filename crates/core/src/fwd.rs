@@ -1,0 +1,279 @@
+//! Per-layer destination-based forwarding tables (Listing 3, §V-C/§V-E).
+//!
+//! For each layer `i` and destination router `t`, the forwarding function
+//! `σᵢ(s, t)` returns the output *port of the base graph* that is the first
+//! hop of a minimal path from `s` to `t` **within layer i**. Tables are
+//! built from one BFS per (layer, destination) — `O(Nr · m)` per layer,
+//! parallelized over destinations — and store one `u16` port per
+//! (destination, source): the `O(Nr)`-per-destination compression of §V-E
+//! (all endpoints of a router share its routes).
+//!
+//! When several neighbors lie on minimal paths, the tie is broken by a
+//! deterministic hash of `(layer, src, dst)`, which decorrelates the
+//! choices across layers ("we try to pick different next-hop choices for
+//! each layer", §V-B) and across sources.
+
+use crate::layers::LayerSet;
+use fatpaths_net::graph::{Graph, RouterId, UNREACHABLE};
+use rayon::prelude::*;
+
+/// Marker for "no route" / "self" in the flat tables.
+pub const NO_PORT: u16 = u16::MAX;
+
+/// Forwarding tables for every layer of a [`LayerSet`].
+#[derive(Clone, Debug)]
+pub struct RoutingTables {
+    nr: usize,
+    /// `tables[layer][dst * nr + src]` = base-graph output port at `src`.
+    tables: Vec<Vec<u16>>,
+    /// `dists[layer][dst * nr + src]` = hop distance within the layer
+    /// (`u8::MAX` if unreachable). Used by adaptivity and analysis.
+    dists: Vec<Vec<u8>>,
+}
+
+/// FNV-1a on a 64-bit key — the deterministic tie-breaker (the paper's
+/// routers use Fowler–Noll–Vo hashing for ECMP; we reuse it here).
+#[inline]
+pub fn fnv1a(key: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..8 {
+        h ^= (key >> (8 * i)) & 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl RoutingTables {
+    /// Builds tables for all layers. `base` must be the graph the layers
+    /// were sampled from (ports refer to it).
+    pub fn build(base: &Graph, layers: &LayerSet) -> Self {
+        let nr = base.n();
+        let mut tables = Vec::with_capacity(layers.len());
+        let mut dists = Vec::with_capacity(layers.len());
+        for (li, lg) in layers.graphs.iter().enumerate() {
+            assert_eq!(lg.n(), nr, "layer router count mismatch");
+            let mut table = vec![NO_PORT; nr * nr];
+            let mut dmat = vec![u8::MAX; nr * nr];
+            table
+                .par_chunks_mut(nr)
+                .zip(dmat.par_chunks_mut(nr))
+                .enumerate()
+                .for_each(|(dst, (trow, drow))| {
+                    fill_destination(base, lg, li as u32, dst as u32, trow, drow);
+                });
+            tables.push(table);
+            dists.push(dmat);
+        }
+        RoutingTables { nr, tables, dists }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of routers.
+    pub fn nr(&self) -> usize {
+        self.nr
+    }
+
+    /// `σᵢ(src, dst)`: output port at `src` toward `dst` in layer `layer`,
+    /// or `None` if `dst` is unreachable in that layer (or `src == dst`).
+    #[inline]
+    pub fn next_port(&self, layer: usize, src: RouterId, dst: RouterId) -> Option<u16> {
+        let p = self.tables[layer][dst as usize * self.nr + src as usize];
+        (p != NO_PORT).then_some(p)
+    }
+
+    /// Hop distance from `src` to `dst` within `layer` (`None` if
+    /// unreachable).
+    #[inline]
+    pub fn layer_distance(&self, layer: usize, src: RouterId, dst: RouterId) -> Option<u32> {
+        let d = self.dists[layer][dst as usize * self.nr + src as usize];
+        (d != u8::MAX).then_some(d as u32)
+    }
+
+    /// True iff `dst` is reachable from `src` within `layer`.
+    #[inline]
+    pub fn reachable(&self, layer: usize, src: RouterId, dst: RouterId) -> bool {
+        src == dst || self.tables[layer][dst as usize * self.nr + src as usize] != NO_PORT
+    }
+
+    /// Resolves the full router path `src → dst` in `layer` by iterating σ.
+    /// Returns `None` if unreachable. The result includes both endpoints.
+    pub fn path(
+        &self,
+        base: &Graph,
+        layer: usize,
+        src: RouterId,
+        dst: RouterId,
+    ) -> Option<Vec<RouterId>> {
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let port = self.next_port(layer, cur, dst)?;
+            cur = base.neighbor_at(cur, port as u32);
+            path.push(cur);
+            if path.len() > self.nr + 1 {
+                unreachable!("forwarding loop — tables are distance-decreasing by construction");
+            }
+        }
+        Some(path)
+    }
+
+    /// Approximate memory footprint in bytes (for the §VII-C remark that
+    /// routing tables are a simulation memory concern).
+    pub fn memory_bytes(&self) -> usize {
+        self.tables.len() * self.nr * self.nr * (std::mem::size_of::<u16>() + 1)
+    }
+}
+
+/// Fills one destination row: BFS from `dst` in the layer graph, then picks
+/// for every source a hash-selected minimal next hop.
+fn fill_destination(base: &Graph, lg: &Graph, layer: u32, dst: u32, trow: &mut [u16], drow: &mut [u8]) {
+    let dist = lg.bfs(dst);
+    for (src, &d) in dist.iter().enumerate() {
+        if d == UNREACHABLE || src as u32 == dst {
+            continue;
+        }
+        drow[src] = d.min(u8::MAX as u32 - 1) as u8;
+        // Candidates: layer-neighbors one step closer to dst.
+        let src = src as u32;
+        let nbs = lg.neighbors(src);
+        let count = nbs.iter().filter(|&&v| dist[v as usize] + 1 == d).count();
+        debug_assert!(count > 0);
+        let key = (layer as u64) << 48 | (src as u64) << 24 | dst as u64;
+        let pick = (fnv1a(key) % count as u64) as usize;
+        let chosen = nbs
+            .iter()
+            .filter(|&&v| dist[v as usize] + 1 == d)
+            .nth(pick)
+            .copied()
+            .unwrap();
+        let port = base
+            .port_of(src, chosen)
+            .expect("layer edge must exist in base graph");
+        trow[src as usize] = port as u16;
+    }
+    drow[dst as usize] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{build_random_layers, LayerConfig, LayerSet};
+    use fatpaths_net::topo::slimfly::slim_fly;
+
+    fn tables_for(q: u32, n_layers: usize, rho: f64) -> (Graph, RoutingTables) {
+        let t = slim_fly(q, 1).unwrap();
+        let ls = build_random_layers(&t.graph, &LayerConfig::new(n_layers, rho, 7));
+        let rt = RoutingTables::build(&t.graph, &ls);
+        (t.graph.clone(), rt)
+    }
+
+    #[test]
+    fn layer_zero_paths_are_minimal() {
+        let (g, rt) = tables_for(5, 3, 0.6);
+        for (s, t) in [(0u32, 17u32), (3, 44), (10, 29)] {
+            let p = rt.path(&g, 0, s, t).unwrap();
+            let d = g.bfs(s)[t as usize];
+            assert_eq!(p.len() as u32 - 1, d, "layer-0 path not minimal");
+        }
+    }
+
+    #[test]
+    fn sparse_layer_paths_valid_and_loop_free() {
+        let (g, rt) = tables_for(7, 5, 0.5);
+        for layer in 0..rt.n_layers() {
+            for (s, t) in [(0u32, 90u32), (5, 60), (33, 12)] {
+                let p = rt.path(&g, layer, s, t).expect("connected layer");
+                // Consecutive hops are base edges.
+                for w in p.windows(2) {
+                    assert!(g.has_edge(w[0], w[1]));
+                }
+                assert_eq!(p.first(), Some(&s));
+                assert_eq!(p.last(), Some(&t));
+                // No router repeats (loop-freedom).
+                let mut q = p.clone();
+                q.sort_unstable();
+                q.dedup();
+                assert_eq!(q.len(), p.len());
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_layers_yield_non_minimal_paths() {
+        // §V-B: minimal routes in a sparse layer are usually non-minimal on
+        // the full topology — that is the whole point.
+        let (g, rt) = tables_for(7, 6, 0.4);
+        let mut longer = 0;
+        let mut total = 0;
+        for layer in 1..rt.n_layers() {
+            for s in (0..98u32).step_by(13) {
+                for t in (1..98u32).step_by(17) {
+                    if s == t {
+                        continue;
+                    }
+                    let d_min = g.bfs(s)[t as usize];
+                    let d_layer = rt.layer_distance(layer, s, t).unwrap();
+                    assert!(d_layer >= d_min);
+                    total += 1;
+                    if d_layer > d_min {
+                        longer += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            longer * 3 > total,
+            "expected a large fraction of non-minimal layer paths ({longer}/{total})"
+        );
+    }
+
+    #[test]
+    fn path_length_matches_layer_distance() {
+        let (g, rt) = tables_for(5, 4, 0.5);
+        for layer in 0..4 {
+            for (s, t) in [(1u32, 40u32), (8, 31)] {
+                let p = rt.path(&g, layer, s, t).unwrap();
+                assert_eq!(p.len() as u32 - 1, rt.layer_distance(layer, s, t).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn different_layers_give_different_paths() {
+        let (g, rt) = tables_for(7, 8, 0.5);
+        // For a sample of pairs, at least one sparse layer must route
+        // differently than layer 0 (path diversity across layers).
+        let mut diverse = 0;
+        let pairs = [(0u32, 50u32), (3, 77), (20, 91), (40, 13), (60, 25)];
+        for &(s, t) in &pairs {
+            let p0 = rt.path(&g, 0, s, t).unwrap();
+            if (1..rt.n_layers()).any(|l| rt.path(&g, l, s, t).unwrap() != p0) {
+                diverse += 1;
+            }
+        }
+        assert!(diverse >= 4, "only {diverse}/5 pairs saw layer diversity");
+    }
+
+    #[test]
+    fn minimal_only_tables() {
+        let t = slim_fly(5, 1).unwrap();
+        let ls = LayerSet::minimal_only(&t.graph);
+        let rt = RoutingTables::build(&t.graph, &ls);
+        assert_eq!(rt.n_layers(), 1);
+        assert!(rt.reachable(0, 0, 49));
+        assert_eq!(rt.next_port(0, 7, 7), None);
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spread() {
+        let a = fnv1a(1);
+        let b = fnv1a(1);
+        let c = fnv1a(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,173 @@
+//! k-shortest-paths comparison baseline (Singla et al. [10]; Appendix C-D).
+//!
+//! Yen's algorithm over unweighted graphs (BFS as the shortest-path
+//! subroutine): the `k` shortest *loop-free* paths per pair, over which
+//! Jellyfish-style routing spreads traffic. Used as the third layered
+//! comparison target of §VI.
+
+use fatpaths_net::graph::{Graph, RouterId, UNREACHABLE};
+use rustc_hash::FxHashSet;
+
+/// Computes up to `k` shortest simple paths `src → dst` (each a router
+/// sequence including both endpoints), in non-decreasing length order.
+pub fn k_shortest_paths(g: &Graph, src: RouterId, dst: RouterId, k: usize) -> Vec<Vec<RouterId>> {
+    assert_ne!(src, dst);
+    let mut result: Vec<Vec<u32>> = Vec::with_capacity(k);
+    let Some(first) = bfs_path(g, src, dst, &FxHashSet::default(), &FxHashSet::default()) else {
+        return result;
+    };
+    result.push(first);
+    // Candidate pool: (length, path), deduplicated.
+    let mut candidates: Vec<Vec<u32>> = Vec::new();
+    let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+    while result.len() < k {
+        let prev = result.last().unwrap().clone();
+        for spur_idx in 0..prev.len() - 1 {
+            let spur = prev[spur_idx];
+            let root = &prev[..=spur_idx];
+            // Edges removed: for every accepted/candidate path sharing this
+            // root, the edge it takes out of the spur node.
+            let mut removed_edges: FxHashSet<(u32, u32)> = FxHashSet::default();
+            for p in result.iter() {
+                if p.len() > spur_idx + 1 && p[..=spur_idx] == *root {
+                    let (a, b) = (p[spur_idx], p[spur_idx + 1]);
+                    removed_edges.insert((a.min(b), a.max(b)));
+                }
+            }
+            // Nodes removed: the root minus the spur (loop-freedom).
+            let removed_nodes: FxHashSet<u32> = root[..spur_idx].iter().copied().collect();
+            if let Some(tail) = bfs_path(g, spur, dst, &removed_nodes, &removed_edges) {
+                let mut path = root[..spur_idx].to_vec();
+                path.extend_from_slice(&tail);
+                if seen.insert(path.clone()) {
+                    candidates.push(path);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Extract the shortest candidate (stable tie-break by content).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| (p.len(), (*p).clone()))
+            .map(|(i, _)| i)
+            .unwrap();
+        let path = candidates.swap_remove(best);
+        result.push(path);
+    }
+    result
+}
+
+/// BFS shortest path avoiding removed nodes/edges.
+fn bfs_path(
+    g: &Graph,
+    src: RouterId,
+    dst: RouterId,
+    removed_nodes: &FxHashSet<u32>,
+    removed_edges: &FxHashSet<(u32, u32)>,
+) -> Option<Vec<u32>> {
+    if removed_nodes.contains(&src) || removed_nodes.contains(&dst) {
+        return None;
+    }
+    let n = g.n();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut queue = vec![src];
+    dist[src as usize] = 0;
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        if u == dst {
+            break;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] != UNREACHABLE
+                || removed_nodes.contains(&v)
+                || removed_edges.contains(&(u.min(v), u.max(v)))
+            {
+                continue;
+            }
+            dist[v as usize] = dist[u as usize] + 1;
+            parent[v as usize] = u;
+            queue.push(v);
+        }
+    }
+    if dist[dst as usize] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theta() -> Graph {
+        // 0-1 direct; 0-2-1; 0-3-4-1.
+        Graph::from_edges(5, &[(0, 1), (0, 2), (2, 1), (0, 3), (3, 4), (4, 1)])
+    }
+
+    #[test]
+    fn finds_paths_in_length_order() {
+        let g = theta();
+        let paths = k_shortest_paths(&g, 0, 1, 3);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0], vec![0, 1]);
+        assert_eq!(paths[1], vec![0, 2, 1]);
+        assert_eq!(paths[2], vec![0, 3, 4, 1]);
+    }
+
+    #[test]
+    fn stops_when_exhausted() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let paths = k_shortest_paths(&g, 0, 2, 5);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn paths_are_simple_and_valid() {
+        let t = fatpaths_net::topo::slimfly::slim_fly(5, 1).unwrap();
+        let paths = k_shortest_paths(&t.graph, 0, 33, 8);
+        assert_eq!(paths.len(), 8);
+        let mut lens: Vec<usize> = paths.iter().map(|p| p.len()).collect();
+        let sorted = {
+            let mut l = lens.clone();
+            l.sort_unstable();
+            l
+        };
+        assert_eq!(lens, sorted, "paths not in length order");
+        lens.dedup();
+        for p in &paths {
+            for w in p.windows(2) {
+                assert!(t.graph.has_edge(w[0], w[1]));
+            }
+            let mut q = p.clone();
+            q.sort_unstable();
+            q.dedup();
+            assert_eq!(q.len(), p.len(), "path has a loop");
+        }
+        // All paths distinct.
+        let set: FxHashSet<&Vec<u32>> = paths.iter().collect();
+        assert_eq!(set.len(), paths.len());
+    }
+
+    #[test]
+    fn sf_ksp_needs_longer_paths() {
+        // §IV-C1: SF pairs mostly have one shortest path, so k-shortest
+        // paths necessarily includes non-minimal ones (k=4 ⇒ beyond lmin).
+        let t = fatpaths_net::topo::slimfly::slim_fly(7, 1).unwrap();
+        let paths = k_shortest_paths(&t.graph, 0, 60, 4);
+        let lmin = paths[0].len();
+        assert!(paths.iter().any(|p| p.len() > lmin));
+    }
+}

@@ -1,0 +1,33 @@
+//! # fatpaths-core
+//!
+//! The FatPaths paper's primary contribution — **layered routing** (§V) —
+//! plus every comparison routing scheme of §VI:
+//!
+//! * [`layers`] — layer abstraction + random uniform edge sampling
+//!   (Listing 1);
+//! * [`interference_min`] — the path-interference-minimizing construction
+//!   (Listing 2);
+//! * [`fwd`] — per-layer destination-based forwarding tables σᵢ
+//!   (Listing 3), `O(Nr)` entries per destination;
+//! * [`ecmp`] — minimal multipath port sets, ECMP flow hashing, packet
+//!   spraying;
+//! * [`spain`], [`past`], [`ksp`] — the SPAIN, PAST and k-shortest-paths
+//!   baselines (Appendix C);
+//! * [`schemes`] — Table I's feature matrix as data.
+
+pub mod ecmp;
+pub mod fwd;
+pub mod interference_min;
+pub mod ksp;
+pub mod layers;
+pub mod past;
+pub mod schemes;
+pub mod spain;
+
+pub use ecmp::DistanceMatrix;
+pub use fwd::{fnv1a, RoutingTables, NO_PORT};
+pub use interference_min::{build_interference_min_layers, ImConfig};
+pub use ksp::k_shortest_paths;
+pub use layers::{build_random_layers, LayerConfig, LayerSet};
+pub use past::{PastTrees, PastVariant};
+pub use spain::{build_spain_layers, SpainConfig, SpainLayers};

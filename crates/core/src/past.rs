@@ -1,0 +1,205 @@
+//! PAST comparison baseline (Stephens et al., CoNEXT'12; Listing 5,
+//! Appendix C-C).
+//!
+//! PAST installs one spanning tree *per destination address*; a router
+//! forwards toward a destination along that destination's unique tree path.
+//! Multi-pathing between a fixed pair is therefore impossible (§VI), which
+//! is exactly the deficiency Fig. 9 quantifies. Two variants:
+//!
+//! * **BFS** — tree rooted at the destination, random tie-breaking
+//!   (distributes trees over links);
+//! * **Valiant-inspired non-minimal** — tree rooted at a random
+//!   intermediate switch, as in Listing 5.
+
+use fatpaths_net::graph::{Graph, RouterId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Which PAST tree construction to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PastVariant {
+    /// Destination-rooted BFS with random tie-breaking.
+    Bfs,
+    /// Random-intermediate-rooted BFS (non-minimal, Valiant-inspired).
+    Valiant,
+}
+
+/// The per-destination spanning trees: `parent[dst][v]` = next hop of `v`
+/// toward `dst` along `dst`'s tree (`u32::MAX` at `dst` itself).
+#[derive(Clone, Debug)]
+pub struct PastTrees {
+    parent: Vec<Vec<u32>>,
+}
+
+impl PastTrees {
+    /// Builds one spanning tree per destination router.
+    pub fn build(g: &Graph, variant: PastVariant, seed: u64) -> Self {
+        let nr = g.n();
+        let mut parent = Vec::with_capacity(nr);
+        for dst in 0..nr as u32 {
+            let mut rng = StdRng::seed_from_u64(seed ^ (0xD1F9_6E37u64.wrapping_mul(dst as u64 + 1)));
+            let root = match variant {
+                PastVariant::Bfs => dst,
+                PastVariant::Valiant => rng.random_range(0..nr as u32),
+            };
+            parent.push(tree_toward(g, dst, root, &mut rng));
+        }
+        PastTrees { parent }
+    }
+
+    /// Next hop of `src` toward `dst` in `dst`'s tree.
+    #[inline]
+    pub fn next_hop(&self, src: RouterId, dst: RouterId) -> Option<RouterId> {
+        let p = self.parent[dst as usize][src as usize];
+        (p != u32::MAX).then_some(p)
+    }
+
+    /// Full path `src → dst` (unique in PAST).
+    pub fn path(&self, src: RouterId, dst: RouterId) -> Option<Vec<RouterId>> {
+        let mut path = vec![src];
+        let mut cur = src;
+        let n = self.parent.len();
+        while cur != dst {
+            cur = self.next_hop(cur, dst)?;
+            path.push(cur);
+            if path.len() > n + 1 {
+                return None; // defensive; trees cannot loop
+            }
+        }
+        Some(path)
+    }
+
+    /// Number of trees (= number of destinations = `Nr`), the layer cost
+    /// §VI-B charges PAST with.
+    pub fn num_trees(&self) -> usize {
+        self.parent.len()
+    }
+}
+
+/// Builds a spanning tree that routes *toward* `dst`. For the Valiant
+/// variant (`root != dst`) the tree is grown from `root`, then re-oriented
+/// so every router's parent pointer walks to `dst` through the tree.
+fn tree_toward(g: &Graph, dst: RouterId, root: RouterId, rng: &mut StdRng) -> Vec<u32> {
+    let nr = g.n();
+    // BFS from root with randomized neighbor order → tree edges.
+    let mut order: Vec<u32> = Vec::with_capacity(nr);
+    let mut tree_parent = vec![u32::MAX; nr]; // toward root
+    let mut visited = vec![false; nr];
+    visited[root as usize] = true;
+    order.push(root);
+    let mut head = 0;
+    let mut nbs: Vec<u32> = Vec::new();
+    while head < order.len() {
+        let u = order[head];
+        head += 1;
+        nbs.clear();
+        nbs.extend_from_slice(g.neighbors(u));
+        nbs.shuffle(rng);
+        for &v in &nbs {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                tree_parent[v as usize] = u;
+                order.push(v);
+            }
+        }
+    }
+    if root == dst {
+        return tree_parent;
+    }
+    // Re-orient toward dst: build adjacency of the tree, BFS from dst.
+    let mut tree_edges: Vec<(u32, u32)> = Vec::with_capacity(nr - 1);
+    for v in 0..nr as u32 {
+        let p = tree_parent[v as usize];
+        if p != u32::MAX {
+            tree_edges.push((v, p));
+        }
+    }
+    let tg = Graph::from_edges(nr, &tree_edges);
+    let mut toward = vec![u32::MAX; nr];
+    let mut queue = vec![dst];
+    let mut seen = vec![false; nr];
+    seen[dst as usize] = true;
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for &v in tg.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                toward[v as usize] = u;
+                queue.push(v);
+            }
+        }
+    }
+    toward
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatpaths_net::topo::slimfly::slim_fly;
+
+    #[test]
+    fn paths_reach_destination() {
+        let t = slim_fly(5, 1).unwrap();
+        for variant in [PastVariant::Bfs, PastVariant::Valiant] {
+            let trees = PastTrees::build(&t.graph, variant, 3);
+            for (s, d) in [(0u32, 17u32), (44, 3), (10, 10)] {
+                if s == d {
+                    continue;
+                }
+                let p = trees.path(s, d).unwrap();
+                assert_eq!(*p.first().unwrap(), s);
+                assert_eq!(*p.last().unwrap(), d);
+                for w in p.windows(2) {
+                    assert!(t.graph.has_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_variant_is_minimal() {
+        let t = slim_fly(5, 1).unwrap();
+        let trees = PastTrees::build(&t.graph, PastVariant::Bfs, 1);
+        let d0 = t.graph.bfs(17);
+        for s in 0..t.num_routers() as u32 {
+            if s == 17 {
+                continue;
+            }
+            let p = trees.path(s, 17).unwrap();
+            assert_eq!(p.len() as u32 - 1, d0[s as usize], "PAST-BFS path not minimal");
+        }
+    }
+
+    #[test]
+    fn valiant_variant_can_be_non_minimal() {
+        let t = slim_fly(7, 1).unwrap();
+        let trees = PastTrees::build(&t.graph, PastVariant::Valiant, 5);
+        let mut longer = 0;
+        for dst in (0..98u32).step_by(9) {
+            let dd = t.graph.bfs(dst);
+            for s in (1..98u32).step_by(13) {
+                if s == dst {
+                    continue;
+                }
+                let p = trees.path(s, dst).unwrap();
+                if p.len() as u32 - 1 > dd[s as usize] {
+                    longer += 1;
+                }
+            }
+        }
+        assert!(longer > 0, "Valiant PAST produced only minimal paths");
+    }
+
+    #[test]
+    fn single_path_per_pair() {
+        // PAST's defining limitation: the path is unique per (src, dst).
+        let t = slim_fly(5, 1).unwrap();
+        let trees = PastTrees::build(&t.graph, PastVariant::Bfs, 2);
+        let p1 = trees.path(3, 40).unwrap();
+        let p2 = trees.path(3, 40).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(trees.num_trees(), t.num_routers());
+    }
+}

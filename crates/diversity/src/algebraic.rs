@@ -1,0 +1,209 @@
+//! Length-limited connectivity via randomized linear algebra
+//! (Appendix B-C, after Cheung, Lau & Leung).
+//!
+//! Each router holds a vector; the source's neighbors are seeded with
+//! pairwise-independent random vectors, and vectors propagate along edges
+//! with random coefficients: `F_l = F_{l-1}·K + P_s`. After `l` rounds,
+//! the rank of the vectors at `t`'s in-neighborhood equals (w.h.p.) the
+//! number of vertex-disjoint `s→t` paths of length ≤ `l+1` — a
+//! cross-check for the combinatorial CDP of §IV-B1 that needs only
+//! matrix–vector products (here over `f64` with rank via Gaussian
+//! elimination and a pivot tolerance).
+
+use fatpaths_net::graph::{Graph, RouterId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Estimates the number of vertex-disjoint `s → t` paths of length ≤
+/// `max_len` via `rounds` of randomized propagation. Deterministic in
+/// `seed`. `s` and `t` must differ and not be adjacent-equal.
+pub fn algebraic_vertex_connectivity(
+    g: &Graph,
+    s: RouterId,
+    t: RouterId,
+    max_len: u32,
+    seed: u64,
+) -> u32 {
+    assert_ne!(s, t);
+    let n = g.n();
+    let k = g.degree(s).max(g.degree(t));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // F: per vertex, a k-dimensional value vector.
+    let mut f = vec![vec![0.0f64; k]; n];
+    // P_s: unit vector per neighbor of s (injected every round).
+    let seeds: Vec<(u32, usize)> = g
+        .neighbors(s)
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    // Random edge coefficients (consistent across rounds).
+    let mut coef = rustc_hash::FxHashMap::default();
+    for (u, v) in g.edges() {
+        coef.insert((u, v), rng.random_range(0.1..1.0f64));
+        coef.insert((v, u), rng.random_range(0.1..1.0f64));
+    }
+    // After r rounds, vectors at t's neighbors represent paths of length
+    // ≤ r+1 (one more hop reaches t); a direct s–t edge is counted
+    // separately since vertex connectivity is ill-defined for neighbors
+    // (the paper's footnote 6).
+    let rounds = max_len.saturating_sub(1);
+    let mut next = vec![vec![0.0f64; k]; n];
+    for _ in 0..rounds {
+        for row in next.iter_mut() {
+            row.iter_mut().for_each(|x| *x = 0.0);
+        }
+        for u in 0..n as u32 {
+            // Vectors flow along edges; s and t do not relay (vertex
+            // connectivity: interior vertices are the scarce resource, and
+            // paths through s or t would not be vertex-disjoint).
+            if u == s || u == t {
+                continue;
+            }
+            let fu = &f[u as usize];
+            if fu.iter().all(|&x| x == 0.0) {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                let c = coef[&(u, v)];
+                let (dst, src) = (v as usize, u as usize);
+                if dst == src {
+                    continue;
+                }
+                // Split borrow: indices differ.
+                let (a, b) = if dst < src {
+                    let (lo, _) = next.split_at_mut(src);
+                    (&mut lo[dst], &f[src])
+                } else {
+                    let (_, hi) = next.split_at_mut(dst);
+                    (&mut hi[0], &f[src])
+                };
+                for (x, &y) in a.iter_mut().zip(b) {
+                    *x += c * y;
+                }
+            }
+        }
+        // Inject P_s at s's neighbors.
+        for &(v, i) in &seeds {
+            next[v as usize][i] += 1.0;
+        }
+        std::mem::swap(&mut f, &mut next);
+    }
+    // Rank of the vectors sitting at t's in-neighborhood (excluding s —
+    // a path "ending at s" would loop through the source), plus one for
+    // the direct edge if present.
+    let rows: Vec<Vec<f64>> = g
+        .neighbors(t)
+        .iter()
+        .filter(|&&v| v != s)
+        .map(|&v| f[v as usize].clone())
+        .collect();
+    rank(rows) + u32::from(g.has_edge(s, t) && max_len >= 1)
+}
+
+/// Rank by Gaussian elimination with partial pivoting and a relative
+/// tolerance (the randomized construction keeps true ranks well
+/// separated from numerical noise).
+fn rank(mut rows: Vec<Vec<f64>>) -> u32 {
+    if rows.is_empty() {
+        return 0;
+    }
+    let cols = rows[0].len();
+    let scale: f64 = rows
+        .iter()
+        .flat_map(|r| r.iter().map(|x| x.abs()))
+        .fold(0.0, f64::max)
+        .max(1e-300);
+    let tol = scale * 1e-9;
+    let mut rank = 0usize;
+    for c in 0..cols {
+        // Find pivot.
+        let Some(p) = (rank..rows.len()).max_by(|&a, &b| {
+            rows[a][c].abs().partial_cmp(&rows[b][c].abs()).unwrap()
+        }) else {
+            break;
+        };
+        if rows[p][c].abs() <= tol {
+            continue;
+        }
+        rows.swap(rank, p);
+        let pivot_row = rows[rank].clone();
+        for r in rows.iter_mut().skip(rank + 1) {
+            let factor = r[c] / pivot_row[c];
+            if factor != 0.0 {
+                for (x, &pv) in r.iter_mut().zip(&pivot_row) {
+                    *x -= factor * pv;
+                }
+            }
+        }
+        rank += 1;
+        if rank == rows.len() {
+            break;
+        }
+    }
+    rank as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theta() -> Graph {
+        // 0-1 direct; 0-2-1; 0-3-4-1: 3 vertex-disjoint paths at l ≤ 3.
+        Graph::from_edges(5, &[(0, 1), (0, 2), (2, 1), (0, 3), (3, 4), (4, 1)])
+    }
+
+    #[test]
+    fn counts_disjoint_paths_on_theta() {
+        let g = theta();
+        // At 4 rounds, all three disjoint paths (lengths 1, 2, 3) count.
+        assert_eq!(algebraic_vertex_connectivity(&g, 0, 1, 4, 7), 3);
+        // With 1 round, only the direct edge's contribution reaches t.
+        assert_eq!(algebraic_vertex_connectivity(&g, 0, 1, 1, 7), 1);
+    }
+
+    #[test]
+    fn path_graph_has_connectivity_one() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(algebraic_vertex_connectivity(&g, 0, 3, 6, 3), 1);
+    }
+
+    #[test]
+    fn clique_connectivity_is_degree() {
+        let mut e = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                e.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(6, &e);
+        // K6: 5 vertex-disjoint 0→5 paths (1 direct + 4 two-hop).
+        assert_eq!(algebraic_vertex_connectivity(&g, 0, 5, 3, 11), 5);
+    }
+
+    #[test]
+    fn agrees_with_menger_on_slim_fly_sample() {
+        let t = fatpaths_net::topo::slimfly::slim_fly(5, 1).unwrap();
+        let alg = algebraic_vertex_connectivity(&t.graph, 0, 33, 6, 5);
+        let mf = crate::cdp::edge_disjoint_maxflow(&t.graph, 0, 33);
+        // Vertex connectivity ≤ edge connectivity; in a regular graph with
+        // rich structure they track closely.
+        assert!(alg <= mf + 1, "algebraic {alg} vs maxflow {mf}");
+        assert!(alg >= 3, "SF should offer several disjoint paths, got {alg}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = theta();
+        let a = algebraic_vertex_connectivity(&g, 0, 1, 4, 42);
+        let b = algebraic_vertex_connectivity(&g, 0, 1, 4, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_helper() {
+        assert_eq!(rank(vec![vec![1.0, 0.0], vec![0.0, 1.0]]), 2);
+        assert_eq!(rank(vec![vec![1.0, 2.0], vec![2.0, 4.0]]), 1);
+        assert_eq!(rank(vec![vec![0.0, 0.0]]), 0);
+    }
+}

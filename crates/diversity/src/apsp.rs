@@ -1,0 +1,200 @@
+//! All-pairs shortest-path statistics (§IV-B1: `lmin` distributions,
+//! diameter, average path length).
+//!
+//! BFS per source, parallelized over sources with Rayon; memory stays
+//! `O(n)` per worker thread.
+
+use fatpaths_net::graph::{Graph, RouterId, UNREACHABLE};
+use rayon::prelude::*;
+
+/// Aggregate shortest-path statistics of a connected graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathStats {
+    /// Maximum shortest-path length over all pairs.
+    pub diameter: u32,
+    /// Mean shortest-path length over ordered pairs (`d` in the paper).
+    pub avg_path_length: f64,
+    /// `lmin_histogram[l]` = number of ordered router pairs at distance `l`
+    /// (index 0 counts the `n` self-pairs).
+    pub lmin_histogram: Vec<u64>,
+}
+
+impl PathStats {
+    /// Fraction of ordered pairs (excluding self-pairs) at distance `l` —
+    /// the y-axis of Fig. 6 (top).
+    pub fn fraction_at(&self, l: usize) -> f64 {
+        let total: u64 = self.lmin_histogram.iter().skip(1).sum();
+        if total == 0 || l >= self.lmin_histogram.len() {
+            return 0.0;
+        }
+        self.lmin_histogram[l] as f64 / total as f64
+    }
+}
+
+/// Computes exact all-pairs statistics by running BFS from every source.
+///
+/// Panics if the graph is disconnected.
+pub fn shortest_path_stats(g: &Graph) -> PathStats {
+    let n = g.n();
+    assert!(n > 0);
+    let per_source: Vec<(u32, u64, Vec<u64>)> = (0..n as u32)
+        .into_par_iter()
+        .map(|src| {
+            let dist = g.bfs(src);
+            let mut hist = vec![0u64; 2];
+            let mut far = 0u32;
+            let mut total = 0u64;
+            for &d in &dist {
+                assert!(d != UNREACHABLE, "graph disconnected");
+                if d as usize >= hist.len() {
+                    hist.resize(d as usize + 1, 0);
+                }
+                hist[d as usize] += 1;
+                far = far.max(d);
+                total += d as u64;
+            }
+            (far, total, hist)
+        })
+        .collect();
+    merge(n, per_source)
+}
+
+/// Sampled variant for large graphs: BFS from `samples` deterministic
+/// sources; the histogram is scaled to all-pairs semantics only in its
+/// relative shape (fractions remain unbiased for vertex-transitive graphs).
+pub fn shortest_path_stats_sampled(g: &Graph, samples: usize) -> PathStats {
+    let n = g.n();
+    let take = samples.min(n).max(1);
+    let stride = (n / take).max(1);
+    let per_source: Vec<(u32, u64, Vec<u64>)> = (0..take)
+        .into_par_iter()
+        .map(|i| {
+            let src = ((i * stride) % n) as u32;
+            let dist = g.bfs(src);
+            let mut hist = vec![0u64; 2];
+            let mut far = 0u32;
+            let mut total = 0u64;
+            for &d in &dist {
+                if d == UNREACHABLE {
+                    continue;
+                }
+                if d as usize >= hist.len() {
+                    hist.resize(d as usize + 1, 0);
+                }
+                hist[d as usize] += 1;
+                far = far.max(d);
+                total += d as u64;
+            }
+            (far, total, hist)
+        })
+        .collect();
+    merge(take, per_source)
+}
+
+fn merge(sources: usize, per_source: Vec<(u32, u64, Vec<u64>)>) -> PathStats {
+    let mut diameter = 0u32;
+    let mut total = 0u64;
+    let mut hist: Vec<u64> = Vec::new();
+    let mut reached = 0u64;
+    for (far, t, h) in per_source {
+        diameter = diameter.max(far);
+        total += t;
+        if h.len() > hist.len() {
+            hist.resize(h.len(), 0);
+        }
+        for (i, c) in h.into_iter().enumerate() {
+            hist[i] += c;
+            reached += c;
+        }
+    }
+    let pairs = reached - sources as u64; // exclude self-pairs
+    PathStats {
+        diameter,
+        avg_path_length: total as f64 / pairs.max(1) as f64,
+        lmin_histogram: hist,
+    }
+}
+
+/// Number of *distinct* shortest paths (not necessarily disjoint) from `src`
+/// to every router, via the standard BFS counting DP. Saturating at
+/// `u64::MAX`. Used to cross-validate the matrix method of Appendix B.
+pub fn count_shortest_paths(g: &Graph, src: RouterId) -> Vec<u64> {
+    let n = g.n();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut cnt = vec![0u64; n];
+    let mut queue = Vec::with_capacity(n);
+    dist[src as usize] = 0;
+    cnt[src as usize] = 1;
+    queue.push(src);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push(v);
+            }
+            if dist[v as usize] == du + 1 {
+                cnt[v as usize] = cnt[v as usize].saturating_add(cnt[u as usize]);
+            }
+        }
+    }
+    cnt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_stats() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let s = shortest_path_stats(&g);
+        assert_eq!(s.diameter, 3);
+        assert!((s.avg_path_length - 1.8).abs() < 1e-12);
+        // Distances over ordered pairs: 12 at d=1, 12 at d=2, 6 at d=3.
+        assert_eq!(&s.lmin_histogram[1..], &[12, 12, 6]);
+        assert!((s.fraction_at(3) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortest_path_counts_on_square() {
+        // 4-cycle: opposite corners have 2 shortest paths.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let c = count_shortest_paths(&g, 0);
+        assert_eq!(c, vec![1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn slim_fly_has_one_minimal_path_mostly() {
+        // §IV-C1: in SF, most router pairs have exactly one shortest path.
+        let t = fatpaths_net::topo::slimfly::slim_fly(7, 1).unwrap();
+        let mut single = 0usize;
+        let mut multi = 0usize;
+        for s in 0..t.num_routers() as u32 {
+            let c = count_shortest_paths(&t.graph, s);
+            let dist = t.graph.bfs(s);
+            for v in 0..t.num_routers() {
+                if dist[v] == 2 {
+                    if c[v] == 1 {
+                        single += 1;
+                    } else {
+                        multi += 1;
+                    }
+                }
+            }
+        }
+        assert!(single > multi, "SF should be dominated by unique 2-hop paths");
+    }
+
+    #[test]
+    fn sampled_matches_exact_on_vertex_transitive() {
+        let t = fatpaths_net::topo::hyperx::hyperx(2, 5, 1);
+        let exact = shortest_path_stats(&t.graph);
+        let sampled = shortest_path_stats_sampled(&t.graph, 5);
+        assert_eq!(exact.diameter, sampled.diameter);
+        assert!((exact.avg_path_length - sampled.avg_path_length).abs() < 1e-9);
+    }
+}

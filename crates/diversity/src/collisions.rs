@@ -1,0 +1,76 @@
+//! Flow-collision analysis (§IV-A, Fig. 4).
+//!
+//! Two flows *collide* when their communicating endpoint pairs occupy the
+//! same (source router, destination router) pair — a property of the
+//! workload mapping and concentration `p` only, independent of topology
+//! wiring. The paper's takeaway: with `D ≥ 2` and random mapping, at most
+//! ~3 collisions per router pair occur even for 4×-oversubscribed patterns,
+//! so three disjoint paths per router pair suffice.
+
+use fatpaths_net::graph::RouterId;
+use rustc_hash::FxHashMap;
+
+/// Histogram of collision multiplicities: `hist[c]` = number of distinct
+/// ordered router pairs that carry exactly `c` flows (`c ≥ 1`; index 0
+/// unused). Intra-router flows (same source and destination router) are
+/// excluded, as they never enter the network.
+pub fn collision_histogram(flows: &[(RouterId, RouterId)]) -> Vec<u64> {
+    let mut per_pair: FxHashMap<(RouterId, RouterId), u64> = FxHashMap::default();
+    for &(s, t) in flows {
+        if s != t {
+            *per_pair.entry((s, t)).or_insert(0) += 1;
+        }
+    }
+    let mut hist = vec![0u64; 2];
+    for &c in per_pair.values() {
+        if c as usize >= hist.len() {
+            hist.resize(c as usize + 1, 0);
+        }
+        hist[c as usize] += 1;
+    }
+    hist
+}
+
+/// Fraction of router pairs with at least `threshold` colliding flows — the
+/// paper's "fewer than 1% of four or more collisions" statistic.
+pub fn fraction_with_at_least(hist: &[u64], threshold: usize) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let above: u64 = hist.iter().skip(threshold).sum();
+    above as f64 / total as f64
+}
+
+/// Maximum observed collision multiplicity.
+pub fn max_collisions(hist: &[u64]) -> usize {
+    hist.iter().rposition(|&c| c > 0).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_multiplicities() {
+        let flows = [(0, 1), (0, 1), (0, 2), (3, 4), (3, 4), (3, 4), (5, 5)];
+        let hist = collision_histogram(&flows);
+        // (0,1):2, (0,2):1, (3,4):3; (5,5) dropped.
+        assert_eq!(hist, vec![0, 1, 1, 1]);
+        assert_eq!(max_collisions(&hist), 3);
+        assert!((fraction_with_at_least(&hist, 2) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let hist = collision_histogram(&[]);
+        assert_eq!(fraction_with_at_least(&hist, 1), 0.0);
+        assert_eq!(max_collisions(&hist), 0);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let hist = collision_histogram(&[(0, 1), (1, 0)]);
+        assert_eq!(hist, vec![0, 2]); // two distinct ordered pairs
+    }
+}

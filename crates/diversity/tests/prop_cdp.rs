@@ -1,0 +1,62 @@
+//! Property-based tests for the diversity metrics: monotonicity, degree
+//! bounds, and agreement with exact max-flow.
+
+use fatpaths_diversity::cdp::{cdp, edge_disjoint_maxflow, EdgeIds};
+use fatpaths_diversity::collisions::{collision_histogram, fraction_with_at_least};
+use fatpaths_net::graph::Graph;
+use fatpaths_net::topo::jellyfish::random_regular_edges;
+use proptest::prelude::*;
+
+fn connected_regular(n: usize, k: usize, seed: u64) -> Graph {
+    Graph::from_edges(n, &random_regular_edges(n, k, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cdp_monotone_in_length(seed in 0u64..100, s in 0u32..29, t in 0u32..29) {
+        prop_assume!(s != t);
+        let g = connected_regular(30, 5, seed);
+        let e = EdgeIds::new(&g);
+        let mut prev = 0;
+        for l in 1..=6u32 {
+            let c = cdp(&g, &e, &[s], &[t], l);
+            prop_assert!(c >= prev, "CDP decreased when l grew");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn cdp_bounded_by_degree_and_maxflow(seed in 0u64..100, s in 0u32..29, t in 0u32..29) {
+        prop_assume!(s != t);
+        let g = connected_regular(30, 5, seed);
+        let e = EdgeIds::new(&g);
+        let c = cdp(&g, &e, &[s], &[t], 30);
+        let mf = edge_disjoint_maxflow(&g, s, t);
+        prop_assert!(c <= 5, "CDP exceeds endpoint degree");
+        prop_assert!(c <= mf, "greedy CDP exceeds exact max-flow");
+        // Greedy must find at least one path in a connected graph.
+        prop_assert!(c >= 1);
+    }
+
+    #[test]
+    fn maxflow_symmetric(seed in 0u64..60, s in 0u32..19, t in 0u32..19) {
+        prop_assume!(s != t);
+        let g = connected_regular(20, 4, seed);
+        prop_assert_eq!(edge_disjoint_maxflow(&g, s, t), edge_disjoint_maxflow(&g, t, s));
+    }
+
+    #[test]
+    fn collision_histogram_conserves_flows(
+        flows in prop::collection::vec((0u32..20, 0u32..20), 0..200)
+    ) {
+        let hist = collision_histogram(&flows);
+        let inter_router = flows.iter().filter(|(s, d)| s != d).count() as u64;
+        let total: u64 = hist.iter().enumerate().map(|(c, &n)| c as u64 * n).sum();
+        prop_assert_eq!(total, inter_router);
+        // Fractions are probabilities.
+        let f = fraction_with_at_least(&hist, 2);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

@@ -1,0 +1,159 @@
+//! Shared plumbing for the experiment harnesses: CSV output, topology
+//! sets, layer/table construction, and simulation drivers.
+
+use fatpaths_core::ecmp::DistanceMatrix;
+use fatpaths_core::fwd::RoutingTables;
+use fatpaths_core::layers::{build_random_layers, LayerConfig, LayerSet};
+use fatpaths_net::classes::{build, SizeClass};
+use fatpaths_net::topo::{TopoKind, Topology};
+use fatpaths_sim::{LoadBalancing, Routing, SimConfig, SimResult, Simulator, TcpVariant, Transport};
+use fatpaths_workloads::arrivals::{poisson_flows, FlowSpec};
+use fatpaths_workloads::mapping::{apply_mapping, random_mapping};
+use fatpaths_workloads::patterns::Pattern;
+use fatpaths_workloads::sizes::FlowSizeDist;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+/// Output directory for all experiment artifacts.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("FATPATHS_RESULTS").unwrap_or_else(|_| "results".into());
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    PathBuf::from(dir)
+}
+
+/// Minimal CSV writer.
+pub struct Csv {
+    w: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl Csv {
+    /// Creates `results/<name>.csv` with a header row.
+    pub fn new(name: &str, header: &[&str]) -> Csv {
+        let path = results_dir().join(format!("{name}.csv"));
+        let mut w = BufWriter::new(File::create(&path).expect("create csv"));
+        writeln!(w, "{}", header.join(",")).unwrap();
+        Csv { w, path }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, cells: &[String]) {
+        writeln!(self.w, "{}", cells.join(",")).unwrap();
+    }
+
+    /// Flushes and reports the path.
+    pub fn finish(mut self) -> PathBuf {
+        self.w.flush().unwrap();
+        self.path
+    }
+}
+
+/// Formats a float with fixed precision for CSV cells.
+pub fn f(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+/// The evaluation topology set at a class: SF, DF, HX, XP, SF-JF, FT3.
+pub fn topo_set(class: SizeClass, seed: u64) -> Vec<Topology> {
+    fatpaths_net::classes::evaluated_kinds()
+        .iter()
+        .map(|&k| build(k, class, seed))
+        .collect()
+}
+
+/// Builds random-sampling layers plus forwarding tables.
+pub fn layers_and_tables(topo: &Topology, n: usize, rho: f64, seed: u64) -> (LayerSet, RoutingTables) {
+    let ls = build_random_layers(&topo.graph, &LayerConfig::new(n, rho, seed));
+    let rt = RoutingTables::build(&topo.graph, &ls);
+    (ls, rt)
+}
+
+/// NDP-mode config.
+pub fn ndp_cfg(lb: LoadBalancing, seed: u64) -> SimConfig {
+    SimConfig { transport: Transport::ndp_default(), lb, seed, ..SimConfig::default() }
+}
+
+/// TCP-mode config.
+pub fn tcp_cfg(variant: TcpVariant, lb: LoadBalancing, seed: u64) -> SimConfig {
+    SimConfig { transport: Transport::tcp_default(variant), lb, seed, ..SimConfig::default() }
+}
+
+/// Poisson workload from a pattern with web-search sizes, optionally with
+/// randomized endpoint mapping (§III-D).
+pub fn pattern_workload(
+    topo: &Topology,
+    pattern: &Pattern,
+    lambda: f64,
+    window_s: f64,
+    randomize: bool,
+    seed: u64,
+) -> Vec<FlowSpec> {
+    let n = topo.num_endpoints() as u64;
+    let mut pairs = pattern.flows(n, seed);
+    if randomize {
+        let m = random_mapping(n as u32, seed ^ 0xA11CE);
+        pairs = apply_mapping(&m, &pairs);
+    }
+    pairs.retain(|&(s, d)| s != d);
+    let dist = FlowSizeDist::web_search();
+    poisson_flows(&pairs, lambda, window_s, &dist, seed ^ 0xF10)
+}
+
+/// Runs one packet simulation with FatPaths layered routing.
+pub fn run_layered(
+    topo: &Topology,
+    tables: &RoutingTables,
+    cfg: SimConfig,
+    flows: &[FlowSpec],
+) -> SimResult {
+    let mut sim = Simulator::new(topo, Routing::Layered(tables), cfg);
+    sim.add_flows(flows);
+    sim.run()
+}
+
+/// Runs one packet simulation with minimal-path routing (ECMP family).
+pub fn run_minimal(
+    topo: &Topology,
+    dm: &DistanceMatrix,
+    cfg: SimConfig,
+    flows: &[FlowSpec],
+) -> SimResult {
+    let mut sim = Simulator::new(topo, Routing::Minimal(dm), cfg);
+    sim.add_flows(flows);
+    sim.run()
+}
+
+/// Filters out flows recorded before the warmup cutoff (first half of the
+/// injection window), per §VII-A8.
+pub fn post_warmup(result: &SimResult, window_s: f64) -> SimResult {
+    let cutoff = (window_s * 0.5 * 1e12) as u64;
+    SimResult {
+        flows: result.flows.iter().copied().filter(|fl| fl.start >= cutoff).collect(),
+        drops: result.drops,
+        trims: result.trims,
+        end_time: result.end_time,
+    }
+}
+
+/// Writes a short text summary next to the CSVs.
+pub fn write_summary(name: &str, text: &str) {
+    let path = results_dir().join(format!("{name}.txt"));
+    std::fs::write(&path, text).expect("write summary");
+    println!("{text}");
+    println!("→ {}", path.display());
+}
+
+/// True if the harness runs in reduced-scale mode.
+pub fn is_quick(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--quick")
+}
+
+
+/// Per-topology label for CSV rows.
+pub fn label(topo: &Topology) -> String {
+    match topo.kind {
+        TopoKind::Jellyfish => topo.name.split('(').next().unwrap_or("JF").to_string(),
+        _ => topo.kind.label().to_string(),
+    }
+}

@@ -1,0 +1,254 @@
+//! Theory/analysis experiments: Fig. 9 (MAT per routing scheme), Fig. 10
+//! (cost model), Fig. 19 (edge density / radix scaling), Tables I and V.
+
+use crate::common::{f, write_summary, Csv};
+use fatpaths_core::fwd::RoutingTables;
+use fatpaths_core::interference_min::{build_interference_min_layers, ImConfig};
+use fatpaths_core::past::{PastTrees, PastVariant};
+use fatpaths_core::spain::{build_spain_layers, SpainConfig};
+use fatpaths_mcf::mat::{mat, router_demands, KspPaths, LayeredPaths, PastPaths};
+use fatpaths_mcf::worstcase::worst_case_flows;
+use fatpaths_net::classes::{build, SizeClass};
+use fatpaths_net::cost::{cost, PriceBook};
+use fatpaths_net::topo::jellyfish::equivalent_jellyfish;
+use fatpaths_net::topo::{
+    dragonfly::dragonfly, fattree::fat_tree, hyperx::hyperx, slimfly::slim_fly, xpander::xpander,
+    TopoKind, Topology,
+};
+use rayon::prelude::*;
+
+/// Fig. 9: maximum achievable throughput of FatPaths (interference-min
+/// layers), SPAIN, PAST, and k-shortest paths under the worst-case traffic
+/// pattern at intensity 0.55, across topology sizes.
+pub fn fig9(quick: bool) {
+    let mut configs: Vec<Topology> = Vec::new();
+    // A size sweep per family (kept below ≈1600 routers for SPAIN/Yen).
+    for q in [5u32, 7, 11, 13] {
+        configs.push(slim_fly(q, ((3 * q + 1) / 4).max(1)).unwrap());
+    }
+    for p in [2u32, 3, 4] {
+        configs.push(dragonfly(p));
+    }
+    for s in [4u32, 6, 8] {
+        configs.push(hyperx(3, s, s - 1));
+    }
+    for k in [8u32, 12, 16] {
+        configs.push(xpander(k, k, k / 2, 3));
+    }
+    for k in [8u32, 12, 16] {
+        configs.push(fat_tree(k, 1));
+    }
+    let sf_for_jf = slim_fly(11, 8).unwrap();
+    configs.push(equivalent_jellyfish(&sf_for_jf, 5));
+    if quick {
+        configs.retain(|t| t.num_routers() <= 300);
+    }
+    let eps = 0.08;
+    let n_layers = 6;
+    let mut csv = Csv::new(
+        "fig9_mat",
+        &["topology", "endpoints", "scheme", "throughput", "layers"],
+    );
+    let mut summary = String::from("Fig. 9 — MAT per scheme (worst-case traffic, intensity 0.55)\n");
+    let rows: Vec<Vec<[String; 5]>> = configs
+        .par_iter()
+        .map(|t| {
+            let flows = worst_case_flows(t, 0.55, 17);
+            let demands = router_demands(&flows, |e| t.endpoint_router(e));
+            let mut out = Vec::new();
+            // FatPaths, interference-minimizing construction.
+            let ls = build_interference_min_layers(
+                &t.graph,
+                &ImConfig { n_layers, seed: 5, ..ImConfig::default() },
+            );
+            let rt = RoutingTables::build(&t.graph, &ls);
+            let fp = mat(&t.graph, &demands, &LayeredPaths { base: &t.graph, tables: &rt }, eps);
+            out.push(("fatpaths", fp.throughput, n_layers));
+            // SPAIN (capped to the same layer budget for fairness, §VI-C).
+            let spain = build_spain_layers(
+                &t.graph,
+                &SpainConfig { k_paths: 2, max_layers: Some(n_layers), seed: 6 },
+            );
+            let srt = RoutingTables::build(&t.graph, &spain.layers);
+            let sp = mat(&t.graph, &demands, &LayeredPaths { base: &t.graph, tables: &srt }, eps);
+            out.push(("spain", sp.throughput, spain.layers.len()));
+            // PAST.
+            let trees = PastTrees::build(&t.graph, PastVariant::Bfs, 7);
+            let pa = mat(&t.graph, &demands, &PastPaths { trees: &trees }, eps);
+            out.push(("past", pa.throughput, t.num_routers()));
+            // k-shortest paths.
+            let ks = mat(&t.graph, &demands, &KspPaths { graph: &t.graph, k: n_layers }, eps);
+            out.push(("ksp", ks.throughput, n_layers));
+            out.into_iter()
+                .map(|(scheme, tp, layers)| {
+                    [
+                        crate::common::label(t),
+                        t.num_endpoints().to_string(),
+                        scheme.to_string(),
+                        f(tp),
+                        layers.to_string(),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    // Aggregate per-scheme wins for the summary.
+    let mut fat_wins = 0usize;
+    let mut total = 0usize;
+    for group in &rows {
+        let get = |s: &str| {
+            group
+                .iter()
+                .find(|r| r[2] == s)
+                .map(|r| r[3].parse::<f64>().unwrap())
+                .unwrap_or(0.0)
+        };
+        let (fp, sp, pa, ks) = (get("fatpaths"), get("spain"), get("past"), get("ksp"));
+        let topo = &group[0][0];
+        let n = &group[0][1];
+        summary.push_str(&format!(
+            "{:<4} N={:<6} fatpaths={:.3} spain={:.3} past={:.3} ksp={:.3}\n",
+            topo, n, fp, sp, pa, ks
+        ));
+        if topo != "FT3" {
+            total += 1;
+            if fp >= sp.max(pa) {
+                fat_wins += 1;
+            }
+        }
+        for r in group {
+            csv.row(&r.to_vec());
+        }
+    }
+    csv.finish();
+    summary.push_str(&format!(
+        "FatPaths ≥ SPAIN,PAST on {fat_wins}/{total} low-diameter configs \
+         (paper: FatPaths wins everywhere except SPAIN-on-fat-tree).\n"
+    ));
+    write_summary("fig9_mat", &summary);
+}
+
+/// Fig. 10: itemized per-endpoint cost at N≈10k with 100 GbE prices.
+pub fn fig10(_quick: bool) {
+    let mut csv = Csv::new(
+        "fig10_cost",
+        &["topology", "endpoints", "routers_usd", "interconnect_usd", "endpoint_links_usd", "per_endpoint_usd"],
+    );
+    let prices = PriceBook::default();
+    let mut summary = String::from("Fig. 10 — cost per endpoint (100GbE model)\n");
+    let mut topos = crate::common::topo_set(SizeClass::Medium, 1);
+    // Order as in the figure: SF, JF-SF, XP, DF, FT3, HX3.
+    topos.sort_by_key(|t| match t.kind {
+        TopoKind::SlimFly => 0,
+        TopoKind::Jellyfish => 1,
+        TopoKind::Xpander => 2,
+        TopoKind::Dragonfly => 3,
+        TopoKind::FatTree => 4,
+        _ => 5,
+    });
+    for t in &topos {
+        let c = cost(t, &prices);
+        let n = t.num_endpoints();
+        csv.row(&[
+            crate::common::label(t),
+            n.to_string(),
+            f(c.routers),
+            f(c.interconnect_cables),
+            f(c.endpoint_cables),
+            f(c.per_endpoint(n)),
+        ]);
+        summary.push_str(&format!(
+            "{:<5} ${:>7.0}/endpoint (routers {:.0}%, cables {:.0}%)\n",
+            crate::common::label(t),
+            c.per_endpoint(n),
+            100.0 * c.routers / c.total(),
+            100.0 * (c.interconnect_cables + c.endpoint_cables) / c.total(),
+        ));
+    }
+    csv.finish();
+    summary.push_str("Paper: ≈$2–3k per endpoint; HX3 most expensive (oversized radix).\n");
+    write_summary("fig10_cost", &summary);
+}
+
+/// Fig. 19: edge density and router radix as functions of network size.
+pub fn fig19(_quick: bool) {
+    let mut csv = Csv::new("fig19_scaling", &["topology", "endpoints", "edge_density", "radix"]);
+    let mut summary = String::from("Fig. 19 — edge density and radix vs N\n");
+    for class in SizeClass::all() {
+        if class == SizeClass::Huge {
+            continue; // the generators handle it, but the table gets long
+        }
+        for kind in fatpaths_net::classes::evaluated_kinds() {
+            let t = build(kind, class, 1);
+            csv.row(&[
+                crate::common::label(&t),
+                t.num_endpoints().to_string(),
+                f(t.edge_density()),
+                t.router_radix().to_string(),
+            ]);
+        }
+    }
+    // Asymptotic check: densities stay ~constant per family.
+    for kind in [TopoKind::SlimFly, TopoKind::Dragonfly, TopoKind::FatTree] {
+        let small = build(kind, SizeClass::Small, 1).edge_density();
+        let large = build(kind, SizeClass::Large, 1).edge_density();
+        summary.push_str(&format!(
+            "{:<4} density small→large: {:.2} → {:.2}\n",
+            kind.label(),
+            small,
+            large
+        ));
+    }
+    csv.finish();
+    summary.push_str("Paper: density ≈ constant (2.1–3.0) per family; DF needs most cables.\n");
+    write_summary("fig19_scaling", &summary);
+}
+
+/// Table I: the routing-scheme feature matrix.
+pub fn table1(_quick: bool) {
+    let text = fatpaths_core::schemes::render_table_i();
+    std::fs::write(crate::common::results_dir().join("table1_schemes.txt"), &text).unwrap();
+    write_summary("table1_schemes", &text);
+}
+
+/// Table V: topology structure parameters per size class.
+pub fn table5(_quick: bool) {
+    let mut csv = Csv::new(
+        "table5_topologies",
+        &["topology", "class", "routers", "endpoints", "kprime", "p", "diameter", "avg_path_len"],
+    );
+    let mut summary = String::from("Table V — generated topology parameters\n");
+    for class in [SizeClass::Small, SizeClass::Medium] {
+        for kind in fatpaths_net::classes::evaluated_kinds() {
+            let t = build(kind, class, 1);
+            let (d, apl) = if t.num_routers() <= 1500 {
+                t.graph.diameter_apl()
+            } else {
+                t.graph.diameter_apl_sampled(64)
+            };
+            csv.row(&[
+                crate::common::label(&t),
+                format!("{class:?}"),
+                t.num_routers().to_string(),
+                t.num_endpoints().to_string(),
+                t.network_radix().to_string(),
+                t.concentration.iter().copied().max().unwrap_or(0).to_string(),
+                d.to_string(),
+                f(apl),
+            ]);
+            if class == SizeClass::Medium {
+                summary.push_str(&format!(
+                    "{:<5} Nr={:<5} N={:<6} k'={:<3} D={} d={:.2}\n",
+                    crate::common::label(&t),
+                    t.num_routers(),
+                    t.num_endpoints(),
+                    t.network_radix(),
+                    d,
+                    apl
+                ));
+            }
+        }
+    }
+    csv.finish();
+    write_summary("table5_topologies", &summary);
+}

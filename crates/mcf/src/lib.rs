@@ -1,0 +1,13 @@
+//! # fatpaths-mcf
+//!
+//! Maximum-Achievable-Throughput (MAT) analysis of §VI: a Garg–Könemann
+//! max-concurrent-flow solver over per-scheme candidate path sets, the
+//! worst-case traffic generator, and the glue that reproduces Fig. 9.
+
+pub mod gk;
+pub mod mat;
+pub mod worstcase;
+
+pub use gk::{max_concurrent_flow, Commodity, McfResult};
+pub use mat::{mat, router_demands, KspPaths, LayeredPaths, PastPaths, PathProvider, RouterDemand};
+pub use worstcase::{worst_case_flows, worst_case_router_matching};

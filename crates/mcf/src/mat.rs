@@ -1,0 +1,204 @@
+//! Maximum Achievable Throughput (MAT) evaluation per routing scheme —
+//! the machinery behind Fig. 9 (§VI-C).
+//!
+//! For a topology, a routing scheme, and a traffic pattern, MAT is the
+//! largest `T` such that every commodity can ship `T · demand`
+//! concurrently. Commodity candidate paths come from the scheme:
+//!
+//! * **FatPaths layered routing** — one destination-based path per layer;
+//! * **SPAIN** — the path within each (forest) layer that connects the
+//!   pair, where one exists;
+//! * **PAST** — the single tree path of the destination's spanning tree;
+//! * **k-shortest paths** — Yen's paths.
+
+use crate::gk::{max_concurrent_flow, Commodity, McfResult};
+use fatpaths_net::graph::{Graph, RouterId};
+use fatpaths_core::fwd::RoutingTables;
+use fatpaths_core::ksp::k_shortest_paths;
+use fatpaths_core::past::PastTrees;
+use rustc_hash::FxHashMap;
+
+/// A demand between two routers.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterDemand {
+    /// Source router.
+    pub src: RouterId,
+    /// Destination router.
+    pub dst: RouterId,
+    /// Requested flow.
+    pub demand: f64,
+}
+
+/// Provides candidate router-paths for (src, dst) pairs.
+pub trait PathProvider {
+    /// Candidate paths as router sequences (`src ..= dst`).
+    fn paths(&self, src: RouterId, dst: RouterId) -> Vec<Vec<RouterId>>;
+    /// Number of "layers" (hardware resource cost, §VI-B).
+    fn layer_cost(&self) -> usize;
+}
+
+/// FatPaths / SPAIN style: one path per layer from forwarding tables.
+pub struct LayeredPaths<'a> {
+    /// Base graph the tables were built on.
+    pub base: &'a Graph,
+    /// The per-layer forwarding tables.
+    pub tables: &'a RoutingTables,
+}
+
+impl PathProvider for LayeredPaths<'_> {
+    fn paths(&self, src: RouterId, dst: RouterId) -> Vec<Vec<RouterId>> {
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        for layer in 0..self.tables.n_layers() {
+            if let Some(p) = self.tables.path(self.base, layer, src, dst) {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    fn layer_cost(&self) -> usize {
+        self.tables.n_layers()
+    }
+}
+
+/// PAST: the unique per-destination tree path.
+pub struct PastPaths<'a> {
+    /// The per-destination spanning trees.
+    pub trees: &'a PastTrees,
+}
+
+impl PathProvider for PastPaths<'_> {
+    fn paths(&self, src: RouterId, dst: RouterId) -> Vec<Vec<RouterId>> {
+        self.trees.path(src, dst).into_iter().collect()
+    }
+
+    fn layer_cost(&self) -> usize {
+        self.trees.num_trees()
+    }
+}
+
+/// Yen's k shortest paths.
+pub struct KspPaths<'a> {
+    /// The graph.
+    pub graph: &'a Graph,
+    /// Paths per pair.
+    pub k: usize,
+}
+
+impl PathProvider for KspPaths<'_> {
+    fn paths(&self, src: RouterId, dst: RouterId) -> Vec<Vec<RouterId>> {
+        k_shortest_paths(self.graph, src, dst, self.k)
+    }
+
+    fn layer_cost(&self) -> usize {
+        self.k
+    }
+}
+
+/// Computes MAT: assembles commodities (router paths → edge-id paths) and
+/// runs the Garg–Könemann solver with unit edge capacities.
+pub fn mat<P: PathProvider>(g: &Graph, demands: &[RouterDemand], provider: &P, eps: f64) -> McfResult {
+    let edge_index: FxHashMap<(u32, u32), u32> = g.edge_index_map();
+    let commodities: Vec<Commodity> = demands
+        .iter()
+        .map(|d| {
+            let paths = provider
+                .paths(d.src, d.dst)
+                .into_iter()
+                .map(|p| {
+                    p.windows(2)
+                        .map(|w| edge_index[&(w[0].min(w[1]), w[0].max(w[1]))])
+                        .collect::<Vec<u32>>()
+                })
+                .filter(|p| !p.is_empty())
+                .collect();
+            Commodity { demand: d.demand, paths }
+        })
+        .collect();
+    let capacities = vec![1.0f64; g.m()];
+    max_concurrent_flow(&capacities, &commodities, eps)
+}
+
+/// Aggregates endpoint flows into router demands (flows between endpoints
+/// of the same router pair merge; intra-router flows are dropped).
+pub fn router_demands(
+    flows: &[(u32, u32)],
+    endpoint_router: impl Fn(u32) -> RouterId,
+) -> Vec<RouterDemand> {
+    let mut map: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+    for &(s, t) in flows {
+        let (rs, rt) = (endpoint_router(s), endpoint_router(t));
+        if rs != rt {
+            *map.entry((rs, rt)).or_insert(0.0) += 1.0;
+        }
+    }
+    map.into_iter()
+        .map(|((src, dst), demand)| RouterDemand { src, dst, demand })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worstcase::worst_case_flows;
+    use fatpaths_core::layers::{build_random_layers, LayerConfig, LayerSet};
+    use fatpaths_core::past::PastVariant;
+    use fatpaths_net::topo::slimfly::slim_fly;
+
+    #[test]
+    fn layered_beats_past_on_slim_fly_worst_case() {
+        // The Fig. 9 headline: FatPaths layered routing outperforms PAST on
+        // low-diameter topologies under worst-case traffic.
+        let t = slim_fly(5, 3).unwrap();
+        let flows = worst_case_flows(&t, 0.55, 1);
+        let demands = router_demands(&flows, |e| t.endpoint_router(e));
+        let ls = build_random_layers(&t.graph, &LayerConfig::new(6, 0.6, 2));
+        let rt = RoutingTables::build(&t.graph, &ls);
+        let fat = mat(&t.graph, &demands, &LayeredPaths { base: &t.graph, tables: &rt }, 0.08);
+        let trees = PastTrees::build(&t.graph, PastVariant::Bfs, 3);
+        let past = mat(&t.graph, &demands, &PastPaths { trees: &trees }, 0.08);
+        assert!(
+            fat.throughput > past.throughput,
+            "FatPaths {} ≤ PAST {}",
+            fat.throughput,
+            past.throughput
+        );
+    }
+
+    #[test]
+    fn more_layers_do_not_hurt() {
+        let t = slim_fly(5, 3).unwrap();
+        let flows = worst_case_flows(&t, 0.55, 4);
+        let demands = router_demands(&flows, |e| t.endpoint_router(e));
+        let l1 = LayerSet::minimal_only(&t.graph);
+        let rt1 = RoutingTables::build(&t.graph, &l1);
+        let single = mat(&t.graph, &demands, &LayeredPaths { base: &t.graph, tables: &rt1 }, 0.08);
+        let l6 = build_random_layers(&t.graph, &LayerConfig::new(6, 0.6, 5));
+        let rt6 = RoutingTables::build(&t.graph, &l6);
+        let six = mat(&t.graph, &demands, &LayeredPaths { base: &t.graph, tables: &rt6 }, 0.08);
+        assert!(six.throughput >= single.throughput * 0.95, "{} vs {}", six.throughput, single.throughput);
+    }
+
+    #[test]
+    fn router_demand_merging() {
+        let demands = router_demands(&[(0, 4), (1, 5), (2, 2)], |e| e / 2);
+        // (0,4)→routers (0,2); (1,5)→(0,2); (2,2)→(1,1) dropped.
+        assert_eq!(demands.len(), 1);
+        assert_eq!(demands[0].demand, 2.0);
+    }
+
+    #[test]
+    fn ksp_provider_paths_are_valid() {
+        let t = slim_fly(5, 1).unwrap();
+        let p = KspPaths { graph: &t.graph, k: 4 };
+        let paths = p.paths(0, 33);
+        assert_eq!(paths.len(), 4);
+        for path in paths {
+            for w in path.windows(2) {
+                assert!(t.graph.has_edge(w[0], w[1]));
+            }
+        }
+    }
+}

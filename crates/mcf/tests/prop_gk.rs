@@ -1,0 +1,52 @@
+//! Property-based tests for the Garg–Könemann solver: feasibility, scale
+//! invariance, and monotonicity.
+
+use fatpaths_mcf::gk::{max_concurrent_flow, Commodity};
+use proptest::prelude::*;
+
+/// Random small instance: `m` edges, up to 6 commodities with 1–3 paths.
+fn arb_instance() -> impl Strategy<Value = (usize, Vec<Commodity>)> {
+    (3usize..10).prop_flat_map(|m| {
+        let path = prop::collection::vec(0..m as u32, 1..4);
+        let com = (0.5f64..4.0, prop::collection::vec(path, 1..4))
+            .prop_map(|(demand, paths)| Commodity { demand, paths });
+        (Just(m), prop::collection::vec(com, 1..6))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solution_is_feasible((m, coms) in arb_instance()) {
+        let caps = vec![1.0; m];
+        let r = max_concurrent_flow(&caps, &coms, 0.1);
+        prop_assert!(r.throughput >= 0.0);
+        for (i, &u) in r.edge_utilization.iter().enumerate() {
+            prop_assert!(u <= 1.0 + 0.05, "edge {i} utilization {u} infeasible");
+        }
+    }
+
+    #[test]
+    fn throughput_scales_with_capacity((m, coms) in arb_instance()) {
+        let r1 = max_concurrent_flow(&vec![1.0; m], &coms, 0.1);
+        let r3 = max_concurrent_flow(&vec![3.0; m], &coms, 0.1);
+        prop_assume!(r1.throughput > 1e-6);
+        let ratio = r3.throughput / r1.throughput;
+        prop_assert!((2.5..3.6).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn more_demand_never_more_throughput((m, coms) in arb_instance()) {
+        let caps = vec![1.0; m];
+        let r1 = max_concurrent_flow(&caps, &coms, 0.1);
+        let doubled: Vec<Commodity> = coms
+            .iter()
+            .map(|c| Commodity { demand: c.demand * 2.0, paths: c.paths.clone() })
+            .collect();
+        let r2 = max_concurrent_flow(&caps, &doubled, 0.1);
+        // Doubling every demand halves the achievable scaler (±ε slack).
+        prop_assert!(r2.throughput <= r1.throughput * 0.65 + 1e-9,
+            "T(2d)={} vs T(d)={}", r2.throughput, r1.throughput);
+    }
+}

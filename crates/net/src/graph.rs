@@ -1,0 +1,327 @@
+//! Compact undirected graph used for all topology and routing work.
+//!
+//! The graph is stored in CSR (compressed sparse row) form with sorted
+//! neighbor lists, so membership queries are `O(log k')` and the whole
+//! structure is two flat allocations. Routers are identified by dense
+//! `u32` ids (`RouterId`), matching the paper's model where endpoints are
+//! not part of the router graph (§II-A).
+
+/// Dense identifier of a router (the paper's vertex set `V`).
+pub type RouterId = u32;
+
+/// Distance value returned by BFS; `UNREACHABLE` marks disconnected pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// An undirected simple graph over routers `0..n` in CSR form.
+///
+/// Neighbor lists are sorted, which gives each incident edge of a router a
+/// stable *port number* (its index in the list) — the simulator and the
+/// forwarding tables address links through these ports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    neigh: Vec<RouterId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` routers from an undirected edge list.
+    ///
+    /// Self-loops are rejected; duplicate edges (in either orientation) are
+    /// collapsed. Panics if an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(RouterId, RouterId)]) -> Self {
+        let mut adj: Vec<Vec<RouterId>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range for n={n}"
+            );
+            assert_ne!(u, v, "self-loop at router {u}");
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neigh = Vec::with_capacity(edges.len() * 2);
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            neigh.extend_from_slice(list);
+            offsets.push(neigh.len() as u32);
+        }
+        Graph { offsets, neigh }
+    }
+
+    /// Number of routers.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.neigh.len() / 2
+    }
+
+    /// Sorted neighbor list of `u`; index into it is the port number.
+    #[inline]
+    pub fn neighbors(&self, u: RouterId) -> &[RouterId] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.neigh[lo..hi]
+    }
+
+    /// Degree (network radix `k'` for regular topologies) of `u`.
+    #[inline]
+    pub fn degree(&self, u: RouterId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Maximum degree over all routers.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|u| self.degree(u as u32)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all routers.
+    pub fn min_degree(&self) -> usize {
+        (0..self.n()).map(|u| self.degree(u as u32)).min().unwrap_or(0)
+    }
+
+    /// True iff every router has the same degree.
+    pub fn is_regular(&self) -> bool {
+        self.max_degree() == self.min_degree()
+    }
+
+    /// True iff `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: RouterId, v: RouterId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Port of `u` that leads to `v`, if the link exists.
+    #[inline]
+    pub fn port_of(&self, u: RouterId, v: RouterId) -> Option<u32> {
+        self.neighbors(u).binary_search(&v).ok().map(|p| p as u32)
+    }
+
+    /// Neighbor of `u` behind port `port`.
+    #[inline]
+    pub fn neighbor_at(&self, u: RouterId, port: u32) -> RouterId {
+        self.neighbors(u)[port as usize]
+    }
+
+    /// Iterates over undirected edges as `(u, v)` with `u < v`, in canonical
+    /// order (by `u`, then by `v`). Parallel metadata (e.g. link classes) is
+    /// stored in this order.
+    pub fn edges(&self) -> impl Iterator<Item = (RouterId, RouterId)> + '_ {
+        (0..self.n() as u32)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u < v)
+    }
+
+    /// Collects the canonical edge list.
+    pub fn edge_vec(&self) -> Vec<(RouterId, RouterId)> {
+        self.edges().collect()
+    }
+
+    /// Index of canonical edge `{u, v}` into [`Graph::edge_vec`] order.
+    ///
+    /// Built lazily by callers that need it; provided here for convenience
+    /// as a linear scan-free lookup using per-router prefix counts.
+    pub fn edge_index_map(&self) -> rustc_hash::FxHashMap<(RouterId, RouterId), u32> {
+        let mut map = rustc_hash::FxHashMap::default();
+        map.reserve(self.m());
+        for (i, (u, v)) in self.edges().enumerate() {
+            map.insert((u, v), i as u32);
+        }
+        map
+    }
+
+    /// BFS hop distances from `src` into `dist` (resized and overwritten).
+    /// Unreached routers get [`UNREACHABLE`].
+    pub fn bfs_into(&self, src: RouterId, dist: &mut Vec<u32>, queue: &mut Vec<RouterId>) {
+        dist.clear();
+        dist.resize(self.n(), UNREACHABLE);
+        queue.clear();
+        dist[src as usize] = 0;
+        queue.push(src);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let du = dist[u as usize];
+            for &v in self.neighbors(u) {
+                if dist[v as usize] == UNREACHABLE {
+                    dist[v as usize] = du + 1;
+                    queue.push(v);
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around [`Graph::bfs_into`].
+    pub fn bfs(&self, src: RouterId) -> Vec<u32> {
+        let mut dist = Vec::new();
+        let mut queue = Vec::new();
+        self.bfs_into(src, &mut dist, &mut queue);
+        dist
+    }
+
+    /// True iff the graph is connected (vacuously true for `n == 0`).
+    pub fn is_connected(&self) -> bool {
+        if self.n() == 0 {
+            return true;
+        }
+        let dist = self.bfs(0);
+        dist.iter().all(|&d| d != UNREACHABLE)
+    }
+
+    /// Exact diameter and average shortest path length over all ordered
+    /// router pairs. `O(n·m)`; intended for construction-time validation and
+    /// small/medium instances. Returns `(diameter, avg_path_length)`.
+    /// Panics if the graph is disconnected.
+    pub fn diameter_apl(&self) -> (u32, f64) {
+        let mut diam = 0u32;
+        let mut total = 0u64;
+        let mut dist = Vec::new();
+        let mut queue = Vec::new();
+        for src in 0..self.n() as u32 {
+            self.bfs_into(src, &mut dist, &mut queue);
+            for (v, &d) in dist.iter().enumerate() {
+                assert!(d != UNREACHABLE, "graph disconnected at ({src},{v})");
+                diam = diam.max(d);
+                total += d as u64;
+            }
+        }
+        let pairs = (self.n() as u64) * (self.n() as u64 - 1);
+        (diam, total as f64 / pairs as f64)
+    }
+
+    /// Sampled estimate of `(diameter_lower_bound, avg_path_length)` using
+    /// `samples` BFS sources chosen deterministically. Suitable for large
+    /// instances where `O(n·m)` all-pairs is too expensive.
+    pub fn diameter_apl_sampled(&self, samples: usize) -> (u32, f64) {
+        let n = self.n();
+        let take = samples.min(n).max(1);
+        let stride = (n / take).max(1);
+        let mut diam = 0u32;
+        let mut total = 0u64;
+        let mut count = 0u64;
+        let mut dist = Vec::new();
+        let mut queue = Vec::new();
+        for i in 0..take {
+            let src = ((i * stride) % n) as u32;
+            self.bfs_into(src, &mut dist, &mut queue);
+            for &d in &dist {
+                if d != UNREACHABLE {
+                    diam = diam.max(d);
+                    total += d as u64;
+                    count += 1;
+                }
+            }
+            count -= 1; // exclude the src->src zero
+        }
+        (diam, total as f64 / count.max(1) as f64)
+    }
+
+    /// Sum of all degrees (`2m`), i.e. total directed link count.
+    pub fn total_ports(&self) -> usize {
+        self.neigh.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn csr_layout_and_ports() {
+        let g = path3();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.port_of(1, 2), Some(1));
+        assert_eq!(g.port_of(0, 2), None);
+        assert_eq!(g.neighbor_at(1, 0), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = Graph::from_edges(2, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let _ = Graph::from_edges(2, &[(0, 0)]);
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let g = path3();
+        assert_eq!(g.bfs(0), vec![0, 1, 2]);
+        assert_eq!(g.bfs(1), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        assert_eq!(g.bfs(0)[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        // 6-cycle: diameter 3, APL = (1+1+2+2+3)/5 = 1.8
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let (d, apl) = g.diameter_apl();
+        assert_eq!(d, 3);
+        assert!((apl - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edges_canonical_order() {
+        let g = Graph::from_edges(4, &[(2, 1), (0, 3), (0, 1)]);
+        let edges = g.edge_vec();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+        let idx = g.edge_index_map();
+        assert_eq!(idx[&(0, 3)], 1);
+    }
+
+    #[test]
+    fn complete_graph_props() {
+        let n = 8u32;
+        let mut e = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                e.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(n as usize, &e);
+        assert!(g.is_regular());
+        assert_eq!(g.degree(0), 7);
+        let (d, apl) = g.diameter_apl();
+        assert_eq!(d, 1);
+        assert!((apl - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_apl_close_to_exact_on_symmetric_graph() {
+        let mut e = Vec::new();
+        let n = 20u32;
+        for u in 0..n {
+            e.push((u, (u + 1) % n));
+        }
+        let g = Graph::from_edges(n as usize, &e);
+        let (d_exact, apl_exact) = g.diameter_apl();
+        let (d_s, apl_s) = g.diameter_apl_sampled(20);
+        assert_eq!(d_exact, d_s);
+        assert!((apl_exact - apl_s).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,44 @@
+//! Fully connected router graph (diameter 1).
+//!
+//! Used by the paper as a corner case and lower bound (Appendix A-G) and to
+//! study collision multiplicity on Dragonfly's global-link structure
+//! (Fig. 4, Fig. 12): the group-level graph of a balanced Dragonfly is a
+//! complete graph.
+
+use super::{LinkClass, TopoKind, Topology};
+
+/// Builds a complete graph over `kprime + 1` routers with `p` endpoints per
+/// router (the paper uses `p = k'`).
+pub fn complete(kprime: u32, p: u32) -> Topology {
+    let nr = (kprime + 1) as usize;
+    let mut edges = Vec::with_capacity(nr * (nr - 1) / 2);
+    for u in 0..nr as u32 {
+        for v in (u + 1)..nr as u32 {
+            edges.push((u, v, LinkClass::Short));
+        }
+    }
+    Topology::assemble(
+        TopoKind::Complete,
+        format!("CG(k'={kprime},p={p})"),
+        nr,
+        edges,
+        Topology::uniform_concentration(nr, p),
+        1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_diameter() {
+        let t = complete(10, 10);
+        assert_eq!(t.num_routers(), 11);
+        assert_eq!(t.network_radix(), 10);
+        assert_eq!(t.num_endpoints(), 110);
+        let (d, apl) = t.graph.diameter_apl();
+        assert_eq!(d, 1);
+        assert!((apl - 1.0).abs() < 1e-12);
+    }
+}

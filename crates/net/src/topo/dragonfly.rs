@@ -1,0 +1,106 @@
+//! Balanced Dragonfly topology (Kim, Dally, Scott, Abts — ISCA'08).
+//!
+//! The "balanced, maximum capacity" variant used by the paper (Appendix A):
+//! a single parameter `p` determines everything via `a = 2p`, `h = p`,
+//! `g = a·h + 1` groups, so `Nr = a·g = 4p³ + 2p` and `k' = a − 1 + h =
+//! 3p − 1`, diameter 3. Each group is a complete graph of `a` routers;
+//! groups form a complete graph with exactly one global link per group pair.
+
+use super::{LinkClass, TopoKind, Topology};
+
+/// Builds a balanced Dragonfly from the single parameter `p`
+/// (endpoints per router; `a = 2p` routers per group, `h = p` global links
+/// per router).
+pub fn dragonfly(p: u32) -> Topology {
+    assert!(p >= 1, "dragonfly needs p >= 1");
+    let a = 2 * p;
+    let h = p;
+    let g = a * h + 1; // number of groups
+    let nr = (a * g) as usize;
+    let rid = |group: u32, idx: u32| -> u32 { group * a + idx };
+    let mut edges = Vec::new();
+    // Intra-group complete graphs (local, copper).
+    for grp in 0..g {
+        for i in 0..a {
+            for j in (i + 1)..a {
+                edges.push((rid(grp, i), rid(grp, j), LinkClass::Short));
+            }
+        }
+    }
+    // Global links (fiber): group gi's global port t ∈ [0, g-1) connects to
+    // group (t if t < gi else t+1); router owning port t is t / h. The
+    // reverse port in the peer group is (gi if gi < gj else gi-1), giving
+    // exactly one link per group pair.
+    for gi in 0..g {
+        for t in 0..(g - 1) {
+            let gj = if t < gi { t } else { t + 1 };
+            if gi < gj {
+                let back = gi; // gi < gj so peer port index is gi
+                let u = rid(gi, t / h);
+                let v = rid(gj, back / h);
+                edges.push((u, v, LinkClass::Long));
+            }
+        }
+    }
+    let topo = Topology::assemble(
+        TopoKind::Dragonfly,
+        format!("DF(p={p})"),
+        nr,
+        edges,
+        Topology::uniform_concentration(nr, p),
+        3,
+    );
+    debug_assert_eq!(topo.network_radix() as u32, 3 * p - 1);
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_counts() {
+        // Table V: Nr = 4p³ + 2p, k' = 3p − 1, N = p·Nr.
+        for p in [2u32, 3, 4] {
+            let t = dragonfly(p);
+            assert_eq!(t.num_routers() as u32, 4 * p * p * p + 2 * p, "p={p}");
+            assert_eq!(t.network_radix() as u32, 3 * p - 1, "p={p}");
+            assert!(t.graph.is_regular(), "p={p}");
+            assert_eq!(t.num_endpoints() as u32, p * (4 * p * p * p + 2 * p));
+        }
+    }
+
+    #[test]
+    fn diameter_is_three() {
+        let t = dragonfly(3);
+        let (d, _) = t.graph.diameter_apl();
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn one_global_link_per_group_pair() {
+        let p = 2;
+        let t = dragonfly(p);
+        let a = 2 * p;
+        let g = a * p + 1;
+        // Count global links between each pair of groups.
+        let mut counts = std::collections::HashMap::new();
+        for (u, v) in t.graph.edges() {
+            let (gu, gv) = (u / a, v / a);
+            if gu != gv {
+                *counts.entry((gu.min(gv), gu.max(gv))).or_insert(0u32) += 1;
+            }
+        }
+        assert_eq!(counts.len() as u32, g * (g - 1) / 2);
+        assert!(counts.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn paper_config_p8() {
+        // Table IV: DF with k'=23, Nr=2064, N=16512.
+        let t = dragonfly(8);
+        assert_eq!(t.num_routers(), 2064);
+        assert_eq!(t.network_radix(), 23);
+        assert_eq!(t.num_endpoints(), 16512);
+    }
+}

@@ -1,0 +1,88 @@
+//! Regular HyperX / Hamming graph topology (Ahn et al., SC'09).
+//!
+//! Routers are points of an `L`-dimensional array with side `S`; two routers
+//! are linked iff they differ in exactly one coordinate (each 1-D line is a
+//! clique). This generalizes Flattened Butterflies; the paper uses regular
+//! `(L, S, K=1, p)` instances with `L ∈ {2, 3}` (Appendix A):
+//! `Nr = S^L`, `k' = L·(S−1)`, `D = L`, `p = ⌈k'/L⌉`.
+
+use super::{LinkClass, TopoKind, Topology};
+
+/// Builds a regular HyperX with `dims` dimensions of side `side` and `p`
+/// endpoints per router. Dimension-0 links are classed short (same chassis
+/// row); higher dimensions long.
+pub fn hyperx(dims: u32, side: u32, p: u32) -> Topology {
+    assert!(dims >= 1 && side >= 2);
+    let nr = (side as u64).pow(dims) as usize;
+    assert!(nr <= u32::MAX as usize, "HyperX too large");
+    let mut edges = Vec::new();
+    // Stride of dimension d is side^d; vertices with equal coordinates in
+    // all other dimensions form a clique along d.
+    for d in 0..dims {
+        let stride = (side as u64).pow(d) as u32;
+        let class = if d == 0 { LinkClass::Short } else { LinkClass::Long };
+        for v in 0..nr as u32 {
+            let coord = (v / stride) % side;
+            for c2 in (coord + 1)..side {
+                let u = v + (c2 - coord) * stride;
+                edges.push((v, u, class));
+            }
+        }
+    }
+    let topo = Topology::assemble(
+        TopoKind::HyperX,
+        format!("HX{dims}(S={side},p={p})"),
+        nr,
+        edges,
+        Topology::uniform_concentration(nr, p),
+        dims,
+    );
+    debug_assert_eq!(topo.network_radix() as u32, dims * (side - 1));
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_counts() {
+        let t = hyperx(2, 4, 2);
+        assert_eq!(t.num_routers(), 16);
+        assert_eq!(t.network_radix(), 2 * 3);
+        assert!(t.graph.is_regular());
+        let (d, _) = t.graph.diameter_apl();
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn three_dims_diameter_three() {
+        let t = hyperx(3, 4, 2);
+        assert_eq!(t.num_routers(), 64);
+        assert_eq!(t.network_radix(), 9);
+        let (d, _) = t.graph.diameter_apl();
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn paper_config_s11() {
+        // Table IV: HX with k'=30, Nr=1331 (S=11, L=3), N=13310 (p=10).
+        let t = hyperx(3, 11, 10);
+        assert_eq!(t.num_routers(), 1331);
+        assert_eq!(t.network_radix(), 30);
+        assert_eq!(t.num_endpoints(), 13310);
+    }
+
+    #[test]
+    fn minimal_path_diversity_of_hamming_graph() {
+        // Two routers differing in 2 coordinates have exactly 2 shortest
+        // paths (via either intermediate corner) — the property §IV-C1
+        // highlights for HX.
+        let t = hyperx(2, 4, 1);
+        let g = &t.graph;
+        // routers 0=(0,0) and 5=(1,1): corners 1=(1,0) and 4=(0,1).
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 5));
+        assert!(g.has_edge(0, 4) && g.has_edge(4, 5));
+        assert!(!g.has_edge(0, 5));
+    }
+}

@@ -1,0 +1,244 @@
+//! Jellyfish topology — a uniform random `k'`-regular graph
+//! (Singla et al., NSDI'12; "homogeneous" variant).
+//!
+//! The paper uses Jellyfish as the randomized control for every
+//! deterministic topology: for each network `X`, an *equivalent Jellyfish*
+//! `X-JF` with identical `Nr`, `k'`, and `p` (§II-B). We generate random
+//! regular graphs by stub matching followed by degree-preserving 2-swaps
+//! that remove self-loops, multi-edges, and finally stitch components
+//! together, so the result is always simple, connected, and exactly
+//! `k'`-regular.
+
+use super::{LinkClass, TopoKind, Topology};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rustc_hash::FxHashSet;
+
+/// Builds a Jellyfish instance: a connected random `kprime`-regular graph on
+/// `nr` routers with `p` endpoints each. `nr * kprime` must be even and
+/// `kprime < nr`. Deterministic in `seed`.
+pub fn jellyfish(nr: usize, kprime: u32, p: u32, seed: u64) -> Topology {
+    let graph_edges = random_regular_edges(nr, kprime as usize, seed);
+    let edges: Vec<(u32, u32, LinkClass)> = graph_edges
+        .into_iter()
+        .map(|(u, v)| (u, v, LinkClass::Long))
+        .collect();
+    Topology::assemble(
+        TopoKind::Jellyfish,
+        format!("JF(Nr={nr},k'={kprime},p={p})"),
+        nr,
+        edges,
+        Topology::uniform_concentration(nr, p),
+        3, // typical diameter for the paper's configurations (§II-B)
+    )
+}
+
+/// Builds the *equivalent Jellyfish* of another topology: identical router
+/// count, network radix, and per-router concentration (§II-B).
+pub fn equivalent_jellyfish(other: &Topology, seed: u64) -> Topology {
+    let nr = other.num_routers();
+    let kprime = other.network_radix() as u32;
+    // Keep total endpoint count identical even for non-uniform topologies
+    // (fat trees): spread endpoints uniformly, remainder on low ids.
+    let n = other.num_endpoints();
+    let base = (n / nr) as u32;
+    let rem = n % nr;
+    let mut conc = vec![base; nr];
+    for c in conc.iter_mut().take(rem) {
+        *c += 1;
+    }
+    let graph_edges = random_regular_edges(nr, kprime as usize, seed);
+    let edges: Vec<(u32, u32, LinkClass)> = graph_edges
+        .into_iter()
+        .map(|(u, v)| (u, v, LinkClass::Long))
+        .collect();
+    let mut t = Topology::assemble(
+        TopoKind::Jellyfish,
+        format!("{}-JF", other.kind.label()),
+        nr,
+        edges,
+        conc,
+        3,
+    );
+    t.name = format!("{}-JF(Nr={nr},k'={kprime})", other.kind.label());
+    t
+}
+
+/// Generates the edge set of a connected simple random `k`-regular graph.
+pub fn random_regular_edges(n: usize, k: usize, seed: u64) -> Vec<(u32, u32)> {
+    assert!(k < n, "degree {k} must be < n={n}");
+    assert!(n * k % 2 == 0, "n*k must be even");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for attempt in 0..64 {
+        if let Some(edges) = try_generate(n, k, &mut rng) {
+            return edges;
+        }
+        // Extremely unlikely for the paper's parameter ranges; reseed and retry.
+        rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_mul(attempt + 2));
+    }
+    panic!("failed to generate random regular graph n={n} k={k}");
+}
+
+fn try_generate(n: usize, k: usize, rng: &mut StdRng) -> Option<Vec<(u32, u32)>> {
+    // Stub matching.
+    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(k)).collect();
+    stubs.shuffle(rng);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
+    let mut set: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let key = |u: u32, v: u32| (u.min(v), u.max(v));
+    let mut bad: Vec<usize> = Vec::new();
+    for i in (0..stubs.len()).step_by(2) {
+        let (u, v) = (stubs[i], stubs[i + 1]);
+        if u == v || set.contains(&key(u, v)) {
+            bad.push(edges.len());
+            edges.push((u, v)); // placeholder, repaired below
+        } else {
+            set.insert(key(u, v));
+            edges.push((u, v));
+        }
+    }
+    // Repair bad pairs by 2-swaps with random good edges.
+    let mut tries = 0usize;
+    while let Some(&bi) = bad.last() {
+        tries += 1;
+        if tries > 200 * n * k {
+            return None;
+        }
+        let (u, v) = edges[bi];
+        let oi = rng.random_range(0..edges.len());
+        if oi == bi || bad.contains(&oi) {
+            continue;
+        }
+        let (x, y) = edges[oi];
+        // Candidate replacement: (u,x) and (v,y).
+        if u == x || v == y || set.contains(&key(u, x)) || set.contains(&key(v, y)) {
+            continue;
+        }
+        set.remove(&key(x, y));
+        set.insert(key(u, x));
+        set.insert(key(v, y));
+        edges[bi] = (u, x);
+        edges[oi] = (v, y);
+        bad.pop();
+    }
+    // Stitch components: swap an edge from the main component with one from
+    // another component; this merges them while preserving degrees.
+    let mut tries = 0usize;
+    loop {
+        let comp = components(n, &edges);
+        let ncomp = *comp.iter().max().unwrap() + 1;
+        if ncomp == 1 {
+            break;
+        }
+        tries += 1;
+        if tries > 50 * n {
+            return None;
+        }
+        // Pick one edge in component 0 and one in a different component.
+        let e0 = edges.iter().position(|&(u, _)| comp[u as usize] == 0)?;
+        let e1 = edges.iter().position(|&(u, _)| comp[u as usize] != 0)?;
+        let (u, v) = edges[e0];
+        let (x, y) = edges[e1];
+        if set.contains(&key(u, x)) || set.contains(&key(v, y)) {
+            // Try the other pairing.
+            if set.contains(&key(u, y)) || set.contains(&key(v, x)) {
+                return None; // dense corner case; restart with a new seed
+            }
+            set.remove(&key(u, v));
+            set.remove(&key(x, y));
+            set.insert(key(u, y));
+            set.insert(key(v, x));
+            edges[e0] = (u, y);
+            edges[e1] = (v, x);
+        } else {
+            set.remove(&key(u, v));
+            set.remove(&key(x, y));
+            set.insert(key(u, x));
+            set.insert(key(v, y));
+            edges[e0] = (u, x);
+            edges[e1] = (v, y);
+        }
+    }
+    Some(edges)
+}
+
+fn components(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    // Union-find.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for &(u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+        }
+    }
+    // Relabel roots densely, with router 0's component first.
+    let root0 = find(&mut parent, 0);
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 1u32;
+    let mut out = vec![0u32; n];
+    for v in 0..n as u32 {
+        let r = find(&mut parent, v);
+        let lbl = if r == root0 {
+            0
+        } else if labels[r as usize] != u32::MAX {
+            labels[r as usize]
+        } else {
+            labels[r as usize] = next;
+            next += 1;
+            labels[r as usize]
+        };
+        out[v as usize] = lbl;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_simple_connected() {
+        for (n, k, seed) in [(50usize, 5usize, 1u64), (100, 8, 2), (242, 17, 3)] {
+            let t = jellyfish(n, k as u32, 4, seed);
+            assert_eq!(t.num_routers(), n);
+            assert!(t.graph.is_regular(), "n={n} k={k}");
+            assert_eq!(t.network_radix(), k);
+            assert!(t.graph.is_connected());
+            assert_eq!(t.graph.m(), n * k / 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_regular_edges(60, 6, 42);
+        let b = random_regular_edges(60, 6, 42);
+        assert_eq!(a, b);
+        let c = random_regular_edges(60, 6, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn equivalent_jf_matches_source() {
+        let sf = crate::topo::slimfly::slim_fly(7, 5).unwrap();
+        let jf = equivalent_jellyfish(&sf, 7);
+        assert_eq!(jf.num_routers(), sf.num_routers());
+        assert_eq!(jf.network_radix(), sf.network_radix());
+        assert_eq!(jf.num_endpoints(), sf.num_endpoints());
+        assert!(jf.graph.is_connected());
+    }
+
+    #[test]
+    fn low_diameter_at_paper_scale() {
+        // A JF matching SF(q=11) (Nr=242, k'=17) should have diameter <= 4.
+        let t = jellyfish(242, 17, 8, 11);
+        let (d, _) = t.graph.diameter_apl();
+        assert!(d <= 4, "diameter {d}");
+    }
+}

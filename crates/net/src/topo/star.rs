@@ -1,0 +1,34 @@
+//! Star / single-crossbar baseline (Appendix D-A).
+//!
+//! One switch with `n` endpoints and no inter-router links. The paper uses
+//! it to characterize pure transport-protocol effects (TCP slow start, flow
+//! control) absent any topological contention — an upper bound on per-flow
+//! performance (Figs. 20–21).
+
+use super::{TopoKind, Topology};
+
+/// Builds a single-switch crossbar with `n` endpoints.
+pub fn star(n: u32) -> Topology {
+    Topology::assemble(
+        TopoKind::Star,
+        format!("ST(N={n})"),
+        1,
+        Vec::new(),
+        vec![n],
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_router_no_links() {
+        let t = star(60);
+        assert_eq!(t.num_routers(), 1);
+        assert_eq!(t.num_endpoints(), 60);
+        assert_eq!(t.graph.m(), 0);
+        assert_eq!(t.endpoint_router(59), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Xpander topology (Valadarsky, Dinitz, Schapira — HotNets'15).
+//!
+//! An Xpander is built by applying an `ℓ`-lift to the complete graph
+//! `K_{k'+1}`: every base vertex becomes a *metanode* of `ℓ` routers, and
+//! every base edge `(u, v)` is replaced by a random perfect matching between
+//! the copies of `u` and the copies of `v`. The result is `k'`-regular with
+//! `Nr = ℓ·(k' + 1)` routers and expander-grade path diversity. The paper
+//! restricts to `ℓ = k'`, `D ≈ 2–3`, `p = ⌈k'/2⌉` (Appendix A).
+
+use super::{LinkClass, TopoKind, Topology};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Builds an Xpander as a single `lift`-lift of `K_{kprime+1}` with `p`
+/// endpoints per router. Deterministic in `seed`. Retries lifts until the
+/// sampled instance is connected (failures are astronomically rare for the
+/// paper's parameters).
+pub fn xpander(kprime: u32, lift: u32, p: u32, seed: u64) -> Topology {
+    assert!(kprime >= 2 && lift >= 1);
+    let base = kprime + 1;
+    let nr = (lift * base) as usize;
+    let rid = |meta: u32, copy: u32| -> u32 { meta * lift + copy };
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..64 {
+        let mut edges = Vec::with_capacity((nr * kprime as usize) / 2);
+        let mut perm: Vec<u32> = (0..lift).collect();
+        for u in 0..base {
+            for v in (u + 1)..base {
+                perm.shuffle(&mut rng);
+                for i in 0..lift {
+                    edges.push((rid(u, i), rid(v, perm[i as usize]), LinkClass::Long));
+                }
+            }
+        }
+        let topo = Topology::assemble(
+            TopoKind::Xpander,
+            format!("XP(k'={kprime},l={lift},p={p})"),
+            nr,
+            edges,
+            Topology::uniform_concentration(nr, p),
+            3,
+        );
+        if topo.graph.is_connected() {
+            return topo;
+        }
+    }
+    panic!("failed to sample a connected Xpander (k'={kprime}, lift={lift})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lift_counts_and_regularity() {
+        let t = xpander(8, 8, 4, 1);
+        assert_eq!(t.num_routers(), 8 * 9);
+        assert!(t.graph.is_regular());
+        assert_eq!(t.network_radix(), 8);
+        assert!(t.graph.is_connected());
+    }
+
+    #[test]
+    fn no_intra_metanode_edges() {
+        let t = xpander(6, 6, 3, 2);
+        let lift = 6u32;
+        for (u, v) in t.graph.edges() {
+            assert_ne!(u / lift, v / lift, "edge inside a metanode");
+        }
+    }
+
+    #[test]
+    fn paper_config_k32() {
+        // Table IV: XP with k'=32, Nr=1056, N=16896 (p=16).
+        let t = xpander(32, 32, 16, 3);
+        assert_eq!(t.num_routers(), 1056);
+        assert_eq!(t.network_radix(), 32);
+        assert_eq!(t.num_endpoints(), 16896);
+        let (d, _) = t.graph.diameter_apl();
+        assert!(d <= 3, "diameter {d}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = xpander(6, 6, 3, 9);
+        let b = xpander(6, 6, 3, 9);
+        assert_eq!(a.graph, b.graph);
+    }
+}

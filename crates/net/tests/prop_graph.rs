@@ -1,0 +1,84 @@
+//! Property-based tests for the graph substrate and randomized topology
+//! generators.
+
+use fatpaths_net::graph::{Graph, UNREACHABLE};
+use fatpaths_net::topo::jellyfish::random_regular_edges;
+use fatpaths_net::topo::xpander::xpander;
+use proptest::prelude::*;
+
+/// Random edge list over `n` routers (may be disconnected).
+fn arb_edges(n: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n).prop_filter("no loops", |(u, v)| u != v), 1..200)
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric(edges in arb_edges(40)) {
+        let g = Graph::from_edges(40, &edges);
+        for u in 0..40u32 {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u), "asymmetric edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn ports_roundtrip(edges in arb_edges(40)) {
+        let g = Graph::from_edges(40, &edges);
+        for u in 0..40u32 {
+            for port in 0..g.degree(u) as u32 {
+                let v = g.neighbor_at(u, port);
+                prop_assert_eq!(g.port_of(u, v), Some(port));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_satisfies_triangle_inequality(edges in arb_edges(30)) {
+        // d(s,t) ≤ d(s,m) + d(m,t) for all reachable triples via one probe m.
+        let g = Graph::from_edges(30, &edges);
+        let ds = g.bfs(0);
+        let dm = g.bfs(7);
+        for t in 0..30usize {
+            if ds[7] != UNREACHABLE && dm[t] != UNREACHABLE {
+                prop_assert!(ds[t] != UNREACHABLE);
+                prop_assert!(ds[t] as u64 <= ds[7] as u64 + dm[t] as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_neighbors_differ_by_at_most_one(edges in arb_edges(30)) {
+        let g = Graph::from_edges(30, &edges);
+        let d = g.bfs(0);
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != UNREACHABLE && dv != UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1, "BFS dist jump across edge");
+            }
+        }
+    }
+
+    #[test]
+    fn jellyfish_always_regular_connected(
+        n in 10usize..60,
+        k in 3usize..8,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(k < n && (n * k) % 2 == 0);
+        let edges = random_regular_edges(n, k, seed);
+        let g = Graph::from_edges(n, &edges);
+        prop_assert!(g.is_regular());
+        prop_assert_eq!(g.degree(0), k);
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn xpander_structure(k in 4u32..10, seed in 0u64..20) {
+        let t = xpander(k, k, k / 2, seed);
+        prop_assert_eq!(t.num_routers() as u32, k * (k + 1));
+        prop_assert!(t.graph.is_regular());
+        prop_assert_eq!(t.network_radix() as u32, k);
+        prop_assert!(t.graph.is_connected());
+    }
+}

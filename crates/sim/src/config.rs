@@ -1,0 +1,163 @@
+//! Simulator configuration (§VII-A6 parameters).
+
+use crate::engine::TimePs;
+
+/// Transport family. Constants default to §VII-A6: NDP uses 9 KB jumbo
+/// frames, an 8-packet window and 8-packet queues; TCP uses 100-packet
+/// tail-drop queues with ECN marking at 33, fast retransmit at 3 dup-acks,
+/// a 200 µs minimum RTO.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Transport {
+    /// The FatPaths "purified" receiver-driven transport (NDP-derived):
+    /// line-rate first window, payload trimming, priority queues for
+    /// trimmed headers and retransmissions, paced pulls (§III-C).
+    Ndp {
+        /// Data-queue limit per router port, in packets.
+        queue_pkts: u32,
+        /// Initial window (packets pushed at line rate).
+        initial_window: u32,
+        /// Payload bytes per packet (jumbo frame).
+        mtu_payload: u32,
+    },
+    /// TCP family with per-ACK clocking (§VII-C / §VIII-A).
+    Tcp {
+        /// Congestion-control variant.
+        variant: TcpVariant,
+        /// Maximum segment size (payload bytes).
+        mss: u32,
+        /// Tail-drop queue limit per port, in packets.
+        queue_pkts: u32,
+        /// ECN marking threshold, in packets.
+        ecn_threshold: u32,
+        /// Lower bound on the retransmission timeout.
+        min_rto: TimePs,
+    },
+}
+
+impl Transport {
+    /// Paper-default NDP.
+    pub fn ndp_default() -> Transport {
+        Transport::Ndp { queue_pkts: 8, initial_window: 8, mtu_payload: 9000 }
+    }
+
+    /// Paper-default TCP of the given variant.
+    pub fn tcp_default(variant: TcpVariant) -> Transport {
+        Transport::Tcp {
+            variant,
+            mss: 1460,
+            queue_pkts: 100,
+            ecn_threshold: 33,
+            min_rto: 200_000_000, // 200 µs
+        }
+    }
+
+    /// Payload bytes per full packet.
+    pub fn payload(&self) -> u32 {
+        match *self {
+            Transport::Ndp { mtu_payload, .. } => mtu_payload,
+            Transport::Tcp { mss, .. } => mss,
+        }
+    }
+}
+
+/// TCP congestion-control variants (§VIII-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpVariant {
+    /// Classic Reno (loss-driven).
+    Reno,
+    /// Reno + ECN echo (RFC 3168): window halves on ECE, once per window.
+    EcnReno,
+    /// DCTCP: fractional window reduction by the marked fraction α.
+    Dctcp,
+}
+
+/// Load-balancing / path-selection scheme (§VII-A3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadBalancing {
+    /// Flow-hash ECMP over minimal paths (static; the lower-bound
+    /// baseline).
+    EcmpFlow,
+    /// Per-packet spraying over minimal paths (NDP's oblivious LB).
+    PacketSpray,
+    /// LetFlow: per-flowlet random re-pick over minimal paths.
+    LetFlow,
+    /// FatPaths: per-flowlet layer selection at the endpoint + NDP
+    /// trim-feedback layer change (§V-F).
+    FatPathsLayers,
+}
+
+/// Full simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Link rate in Gbit/s (all links homogeneous, §II-A).
+    pub link_gbps: f64,
+    /// Per-link one-way latency (propagation + the paper's fixed 1 µs).
+    pub link_latency: TimePs,
+    /// Transport family and constants.
+    pub transport: Transport,
+    /// Load-balancing scheme.
+    pub lb: LoadBalancing,
+    /// Flowlet gap (§VII-A6: 50 µs).
+    pub flowlet_gap: TimePs,
+    /// RNG seed (full determinism).
+    pub seed: u64,
+    /// Stop simulating at this time even if flows remain (0 = run to
+    /// completion).
+    pub horizon: TimePs,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            link_gbps: 10.0,
+            link_latency: 1_000_000, // 1 µs
+            transport: Transport::ndp_default(),
+            lb: LoadBalancing::FatPathsLayers,
+            flowlet_gap: 50_000_000, // 50 µs
+            seed: 1,
+            horizon: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Serialization time of `bytes` on a link, in ps.
+    #[inline]
+    pub fn ser_time(&self, bytes: u32) -> TimePs {
+        // 8 bits/byte at link_gbps·1e9 bit/s → bytes·8000/gbps ps.
+        (bytes as f64 * 8000.0 / self.link_gbps) as TimePs
+    }
+}
+
+/// Wire header bytes added to every packet (Ethernet + IP + transport).
+pub const HDR_BYTES: u32 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_10g() {
+        let c = SimConfig::default();
+        // 9064 B at 10 Gb/s = 7.2512 µs.
+        assert_eq!(c.ser_time(9064), 7_251_200);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        match Transport::ndp_default() {
+            Transport::Ndp { queue_pkts, initial_window, mtu_payload } => {
+                assert_eq!((queue_pkts, initial_window, mtu_payload), (8, 8, 9000));
+            }
+            _ => panic!(),
+        }
+        match Transport::tcp_default(TcpVariant::Dctcp) {
+            Transport::Tcp { queue_pkts, ecn_threshold, min_rto, .. } => {
+                assert_eq!(queue_pkts, 100);
+                assert_eq!(ecn_threshold, 33);
+                assert_eq!(min_rto, 200_000_000);
+            }
+            _ => panic!(),
+        }
+    }
+}

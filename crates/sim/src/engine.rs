@@ -1,0 +1,248 @@
+//! Discrete-event core: a deterministic time-ordered event queue and a
+//! packet slab.
+//!
+//! Events at equal timestamps are ordered by insertion sequence, so runs
+//! are bit-reproducible for a fixed seed regardless of platform.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in picoseconds.
+pub type TimePs = u64;
+
+/// Kinds of events the simulator processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvKind {
+    /// A flow's start time arrived.
+    FlowStart {
+        /// Flow index.
+        flow: u32,
+    },
+    /// A port's serializer finished; pop the next queued packet.
+    PortPop {
+        /// Port index.
+        port: u32,
+    },
+    /// A packet arrives at a router (after link latency).
+    ArriveRouter {
+        /// Packet slab id.
+        pkt: u32,
+        /// Router id.
+        router: u32,
+    },
+    /// A packet arrives at an endpoint.
+    ArriveEndpoint {
+        /// Packet slab id.
+        pkt: u32,
+        /// Endpoint id.
+        ep: u32,
+    },
+    /// The endpoint may emit its next paced NDP PULL.
+    PullTick {
+        /// Endpoint id.
+        ep: u32,
+    },
+    /// TCP retransmission timeout.
+    RtoTimer {
+        /// Flow index.
+        flow: u32,
+        /// Timer generation (stale timers are ignored).
+        gen: u32,
+    },
+}
+
+/// The deterministic event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(TimePs, u64, EvKindOrd)>>,
+    seq: u64,
+}
+
+/// Wrapper giving `EvKind` a total order for heap storage (the order of
+/// equal-time events is by push sequence; the kind order never matters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct EvKindOrd(EvKind);
+
+impl PartialOrd for EvKindOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EvKindOrd {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl EventQueue {
+    /// Schedules `kind` at absolute time `at`.
+    pub fn push(&mut self, at: TimePs, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, EvKindOrd(kind))));
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(TimePs, EvKind)> {
+        self.heap.pop().map(|Reverse((t, _, k))| (t, k.0))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// What a packet is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PktKind {
+    /// Payload-carrying data packet.
+    Data,
+    /// Acknowledgment (TCP cumulative; NDP per-packet).
+    Ack,
+    /// NDP "payload was trimmed" notification.
+    Nack,
+    /// NDP receiver-paced credit.
+    Pull,
+}
+
+/// A packet in flight. Small enough to copy around freely.
+#[derive(Clone, Copy, Debug)]
+pub struct Packet {
+    /// Owning flow index.
+    pub flow: u32,
+    /// Packet index within the flow (data), or the cumulative-ack /
+    /// sequence payload for control packets.
+    pub seq: u32,
+    /// Bytes on the wire (payload + header, or header only).
+    pub wire_bytes: u32,
+    /// Kind.
+    pub kind: PktKind,
+    /// Routing layer tag (FatPaths); 0 = minimal layer.
+    pub layer: u8,
+    /// Payload was trimmed by a congested NDP queue.
+    pub trimmed: bool,
+    /// ECN congestion-experienced mark.
+    pub ecn_ce: bool,
+    /// ECE echo on ACKs.
+    pub ecn_echo: bool,
+    /// Retransmission (NDP prioritizes these).
+    pub retx: bool,
+    /// Destination router.
+    pub dst_router: u32,
+    /// Destination endpoint.
+    pub dst_ep: u32,
+    /// Flowlet nonce (LetFlow router hashing).
+    pub nonce: u64,
+    /// Unique per-transmission salt (packet spraying).
+    pub salt: u64,
+    /// Receiver's suggested layer carried on PULL/NACK (0xff = none).
+    pub suggest_layer: u8,
+}
+
+/// Fixed-capacity-free packet slab with id reuse.
+#[derive(Debug, Default)]
+pub struct PacketSlab {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketSlab {
+    /// Stores a packet, returning its id.
+    pub fn alloc(&mut self, p: Packet) -> u32 {
+        self.live += 1;
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = p;
+            id
+        } else {
+            self.slots.push(p);
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Releases a packet id for reuse.
+    pub fn release(&mut self, id: u32) {
+        self.live -= 1;
+        self.free.push(id);
+    }
+
+    /// Immutable access.
+    pub fn get(&self, id: u32) -> &Packet {
+        &self.slots[id as usize]
+    }
+
+    /// Mutable access.
+    pub fn get_mut(&mut self, id: u32) -> &mut Packet {
+        &mut self.slots[id as usize]
+    }
+
+    /// Packets currently allocated.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::default();
+        q.push(30, EvKind::PortPop { port: 3 });
+        q.push(10, EvKind::PortPop { port: 1 });
+        q.push(20, EvKind::PortPop { port: 2 });
+        let order: Vec<TimePs> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_push_order() {
+        let mut q = EventQueue::default();
+        for i in 0..10u32 {
+            q.push(5, EvKind::FlowStart { flow: i });
+        }
+        let flows: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|(_, k)| match k {
+                EvKind::FlowStart { flow } => flow,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(flows, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slab_reuses_ids() {
+        let mut s = PacketSlab::default();
+        let p = Packet {
+            flow: 0,
+            seq: 0,
+            wire_bytes: 64,
+            kind: PktKind::Ack,
+            layer: 0,
+            trimmed: false,
+            ecn_ce: false,
+            ecn_echo: false,
+            retx: false,
+            dst_router: 0,
+            dst_ep: 0,
+            nonce: 0,
+            salt: 0,
+            suggest_layer: 0xff,
+        };
+        let a = s.alloc(p);
+        let b = s.alloc(p);
+        assert_ne!(a, b);
+        s.release(a);
+        let c = s.alloc(p);
+        assert_eq!(c, a);
+        assert_eq!(s.live(), 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # fatpaths-sim
+//!
+//! Packet-level discrete-event network simulator (the htsim/OMNeT++ role in
+//! the paper's evaluation, §VII-A6) plus a flow-level fluid simulator for
+//! huge-scale runs:
+//!
+//! * [`engine`] — deterministic event queue and packet slab;
+//! * [`config`] — §VII-A6 constants (9 KB jumbo / 8-pkt windows for NDP,
+//!   100-pkt queues / ECN@33 / 200 µs min-RTO for TCP, 50 µs flowlets);
+//! * [`simulator`] — ports, queues (trim+priority / taildrop+ECN), links,
+//!   routing and load balancing (ECMP, spraying, LetFlow, FatPaths layers);
+//! * [`ndp`] — the purified receiver-driven transport (§III-C);
+//! * [`tcp`] — Reno, ECN-Reno, DCTCP (§VIII-A);
+//! * [`fluid`] — max-min fluid model (Fig. 13 at 1M endpoints);
+//! * [`metrics`] — FCT/throughput statistics.
+
+pub mod config;
+pub mod engine;
+pub mod fluid;
+pub mod metrics;
+pub mod queueing;
+mod ndp;
+pub mod simulator;
+mod tcp;
+
+pub use config::{LoadBalancing, SimConfig, TcpVariant, Transport, HDR_BYTES};
+pub use engine::TimePs;
+pub use metrics::{histogram, mean, percentile, throughput_by_size, FlowRecord, SimResult};
+pub use simulator::{Routing, Simulator};

@@ -1,0 +1,202 @@
+//! Per-flow records and summary statistics (§VII-A5: FCT, throughput per
+//! flow, workload completion time).
+
+use crate::engine::TimePs;
+
+/// Outcome of one simulated flow.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowRecord {
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Injection time.
+    pub start: TimePs,
+    /// Completion time (`None` if the horizon cut it off).
+    pub finish: Option<TimePs>,
+    /// Retransmitted packets.
+    pub retx: u32,
+    /// NDP payload trims observed by this flow's receiver.
+    pub trims: u32,
+}
+
+impl FlowRecord {
+    /// Flow completion time in seconds.
+    pub fn fct_s(&self) -> Option<f64> {
+        self.finish.map(|f| (f - self.start) as f64 / 1e12)
+    }
+
+    /// Throughput per flow in MiB/s (size / FCT) — Fig. 2's metric.
+    pub fn throughput_mib_s(&self) -> Option<f64> {
+        self.fct_s().map(|s| self.size as f64 / (1024.0 * 1024.0) / s)
+    }
+}
+
+/// Aggregate simulation result.
+#[derive(Clone, Debug, Default)]
+pub struct SimResult {
+    /// Per-flow outcomes, in flow order.
+    pub flows: Vec<FlowRecord>,
+    /// Packets dropped at tail-drop queues (TCP mode).
+    pub drops: u64,
+    /// Payloads trimmed (NDP mode).
+    pub trims: u64,
+    /// Time the last event executed.
+    pub end_time: TimePs,
+}
+
+impl SimResult {
+    /// Completed flows only.
+    pub fn completed(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.iter().filter(|f| f.finish.is_some())
+    }
+
+    /// Fraction of flows that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 1.0;
+        }
+        self.completed().count() as f64 / self.flows.len() as f64
+    }
+
+    /// Makespan of a bulk phase: last finish − first start.
+    pub fn makespan(&self) -> Option<TimePs> {
+        let first = self.flows.iter().map(|f| f.start).min()?;
+        let last = self.flows.iter().filter_map(|f| f.finish).max()?;
+        Some(last - first)
+    }
+
+    /// FCTs (seconds) of completed flows, optionally restricted to flows of
+    /// exactly `size` bytes.
+    pub fn fcts(&self, size: Option<u64>) -> Vec<f64> {
+        self.completed()
+            .filter(|f| size.is_none_or(|s| f.size == s))
+            .filter_map(|f| f.fct_s())
+            .collect()
+    }
+}
+
+/// Mean of a sample (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// `pct`-th percentile by nearest-rank on a copy (0 for empty);
+/// `pct` in `[0, 100]`.
+pub fn percentile(xs: &[f64], pct: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((pct / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[idx.min(v.len() - 1)]
+}
+
+/// Histogram with fixed-width bins over `[lo, hi)`; returns per-bin counts.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+    assert!(hi > lo && bins > 0);
+    let mut h = vec![0u64; bins];
+    let w = (hi - lo) / bins as f64;
+    for &x in xs {
+        if x >= lo && x < hi {
+            h[((x - lo) / w) as usize] += 1;
+        }
+    }
+    h
+}
+
+/// MPTCP connection FCTs: a connection completes when its slowest subflow
+/// does. `groups` comes from `Simulator::add_mptcp_flows`; returns one FCT
+/// (seconds) per connection, `None` if any subflow was cut off.
+pub fn mptcp_group_fcts(result: &SimResult, groups: &[Vec<u32>]) -> Vec<Option<f64>> {
+    groups
+        .iter()
+        .map(|g| {
+            let mut worst: f64 = 0.0;
+            for &fid in g {
+                match result.flows[fid as usize].fct_s() {
+                    Some(f) => worst = worst.max(f),
+                    None => return None,
+                }
+            }
+            Some(worst)
+        })
+        .collect()
+}
+
+/// Groups completed flows by size and reports
+/// `(size, mean TPF, tail-1% TPF, count)` per group, ascending by size —
+/// the rows of Figs. 2 and 11.
+pub fn throughput_by_size(result: &SimResult) -> Vec<(u64, f64, f64, usize)> {
+    use rustc_hash::FxHashMap;
+    let mut groups: FxHashMap<u64, Vec<f64>> = FxHashMap::default();
+    for f in result.completed() {
+        if let Some(tp) = f.throughput_mib_s() {
+            groups.entry(f.size).or_default().push(tp);
+        }
+    }
+    let mut out: Vec<(u64, f64, f64, usize)> = groups
+        .into_iter()
+        .map(|(size, tps)| (size, mean(&tps), percentile(&tps, 1.0), tps.len()))
+        .collect();
+    out.sort_unstable_by_key(|&(s, ..)| s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fct_and_throughput() {
+        let f = FlowRecord { size: 1 << 20, start: 0, finish: Some(1_000_000_000_000), retx: 0, trims: 0 };
+        assert_eq!(f.fct_s(), Some(1.0));
+        assert!((f.throughput_mib_s().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 50.0), 51.0); // round(0.5·99)=50 → xs[50]
+    }
+
+    #[test]
+    fn histogram_bins() {
+        let xs = [0.5, 1.5, 1.6, 9.9, 10.0];
+        let h = histogram(&xs, 0.0, 10.0, 10);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[9], 1); // 10.0 excluded
+        assert_eq!(h.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn group_by_size() {
+        let mk = |size, fct_ps| FlowRecord { size, start: 0, finish: Some(fct_ps), retx: 0, trims: 0 };
+        let r = SimResult {
+            flows: vec![mk(100, 1_000_000), mk(100, 2_000_000), mk(200, 1_000_000)],
+            ..Default::default()
+        };
+        let g = throughput_by_size(&r);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].0, 100);
+        assert_eq!(g[0].3, 2);
+    }
+
+    #[test]
+    fn completion_rate() {
+        let r = SimResult {
+            flows: vec![
+                FlowRecord { size: 1, start: 0, finish: Some(5), retx: 0, trims: 0 },
+                FlowRecord { size: 1, start: 0, finish: None, retx: 0, trims: 0 },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.completion_rate(), 0.5);
+    }
+}

@@ -1,0 +1,183 @@
+//! The "purified" receiver-driven transport (§III-C), derived from NDP
+//! (Handley et al., SIGCOMM'17):
+//!
+//! * senders push the first window at line rate (no probing);
+//! * congested router queues **trim payloads** — headers always arrive, so
+//!   the receiver has complete congestion information;
+//! * trimmed headers and retransmissions travel in **priority queues**;
+//! * the receiver **pulls** further packets, paced at its access-link
+//!   rate, and — the FatPaths addition — requests a **layer change** when
+//!   trims reveal congestion on the current layer (§V-F), providing the
+//!   flowlet-elasticity that implements LetFlow adaptivity.
+
+use crate::config::Transport;
+use crate::engine::{EvKind, PktKind, TimePs};
+use crate::simulator::Simulator;
+use fatpaths_core::fwd::fnv1a;
+
+/// Fixed NDP sender retransmission timeout (a rare safety net: payload
+/// trimming means losses are announced, not inferred).
+const NDP_RTO: TimePs = 2_000_000_000; // 2 ms
+
+impl Simulator<'_> {
+    pub(crate) fn ndp_start(&mut self, flow: u32, initial_window: u32) {
+        let n = self.flows[flow as usize].num_pkts.min(initial_window);
+        for _ in 0..n {
+            let seq = self.flows[flow as usize].next_new;
+            self.flows[flow as usize].next_new += 1;
+            self.send_data(flow, seq, false);
+        }
+        self.ndp_arm_rto(flow);
+    }
+
+    pub(crate) fn ndp_on_arrive(&mut self, ep: u32, pid: u32) {
+        let pkt = *self.packets.get(pid);
+        self.packets.release(pid);
+        let flow = pkt.flow;
+        match pkt.kind {
+            PktKind::Data => {
+                debug_assert_eq!(ep, pkt.dst_ep);
+                self.flows[flow as usize].rx_last_layer = pkt.layer;
+                if pkt.trimmed {
+                    // Header-only arrival: the payload was cut. Record the
+                    // congestion, suggest a different layer, request a
+                    // retransmission (NACK) and schedule a pull credit.
+                    let nl = self.n_layers() as u64;
+                    let f = &mut self.flows[flow as usize];
+                    f.trims += 1;
+                    if nl > 1 {
+                        let pick = fnv1a(((flow as u64) << 24) ^ 0xBEEF ^ f.trims as u64) % nl;
+                        f.rx_suggest = pick as u8;
+                    }
+                    let suggest = self.flows[flow as usize].rx_suggest;
+                    self.send_control(flow, PktKind::Nack, pkt.seq, true, false, suggest);
+                    self.ndp_queue_pull(flow);
+                } else {
+                    let newly = self.flows[flow as usize].mark_received(pkt.seq);
+                    let done = self.flows[flow as usize].rcv_count
+                        == self.flows[flow as usize].num_pkts;
+                    if newly {
+                        let suggest = self.flows[flow as usize].rx_suggest;
+                        self.send_control(flow, PktKind::Ack, pkt.seq, true, false, suggest);
+                    }
+                    if done {
+                        self.complete_flow(flow);
+                    } else if newly {
+                        self.ndp_queue_pull(flow);
+                    }
+                }
+            }
+            PktKind::Ack => {
+                // Sender side: per-packet ack. Adopt the receiver's layer
+                // suggestion and keep the safety timer fresh.
+                self.ndp_adopt_suggestion(flow, pkt.suggest_layer);
+                let f = &mut self.flows[flow as usize];
+                if pkt.seq >= f.cum_ack {
+                    f.cum_ack = pkt.seq + 1;
+                }
+                self.ndp_arm_rto(flow);
+            }
+            PktKind::Nack => {
+                self.ndp_adopt_suggestion(flow, pkt.suggest_layer);
+                let f = &mut self.flows[flow as usize];
+                f.retx_count += 1;
+                f.retxq.push_back(pkt.seq);
+                self.ndp_arm_rto(flow);
+            }
+            PktKind::Pull => {
+                self.ndp_adopt_suggestion(flow, pkt.suggest_layer);
+                self.ndp_send_next(flow);
+                self.ndp_arm_rto(flow);
+            }
+        }
+    }
+
+    fn ndp_adopt_suggestion(&mut self, flow: u32, suggest: u8) {
+        if suggest != 0xff {
+            self.flows[flow as usize].layer = suggest;
+        }
+    }
+
+    /// One pull credit = one packet: retransmissions first, then new data.
+    fn ndp_send_next(&mut self, flow: u32) {
+        let f = &mut self.flows[flow as usize];
+        if let Some(seq) = f.retxq.pop_front() {
+            self.send_data(flow, seq, true);
+        } else if f.next_new < f.num_pkts {
+            let seq = f.next_new;
+            f.next_new += 1;
+            self.send_data(flow, seq, false);
+        }
+    }
+
+    /// Queues a pull credit toward the sender, paced at the receiver's
+    /// access-link rate (one full-size packet interval per pull).
+    fn ndp_queue_pull(&mut self, flow: u32) {
+        let ep = self.flows[flow as usize].dst_ep;
+        self.pullq[ep as usize].push_back(flow);
+        let at = self.now.max(self.pull_ready[ep as usize]);
+        if self.pullq[ep as usize].len() == 1 {
+            self.events.push(at, EvKind::PullTick { ep });
+        }
+    }
+
+    pub(crate) fn ndp_pull_tick(&mut self, ep: u32) {
+        if self.now < self.pull_ready[ep as usize] {
+            let at = self.pull_ready[ep as usize];
+            self.events.push(at, EvKind::PullTick { ep });
+            return;
+        }
+        let Some(flow) = self.pullq[ep as usize].pop_front() else {
+            return;
+        };
+        let suggest = self.flows[flow as usize].rx_suggest;
+        if self.flows[flow as usize].finished.is_none() {
+            self.send_control(flow, PktKind::Pull, 0, true, false, suggest);
+        }
+        // Pace: one pull per full-payload serialization interval.
+        let payload = match self.cfg.transport {
+            Transport::Ndp { mtu_payload, .. } => mtu_payload,
+            Transport::Tcp { mss, .. } => mss,
+        };
+        let interval = self.cfg.ser_time(payload + crate::config::HDR_BYTES);
+        self.pull_ready[ep as usize] = self.now + interval;
+        if !self.pullq[ep as usize].is_empty() {
+            self.events.push(self.pull_ready[ep as usize], EvKind::PullTick { ep });
+        }
+    }
+
+    fn ndp_arm_rto(&mut self, flow: u32) {
+        let f = &mut self.flows[flow as usize];
+        if f.finished.is_some() {
+            return;
+        }
+        f.rto_gen += 1;
+        let gen = f.rto_gen;
+        self.events.push(self.now + NDP_RTO, EvKind::RtoTimer { flow, gen });
+    }
+
+    /// Safety net: if the flow has stalled (all credits or announcements
+    /// lost — rare under trimming, routine under link failures), re-pick
+    /// the routing layer (§V-G fault tolerance: redirect to one of the
+    /// preprovisioned alternate layers) and re-send the first byte the
+    /// receiver is missing.
+    pub(crate) fn ndp_on_rto(&mut self, flow: u32, gen: u32) {
+        let f = &self.flows[flow as usize];
+        if f.finished.is_some() || gen != f.rto_gen || !f.started {
+            return;
+        }
+        let nl = self.n_layers() as u64;
+        if nl > 1 {
+            let f = &mut self.flows[flow as usize];
+            f.flowlet_ctr += 1;
+            f.layer = (fnv1a(((flow as u64) << 26) ^ 0xFA11 ^ f.flowlet_ctr as u64) % nl) as u8;
+        }
+        let f = &self.flows[flow as usize];
+        let missing = (0..f.num_pkts).find(|&s| !f.has_received(s));
+        if let Some(seq) = missing {
+            self.flows[flow as usize].retx_count += 1;
+            self.send_data(flow, seq, true);
+        }
+        self.ndp_arm_rto(flow);
+    }
+}

@@ -1,0 +1,664 @@
+//! The packet-level simulator: network state (ports, queues, links),
+//! routing/load-balancing decisions, and the event loop. Endpoint
+//! transport logic lives in [`crate::ndp`] and [`crate::tcp`].
+//!
+//! Model (matching htsim's structure, §VII-A6): every link is an output
+//! port with a serializer and a queue; packets are store-and-forward;
+//! each link adds a fixed latency. Endpoints hang off dedicated access
+//! links of the same rate. NDP mode uses shallow data queues with payload
+//! trimming and a priority queue for control/trimmed/retransmitted
+//! packets; TCP mode uses 100-packet tail-drop queues with ECN marking.
+
+use crate::config::{LoadBalancing, SimConfig, Transport, HDR_BYTES};
+use crate::engine::{EvKind, EventQueue, Packet, PacketSlab, PktKind, TimePs};
+use crate::metrics::{FlowRecord, SimResult};
+use fatpaths_core::ecmp::DistanceMatrix;
+use fatpaths_core::fwd::{fnv1a, RoutingTables};
+use fatpaths_net::topo::Topology;
+use fatpaths_workloads::arrivals::FlowSpec;
+use std::collections::VecDeque;
+
+/// Routing state: FatPaths layered tables or a minimal-path distance
+/// matrix for the ECMP-family baselines.
+pub enum Routing<'a> {
+    /// Destination-based per-layer forwarding (FatPaths).
+    Layered(&'a RoutingTables),
+    /// Minimal multipath port sets (ECMP / spraying / LetFlow).
+    Minimal(&'a DistanceMatrix),
+}
+
+pub(crate) struct Port {
+    pub to_is_router: bool,
+    pub to: u32,
+    pub busy: bool,
+    pub data_q: VecDeque<u32>,
+    pub prio_q: VecDeque<u32>,
+}
+
+impl Port {
+    fn new(to_is_router: bool, to: u32) -> Self {
+        Port { to_is_router, to, busy: false, data_q: VecDeque::new(), prio_q: VecDeque::new() }
+    }
+}
+
+/// Per-flow simulation state shared by both transports.
+pub(crate) struct FlowState {
+    pub src_ep: u32,
+    pub dst_ep: u32,
+    pub src_router: u32,
+    pub dst_router: u32,
+    pub size: u64,
+    pub start: TimePs,
+    pub num_pkts: u32,
+    // receiver progress
+    pub received: Vec<u64>,
+    pub rcv_count: u32,
+    pub rcv_next: u32,
+    pub finished: Option<TimePs>,
+    pub started: bool,
+    // sender progress
+    pub next_new: u32,
+    pub retxq: VecDeque<u32>,
+    pub cum_ack: u32,
+    pub inflight: u32,
+    // load balancing
+    pub layer: u8,
+    pub nonce: u64,
+    pub last_tx: TimePs,
+    pub flowlet_ctr: u32,
+    pub rx_suggest: u8,
+    // counters
+    pub retx_count: u32,
+    pub trims: u32,
+    // TCP congestion state (unused in NDP mode)
+    pub cwnd: f64,
+    pub ssthresh: f64,
+    pub dup_acks: u32,
+    pub in_recovery: bool,
+    pub recovery_until: u32,
+    pub srtt: f64,
+    pub rttvar: f64,
+    pub timed: Option<(u32, TimePs)>,
+    pub rto_gen: u32,
+    pub backoff: u32,
+    // ECN / DCTCP
+    pub ce_marked: u32,
+    pub ce_total: u32,
+    pub alpha: f64,
+    pub window_end: u32,
+    pub cwr: bool,
+    /// A window reduction requested a path switch; applied once the pipe
+    /// is nearly empty (reorder-safe) or at a flowlet gap.
+    pub want_switch: bool,
+    /// Layer the receiver last saw data on; control packets ride it back
+    /// (a layer the forward direction proved alive).
+    pub rx_last_layer: u8,
+    /// MPTCP subflow: layer is pinned, never re-picked.
+    pub pinned_layer: Option<u8>,
+    /// Congestion-avoidance increase factor (LIA-style coupling gives each
+    /// of k subflows 1/k aggressiveness; plain TCP uses 1.0).
+    pub ca_scale: f64,
+}
+
+impl FlowState {
+    fn new(spec: &FlowSpec, topo: &Topology, payload: u32) -> Self {
+        let num_pkts = spec.size.div_ceil(payload as u64).max(1) as u32;
+        FlowState {
+            src_ep: spec.src,
+            dst_ep: spec.dst,
+            src_router: topo.endpoint_router(spec.src),
+            dst_router: topo.endpoint_router(spec.dst),
+            size: spec.size,
+            start: spec.start,
+            num_pkts,
+            received: vec![0u64; num_pkts.div_ceil(64) as usize],
+            rcv_count: 0,
+            rcv_next: 0,
+            finished: None,
+            started: false,
+            next_new: 0,
+            retxq: VecDeque::new(),
+            cum_ack: 0,
+            inflight: 0,
+            layer: 0,
+            nonce: 0,
+            last_tx: 0,
+            flowlet_ctr: 0,
+            rx_suggest: 0xff,
+            retx_count: 0,
+            trims: 0,
+            cwnd: 4.0,
+            ssthresh: 1e9,
+            dup_acks: 0,
+            in_recovery: false,
+            recovery_until: 0,
+            srtt: 0.0,
+            rttvar: 0.0,
+            timed: None,
+            rto_gen: 0,
+            backoff: 0,
+            ce_marked: 0,
+            ce_total: 0,
+            alpha: 0.0,
+            window_end: 0,
+            cwr: false,
+            want_switch: false,
+            rx_last_layer: 0,
+            pinned_layer: None,
+            ca_scale: 1.0,
+        }
+    }
+
+    pub(crate) fn mark_received(&mut self, seq: u32) -> bool {
+        let (w, b) = ((seq / 64) as usize, seq % 64);
+        if self.received[w] >> b & 1 == 1 {
+            return false;
+        }
+        self.received[w] |= 1 << b;
+        self.rcv_count += 1;
+        while self.rcv_next < self.num_pkts
+            && self.received[(self.rcv_next / 64) as usize] >> (self.rcv_next % 64) & 1 == 1
+        {
+            self.rcv_next += 1;
+        }
+        true
+    }
+
+    pub(crate) fn has_received(&self, seq: u32) -> bool {
+        self.received[(seq / 64) as usize] >> (seq % 64) & 1 == 1
+    }
+
+    pub(crate) fn payload_of(&self, seq: u32, payload: u32) -> u32 {
+        if seq + 1 == self.num_pkts {
+            (self.size - (self.num_pkts as u64 - 1) * payload as u64) as u32
+        } else {
+            payload
+        }
+    }
+}
+
+/// The packet-level simulator. Construct with [`Simulator::new`], inject
+/// flows, and [`Simulator::run`].
+pub struct Simulator<'a> {
+    pub(crate) topo: &'a Topology,
+    pub(crate) routing: Routing<'a>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) now: TimePs,
+    pub(crate) events: EventQueue,
+    pub(crate) packets: PacketSlab,
+    pub(crate) flows: Vec<FlowState>,
+    pub(crate) ports: Vec<Port>,
+    net_base: Vec<u32>,
+    down_base: Vec<u32>,
+    up_base: u32,
+    // NDP receiver pull pacing, per endpoint.
+    pub(crate) pullq: Vec<VecDeque<u32>>,
+    pub(crate) pull_ready: Vec<TimePs>,
+    pub(crate) salt_ctr: u64,
+    pub(crate) drops: u64,
+    pub(crate) trim_count: u64,
+    pub(crate) finished_flows: usize,
+    port_scratch: Vec<u16>,
+    failed_links: rustc_hash::FxHashSet<(u32, u32)>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds the network state for `topo` with the given routing.
+    pub fn new(topo: &'a Topology, routing: Routing<'a>, cfg: SimConfig) -> Self {
+        if matches!(cfg.lb, LoadBalancing::FatPathsLayers) {
+            assert!(
+                matches!(routing, Routing::Layered(_)),
+                "FatPaths LB requires layered routing tables"
+            );
+        }
+        let nr = topo.num_routers();
+        let ne = topo.num_endpoints();
+        let mut ports = Vec::new();
+        let mut net_base = Vec::with_capacity(nr);
+        let mut down_base = Vec::with_capacity(nr);
+        for r in 0..nr as u32 {
+            net_base.push(ports.len() as u32);
+            for &nb in topo.graph.neighbors(r) {
+                ports.push(Port::new(true, nb));
+            }
+            down_base.push(ports.len() as u32);
+            for e in topo.router_endpoints(r) {
+                ports.push(Port::new(false, e));
+            }
+        }
+        let up_base = ports.len() as u32;
+        for e in 0..ne as u32 {
+            ports.push(Port::new(true, topo.endpoint_router(e)));
+        }
+        Simulator {
+            topo,
+            routing,
+            cfg,
+            now: 0,
+            events: EventQueue::default(),
+            packets: PacketSlab::default(),
+            flows: Vec::new(),
+            ports,
+            net_base,
+            down_base,
+            up_base,
+            pullq: vec![VecDeque::new(); ne],
+            pull_ready: vec![0; ne],
+            salt_ctr: 0,
+            drops: 0,
+            trim_count: 0,
+            finished_flows: 0,
+            port_scratch: Vec::new(),
+            failed_links: rustc_hash::FxHashSet::default(),
+        }
+    }
+
+    /// Fails the bidirectional link `{u, v}` (§V-G): packets forwarded onto
+    /// it are lost, and recovery happens end-to-end — senders re-pick a
+    /// layer on retransmission timeout, so preprovisioned alternate layers
+    /// carry the affected flows around the failure.
+    pub fn fail_link(&mut self, u: u32, v: u32) {
+        assert!(self.topo.graph.has_edge(u, v), "no such link");
+        self.failed_links.insert((u, v));
+        self.failed_links.insert((v, u));
+    }
+
+    /// Registers flows (any order); they start at their spec times.
+    pub fn add_flows(&mut self, specs: &[FlowSpec]) {
+        let payload = self.cfg.transport.payload();
+        for spec in specs {
+            assert_ne!(spec.src, spec.dst, "self-flow");
+            let id = self.flows.len() as u32;
+            let mut fs = FlowState::new(spec, self.topo, payload);
+            // Initial layer / nonce: deterministic per flow.
+            fs.nonce = fnv1a(0x5151 ^ id as u64);
+            fs.layer = 0;
+            self.flows.push(fs);
+            self.events.push(spec.start, EvKind::FlowStart { flow: id });
+        }
+    }
+
+    /// Registers MPTCP connections (§VIII-A2, reduced form): each spec is
+    /// striped over `subflows` TCP subflows, one pinned to each routing
+    /// layer, with LIA-style coupled congestion avoidance (each subflow's
+    /// additive increase is scaled by `1/subflows`). Returns, per spec, the
+    /// flow-id group; the connection's FCT is the max over its group (see
+    /// [`mptcp_group_fcts`](crate::metrics::mptcp_group_fcts)).
+    pub fn add_mptcp_flows(&mut self, specs: &[FlowSpec], subflows: u32) -> Vec<Vec<u32>> {
+        assert!(
+            matches!(self.cfg.transport, Transport::Tcp { .. }),
+            "MPTCP runs on the TCP transport"
+        );
+        let subflows = subflows.clamp(1, self.n_layers() as u32);
+        let payload = self.cfg.transport.payload();
+        let mut groups = Vec::with_capacity(specs.len());
+        for spec in specs {
+            assert_ne!(spec.src, spec.dst, "self-flow");
+            let mut group = Vec::with_capacity(subflows as usize);
+            let per = spec.size / subflows as u64;
+            let mut assigned = 0u64;
+            for k in 0..subflows {
+                let size = if k + 1 == subflows { spec.size - assigned } else { per };
+                assigned += size;
+                if size == 0 {
+                    continue;
+                }
+                let sub = FlowSpec { size, ..*spec };
+                let id = self.flows.len() as u32;
+                let mut fs = FlowState::new(&sub, self.topo, payload);
+                fs.nonce = fnv1a(0x3333 ^ id as u64);
+                fs.layer = k as u8;
+                fs.pinned_layer = Some(k as u8);
+                fs.ca_scale = 1.0 / subflows as f64;
+                self.flows.push(fs);
+                self.events.push(sub.start, EvKind::FlowStart { flow: id });
+                group.push(id);
+            }
+            groups.push(group);
+        }
+        groups
+    }
+
+    /// Runs to completion (or the horizon) and returns per-flow records.
+    pub fn run(mut self) -> SimResult {
+        let total = self.flows.len();
+        while let Some((t, ev)) = self.events.pop() {
+            if self.cfg.horizon > 0 && t > self.cfg.horizon {
+                break;
+            }
+            self.now = t;
+            self.dispatch(ev);
+            if self.finished_flows == total {
+                break;
+            }
+        }
+        let end_time = self.now;
+        let flows = self
+            .flows
+            .iter()
+            .map(|f| FlowRecord {
+                size: f.size,
+                start: f.start,
+                finish: f.finished,
+                retx: f.retx_count,
+                trims: f.trims,
+            })
+            .collect();
+        SimResult { flows, drops: self.drops, trims: self.trim_count, end_time }
+    }
+
+    fn dispatch(&mut self, ev: EvKind) {
+        match ev {
+            EvKind::FlowStart { flow } => self.on_flow_start(flow),
+            EvKind::PortPop { port } => {
+                self.ports[port as usize].busy = false;
+                self.port_try_start(port);
+            }
+            EvKind::ArriveRouter { pkt, router } => self.on_router_arrive(router, pkt),
+            EvKind::ArriveEndpoint { pkt, ep } => self.on_endpoint_arrive(ep, pkt),
+            EvKind::PullTick { ep } => self.on_pull_tick(ep),
+            EvKind::RtoTimer { flow, gen } => self.on_rto(flow, gen),
+        }
+    }
+
+    fn on_flow_start(&mut self, flow: u32) {
+        self.flows[flow as usize].started = true;
+        match self.cfg.transport {
+            Transport::Ndp { initial_window, .. } => self.ndp_start(flow, initial_window),
+            Transport::Tcp { .. } => self.tcp_start(flow),
+        }
+    }
+
+    // ---- link layer -----------------------------------------------------
+
+    /// Enqueues a packet at a router output port, applying the queue
+    /// policy (trim / drop / mark).
+    pub(crate) fn router_enqueue(&mut self, port: u32, pid: u32) {
+        match self.cfg.transport {
+            Transport::Ndp { queue_pkts, .. } => {
+                let (is_data, is_retx) = {
+                    let p = self.packets.get(pid);
+                    (p.kind == PktKind::Data && !p.trimmed, p.retx)
+                };
+                let q = &mut self.ports[port as usize];
+                if is_data {
+                    if (q.data_q.len() as u32) < queue_pkts {
+                        // Retransmissions jump the data queue (they unblock
+                        // stalled receivers, §III-C) but still count against
+                        // the shallow limit — a payload is a payload.
+                        if is_retx {
+                            q.data_q.push_front(pid);
+                        } else {
+                            q.data_q.push_back(pid);
+                        }
+                    } else {
+                        // Trim: drop payload, keep the header, prioritize.
+                        let p = self.packets.get_mut(pid);
+                        p.trimmed = true;
+                        p.wire_bytes = HDR_BYTES;
+                        self.trim_count += 1;
+                        self.push_prio_bounded(port, pid);
+                    }
+                } else {
+                    self.push_prio_bounded(port, pid);
+                }
+            }
+            Transport::Tcp { queue_pkts, ecn_threshold, .. } => {
+                let q = &mut self.ports[port as usize];
+                let depth = q.data_q.len() as u32;
+                if depth >= queue_pkts {
+                    self.drops += 1;
+                    self.packets.release(pid);
+                    return;
+                }
+                if depth >= ecn_threshold {
+                    self.packets.get_mut(pid).ecn_ce = true;
+                }
+                self.ports[port as usize].data_q.push_back(pid);
+            }
+        }
+        self.port_try_start(port);
+    }
+
+    fn push_prio_bounded(&mut self, port: u32, pid: u32) {
+        let q = &mut self.ports[port as usize];
+        if q.prio_q.len() >= 1024 {
+            self.drops += 1;
+            self.packets.release(pid);
+        } else {
+            q.prio_q.push_back(pid);
+        }
+    }
+
+    /// Enqueues onto an endpoint NIC (no drops: window-bounded).
+    pub(crate) fn nic_enqueue(&mut self, ep: u32, pid: u32) {
+        let port = self.up_base + ep;
+        let is_control = self.packets.get(pid).kind != PktKind::Data;
+        let q = &mut self.ports[port as usize];
+        if is_control {
+            q.prio_q.push_back(pid);
+        } else {
+            q.data_q.push_back(pid);
+        }
+        self.port_try_start(port);
+    }
+
+    fn port_try_start(&mut self, port: u32) {
+        let (pid, to_is_router, to) = {
+            let q = &mut self.ports[port as usize];
+            if q.busy {
+                return;
+            }
+            let Some(pid) = q.prio_q.pop_front().or_else(|| q.data_q.pop_front()) else {
+                return;
+            };
+            q.busy = true;
+            (pid, q.to_is_router, q.to)
+        };
+        let bytes = self.packets.get(pid).wire_bytes;
+        let ser = self.cfg.ser_time(bytes);
+        self.events.push(self.now + ser, EvKind::PortPop { port });
+        let arrive = self.now + ser + self.cfg.link_latency;
+        if to_is_router {
+            self.events.push(arrive, EvKind::ArriveRouter { pkt: pid, router: to });
+        } else {
+            self.events.push(arrive, EvKind::ArriveEndpoint { pkt: pid, ep: to });
+        }
+    }
+
+    // ---- routing ---------------------------------------------------------
+
+    fn on_router_arrive(&mut self, r: u32, pid: u32) {
+        let (dst_router, dst_ep) = {
+            let p = self.packets.get(pid);
+            (p.dst_router, p.dst_ep)
+        };
+        let port = if dst_router == r {
+            let first = self.topo.router_endpoints(r).start;
+            self.down_base[r as usize] + (dst_ep - first)
+        } else {
+            let sel = self.select_port(r, pid);
+            let next = self.topo.graph.neighbor_at(r, sel as u32);
+            if !self.failed_links.is_empty() && self.failed_links.contains(&(r, next)) {
+                // Link down: the packet is lost; end-to-end recovery
+                // redirects the flow to another layer (§V-G).
+                self.drops += 1;
+                self.packets.release(pid);
+                return;
+            }
+            self.net_base[r as usize] + sel as u32
+        };
+        self.router_enqueue(port, pid);
+    }
+
+    fn select_port(&mut self, r: u32, pid: u32) -> u16 {
+        let p = *self.packets.get(pid);
+        match &self.routing {
+            Routing::Layered(tables) => {
+                let layer = (p.layer as usize).min(tables.n_layers() - 1);
+                tables
+                    .next_port(layer, r, p.dst_router)
+                    .or_else(|| tables.next_port(0, r, p.dst_router))
+                    .expect("destination unreachable")
+            }
+            Routing::Minimal(dm) => {
+                let g = &self.topo.graph;
+                let mut scratch = std::mem::take(&mut self.port_scratch);
+                dm.minimal_ports(g, r, p.dst_router, &mut scratch);
+                debug_assert!(!scratch.is_empty());
+                let len = scratch.len() as u64;
+                let port = match self.cfg.lb {
+                    // NDP's spraying cycles each flow round-robin over the
+                    // minimal ports (per hop, offset by a flow/router hash):
+                    // smooth arrivals keep 8-packet queues stable at ρ→1,
+                    // where random spraying would trim persistently.
+                    // Retransmissions re-roll on their salt so a packet
+                    // never re-walks into a failed or congested port.
+                    LoadBalancing::PacketSpray => {
+                        if p.retx {
+                            scratch[(fnv1a(p.salt ^ r as u64) % len) as usize]
+                        } else {
+                            let off = fnv1a(((p.flow as u64) << 32) ^ r as u64);
+                            scratch[((p.seq as u64 + off) % len) as usize]
+                        }
+                    }
+                    _ => scratch[(fnv1a(p.nonce ^ ((r as u64) << 20)) % len) as usize],
+                };
+                self.port_scratch = scratch;
+                port
+            }
+        }
+    }
+
+    // ---- shared endpoint helpers ------------------------------------------
+
+    /// Number of routing layers available (1 when minimal-only).
+    pub(crate) fn n_layers(&self) -> usize {
+        match &self.routing {
+            Routing::Layered(t) => t.n_layers(),
+            Routing::Minimal(_) => 1,
+        }
+    }
+
+    /// Applies source-side flowlet logic before a data transmission:
+    /// after a gap > `flowlet_gap`, re-pick the layer (FatPaths) or the
+    /// nonce (LetFlow). ECMP keeps everything static; spraying ignores it.
+    ///
+    /// A ≥ gap pause implies the pipe has drained (the gap exceeds the
+    /// RTT), so switching paths at a gap cannot reorder — LetFlow's core
+    /// argument, which also protects the TCP modes from spurious
+    /// dup-ACK retransmissions after a layer change.
+    pub(crate) fn flowlet_update(&mut self, flow: u32) {
+        let gap = self.cfg.flowlet_gap;
+        let n_layers = self.n_layers();
+        let lb = self.cfg.lb;
+        let now = self.now;
+        let f = &mut self.flows[flow as usize];
+        if f.pinned_layer.is_some() {
+            f.last_tx = now;
+            return;
+        }
+        if f.last_tx != 0 && now.saturating_sub(f.last_tx) > gap {
+            f.flowlet_ctr += 1;
+            match lb {
+                LoadBalancing::FatPathsLayers => {
+                    f.layer = (fnv1a(((flow as u64) << 20) ^ f.flowlet_ctr as u64) % n_layers as u64) as u8;
+                }
+                LoadBalancing::LetFlow => {
+                    f.nonce = fnv1a(((flow as u64) << 21) ^ f.flowlet_ctr as u64);
+                }
+                _ => {}
+            }
+        }
+        f.last_tx = now;
+    }
+
+    /// Crafts and sends one data packet of `flow` with sequence `seq`.
+    pub(crate) fn send_data(&mut self, flow: u32, seq: u32, retx: bool) {
+        self.flowlet_update(flow);
+        let payload = self.cfg.transport.payload();
+        self.salt_ctr += 1;
+        let salt = self.salt_ctr;
+        let f = &self.flows[flow as usize];
+        let pkt = Packet {
+            flow,
+            seq,
+            wire_bytes: f.payload_of(seq, payload) + HDR_BYTES,
+            kind: PktKind::Data,
+            layer: f.layer,
+            trimmed: false,
+            ecn_ce: false,
+            ecn_echo: false,
+            retx,
+            dst_router: f.dst_router,
+            dst_ep: f.dst_ep,
+            nonce: f.nonce,
+            salt,
+            suggest_layer: 0xff,
+        };
+        let src = f.src_ep;
+        let pid = self.packets.alloc(pkt);
+        self.nic_enqueue(src, pid);
+    }
+
+    /// Crafts and sends a control packet from the receiver side (`Ack`,
+    /// `Nack`) or sender side — destination chosen by `to_sender`.
+    pub(crate) fn send_control(&mut self, flow: u32, kind: PktKind, seq: u32, to_sender: bool, ecn_echo: bool, suggest: u8) {
+        self.salt_ctr += 1;
+        let salt = self.salt_ctr;
+        let f = &self.flows[flow as usize];
+        let (dst_router, dst_ep, src) = if to_sender {
+            (f.src_router, f.src_ep, f.dst_ep)
+        } else {
+            (f.dst_router, f.dst_ep, f.src_ep)
+        };
+        let pkt = Packet {
+            flow,
+            seq,
+            wire_bytes: HDR_BYTES,
+            kind,
+            // Receiver→sender control rides the layer the data came in on
+            // (proven alive in the forward direction); sender→receiver
+            // control uses the flow's current layer.
+            layer: if to_sender { f.rx_last_layer } else { f.layer },
+            trimmed: false,
+            ecn_ce: false,
+            ecn_echo,
+            retx: false,
+            dst_router,
+            dst_ep,
+            nonce: f.nonce,
+            salt,
+            suggest_layer: suggest,
+        };
+        let pid = self.packets.alloc(pkt);
+        self.nic_enqueue(src, pid);
+    }
+
+    /// Marks a flow complete (receiver got every byte).
+    pub(crate) fn complete_flow(&mut self, flow: u32) {
+        let f = &mut self.flows[flow as usize];
+        if f.finished.is_none() {
+            f.finished = Some(self.now);
+            self.finished_flows += 1;
+        }
+    }
+
+    fn on_endpoint_arrive(&mut self, ep: u32, pid: u32) {
+        match self.cfg.transport {
+            Transport::Ndp { .. } => self.ndp_on_arrive(ep, pid),
+            Transport::Tcp { .. } => self.tcp_on_arrive(ep, pid),
+        }
+    }
+
+    fn on_pull_tick(&mut self, ep: u32) {
+        self.ndp_pull_tick(ep);
+    }
+
+    fn on_rto(&mut self, flow: u32, gen: u32) {
+        match self.cfg.transport {
+            Transport::Ndp { .. } => self.ndp_on_rto(flow, gen),
+            Transport::Tcp { .. } => self.tcp_on_rto(flow, gen),
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! TCP-family endpoint logic (§VII-C, §VIII-A): Reno slow start /
+//! congestion avoidance / fast retransmit, ECN-Reno (RFC 3168 echo), and
+//! DCTCP's fractional window reduction. Receivers ACK every segment
+//! (low-latency datacenter stacks disable delayed ACKs); ACKs carry the
+//! data packet's CE mark as ECE. Window reductions are flowlet boundaries
+//! for FatPaths layer re-selection (§VIII-A1).
+
+use crate::config::{LoadBalancing, TcpVariant, Transport};
+use crate::engine::{EvKind, PktKind, TimePs};
+use crate::simulator::Simulator;
+use fatpaths_core::fwd::fnv1a;
+
+/// DCTCP's EWMA gain g = 1/16.
+const DCTCP_G: f64 = 1.0 / 16.0;
+/// Initial RTO before the first RTT sample.
+const INITIAL_RTO: TimePs = 1_000_000_000; // 1 ms
+
+impl Simulator<'_> {
+    fn tcp_params(&self) -> (TcpVariant, TimePs) {
+        match self.cfg.transport {
+            Transport::Tcp { variant, min_rto, .. } => (variant, min_rto),
+            _ => unreachable!("tcp handler in non-tcp mode"),
+        }
+    }
+
+    pub(crate) fn tcp_start(&mut self, flow: u32) {
+        self.tcp_try_send(flow);
+        self.tcp_arm_rto(flow);
+    }
+
+    /// Sends while the window allows: retransmissions first, then new data.
+    fn tcp_try_send(&mut self, flow: u32) {
+        loop {
+            let f = &mut self.flows[flow as usize];
+            if f.finished.is_some() {
+                return;
+            }
+            let window = f.cwnd.floor().max(1.0) as u32;
+            if f.inflight >= window {
+                return;
+            }
+            if let Some(seq) = f.retxq.pop_front() {
+                f.inflight += 1;
+                self.send_data(flow, seq, true);
+            } else if f.next_new < f.num_pkts {
+                let seq = f.next_new;
+                f.next_new += 1;
+                f.inflight += 1;
+                if f.timed.is_none() {
+                    f.timed = Some((seq, self.now));
+                }
+                if f.window_end <= seq && f.window_end == 0 {
+                    f.window_end = f.cwnd as u32 + 1;
+                }
+                self.send_data(flow, seq, false);
+            } else {
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn tcp_on_arrive(&mut self, ep: u32, pid: u32) {
+        let pkt = *self.packets.get(pid);
+        self.packets.release(pid);
+        let flow = pkt.flow;
+        match pkt.kind {
+            PktKind::Data => {
+                debug_assert_eq!(ep, pkt.dst_ep);
+                let f = &mut self.flows[flow as usize];
+                f.rx_last_layer = pkt.layer;
+                f.mark_received(pkt.seq);
+                let cum = f.rcv_next;
+                let done = f.rcv_count == f.num_pkts;
+                // ACK every segment; echo this segment's CE mark.
+                self.send_control(flow, PktKind::Ack, cum, true, pkt.ecn_ce, 0xff);
+                if done {
+                    self.complete_flow(flow);
+                }
+            }
+            PktKind::Ack => self.tcp_on_ack(flow, pkt.seq, pkt.ecn_echo),
+            _ => {}
+        }
+    }
+
+    fn tcp_on_ack(&mut self, flow: u32, cum: u32, ece: bool) {
+        let (variant, _) = self.tcp_params();
+        let mut became_boundary = false; // cwnd reduction = flowlet boundary
+        {
+            let now = self.now;
+            let f = &mut self.flows[flow as usize];
+            if f.finished.is_some() && f.cum_ack >= f.num_pkts {
+                return;
+            }
+            // DCTCP mark bookkeeping counts every ACK.
+            f.ce_total += 1;
+            if ece {
+                f.ce_marked += 1;
+            }
+            if cum > f.cum_ack {
+                let delta = cum - f.cum_ack;
+                f.cum_ack = cum;
+                f.inflight = f.inflight.saturating_sub(delta);
+                f.dup_acks = 0;
+                f.backoff = 0;
+                // RTT sample (Karn: only when the timed packet is covered
+                // and was not retransmitted — retx clears `timed`).
+                if let Some((seq, t)) = f.timed {
+                    if cum > seq {
+                        let rtt = (now - t) as f64;
+                        if f.srtt == 0.0 {
+                            f.srtt = rtt;
+                            f.rttvar = rtt / 2.0;
+                        } else {
+                            let err = rtt - f.srtt;
+                            f.srtt += 0.125 * err;
+                            f.rttvar += 0.25 * (err.abs() - f.rttvar);
+                        }
+                        f.timed = None;
+                    }
+                }
+                if f.in_recovery && cum >= f.recovery_until {
+                    f.in_recovery = false;
+                    f.cwnd = f.ssthresh.max(2.0);
+                }
+                if !f.in_recovery {
+                    if f.cwnd < f.ssthresh {
+                        f.cwnd += delta as f64; // slow start
+                    } else {
+                        // Congestion avoidance; ca_scale couples MPTCP
+                        // subflows (1/k aggressiveness each).
+                        f.cwnd += f.ca_scale * delta as f64 / f.cwnd;
+                    }
+                }
+                // Window rollover: apply per-window ECN reactions.
+                if cum >= f.window_end {
+                    match variant {
+                        TcpVariant::Dctcp => {
+                            let frac = if f.ce_total > 0 {
+                                f.ce_marked as f64 / f.ce_total as f64
+                            } else {
+                                0.0
+                            };
+                            f.alpha = (1.0 - DCTCP_G) * f.alpha + DCTCP_G * frac;
+                            if f.ce_marked > 0 {
+                                f.cwnd = (f.cwnd * (1.0 - f.alpha / 2.0)).max(2.0);
+                                f.ssthresh = f.cwnd;
+                                became_boundary = true;
+                            }
+                        }
+                        TcpVariant::EcnReno => {
+                            f.cwr = false;
+                        }
+                        TcpVariant::Reno => {}
+                    }
+                    f.ce_marked = 0;
+                    f.ce_total = 0;
+                    f.window_end = cum + (f.cwnd as u32).max(1);
+                }
+                // ECN-Reno reacts at most once per window, immediately.
+                if variant == TcpVariant::EcnReno && ece && !f.cwr {
+                    f.ssthresh = (f.cwnd / 2.0).max(2.0);
+                    f.cwnd = f.ssthresh;
+                    f.cwr = true;
+                    became_boundary = true;
+                }
+            } else {
+                // Duplicate ACK.
+                f.dup_acks += 1;
+                if f.dup_acks == 3 && !f.in_recovery {
+                    // Fast retransmit.
+                    f.retxq.push_front(f.cum_ack);
+                    f.retx_count += 1;
+                    f.timed = None;
+                    f.ssthresh = (f.cwnd / 2.0).max(2.0);
+                    f.cwnd = f.ssthresh + 3.0;
+                    f.in_recovery = true;
+                    f.recovery_until = f.next_new;
+                    f.inflight = f.inflight.saturating_sub(1);
+                    became_boundary = true;
+                } else if f.dup_acks > 3 && f.in_recovery {
+                    f.cwnd += 1.0; // window inflation
+                }
+            }
+        }
+        // Congestion-window reductions mark flowlet boundaries (§VIII-A1).
+        // The switch itself is deferred until the pipe is nearly empty
+        // (≤ 3 packets can produce at most 2 dup-ACKs — under the fast-
+        // retransmit threshold), so path changes never masquerade as loss.
+        if became_boundary {
+            self.flows[flow as usize].want_switch = true;
+        }
+        let (want, inflight) = {
+            let f = &self.flows[flow as usize];
+            (f.want_switch, f.inflight)
+        };
+        if want && inflight <= 3 {
+            self.flows[flow as usize].want_switch = false;
+            self.tcp_flowlet_boundary(flow);
+        }
+        self.tcp_arm_rto(flow);
+        self.tcp_try_send(flow);
+    }
+
+    /// Immediate path re-pick, safe only when the pipe is empty (RTO):
+    /// FatPaths re-picks the layer, LetFlow the nonce.
+    fn tcp_flowlet_boundary(&mut self, flow: u32) {
+        let n_layers = self.n_layers() as u64;
+        let lb = self.cfg.lb;
+        let f = &mut self.flows[flow as usize];
+        if f.pinned_layer.is_some() {
+            return; // MPTCP subflows own their layer
+        }
+        f.flowlet_ctr += 1;
+        match lb {
+            LoadBalancing::FatPathsLayers => {
+                f.layer = (fnv1a(((flow as u64) << 22) ^ 0xACED ^ f.flowlet_ctr as u64) % n_layers) as u8;
+            }
+            LoadBalancing::LetFlow => {
+                f.nonce = fnv1a(((flow as u64) << 23) ^ 0xACED ^ f.flowlet_ctr as u64);
+            }
+            _ => {}
+        }
+    }
+
+    fn tcp_rto_value(&self, flow: u32) -> TimePs {
+        let (_, min_rto) = self.tcp_params();
+        let f = &self.flows[flow as usize];
+        let base = if f.srtt == 0.0 {
+            INITIAL_RTO
+        } else {
+            (f.srtt + 4.0 * f.rttvar) as TimePs
+        };
+        (base.max(min_rto)) << f.backoff.min(6)
+    }
+
+    fn tcp_arm_rto(&mut self, flow: u32) {
+        let rto = self.tcp_rto_value(flow);
+        let f = &mut self.flows[flow as usize];
+        if f.finished.is_some() && f.cum_ack >= f.num_pkts {
+            return;
+        }
+        f.rto_gen += 1;
+        let gen = f.rto_gen;
+        self.events.push(self.now + rto, EvKind::RtoTimer { flow, gen });
+    }
+
+    pub(crate) fn tcp_on_rto(&mut self, flow: u32, gen: u32) {
+        {
+            let f = &mut self.flows[flow as usize];
+            if gen != f.rto_gen || !f.started || (f.finished.is_some() && f.cum_ack >= f.num_pkts) {
+                return;
+            }
+            if f.cum_ack >= f.num_pkts {
+                return;
+            }
+            // Timeout: collapse to slow start and go back to cum_ack.
+            f.ssthresh = (f.cwnd / 2.0).max(2.0);
+            f.cwnd = 1.0;
+            f.inflight = 0;
+            f.dup_acks = 0;
+            f.in_recovery = false;
+            f.retxq.clear();
+            f.retxq.push_back(f.cum_ack);
+            f.retx_count += 1;
+            f.timed = None;
+            f.backoff += 1;
+        }
+        self.tcp_flowlet_boundary(flow);
+        self.tcp_arm_rto(flow);
+        self.tcp_try_send(flow);
+    }
+}

@@ -1,0 +1,275 @@
+//! Behavioral validation of the packet simulator: line-rate sanity,
+//! congestion behavior, transport correctness, and the paper's headline
+//! routing effects at small scale.
+
+use fatpaths_core::ecmp::DistanceMatrix;
+use fatpaths_core::fwd::RoutingTables;
+use fatpaths_core::layers::{build_random_layers, LayerConfig, LayerSet};
+use fatpaths_net::topo::{slimfly::slim_fly, star::star};
+use fatpaths_sim::{
+    LoadBalancing, Routing, SimConfig, Simulator, TcpVariant, Transport,
+};
+use fatpaths_workloads::arrivals::FlowSpec;
+use fatpaths_workloads::MIB;
+
+fn ndp_cfg(lb: LoadBalancing) -> SimConfig {
+    SimConfig { transport: Transport::ndp_default(), lb, ..SimConfig::default() }
+}
+
+fn tcp_cfg(variant: TcpVariant, lb: LoadBalancing) -> SimConfig {
+    SimConfig { transport: Transport::tcp_default(variant), lb, ..SimConfig::default() }
+}
+
+/// 10 Gb/s line rate in MiB/s.
+const LINE_MIB_S: f64 = 10e9 / 8.0 / (1024.0 * 1024.0);
+
+#[test]
+fn single_ndp_flow_reaches_near_line_rate() {
+    let topo = star(4);
+    let dm = DistanceMatrix::build(&topo.graph);
+    let mut sim = Simulator::new(&topo, Routing::Minimal(&dm), ndp_cfg(LoadBalancing::EcmpFlow));
+    sim.add_flows(&[FlowSpec { src: 0, dst: 1, size: MIB, start: 0 }]);
+    let res = sim.run();
+    assert_eq!(res.completion_rate(), 1.0);
+    let tp = res.flows[0].throughput_mib_s().unwrap();
+    assert!(tp > 0.7 * LINE_MIB_S, "throughput {tp} MiB/s too low");
+    assert!(tp <= LINE_MIB_S * 1.01, "throughput {tp} exceeds line rate");
+    assert_eq!(res.trims, 0);
+}
+
+#[test]
+fn single_tcp_flow_completes_slower_than_ndp() {
+    let topo = star(4);
+    let dm = DistanceMatrix::build(&topo.graph);
+    let mut ndp = Simulator::new(&topo, Routing::Minimal(&dm), ndp_cfg(LoadBalancing::EcmpFlow));
+    ndp.add_flows(&[FlowSpec { src: 0, dst: 1, size: 256 * 1024, start: 0 }]);
+    let rn = ndp.run();
+    let mut tcp = Simulator::new(
+        &topo,
+        Routing::Minimal(&dm),
+        tcp_cfg(TcpVariant::Reno, LoadBalancing::EcmpFlow),
+    );
+    tcp.add_flows(&[FlowSpec { src: 0, dst: 1, size: 256 * 1024, start: 0 }]);
+    let rt = tcp.run();
+    assert_eq!(rt.completion_rate(), 1.0);
+    // Slow start costs TCP several RTTs that NDP's line-rate start avoids.
+    let f_ndp = rn.flows[0].fct_s().unwrap();
+    let f_tcp = rt.flows[0].fct_s().unwrap();
+    assert!(f_tcp > f_ndp, "TCP {f_tcp}s not slower than NDP {f_ndp}s");
+}
+
+#[test]
+fn ndp_incast_trims_but_completes_at_line_rate_aggregate() {
+    // 8 senders → 1 receiver on a crossbar: the receiver downlink is the
+    // bottleneck; trimming keeps it lossless-for-metadata and fully used.
+    let topo = star(16);
+    let dm = DistanceMatrix::build(&topo.graph);
+    let mut sim = Simulator::new(&topo, Routing::Minimal(&dm), ndp_cfg(LoadBalancing::EcmpFlow));
+    let flows: Vec<FlowSpec> = (1..=8)
+        .map(|s| FlowSpec { src: s, dst: 0, size: MIB, start: 0 })
+        .collect();
+    sim.add_flows(&flows);
+    let res = sim.run();
+    assert_eq!(res.completion_rate(), 1.0, "incast must complete");
+    assert!(res.trims > 0, "incast should trim payloads");
+    // Aggregate goodput ≈ line rate: total bytes / makespan.
+    let total: u64 = res.flows.iter().map(|f| f.size).sum();
+    let makespan_s = res.makespan().unwrap() as f64 / 1e12;
+    let agg = total as f64 / (1024.0 * 1024.0) / makespan_s;
+    assert!(agg > 0.75 * LINE_MIB_S, "aggregate {agg} MiB/s");
+}
+
+#[test]
+fn tcp_incast_drops_but_completes() {
+    let topo = star(16);
+    let dm = DistanceMatrix::build(&topo.graph);
+    let mut sim = Simulator::new(
+        &topo,
+        Routing::Minimal(&dm),
+        tcp_cfg(TcpVariant::Reno, LoadBalancing::EcmpFlow),
+    );
+    let flows: Vec<FlowSpec> = (1..=12)
+        .map(|s| FlowSpec { src: s, dst: 0, size: 512 * 1024, start: 0 })
+        .collect();
+    sim.add_flows(&flows);
+    let res = sim.run();
+    assert_eq!(res.completion_rate(), 1.0);
+    assert!(res.drops > 0, "12-way TCP incast should overflow 100-pkt queues");
+}
+
+#[test]
+fn dctcp_keeps_queues_lower_than_reno() {
+    // With ECN at 33 packets, DCTCP should lose far fewer packets than
+    // Reno under the same incast.
+    let topo = star(16);
+    let dm = DistanceMatrix::build(&topo.graph);
+    let run = |variant| {
+        let mut sim = Simulator::new(
+            &topo,
+            Routing::Minimal(&dm),
+            tcp_cfg(variant, LoadBalancing::EcmpFlow),
+        );
+        let flows: Vec<FlowSpec> = (1..=12)
+            .map(|s| FlowSpec { src: s, dst: 0, size: 512 * 1024, start: 0 })
+            .collect();
+        sim.add_flows(&flows);
+        sim.run()
+    };
+    let reno = run(TcpVariant::Reno);
+    let dctcp = run(TcpVariant::Dctcp);
+    assert_eq!(dctcp.completion_rate(), 1.0);
+    assert!(
+        dctcp.drops < reno.drops,
+        "DCTCP drops {} not below Reno {}",
+        dctcp.drops,
+        reno.drops
+    );
+}
+
+/// Adversarial aligned traffic on Slim Fly: all p endpoints of a router
+/// pair collide on the same almost-unique shortest path (§VII-B2).
+fn sf_adversarial_flows(topo: &fatpaths_net::Topology) -> Vec<FlowSpec> {
+    let p = topo.concentration[0] as u64;
+    let n = topo.num_endpoints() as u64;
+    let offset = p * (topo.num_routers() as u64 / 2 + 1);
+    (0..n)
+        .map(|s| FlowSpec {
+            src: s as u32,
+            dst: ((s + offset) % n) as u32,
+            size: 256 * 1024,
+            start: 0,
+        })
+        .collect()
+}
+
+#[test]
+fn fatpaths_beats_ecmp_on_slim_fly_adversarial() {
+    // The paper's headline (Figs. 11/14): non-minimal multipathing resolves
+    // SF's single-shortest-path collisions; ECMP cannot.
+    let topo = slim_fly(5, 4).unwrap();
+    let flows = sf_adversarial_flows(&topo);
+
+    let dm = DistanceMatrix::build(&topo.graph);
+    let mut ecmp = Simulator::new(&topo, Routing::Minimal(&dm), ndp_cfg(LoadBalancing::EcmpFlow));
+    ecmp.add_flows(&flows);
+    let r_ecmp = ecmp.run();
+
+    let layers = build_random_layers(&topo.graph, &LayerConfig::new(9, 0.6, 3));
+    let tables = RoutingTables::build(&topo.graph, &layers);
+    let mut fp = Simulator::new(
+        &topo,
+        Routing::Layered(&tables),
+        ndp_cfg(LoadBalancing::FatPathsLayers),
+    );
+    fp.add_flows(&flows);
+    let r_fp = fp.run();
+
+    assert_eq!(r_ecmp.completion_rate(), 1.0);
+    assert_eq!(r_fp.completion_rate(), 1.0);
+    let mk_ecmp = r_ecmp.makespan().unwrap();
+    let mk_fp = r_fp.makespan().unwrap();
+    assert!(
+        (mk_fp as f64) < 0.9 * mk_ecmp as f64,
+        "FatPaths makespan {mk_fp} not clearly below ECMP {mk_ecmp}"
+    );
+}
+
+#[test]
+fn letflow_between_ecmp_and_fatpaths_on_adversarial_sf() {
+    // LetFlow re-picks among *minimal* paths only — on SF there is usually
+    // just one, so it cannot beat FatPaths (§VII-C: "both are ineffective
+    // on SF and DF which have little minimal-path diversity").
+    let topo = slim_fly(5, 4).unwrap();
+    let flows = sf_adversarial_flows(&topo);
+    let dm = DistanceMatrix::build(&topo.graph);
+    let mut lf = Simulator::new(&topo, Routing::Minimal(&dm), ndp_cfg(LoadBalancing::LetFlow));
+    lf.add_flows(&flows);
+    let r_lf = lf.run();
+
+    let layers = build_random_layers(&topo.graph, &LayerConfig::new(9, 0.6, 3));
+    let tables = RoutingTables::build(&topo.graph, &layers);
+    let mut fp = Simulator::new(
+        &topo,
+        Routing::Layered(&tables),
+        ndp_cfg(LoadBalancing::FatPathsLayers),
+    );
+    fp.add_flows(&flows);
+    let r_fp = fp.run();
+    assert!(r_fp.makespan().unwrap() < r_lf.makespan().unwrap());
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let topo = slim_fly(5, 2).unwrap();
+    let layers = build_random_layers(&topo.graph, &LayerConfig::new(4, 0.6, 1));
+    let tables = RoutingTables::build(&topo.graph, &layers);
+    let flows: Vec<FlowSpec> = (0..40u32)
+        .map(|i| FlowSpec { src: i, dst: (i + 37) % 100, size: 128 * 1024, start: (i as u64) * 1000 })
+        .collect();
+    let run = || {
+        let mut sim = Simulator::new(
+            &topo,
+            Routing::Layered(&tables),
+            ndp_cfg(LoadBalancing::FatPathsLayers),
+        );
+        sim.add_flows(&flows);
+        sim.run()
+    };
+    let a = run();
+    let b = run();
+    let fa: Vec<_> = a.flows.iter().map(|f| f.finish).collect();
+    let fb: Vec<_> = b.flows.iter().map(|f| f.finish).collect();
+    assert_eq!(fa, fb);
+}
+
+#[test]
+fn minimal_layer_set_equals_single_path_routing() {
+    // FatPaths with only layer 0 must route like plain minimal routing.
+    let topo = slim_fly(5, 2).unwrap();
+    let ls = LayerSet::minimal_only(&topo.graph);
+    let tables = RoutingTables::build(&topo.graph, &ls);
+    let mut sim = Simulator::new(
+        &topo,
+        Routing::Layered(&tables),
+        ndp_cfg(LoadBalancing::FatPathsLayers),
+    );
+    sim.add_flows(&[FlowSpec { src: 0, dst: 55, size: MIB, start: 0 }]);
+    let res = sim.run();
+    assert_eq!(res.completion_rate(), 1.0);
+    let tp = res.flows[0].throughput_mib_s().unwrap();
+    assert!(tp > 0.6 * LINE_MIB_S, "{tp}");
+}
+
+#[test]
+fn horizon_cuts_off_unfinished_flows() {
+    let topo = star(4);
+    let dm = DistanceMatrix::build(&topo.graph);
+    let cfg = SimConfig { horizon: 10_000_000, ..ndp_cfg(LoadBalancing::EcmpFlow) }; // 10 µs
+    let mut sim = Simulator::new(&topo, Routing::Minimal(&dm), cfg);
+    sim.add_flows(&[FlowSpec { src: 0, dst: 1, size: 64 * MIB, start: 0 }]);
+    let res = sim.run();
+    assert_eq!(res.completion_rate(), 0.0);
+    assert!(res.flows[0].finish.is_none());
+}
+
+#[test]
+fn tcp_ecn_reno_reacts_before_loss() {
+    let topo = star(8);
+    let dm = DistanceMatrix::build(&topo.graph);
+    let run = |variant| {
+        let mut sim = Simulator::new(
+            &topo,
+            Routing::Minimal(&dm),
+            tcp_cfg(variant, LoadBalancing::EcmpFlow),
+        );
+        let flows: Vec<FlowSpec> = (1..=6)
+            .map(|s| FlowSpec { src: s, dst: 0, size: MIB, start: 0 })
+            .collect();
+        sim.add_flows(&flows);
+        sim.run()
+    };
+    let reno = run(TcpVariant::Reno);
+    let ecn = run(TcpVariant::EcnReno);
+    assert_eq!(ecn.completion_rate(), 1.0);
+    assert!(ecn.drops <= reno.drops);
+}

@@ -1,0 +1,24 @@
+//! # fatpaths-workloads
+//!
+//! Workload model of the FatPaths evaluation (§II-C, §VII-A4):
+//!
+//! * [`patterns`] — the traffic patterns (uniform, permutation,
+//!   off-diagonal, shuffle, stencil, multi-permutation, adversarial);
+//! * [`sizes`] — the 20-point web-search-like flow-size distribution
+//!   (mean 1 MiB on [32 KiB, 2 MiB]);
+//! * [`arrivals`] — Poisson flow arrivals with warm-up dropping;
+//! * [`mapping`] — randomized workload mapping (§III-D);
+//! * [`stencil`] — the bulk-synchronous stencil + barrier workload
+//!   (Fig. 17).
+
+pub mod arrivals;
+pub mod mapping;
+pub mod patterns;
+pub mod sizes;
+pub mod stencil;
+
+pub use arrivals::{bulk_flows, drop_warmup, poisson_flows, FlowSpec, TimePs, SEC_PS};
+pub use mapping::{apply_mapping, identity_mapping, random_mapping};
+pub use patterns::{adversarial_for, Pattern};
+pub use sizes::{FlowSizeDist, KIB, MIB};
+pub use stencil::StencilWorkload;

@@ -1,0 +1,76 @@
+//! Bulk-synchronous stencil workload (Fig. 17).
+//!
+//! Models the HPC pattern of §VII-C: every process does local compute,
+//! exchanges fixed-size messages with its stencil neighbors, then
+//! synchronizes on a barrier. The network-visible part of one iteration is
+//! a bulk phase of `4N` flows; total completion time is the sum of phase
+//! makespans (plus compute, which is routing-independent and omitted).
+
+use crate::arrivals::{bulk_flows, FlowSpec, TimePs};
+use crate::patterns::Pattern;
+
+/// A stencil workload description.
+#[derive(Clone, Debug)]
+pub struct StencilWorkload {
+    /// Number of endpoints.
+    pub n: u32,
+    /// Diagonal offsets (default `{±1, ±42}`).
+    pub offsets: Vec<i64>,
+    /// Message size per neighbor exchange (bytes).
+    pub message_size: u64,
+    /// Number of iterations (barrier-separated phases).
+    pub iterations: u32,
+}
+
+impl StencilWorkload {
+    /// The paper's small 2D stencil.
+    pub fn new(n: u32, message_size: u64, iterations: u32) -> Self {
+        StencilWorkload { n, offsets: vec![1, -1, 42, -42], message_size, iterations }
+    }
+
+    /// Flow list of one phase, with an optional endpoint mapping applied
+    /// and all flows starting at `start`.
+    pub fn phase_flows(&self, mapping: Option<&[u32]>, start: TimePs) -> Vec<FlowSpec> {
+        let pattern = Pattern::Stencil { offsets: self.offsets.clone() };
+        let mut pairs = pattern.flows(self.n as u64, 0);
+        if let Some(m) = mapping {
+            pairs = crate::mapping::apply_mapping(m, &pairs);
+        }
+        bulk_flows(&pairs, self.message_size, start)
+    }
+
+    /// Total completion time given the measured makespan of one phase —
+    /// barrier semantics make iterations strictly sequential.
+    pub fn total_completion(&self, phase_makespan: TimePs) -> TimePs {
+        phase_makespan * self.iterations as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_has_4n_flows() {
+        let w = StencilWorkload::new(100, 4096, 3);
+        let flows = w.phase_flows(None, 0);
+        assert_eq!(flows.len(), 400);
+        assert!(flows.iter().all(|f| f.size == 4096));
+    }
+
+    #[test]
+    fn mapping_changes_endpoints_not_count() {
+        let w = StencilWorkload::new(100, 1024, 1);
+        let m = crate::mapping::random_mapping(100, 9);
+        let a = w.phase_flows(None, 0);
+        let b = w.phase_flows(Some(&m), 0);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn completion_scales_with_iterations() {
+        let w = StencilWorkload::new(10, 1, 5);
+        assert_eq!(w.total_completion(1000), 5000);
+    }
+}

@@ -1,0 +1,64 @@
+//! HPC scenario (Fig. 17): a bulk-synchronous 2D stencil with barriers on
+//! a Slim Fly vs a comparable-cost fat tree, with and without randomized
+//! workload mapping (§III-D).
+//!
+//! ```text
+//! cargo run --release --example hpc_stencil
+//! ```
+
+use fatpaths::prelude::*;
+use fatpaths::workloads::StencilWorkload;
+
+fn run_phase(topo: &Topology, flows: &[FlowSpec]) -> f64 {
+    let result = if topo.kind == TopoKind::FatTree {
+        // The fat tree runs its native NDP packet spraying.
+        let dm = DistanceMatrix::build(&topo.graph);
+        let cfg = SimConfig { lb: LoadBalancing::PacketSpray, ..SimConfig::default() };
+        let mut sim = Simulator::new(topo, Routing::Minimal(&dm), cfg);
+        sim.add_flows(flows);
+        sim.run()
+    } else {
+        let layers = build_random_layers(&topo.graph, &LayerConfig::new(9, 0.6, 3));
+        let tables = RoutingTables::build(&topo.graph, &layers);
+        let cfg = SimConfig { lb: LoadBalancing::FatPathsLayers, ..SimConfig::default() };
+        let mut sim = Simulator::new(topo, Routing::Layered(&tables), cfg);
+        sim.add_flows(flows);
+        sim.run()
+    };
+    assert_eq!(result.completion_rate(), 1.0, "stencil phase must complete");
+    result.makespan().unwrap() as f64 / 1e9 // ms
+}
+
+fn main() {
+    let sf = build(TopoKind::SlimFly, SizeClass::Small, 1);
+    let ft = build(TopoKind::FatTree, SizeClass::Small, 1);
+    let n = sf.num_endpoints().min(ft.num_endpoints()) as u32;
+    let stencil = StencilWorkload::new(n, 200_000, 10);
+    println!(
+        "2D stencil: {} processes, 4 × 200 KB halo exchanges per iteration, 10 iterations\n",
+        n
+    );
+    for topo in [&sf, &ft] {
+        for (mapping_name, mapping) in [
+            ("linear mapping ", None),
+            ("random mapping ", Some(fatpaths::workloads::random_mapping(n, 7))),
+        ] {
+            let flows: Vec<FlowSpec> = stencil
+                .phase_flows(mapping.as_deref(), 0)
+                .into_iter()
+                .filter(|f| topo.endpoint_router(f.src) != topo.endpoint_router(f.dst))
+                .collect();
+            let phase_ms = run_phase(topo, &flows);
+            let total = stencil.total_completion((phase_ms * 1e9) as u64) as f64 / 1e9;
+            println!(
+                "{:<22} {} phase {:>7.2} ms   total ({} iters) {:>8.1} ms",
+                topo.name, mapping_name, phase_ms, stencil.iterations, total
+            );
+        }
+    }
+    println!(
+        "\nRandomized mapping spreads the stencil's off-diagonals over the\n\
+         rich inter-group diversity (§III-D); on the low-diameter SF the\n\
+         effect compounds with FatPaths' non-minimal multipathing."
+    );
+}

@@ -1,0 +1,70 @@
+//! # FatPaths
+//!
+//! A from-scratch Rust reproduction of **"FatPaths: Routing in
+//! Supercomputers and Data Centers when Shortest Paths Fall Short"**
+//! (Besta et al., ACM/IEEE Supercomputing 2020).
+//!
+//! FatPaths is a routing architecture for modern *low-diameter* topologies
+//! (Slim Fly, Dragonfly, Jellyfish, Xpander, HyperX). Its insight: these
+//! networks have almost no shortest-path diversity — usually exactly one
+//! minimal path per router pair — but plenty of **"almost" minimal paths**
+//! (one hop longer). FatPaths encodes that diversity in commodity
+//! destination-based forwarding by splitting links into **layers**, routing
+//! minimally *within* each layer, and balancing elastic **flowlets** across
+//! layers, on top of an NDP-derived "purified" transport.
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`net`] | graph model, topology generators, size classes, cost model |
+//! | [`diversity`] | path-diversity metrics: CDP, PI, TNL, collisions (§IV) |
+//! | [`core`] | layered routing, forwarding tables, SPAIN/PAST/KSP/ECMP (§V–VI) |
+//! | [`mcf`] | max-achievable-throughput solver, worst-case traffic (§VI) |
+//! | [`workloads`] | traffic patterns, flow sizes, arrivals, mappings (§II-C) |
+//! | [`sim`] | packet-level simulator (NDP + TCP/DCTCP) and fluid model (§VII) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fatpaths::prelude::*;
+//!
+//! // A Slim Fly MMS(q=5) with 3 endpoints per router.
+//! let topo = fatpaths::net::topo::slimfly::slim_fly(5, 3).unwrap();
+//!
+//! // FatPaths layered routing: 1 complete layer + 5 sparse layers (ρ=0.6).
+//! let layers = build_random_layers(&topo.graph, &LayerConfig::new(6, 0.6, 1));
+//! let tables = RoutingTables::build(&topo.graph, &layers);
+//!
+//! // Simulate an adversarial workload with the purified transport.
+//! let flows: Vec<FlowSpec> = (0..topo.num_endpoints() as u32 / 2)
+//!     .map(|e| FlowSpec { src: e, dst: e + 75, size: 64 * 1024, start: 0 })
+//!     .collect();
+//! let mut sim = Simulator::new(&topo, Routing::Layered(&tables), SimConfig::default());
+//! sim.add_flows(&flows);
+//! let result = sim.run();
+//! assert_eq!(result.completion_rate(), 1.0);
+//! ```
+
+pub use fatpaths_core as core;
+pub use fatpaths_diversity as diversity;
+pub use fatpaths_mcf as mcf;
+pub use fatpaths_net as net;
+pub use fatpaths_sim as sim;
+pub use fatpaths_workloads as workloads;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use fatpaths_core::ecmp::DistanceMatrix;
+    pub use fatpaths_core::fwd::RoutingTables;
+    pub use fatpaths_core::interference_min::{build_interference_min_layers, ImConfig};
+    pub use fatpaths_core::layers::{build_random_layers, LayerConfig, LayerSet};
+    pub use fatpaths_net::classes::{build, SizeClass};
+    pub use fatpaths_net::topo::{TopoKind, Topology};
+    pub use fatpaths_sim::{
+        LoadBalancing, Routing, SimConfig, SimResult, Simulator, TcpVariant, Transport,
+    };
+    pub use fatpaths_workloads::arrivals::FlowSpec;
+    pub use fatpaths_workloads::patterns::Pattern;
+    pub use fatpaths_workloads::sizes::FlowSizeDist;
+}
