@@ -11,7 +11,7 @@ use fatpaths_diversity::interference::sample_pi;
 use fatpaths_mcf::mat::{mat, router_demands, LayeredPaths};
 use fatpaths_mcf::worstcase::worst_case_flows;
 use fatpaths_net::topo::slimfly::slim_fly;
-use fatpaths_sim::{LoadBalancing, Routing, SimConfig, Simulator};
+use fatpaths_sim::{LoadBalancing, SimConfig, Simulator};
 use fatpaths_workloads::arrivals::{poisson_flows, FlowSpec};
 use fatpaths_workloads::patterns::Pattern;
 use fatpaths_workloads::sizes::FlowSizeDist;
@@ -59,7 +59,15 @@ fn bench_figure_pipelines(c: &mut Criterion) {
         let ls = build_random_layers(&t.graph, &LayerConfig::new(4, 0.6, 1));
         let rt = RoutingTables::build(&t.graph, &ls);
         b.iter(|| {
-            black_box(mat(&t.graph, &demands, &LayeredPaths { base: &t.graph, tables: &rt }, 0.1))
+            black_box(mat(
+                &t.graph,
+                &demands,
+                &LayeredPaths {
+                    base: &t.graph,
+                    tables: &rt,
+                },
+                0.1,
+            ))
         })
     });
 
@@ -73,8 +81,11 @@ fn bench_figure_pipelines(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = Simulator::new(
                 &t,
-                Routing::Layered(&rt),
-                SimConfig { lb: LoadBalancing::FatPathsLayers, ..SimConfig::default() },
+                &rt,
+                SimConfig {
+                    lb: LoadBalancing::FatPathsLayers,
+                    ..SimConfig::default()
+                },
             );
             sim.add_flows(&flows);
             let res = sim.run();

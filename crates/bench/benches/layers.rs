@@ -14,20 +14,32 @@ fn bench_layer_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("layer_construction_sf722");
     g.sample_size(10);
     for rho in [0.5, 0.8] {
-        g.bench_with_input(BenchmarkId::new("random_n9", format!("rho{rho}")), &rho, |b, &rho| {
-            b.iter(|| black_box(build_random_layers(&t.graph, &LayerConfig::new(9, rho, 1))))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("random_n9", format!("rho{rho}")),
+            &rho,
+            |b, &rho| {
+                b.iter(|| black_box(build_random_layers(&t.graph, &LayerConfig::new(9, rho, 1))))
+            },
+        );
     }
     for n in [2usize, 4, 9] {
-        g.bench_with_input(BenchmarkId::new("random_rho06", format!("n{n}")), &n, |b, &n| {
-            b.iter(|| black_box(build_random_layers(&t.graph, &LayerConfig::new(n, 0.6, 1))))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("random_rho06", format!("n{n}")),
+            &n,
+            |b, &n| {
+                b.iter(|| black_box(build_random_layers(&t.graph, &LayerConfig::new(n, 0.6, 1))))
+            },
+        );
     }
     g.bench_function("interference_min_n4", |b| {
         b.iter(|| {
             black_box(build_interference_min_layers(
                 &t.graph,
-                &ImConfig { n_layers: 4, seed: 1, ..ImConfig::default() },
+                &ImConfig {
+                    n_layers: 4,
+                    seed: 1,
+                    ..ImConfig::default()
+                },
             ))
         })
     });

@@ -25,7 +25,10 @@ fn bench_mcf(c: &mut Criterion) {
             black_box(mat(
                 &t.graph,
                 &demands,
-                &LayeredPaths { base: &t.graph, tables: &rt },
+                &LayeredPaths {
+                    base: &t.graph,
+                    tables: &rt,
+                },
                 0.08,
             ))
         })

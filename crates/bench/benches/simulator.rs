@@ -1,13 +1,16 @@
 //! Benchmarks for the packet simulator's event rate and the fluid solver —
-//! the cost ceiling for every §VII experiment.
+//! the cost ceiling for every §VII experiment — plus the routing-dispatch
+//! comparison backing the `RoutingScheme` redesign: concrete-type (static),
+//! trait-object (dyn), and `BuiltScheme`-enum dispatch on the same run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fatpaths_core::ecmp::DistanceMatrix;
 use fatpaths_core::fwd::RoutingTables;
 use fatpaths_core::layers::{build_random_layers, LayerConfig};
+use fatpaths_core::scheme::{MinimalScheme, RoutingScheme};
 use fatpaths_net::topo::slimfly::slim_fly;
 use fatpaths_sim::fluid::max_min_rates;
-use fatpaths_sim::{LoadBalancing, Routing, SimConfig, Simulator, Transport};
+use fatpaths_sim::{LoadBalancing, Scenario, SchemeSpec, SimConfig, Simulator};
 use fatpaths_workloads::arrivals::FlowSpec;
 use std::hint::black_box;
 
@@ -25,18 +28,27 @@ fn adversarial_flows(n: u64, p: u64, nr: u64, size: u64) -> Vec<FlowSpec> {
 
 fn bench_packet_sim(c: &mut Criterion) {
     let t = slim_fly(7, 5).unwrap();
-    let flows = adversarial_flows(t.num_endpoints() as u64, 5, t.num_routers() as u64, 256 * 1024);
+    let flows = adversarial_flows(
+        t.num_endpoints() as u64,
+        5,
+        t.num_routers() as u64,
+        256 * 1024,
+    );
     let ls = build_random_layers(&t.graph, &LayerConfig::new(9, 0.6, 1));
     let rt = RoutingTables::build(&t.graph, &ls);
     let dm = DistanceMatrix::build(&t.graph);
+    let ms = MinimalScheme::new(&t.graph, &dm);
     let mut g = c.benchmark_group("packet_sim_sf98_490flows");
     g.sample_size(10);
     g.bench_function("ndp_fatpaths", |b| {
         b.iter(|| {
             let mut sim = Simulator::new(
                 &t,
-                Routing::Layered(&rt),
-                SimConfig { lb: LoadBalancing::FatPathsLayers, ..SimConfig::default() },
+                &rt,
+                SimConfig {
+                    lb: LoadBalancing::FatPathsLayers,
+                    ..SimConfig::default()
+                },
             );
             sim.add_flows(&flows);
             black_box(sim.run())
@@ -46,8 +58,11 @@ fn bench_packet_sim(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = Simulator::new(
                 &t,
-                Routing::Minimal(&dm),
-                SimConfig { lb: LoadBalancing::EcmpFlow, ..SimConfig::default() },
+                &ms,
+                SimConfig {
+                    lb: LoadBalancing::EcmpFlow,
+                    ..SimConfig::default()
+                },
             );
             sim.add_flows(&flows);
             black_box(sim.run())
@@ -57,9 +72,11 @@ fn bench_packet_sim(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = Simulator::new(
                 &t,
-                Routing::Layered(&rt),
+                &rt,
                 SimConfig {
-                    transport: Transport::tcp_default(fatpaths_sim::TcpVariant::Dctcp),
+                    transport: fatpaths_sim::Transport::tcp_default(
+                        fatpaths_sim::TcpVariant::Dctcp,
+                    ),
                     lb: LoadBalancing::FatPathsLayers,
                     ..SimConfig::default()
                 },
@@ -67,6 +84,56 @@ fn bench_packet_sim(c: &mut Criterion) {
             sim.add_flows(&flows);
             black_box(sim.run())
         })
+    });
+    g.finish();
+}
+
+/// The same layered NDP run under the three dispatch mechanisms the
+/// redesign offers. This quantifies the vtable cost of `dyn
+/// RoutingScheme` on the per-packet hot path and what the `BuiltScheme`
+/// enum shim buys back.
+fn bench_dispatch(c: &mut Criterion) {
+    let t = slim_fly(7, 5).unwrap();
+    let flows = adversarial_flows(
+        t.num_endpoints() as u64,
+        5,
+        t.num_routers() as u64,
+        128 * 1024,
+    );
+    let ls = build_random_layers(&t.graph, &LayerConfig::new(9, 0.6, 1));
+    let rt = RoutingTables::build(&t.graph, &ls);
+    let cfg = SimConfig {
+        lb: LoadBalancing::FatPathsLayers,
+        seed: 1,
+        ..SimConfig::default()
+    };
+    let mut g = c.benchmark_group("routing_dispatch_sf98");
+    g.sample_size(10);
+    g.bench_function("static_concrete_type", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&t, &rt, cfg);
+            sim.add_flows(&flows);
+            black_box(sim.run())
+        })
+    });
+    g.bench_function("dyn_trait_object", |b| {
+        b.iter(|| {
+            let scheme: &dyn RoutingScheme = &rt;
+            let mut sim: Simulator<'_> = Simulator::new(&t, scheme, cfg);
+            sim.add_flows(&flows);
+            black_box(sim.run())
+        })
+    });
+    g.bench_function("builtscheme_enum", |b| {
+        let sc = Scenario::on(&t)
+            .scheme(SchemeSpec::LayeredRandom {
+                n_layers: 9,
+                rho: 0.6,
+            })
+            .workload(&flows)
+            .seed(1);
+        let built = sc.build_scheme();
+        b.iter(|| black_box(sc.run_with(&built)))
     });
     g.finish();
 }
@@ -84,5 +151,5 @@ fn bench_fluid(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_packet_sim, bench_fluid);
+criterion_group!(benches, bench_packet_sim, bench_dispatch, bench_fluid);
 criterion_main!(benches);

@@ -19,7 +19,9 @@ fn bench_topologies(c: &mut Criterion) {
     g.bench_function("jellyfish_722_29", |b| {
         b.iter(|| black_box(jellyfish(722, 29, 14, 1)))
     });
-    g.bench_function("xpander_k32", |b| b.iter(|| black_box(xpander(32, 32, 16, 1))));
+    g.bench_function("xpander_k32", |b| {
+        b.iter(|| black_box(xpander(32, 32, 16, 1)))
+    });
     g.finish();
 }
 

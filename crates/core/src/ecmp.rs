@@ -30,7 +30,11 @@ impl DistanceMatrix {
         dist.par_chunks_mut(nr).enumerate().for_each(|(dst, row)| {
             let d = g.bfs(dst as u32);
             for (s, &dv) in d.iter().enumerate() {
-                row[s] = if dv == UNREACHABLE { u8::MAX } else { dv.min(254) as u8 };
+                row[s] = if dv == UNREACHABLE {
+                    u8::MAX
+                } else {
+                    dv.min(254) as u8
+                };
             }
         });
         DistanceMatrix { nr, dist }
@@ -43,10 +47,17 @@ impl DistanceMatrix {
         (d != u8::MAX).then_some(d as u32)
     }
 
-    /// Ports of `src` that lie on a shortest path toward `dst`, appended to
-    /// `out` (cleared first).
-    pub fn minimal_ports(&self, g: &Graph, src: RouterId, dst: RouterId, out: &mut Vec<u16>) {
-        out.clear();
+    /// Calls `emit` with each port of `src` lying on a shortest path
+    /// toward `dst`, in ascending port order — the single home of the
+    /// row-indexing/`+1`-distance invariant both public forms share.
+    #[inline]
+    fn for_each_minimal_port(
+        &self,
+        g: &Graph,
+        src: RouterId,
+        dst: RouterId,
+        mut emit: impl FnMut(u16),
+    ) {
         if src == dst {
             return;
         }
@@ -55,9 +66,30 @@ impl DistanceMatrix {
         debug_assert!(ds != u8::MAX);
         for (port, &nb) in g.neighbors(src).iter().enumerate() {
             if row[nb as usize] + 1 == ds {
-                out.push(port as u16);
+                emit(port as u16);
             }
         }
+    }
+
+    /// Ports of `src` that lie on a shortest path toward `dst`, appended to
+    /// `out` (cleared first).
+    pub fn minimal_ports(&self, g: &Graph, src: RouterId, dst: RouterId, out: &mut Vec<u16>) {
+        out.clear();
+        self.for_each_minimal_port(g, src, dst, |p| out.push(p));
+    }
+
+    /// Ports of `src` on a shortest path toward `dst` as a [`PortSet`]
+    /// (same order as [`DistanceMatrix::minimal_ports`]), the allocation-
+    /// free form used by [`crate::scheme::MinimalScheme`].
+    pub fn minimal_port_set(
+        &self,
+        g: &Graph,
+        src: RouterId,
+        dst: RouterId,
+    ) -> crate::scheme::PortSet {
+        let mut out = crate::scheme::PortSet::new();
+        self.for_each_minimal_port(g, src, dst, |p| out.push(p));
+        out
     }
 
     /// Number of minimal next hops from `src` toward `dst`.

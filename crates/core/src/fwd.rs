@@ -130,7 +130,14 @@ impl RoutingTables {
 
 /// Fills one destination row: BFS from `dst` in the layer graph, then picks
 /// for every source a hash-selected minimal next hop.
-fn fill_destination(base: &Graph, lg: &Graph, layer: u32, dst: u32, trow: &mut [u16], drow: &mut [u8]) {
+fn fill_destination(
+    base: &Graph,
+    lg: &Graph,
+    layer: u32,
+    dst: u32,
+    trow: &mut [u16],
+    drow: &mut [u8],
+) {
     let dist = lg.bfs(dst);
     for (src, &d) in dist.iter().enumerate() {
         if d == UNREACHABLE || src as u32 == dst {

@@ -117,7 +117,11 @@ fn create_layer(
         if u == v {
             continue;
         }
-        let (u, v) = if rank[u as usize] < rank[v as usize] { (u, v) } else { (v, u) };
+        let (u, v) = if rank[u as usize] < rank[v as usize] {
+            (u, v)
+        } else {
+            (v, u)
+        };
         if seen.insert((u, v)) {
             pairs.push((u, v));
         }
@@ -229,8 +233,13 @@ fn find_path(
     }
     // Pick the cheapest arrival with hop count in [lmin, lmax].
     let mut best: Option<(u64, usize)> = None;
-    for h in lmin as usize..=(lmax as usize) {
-        let c = cost[h][v as usize];
+    for (h, row) in cost
+        .iter()
+        .enumerate()
+        .take(lmax as usize + 1)
+        .skip(lmin as usize)
+    {
+        let c = row[v as usize];
         if c != INF && best.map(|(bc, _)| c < bc).unwrap_or(true) {
             best = Some((c, h));
         }
@@ -333,7 +342,11 @@ mod tests {
         let t = slim_fly(7, 1).unwrap();
         let ls = build_interference_min_layers(
             &t.graph,
-            &ImConfig { n_layers: 4, seed: 3, ..ImConfig::default() },
+            &ImConfig {
+                n_layers: 4,
+                seed: 3,
+                ..ImConfig::default()
+            },
         );
         assert_eq!(ls.len(), 4);
         assert!(ls.validate(&t.graph));
@@ -346,7 +359,11 @@ mod tests {
         let t = slim_fly(7, 1).unwrap();
         let ls = build_interference_min_layers(
             &t.graph,
-            &ImConfig { n_layers: 3, seed: 5, ..ImConfig::default() },
+            &ImConfig {
+                n_layers: 3,
+                seed: 5,
+                ..ImConfig::default()
+            },
         );
         let rt = crate::fwd::RoutingTables::build(&t.graph, &ls);
         let mut within = 0;
@@ -365,13 +382,20 @@ mod tests {
                 }
             }
         }
-        assert!(within * 10 >= total * 7, "{within}/{total} paths near-minimal");
+        assert!(
+            within * 10 >= total * 7,
+            "{within}/{total} paths near-minimal"
+        );
     }
 
     #[test]
     fn deterministic() {
         let t = slim_fly(5, 1).unwrap();
-        let cfg = ImConfig { n_layers: 3, seed: 8, ..ImConfig::default() };
+        let cfg = ImConfig {
+            n_layers: 3,
+            seed: 8,
+            ..ImConfig::default()
+        };
         let a = build_interference_min_layers(&t.graph, &cfg);
         let b = build_interference_min_layers(&t.graph, &cfg);
         for (x, y) in a.graphs.iter().zip(&b.graphs) {
@@ -386,7 +410,11 @@ mod tests {
         let t = slim_fly(7, 1).unwrap();
         let ls = build_interference_min_layers(
             &t.graph,
-            &ImConfig { n_layers: 5, seed: 1, ..ImConfig::default() },
+            &ImConfig {
+                n_layers: 5,
+                seed: 1,
+                ..ImConfig::default()
+            },
         );
         let mut used = FxHashSet::default();
         for g in &ls.graphs[1..] {
@@ -394,6 +422,11 @@ mod tests {
                 used.insert(e);
             }
         }
-        assert!(used.len() * 2 >= t.graph.m(), "{} of {}", used.len(), t.graph.m());
+        assert!(
+            used.len() * 2 >= t.graph.m(),
+            "{} of {}",
+            used.len(),
+            t.graph.m()
+        );
     }
 }

@@ -33,7 +33,11 @@ impl LayerConfig {
     pub fn new(n_layers: usize, rho: f64, seed: u64) -> Self {
         assert!(n_layers >= 1, "need at least the complete layer");
         assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1]");
-        LayerConfig { n_layers, rho, seed }
+        LayerConfig {
+            n_layers,
+            rho,
+            seed,
+        }
     }
 }
 
@@ -65,7 +69,9 @@ impl LayerSet {
     /// Builds a single-layer set (minimal routing only, the paper's
     /// `ρ = 1` baseline).
     pub fn minimal_only(base: &Graph) -> LayerSet {
-        LayerSet { graphs: vec![base.clone()] }
+        LayerSet {
+            graphs: vec![base.clone()],
+        }
     }
 
     /// Verifies that every layer is a subgraph of `base` and connected.

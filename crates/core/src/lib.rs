@@ -1,19 +1,36 @@
 //! # fatpaths-core
 //!
 //! The FatPaths paper's primary contribution — **layered routing** (§V) —
-//! plus every comparison routing scheme of §VI:
+//! plus every comparison routing scheme of §VI, unified behind one
+//! interface:
 //!
+//! * [`scheme`] — the **[`RoutingScheme`](scheme::RoutingScheme) trait**:
+//!   per `(layer, router, destination)` candidate-port sets plus
+//!   metadata. Everything below implements it (directly or through an
+//!   adapter), so the packet simulator and the analysis pipelines treat
+//!   FatPaths and all its baselines interchangeably — an open scheme
+//!   registry rather than a hardcoded two-way branch;
 //! * [`layers`] — layer abstraction + random uniform edge sampling
 //!   (Listing 1);
 //! * [`interference_min`] — the path-interference-minimizing construction
 //!   (Listing 2);
 //! * [`fwd`] — per-layer destination-based forwarding tables σᵢ
-//!   (Listing 3), `O(Nr)` entries per destination;
+//!   (Listing 3), `O(Nr)` entries per destination; implements
+//!   [`RoutingScheme`](scheme::RoutingScheme) directly;
 //! * [`ecmp`] — minimal multipath port sets, ECMP flow hashing, packet
-//!   spraying;
+//!   spraying (adapter: [`MinimalScheme`](scheme::MinimalScheme));
 //! * [`spain`], [`past`], [`ksp`] — the SPAIN, PAST and k-shortest-paths
-//!   baselines (Appendix C);
+//!   baselines (Appendix C), simulatable through
+//!   [`SpainScheme`](scheme::SpainScheme) /
+//!   [`PastScheme`](scheme::PastScheme) /
+//!   [`KspScheme`](scheme::KspScheme); Valiant load balancing is
+//!   [`ValiantScheme`](scheme::ValiantScheme);
 //! * [`schemes`] — Table I's feature matrix as data.
+//!
+//! To add a new routing scheme, implement
+//! [`RoutingScheme`](scheme::RoutingScheme) (and, for the fluent config
+//! API, add a `SchemeSpec` variant in `fatpaths-sim`); the simulator's
+//! event loop needs no changes.
 
 pub mod ecmp;
 pub mod fwd;
@@ -21,6 +38,7 @@ pub mod interference_min;
 pub mod ksp;
 pub mod layers;
 pub mod past;
+pub mod scheme;
 pub mod schemes;
 pub mod spain;
 
@@ -30,4 +48,8 @@ pub use interference_min::{build_interference_min_layers, ImConfig};
 pub use ksp::k_shortest_paths;
 pub use layers::{build_random_layers, LayerConfig, LayerSet};
 pub use past::{PastTrees, PastVariant};
+pub use scheme::{
+    KspConfig, KspScheme, MinimalScheme, PastScheme, PortSet, RoutingScheme, SpainScheme,
+    ValiantScheme,
+};
 pub use spain::{build_spain_layers, SpainConfig, SpainLayers};

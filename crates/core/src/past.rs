@@ -37,7 +37,8 @@ impl PastTrees {
         let nr = g.n();
         let mut parent = Vec::with_capacity(nr);
         for dst in 0..nr as u32 {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0xD1F9_6E37u64.wrapping_mul(dst as u64 + 1)));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (0xD1F9_6E37u64.wrapping_mul(dst as u64 + 1)));
             let root = match variant {
                 PastVariant::Bfs => dst,
                 PastVariant::Valiant => rng.random_range(0..nr as u32),
@@ -168,7 +169,11 @@ mod tests {
                 continue;
             }
             let p = trees.path(s, 17).unwrap();
-            assert_eq!(p.len() as u32 - 1, d0[s as usize], "PAST-BFS path not minimal");
+            assert_eq!(
+                p.len() as u32 - 1,
+                d0[s as usize],
+                "PAST-BFS path not minimal"
+            );
         }
     }
 

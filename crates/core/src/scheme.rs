@@ -1,0 +1,672 @@
+//! The open routing-scheme interface: every scheme the paper compares —
+//! FatPaths layers, ECMP-family minimal multipath, SPAIN, PAST,
+//! k-shortest-paths, and Valiant load balancing — exposes the same
+//! hop-by-hop forwarding contract, so the packet simulator (and any other
+//! consumer) is generic over routing.
+//!
+//! The contract is destination-based forwarding with a per-packet layer
+//! tag, which is what commodity hardware implements (§V-E): at router `r`,
+//! a packet tagged `layer` and destined to `dst_router` may leave through
+//! any port in [`RoutingScheme::candidate_ports`]. Load balancing (which
+//! candidate a packet actually takes, and when a flow changes its layer
+//! tag) stays in the simulator — schemes only define the *path sets*.
+//!
+//! Schemes that need mid-route state transitions (Valiant's two phases)
+//! implement [`RoutingScheme::update_layer`], a per-hop tag rewrite — the
+//! software analogue of VLAN rewriting / segment popping. Tags the
+//! endpoints may *select* are `0..num_layers()`; rewritten internal tags
+//! may exceed that range and are owned entirely by the scheme.
+
+use crate::ecmp::DistanceMatrix;
+use crate::fwd::{fnv1a, RoutingTables};
+use crate::ksp::k_shortest_paths;
+use crate::past::{PastTrees, PastVariant};
+use crate::spain::{build_spain_layers, SpainConfig, SpainLayers};
+use fatpaths_net::graph::{Graph, RouterId};
+
+/// Inline capacity of a [`PortSet`]; candidate sets beyond this spill to
+/// the heap. Sized to cover the largest minimal-multipath fan-out the
+/// evaluation uses — a Large-class fat tree (k = 54) has k/2 = 27
+/// minimal up-ports per inter-pod hop — so the per-packet hot path stays
+/// allocation-free on every paper-size topology.
+pub const PORTSET_INLINE: usize = 28;
+
+/// A small set of candidate output ports, inline up to
+/// [`PORTSET_INLINE`] entries. Order is part of the contract: load
+/// balancers index into it deterministically, so schemes must emit ports
+/// in a stable order (ascending, for every scheme in this crate).
+#[derive(Clone, Debug, Default)]
+pub struct PortSet {
+    len: u32,
+    inline: [u16; PORTSET_INLINE],
+    spill: Vec<u16>,
+}
+
+impl PortSet {
+    /// The empty set.
+    pub fn new() -> PortSet {
+        PortSet::default()
+    }
+
+    /// A one-port set.
+    pub fn single(port: u16) -> PortSet {
+        let mut s = PortSet::default();
+        s.push(port);
+        s
+    }
+
+    /// Appends a candidate port.
+    pub fn push(&mut self, port: u16) {
+        let n = self.len as usize;
+        if self.spill.is_empty() && n < PORTSET_INLINE {
+            self.inline[n] = port;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.inline[..n]);
+            }
+            self.spill.push(port);
+        }
+        self.len += 1;
+    }
+
+    /// The candidates as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u16] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Number of candidates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True iff no candidate exists (destination unreachable).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A pluggable routing scheme: per (layer, router, destination-router)
+/// candidate output ports plus metadata. Implementations must be
+/// loop-free per layer: following any candidate port must make progress
+/// toward the destination under the scheme's own forwarding rule.
+pub trait RoutingScheme {
+    /// Short scheme identifier for logs and CSV rows.
+    fn name(&self) -> &'static str;
+
+    /// Number of endpoint-selectable layers (≥ 1). Endpoints tag packets
+    /// with layers in `0..num_layers()`; flowlet load balancing re-picks
+    /// within that range.
+    fn num_layers(&self) -> usize;
+
+    /// Output ports of `at_router` through which a packet tagged `layer`
+    /// and destined to an endpoint of `dst_router` may leave. Never
+    /// called with `at_router == dst_router`. An empty set means the
+    /// destination is unreachable (the simulator treats this as fatal).
+    fn candidate_ports(&self, layer: u8, at_router: RouterId, dst_router: RouterId) -> PortSet;
+
+    /// Per-hop layer-tag rewrite, applied when a packet arrives at
+    /// `at_router` before port selection. Identity for single-phase
+    /// schemes; Valiant uses it to switch from the "toward intermediate"
+    /// phase to the "toward destination" phase.
+    fn update_layer(&self, layer: u8, at_router: RouterId, dst_router: RouterId) -> u8 {
+        let _ = (at_router, dst_router);
+        layer
+    }
+}
+
+/// FatPaths layered forwarding: one deterministic port per (layer, src,
+/// dst), falling back to the complete layer 0 when a sparse layer cannot
+/// reach the destination (it is connected by construction, so the
+/// fallback only covers defensive clamping).
+impl RoutingScheme for RoutingTables {
+    fn name(&self) -> &'static str {
+        "layered"
+    }
+
+    fn num_layers(&self) -> usize {
+        self.n_layers()
+    }
+
+    fn candidate_ports(&self, layer: u8, at_router: RouterId, dst_router: RouterId) -> PortSet {
+        let l = (layer as usize).min(self.n_layers() - 1);
+        match self
+            .next_port(l, at_router, dst_router)
+            .or_else(|| self.next_port(0, at_router, dst_router))
+        {
+            Some(p) => PortSet::single(p),
+            None => PortSet::new(),
+        }
+    }
+}
+
+/// Minimal multipath over a [`DistanceMatrix`] — the ECMP / packet-spray /
+/// LetFlow substrate. This is the `DistanceMatrix` adapter: the matrix
+/// alone cannot enumerate ports (it stores distances, not adjacency), so
+/// the adapter pairs it with the graph it was built from.
+#[derive(Clone, Copy, Debug)]
+pub struct MinimalScheme<'a> {
+    /// The topology's router graph.
+    pub graph: &'a Graph,
+    /// All-pairs hop distances over `graph`.
+    pub dm: &'a DistanceMatrix,
+}
+
+impl<'a> MinimalScheme<'a> {
+    /// Pairs a distance matrix with its base graph.
+    pub fn new(graph: &'a Graph, dm: &'a DistanceMatrix) -> Self {
+        MinimalScheme { graph, dm }
+    }
+}
+
+impl RoutingScheme for MinimalScheme<'_> {
+    fn name(&self) -> &'static str {
+        "minimal"
+    }
+
+    fn num_layers(&self) -> usize {
+        1
+    }
+
+    fn candidate_ports(&self, _layer: u8, at_router: RouterId, dst_router: RouterId) -> PortSet {
+        self.dm.minimal_port_set(self.graph, at_router, dst_router)
+    }
+}
+
+/// SPAIN (Mudigonda et al., NSDI'10) as a simulatable scheme: the merged
+/// VLAN forests become routing layers with per-layer destination-based
+/// forwarding. Forests do not span every pair in every layer, so lookups
+/// fall back to the first layer that reaches the destination — the VLAN
+/// the end host would have selected for that destination.
+#[derive(Clone, Debug)]
+pub struct SpainScheme {
+    tables: RoutingTables,
+    /// VLAN subgraph count before merging (§VI-B's resource cost).
+    pub vlans_before_merge: usize,
+}
+
+impl SpainScheme {
+    /// Runs the SPAIN construction on `base` and compiles its layers into
+    /// forwarding tables.
+    pub fn build(base: &Graph, cfg: &SpainConfig) -> Self {
+        let sl = build_spain_layers(base, cfg);
+        Self::from_layers(base, &sl)
+    }
+
+    /// Compiles previously built SPAIN layers.
+    pub fn from_layers(base: &Graph, sl: &SpainLayers) -> Self {
+        SpainScheme {
+            tables: RoutingTables::build(base, &sl.layers),
+            vlans_before_merge: sl.vlans_before_merge,
+        }
+    }
+
+    /// The compiled per-layer tables.
+    pub fn tables(&self) -> &RoutingTables {
+        &self.tables
+    }
+}
+
+impl RoutingScheme for SpainScheme {
+    fn name(&self) -> &'static str {
+        "spain"
+    }
+
+    fn num_layers(&self) -> usize {
+        self.tables.n_layers()
+    }
+
+    fn candidate_ports(&self, layer: u8, at_router: RouterId, dst_router: RouterId) -> PortSet {
+        // Preferred VLAN first, then the rest in cyclic order.
+        cyclic_fallback_port(&self.tables, layer, at_router, dst_router)
+    }
+}
+
+/// Forwarding shared by the forest-layered schemes (SPAIN, KSP), whose
+/// layers may not span every pair: the tagged layer first, then the
+/// remaining layers in cyclic order — the first one that reaches the
+/// destination wins. Loop-free: forwarding one hop within the chosen
+/// layer keeps that layer reachable at the next router (it sits on a
+/// layer path to the destination), so a packet's scan offset never
+/// increases along its route; the pair (offset, in-layer distance)
+/// decreases lexicographically at every hop.
+fn cyclic_fallback_port(
+    tables: &RoutingTables,
+    layer: u8,
+    at_router: RouterId,
+    dst_router: RouterId,
+) -> PortSet {
+    let n = tables.n_layers();
+    let start = (layer as usize) % n;
+    for off in 0..n {
+        if let Some(p) = tables.next_port((start + off) % n, at_router, dst_router) {
+            return PortSet::single(p);
+        }
+    }
+    PortSet::new()
+}
+
+/// PAST (Stephens et al., CoNEXT'12) as a simulatable scheme: one
+/// spanning tree per destination, compiled to a flat `(dst, src) → port`
+/// table. Exactly one path per pair — the §VI deficiency made measurable.
+#[derive(Clone, Debug)]
+pub struct PastScheme {
+    nr: usize,
+    ports: Vec<u16>,
+    variant: PastVariant,
+}
+
+impl PastScheme {
+    /// Builds the per-destination trees and compiles them to ports.
+    pub fn build(g: &Graph, variant: PastVariant, seed: u64) -> Self {
+        let trees = PastTrees::build(g, variant, seed);
+        Self::from_trees(g, &trees, variant)
+    }
+
+    /// Compiles previously built trees.
+    pub fn from_trees(g: &Graph, trees: &PastTrees, variant: PastVariant) -> Self {
+        let nr = g.n();
+        assert_eq!(trees.num_trees(), nr, "tree count must match router count");
+        let mut ports = vec![u16::MAX; nr * nr];
+        for dst in 0..nr as u32 {
+            for src in 0..nr as u32 {
+                if src == dst {
+                    continue;
+                }
+                if let Some(next) = trees.next_hop(src, dst) {
+                    let p = g
+                        .port_of(src, next)
+                        .expect("PAST tree edge must exist in the graph");
+                    ports[dst as usize * nr + src as usize] = p as u16;
+                }
+            }
+        }
+        PastScheme { nr, ports, variant }
+    }
+
+    /// Which tree construction this scheme uses.
+    pub fn variant(&self) -> PastVariant {
+        self.variant
+    }
+}
+
+impl RoutingScheme for PastScheme {
+    fn name(&self) -> &'static str {
+        "past"
+    }
+
+    fn num_layers(&self) -> usize {
+        1
+    }
+
+    fn candidate_ports(&self, _layer: u8, at_router: RouterId, dst_router: RouterId) -> PortSet {
+        let p = self.ports[dst_router as usize * self.nr + at_router as usize];
+        if p == u16::MAX {
+            PortSet::new()
+        } else {
+            PortSet::single(p)
+        }
+    }
+}
+
+/// Configuration of the [`KspScheme`] build.
+#[derive(Clone, Copy, Debug)]
+pub struct KspConfig {
+    /// Paths per pair (= layers of the compiled scheme).
+    pub k: usize,
+    /// Cap on the number of (src, dst) pairs Yen's algorithm runs on;
+    /// larger graphs are sampled with a deterministic stride. `0` = all.
+    pub max_pairs: usize,
+}
+
+impl Default for KspConfig {
+    fn default() -> Self {
+        KspConfig {
+            k: 4,
+            max_pairs: 4000,
+        }
+    }
+}
+
+/// k-shortest-paths routing (Singla et al.; Appendix C-D) as a
+/// simulatable scheme. The i-th shortest paths of (sampled) pairs are
+/// unioned into layer i's subgraph; minimal forwarding within each layer
+/// then realizes "spread over the k shortest paths" with plain
+/// destination-based tables, mirroring how §VI treats KSP as a layered
+/// comparison target. Layers are patched to connectivity so every pair
+/// remains routable in every layer.
+#[derive(Clone, Debug)]
+pub struct KspScheme {
+    tables: RoutingTables,
+}
+
+impl KspScheme {
+    /// Runs Yen's algorithm over the (sampled) pairs and compiles the
+    /// per-rank path unions into forwarding tables.
+    pub fn build(base: &Graph, cfg: &KspConfig) -> Self {
+        assert!(cfg.k >= 1, "need at least one path per pair");
+        let nr = base.n();
+        let mut edge_sets: Vec<rustc_hash::FxHashSet<(u32, u32)>> =
+            vec![rustc_hash::FxHashSet::default(); cfg.k];
+        let total_pairs = nr * (nr - 1);
+        let stride = if cfg.max_pairs == 0 || total_pairs <= cfg.max_pairs {
+            1
+        } else {
+            total_pairs.div_ceil(cfg.max_pairs)
+        };
+        let mut idx = 0usize;
+        for s in 0..nr as u32 {
+            for d in 0..nr as u32 {
+                if s == d {
+                    continue;
+                }
+                idx += 1;
+                if !idx.is_multiple_of(stride) {
+                    continue;
+                }
+                let paths = k_shortest_paths(base, s, d, cfg.k);
+                for (i, set) in edge_sets.iter_mut().enumerate() {
+                    // Rank i path, or the longest available one.
+                    let p = paths.get(i).or(paths.last()).unwrap();
+                    for w in p.windows(2) {
+                        set.insert((w[0].min(w[1]), w[0].max(w[1])));
+                    }
+                }
+            }
+        }
+        let graphs: Vec<Graph> = edge_sets
+            .into_iter()
+            .map(|set| {
+                let edges: Vec<(u32, u32)> = set.into_iter().collect();
+                connect_with_base(base, edges)
+            })
+            .collect();
+        let layers = crate::layers::LayerSet { graphs };
+        KspScheme {
+            tables: RoutingTables::build(base, &layers),
+        }
+    }
+
+    /// The compiled per-rank tables.
+    pub fn tables(&self) -> &RoutingTables {
+        &self.tables
+    }
+}
+
+/// Builds a graph from `edges`, greedily adding base-graph edges that
+/// bridge components until connected (deterministic: canonical order).
+fn connect_with_base(base: &Graph, mut edges: Vec<(u32, u32)>) -> Graph {
+    loop {
+        let g = Graph::from_edges(base.n(), &edges);
+        if g.is_connected() {
+            return g;
+        }
+        // Label components, then add the first bridging edge per pair of
+        // components in canonical edge order.
+        let mut label = vec![u32::MAX; base.n()];
+        let mut next = 0u32;
+        for s in 0..base.n() as u32 {
+            if label[s as usize] != u32::MAX {
+                continue;
+            }
+            let mut stack = vec![s];
+            label[s as usize] = next;
+            while let Some(u) = stack.pop() {
+                for &v in g.neighbors(u) {
+                    if label[v as usize] == u32::MAX {
+                        label[v as usize] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        let mut seen = rustc_hash::FxHashSet::default();
+        let before = edges.len();
+        for (u, v) in base.edges() {
+            let (cu, cv) = (label[u as usize], label[v as usize]);
+            if cu != cv && seen.insert((cu.min(cv), cu.max(cv))) {
+                edges.push((u, v));
+            }
+        }
+        assert!(edges.len() > before, "base graph must be connected");
+    }
+}
+
+impl RoutingScheme for KspScheme {
+    fn name(&self) -> &'static str {
+        "ksp"
+    }
+
+    fn num_layers(&self) -> usize {
+        self.tables.n_layers()
+    }
+
+    fn candidate_ports(&self, layer: u8, at_router: RouterId, dst_router: RouterId) -> PortSet {
+        // Preferred rank first, then the rest in cyclic order (layers are
+        // patched to connectivity, so the first rank always resolves).
+        cyclic_fallback_port(&self.tables, layer, at_router, dst_router)
+    }
+}
+
+/// Valiant load balancing (VLB): route minimally to a per-(layer,
+/// destination) intermediate router, then minimally to the destination.
+/// The two phases are encoded in the layer tag — phase-1 tags are
+/// `0..n_vlb` (endpoint-selectable), and [`RoutingScheme::update_layer`]
+/// rewrites tag `l` to `n_vlb + l` when the packet reaches the
+/// intermediate. Both phases follow strictly decreasing BFS distances, so
+/// forwarding is loop-free.
+#[derive(Clone, Debug)]
+pub struct ValiantScheme<'a> {
+    graph: &'a Graph,
+    dm: DistanceMatrix,
+    n_vlb: usize,
+    seed: u64,
+}
+
+impl<'a> ValiantScheme<'a> {
+    /// Builds VLB with `n_vlb` selectable intermediates per destination.
+    pub fn build(graph: &'a Graph, n_vlb: usize, seed: u64) -> Self {
+        assert!(
+            (1..=127).contains(&n_vlb),
+            "layer tag is u8: phase bit needs n_vlb <= 127"
+        );
+        ValiantScheme {
+            graph,
+            dm: DistanceMatrix::build(graph),
+            n_vlb,
+            seed,
+        }
+    }
+
+    /// The intermediate router of layer `l` toward `dst`.
+    #[inline]
+    pub fn intermediate(&self, l: usize, dst: RouterId) -> RouterId {
+        let nr = self.graph.n() as u64;
+        (fnv1a(self.seed ^ ((l as u64) << 40) ^ dst as u64) % nr) as u32
+    }
+}
+
+impl RoutingScheme for ValiantScheme<'_> {
+    fn name(&self) -> &'static str {
+        "valiant"
+    }
+
+    fn num_layers(&self) -> usize {
+        self.n_vlb
+    }
+
+    fn candidate_ports(&self, layer: u8, at_router: RouterId, dst_router: RouterId) -> PortSet {
+        let l = layer as usize;
+        let target = if l < self.n_vlb {
+            let w = self.intermediate(l, dst_router);
+            // Degenerate draws (w == current router is handled by
+            // update_layer; w == dst makes phase 1 the whole route).
+            if w == at_router {
+                dst_router
+            } else {
+                w
+            }
+        } else {
+            dst_router
+        };
+        self.dm.minimal_port_set(self.graph, at_router, target)
+    }
+
+    fn update_layer(&self, layer: u8, at_router: RouterId, dst_router: RouterId) -> u8 {
+        let l = layer as usize;
+        if l < self.n_vlb && self.intermediate(l, dst_router) == at_router {
+            (self.n_vlb + l) as u8
+        } else {
+            layer
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{build_random_layers, LayerConfig};
+    use fatpaths_net::topo::slimfly::slim_fly;
+
+    /// Walks hop-by-hop through `scheme` from `s` to `t` on `layer`,
+    /// always taking the first candidate; applies `update_layer` like the
+    /// simulator does. Returns the router path.
+    fn walk(scheme: &dyn RoutingScheme, g: &Graph, mut layer: u8, s: u32, t: u32) -> Vec<u32> {
+        let mut at = s;
+        let mut path = vec![s];
+        while at != t {
+            layer = scheme.update_layer(layer, at, t);
+            let ports = scheme.candidate_ports(layer, at, t);
+            assert!(!ports.is_empty(), "unreachable at {at} toward {t}");
+            at = g.neighbor_at(at, ports.as_slice()[0] as u32);
+            path.push(at);
+            assert!(path.len() <= g.n() + 2, "forwarding loop: {path:?}");
+        }
+        path
+    }
+
+    #[test]
+    fn portset_inline_and_spill() {
+        let mut s = PortSet::new();
+        assert!(s.is_empty());
+        for p in 0..(PORTSET_INLINE as u16 + 5) {
+            s.push(p);
+        }
+        assert_eq!(s.len(), PORTSET_INLINE + 5);
+        let expect: Vec<u16> = (0..(PORTSET_INLINE as u16 + 5)).collect();
+        assert_eq!(s.as_slice(), &expect[..]);
+        assert_eq!(PortSet::single(7).as_slice(), &[7]);
+    }
+
+    #[test]
+    fn routing_tables_scheme_matches_next_port() {
+        let t = slim_fly(5, 1).unwrap();
+        let ls = build_random_layers(&t.graph, &LayerConfig::new(4, 0.6, 1));
+        let rt = RoutingTables::build(&t.graph, &ls);
+        for layer in 0..4u8 {
+            for (s, d) in [(0u32, 30u32), (7, 44), (21, 3)] {
+                let ps = rt.candidate_ports(layer, s, d);
+                assert_eq!(
+                    ps.as_slice(),
+                    &[rt.next_port(layer as usize, s, d).unwrap()]
+                );
+            }
+        }
+        // Out-of-range layer clamps like the old simulator did.
+        let clamped = rt.candidate_ports(200, 0, 30);
+        assert_eq!(clamped.as_slice(), &[rt.next_port(3, 0, 30).unwrap()]);
+        assert_eq!(RoutingScheme::num_layers(&rt), 4);
+    }
+
+    #[test]
+    fn minimal_scheme_ports_match_distance_matrix() {
+        let t = slim_fly(5, 1).unwrap();
+        let dm = DistanceMatrix::build(&t.graph);
+        let ms = MinimalScheme::new(&t.graph, &dm);
+        let mut out = Vec::new();
+        for (s, d) in [(0u32, 17u32), (3, 44), (10, 29)] {
+            dm.minimal_ports(&t.graph, s, d, &mut out);
+            assert_eq!(ms.candidate_ports(0, s, d).as_slice(), &out[..]);
+        }
+        assert_eq!(ms.num_layers(), 1);
+    }
+
+    #[test]
+    fn spain_scheme_reaches_every_pair() {
+        let t = slim_fly(5, 1).unwrap();
+        let sp = SpainScheme::build(&t.graph, &SpainConfig::default());
+        assert!(sp.num_layers() >= 2);
+        for (s, d) in [(0u32, 49u32), (13, 7), (25, 40)] {
+            for layer in 0..sp.num_layers() as u8 {
+                let p = walk(&sp, &t.graph, layer, s, d);
+                assert_eq!(*p.last().unwrap(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn past_scheme_single_deterministic_path() {
+        let t = slim_fly(5, 1).unwrap();
+        let trees = PastTrees::build(&t.graph, PastVariant::Bfs, 3);
+        let ps = PastScheme::from_trees(&t.graph, &trees, PastVariant::Bfs);
+        assert_eq!(ps.variant(), PastVariant::Bfs);
+        let p = walk(&ps, &t.graph, 0, 4, 37);
+        assert_eq!(p, trees.path(4, 37).unwrap());
+        // Layer tag is irrelevant: same path on any tag.
+        assert_eq!(walk(&ps, &t.graph, 5, 4, 37), p);
+    }
+
+    #[test]
+    fn ksp_layers_cover_all_pairs_and_rank0_is_minimal() {
+        let t = slim_fly(5, 1).unwrap();
+        let ks = KspScheme::build(&t.graph, &KspConfig { k: 3, max_pairs: 0 });
+        assert_eq!(ks.num_layers(), 3);
+        for (s, d) in [(0u32, 49u32), (11, 30), (42, 2)] {
+            let p0 = walk(&ks, &t.graph, 0, s, d);
+            // Rank-0 layer contains every pair's shortest path.
+            assert_eq!(p0.len() as u32 - 1, t.graph.bfs(s)[d as usize]);
+            for layer in 1..3u8 {
+                let p = walk(&ks, &t.graph, layer, s, d);
+                assert_eq!(*p.last().unwrap(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_routes_via_intermediate_and_terminates() {
+        let t = slim_fly(7, 1).unwrap();
+        let vs = ValiantScheme::build(&t.graph, 4, 9);
+        assert_eq!(vs.num_layers(), 4);
+        let mut detoured = 0;
+        for (s, d) in [(0u32, 60u32), (5, 90), (33, 12), (80, 2)] {
+            let dmin = t.graph.bfs(s)[d as usize];
+            for l in 0..4u8 {
+                let p = walk(&vs, &t.graph, l, s, d);
+                assert_eq!(*p.last().unwrap(), d);
+                let w = vs.intermediate(l as usize, d);
+                if w != s && w != d {
+                    assert!(p.contains(&w), "VLB path skipped its intermediate");
+                }
+                if p.len() as u32 - 1 > dmin {
+                    detoured += 1;
+                }
+            }
+        }
+        assert!(detoured > 0, "VLB never took a non-minimal route");
+    }
+
+    #[test]
+    fn default_update_layer_is_identity() {
+        let t = slim_fly(5, 1).unwrap();
+        let dm = DistanceMatrix::build(&t.graph);
+        let ms = MinimalScheme::new(&t.graph, &dm);
+        assert_eq!(ms.update_layer(3, 0, 10), 3);
+    }
+}

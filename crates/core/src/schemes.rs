@@ -62,32 +62,292 @@ pub struct SchemeRow {
 pub fn table_i() -> Vec<SchemeRow> {
     use Support::*;
     vec![
-        SchemeRow { name: "Valiant (VLB)", stack_layer: "L2-L3", sp: No, np: Yes, sm: No, mp: No, dp: No, alb: No, at: Yes },
-        SchemeRow { name: "Spanning Tree (ST)", stack_layer: "L2", sp: SpanningTree, np: SpanningTree, sm: No, mp: No, dp: No, alb: No, at: Yes },
-        SchemeRow { name: "Simple routing (OSPF etc.)", stack_layer: "L2,L3", sp: Yes, np: No, sm: No, mp: No, dp: No, alb: No, at: Yes },
-        SchemeRow { name: "UGAL", stack_layer: "L2-L3", sp: Yes, np: Yes, sm: No, mp: No, dp: No, alb: Yes, at: Yes },
-        SchemeRow { name: "ECMP / OMP / Pkt. Spraying", stack_layer: "L2,L3", sp: Yes, np: No, sm: No, mp: Yes, dp: No, alb: No, at: Yes },
-        SchemeRow { name: "DCell", stack_layer: "L2-L3", sp: No, np: Yes, sm: No, mp: No, dp: No, alb: No, at: No },
-        SchemeRow { name: "Monsoon", stack_layer: "L2,L3", sp: Limited, np: Limited, sm: No, mp: Limited, dp: No, alb: No, at: No },
-        SchemeRow { name: "PortLand", stack_layer: "L2", sp: Yes, np: No, sm: No, mp: Yes, dp: No, alb: No, at: No },
-        SchemeRow { name: "DRILL / LocalFlow / DRB", stack_layer: "L2", sp: Yes, np: No, sm: No, mp: Yes, dp: No, alb: Yes, at: No },
-        SchemeRow { name: "VL2", stack_layer: "L3", sp: Yes, np: No, sm: No, mp: Yes, dp: No, alb: Limited, at: No },
-        SchemeRow { name: "Al-Fares et al.", stack_layer: "L2-L3", sp: Yes, np: No, sm: No, mp: Yes, dp: Yes, alb: Yes, at: No },
-        SchemeRow { name: "BCube", stack_layer: "L2-L3", sp: Yes, np: No, sm: No, mp: Yes, dp: Yes, alb: No, at: No },
-        SchemeRow { name: "SEATTLE et al.", stack_layer: "L2", sp: Yes, np: No, sm: No, mp: No, dp: No, alb: No, at: Yes },
-        SchemeRow { name: "VIRO", stack_layer: "L2-L3", sp: SpanningTree, np: SpanningTree, sm: No, mp: No, dp: No, alb: No, at: Yes },
-        SchemeRow { name: "Ethernet on Air", stack_layer: "L2", sp: SpanningTree, np: SpanningTree, sm: No, mp: Resilience, dp: No, alb: No, at: Yes },
-        SchemeRow { name: "PAST", stack_layer: "L2", sp: LimitedSpanningTree, np: LimitedSpanningTree, sm: No, mp: No, dp: Yes, alb: No, at: Yes },
-        SchemeRow { name: "MLAG / MC-LAG", stack_layer: "L2", sp: Limited, np: Limited, sm: No, mp: Resilience, dp: No, alb: No, at: Yes },
-        SchemeRow { name: "MOOSE", stack_layer: "L2", sp: Yes, np: No, sm: No, mp: No, dp: Limited, alb: No, at: Yes },
-        SchemeRow { name: "MPA", stack_layer: "L3", sp: Yes, np: Yes, sm: No, mp: Yes, dp: No, alb: No, at: Yes },
-        SchemeRow { name: "AMP", stack_layer: "L3", sp: Yes, np: No, sm: No, mp: Yes, dp: No, alb: Yes, at: Yes },
-        SchemeRow { name: "MSTP / GOE / Viking", stack_layer: "L2", sp: SpanningTree, np: SpanningTree, sm: No, mp: Yes, dp: No, alb: No, at: Yes },
-        SchemeRow { name: "SPB / TRILL / Shadow MACs", stack_layer: "L2", sp: Yes, np: Resilience, sm: No, mp: Yes, dp: No, alb: No, at: Yes },
-        SchemeRow { name: "SPAIN", stack_layer: "L2", sp: LimitedSpanningTree, np: LimitedSpanningTree, sm: LimitedSpanningTree, mp: Yes, dp: Yes, alb: No, at: Yes },
-        SchemeRow { name: "XPath", stack_layer: "L3", sp: Yes, np: Limited, sm: Limited, mp: Yes, dp: Yes, alb: Limited, at: Yes },
-        SchemeRow { name: "Source routing (Jyothi et al.)", stack_layer: "L3", sp: Yes, np: Resilience, sm: Resilience, mp: No, dp: No, alb: No, at: Limited },
-        SchemeRow { name: "FatPaths [this work]", stack_layer: "L2-L3", sp: Yes, np: Yes, sm: Yes, mp: Yes, dp: Yes, alb: Yes, at: Yes },
+        SchemeRow {
+            name: "Valiant (VLB)",
+            stack_layer: "L2-L3",
+            sp: No,
+            np: Yes,
+            sm: No,
+            mp: No,
+            dp: No,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "Spanning Tree (ST)",
+            stack_layer: "L2",
+            sp: SpanningTree,
+            np: SpanningTree,
+            sm: No,
+            mp: No,
+            dp: No,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "Simple routing (OSPF etc.)",
+            stack_layer: "L2,L3",
+            sp: Yes,
+            np: No,
+            sm: No,
+            mp: No,
+            dp: No,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "UGAL",
+            stack_layer: "L2-L3",
+            sp: Yes,
+            np: Yes,
+            sm: No,
+            mp: No,
+            dp: No,
+            alb: Yes,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "ECMP / OMP / Pkt. Spraying",
+            stack_layer: "L2,L3",
+            sp: Yes,
+            np: No,
+            sm: No,
+            mp: Yes,
+            dp: No,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "DCell",
+            stack_layer: "L2-L3",
+            sp: No,
+            np: Yes,
+            sm: No,
+            mp: No,
+            dp: No,
+            alb: No,
+            at: No,
+        },
+        SchemeRow {
+            name: "Monsoon",
+            stack_layer: "L2,L3",
+            sp: Limited,
+            np: Limited,
+            sm: No,
+            mp: Limited,
+            dp: No,
+            alb: No,
+            at: No,
+        },
+        SchemeRow {
+            name: "PortLand",
+            stack_layer: "L2",
+            sp: Yes,
+            np: No,
+            sm: No,
+            mp: Yes,
+            dp: No,
+            alb: No,
+            at: No,
+        },
+        SchemeRow {
+            name: "DRILL / LocalFlow / DRB",
+            stack_layer: "L2",
+            sp: Yes,
+            np: No,
+            sm: No,
+            mp: Yes,
+            dp: No,
+            alb: Yes,
+            at: No,
+        },
+        SchemeRow {
+            name: "VL2",
+            stack_layer: "L3",
+            sp: Yes,
+            np: No,
+            sm: No,
+            mp: Yes,
+            dp: No,
+            alb: Limited,
+            at: No,
+        },
+        SchemeRow {
+            name: "Al-Fares et al.",
+            stack_layer: "L2-L3",
+            sp: Yes,
+            np: No,
+            sm: No,
+            mp: Yes,
+            dp: Yes,
+            alb: Yes,
+            at: No,
+        },
+        SchemeRow {
+            name: "BCube",
+            stack_layer: "L2-L3",
+            sp: Yes,
+            np: No,
+            sm: No,
+            mp: Yes,
+            dp: Yes,
+            alb: No,
+            at: No,
+        },
+        SchemeRow {
+            name: "SEATTLE et al.",
+            stack_layer: "L2",
+            sp: Yes,
+            np: No,
+            sm: No,
+            mp: No,
+            dp: No,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "VIRO",
+            stack_layer: "L2-L3",
+            sp: SpanningTree,
+            np: SpanningTree,
+            sm: No,
+            mp: No,
+            dp: No,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "Ethernet on Air",
+            stack_layer: "L2",
+            sp: SpanningTree,
+            np: SpanningTree,
+            sm: No,
+            mp: Resilience,
+            dp: No,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "PAST",
+            stack_layer: "L2",
+            sp: LimitedSpanningTree,
+            np: LimitedSpanningTree,
+            sm: No,
+            mp: No,
+            dp: Yes,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "MLAG / MC-LAG",
+            stack_layer: "L2",
+            sp: Limited,
+            np: Limited,
+            sm: No,
+            mp: Resilience,
+            dp: No,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "MOOSE",
+            stack_layer: "L2",
+            sp: Yes,
+            np: No,
+            sm: No,
+            mp: No,
+            dp: Limited,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "MPA",
+            stack_layer: "L3",
+            sp: Yes,
+            np: Yes,
+            sm: No,
+            mp: Yes,
+            dp: No,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "AMP",
+            stack_layer: "L3",
+            sp: Yes,
+            np: No,
+            sm: No,
+            mp: Yes,
+            dp: No,
+            alb: Yes,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "MSTP / GOE / Viking",
+            stack_layer: "L2",
+            sp: SpanningTree,
+            np: SpanningTree,
+            sm: No,
+            mp: Yes,
+            dp: No,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "SPB / TRILL / Shadow MACs",
+            stack_layer: "L2",
+            sp: Yes,
+            np: Resilience,
+            sm: No,
+            mp: Yes,
+            dp: No,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "SPAIN",
+            stack_layer: "L2",
+            sp: LimitedSpanningTree,
+            np: LimitedSpanningTree,
+            sm: LimitedSpanningTree,
+            mp: Yes,
+            dp: Yes,
+            alb: No,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "XPath",
+            stack_layer: "L3",
+            sp: Yes,
+            np: Limited,
+            sm: Limited,
+            mp: Yes,
+            dp: Yes,
+            alb: Limited,
+            at: Yes,
+        },
+        SchemeRow {
+            name: "Source routing (Jyothi et al.)",
+            stack_layer: "L3",
+            sp: Yes,
+            np: Resilience,
+            sm: Resilience,
+            mp: No,
+            dp: No,
+            alb: No,
+            at: Limited,
+        },
+        SchemeRow {
+            name: "FatPaths [this work]",
+            stack_layer: "L2-L3",
+            sp: Yes,
+            np: Yes,
+            sm: Yes,
+            mp: Yes,
+            dp: Yes,
+            alb: Yes,
+            at: Yes,
+        },
     ]
 }
 

@@ -32,7 +32,11 @@ pub struct SpainConfig {
 
 impl Default for SpainConfig {
     fn default() -> Self {
-        SpainConfig { k_paths: 3, max_layers: None, seed: 0 }
+        SpainConfig {
+            k_paths: 3,
+            max_layers: None,
+            seed: 0,
+        }
     }
 }
 
@@ -90,7 +94,10 @@ pub fn build_spain_layers(base: &Graph, cfg: &SpainConfig) -> SpainLayers {
             Graph::from_edges(nr, &list)
         })
         .collect();
-    SpainLayers { layers: LayerSet { graphs }, vlans_before_merge }
+    SpainLayers {
+        layers: LayerSet { graphs },
+        vlans_before_merge,
+    }
 }
 
 /// BFS tree rooted at `dst` preferring lightly-used edges: neighbors are

@@ -118,9 +118,9 @@ fn rank(mut rows: Vec<Vec<f64>>) -> u32 {
     let mut rank = 0usize;
     for c in 0..cols {
         // Find pivot.
-        let Some(p) = (rank..rows.len()).max_by(|&a, &b| {
-            rows[a][c].abs().partial_cmp(&rows[b][c].abs()).unwrap()
-        }) else {
+        let Some(p) = (rank..rows.len())
+            .max_by(|&a, &b| rows[a][c].abs().partial_cmp(&rows[b][c].abs()).unwrap())
+        else {
             break;
         };
         if rows[p][c].abs() <= tol {
@@ -189,7 +189,10 @@ mod tests {
         // Vertex connectivity ≤ edge connectivity; in a regular graph with
         // rich structure they track closely.
         assert!(alg <= mf + 1, "algebraic {alg} vs maxflow {mf}");
-        assert!(alg >= 3, "SF should offer several disjoint paths, got {alg}");
+        assert!(
+            alg >= 3,
+            "SF should offer several disjoint paths, got {alg}"
+        );
     }
 
     #[test]

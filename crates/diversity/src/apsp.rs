@@ -186,7 +186,10 @@ mod tests {
                 }
             }
         }
-        assert!(single > multi, "SF should be dominated by unique 2-hop paths");
+        assert!(
+            single > multi,
+            "SF should be dominated by unique 2-hop paths"
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl EdgeIds {
             per_dir[(offsets[u as usize] + pu) as usize] = id as u32;
             per_dir[(offsets[v as usize] + pv) as usize] = id as u32;
         }
-        EdgeIds { per_dir, offsets, m: g.m() }
+        EdgeIds {
+            per_dir,
+            offsets,
+            m: g.m(),
+        }
     }
 
     /// Edge id of `u`'s `port`-th link.
@@ -281,7 +285,10 @@ mod tests {
             let greedy = cdp(g, &e, &[s], &[d], 64);
             assert!(greedy <= mf, "greedy {greedy} > maxflow {mf}");
             // On these dense symmetric graphs greedy is near-exact.
-            assert!(greedy + 2 >= mf, "greedy {greedy} too far from maxflow {mf}");
+            assert!(
+                greedy + 2 >= mf,
+                "greedy {greedy} too far from maxflow {mf}"
+            );
         }
     }
 
@@ -300,13 +307,18 @@ mod tests {
         let g = &t.graph;
         let e = EdgeIds::new(g);
         let dist = g.bfs(0);
-        let far: Vec<u32> = (0..g.n() as u32).filter(|&v| dist[v as usize] == 2).collect();
+        let far: Vec<u32> = (0..g.n() as u32)
+            .filter(|&v| dist[v as usize] == 2)
+            .collect();
         let mut ok = 0;
         for &v in far.iter().take(20) {
             if cdp(g, &e, &[0], &[v], 3) >= 3 {
                 ok += 1;
             }
         }
-        assert!(ok >= 18, "only {ok}/20 SF pairs have 3 disjoint 3-hop paths");
+        assert!(
+            ok >= 18,
+            "only {ok}/20 SF pairs have 3 disjoint 3-hop paths"
+        );
     }
 }

@@ -83,19 +83,17 @@ pub fn sample_pi_from(
     let mut rng = StdRng::seed_from_u64(seed);
     let m = candidates.len();
     let tuples: Vec<[u32; 4]> = (0..count)
-        .map(|_| {
-            loop {
-                let t = [
-                    candidates[rng.random_range(0..m)],
-                    candidates[rng.random_range(0..m)],
-                    candidates[rng.random_range(0..m)],
-                    candidates[rng.random_range(0..m)],
-                ];
-                let mut u = t;
-                u.sort_unstable();
-                if u.windows(2).all(|w| w[0] != w[1]) {
-                    return t;
-                }
+        .map(|_| loop {
+            let t = [
+                candidates[rng.random_range(0..m)],
+                candidates[rng.random_range(0..m)],
+                candidates[rng.random_range(0..m)],
+                candidates[rng.random_range(0..m)],
+            ];
+            let mut u = t;
+            u.sort_unstable();
+            if u.windows(2).all(|w| w[0] != w[1]) {
+                return t;
             }
         })
         .collect();
@@ -132,10 +130,16 @@ mod tests {
         let g = Graph::from_edges(
             8,
             &[
-                (0, 1), (1, 2), (2, 0), // component A... must be connected; bridge below
-                (4, 5), (5, 6), (6, 4),
-                (2, 3), (3, 4), // long bridge
-                (0, 7), (7, 6), // second long bridge to keep it 2-connected
+                (0, 1),
+                (1, 2),
+                (2, 0), // component A... must be connected; bridge below
+                (4, 5),
+                (5, 6),
+                (6, 4),
+                (2, 3),
+                (3, 4), // long bridge
+                (0, 7),
+                (7, 6), // second long bridge to keep it 2-connected
             ],
         );
         let e = EdgeIds::new(&g);
@@ -186,7 +190,11 @@ mod tests {
     #[test]
     fn pi_summary_percentiles() {
         let samples: Vec<PiSample> = (0..100)
-            .map(|i| PiSample { ab: (0, 1), cd: (2, 3), pi: i })
+            .map(|i| PiSample {
+                ab: (0, 1),
+                cd: (2, 3),
+                pi: i,
+            })
             .collect();
         let (mean, p99) = pi_summary(&samples, 99.0);
         assert!((mean - 49.5).abs() < 1e-9);

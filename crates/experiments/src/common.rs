@@ -1,25 +1,26 @@
 //! Shared plumbing for the experiment harnesses: CSV output, topology
-//! sets, layer/table construction, and simulation drivers.
+//! sets, and workload generation. Simulation itself goes through the
+//! [`Scenario`](fatpaths_sim::Scenario) builder — harnesses declare a
+//! [`SchemeSpec`](fatpaths_sim::SchemeSpec) instead of hand-wiring
+//! tables and configs.
 
-use fatpaths_core::ecmp::DistanceMatrix;
-use fatpaths_core::fwd::RoutingTables;
-use fatpaths_core::layers::{build_random_layers, LayerConfig, LayerSet};
 use fatpaths_net::classes::{build, SizeClass};
 use fatpaths_net::topo::{TopoKind, Topology};
-use fatpaths_sim::{LoadBalancing, Routing, SimConfig, SimResult, Simulator, TcpVariant, Transport};
+use fatpaths_sim::SimResult;
 use fatpaths_workloads::arrivals::{poisson_flows, FlowSpec};
 use fatpaths_workloads::mapping::{apply_mapping, random_mapping};
 use fatpaths_workloads::patterns::Pattern;
 use fatpaths_workloads::sizes::FlowSizeDist;
+use std::fmt::Display;
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::PathBuf;
 
 /// Output directory for all experiment artifacts.
-pub fn results_dir() -> PathBuf {
+pub fn results_dir() -> io::Result<PathBuf> {
     let dir = std::env::var("FATPATHS_RESULTS").unwrap_or_else(|_| "results".into());
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    PathBuf::from(dir)
+    std::fs::create_dir_all(&dir)?;
+    Ok(PathBuf::from(dir))
 }
 
 /// Minimal CSV writer.
@@ -30,22 +31,29 @@ pub struct Csv {
 
 impl Csv {
     /// Creates `results/<name>.csv` with a header row.
-    pub fn new(name: &str, header: &[&str]) -> Csv {
-        let path = results_dir().join(format!("{name}.csv"));
-        let mut w = BufWriter::new(File::create(&path).expect("create csv"));
-        writeln!(w, "{}", header.join(",")).unwrap();
-        Csv { w, path }
+    pub fn new(name: &str, header: &[&str]) -> io::Result<Csv> {
+        let path = results_dir()?.join(format!("{name}.csv"));
+        let mut w = BufWriter::new(File::create(&path)?);
+        writeln!(w, "{}", header.join(","))?;
+        Ok(Csv { w, path })
     }
 
-    /// Appends one row.
-    pub fn row(&mut self, cells: &[String]) {
-        writeln!(self.w, "{}", cells.join(",")).unwrap();
+    /// Appends one row; cells are anything `Display` (uniform slices like
+    /// `&[String]` or `&[&dyn Display]` for mixed types).
+    pub fn row<C: Display>(&mut self, cells: &[C]) -> io::Result<()> {
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                write!(self.w, ",")?;
+            }
+            write!(self.w, "{c}")?;
+        }
+        writeln!(self.w)
     }
 
     /// Flushes and reports the path.
-    pub fn finish(mut self) -> PathBuf {
-        self.w.flush().unwrap();
-        self.path
+    pub fn finish(mut self) -> io::Result<PathBuf> {
+        self.w.flush()?;
+        Ok(self.path)
     }
 }
 
@@ -60,23 +68,6 @@ pub fn topo_set(class: SizeClass, seed: u64) -> Vec<Topology> {
         .iter()
         .map(|&k| build(k, class, seed))
         .collect()
-}
-
-/// Builds random-sampling layers plus forwarding tables.
-pub fn layers_and_tables(topo: &Topology, n: usize, rho: f64, seed: u64) -> (LayerSet, RoutingTables) {
-    let ls = build_random_layers(&topo.graph, &LayerConfig::new(n, rho, seed));
-    let rt = RoutingTables::build(&topo.graph, &ls);
-    (ls, rt)
-}
-
-/// NDP-mode config.
-pub fn ndp_cfg(lb: LoadBalancing, seed: u64) -> SimConfig {
-    SimConfig { transport: Transport::ndp_default(), lb, seed, ..SimConfig::default() }
-}
-
-/// TCP-mode config.
-pub fn tcp_cfg(variant: TcpVariant, lb: LoadBalancing, seed: u64) -> SimConfig {
-    SimConfig { transport: Transport::tcp_default(variant), lb, seed, ..SimConfig::default() }
 }
 
 /// Poisson workload from a pattern with web-search sizes, optionally with
@@ -100,36 +91,17 @@ pub fn pattern_workload(
     poisson_flows(&pairs, lambda, window_s, &dist, seed ^ 0xF10)
 }
 
-/// Runs one packet simulation with FatPaths layered routing.
-pub fn run_layered(
-    topo: &Topology,
-    tables: &RoutingTables,
-    cfg: SimConfig,
-    flows: &[FlowSpec],
-) -> SimResult {
-    let mut sim = Simulator::new(topo, Routing::Layered(tables), cfg);
-    sim.add_flows(flows);
-    sim.run()
-}
-
-/// Runs one packet simulation with minimal-path routing (ECMP family).
-pub fn run_minimal(
-    topo: &Topology,
-    dm: &DistanceMatrix,
-    cfg: SimConfig,
-    flows: &[FlowSpec],
-) -> SimResult {
-    let mut sim = Simulator::new(topo, Routing::Minimal(dm), cfg);
-    sim.add_flows(flows);
-    sim.run()
-}
-
 /// Filters out flows recorded before the warmup cutoff (first half of the
 /// injection window), per §VII-A8.
 pub fn post_warmup(result: &SimResult, window_s: f64) -> SimResult {
     let cutoff = (window_s * 0.5 * 1e12) as u64;
     SimResult {
-        flows: result.flows.iter().copied().filter(|fl| fl.start >= cutoff).collect(),
+        flows: result
+            .flows
+            .iter()
+            .copied()
+            .filter(|fl| fl.start >= cutoff)
+            .collect(),
         drops: result.drops,
         trims: result.trims,
         end_time: result.end_time,
@@ -137,18 +109,18 @@ pub fn post_warmup(result: &SimResult, window_s: f64) -> SimResult {
 }
 
 /// Writes a short text summary next to the CSVs.
-pub fn write_summary(name: &str, text: &str) {
-    let path = results_dir().join(format!("{name}.txt"));
-    std::fs::write(&path, text).expect("write summary");
+pub fn write_summary(name: &str, text: &str) -> io::Result<()> {
+    let path = results_dir()?.join(format!("{name}.txt"));
+    std::fs::write(&path, text)?;
     println!("{text}");
     println!("→ {}", path.display());
+    Ok(())
 }
 
 /// True if the harness runs in reduced-scale mode.
 pub fn is_quick(args: &[String]) -> bool {
     args.iter().any(|a| a == "--quick")
 }
-
 
 /// Per-topology label for CSV rows.
 pub fn label(topo: &Topology) -> String {

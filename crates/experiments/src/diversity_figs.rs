@@ -14,6 +14,7 @@ use fatpaths_workloads::patterns::Pattern;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use rayon::prelude::*;
+use std::io;
 
 /// Routers with endpoints (fat trees: edge routers only).
 fn hosting_routers(t: &Topology) -> Vec<u32> {
@@ -39,22 +40,35 @@ fn sample_pairs(candidates: &[u32], count: usize, seed: u64) -> Vec<(u32, u32)> 
 
 /// Fig. 4: histogram of colliding paths per router pair under five traffic
 /// patterns, for a complete graph, Slim Fly, and Dragonfly.
-pub fn fig4(quick: bool) {
-    let class = if quick { SizeClass::Small } else { SizeClass::Medium };
+pub fn fig4(quick: bool) -> io::Result<()> {
+    let class = if quick {
+        SizeClass::Small
+    } else {
+        SizeClass::Medium
+    };
     let topos = vec![
         build(TopoKind::Complete, class, 1),
         build(TopoKind::SlimFly, class, 1),
         build(TopoKind::Dragonfly, class, 1),
     ];
-    let mut csv = Csv::new("fig4_collisions", &["topology", "pattern", "collisions", "pairs"]);
+    let mut csv = Csv::new(
+        "fig4_collisions",
+        &["topology", "pattern", "collisions", "pairs"],
+    )?;
     let mut summary = String::from("Fig. 4 — collision multiplicity per router pair\n");
     for t in &topos {
         let n = t.num_endpoints() as u64;
         let patterns: Vec<(String, Vec<(u32, u32)>)> = vec![
             ("permutation".into(), Pattern::Permutation.flows(n, 11)),
-            ("offdiag".into(), Pattern::OffDiagonal { offset: n / 3 + 1 }.flows(n, 12)),
+            (
+                "offdiag".into(),
+                Pattern::OffDiagonal { offset: n / 3 + 1 }.flows(n, 12),
+            ),
             ("shuffle".into(), Pattern::Shuffle.flows(n, 13)),
-            ("4perms".into(), Pattern::MultiPermutation { k: 4 }.flows(n, 14)),
+            (
+                "4perms".into(),
+                Pattern::MultiPermutation { k: 4 }.flows(n, 14),
+            ),
             ("stencil".into(), Pattern::stencil_small().flows(n, 15)),
         ];
         for (name, pairs) in patterns {
@@ -68,7 +82,7 @@ pub fn fig4(quick: bool) {
             let hist = collision_histogram(&router_flows);
             for (c, &count) in hist.iter().enumerate().skip(1) {
                 if count > 0 {
-                    csv.row(&[label(t), name.clone(), c.to_string(), count.to_string()]);
+                    csv.row(&[label(t), name.clone(), c.to_string(), count.to_string()])?;
                 }
             }
             let frac4 = fraction_with_at_least(&hist, 4);
@@ -81,20 +95,24 @@ pub fn fig4(quick: bool) {
             ));
         }
     }
-    let p = csv.finish();
+    let p = csv.finish()?;
     summary.push_str(&format!("CSV: {}\n", p.display()));
     summary.push_str("Paper: for D≥2 fewer than 1% of pairs see ≥4 collisions; D=1 sees ≥9.\n");
-    write_summary("fig4_collisions", &summary);
+    write_summary("fig4_collisions", &summary)
 }
 
 /// Fig. 6: distributions of minimal path lengths and minimal-path
 /// diversity (cmin) for the five topologies and their Jellyfish controls.
-pub fn fig6(quick: bool) {
-    let class = if quick { SizeClass::Small } else { SizeClass::Medium };
+pub fn fig6(quick: bool) -> io::Result<()> {
+    let class = if quick {
+        SizeClass::Small
+    } else {
+        SizeClass::Medium
+    };
     let mut csv = Csv::new(
         "fig6_minimal_paths",
         &["topology", "variant", "metric", "value", "fraction"],
-    );
+    )?;
     let mut summary = String::from("Fig. 6 — minimal path lengths and counts\n");
     let kinds = [
         TopoKind::Dragonfly,
@@ -126,7 +144,7 @@ pub fn fig6(quick: bool) {
                         "lmin".into(),
                         l.to_string(),
                         f(frac),
-                    ]);
+                    ])?;
                 }
             }
             // cmin histogram (1, 2, 3, >3).
@@ -134,11 +152,22 @@ pub fn fig6(quick: bool) {
             for (c, name) in buckets {
                 let frac =
                     results.iter().filter(|r| r.1 == c).count() as f64 / results.len() as f64;
-                csv.row(&[label(&base), variant.into(), "cmin".into(), name.into(), f(frac)]);
+                csv.row(&[
+                    label(&base),
+                    variant.into(),
+                    "cmin".into(),
+                    name.into(),
+                    f(frac),
+                ])?;
             }
-            let frac_gt3 =
-                results.iter().filter(|r| r.1 > 3).count() as f64 / results.len() as f64;
-            csv.row(&[label(&base), variant.into(), "cmin".into(), ">3".into(), f(frac_gt3)]);
+            let frac_gt3 = results.iter().filter(|r| r.1 > 3).count() as f64 / results.len() as f64;
+            csv.row(&[
+                label(&base),
+                variant.into(),
+                "cmin".into(),
+                ">3".into(),
+                f(frac_gt3),
+            ])?;
             let unique = results.iter().filter(|r| r.1 == 1).count() as f64 / results.len() as f64;
             summary.push_str(&format!(
                 "{:<4} {:<9} unique-minimal-path fraction: {:.2}\n",
@@ -148,20 +177,24 @@ pub fn fig6(quick: bool) {
             ));
         }
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: in DF/SF most pairs have ONE minimal path; HX/FT3 have several.\n");
-    write_summary("fig6_minimal_paths", &summary);
+    write_summary("fig6_minimal_paths", &summary)
 }
 
 /// Fig. 7: distribution of non-minimal disjoint path counts c_l(A,B) for
 /// l ∈ {2,3,4} on SF, DF, HX, SF-JF.
-pub fn fig7(quick: bool) {
-    let class = if quick { SizeClass::Small } else { SizeClass::Medium };
+pub fn fig7(quick: bool) -> io::Result<()> {
+    let class = if quick {
+        SizeClass::Small
+    } else {
+        SizeClass::Medium
+    };
     let sf = build(TopoKind::SlimFly, class, 3);
     let df = build(TopoKind::Dragonfly, class, 3);
     let hx = build(TopoKind::HyperX, class, 3);
     let sfjf = equivalent_jellyfish(&sf, 3);
-    let mut csv = Csv::new("fig7_nonminimal_cdp", &["topology", "l", "cdp", "fraction"]);
+    let mut csv = Csv::new("fig7_nonminimal_cdp", &["topology", "l", "cdp", "fraction"])?;
     let mut summary = String::from("Fig. 7 — non-minimal disjoint path counts\n");
     for (name, t) in [("SF", &sf), ("DF", &df), ("HX", &hx), ("SF-JF", &sfjf)] {
         let hosts = hosting_routers(t);
@@ -178,29 +211,41 @@ pub fn fig7(quick: bool) {
             for c in 0..=max_c {
                 let frac = counts.iter().filter(|&&x| x == c).count() as f64 / counts.len() as f64;
                 if frac > 0.0 {
-                    csv.row(&[name.into(), l.to_string(), c.to_string(), f(frac)]);
+                    csv.row(&[name.into(), l.to_string(), c.to_string(), f(frac)])?;
                 }
             }
             let mean = counts.iter().sum::<u32>() as f64 / counts.len() as f64;
             let radix_frac = mean / t.network_radix() as f64;
             summary.push_str(&format!(
                 "{:<6} l={} mean CDP {:.1} ({:.0}% of k')\n",
-                name, l, mean, 100.0 * radix_frac
+                name,
+                l,
+                mean,
+                100.0 * radix_frac
             ));
         }
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: all topologies reach ≥3 disjoint paths by l = lmin+1.\n");
-    write_summary("fig7_nonminimal_cdp", &summary);
+    write_summary("fig7_nonminimal_cdp", &summary)
 }
 
 /// Fig. 8: path-interference distributions at l ∈ {2,3,4,5}.
-pub fn fig8(quick: bool) {
-    let class = if quick { SizeClass::Small } else { SizeClass::Medium };
-    let mut csv = Csv::new("fig8_interference", &["topology", "l", "pi", "fraction"]);
+pub fn fig8(quick: bool) -> io::Result<()> {
+    let class = if quick {
+        SizeClass::Small
+    } else {
+        SizeClass::Medium
+    };
+    let mut csv = Csv::new("fig8_interference", &["topology", "l", "pi", "fraction"])?;
     let mut summary = String::from("Fig. 8 — path interference distributions\n");
     let mut entries: Vec<(String, Topology)> = Vec::new();
-    for kind in [TopoKind::Dragonfly, TopoKind::FatTree, TopoKind::HyperX, TopoKind::SlimFly] {
+    for kind in [
+        TopoKind::Dragonfly,
+        TopoKind::FatTree,
+        TopoKind::HyperX,
+        TopoKind::SlimFly,
+    ] {
         let t = build(kind, class, 4);
         let jf = equivalent_jellyfish(&t, 9);
         entries.push((label(&t), t));
@@ -219,33 +264,70 @@ pub fn fig8(quick: bool) {
             for v in 0..=max_v {
                 let frac = vals.iter().filter(|&&x| x == v).count() as f64 / vals.len() as f64;
                 if frac > 0.0 {
-                    csv.row(&[name.clone(), l.to_string(), v.to_string(), f(frac)]);
+                    csv.row(&[name.clone(), l.to_string(), v.to_string(), f(frac)])?;
                 }
             }
             let (mean, p999) = pi_summary(&s, 99.9);
-            summary.push_str(&format!("{:<7} l={} mean PI {:.2} (99.9% {})\n", name, l, mean, p999));
+            summary.push_str(&format!(
+                "{:<7} l={} mean PI {:.2} (99.9% {})\n",
+                name, l, mean, p999
+            ));
         }
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: most PI sits at l=3..4; FT3 shows none; SF has outlier tails.\n");
-    write_summary("fig8_interference", &summary);
+    write_summary("fig8_interference", &summary)
 }
 
 /// Table IV: CDP (mean, 1% tail) and PI (mean, 99.9% tail) at distance d′
 /// for the paper's exact configurations and their Jellyfish controls.
-pub fn table4(quick: bool) {
+pub fn table4(quick: bool) -> io::Result<()> {
     let mut csv = Csv::new(
         "table4_cdp_pi",
-        &["topology", "dprime", "kprime", "nr", "n", "cdp_mean_pct", "cdp_tail1_pct", "pi_mean_pct", "pi_tail999_pct"],
-    );
+        &[
+            "topology",
+            "dprime",
+            "kprime",
+            "nr",
+            "n",
+            "cdp_mean_pct",
+            "cdp_tail1_pct",
+            "pi_mean_pct",
+            "pi_tail999_pct",
+        ],
+    )?;
     // (name, topology, d′) — Table IV's exact parameters.
     let mut rows: Vec<(String, Topology, u32)> = vec![
-        ("clique".into(), build(TopoKind::Complete, SizeClass::Medium, 1), 2),
-        ("SF".into(), build(TopoKind::SlimFly, SizeClass::Medium, 1), 3),
-        ("XP".into(), build(TopoKind::Xpander, SizeClass::Medium, 1), 3),
-        ("HX".into(), build(TopoKind::HyperX, SizeClass::Medium, 1), 3),
-        ("DF".into(), build(TopoKind::Dragonfly, SizeClass::Medium, 1), 4),
-        ("FT3".into(), build(TopoKind::FatTree, SizeClass::Medium, 1), 4),
+        (
+            "clique".into(),
+            build(TopoKind::Complete, SizeClass::Medium, 1),
+            2,
+        ),
+        (
+            "SF".into(),
+            build(TopoKind::SlimFly, SizeClass::Medium, 1),
+            3,
+        ),
+        (
+            "XP".into(),
+            build(TopoKind::Xpander, SizeClass::Medium, 1),
+            3,
+        ),
+        (
+            "HX".into(),
+            build(TopoKind::HyperX, SizeClass::Medium, 1),
+            3,
+        ),
+        (
+            "DF".into(),
+            build(TopoKind::Dragonfly, SizeClass::Medium, 1),
+            4,
+        ),
+        (
+            "FT3".into(),
+            build(TopoKind::FatTree, SizeClass::Medium, 1),
+            4,
+        ),
     ];
     let jf_rows: Vec<(String, Topology, u32)> = rows
         .iter()
@@ -263,11 +345,7 @@ pub fn table4(quick: bool) {
         let hosts = hosting_routers(t);
         // Radix-invariant normalization uses the *communicating* routers'
         // network radix (fat trees: edge-router uplinks, the paper's k'=18).
-        let kprime = hosts
-            .iter()
-            .map(|&r| t.graph.degree(r))
-            .max()
-            .unwrap() as f64;
+        let kprime = hosts.iter().map(|&r| t.graph.degree(r)).max().unwrap() as f64;
         let pairs = sample_pairs(&hosts, pair_samples, 21);
         let mut cdps: Vec<f64> = pairs
             .par_iter()
@@ -291,7 +369,7 @@ pub fn table4(quick: bool) {
             f(cdp_tail * 100.0),
             f(pi_mean * 100.0),
             f(pi_tail * 100.0),
-        ]);
+        ])?;
         summary.push_str(&format!(
             "{:<9} {:<3} {:>6.0}%  {:>5.0}%  {:>6.0}%  {:>6.0}%\n",
             name,
@@ -302,10 +380,10 @@ pub fn table4(quick: bool) {
             pi_tail * 100.0
         ));
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str(
         "Paper (Table IV): SF CDP≈89%/10%, XP 49%/34%, HX 25%/10%, DF 25%/13%, FT3 100%/100%;\n\
          deterministic topologies beat their JFs on mean but have worse tails.\n",
     );
-    write_summary("table4_cdp_pi", &summary);
+    write_summary("table4_cdp_pi", &summary)
 }

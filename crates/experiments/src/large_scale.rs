@@ -2,10 +2,7 @@
 //! fluid max-min at ≈1M endpoints (SF vs equivalent Jellyfish FCT
 //! histograms); see DESIGN.md §2.3 for the substitution argument.
 
-use crate::common::{
-    f, label, layers_and_tables, ndp_cfg, pattern_workload, post_warmup, run_layered,
-    write_summary, Csv,
-};
+use crate::common::{f, label, pattern_workload, post_warmup, write_summary, Csv};
 use fatpaths_core::fwd::fnv1a;
 use fatpaths_core::layers::{build_random_layers, LayerConfig};
 use fatpaths_net::classes::{build, SizeClass};
@@ -14,14 +11,19 @@ use fatpaths_net::topo::jellyfish::equivalent_jellyfish;
 use fatpaths_net::topo::{TopoKind, Topology};
 use fatpaths_sim::fluid::{bulk_fcts, LinkSpace};
 use fatpaths_sim::metrics::{histogram, mean, percentile, throughput_by_size};
-use fatpaths_sim::LoadBalancing;
+use fatpaths_sim::{Scenario, SchemeSpec};
 use fatpaths_workloads::patterns::Pattern;
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
+use std::io;
 
 /// Packet-level part: SF, SF-JF and DF at the large class.
-pub fn fig13_packet(quick: bool) {
-    let class = if quick { SizeClass::Medium } else { SizeClass::Large };
+pub fn fig13_packet(quick: bool) -> io::Result<()> {
+    let class = if quick {
+        SizeClass::Medium
+    } else {
+        SizeClass::Large
+    };
     let sf = build(TopoKind::SlimFly, class, 1);
     let sfjf = equivalent_jellyfish(&sf, 5);
     let df = build(TopoKind::Dragonfly, class, 1);
@@ -29,20 +31,23 @@ pub fn fig13_packet(quick: bool) {
     let mut csv = Csv::new(
         "fig13_large_packet",
         &["topology", "flow_kib", "mean_mib_s", "tail1_mib_s"],
-    );
-    let mut hist_csv = Csv::new("fig13_large_fct_hist", &["topology", "fct_ms_bin", "count"]);
+    )?;
+    let mut hist_csv = Csv::new("fig13_large_fct_hist", &["topology", "fct_ms_bin", "count"])?;
     let mut summary = String::from("Fig. 13 (packet) — large-scale throughput and FCTs\n");
     for topo in [&sf, &sfjf, &df] {
         let n_layers = 4; // memory-conscious at Nr ≈ 3–7k (§VII-C uses 4 too)
-        let (_, rt) = layers_and_tables(topo, n_layers, 0.6, 3);
         let flows = pattern_workload(topo, &Pattern::Permutation, 300.0, window, true, 13);
         let res = post_warmup(
-            &run_layered(topo, &rt, ndp_cfg(LoadBalancing::FatPathsLayers, 3), &flows),
+            &Scenario::on(topo)
+                .scheme(SchemeSpec::LayeredRandom { n_layers, rho: 0.6 })
+                .workload(&flows)
+                .seed(3)
+                .run(),
             window,
         );
         let groups = throughput_by_size(&res);
         for &(size, m, t1, _) in &groups {
-            csv.row(&[label(topo), (size / 1024).to_string(), f(m), f(t1)]);
+            csv.row(&[label(topo), (size / 1024).to_string(), f(m), f(t1)])?;
         }
         // "Long flows": the discretized size closest to 1 MiB.
         let long_size = groups
@@ -57,7 +62,7 @@ pub fn fig13_packet(quick: bool) {
             .collect();
         for (bin, &c) in histogram(&fcts_1mib, 0.0, 25.0, 50).iter().enumerate() {
             if c > 0 {
-                hist_csv.row(&[label(topo), f(bin as f64 * 0.5), c.to_string()]);
+                hist_csv.row(&[label(topo), f(bin as f64 * 0.5), c.to_string()])?;
             }
         }
         summary.push_str(&format!(
@@ -69,10 +74,10 @@ pub fn fig13_packet(quick: bool) {
             percentile(&fcts_1mib, 99.0)
         ));
     }
-    csv.finish();
-    hist_csv.finish();
+    csv.finish()?;
+    hist_csv.finish()?;
     summary.push_str("Paper: slight mean decrease vs 10k; DF tail worst (global-link overlap).\n");
-    write_summary("fig13_large_packet", &summary);
+    write_summary("fig13_large_packet", &summary)
 }
 
 /// BFS parent pointers toward `dst` in `g` (`parent[v]` = next hop of `v`).
@@ -101,11 +106,15 @@ fn parents_toward(g: &Graph, dst: u32) -> Vec<u32> {
 /// Fluid part: ≈1M-endpoint FCT histograms, SF vs equivalent Jellyfish.
 /// Routing tables at this scale would need gigabytes, so paths come from
 /// per-(layer, destination) BFS batches over the layer graphs.
-pub fn fig13_fluid(quick: bool) {
-    let class = if quick { SizeClass::Large } else { SizeClass::Huge };
+pub fn fig13_fluid(quick: bool) -> io::Result<()> {
+    let class = if quick {
+        SizeClass::Large
+    } else {
+        SizeClass::Huge
+    };
     let sf = build(TopoKind::SlimFly, class, 1);
     let sfjf = equivalent_jellyfish(&sf, 5);
-    let mut csv = Csv::new("fig13_fluid_hist", &["topology", "fct_ms_bin", "count"]);
+    let mut csv = Csv::new("fig13_fluid_hist", &["topology", "fct_ms_bin", "count"])?;
     let mut summary = format!(
         "Fig. 13 (fluid) — {}-endpoint FCT histograms, 1 MiB flows\n",
         sf.num_endpoints()
@@ -114,7 +123,7 @@ pub fn fig13_fluid(quick: bool) {
         let fcts_ms = fluid_fcts(topo, 4);
         for (bin, &c) in histogram(&fcts_ms, 0.0, 10.0, 50).iter().enumerate() {
             if c > 0 {
-                csv.row(&[label(topo), f(bin as f64 * 0.2), c.to_string()]);
+                csv.row(&[label(topo), f(bin as f64 * 0.2), c.to_string()])?;
             }
         }
         summary.push_str(&format!(
@@ -126,9 +135,9 @@ pub fn fig13_fluid(quick: bool) {
             fcts_ms.iter().cloned().fold(0.0, f64::max)
         ));
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: SF flows finish slightly later than SF-JF at 1M endpoints.\n");
-    write_summary("fig13_fluid", &summary);
+    write_summary("fig13_fluid", &summary)
 }
 
 fn fluid_fcts(topo: &Topology, n_layers: usize) -> Vec<f64> {
@@ -144,7 +153,10 @@ fn fluid_fcts(topo: &Topology, n_layers: usize) -> Vec<f64> {
     // Group flows by (layer, dst_router): one reverse BFS per group.
     let mut groups: FxHashMap<(usize, u32), Vec<u32>> = FxHashMap::default();
     for (i, &(_, d)) in pairs.iter().enumerate() {
-        groups.entry((layer_of(i), topo.endpoint_router(d))).or_default().push(i as u32);
+        groups
+            .entry((layer_of(i), topo.endpoint_router(d)))
+            .or_default()
+            .push(i as u32);
     }
     let group_list: Vec<((usize, u32), Vec<u32>)> = groups.into_iter().collect();
     let path_chunks: Vec<Vec<(u32, Vec<u32>)>> = group_list

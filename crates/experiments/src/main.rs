@@ -7,6 +7,7 @@
 //! experiments list                   show available experiments
 //! ```
 
+mod baselines;
 mod common;
 mod diversity_figs;
 mod large_scale;
@@ -14,32 +15,109 @@ mod perf_ndp;
 mod perf_tcp;
 mod theory_figs;
 
-type Runner = fn(bool);
+type Runner = fn(bool) -> std::io::Result<()>;
 
 /// Registry: experiment name → (runner, description).
 fn registry() -> Vec<(&'static str, Runner, &'static str)> {
     vec![
-        ("table1", theory_figs::table1 as Runner, "Table I: routing-scheme feature matrix"),
-        ("table4", diversity_figs::table4, "Table IV: CDP and PI at distance d'"),
-        ("table5", theory_figs::table5, "Table V: topology parameters"),
-        ("fig2", perf_ndp::fig2, "Fig. 2: throughput/flow, randomized workload (NDP)"),
+        (
+            "table1",
+            theory_figs::table1 as Runner,
+            "Table I: routing-scheme feature matrix",
+        ),
+        (
+            "table4",
+            diversity_figs::table4,
+            "Table IV: CDP and PI at distance d'",
+        ),
+        (
+            "table5",
+            theory_figs::table5,
+            "Table V: topology parameters",
+        ),
+        (
+            "baselines",
+            baselines::baselines,
+            "All schemes packet-simulated via RoutingScheme (SF/DF/FT3)",
+        ),
+        (
+            "fig2",
+            perf_ndp::fig2,
+            "Fig. 2: throughput/flow, randomized workload (NDP)",
+        ),
         ("fig4", diversity_figs::fig4, "Fig. 4: collision histograms"),
-        ("fig6", diversity_figs::fig6, "Fig. 6: minimal path lengths/counts"),
-        ("fig7", diversity_figs::fig7, "Fig. 7: non-minimal disjoint paths"),
-        ("fig8", diversity_figs::fig8, "Fig. 8: path interference distributions"),
-        ("fig9", theory_figs::fig9, "Fig. 9: MAT per routing scheme (worst-case traffic)"),
+        (
+            "fig6",
+            diversity_figs::fig6,
+            "Fig. 6: minimal path lengths/counts",
+        ),
+        (
+            "fig7",
+            diversity_figs::fig7,
+            "Fig. 7: non-minimal disjoint paths",
+        ),
+        (
+            "fig8",
+            diversity_figs::fig8,
+            "Fig. 8: path interference distributions",
+        ),
+        (
+            "fig9",
+            theory_figs::fig9,
+            "Fig. 9: MAT per routing scheme (worst-case traffic)",
+        ),
         ("fig10", theory_figs::fig10, "Fig. 10: cost model"),
-        ("fig11", perf_ndp::fig11, "Fig. 11: skewed adversarial traffic (NDP)"),
-        ("fig12", perf_ndp::fig12, "Fig. 12: layer count × rho sweep (NDP)"),
-        ("fig13packet", large_scale::fig13_packet, "Fig. 13: large-scale packet-level"),
-        ("fig13fluid", large_scale::fig13_fluid, "Fig. 13: 1M-endpoint fluid FCT histograms"),
-        ("fig14", perf_tcp::fig14, "Fig. 14: TCP speedups vs ECMP/LetFlow"),
-        ("fig15", perf_tcp::fig15, "Fig. 15: SF FCT distribution vs queueing model (TCP)"),
+        (
+            "fig11",
+            perf_ndp::fig11,
+            "Fig. 11: skewed adversarial traffic (NDP)",
+        ),
+        (
+            "fig12",
+            perf_ndp::fig12,
+            "Fig. 12: layer count × rho sweep (NDP)",
+        ),
+        (
+            "fig13packet",
+            large_scale::fig13_packet,
+            "Fig. 13: large-scale packet-level",
+        ),
+        (
+            "fig13fluid",
+            large_scale::fig13_fluid,
+            "Fig. 13: 1M-endpoint fluid FCT histograms",
+        ),
+        (
+            "fig14",
+            perf_tcp::fig14,
+            "Fig. 14: TCP speedups vs ECMP/LetFlow",
+        ),
+        (
+            "fig15",
+            perf_tcp::fig15,
+            "Fig. 15: SF FCT distribution vs queueing model (TCP)",
+        ),
         ("fig16", perf_tcp::fig16, "Fig. 16: rho sweep (TCP)"),
-        ("fig17", perf_tcp::fig17, "Fig. 17: stencil + barrier completion"),
-        ("fig19", theory_figs::fig19, "Fig. 19: edge density and radix scaling"),
-        ("fig20", perf_tcp::fig20, "Fig. 20: TCP crossbar lambda sweep"),
-        ("fig21", perf_ndp::fig21, "Fig. 21: NDP lambda sweep, fat tree vs star"),
+        (
+            "fig17",
+            perf_tcp::fig17,
+            "Fig. 17: stencil + barrier completion",
+        ),
+        (
+            "fig19",
+            theory_figs::fig19,
+            "Fig. 19: edge density and radix scaling",
+        ),
+        (
+            "fig20",
+            perf_tcp::fig20,
+            "Fig. 20: TCP crossbar lambda sweep",
+        ),
+        (
+            "fig21",
+            perf_ndp::fig21,
+            "Fig. 21: NDP lambda sweep, fat tree vs star",
+        ),
     ]
 }
 
@@ -48,6 +126,12 @@ fn main() {
     let quick = common::is_quick(&args);
     let name = args.iter().find(|a| !a.starts_with("--")).cloned();
     let reg = registry();
+    let run_checked = |n: &str, run: Runner| {
+        if let Err(e) = run(quick) {
+            eprintln!("experiment '{n}' failed: {e}");
+            std::process::exit(1);
+        }
+    };
     match name.as_deref() {
         None | Some("list") => {
             println!("Available experiments (add --quick for reduced scale):");
@@ -59,12 +143,12 @@ fn main() {
             for (n, run, _) in &reg {
                 println!("=== {n} ===");
                 let t0 = std::time::Instant::now();
-                run(quick);
+                run_checked(n, *run);
                 println!("[{n} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
             }
         }
         Some(n) => match reg.iter().find(|(name, ..)| *name == n) {
-            Some((_, run, _)) => run(quick),
+            Some((_, run, _)) => run_checked(n, *run),
             None => {
                 eprintln!("unknown experiment '{n}'; try `experiments list`");
                 std::process::exit(2);

@@ -3,18 +3,15 @@
 //! (skewed adversarial workload), Fig. 12 (layer count × ρ sweep),
 //! Fig. 21 (λ sweep: fat tree vs crossbar baseline).
 
-use crate::common::{
-    f, label, layers_and_tables, ndp_cfg, pattern_workload, post_warmup, run_layered, run_minimal,
-    topo_set, write_summary, Csv,
-};
-use fatpaths_core::ecmp::DistanceMatrix;
+use crate::common::{f, label, pattern_workload, post_warmup, topo_set, write_summary, Csv};
 use fatpaths_net::classes::{build, SizeClass};
 use fatpaths_net::topo::{star::star, TopoKind, Topology};
 use fatpaths_sim::metrics::{mean, percentile, throughput_by_size};
-use fatpaths_sim::{LoadBalancing, SimResult};
+use fatpaths_sim::{LoadBalancing, Scenario, SchemeSpec, SimResult};
 use fatpaths_workloads::arrivals::{poisson_flows, FlowSpec};
 use fatpaths_workloads::patterns::{adversarial_for, Pattern};
 use fatpaths_workloads::sizes::FlowSizeDist;
+use std::io;
 
 fn class_for(quick: bool) -> SizeClass {
     if quick {
@@ -28,25 +25,30 @@ fn class_for(quick: bool) -> SizeClass {
 /// low-diameter networks; NDP packet spraying for the fat tree (its native
 /// scheme, per §VII-A3).
 fn run_native(topo: &Topology, flows: &[FlowSpec], seed: u64) -> SimResult {
+    let sc = Scenario::on(topo).workload(flows).seed(seed);
     if topo.kind == TopoKind::FatTree {
-        let dm = DistanceMatrix::build(&topo.graph);
-        run_minimal(topo, &dm, ndp_cfg(LoadBalancing::PacketSpray, seed), flows)
+        sc.scheme(SchemeSpec::Minimal)
+            .lb(LoadBalancing::PacketSpray)
+            .run()
     } else {
-        let (_, rt) = layers_and_tables(topo, 9, 0.6, seed);
-        run_layered(topo, &rt, ndp_cfg(LoadBalancing::FatPathsLayers, seed), flows)
+        sc.scheme(SchemeSpec::LayeredRandom {
+            n_layers: 9,
+            rho: 0.6,
+        })
+        .run()
     }
 }
 
 /// Fig. 2: per-flow throughput vs flow size, randomized permutation
 /// workload, similar-cost networks.
-pub fn fig2(quick: bool) {
+pub fn fig2(quick: bool) -> io::Result<()> {
     let class = class_for(quick);
     let window = if quick { 0.004 } else { 0.008 };
     let lambda = 300.0;
     let mut csv = Csv::new(
         "fig2_throughput",
         &["topology", "flow_kib", "mean_mib_s", "tail1_mib_s", "flows"],
-    );
+    )?;
     let mut summary = String::from("Fig. 2 — throughput/flow (randomized workload, NDP-style)\n");
     let mut ft_mean = 0.0;
     let mut ld_best: f64 = 0.0;
@@ -62,7 +64,7 @@ pub fn fig2(quick: bool) {
                 f(*m),
                 f(*t1),
                 n.to_string(),
-            ]);
+            ])?;
             all.push(*m);
         }
         let overall = mean(&all);
@@ -79,45 +81,67 @@ pub fn fig2(quick: bool) {
             ld_best = ld_best.max(overall);
         }
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str(&format!(
         "Best low-diameter vs fat tree: {:.1} vs {:.1} MiB/s ({:+.0}%) — paper: ≈+15%.\n",
         ld_best,
         ft_mean,
         100.0 * (ld_best / ft_mean - 1.0)
     ));
-    write_summary("fig2_throughput", &summary);
+    write_summary("fig2_throughput", &summary)
 }
 
 /// Fig. 11: skewed (non-randomized) adversarial traffic: FatPaths
 /// non-minimal routing vs minimal-only NDP baseline on each topology.
-pub fn fig11(quick: bool) {
+pub fn fig11(quick: bool) -> io::Result<()> {
     let class = class_for(quick);
     let window = if quick { 0.004 } else { 0.008 };
     let mut csv = Csv::new(
         "fig11_adversarial",
-        &["topology", "scheme", "flow_kib", "mean_mib_s", "tail1_mib_s"],
-    );
+        &[
+            "topology",
+            "scheme",
+            "flow_kib",
+            "mean_mib_s",
+            "tail1_mib_s",
+        ],
+    )?;
     let mut summary = String::from("Fig. 11 — skewed adversarial traffic (no randomization)\n");
     for topo in &topo_set(class, 3) {
         let p = topo.concentration.iter().copied().max().unwrap();
         let pattern = adversarial_for(p, topo.num_routers() as u32);
         let flows = pattern_workload(topo, &pattern, 200.0, window, false, 11);
         // FatPaths (non-minimal multipathing).
-        let (_, rt) = layers_and_tables(topo, 9, 0.6, 5);
         let fp = post_warmup(
-            &run_layered(topo, &rt, ndp_cfg(LoadBalancing::FatPathsLayers, 6), &flows),
+            &Scenario::on(topo)
+                .scheme(SchemeSpec::LayeredRandom {
+                    n_layers: 9,
+                    rho: 0.6,
+                })
+                .workload(&flows)
+                .seed(6)
+                .run(),
             window,
         );
         // Baseline: NDP on minimal paths (packet spraying, no layers).
-        let dm = DistanceMatrix::build(&topo.graph);
         let base = post_warmup(
-            &run_minimal(topo, &dm, ndp_cfg(LoadBalancing::PacketSpray, 6), &flows),
+            &Scenario::on(topo)
+                .scheme(SchemeSpec::Minimal)
+                .lb(LoadBalancing::PacketSpray)
+                .workload(&flows)
+                .seed(6)
+                .run(),
             window,
         );
         for (scheme, res) in [("fatpaths", &fp), ("ndp_minimal", &base)] {
             for (size, m, t1, _) in throughput_by_size(res) {
-                csv.row(&[label(topo), scheme.into(), (size / 1024).to_string(), f(m), f(t1)]);
+                csv.row(&[
+                    label(topo),
+                    scheme.into(),
+                    (size / 1024).to_string(),
+                    f(m),
+                    f(t1),
+                ])?;
             }
         }
         let m_fp = mean(&fp.fcts(None));
@@ -130,30 +154,41 @@ pub fn fig11(quick: bool) {
             m_base / m_fp.max(1e-12)
         ));
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str(
         "Paper: non-minimal layered routing improves FCT up to 30x; HX benefits least\n\
          (it already has minimal-path diversity).\n",
     );
-    write_summary("fig11_adversarial", &summary);
+    write_summary("fig11_adversarial", &summary)
 }
 
 /// Fig. 12: effect of layer count n and edge fraction ρ on the FCT of
 /// 1 MiB flows, for a complete graph, SF, and DF.
-pub fn fig12(quick: bool) {
+pub fn fig12(quick: bool) -> io::Result<()> {
     let class = class_for(quick);
     let topos = vec![
         build(TopoKind::Complete, class, 1),
         build(TopoKind::SlimFly, class, 1),
         build(TopoKind::Dragonfly, class, 1),
     ];
-    let ns: &[usize] = if quick { &[2, 4, 9] } else { &[2, 4, 9, 16, 33] };
+    let ns: &[usize] = if quick {
+        &[2, 4, 9]
+    } else {
+        &[2, 4, 9, 16, 33]
+    };
     let rhos = [0.5, 0.7, 0.8];
     let window = if quick { 0.003 } else { 0.005 };
     let mut csv = Csv::new(
         "fig12_layers",
-        &["topology", "n_layers", "rho", "fct_mean_ms", "fct_p10_ms", "fct_p99_ms"],
-    );
+        &[
+            "topology",
+            "n_layers",
+            "rho",
+            "fct_mean_ms",
+            "fct_p10_ms",
+            "fct_p99_ms",
+        ],
+    )?;
     let mut summary = String::from("Fig. 12 — FCT vs (n, ρ), 1 MiB flows\n");
     for topo in &topos {
         // Adversarial aligned traffic: the collision resolver's stress test.
@@ -164,9 +199,12 @@ pub fn fig12(quick: bool) {
         let flows = poisson_flows(&pairs, 100.0, window, &dist, 2);
         for &n in ns {
             for rho in rhos {
-                let (_, rt) = layers_and_tables(topo, n, rho, 7);
                 let res = post_warmup(
-                    &run_layered(topo, &rt, ndp_cfg(LoadBalancing::FatPathsLayers, 8), &flows),
+                    &Scenario::on(topo)
+                        .scheme(SchemeSpec::LayeredRandom { n_layers: n, rho })
+                        .workload(&flows)
+                        .seed(7)
+                        .run(),
                     window,
                 );
                 let fcts = res.fcts(None);
@@ -182,7 +220,7 @@ pub fn fig12(quick: bool) {
                     f(row.0),
                     f(row.1),
                     f(row.2),
-                ]);
+                ])?;
                 summary.push_str(&format!(
                     "{:<4} n={:<3} rho={:.1}: mean {:>7.2} ms p99 {:>8.2} ms\n",
                     label(topo),
@@ -194,35 +232,56 @@ pub fn fig12(quick: bool) {
             }
         }
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: 9 layers suffice for SF/DF; with more layers, higher ρ wins.\n");
-    write_summary("fig12_layers", &summary);
+    write_summary("fig12_layers", &summary)
 }
 
 /// Fig. 21: NDP λ sweep — 2× oversubscribed fat tree vs the star baseline.
-pub fn fig21(quick: bool) {
-    let ft = if quick { build(TopoKind::FatTree, SizeClass::Small, 1) } else { fatpaths_net::topo::fattree::fat_tree(16, 2) };
+pub fn fig21(quick: bool) -> io::Result<()> {
+    let ft = if quick {
+        build(TopoKind::FatTree, SizeClass::Small, 1)
+    } else {
+        fatpaths_net::topo::fattree::fat_tree(16, 2)
+    };
     let st = star(ft.num_endpoints() as u32);
-    let lambdas: &[f64] = if quick { &[100.0, 300.0] } else { &[100.0, 200.0, 300.0, 400.0, 500.0] };
+    let lambdas: &[f64] = if quick {
+        &[100.0, 300.0]
+    } else {
+        &[100.0, 200.0, 300.0, 400.0, 500.0]
+    };
     let window = 0.004;
     let mut csv = Csv::new(
         "fig21_lambda_ndp",
-        &["topology", "lambda", "flow_kib", "fct_p10_norm", "fct_mean_norm", "fct_p99_norm"],
-    );
+        &[
+            "topology",
+            "lambda",
+            "flow_kib",
+            "fct_p10_norm",
+            "fct_mean_norm",
+            "fct_p99_norm",
+        ],
+    )?;
     let mut summary = String::from("Fig. 21 — NDP λ sweep (normalized FCT; fat tree vs star)\n");
     for (name, topo) in [("fattree", &ft), ("star", &st)] {
-        let dm = DistanceMatrix::build(&topo.graph);
+        let lb = if topo.kind == TopoKind::FatTree {
+            LoadBalancing::PacketSpray
+        } else {
+            LoadBalancing::EcmpFlow
+        };
         for &lambda in lambdas {
             let flows = pattern_workload(topo, &Pattern::Uniform, lambda, window, true, 21);
-            let lb = if topo.kind == TopoKind::FatTree {
-                LoadBalancing::PacketSpray
-            } else {
-                LoadBalancing::EcmpFlow
-            };
-            let res = post_warmup(&run_minimal(topo, &dm, ndp_cfg(lb, 3), &flows), window);
+            let res = post_warmup(
+                &Scenario::on(topo)
+                    .scheme(SchemeSpec::Minimal)
+                    .lb(lb)
+                    .workload(&flows)
+                    .seed(3)
+                    .run(),
+                window,
+            );
             // Normalize by the ideal line-rate FCT per size (µ=10Gb/s).
-            for (size, grp_mean, _t1, _) in throughput_by_size(&res) {
-                let line = 10e9 / 8.0 / (1024.0 * 1024.0);
+            for (size, _grp_mean, _t1, _) in throughput_by_size(&res) {
                 let fcts: Vec<f64> = res
                     .completed()
                     .filter(|fl| fl.size == size)
@@ -236,8 +295,7 @@ pub fn fig21(quick: bool) {
                     f(percentile(&fcts, 10.0) / ideal),
                     f(mean(&fcts) / ideal),
                     f(percentile(&fcts, 99.0) / ideal),
-                ]);
-                let _ = (grp_mean, line);
+                ])?;
             }
             let all = res.fcts(None);
             summary.push_str(&format!(
@@ -249,7 +307,7 @@ pub fn fig21(quick: bool) {
             ));
         }
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: λ≤200 shows no oversubscription penalty; λ≥300 loads the core.\n");
-    write_summary("fig21_lambda_ndp", &summary);
+    write_summary("fig21_lambda_ndp", &summary)
 }

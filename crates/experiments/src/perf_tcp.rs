@@ -3,42 +3,49 @@
 //! model), Fig. 16 (ρ sweep on TCP), Fig. 17 (stencil + barrier), Fig. 20
 //! (λ behavior on a crossbar).
 
-use crate::common::{
-    f, label, layers_and_tables, pattern_workload, post_warmup, run_layered, run_minimal, tcp_cfg,
-    topo_set, write_summary, Csv,
-};
-use fatpaths_core::ecmp::DistanceMatrix;
+use crate::common::{f, label, pattern_workload, post_warmup, topo_set, write_summary, Csv};
 use fatpaths_net::classes::{build, SizeClass};
 use fatpaths_net::topo::{star::star, TopoKind, Topology};
 use fatpaths_sim::metrics::{histogram, mean, percentile};
-use fatpaths_sim::{LoadBalancing, SimResult, TcpVariant};
+use fatpaths_sim::{LoadBalancing, Scenario, SchemeSpec, SimResult, TcpVariant, Transport};
 use fatpaths_workloads::arrivals::poisson_flows;
 use fatpaths_workloads::patterns::Pattern;
 use fatpaths_workloads::sizes::FlowSizeDist;
+use std::io;
 
 /// The four §VII-C comparison schemes: ECMP, LetFlow, FatPaths ρ=0.6, and
 /// FatPaths ρ=1 (minimal-path layers), all with n=4 layers.
 const SCHEMES: [&str; 4] = ["ecmp", "letflow", "fatpaths_rho06", "fatpaths_rho1"];
 
 fn run_scheme(topo: &Topology, scheme: &str, flows: &[fatpaths_workloads::FlowSpec]) -> SimResult {
-    let variant = TcpVariant::Dctcp; // the paper's TCP runs use ECN (§VII-A6)
+    // The paper's TCP runs use ECN (§VII-A6).
+    let sc = Scenario::on(topo)
+        .transport(Transport::tcp_default(TcpVariant::Dctcp))
+        .workload(flows)
+        .seed(3);
     match scheme {
-        "ecmp" => {
-            let dm = DistanceMatrix::build(&topo.graph);
-            run_minimal(topo, &dm, tcp_cfg(variant, LoadBalancing::EcmpFlow, 3), flows)
-        }
-        "letflow" => {
-            let dm = DistanceMatrix::build(&topo.graph);
-            run_minimal(topo, &dm, tcp_cfg(variant, LoadBalancing::LetFlow, 3), flows)
-        }
-        "fatpaths_rho06" => {
-            let (_, rt) = layers_and_tables(topo, 4, 0.6, 5);
-            run_layered(topo, &rt, tcp_cfg(variant, LoadBalancing::FatPathsLayers, 3), flows)
-        }
-        "fatpaths_rho1" => {
-            let (_, rt) = layers_and_tables(topo, 4, 1.0, 5);
-            run_layered(topo, &rt, tcp_cfg(variant, LoadBalancing::FatPathsLayers, 3), flows)
-        }
+        "ecmp" => sc
+            .scheme(SchemeSpec::Minimal)
+            .lb(LoadBalancing::EcmpFlow)
+            .run(),
+        "letflow" => sc
+            .scheme(SchemeSpec::Minimal)
+            .lb(LoadBalancing::LetFlow)
+            .run(),
+        "fatpaths_rho06" => sc
+            .scheme(SchemeSpec::LayeredRandom {
+                n_layers: 4,
+                rho: 0.6,
+            })
+            .seed(5)
+            .run(),
+        "fatpaths_rho1" => sc
+            .scheme(SchemeSpec::LayeredRandom {
+                n_layers: 4,
+                rho: 1.0,
+            })
+            .seed(5)
+            .run(),
         _ => unreachable!(),
     }
 }
@@ -49,12 +56,18 @@ fn class_for(quick: bool) -> SizeClass {
 }
 
 /// Fig. 14: mean and 99%-tail FCT speedup over ECMP by flow size.
-pub fn fig14(quick: bool) {
+pub fn fig14(quick: bool) -> io::Result<()> {
     let window = if quick { 0.01 } else { 0.02 };
     let mut csv = Csv::new(
         "fig14_tcp_speedup",
-        &["topology", "scheme", "flow_kib", "speedup_mean", "speedup_p99"],
-    );
+        &[
+            "topology",
+            "scheme",
+            "flow_kib",
+            "speedup_mean",
+            "speedup_p99",
+        ],
+    )?;
     let mut summary = String::from("Fig. 14 — TCP FCT speedup over ECMP (n=4)\n");
     for topo in &topo_set(class_for(quick), 3) {
         let flows = pattern_workload(topo, &Pattern::Permutation, 200.0, window, true, 31);
@@ -88,7 +101,7 @@ pub fn fig14(quick: bool) {
                     (size / 1024).to_string(),
                     f(sp_mean),
                     f(sp_p99),
-                ]);
+                ])?;
                 mean_sp.push(sp_mean);
                 best_tail = best_tail.max(sp_p99);
             }
@@ -101,46 +114,41 @@ pub fn fig14(quick: bool) {
             ));
         }
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str(
         "Paper: FatPaths ρ=0.6 beats ECMP/LetFlow, up to 2.5x on SF; LetFlow/ECMP are\n\
          ineffective on SF and DF (no minimal-path diversity).\n",
     );
-    write_summary("fig14_tcp_speedup", &summary);
+    write_summary("fig14_tcp_speedup", &summary)
 }
 
 /// Fig. 15: FCT distribution of 1 MiB flows on SF — ECMP vs FatPaths vs a
 /// simple M/M/1-style queueing prediction.
-pub fn fig15(quick: bool) {
+pub fn fig15(quick: bool) -> io::Result<()> {
     let topo = build(TopoKind::SlimFly, class_for(quick), 1);
     let window = if quick { 0.02 } else { 0.04 };
     let pairs = Pattern::Permutation.flows(topo.num_endpoints() as u64, 3);
     let dist = FlowSizeDist::fixed(1 << 20);
     let lambda = 150.0;
     let flows = poisson_flows(&pairs, lambda, window, &dist, 4);
-    let (_, rt) = layers_and_tables(&topo, 4, 0.6, 5);
-    let fp = post_warmup(
-        &run_layered(&topo, &rt, tcp_cfg(TcpVariant::Dctcp, LoadBalancing::FatPathsLayers, 3), &flows),
-        window,
-    );
-    let dm = DistanceMatrix::build(&topo.graph);
-    let ecmp = post_warmup(
-        &run_minimal(&topo, &dm, tcp_cfg(TcpVariant::Dctcp, LoadBalancing::EcmpFlow, 3), &flows),
-        window,
-    );
+    let fp = post_warmup(&run_scheme(&topo, "fatpaths_rho06", &flows), window);
+    let ecmp = post_warmup(&run_scheme(&topo, "ecmp", &flows), window);
     // Queueing prediction (see sim::queueing): M/M/1-PS sojourn for a
     // 1 MiB job at per-endpoint-link utilization ρ = λ·E[S].
     let service = (1u64 << 20) as f64 / (10e9 / 8.0);
-    let model = fatpaths_sim::queueing::QueueModel { lambda, mean_service_s: service };
+    let model = fatpaths_sim::queueing::QueueModel {
+        lambda,
+        mean_service_s: service,
+    };
     let predicted = model.mm1_ps_fct(service);
-    let mut csv = Csv::new("fig15_fct_dist", &["scheme", "fct_ms_bin", "count"]);
+    let mut csv = Csv::new("fig15_fct_dist", &["scheme", "fct_ms_bin", "count"])?;
     let mut summary = String::from("Fig. 15 — FCT distribution of 1 MiB flows on SF (TCP)\n");
     for (scheme, res) in [("fatpaths", &fp), ("ecmp", &ecmp)] {
         let fcts: Vec<f64> = res.fcts(None).iter().map(|s| s * 1e3).collect();
         let hist = histogram(&fcts, 0.0, 40.0, 40);
         for (bin, &c) in hist.iter().enumerate() {
             if c > 0 {
-                csv.row(&[scheme.into(), bin.to_string(), c.to_string()]);
+                csv.row(&[scheme.to_string(), bin.to_string(), c.to_string()])?;
             }
         }
         summary.push_str(&format!(
@@ -151,19 +159,23 @@ pub fn fig15(quick: bool) {
             predicted * 1e3
         ));
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: FatPaths tracks the queueing model; ECMP grows a collision tail.\n");
-    write_summary("fig15_fct_dist", &summary);
+    write_summary("fig15_fct_dist", &summary)
 }
 
 /// Fig. 16: impact of ρ on long-flow FCT with TCP, n = 4.
-pub fn fig16(quick: bool) {
+pub fn fig16(quick: bool) -> io::Result<()> {
     let window = if quick { 0.01 } else { 0.02 };
-    let rhos: &[f64] = if quick { &[0.5, 0.7, 1.0] } else { &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0] };
+    let rhos: &[f64] = if quick {
+        &[0.5, 0.7, 1.0]
+    } else {
+        &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    };
     let mut csv = Csv::new(
         "fig16_rho_tcp",
         &["topology", "rho", "fct_mean_ms", "fct_p10_ms", "fct_p99_ms"],
-    );
+    )?;
     let mut summary = String::from("Fig. 16 — ρ sweep, TCP long flows (1 MiB), n=4\n");
     for topo in &topo_set(class_for(quick), 3) {
         if topo.kind == TopoKind::FatTree {
@@ -175,9 +187,13 @@ pub fn fig16(quick: bool) {
         let dist = FlowSizeDist::fixed(1 << 20);
         let flows = poisson_flows(&pairs, 100.0, window, &dist, 6);
         for &rho in rhos {
-            let (_, rt) = layers_and_tables(topo, 4, rho, 7);
             let res = post_warmup(
-                &run_layered(topo, &rt, tcp_cfg(TcpVariant::Dctcp, LoadBalancing::FatPathsLayers, 3), &flows),
+                &Scenario::on(topo)
+                    .scheme(SchemeSpec::LayeredRandom { n_layers: 4, rho })
+                    .transport(Transport::tcp_default(TcpVariant::Dctcp))
+                    .workload(&flows)
+                    .seed(7)
+                    .run(),
                 window,
             );
             let fcts = res.fcts(None);
@@ -187,7 +203,7 @@ pub fn fig16(quick: bool) {
                 f(mean(&fcts) * 1e3),
                 f(percentile(&fcts, 10.0) * 1e3),
                 f(percentile(&fcts, 99.0) * 1e3),
-            ]);
+            ])?;
             summary.push_str(&format!(
                 "{:<6} rho={:.1}: mean {:>7.2} ms p99 {:>8.2} ms\n",
                 label(topo),
@@ -197,22 +213,32 @@ pub fn fig16(quick: bool) {
             ));
         }
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: ρ≈0.6–0.8 optimal for SF/DF (2x tail gain); ρ=1 fine for HX.\n");
-    write_summary("fig16_rho_tcp", &summary);
+    write_summary("fig16_rho_tcp", &summary)
 }
 
 /// Fig. 17: stencil + barrier workload — total completion speedup over
 /// ECMP for LetFlow and FatPaths (ρ ∈ {0.6, 1}). The stencil traffic
 /// pattern (4 off-diagonals) runs with Poisson arrivals and a fixed
 /// message size per series; "completion" is the post-warmup makespan.
-pub fn fig17(quick: bool) {
-    let msg_sizes: &[u64] = if quick { &[200_000] } else { &[20_000, 200_000, 2_000_000] };
+pub fn fig17(quick: bool) -> io::Result<()> {
+    let msg_sizes: &[u64] = if quick {
+        &[200_000]
+    } else {
+        &[20_000, 200_000, 2_000_000]
+    };
     let window = if quick { 0.008 } else { 0.015 };
     let mut csv = Csv::new(
         "fig17_stencil",
-        &["topology", "scheme", "message_bytes", "completion_ms", "speedup_vs_ecmp"],
-    );
+        &[
+            "topology",
+            "scheme",
+            "message_bytes",
+            "completion_ms",
+            "speedup_vs_ecmp",
+        ],
+    )?;
     let mut summary = String::from("Fig. 17 — stencil+barrier completion speedup\n");
     for topo in &topo_set(class_for(quick), 3) {
         let n = topo.num_endpoints() as u64;
@@ -244,7 +270,7 @@ pub fn fig17(quick: bool) {
                     msg.to_string(),
                     f(ms),
                     f(speedup),
-                ]);
+                ])?;
                 if msg == 200_000 {
                     summary.push_str(&format!(
                         "{:<5} {:<15} msg=200K: {:>8.2} ms ({:>4.2}x vs ECMP)\n",
@@ -257,20 +283,23 @@ pub fn fig17(quick: bool) {
             }
         }
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: >2.5x on SF and ≈2x on XP for 200K/2M messages.\n");
-    write_summary("fig17_stencil", &summary);
+    write_summary("fig17_stencil", &summary)
 }
 
 /// Fig. 20: TCP behavior vs flow arrival rate λ on a 60-endpoint crossbar.
-pub fn fig20(quick: bool) {
+pub fn fig20(quick: bool) -> io::Result<()> {
     let topo = star(60);
-    let dm = DistanceMatrix::build(&topo.graph);
-    let lambdas: &[f64] = if quick { &[100.0, 400.0] } else { &[50.0, 100.0, 200.0, 400.0, 800.0] };
+    let lambdas: &[f64] = if quick {
+        &[100.0, 400.0]
+    } else {
+        &[50.0, 100.0, 200.0, 400.0, 800.0]
+    };
     let mut csv = Csv::new(
         "fig20_lambda_tcp",
         &["lambda", "fct_p10_ms", "fct_mean_ms", "fct_p90_ms", "flows"],
-    );
+    )?;
     let mut summary = String::from("Fig. 20 — TCP crossbar λ sweep (2 MB flows)\n");
     for &lambda in lambdas {
         let pairs = Pattern::Uniform.flows(60, 3);
@@ -278,7 +307,12 @@ pub fn fig20(quick: bool) {
         let window = 0.05;
         let flows = poisson_flows(&pairs, lambda, window, &dist, 8);
         let res = post_warmup(
-            &run_minimal(&topo, &dm, tcp_cfg(TcpVariant::Reno, LoadBalancing::EcmpFlow, 3), &flows),
+            &Scenario::on(&topo)
+                .scheme(SchemeSpec::Minimal)
+                .transport(Transport::tcp_default(TcpVariant::Reno))
+                .workload(&flows)
+                .seed(3)
+                .run(),
             window,
         );
         let fcts: Vec<f64> = res.fcts(None).iter().map(|s| s * 1e3).collect();
@@ -288,7 +322,7 @@ pub fn fig20(quick: bool) {
             f(mean(&fcts)),
             f(percentile(&fcts, 90.0)),
             fcts.len().to_string(),
-        ]);
+        ])?;
         summary.push_str(&format!(
             "λ={:<6} mean {:>8.2} ms p90 {:>8.2} ms ({} flows)\n",
             lambda,
@@ -297,7 +331,7 @@ pub fn fig20(quick: bool) {
             fcts.len()
         ));
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: saturation knee beyond λ≈250 on the 60-endpoint crossbar.\n");
-    write_summary("fig20_lambda_tcp", &summary);
+    write_summary("fig20_lambda_tcp", &summary)
 }

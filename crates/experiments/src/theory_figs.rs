@@ -16,11 +16,12 @@ use fatpaths_net::topo::{
     TopoKind, Topology,
 };
 use rayon::prelude::*;
+use std::io;
 
 /// Fig. 9: maximum achievable throughput of FatPaths (interference-min
 /// layers), SPAIN, PAST, and k-shortest paths under the worst-case traffic
 /// pattern at intensity 0.55, across topology sizes.
-pub fn fig9(quick: bool) {
+pub fn fig9(quick: bool) -> io::Result<()> {
     let mut configs: Vec<Topology> = Vec::new();
     // A size sweep per family (kept below ≈1600 routers for SPAIN/Yen).
     for q in [5u32, 7, 11, 13] {
@@ -48,8 +49,9 @@ pub fn fig9(quick: bool) {
     let mut csv = Csv::new(
         "fig9_mat",
         &["topology", "endpoints", "scheme", "throughput", "layers"],
-    );
-    let mut summary = String::from("Fig. 9 — MAT per scheme (worst-case traffic, intensity 0.55)\n");
+    )?;
+    let mut summary =
+        String::from("Fig. 9 — MAT per scheme (worst-case traffic, intensity 0.55)\n");
     let rows: Vec<Vec<[String; 5]>> = configs
         .par_iter()
         .map(|t| {
@@ -59,25 +61,57 @@ pub fn fig9(quick: bool) {
             // FatPaths, interference-minimizing construction.
             let ls = build_interference_min_layers(
                 &t.graph,
-                &ImConfig { n_layers, seed: 5, ..ImConfig::default() },
+                &ImConfig {
+                    n_layers,
+                    seed: 5,
+                    ..ImConfig::default()
+                },
             );
             let rt = RoutingTables::build(&t.graph, &ls);
-            let fp = mat(&t.graph, &demands, &LayeredPaths { base: &t.graph, tables: &rt }, eps);
+            let fp = mat(
+                &t.graph,
+                &demands,
+                &LayeredPaths {
+                    base: &t.graph,
+                    tables: &rt,
+                },
+                eps,
+            );
             out.push(("fatpaths", fp.throughput, n_layers));
             // SPAIN (capped to the same layer budget for fairness, §VI-C).
             let spain = build_spain_layers(
                 &t.graph,
-                &SpainConfig { k_paths: 2, max_layers: Some(n_layers), seed: 6 },
+                &SpainConfig {
+                    k_paths: 2,
+                    max_layers: Some(n_layers),
+                    seed: 6,
+                },
             );
             let srt = RoutingTables::build(&t.graph, &spain.layers);
-            let sp = mat(&t.graph, &demands, &LayeredPaths { base: &t.graph, tables: &srt }, eps);
+            let sp = mat(
+                &t.graph,
+                &demands,
+                &LayeredPaths {
+                    base: &t.graph,
+                    tables: &srt,
+                },
+                eps,
+            );
             out.push(("spain", sp.throughput, spain.layers.len()));
             // PAST.
             let trees = PastTrees::build(&t.graph, PastVariant::Bfs, 7);
             let pa = mat(&t.graph, &demands, &PastPaths { trees: &trees }, eps);
             out.push(("past", pa.throughput, t.num_routers()));
             // k-shortest paths.
-            let ks = mat(&t.graph, &demands, &KspPaths { graph: &t.graph, k: n_layers }, eps);
+            let ks = mat(
+                &t.graph,
+                &demands,
+                &KspPaths {
+                    graph: &t.graph,
+                    k: n_layers,
+                },
+                eps,
+            );
             out.push(("ksp", ks.throughput, n_layers));
             out.into_iter()
                 .map(|(scheme, tp, layers)| {
@@ -117,23 +151,30 @@ pub fn fig9(quick: bool) {
             }
         }
         for r in group {
-            csv.row(&r.to_vec());
+            csv.row(&r[..])?;
         }
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str(&format!(
         "FatPaths ≥ SPAIN,PAST on {fat_wins}/{total} low-diameter configs \
          (paper: FatPaths wins everywhere except SPAIN-on-fat-tree).\n"
     ));
-    write_summary("fig9_mat", &summary);
+    write_summary("fig9_mat", &summary)
 }
 
 /// Fig. 10: itemized per-endpoint cost at N≈10k with 100 GbE prices.
-pub fn fig10(_quick: bool) {
+pub fn fig10(_quick: bool) -> io::Result<()> {
     let mut csv = Csv::new(
         "fig10_cost",
-        &["topology", "endpoints", "routers_usd", "interconnect_usd", "endpoint_links_usd", "per_endpoint_usd"],
-    );
+        &[
+            "topology",
+            "endpoints",
+            "routers_usd",
+            "interconnect_usd",
+            "endpoint_links_usd",
+            "per_endpoint_usd",
+        ],
+    )?;
     let prices = PriceBook::default();
     let mut summary = String::from("Fig. 10 — cost per endpoint (100GbE model)\n");
     let mut topos = crate::common::topo_set(SizeClass::Medium, 1);
@@ -156,7 +197,7 @@ pub fn fig10(_quick: bool) {
             f(c.interconnect_cables),
             f(c.endpoint_cables),
             f(c.per_endpoint(n)),
-        ]);
+        ])?;
         summary.push_str(&format!(
             "{:<5} ${:>7.0}/endpoint (routers {:.0}%, cables {:.0}%)\n",
             crate::common::label(t),
@@ -165,14 +206,17 @@ pub fn fig10(_quick: bool) {
             100.0 * (c.interconnect_cables + c.endpoint_cables) / c.total(),
         ));
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: ≈$2–3k per endpoint; HX3 most expensive (oversized radix).\n");
-    write_summary("fig10_cost", &summary);
+    write_summary("fig10_cost", &summary)
 }
 
 /// Fig. 19: edge density and router radix as functions of network size.
-pub fn fig19(_quick: bool) {
-    let mut csv = Csv::new("fig19_scaling", &["topology", "endpoints", "edge_density", "radix"]);
+pub fn fig19(_quick: bool) -> io::Result<()> {
+    let mut csv = Csv::new(
+        "fig19_scaling",
+        &["topology", "endpoints", "edge_density", "radix"],
+    )?;
     let mut summary = String::from("Fig. 19 — edge density and radix vs N\n");
     for class in SizeClass::all() {
         if class == SizeClass::Huge {
@@ -185,7 +229,7 @@ pub fn fig19(_quick: bool) {
                 t.num_endpoints().to_string(),
                 f(t.edge_density()),
                 t.router_radix().to_string(),
-            ]);
+            ])?;
         }
     }
     // Asymptotic check: densities stay ~constant per family.
@@ -199,24 +243,36 @@ pub fn fig19(_quick: bool) {
             large
         ));
     }
-    csv.finish();
+    csv.finish()?;
     summary.push_str("Paper: density ≈ constant (2.1–3.0) per family; DF needs most cables.\n");
-    write_summary("fig19_scaling", &summary);
+    write_summary("fig19_scaling", &summary)
 }
 
 /// Table I: the routing-scheme feature matrix.
-pub fn table1(_quick: bool) {
+pub fn table1(_quick: bool) -> io::Result<()> {
     let text = fatpaths_core::schemes::render_table_i();
-    std::fs::write(crate::common::results_dir().join("table1_schemes.txt"), &text).unwrap();
-    write_summary("table1_schemes", &text);
+    std::fs::write(
+        crate::common::results_dir()?.join("table1_schemes.txt"),
+        &text,
+    )?;
+    write_summary("table1_schemes", &text)
 }
 
 /// Table V: topology structure parameters per size class.
-pub fn table5(_quick: bool) {
+pub fn table5(_quick: bool) -> io::Result<()> {
     let mut csv = Csv::new(
         "table5_topologies",
-        &["topology", "class", "routers", "endpoints", "kprime", "p", "diameter", "avg_path_len"],
-    );
+        &[
+            "topology",
+            "class",
+            "routers",
+            "endpoints",
+            "kprime",
+            "p",
+            "diameter",
+            "avg_path_len",
+        ],
+    )?;
     let mut summary = String::from("Table V — generated topology parameters\n");
     for class in [SizeClass::Small, SizeClass::Medium] {
         for kind in fatpaths_net::classes::evaluated_kinds() {
@@ -232,10 +288,15 @@ pub fn table5(_quick: bool) {
                 t.num_routers().to_string(),
                 t.num_endpoints().to_string(),
                 t.network_radix().to_string(),
-                t.concentration.iter().copied().max().unwrap_or(0).to_string(),
+                t.concentration
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0)
+                    .to_string(),
                 d.to_string(),
                 f(apl),
-            ]);
+            ])?;
             if class == SizeClass::Medium {
                 summary.push_str(&format!(
                     "{:<5} Nr={:<5} N={:<6} k'={:<3} D={} d={:.2}\n",
@@ -249,6 +310,6 @@ pub fn table5(_quick: bool) {
             }
         }
     }
-    csv.finish();
-    write_summary("table5_topologies", &summary);
+    csv.finish()?;
+    write_summary("table5_topologies", &summary)
 }

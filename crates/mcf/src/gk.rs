@@ -44,10 +44,16 @@ pub fn max_concurrent_flow(capacities: &[f64], commodities: &[Commodity], eps: f
     let m = capacities.len();
     assert!(eps > 0.0 && eps < 0.5);
     if commodities.is_empty() {
-        return McfResult { throughput: f64::INFINITY, edge_utilization: vec![0.0; m] };
+        return McfResult {
+            throughput: f64::INFINITY,
+            edge_utilization: vec![0.0; m],
+        };
     }
     if commodities.iter().any(|c| c.paths.is_empty()) {
-        return McfResult { throughput: 0.0, edge_utilization: vec![0.0; m] };
+        return McfResult {
+            throughput: 0.0,
+            edge_utilization: vec![0.0; m],
+        };
     }
     for c in commodities {
         debug_assert!(c.demand > 0.0);
@@ -104,7 +110,10 @@ pub fn max_concurrent_flow(capacities: &[f64], commodities: &[Commodity], eps: f
         .zip(capacities)
         .map(|(&f, &c)| (f / scale) / c)
         .collect();
-    McfResult { throughput, edge_utilization }
+    McfResult {
+        throughput,
+        edge_utilization,
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +128,14 @@ mod tests {
 
     #[test]
     fn single_edge_unit_demand() {
-        let r = max_concurrent_flow(&[1.0], &[Commodity { demand: 1.0, paths: vec![vec![0]] }], EPS);
+        let r = max_concurrent_flow(
+            &[1.0],
+            &[Commodity {
+                demand: 1.0,
+                paths: vec![vec![0]],
+            }],
+            EPS,
+        );
         assert!(close(r.throughput, 1.0), "T={}", r.throughput);
         assert!(r.edge_utilization[0] <= 1.0 + 1e-9);
     }
@@ -127,8 +143,14 @@ mod tests {
     #[test]
     fn two_commodities_share_edge() {
         let coms = vec![
-            Commodity { demand: 1.0, paths: vec![vec![0]] },
-            Commodity { demand: 1.0, paths: vec![vec![0]] },
+            Commodity {
+                demand: 1.0,
+                paths: vec![vec![0]],
+            },
+            Commodity {
+                demand: 1.0,
+                paths: vec![vec![0]],
+            },
         ];
         let r = max_concurrent_flow(&[1.0], &coms, EPS);
         assert!(close(r.throughput, 0.5), "T={}", r.throughput);
@@ -137,7 +159,10 @@ mod tests {
     #[test]
     fn parallel_paths_double_throughput() {
         // One commodity, demand 2, two disjoint unit paths → T = 1.
-        let coms = vec![Commodity { demand: 2.0, paths: vec![vec![0], vec![1]] }];
+        let coms = vec![Commodity {
+            demand: 2.0,
+            paths: vec![vec![0], vec![1]],
+        }];
         let r = max_concurrent_flow(&[1.0, 1.0], &coms, EPS);
         assert!(close(r.throughput, 1.0), "T={}", r.throughput);
     }
@@ -146,21 +171,30 @@ mod tests {
     fn unequal_path_lengths_prefer_short() {
         // Paths of length 1 and 3 over unit edges; demand 1.5:
         // optimal T = (1 + 1)/1.5 = 4/3 (short path 1 unit, long path 1).
-        let coms = vec![Commodity { demand: 1.5, paths: vec![vec![0], vec![1, 2, 3]] }];
+        let coms = vec![Commodity {
+            demand: 1.5,
+            paths: vec![vec![0], vec![1, 2, 3]],
+        }];
         let r = max_concurrent_flow(&[1.0; 4], &coms, EPS);
         assert!(close(r.throughput, 4.0 / 3.0), "T={}", r.throughput);
     }
 
     #[test]
     fn no_paths_means_zero() {
-        let coms = vec![Commodity { demand: 1.0, paths: vec![] }];
+        let coms = vec![Commodity {
+            demand: 1.0,
+            paths: vec![],
+        }];
         let r = max_concurrent_flow(&[1.0], &coms, EPS);
         assert_eq!(r.throughput, 0.0);
     }
 
     #[test]
     fn capacity_scales_result() {
-        let coms = vec![Commodity { demand: 1.0, paths: vec![vec![0]] }];
+        let coms = vec![Commodity {
+            demand: 1.0,
+            paths: vec![vec![0]],
+        }];
         let r1 = max_concurrent_flow(&[1.0], &coms, EPS);
         let r4 = max_concurrent_flow(&[4.0], &coms, EPS);
         assert!(close(r4.throughput / r1.throughput, 4.0));
@@ -169,7 +203,10 @@ mod tests {
     #[test]
     fn bottleneck_edge_governs() {
         // Two-hop path with capacities 1 and 0.25 → T = 0.25.
-        let coms = vec![Commodity { demand: 1.0, paths: vec![vec![0, 1]] }];
+        let coms = vec![Commodity {
+            demand: 1.0,
+            paths: vec![vec![0, 1]],
+        }];
         let r = max_concurrent_flow(&[1.0, 0.25], &coms, EPS);
         assert!(close(r.throughput, 0.25), "T={}", r.throughput);
     }
@@ -177,8 +214,14 @@ mod tests {
     #[test]
     fn utilization_is_feasible() {
         let coms = vec![
-            Commodity { demand: 1.0, paths: vec![vec![0, 1], vec![2]] },
-            Commodity { demand: 2.0, paths: vec![vec![1], vec![2, 0]] },
+            Commodity {
+                demand: 1.0,
+                paths: vec![vec![0, 1], vec![2]],
+            },
+            Commodity {
+                demand: 2.0,
+                paths: vec![vec![1], vec![2, 0]],
+            },
         ];
         let r = max_concurrent_flow(&[1.0, 2.0, 1.5], &coms, EPS);
         for (i, &u) in r.edge_utilization.iter().enumerate() {

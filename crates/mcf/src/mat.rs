@@ -12,10 +12,10 @@
 //! * **k-shortest paths** — Yen's paths.
 
 use crate::gk::{max_concurrent_flow, Commodity, McfResult};
-use fatpaths_net::graph::{Graph, RouterId};
 use fatpaths_core::fwd::RoutingTables;
 use fatpaths_core::ksp::k_shortest_paths;
 use fatpaths_core::past::PastTrees;
+use fatpaths_net::graph::{Graph, RouterId};
 use rustc_hash::FxHashMap;
 
 /// A demand between two routers.
@@ -99,7 +99,12 @@ impl PathProvider for KspPaths<'_> {
 
 /// Computes MAT: assembles commodities (router paths → edge-id paths) and
 /// runs the Garg–Könemann solver with unit edge capacities.
-pub fn mat<P: PathProvider>(g: &Graph, demands: &[RouterDemand], provider: &P, eps: f64) -> McfResult {
+pub fn mat<P: PathProvider>(
+    g: &Graph,
+    demands: &[RouterDemand],
+    provider: &P,
+    eps: f64,
+) -> McfResult {
     let edge_index: FxHashMap<(u32, u32), u32> = g.edge_index_map();
     let commodities: Vec<Commodity> = demands
         .iter()
@@ -114,7 +119,10 @@ pub fn mat<P: PathProvider>(g: &Graph, demands: &[RouterDemand], provider: &P, e
                 })
                 .filter(|p| !p.is_empty())
                 .collect();
-            Commodity { demand: d.demand, paths }
+            Commodity {
+                demand: d.demand,
+                paths,
+            }
         })
         .collect();
     let capacities = vec![1.0f64; g.m()];
@@ -156,7 +164,15 @@ mod tests {
         let demands = router_demands(&flows, |e| t.endpoint_router(e));
         let ls = build_random_layers(&t.graph, &LayerConfig::new(6, 0.6, 2));
         let rt = RoutingTables::build(&t.graph, &ls);
-        let fat = mat(&t.graph, &demands, &LayeredPaths { base: &t.graph, tables: &rt }, 0.08);
+        let fat = mat(
+            &t.graph,
+            &demands,
+            &LayeredPaths {
+                base: &t.graph,
+                tables: &rt,
+            },
+            0.08,
+        );
         let trees = PastTrees::build(&t.graph, PastVariant::Bfs, 3);
         let past = mat(&t.graph, &demands, &PastPaths { trees: &trees }, 0.08);
         assert!(
@@ -174,11 +190,32 @@ mod tests {
         let demands = router_demands(&flows, |e| t.endpoint_router(e));
         let l1 = LayerSet::minimal_only(&t.graph);
         let rt1 = RoutingTables::build(&t.graph, &l1);
-        let single = mat(&t.graph, &demands, &LayeredPaths { base: &t.graph, tables: &rt1 }, 0.08);
+        let single = mat(
+            &t.graph,
+            &demands,
+            &LayeredPaths {
+                base: &t.graph,
+                tables: &rt1,
+            },
+            0.08,
+        );
         let l6 = build_random_layers(&t.graph, &LayerConfig::new(6, 0.6, 5));
         let rt6 = RoutingTables::build(&t.graph, &l6);
-        let six = mat(&t.graph, &demands, &LayeredPaths { base: &t.graph, tables: &rt6 }, 0.08);
-        assert!(six.throughput >= single.throughput * 0.95, "{} vs {}", six.throughput, single.throughput);
+        let six = mat(
+            &t.graph,
+            &demands,
+            &LayeredPaths {
+                base: &t.graph,
+                tables: &rt6,
+            },
+            0.08,
+        );
+        assert!(
+            six.throughput >= single.throughput * 0.95,
+            "{} vs {}",
+            six.throughput,
+            single.throughput
+        );
     }
 
     #[test]
@@ -192,7 +229,10 @@ mod tests {
     #[test]
     fn ksp_provider_paths_are_valid() {
         let t = slim_fly(5, 1).unwrap();
-        let p = KspPaths { graph: &t.graph, k: 4 };
+        let p = KspPaths {
+            graph: &t.graph,
+            k: 4,
+        };
         let paths = p.paths(0, 33);
         assert_eq!(paths.len(), 4);
         for path in paths {

@@ -41,7 +41,12 @@ impl SizeClass {
 
     /// All classes in ascending size order.
     pub fn all() -> [SizeClass; 4] {
-        [SizeClass::Small, SizeClass::Medium, SizeClass::Large, SizeClass::Huge]
+        [
+            SizeClass::Small,
+            SizeClass::Medium,
+            SizeClass::Large,
+            SizeClass::Huge,
+        ]
     }
 }
 
@@ -112,13 +117,25 @@ mod tests {
     #[test]
     fn medium_class_matches_table_iv() {
         let sf = build(TopoKind::SlimFly, SizeClass::Medium, 1);
-        assert_eq!((sf.num_routers(), sf.network_radix(), sf.num_endpoints()), (722, 29, 10108));
+        assert_eq!(
+            (sf.num_routers(), sf.network_radix(), sf.num_endpoints()),
+            (722, 29, 10108)
+        );
         let df = build(TopoKind::Dragonfly, SizeClass::Medium, 1);
-        assert_eq!((df.num_routers(), df.network_radix(), df.num_endpoints()), (2064, 23, 16512));
+        assert_eq!(
+            (df.num_routers(), df.network_radix(), df.num_endpoints()),
+            (2064, 23, 16512)
+        );
         let hx = build(TopoKind::HyperX, SizeClass::Medium, 1);
-        assert_eq!((hx.num_routers(), hx.network_radix(), hx.num_endpoints()), (1331, 30, 13310));
+        assert_eq!(
+            (hx.num_routers(), hx.network_radix(), hx.num_endpoints()),
+            (1331, 30, 13310)
+        );
         let xp = build(TopoKind::Xpander, SizeClass::Medium, 1);
-        assert_eq!((xp.num_routers(), xp.network_radix(), xp.num_endpoints()), (1056, 32, 16896));
+        assert_eq!(
+            (xp.num_routers(), xp.network_radix(), xp.num_endpoints()),
+            (1056, 32, 16896)
+        );
         let ft = build(TopoKind::FatTree, SizeClass::Medium, 1);
         assert_eq!(ft.num_routers(), 980);
         assert!((9_000..=17_000).contains(&ft.num_endpoints()));

@@ -79,12 +79,18 @@ impl Graph {
 
     /// Maximum degree over all routers.
     pub fn max_degree(&self) -> usize {
-        (0..self.n()).map(|u| self.degree(u as u32)).max().unwrap_or(0)
+        (0..self.n())
+            .map(|u| self.degree(u as u32))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree over all routers.
     pub fn min_degree(&self) -> usize {
-        (0..self.n()).map(|u| self.degree(u as u32)).min().unwrap_or(0)
+        (0..self.n())
+            .map(|u| self.degree(u as u32))
+            .min()
+            .unwrap_or(0)
     }
 
     /// True iff every router has the same degree.

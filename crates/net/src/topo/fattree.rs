@@ -16,7 +16,7 @@ use super::{LinkClass, TopoKind, Topology};
 /// Router id layout: edge routers `[0, k²/2)` (pod-major), aggregation
 /// `[k²/2, k²)`, core `[k², k² + k²/4)`.
 pub fn fat_tree(k: u32, oversubscription: u32) -> Topology {
-    assert!(k >= 2 && k % 2 == 0, "fat tree radix must be even");
+    assert!(k >= 2 && k.is_multiple_of(2), "fat tree radix must be even");
     assert!(oversubscription >= 1);
     let half = k / 2;
     let pods = k;
@@ -43,9 +43,7 @@ pub fn fat_tree(k: u32, oversubscription: u32) -> Topology {
     }
     let p_edge = oversubscription * half;
     let mut conc = vec![0u32; nr];
-    for e in 0..edge_count as usize {
-        conc[e] = p_edge;
-    }
+    conc[..edge_count as usize].fill(p_edge);
     Topology::assemble(
         TopoKind::FatTree,
         format!("FT3(k={k},os={oversubscription})"),

@@ -20,7 +20,11 @@ pub fn hyperx(dims: u32, side: u32, p: u32) -> Topology {
     // all other dimensions form a clique along d.
     for d in 0..dims {
         let stride = (side as u64).pow(d) as u32;
-        let class = if d == 0 { LinkClass::Short } else { LinkClass::Long };
+        let class = if d == 0 {
+            LinkClass::Short
+        } else {
+            LinkClass::Long
+        };
         for v in 0..nr as u32 {
             let coord = (v / stride) % side;
             for c2 in (coord + 1)..side {

@@ -67,21 +67,26 @@ pub fn equivalent_jellyfish(other: &Topology, seed: u64) -> Topology {
 /// Generates the edge set of a connected simple random `k`-regular graph.
 pub fn random_regular_edges(n: usize, k: usize, seed: u64) -> Vec<(u32, u32)> {
     assert!(k < n, "degree {k} must be < n={n}");
-    assert!(n * k % 2 == 0, "n*k must be even");
+    assert!((n * k).is_multiple_of(2), "n*k must be even");
     let mut rng = StdRng::seed_from_u64(seed);
     for attempt in 0..64 {
         if let Some(edges) = try_generate(n, k, &mut rng) {
             return edges;
         }
         // Extremely unlikely for the paper's parameter ranges; reseed and retry.
-        rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_mul(attempt + 2));
+        rng = StdRng::seed_from_u64(
+            seed.wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .wrapping_mul(attempt + 2),
+        );
     }
     panic!("failed to generate random regular graph n={n} k={k}");
 }
 
 fn try_generate(n: usize, k: usize, rng: &mut StdRng) -> Option<Vec<(u32, u32)>> {
     // Stub matching.
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(k)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, k))
+        .collect();
     stubs.shuffle(rng);
     let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
     let mut set: FxHashSet<(u32, u32)> = FxHashSet::default();

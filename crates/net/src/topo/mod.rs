@@ -105,8 +105,7 @@ impl Topology {
             let key = (u.min(v), u.max(v));
             class_map.entry(key).or_insert(c);
         }
-        let link_classes: Vec<LinkClass> =
-            graph.edges().map(|e| class_map[&e]).collect();
+        let link_classes: Vec<LinkClass> = graph.edges().map(|e| class_map[&e]).collect();
         let mut endpoint_offset = Vec::with_capacity(n + 1);
         let mut acc = 0u32;
         endpoint_offset.push(0);
@@ -186,7 +185,11 @@ mod tests {
             TopoKind::Complete,
             "tiny".into(),
             3,
-            vec![(0, 1, LinkClass::Short), (1, 2, LinkClass::Long), (0, 2, LinkClass::Long)],
+            vec![
+                (0, 1, LinkClass::Short),
+                (1, 2, LinkClass::Long),
+                (0, 2, LinkClass::Long),
+            ],
             vec![2, 0, 3],
             1,
         )

@@ -43,7 +43,7 @@ fn is_prime(q: u32) -> bool {
     }
     let mut d = 2u32;
     while d * d <= q {
-        if q % d == 0 {
+        if q.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -61,9 +61,9 @@ fn primitive_root(q: u32) -> u32 {
     let mut rest = q - 1;
     let mut d = 2;
     while d * d <= rest {
-        if rest % d == 0 {
+        if rest.is_multiple_of(d) {
             factors.push(d);
-            while rest % d == 0 {
+            while rest.is_multiple_of(d) {
                 rest /= d;
             }
         }
@@ -272,12 +272,7 @@ mod tests {
         let t = slim_fly(q, 1).unwrap();
         // Each subgraph-0 router has exactly q cross links (one per m).
         let u = 0u32; // (0,0,0)
-        let cross = t
-            .graph
-            .neighbors(u)
-            .iter()
-            .filter(|&&v| v >= q * q)
-            .count();
+        let cross = t.graph.neighbors(u).iter().filter(|&&v| v >= q * q).count();
         assert_eq!(cross as u32, q);
     }
 }

@@ -8,7 +8,10 @@ use proptest::prelude::*;
 
 /// Random edge list over `n` routers (may be disconnected).
 fn arb_edges(n: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0..n, 0..n).prop_filter("no loops", |(u, v)| u != v), 1..200)
+    prop::collection::vec(
+        (0..n, 0..n).prop_filter("no loops", |(u, v)| u != v),
+        1..200,
+    )
 }
 
 proptest! {

@@ -1,0 +1,179 @@
+//! Offline shim for `criterion`: the `Criterion` / `BenchmarkGroup` /
+//! `Bencher` API surface this workspace's benches use, backed by a small
+//! wall-clock harness (short warmup, fixed sample count, prints
+//! min/median/max per benchmark). No statistics, plots, or baselines —
+//! swap the real crate back in for those.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, 10, f);
+        self
+    }
+}
+
+/// A named group sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.samples, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            times_ns: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b.times_ns);
+        self
+    }
+
+    /// Ends the group (formatting parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Timing harness handed to the bench closure.
+pub struct Bencher {
+    samples: usize,
+    times_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample after one untimed warmup run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.times_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(name: &str, samples: usize, f: F) {
+    let mut b = Bencher {
+        samples,
+        times_ns: Vec::new(),
+    };
+    f(&mut b);
+    report(name, &b.times_ns);
+}
+
+fn report(name: &str, times_ns: &[u128]) {
+    if times_ns.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mut t = times_ns.to_vec();
+    t.sort_unstable();
+    let fmt = |ns: u128| -> String {
+        if ns >= 1_000_000_000 {
+            format!("{:.3} s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            format!("{:.3} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.3} µs", ns as f64 / 1e3)
+        }
+    };
+    println!(
+        "{name:<48} min {:>12}  median {:>12}  max {:>12}  ({} samples)",
+        fmt(t[0]),
+        fmt(t[t.len() / 2]),
+        fmt(t[t.len() - 1]),
+        t.len()
+    );
+}
+
+/// Re-export parity: criterion's `black_box` (std's since 1.66).
+pub use std::hint::black_box;
+
+/// Declares a group-runner function invoking each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..100u64 * k).sum::<u64>())
+        });
+        g.finish();
+    }
+}

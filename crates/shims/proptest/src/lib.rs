@@ -1,0 +1,417 @@
+//! Offline shim for `proptest`: a miniature property-testing harness that
+//! implements the macro/strategy surface this workspace uses — `proptest!`
+//! with an optional `#![proptest_config(...)]` header, range/tuple/`Just`/
+//! `vec` strategies, `prop_map` / `prop_filter` / `prop_flat_map`,
+//! `any::<T>()`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike the real crate there is no shrinking: a failing case panics with
+//! the generated inputs left to the assertion message. Case generation is
+//! deterministic per test (seeded from the test's module path and name).
+
+/// Deterministic generator state handed to strategies.
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Seeds the runner from a test identifier (stable across runs).
+    pub fn new(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { state: h }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Harness configuration (`cases` = accepted samples per property).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted samples.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. `generate` returns `None` when a filter rejected the
+/// sample (the harness redraws).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value, or `None` on filter rejection.
+    fn generate(&self, runner: &mut TestRunner) -> Option<Self::Value>;
+
+    /// Keeps only values satisfying `pred`.
+    fn prop_filter<F>(self, _reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<F, O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then a second strategy from it.
+    fn prop_flat_map<F, S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> Option<S::Value> {
+        let v = self.inner.generate(runner)?;
+        (self.pred)(&v).then_some(v)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> Option<O> {
+        self.inner.generate(runner).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, runner: &mut TestRunner) -> Option<S2::Value> {
+        let v = self.inner.generate(runner)?;
+        (self.f)(v).generate(runner)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> Option<$t> {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                Some(self.start + (runner.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, runner: &mut TestRunner) -> Option<f64> {
+        assert!(self.start < self.end, "empty strategy range");
+        Some(self.start + runner.next_f64() * (self.end - self.start))
+    }
+}
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+    fn generate(&self, runner: &mut TestRunner) -> Option<Self::Value> {
+        Some((self.0.generate(runner)?,))
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, runner: &mut TestRunner) -> Option<Self::Value> {
+        Some((self.0.generate(runner)?, self.1.generate(runner)?))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, runner: &mut TestRunner) -> Option<Self::Value> {
+        Some((
+            self.0.generate(runner)?,
+            self.1.generate(runner)?,
+            self.2.generate(runner)?,
+        ))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, runner: &mut TestRunner) -> Option<Self::Value> {
+        Some((
+            self.0.generate(runner)?,
+            self.1.generate(runner)?,
+            self.2.generate(runner)?,
+            self.3.generate(runner)?,
+        ))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(runner: &mut TestRunner) -> u32 {
+        runner.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(runner: &mut TestRunner) -> u64 {
+        runner.next_u64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> Option<T> {
+        Some(T::arbitrary(runner))
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod prop {
+    //! Namespaced strategy constructors (`prop::collection::vec`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::{Strategy, TestRunner};
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        /// `vec(element, len_range)` — the proptest collection builder.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, runner: &mut TestRunner) -> Option<Vec<S::Value>> {
+                let span = (self.len.end - self.len.start).max(1) as u64;
+                let n = self.len.start + (runner.next_u64() % span) as usize;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    // Retry element-level filter rejections locally a few
+                    // times before rejecting the whole vector.
+                    let mut ok = None;
+                    for _ in 0..16 {
+                        if let Some(v) = self.element.generate(runner) {
+                            ok = Some(v);
+                            break;
+                        }
+                    }
+                    out.push(ok?);
+                }
+                Some(out)
+            }
+        }
+    }
+}
+
+/// Runs one property: draws accepted samples until `cases` bodies ran.
+/// The body returns `false` when a `prop_assume!` rejected the sample.
+pub fn run_property<A, S, B>(name: &str, config: ProptestConfig, strategy: S, mut body: B)
+where
+    S: Strategy<Value = A>,
+    B: FnMut(A) -> bool,
+{
+    let mut runner = TestRunner::new(name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    while accepted < config.cases {
+        attempts += 1;
+        assert!(
+            attempts < config.cases as u64 * 200 + 2000,
+            "proptest shim: strategy for `{name}` rejected too many samples"
+        );
+        let Some(v) = strategy.generate(&mut runner) else {
+            continue;
+        };
+        if body(v) {
+            accepted += 1;
+        }
+    }
+}
+
+/// The `proptest!` macro: an optional `#![proptest_config(...)]` header
+/// followed by `#[test]` functions whose arguments are `pattern in
+/// strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(#[$meta:meta] fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[$meta]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config,
+                    ($($strat,)*),
+                    |($($pat,)*)| {
+                        $body
+                        true
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` in the shim (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!` in the shim.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assume!` — rejects the current sample without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRunner,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects((a, b) in (0u32..10, 0u32..10)) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+
+        #[test]
+        fn vec_and_filter(v in prop::collection::vec((0u32..5, 0u32..5).prop_filter("ne", |(a, b)| a != b), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a != b);
+            }
+        }
+
+        #[test]
+        fn flat_map_and_just((n, v) in (1usize..5).prop_flat_map(|n| (Just(n), prop::collection::vec(0u64..10, 1..4)))) {
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline shim for `rayon`: the parallel-iterator API subset this
+//! workspace uses, executed **sequentially**. Semantics (item order in
+//! `collect`, zip pairing, `map_init` reuse) match rayon's observable
+//! behavior, so swapping the real crate back in is a manifest change only.
+
+/// Sequential stand-in for a rayon parallel iterator.
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Par<I> {
+    /// Index–item pairs.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Pairs this iterator with another parallel iterator.
+    pub fn zip<J: IntoParItem>(self, other: J) -> Par<std::iter::Zip<I, J::Inner>> {
+        Par(self.0.zip(other.into_inner()))
+    }
+
+    /// Maps each item.
+    pub fn map<F, R>(self, f: F) -> Par<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        Par(self.0.map(f))
+    }
+
+    /// Maps with per-worker scratch state (one worker here, so `init` runs
+    /// once and the scratch value is reused across all items).
+    pub fn map_init<INIT, T, F, R>(self, mut init: INIT, mut f: F) -> Par<impl Iterator<Item = R>>
+    where
+        INIT: FnMut() -> T,
+        F: FnMut(&mut T, I::Item) -> R,
+    {
+        let mut scratch = init();
+        Par(self.0.map(move |item| f(&mut scratch, item)))
+    }
+
+    /// Filters items.
+    pub fn filter<F>(self, f: F) -> Par<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        Par(self.0.filter(f))
+    }
+
+    /// Consumes every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    /// Collects into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+/// Conversion used by [`Par::zip`] so both `Par<_>` values and plain
+/// iterables can appear on the right-hand side.
+pub trait IntoParItem {
+    /// Underlying iterator type.
+    type Inner: Iterator;
+    /// Unwraps into the underlying iterator.
+    fn into_inner(self) -> Self::Inner;
+}
+
+impl<I: Iterator> IntoParItem for Par<I> {
+    type Inner = I;
+    fn into_inner(self) -> I {
+        self.0
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Converts into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = std::ops::Range<$t>;
+            fn into_par_iter(self) -> Par<Self::Iter> {
+                Par(self)
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u32, u64, usize, i32);
+
+/// `par_iter()` on slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowing (sequential) "parallel" iterator.
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+/// `par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Mutable chunk iterator.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, Par, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_zip_enumerate_for_each() {
+        let mut a = vec![0u32; 6];
+        let mut b = vec![0u32; 6];
+        a.par_chunks_mut(2)
+            .zip(b.par_chunks_mut(2))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                for x in ca.iter_mut().chain(cb.iter_mut()) {
+                    *x = i as u32;
+                }
+            });
+        assert_eq!(a, vec![0, 0, 1, 1, 2, 2]);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn map_init_collect_preserves_order() {
+        let v: Vec<u32> = (0..10u32).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        let w: Vec<u32> = vec![1u32, 2, 3]
+            .par_iter()
+            .map_init(
+                || 10u32,
+                |s, &x| {
+                    *s += 1;
+                    x + *s
+                },
+            )
+            .collect();
+        assert_eq!(w, vec![12, 14, 16]);
+    }
+}

@@ -37,7 +37,11 @@ pub enum Transport {
 impl Transport {
     /// Paper-default NDP.
     pub fn ndp_default() -> Transport {
-        Transport::Ndp { queue_pkts: 8, initial_window: 8, mtu_payload: 9000 }
+        Transport::Ndp {
+            queue_pkts: 8,
+            initial_window: 8,
+            mtu_payload: 9000,
+        }
     }
 
     /// Paper-default TCP of the given variant.
@@ -146,13 +150,22 @@ mod tests {
     #[test]
     fn defaults_match_paper() {
         match Transport::ndp_default() {
-            Transport::Ndp { queue_pkts, initial_window, mtu_payload } => {
+            Transport::Ndp {
+                queue_pkts,
+                initial_window,
+                mtu_payload,
+            } => {
                 assert_eq!((queue_pkts, initial_window, mtu_payload), (8, 8, 9000));
             }
             _ => panic!(),
         }
         match Transport::tcp_default(TcpVariant::Dctcp) {
-            Transport::Tcp { queue_pkts, ecn_threshold, min_rto, .. } => {
+            Transport::Tcp {
+                queue_pkts,
+                ecn_threshold,
+                min_rto,
+                ..
+            } => {
                 assert_eq!(queue_pkts, 100);
                 assert_eq!(ecn_threshold, 33);
                 assert_eq!(min_rto, 200_000_000);

@@ -167,7 +167,13 @@ pub struct FluidSim {
 
 impl FluidSim {
     /// Creates a fluid simulation over the given flows.
-    pub fn new(paths: Vec<Vec<u32>>, sizes: Vec<u64>, starts: Vec<f64>, n_links: usize, cap: f64) -> Self {
+    pub fn new(
+        paths: Vec<Vec<u32>>,
+        sizes: Vec<u64>,
+        starts: Vec<f64>,
+        n_links: usize,
+        cap: f64,
+    ) -> Self {
         assert_eq!(paths.len(), sizes.len());
         assert_eq!(paths.len(), starts.len());
         FluidSim {
@@ -191,8 +197,10 @@ impl FluidSim {
         let mut t = 0.0f64;
         loop {
             // Rates for the currently active set.
-            let act_paths: Vec<Vec<u32>> =
-                active.iter().map(|&i| self.paths[i as usize].clone()).collect();
+            let act_paths: Vec<Vec<u32>> = active
+                .iter()
+                .map(|&i| self.paths[i as usize].clone())
+                .collect();
             let rates = max_min_rates(&act_paths, self.n_links, self.cap);
             // Next event: earliest completion vs next arrival.
             let mut dt_complete = f64::INFINITY;
@@ -255,7 +263,8 @@ pub fn layered_paths_for_flows(
             if rs == rd {
                 return vec![links.uplink(s), links.downlink(d)];
             }
-            let layer = (fatpaths_core::fwd::fnv1a(i as u64 ^ 0x77) % tables.n_layers() as u64) as usize;
+            let layer =
+                (fatpaths_core::fwd::fnv1a(i as u64 ^ 0x77) % tables.n_layers() as u64) as usize;
             let routers = tables
                 .path(&topo.graph, layer, rs, rd)
                 .or_else(|| tables.path(&topo.graph, 0, rs, rd))
@@ -318,7 +327,13 @@ mod tests {
         // the link. A: 5 done by 0.5, then rate 5 → 1 more second for the
         // remaining 5 ⇒ finish 1.5, FCT 1.5. B: gets 5 for 1s → 5 of 10 at
         // 1.5, then full 10 ⇒ finishes at 2.0, FCT 1.5.
-        let sim = FluidSim::new(vec![vec![0], vec![0]], vec![10, 10], vec![0.0, 0.5], 1, 10.0);
+        let sim = FluidSim::new(
+            vec![vec![0], vec![0]],
+            vec![10, 10],
+            vec![0.0, 0.5],
+            1,
+            10.0,
+        );
         let fct = sim.run();
         assert!((fct[0] - 1.5).abs() < 1e-6, "{:?}", fct);
         assert!((fct[1] - 1.5).abs() < 1e-6, "{:?}", fct);

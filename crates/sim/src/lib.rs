@@ -12,18 +12,26 @@
 //! * [`ndp`] — the purified receiver-driven transport (§III-C);
 //! * [`tcp`] — Reno, ECN-Reno, DCTCP (§VIII-A);
 //! * [`fluid`] — max-min fluid model (Fig. 13 at 1M endpoints);
-//! * [`metrics`] — FCT/throughput statistics.
+//! * [`metrics`] — FCT/throughput statistics;
+//! * [`scenario`] — the [`Scenario`]/[`SchemeSpec`] builder: declare a
+//!   topology + routing scheme + transport + workload, get a
+//!   [`SimResult`]. The [`Simulator`] itself is generic over any
+//!   [`RoutingScheme`], so every baseline (layered, ECMP-family, SPAIN,
+//!   PAST, k-shortest-paths, Valiant) is simulatable, not just scored.
 
 pub mod config;
 pub mod engine;
 pub mod fluid;
 pub mod metrics;
-pub mod queueing;
 mod ndp;
+pub mod queueing;
+pub mod scenario;
 pub mod simulator;
 mod tcp;
 
 pub use config::{LoadBalancing, SimConfig, TcpVariant, Transport, HDR_BYTES};
 pub use engine::TimePs;
+pub use fatpaths_core::scheme::{PortSet, RoutingScheme};
 pub use metrics::{histogram, mean, percentile, throughput_by_size, FlowRecord, SimResult};
-pub use simulator::{Routing, Simulator};
+pub use scenario::{BuiltScheme, Scenario, SchemeSpec};
+pub use simulator::Simulator;

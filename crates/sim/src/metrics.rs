@@ -26,7 +26,8 @@ impl FlowRecord {
 
     /// Throughput per flow in MiB/s (size / FCT) — Fig. 2's metric.
     pub fn throughput_mib_s(&self) -> Option<f64> {
-        self.fct_s().map(|s| self.size as f64 / (1024.0 * 1024.0) / s)
+        self.fct_s()
+            .map(|s| self.size as f64 / (1024.0 * 1024.0) / s)
     }
 }
 
@@ -152,7 +153,13 @@ mod tests {
 
     #[test]
     fn fct_and_throughput() {
-        let f = FlowRecord { size: 1 << 20, start: 0, finish: Some(1_000_000_000_000), retx: 0, trims: 0 };
+        let f = FlowRecord {
+            size: 1 << 20,
+            start: 0,
+            finish: Some(1_000_000_000_000),
+            retx: 0,
+            trims: 0,
+        };
         assert_eq!(f.fct_s(), Some(1.0));
         assert!((f.throughput_mib_s().unwrap() - 1.0).abs() < 1e-12);
     }
@@ -177,7 +184,13 @@ mod tests {
 
     #[test]
     fn group_by_size() {
-        let mk = |size, fct_ps| FlowRecord { size, start: 0, finish: Some(fct_ps), retx: 0, trims: 0 };
+        let mk = |size, fct_ps| FlowRecord {
+            size,
+            start: 0,
+            finish: Some(fct_ps),
+            retx: 0,
+            trims: 0,
+        };
         let r = SimResult {
             flows: vec![mk(100, 1_000_000), mk(100, 2_000_000), mk(200, 1_000_000)],
             ..Default::default()
@@ -192,8 +205,20 @@ mod tests {
     fn completion_rate() {
         let r = SimResult {
             flows: vec![
-                FlowRecord { size: 1, start: 0, finish: Some(5), retx: 0, trims: 0 },
-                FlowRecord { size: 1, start: 0, finish: None, retx: 0, trims: 0 },
+                FlowRecord {
+                    size: 1,
+                    start: 0,
+                    finish: Some(5),
+                    retx: 0,
+                    trims: 0,
+                },
+                FlowRecord {
+                    size: 1,
+                    start: 0,
+                    finish: None,
+                    retx: 0,
+                    trims: 0,
+                },
             ],
             ..Default::default()
         };

@@ -14,12 +14,13 @@ use crate::config::Transport;
 use crate::engine::{EvKind, PktKind, TimePs};
 use crate::simulator::Simulator;
 use fatpaths_core::fwd::fnv1a;
+use fatpaths_core::scheme::RoutingScheme;
 
 /// Fixed NDP sender retransmission timeout (a rare safety net: payload
 /// trimming means losses are announced, not inferred).
 const NDP_RTO: TimePs = 2_000_000_000; // 2 ms
 
-impl Simulator<'_> {
+impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
     pub(crate) fn ndp_start(&mut self, flow: u32, initial_window: u32) {
         let n = self.flows[flow as usize].num_pkts.min(initial_window);
         for _ in 0..n {
@@ -54,8 +55,8 @@ impl Simulator<'_> {
                     self.ndp_queue_pull(flow);
                 } else {
                     let newly = self.flows[flow as usize].mark_received(pkt.seq);
-                    let done = self.flows[flow as usize].rcv_count
-                        == self.flows[flow as usize].num_pkts;
+                    let done =
+                        self.flows[flow as usize].rcv_count == self.flows[flow as usize].num_pkts;
                     if newly {
                         let suggest = self.flows[flow as usize].rx_suggest;
                         self.send_control(flow, PktKind::Ack, pkt.seq, true, false, suggest);
@@ -142,7 +143,8 @@ impl Simulator<'_> {
         let interval = self.cfg.ser_time(payload + crate::config::HDR_BYTES);
         self.pull_ready[ep as usize] = self.now + interval;
         if !self.pullq[ep as usize].is_empty() {
-            self.events.push(self.pull_ready[ep as usize], EvKind::PullTick { ep });
+            self.events
+                .push(self.pull_ready[ep as usize], EvKind::PullTick { ep });
         }
     }
 
@@ -153,7 +155,8 @@ impl Simulator<'_> {
         }
         f.rto_gen += 1;
         let gen = f.rto_gen;
-        self.events.push(self.now + NDP_RTO, EvKind::RtoTimer { flow, gen });
+        self.events
+            .push(self.now + NDP_RTO, EvKind::RtoTimer { flow, gen });
     }
 
     /// Safety net: if the flow has stalled (all credits or announcements

@@ -57,28 +57,43 @@ mod tests {
 
     #[test]
     fn zero_load_is_pure_service() {
-        let m = QueueModel { lambda: 0.0, mean_service_s: 0.001 };
+        let m = QueueModel {
+            lambda: 0.0,
+            mean_service_s: 0.001,
+        };
         assert_eq!(m.mm1_ps_fct(0.002), 0.002);
         assert_eq!(m.md1_fct(0.002), 0.002);
     }
 
     #[test]
     fn sojourn_grows_with_load() {
-        let lo = QueueModel { lambda: 100.0, mean_service_s: 0.001 };
-        let hi = QueueModel { lambda: 800.0, mean_service_s: 0.001 };
+        let lo = QueueModel {
+            lambda: 100.0,
+            mean_service_s: 0.001,
+        };
+        let hi = QueueModel {
+            lambda: 800.0,
+            mean_service_s: 0.001,
+        };
         assert!(hi.mm1_ps_fct(0.001) > lo.mm1_ps_fct(0.001));
         assert!(hi.md1_fct(0.001) > lo.md1_fct(0.001));
     }
 
     #[test]
     fn ps_at_half_load_doubles() {
-        let m = QueueModel { lambda: 500.0, mean_service_s: 0.001 };
+        let m = QueueModel {
+            lambda: 500.0,
+            mean_service_s: 0.001,
+        };
         assert!((m.mm1_ps_fct(0.001) - 0.002).abs() < 1e-12);
     }
 
     #[test]
     fn quantiles_monotone() {
-        let m = QueueModel { lambda: 300.0, mean_service_s: 0.001 };
+        let m = QueueModel {
+            lambda: 300.0,
+            mean_service_s: 0.001,
+        };
         assert!(m.mm1_fct_quantile(0.99) > m.mm1_fct_quantile(0.5));
     }
 }

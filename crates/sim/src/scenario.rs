@@ -1,0 +1,487 @@
+//! Declarative experiment configuration: a [`SchemeSpec`] names any
+//! routing scheme the paper compares, [`Scenario`] wires it to a
+//! topology, transport, load balancer, workload, and seed, and `run()`
+//! produces a [`SimResult`] — one fluent path from "what to simulate" to
+//! numbers:
+//!
+//! ```
+//! use fatpaths_net::topo::slimfly::slim_fly;
+//! use fatpaths_sim::{Scenario, SchemeSpec, Transport};
+//! use fatpaths_workloads::arrivals::FlowSpec;
+//!
+//! let topo = slim_fly(5, 2).unwrap();
+//! let flows = [FlowSpec { src: 0, dst: 55, size: 64 * 1024, start: 0 }];
+//! let result = Scenario::on(&topo)
+//!     .scheme(SchemeSpec::LayeredRandom { n_layers: 4, rho: 0.6 })
+//!     .transport(Transport::ndp_default())
+//!     .workload(&flows)
+//!     .seed(7)
+//!     .run();
+//! assert_eq!(result.completion_rate(), 1.0);
+//! ```
+//!
+//! Scheme construction (table builds, Yen's algorithm, …) dominates setup
+//! cost, so it is split out: [`Scenario::build_scheme`] once, then
+//! [`Scenario::run_with`] per workload/seed. [`BuiltScheme`] is an enum —
+//! the hot-path port lookups dispatch statically through one `match`
+//! instead of a vtable (the "thin enum shim"; `cargo bench` compares
+//! both).
+
+use crate::config::{LoadBalancing, SimConfig, Transport};
+use crate::engine::TimePs;
+use crate::metrics::SimResult;
+use crate::simulator::Simulator;
+use fatpaths_core::ecmp::DistanceMatrix;
+use fatpaths_core::fwd::RoutingTables;
+use fatpaths_core::interference_min::{build_interference_min_layers, ImConfig};
+use fatpaths_core::layers::{build_random_layers, LayerConfig, LayerSet};
+use fatpaths_core::past::PastVariant;
+use fatpaths_core::scheme::{
+    KspConfig, KspScheme, MinimalScheme, PastScheme, PortSet, RoutingScheme, SpainScheme,
+    ValiantScheme,
+};
+use fatpaths_core::spain::SpainConfig;
+use fatpaths_net::graph::RouterId;
+use fatpaths_net::topo::Topology;
+use fatpaths_workloads::arrivals::FlowSpec;
+
+/// Declarative routing-scheme selection — every baseline of the paper's
+/// comparison (§VI / §VII-A3), all simulatable through the same
+/// [`RoutingScheme`] machinery.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SchemeSpec {
+    /// FatPaths with random uniform edge-sampled layers (Listing 1).
+    LayeredRandom {
+        /// Total layers including the complete layer 0.
+        n_layers: usize,
+        /// Fraction of edges kept per sparse layer.
+        rho: f64,
+    },
+    /// FatPaths with interference-minimizing layers (Listing 2).
+    LayeredInterferenceMin {
+        /// Total layers including the complete layer 0.
+        n_layers: usize,
+    },
+    /// Single complete layer: minimal-path forwarding through the layered
+    /// tables (the ρ=1 FatPaths baseline).
+    LayeredMinimal,
+    /// Minimal multipath port sets (the ECMP / packet-spray / LetFlow
+    /// substrate; pick the balancer with [`Scenario::lb`]).
+    Minimal,
+    /// SPAIN's merged VLAN forests as layers.
+    Spain {
+        /// Trees (≈ disjoint paths) computed per destination.
+        k_paths: usize,
+    },
+    /// PAST: one spanning tree per destination.
+    Past {
+        /// Tree construction variant.
+        variant: PastVariant,
+    },
+    /// k-shortest-paths layers (Jellyfish-style).
+    Ksp {
+        /// Paths per pair.
+        k: usize,
+    },
+    /// Valiant load balancing via per-(layer, destination) intermediates.
+    Valiant {
+        /// Selectable intermediates per destination.
+        n_layers: usize,
+    },
+}
+
+impl SchemeSpec {
+    /// Stable label for CSV rows and logs.
+    pub fn label(&self) -> String {
+        match *self {
+            SchemeSpec::LayeredRandom { n_layers, rho } => {
+                format!("layered(n={n_layers},rho={rho})")
+            }
+            SchemeSpec::LayeredInterferenceMin { n_layers } => format!("layered_im(n={n_layers})"),
+            SchemeSpec::LayeredMinimal => "layered_minimal".into(),
+            SchemeSpec::Minimal => "minimal".into(),
+            SchemeSpec::Spain { k_paths } => format!("spain(k={k_paths})"),
+            SchemeSpec::Past { variant } => match variant {
+                PastVariant::Bfs => "past_bfs".into(),
+                PastVariant::Valiant => "past_valiant".into(),
+            },
+            SchemeSpec::Ksp { k } => format!("ksp(k={k})"),
+            SchemeSpec::Valiant { n_layers } => format!("valiant(n={n_layers})"),
+        }
+    }
+
+    /// The load balancer this scheme pairs with unless overridden:
+    /// flowlets-over-layers for every layered family, flow-hash ECMP for
+    /// minimal/PAST (single candidate path sets leave nothing to spray).
+    pub fn default_lb(&self) -> LoadBalancing {
+        match self {
+            SchemeSpec::Minimal | SchemeSpec::Past { .. } => LoadBalancing::EcmpFlow,
+            _ => LoadBalancing::FatPathsLayers,
+        }
+    }
+}
+
+/// A constructed routing scheme, owned by the scenario run. The enum
+/// gives the simulator's per-packet lookups static dispatch.
+pub enum BuiltScheme<'a> {
+    /// Layered forwarding tables (FatPaths random / interference-min /
+    /// minimal-only).
+    Layered(RoutingTables),
+    /// Minimal multipath over a distance matrix.
+    Minimal {
+        /// The topology this was built for.
+        topo: &'a Topology,
+        /// All-pairs distances.
+        dm: DistanceMatrix,
+    },
+    /// SPAIN forests.
+    Spain(SpainScheme),
+    /// PAST per-destination trees.
+    Past(PastScheme),
+    /// k-shortest-path layers.
+    Ksp(KspScheme),
+    /// Valiant load balancing.
+    Valiant(ValiantScheme<'a>),
+}
+
+impl RoutingScheme for BuiltScheme<'_> {
+    fn name(&self) -> &'static str {
+        match self {
+            BuiltScheme::Layered(s) => s.name(),
+            BuiltScheme::Minimal { .. } => "minimal",
+            BuiltScheme::Spain(s) => s.name(),
+            BuiltScheme::Past(s) => s.name(),
+            BuiltScheme::Ksp(s) => s.name(),
+            BuiltScheme::Valiant(s) => s.name(),
+        }
+    }
+
+    fn num_layers(&self) -> usize {
+        match self {
+            BuiltScheme::Layered(s) => RoutingScheme::num_layers(s),
+            BuiltScheme::Minimal { .. } => 1,
+            BuiltScheme::Spain(s) => s.num_layers(),
+            BuiltScheme::Past(s) => s.num_layers(),
+            BuiltScheme::Ksp(s) => s.num_layers(),
+            BuiltScheme::Valiant(s) => s.num_layers(),
+        }
+    }
+
+    fn candidate_ports(&self, layer: u8, at: RouterId, dst: RouterId) -> PortSet {
+        match self {
+            BuiltScheme::Layered(s) => s.candidate_ports(layer, at, dst),
+            BuiltScheme::Minimal { topo, dm } => {
+                MinimalScheme::new(&topo.graph, dm).candidate_ports(layer, at, dst)
+            }
+            BuiltScheme::Spain(s) => s.candidate_ports(layer, at, dst),
+            BuiltScheme::Past(s) => s.candidate_ports(layer, at, dst),
+            BuiltScheme::Ksp(s) => s.candidate_ports(layer, at, dst),
+            BuiltScheme::Valiant(s) => s.candidate_ports(layer, at, dst),
+        }
+    }
+
+    fn update_layer(&self, layer: u8, at: RouterId, dst: RouterId) -> u8 {
+        match self {
+            BuiltScheme::Layered(s) => s.update_layer(layer, at, dst),
+            BuiltScheme::Minimal { topo, dm } => {
+                MinimalScheme::new(&topo.graph, dm).update_layer(layer, at, dst)
+            }
+            BuiltScheme::Spain(s) => s.update_layer(layer, at, dst),
+            BuiltScheme::Past(s) => s.update_layer(layer, at, dst),
+            BuiltScheme::Ksp(s) => s.update_layer(layer, at, dst),
+            BuiltScheme::Valiant(s) => s.update_layer(layer, at, dst),
+        }
+    }
+}
+
+/// Fluent scenario configuration; see the module docs for the shape.
+/// `Clone` supports sweeps: clone the scenario, vary one knob, and
+/// [`run_with`](Scenario::run_with) a shared prebuilt scheme.
+#[derive(Clone)]
+pub struct Scenario<'a> {
+    topo: &'a Topology,
+    spec: SchemeSpec,
+    transport: Transport,
+    lb: Option<LoadBalancing>,
+    seed: u64,
+    horizon: TimePs,
+    flows: Vec<FlowSpec>,
+    failed_links: Vec<(u32, u32)>,
+}
+
+impl<'a> Scenario<'a> {
+    /// Starts a scenario on `topo`. Defaults: FatPaths layered routing
+    /// (9 layers, ρ = 0.6 — the paper's headline configuration), NDP
+    /// transport, the spec's default balancer, seed 1, no horizon.
+    pub fn on(topo: &'a Topology) -> Self {
+        Scenario {
+            topo,
+            spec: SchemeSpec::LayeredRandom {
+                n_layers: 9,
+                rho: 0.6,
+            },
+            transport: Transport::ndp_default(),
+            lb: None,
+            seed: 1,
+            horizon: 0,
+            flows: Vec::new(),
+            failed_links: Vec::new(),
+        }
+    }
+
+    /// Selects the routing scheme.
+    pub fn scheme(mut self, spec: SchemeSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Selects the transport (NDP or a TCP variant).
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Overrides the load balancer (default: [`SchemeSpec::default_lb`]).
+    ///
+    /// Note: [`LoadBalancing::FatPathsLayers`] on a single-layer scheme
+    /// (e.g. [`SchemeSpec::Minimal`] or [`SchemeSpec::Past`]) is not an
+    /// error but degenerates to static per-flow routing — flowlet
+    /// re-picks always land on layer 0 and the ECMP nonce is never
+    /// re-rolled. Pick `LetFlow` for flowlet behavior on minimal paths.
+    pub fn lb(mut self, lb: LoadBalancing) -> Self {
+        self.lb = Some(lb);
+        self
+    }
+
+    /// Sets the seed for scheme construction (layer sampling, SPAIN/PAST
+    /// tree randomization, Valiant intermediates). The packet simulator
+    /// itself is hash-driven and fully deterministic: for a fixed scheme
+    /// and workload, the seed does not add simulation noise (it is still
+    /// recorded in [`SimConfig::seed`] for provenance).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Stops simulating at `horizon` ps even if flows remain (0 = off).
+    pub fn horizon(mut self, horizon: TimePs) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Appends flows to inject (call repeatedly to merge workloads).
+    pub fn workload(mut self, flows: &[FlowSpec]) -> Self {
+        self.flows.extend_from_slice(flows);
+        self
+    }
+
+    /// Fails the bidirectional link `{u, v}` before the run (§V-G).
+    pub fn fail_link(mut self, u: u32, v: u32) -> Self {
+        self.failed_links.push((u, v));
+        self
+    }
+
+    /// The spec's label (for CSV rows).
+    pub fn label(&self) -> String {
+        self.spec.label()
+    }
+
+    /// Constructs the routing scheme — the expensive step, split out so
+    /// sweeps can reuse it via [`Scenario::run_with`].
+    pub fn build_scheme(&self) -> BuiltScheme<'a> {
+        let g = &self.topo.graph;
+        match self.spec {
+            SchemeSpec::LayeredRandom { n_layers, rho } => {
+                let ls = build_random_layers(g, &LayerConfig::new(n_layers, rho, self.seed));
+                BuiltScheme::Layered(RoutingTables::build(g, &ls))
+            }
+            SchemeSpec::LayeredInterferenceMin { n_layers } => {
+                let ls = build_interference_min_layers(
+                    g,
+                    &ImConfig {
+                        n_layers,
+                        seed: self.seed,
+                        ..ImConfig::default()
+                    },
+                );
+                BuiltScheme::Layered(RoutingTables::build(g, &ls))
+            }
+            SchemeSpec::LayeredMinimal => {
+                BuiltScheme::Layered(RoutingTables::build(g, &LayerSet::minimal_only(g)))
+            }
+            SchemeSpec::Minimal => BuiltScheme::Minimal {
+                topo: self.topo,
+                dm: DistanceMatrix::build(g),
+            },
+            SchemeSpec::Spain { k_paths } => BuiltScheme::Spain(SpainScheme::build(
+                g,
+                &SpainConfig {
+                    k_paths,
+                    seed: self.seed,
+                    ..SpainConfig::default()
+                },
+            )),
+            SchemeSpec::Past { variant } => {
+                BuiltScheme::Past(PastScheme::build(g, variant, self.seed))
+            }
+            SchemeSpec::Ksp { k } => BuiltScheme::Ksp(KspScheme::build(
+                g,
+                &KspConfig {
+                    k,
+                    ..KspConfig::default()
+                },
+            )),
+            SchemeSpec::Valiant { n_layers } => {
+                BuiltScheme::Valiant(ValiantScheme::build(g, n_layers, self.seed))
+            }
+        }
+    }
+
+    /// The simulator configuration this scenario resolves to.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            transport: self.transport,
+            lb: self.lb.unwrap_or_else(|| self.spec.default_lb()),
+            seed: self.seed,
+            horizon: self.horizon,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Builds the scheme and runs the scenario.
+    pub fn run(self) -> SimResult {
+        let scheme = self.build_scheme();
+        self.run_with(&scheme)
+    }
+
+    /// Constructs the simulator with this scenario's config and failed
+    /// links applied — the single wiring point every run path shares.
+    fn make_sim<'s>(&'s self, scheme: &'s BuiltScheme<'a>) -> Simulator<'s, BuiltScheme<'a>> {
+        let mut sim = Simulator::new(self.topo, scheme, self.sim_config());
+        for &(u, v) in &self.failed_links {
+            sim.fail_link(u, v);
+        }
+        sim
+    }
+
+    /// Runs against a previously [built](Scenario::build_scheme) scheme.
+    pub fn run_with(&self, scheme: &BuiltScheme<'a>) -> SimResult {
+        let mut sim = self.make_sim(scheme);
+        sim.add_flows(&self.flows);
+        sim.run()
+    }
+
+    /// Runs the scenario with each workload flow striped over `subflows`
+    /// MPTCP subflows (§VIII-A2); returns the result and the per-
+    /// connection flow-id groups for
+    /// [`mptcp_group_fcts`](crate::metrics::mptcp_group_fcts).
+    pub fn run_mptcp(self, subflows: u32) -> (SimResult, Vec<Vec<u32>>) {
+        let scheme = self.build_scheme();
+        let mut sim = self.make_sim(&scheme);
+        let groups = sim.add_mptcp_flows(&self.flows, subflows);
+        (sim.run(), groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatpaths_net::topo::slimfly::slim_fly;
+
+    fn flows(n: u64, offset: u64) -> Vec<FlowSpec> {
+        (0..n)
+            .map(|e| FlowSpec {
+                src: e as u32,
+                dst: ((e + offset) % n) as u32,
+                size: 64 * 1024,
+                start: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_spec_runs_to_completion() {
+        let topo = slim_fly(5, 2).unwrap();
+        let w = flows(topo.num_endpoints() as u64, 21);
+        for spec in [
+            SchemeSpec::LayeredRandom {
+                n_layers: 4,
+                rho: 0.6,
+            },
+            SchemeSpec::LayeredMinimal,
+            SchemeSpec::Minimal,
+            SchemeSpec::Spain { k_paths: 2 },
+            SchemeSpec::Past {
+                variant: PastVariant::Bfs,
+            },
+            SchemeSpec::Ksp { k: 3 },
+            SchemeSpec::Valiant { n_layers: 4 },
+        ] {
+            let res = Scenario::on(&topo).scheme(spec).workload(&w).seed(2).run();
+            assert_eq!(
+                res.completion_rate(),
+                1.0,
+                "{} did not complete",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn builder_matches_manual_construction() {
+        let topo = slim_fly(5, 2).unwrap();
+        let w = flows(topo.num_endpoints() as u64, 13);
+        let via_builder = Scenario::on(&topo)
+            .scheme(SchemeSpec::LayeredRandom {
+                n_layers: 4,
+                rho: 0.6,
+            })
+            .workload(&w)
+            .seed(5)
+            .run();
+        // Manual: same layers, tables, config.
+        let ls = build_random_layers(&topo.graph, &LayerConfig::new(4, 0.6, 5));
+        let rt = RoutingTables::build(&topo.graph, &ls);
+        let cfg = SimConfig {
+            lb: LoadBalancing::FatPathsLayers,
+            seed: 5,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&topo, &rt, cfg);
+        sim.add_flows(&w);
+        let manual = sim.run();
+        assert_eq!(via_builder.end_time, manual.end_time);
+        let fb: Vec<_> = via_builder.flows.iter().map(|f| f.finish).collect();
+        let fm: Vec<_> = manual.flows.iter().map(|f| f.finish).collect();
+        assert_eq!(fb, fm);
+    }
+
+    #[test]
+    fn scheme_reuse_across_runs_is_deterministic() {
+        let topo = slim_fly(5, 2).unwrap();
+        let w = flows(topo.num_endpoints() as u64, 7);
+        let sc = Scenario::on(&topo)
+            .scheme(SchemeSpec::Valiant { n_layers: 3 })
+            .workload(&w)
+            .seed(3);
+        let scheme = sc.build_scheme();
+        let a = sc.run_with(&scheme);
+        let b = sc.run_with(&scheme);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.trims, b.trims);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            SchemeSpec::LayeredRandom {
+                n_layers: 9,
+                rho: 0.6
+            }
+            .label(),
+            "layered(n=9,rho=0.6)"
+        );
+        assert_eq!(SchemeSpec::Ksp { k: 4 }.label(), "ksp(k=4)");
+        assert_eq!(SchemeSpec::Minimal.default_lb(), LoadBalancing::EcmpFlow);
+    }
+}

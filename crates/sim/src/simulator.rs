@@ -12,20 +12,11 @@
 use crate::config::{LoadBalancing, SimConfig, Transport, HDR_BYTES};
 use crate::engine::{EvKind, EventQueue, Packet, PacketSlab, PktKind, TimePs};
 use crate::metrics::{FlowRecord, SimResult};
-use fatpaths_core::ecmp::DistanceMatrix;
-use fatpaths_core::fwd::{fnv1a, RoutingTables};
+use fatpaths_core::fwd::fnv1a;
+use fatpaths_core::scheme::RoutingScheme;
 use fatpaths_net::topo::Topology;
 use fatpaths_workloads::arrivals::FlowSpec;
 use std::collections::VecDeque;
-
-/// Routing state: FatPaths layered tables or a minimal-path distance
-/// matrix for the ECMP-family baselines.
-pub enum Routing<'a> {
-    /// Destination-based per-layer forwarding (FatPaths).
-    Layered(&'a RoutingTables),
-    /// Minimal multipath port sets (ECMP / spraying / LetFlow).
-    Minimal(&'a DistanceMatrix),
-}
 
 pub(crate) struct Port {
     pub to_is_router: bool,
@@ -37,7 +28,13 @@ pub(crate) struct Port {
 
 impl Port {
     fn new(to_is_router: bool, to: u32) -> Self {
-        Port { to_is_router, to, busy: false, data_q: VecDeque::new(), prio_q: VecDeque::new() }
+        Port {
+            to_is_router,
+            to,
+            busy: false,
+            data_q: VecDeque::new(),
+            prio_q: VecDeque::new(),
+        }
     }
 }
 
@@ -179,9 +176,16 @@ impl FlowState {
 
 /// The packet-level simulator. Construct with [`Simulator::new`], inject
 /// flows, and [`Simulator::run`].
-pub struct Simulator<'a> {
+///
+/// Generic over the routing scheme: the default type parameter is a trait
+/// object (`&dyn RoutingScheme`), so `Simulator<'_>` works with any scheme
+/// behind dynamic dispatch; naming a concrete scheme type
+/// (`Simulator<'_, RoutingTables>`) monomorphizes the per-packet routing
+/// call instead (see `crates/bench/benches/simulator.rs` for the measured
+/// difference).
+pub struct Simulator<'a, R: RoutingScheme + ?Sized = dyn RoutingScheme + 'a> {
     pub(crate) topo: &'a Topology,
-    pub(crate) routing: Routing<'a>,
+    pub(crate) scheme: &'a R,
     pub(crate) cfg: SimConfig,
     pub(crate) now: TimePs,
     pub(crate) events: EventQueue,
@@ -198,19 +202,16 @@ pub struct Simulator<'a> {
     pub(crate) drops: u64,
     pub(crate) trim_count: u64,
     pub(crate) finished_flows: usize,
-    port_scratch: Vec<u16>,
     failed_links: rustc_hash::FxHashSet<(u32, u32)>,
 }
 
-impl<'a> Simulator<'a> {
-    /// Builds the network state for `topo` with the given routing.
-    pub fn new(topo: &'a Topology, routing: Routing<'a>, cfg: SimConfig) -> Self {
-        if matches!(cfg.lb, LoadBalancing::FatPathsLayers) {
-            assert!(
-                matches!(routing, Routing::Layered(_)),
-                "FatPaths LB requires layered routing tables"
-            );
-        }
+impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
+    /// Builds the network state for `topo` routed by `scheme`.
+    pub fn new(topo: &'a Topology, scheme: &'a R, cfg: SimConfig) -> Self {
+        assert!(
+            scheme.num_layers() >= 1,
+            "scheme must expose at least one layer"
+        );
         let nr = topo.num_routers();
         let ne = topo.num_endpoints();
         let mut ports = Vec::new();
@@ -232,7 +233,7 @@ impl<'a> Simulator<'a> {
         }
         Simulator {
             topo,
-            routing,
+            scheme,
             cfg,
             now: 0,
             events: EventQueue::default(),
@@ -248,7 +249,6 @@ impl<'a> Simulator<'a> {
             drops: 0,
             trim_count: 0,
             finished_flows: 0,
-            port_scratch: Vec::new(),
             failed_links: rustc_hash::FxHashSet::default(),
         }
     }
@@ -298,7 +298,11 @@ impl<'a> Simulator<'a> {
             let per = spec.size / subflows as u64;
             let mut assigned = 0u64;
             for k in 0..subflows {
-                let size = if k + 1 == subflows { spec.size - assigned } else { per };
+                let size = if k + 1 == subflows {
+                    spec.size - assigned
+                } else {
+                    per
+                };
                 assigned += size;
                 if size == 0 {
                     continue;
@@ -344,7 +348,12 @@ impl<'a> Simulator<'a> {
                 trims: f.trims,
             })
             .collect();
-        SimResult { flows, drops: self.drops, trims: self.trim_count, end_time }
+        SimResult {
+            flows,
+            drops: self.drops,
+            trims: self.trim_count,
+            end_time,
+        }
     }
 
     fn dispatch(&mut self, ev: EvKind) {
@@ -403,7 +412,11 @@ impl<'a> Simulator<'a> {
                     self.push_prio_bounded(port, pid);
                 }
             }
-            Transport::Tcp { queue_pkts, ecn_threshold, .. } => {
+            Transport::Tcp {
+                queue_pkts,
+                ecn_threshold,
+                ..
+            } => {
                 let q = &mut self.ports[port as usize];
                 let depth = q.data_q.len() as u32;
                 if depth >= queue_pkts {
@@ -460,19 +473,34 @@ impl<'a> Simulator<'a> {
         self.events.push(self.now + ser, EvKind::PortPop { port });
         let arrive = self.now + ser + self.cfg.link_latency;
         if to_is_router {
-            self.events.push(arrive, EvKind::ArriveRouter { pkt: pid, router: to });
+            self.events.push(
+                arrive,
+                EvKind::ArriveRouter {
+                    pkt: pid,
+                    router: to,
+                },
+            );
         } else {
-            self.events.push(arrive, EvKind::ArriveEndpoint { pkt: pid, ep: to });
+            self.events
+                .push(arrive, EvKind::ArriveEndpoint { pkt: pid, ep: to });
         }
     }
 
     // ---- routing ---------------------------------------------------------
 
     fn on_router_arrive(&mut self, r: u32, pid: u32) {
-        let (dst_router, dst_ep) = {
+        let (dst_router, dst_ep, layer) = {
             let p = self.packets.get(pid);
-            (p.dst_router, p.dst_ep)
+            (p.dst_router, p.dst_ep, p.layer)
         };
+        // Per-hop layer rewrite (Valiant phase switch; identity for
+        // single-phase schemes).
+        if dst_router != r {
+            let nl = self.scheme.update_layer(layer, r, dst_router);
+            if nl != layer {
+                self.packets.get_mut(pid).layer = nl;
+            }
+        }
         let port = if dst_router == r {
             let first = self.topo.router_endpoints(r).start;
             self.down_base[r as usize] + (dst_ep - first)
@@ -493,51 +521,39 @@ impl<'a> Simulator<'a> {
 
     fn select_port(&mut self, r: u32, pid: u32) -> u16 {
         let p = *self.packets.get(pid);
-        match &self.routing {
-            Routing::Layered(tables) => {
-                let layer = (p.layer as usize).min(tables.n_layers() - 1);
-                tables
-                    .next_port(layer, r, p.dst_router)
-                    .or_else(|| tables.next_port(0, r, p.dst_router))
-                    .expect("destination unreachable")
+        let ports = self.scheme.candidate_ports(p.layer, r, p.dst_router);
+        let cands = ports.as_slice();
+        assert!(!cands.is_empty(), "destination unreachable");
+        if cands.len() == 1 {
+            // Single-path layer (FatPaths tables, SPAIN, PAST, …): load
+            // balancing happens across layers, not candidates.
+            return cands[0];
+        }
+        let len = cands.len() as u64;
+        match self.cfg.lb {
+            // NDP's spraying cycles each flow round-robin over the
+            // candidate ports (per hop, offset by a flow/router hash):
+            // smooth arrivals keep 8-packet queues stable at ρ→1,
+            // where random spraying would trim persistently.
+            // Retransmissions re-roll on their salt so a packet
+            // never re-walks into a failed or congested port.
+            LoadBalancing::PacketSpray => {
+                if p.retx {
+                    cands[(fnv1a(p.salt ^ r as u64) % len) as usize]
+                } else {
+                    let off = fnv1a(((p.flow as u64) << 32) ^ r as u64);
+                    cands[((p.seq as u64 + off) % len) as usize]
+                }
             }
-            Routing::Minimal(dm) => {
-                let g = &self.topo.graph;
-                let mut scratch = std::mem::take(&mut self.port_scratch);
-                dm.minimal_ports(g, r, p.dst_router, &mut scratch);
-                debug_assert!(!scratch.is_empty());
-                let len = scratch.len() as u64;
-                let port = match self.cfg.lb {
-                    // NDP's spraying cycles each flow round-robin over the
-                    // minimal ports (per hop, offset by a flow/router hash):
-                    // smooth arrivals keep 8-packet queues stable at ρ→1,
-                    // where random spraying would trim persistently.
-                    // Retransmissions re-roll on their salt so a packet
-                    // never re-walks into a failed or congested port.
-                    LoadBalancing::PacketSpray => {
-                        if p.retx {
-                            scratch[(fnv1a(p.salt ^ r as u64) % len) as usize]
-                        } else {
-                            let off = fnv1a(((p.flow as u64) << 32) ^ r as u64);
-                            scratch[((p.seq as u64 + off) % len) as usize]
-                        }
-                    }
-                    _ => scratch[(fnv1a(p.nonce ^ ((r as u64) << 20)) % len) as usize],
-                };
-                self.port_scratch = scratch;
-                port
-            }
+            _ => cands[(fnv1a(p.nonce ^ ((r as u64) << 20)) % len) as usize],
         }
     }
 
     // ---- shared endpoint helpers ------------------------------------------
 
-    /// Number of routing layers available (1 when minimal-only).
+    /// Number of endpoint-selectable routing layers (1 when minimal-only).
     pub(crate) fn n_layers(&self) -> usize {
-        match &self.routing {
-            Routing::Layered(t) => t.n_layers(),
-            Routing::Minimal(_) => 1,
-        }
+        self.scheme.num_layers()
     }
 
     /// Applies source-side flowlet logic before a data transmission:
@@ -562,7 +578,8 @@ impl<'a> Simulator<'a> {
             f.flowlet_ctr += 1;
             match lb {
                 LoadBalancing::FatPathsLayers => {
-                    f.layer = (fnv1a(((flow as u64) << 20) ^ f.flowlet_ctr as u64) % n_layers as u64) as u8;
+                    f.layer = (fnv1a(((flow as u64) << 20) ^ f.flowlet_ctr as u64)
+                        % n_layers as u64) as u8;
                 }
                 LoadBalancing::LetFlow => {
                     f.nonce = fnv1a(((flow as u64) << 21) ^ f.flowlet_ctr as u64);
@@ -603,7 +620,15 @@ impl<'a> Simulator<'a> {
 
     /// Crafts and sends a control packet from the receiver side (`Ack`,
     /// `Nack`) or sender side — destination chosen by `to_sender`.
-    pub(crate) fn send_control(&mut self, flow: u32, kind: PktKind, seq: u32, to_sender: bool, ecn_echo: bool, suggest: u8) {
+    pub(crate) fn send_control(
+        &mut self,
+        flow: u32,
+        kind: PktKind,
+        seq: u32,
+        to_sender: bool,
+        ecn_echo: bool,
+        suggest: u8,
+    ) {
         self.salt_ctr += 1;
         let salt = self.salt_ctr;
         let f = &self.flows[flow as usize];

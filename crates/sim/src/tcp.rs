@@ -9,16 +9,19 @@ use crate::config::{LoadBalancing, TcpVariant, Transport};
 use crate::engine::{EvKind, PktKind, TimePs};
 use crate::simulator::Simulator;
 use fatpaths_core::fwd::fnv1a;
+use fatpaths_core::scheme::RoutingScheme;
 
 /// DCTCP's EWMA gain g = 1/16.
 const DCTCP_G: f64 = 1.0 / 16.0;
 /// Initial RTO before the first RTT sample.
 const INITIAL_RTO: TimePs = 1_000_000_000; // 1 ms
 
-impl Simulator<'_> {
+impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
     fn tcp_params(&self) -> (TcpVariant, TimePs) {
         match self.cfg.transport {
-            Transport::Tcp { variant, min_rto, .. } => (variant, min_rto),
+            Transport::Tcp {
+                variant, min_rto, ..
+            } => (variant, min_rto),
             _ => unreachable!("tcp handler in non-tcp mode"),
         }
     }
@@ -213,7 +216,8 @@ impl Simulator<'_> {
         f.flowlet_ctr += 1;
         match lb {
             LoadBalancing::FatPathsLayers => {
-                f.layer = (fnv1a(((flow as u64) << 22) ^ 0xACED ^ f.flowlet_ctr as u64) % n_layers) as u8;
+                f.layer =
+                    (fnv1a(((flow as u64) << 22) ^ 0xACED ^ f.flowlet_ctr as u64) % n_layers) as u8;
             }
             LoadBalancing::LetFlow => {
                 f.nonce = fnv1a(((flow as u64) << 23) ^ 0xACED ^ f.flowlet_ctr as u64);
@@ -241,7 +245,8 @@ impl Simulator<'_> {
         }
         f.rto_gen += 1;
         let gen = f.rto_gen;
-        self.events.push(self.now + rto, EvKind::RtoTimer { flow, gen });
+        self.events
+            .push(self.now + rto, EvKind::RtoTimer { flow, gen });
     }
 
     pub(crate) fn tcp_on_rto(&mut self, flow: u32, gen: u32) {

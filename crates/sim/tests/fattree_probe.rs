@@ -2,9 +2,8 @@
 //! per-flow throughput under a random permutation (it is the topology NDP
 //! was designed for).
 
-use fatpaths_core::ecmp::DistanceMatrix;
 use fatpaths_net::topo::fattree::fat_tree;
-use fatpaths_sim::{LoadBalancing, Routing, SimConfig, Simulator, Transport};
+use fatpaths_sim::{LoadBalancing, Scenario, SchemeSpec, Transport};
 use fatpaths_workloads::arrivals::FlowSpec;
 use fatpaths_workloads::patterns::Pattern;
 use fatpaths_workloads::MIB;
@@ -12,21 +11,23 @@ use fatpaths_workloads::MIB;
 #[test]
 fn ndp_spray_on_fat_tree_permutation() {
     let topo = fat_tree(8, 1); // 128 endpoints, full bisection
-    let dm = DistanceMatrix::build(&topo.graph);
     let pairs = Pattern::Permutation.flows(topo.num_endpoints() as u64, 3);
     let flows: Vec<FlowSpec> = pairs
         .iter()
         .filter(|&&(s, d)| topo.endpoint_router(s) != topo.endpoint_router(d))
-        .map(|&(s, d)| FlowSpec { src: s, dst: d, size: MIB, start: 0 })
+        .map(|&(s, d)| FlowSpec {
+            src: s,
+            dst: d,
+            size: MIB,
+            start: 0,
+        })
         .collect();
-    let cfg = SimConfig {
-        transport: Transport::ndp_default(),
-        lb: LoadBalancing::PacketSpray,
-        ..SimConfig::default()
-    };
-    let mut sim = Simulator::new(&topo, Routing::Minimal(&dm), cfg);
-    sim.add_flows(&flows);
-    let res = sim.run();
+    let res = Scenario::on(&topo)
+        .scheme(SchemeSpec::Minimal)
+        .lb(LoadBalancing::PacketSpray)
+        .transport(Transport::ndp_default())
+        .workload(&flows)
+        .run();
     let mean_tp: f64 = res
         .completed()
         .filter_map(|f| f.throughput_mib_s())
@@ -41,5 +42,8 @@ fn ndp_spray_on_fat_tree_permutation() {
     );
     assert_eq!(res.completion_rate(), 1.0);
     // A permutation on a non-blocking fat tree should approach line rate.
-    assert!(mean_tp > 500.0, "mean {mean_tp} MiB/s too low for full-bisection FT");
+    assert!(
+        mean_tp > 500.0,
+        "mean {mean_tp} MiB/s too low for full-bisection FT"
+    );
 }

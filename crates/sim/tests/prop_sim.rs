@@ -2,9 +2,10 @@
 //! bounds, and fluid-model conservation.
 
 use fatpaths_core::ecmp::DistanceMatrix;
+use fatpaths_core::scheme::MinimalScheme;
 use fatpaths_net::topo::star::star;
 use fatpaths_sim::fluid::max_min_rates;
-use fatpaths_sim::{LoadBalancing, Routing, SimConfig, Simulator, Transport};
+use fatpaths_sim::{LoadBalancing, SimConfig, Simulator, Transport};
 use fatpaths_workloads::arrivals::FlowSpec;
 use proptest::prelude::*;
 
@@ -15,6 +16,7 @@ proptest! {
     fn fct_never_beats_physics(size in 10_000u64..2_000_000, ndp in any::<bool>()) {
         let topo = star(4);
         let dm = DistanceMatrix::build(&topo.graph);
+        let ms = MinimalScheme::new(&topo.graph, &dm);
         let cfg = SimConfig {
             transport: if ndp {
                 Transport::ndp_default()
@@ -24,7 +26,7 @@ proptest! {
             lb: LoadBalancing::EcmpFlow,
             ..SimConfig::default()
         };
-        let mut sim = Simulator::new(&topo, Routing::Minimal(&dm), cfg);
+        let mut sim = Simulator::new(&topo, &ms, cfg);
         sim.add_flows(&[FlowSpec { src: 0, dst: 1, size, start: 0 }]);
         let res = sim.run();
         prop_assert_eq!(res.completion_rate(), 1.0);
@@ -40,13 +42,14 @@ proptest! {
     fn simulation_deterministic(nflows in 2u32..20, size in 50_000u64..500_000) {
         let topo = star(32);
         let dm = DistanceMatrix::build(&topo.graph);
+        let ms = MinimalScheme::new(&topo.graph, &dm);
         let flows: Vec<FlowSpec> = (0..nflows)
             .map(|i| FlowSpec { src: i, dst: (i + 13) % 32, size, start: i as u64 * 777 })
             .collect();
         let run = || {
             let mut sim = Simulator::new(
                 &topo,
-                Routing::Minimal(&dm),
+                &ms,
                 SimConfig { lb: LoadBalancing::EcmpFlow, ..SimConfig::default() },
             );
             sim.add_flows(&flows);
@@ -63,7 +66,7 @@ proptest! {
         paths in prop::collection::vec(prop::collection::vec(0u32..12, 1..4), 1..30)
     ) {
         let rates = max_min_rates(&paths, 12, 5.0);
-        let mut per_link = vec![0.0f64; 12];
+        let mut per_link = [0.0f64; 12];
         for (p, &r) in paths.iter().zip(&rates) {
             prop_assert!(r > 0.0, "starved flow");
             let mut seen = std::collections::HashSet::new();

@@ -1,13 +1,23 @@
 //! Tests for §V-G fault tolerance (layer-based failover around link
 //! failures) and the §VIII-A2 MPTCP integration.
 
-use fatpaths_core::ecmp::DistanceMatrix;
 use fatpaths_core::fwd::RoutingTables;
-use fatpaths_core::layers::{build_random_layers, LayerConfig, LayerSet};
+use fatpaths_core::layers::{build_random_layers, LayerConfig};
 use fatpaths_net::topo::slimfly::slim_fly;
 use fatpaths_sim::metrics::mptcp_group_fcts;
-use fatpaths_sim::{LoadBalancing, Routing, SimConfig, Simulator, TcpVariant, Transport};
+use fatpaths_sim::{Scenario, SchemeSpec, TcpVariant, Transport};
 use fatpaths_workloads::arrivals::FlowSpec;
+
+/// The unique layer-0 (minimal) path of the 2-hop pair the failure tests
+/// break. Layer 0 is the complete edge set, so this is independent of the
+/// layer-sampling seed.
+fn minimal_path_0_41(topo: &fatpaths_net::Topology) -> Vec<u32> {
+    let ls = build_random_layers(&topo.graph, &LayerConfig::new(1, 1.0, 0));
+    let rt = RoutingTables::build(&topo.graph, &ls);
+    let p0 = rt.path(&topo.graph, 0, 0, 41).unwrap();
+    assert_eq!(p0.len(), 3, "expected a 2-hop pair");
+    p0
+}
 
 #[test]
 fn fatpaths_routes_around_failed_link() {
@@ -15,55 +25,67 @@ fn fatpaths_routes_around_failed_link() {
     // path. Fail its middle link: minimal-only routing stalls, FatPaths
     // redirects onto another layer and completes.
     let topo = slim_fly(5, 2).unwrap();
-    let ls = build_random_layers(&topo.graph, &LayerConfig::new(9, 0.6, 3));
-    let rt = RoutingTables::build(&topo.graph, &ls);
-    // Pick a 2-hop pair and its unique minimal path in layer 0.
-    let (s, t) = (0u32, 41u32);
-    let p0 = rt.path(&topo.graph, 0, s, t).unwrap();
-    assert_eq!(p0.len(), 3, "expected a 2-hop pair");
-    let flows = [FlowSpec { src: s * 2, dst: t * 2, size: 256 * 1024, start: 0 }];
-    let run = |layers: &LayerSet, fail: bool| {
-        let tables = RoutingTables::build(&topo.graph, layers);
-        let cfg = SimConfig {
-            lb: LoadBalancing::FatPathsLayers,
-            horizon: 50_000_000_000, // 50 ms
-            ..SimConfig::default()
-        };
-        let mut sim = Simulator::new(&topo, Routing::Layered(&tables), cfg);
+    let p0 = minimal_path_0_41(&topo);
+    let flows = [FlowSpec {
+        src: 0,
+        dst: 82,
+        size: 256 * 1024,
+        start: 0,
+    }];
+    let run = |spec: SchemeSpec, fail: bool| {
+        let mut sc = Scenario::on(&topo)
+            .scheme(spec)
+            .workload(&flows)
+            .seed(3)
+            .horizon(50_000_000_000); // 50 ms
         if fail {
-            sim.fail_link(p0[0], p0[1]);
+            sc = sc.fail_link(p0[0], p0[1]);
         }
-        sim.add_flows(&flows);
-        sim.run()
+        sc.run()
+    };
+    let layered = SchemeSpec::LayeredRandom {
+        n_layers: 9,
+        rho: 0.6,
     };
     // Sanity: with the link up, both complete.
-    assert_eq!(run(&ls, false).completion_rate(), 1.0);
+    assert_eq!(run(layered, false).completion_rate(), 1.0);
     // Link down: multi-layer FatPaths completes; the flow recovers through
     // an alternate layer after RTOs.
-    let multi = run(&ls, true);
-    assert_eq!(multi.completion_rate(), 1.0, "FatPaths must route around the failure");
+    let multi = run(layered, true);
+    assert_eq!(
+        multi.completion_rate(),
+        1.0,
+        "FatPaths must route around the failure"
+    );
     assert!(multi.drops > 0, "the failed link must have eaten packets");
     // Minimal-only routing cannot: the only forwarding path is dead.
-    let single = run(&LayerSet::minimal_only(&topo.graph), true);
-    assert_eq!(single.completion_rate(), 0.0, "single-path routing cannot recover");
+    let single = run(SchemeSpec::LayeredMinimal, true);
+    assert_eq!(
+        single.completion_rate(),
+        0.0,
+        "single-path routing cannot recover"
+    );
 }
 
 #[test]
 fn failure_recovery_costs_bounded_time() {
     let topo = slim_fly(5, 2).unwrap();
-    let ls = build_random_layers(&topo.graph, &LayerConfig::new(9, 0.6, 3));
-    let rt = RoutingTables::build(&topo.graph, &ls);
-    let (s, t) = (0u32, 41u32);
-    let p0 = rt.path(&topo.graph, 0, s, t).unwrap();
-    let cfg = SimConfig {
-        lb: LoadBalancing::FatPathsLayers,
-        horizon: 100_000_000_000,
-        ..SimConfig::default()
-    };
-    let mut sim = Simulator::new(&topo, Routing::Layered(&rt), cfg);
-    sim.fail_link(p0[0], p0[1]);
-    sim.add_flows(&[FlowSpec { src: s * 2, dst: t * 2, size: 256 * 1024, start: 0 }]);
-    let res = sim.run();
+    let p0 = minimal_path_0_41(&topo);
+    let res = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredRandom {
+            n_layers: 9,
+            rho: 0.6,
+        })
+        .workload(&[FlowSpec {
+            src: 0,
+            dst: 82,
+            size: 256 * 1024,
+            start: 0,
+        }])
+        .seed(3)
+        .horizon(100_000_000_000)
+        .fail_link(p0[0], p0[1])
+        .run();
     let fct = res.flows[0].fct_s().expect("must complete");
     // Ideal ≈ 0.21 ms; recovery adds RTOs (2 ms each) but must stay small.
     assert!(fct < 0.05, "recovery took {fct}s");
@@ -72,27 +94,39 @@ fn failure_recovery_costs_bounded_time() {
 #[test]
 fn mptcp_stripes_over_layers_and_completes() {
     let topo = slim_fly(5, 2).unwrap();
-    let ls = build_random_layers(&topo.graph, &LayerConfig::new(4, 0.6, 3));
-    let rt = RoutingTables::build(&topo.graph, &ls);
-    let cfg = SimConfig {
-        transport: Transport::tcp_default(TcpVariant::Dctcp),
-        lb: LoadBalancing::FatPathsLayers,
-        ..SimConfig::default()
-    };
-    let mut sim = Simulator::new(&topo, Routing::Layered(&rt), cfg);
     let specs = [
-        FlowSpec { src: 0, dst: 80, size: 1 << 20, start: 0 },
-        FlowSpec { src: 3, dst: 55, size: 300_000, start: 0 },
+        FlowSpec {
+            src: 0,
+            dst: 80,
+            size: 1 << 20,
+            start: 0,
+        },
+        FlowSpec {
+            src: 3,
+            dst: 55,
+            size: 300_000,
+            start: 0,
+        },
     ];
-    let groups = sim.add_mptcp_flows(&specs, 4);
+    let (res, groups) = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredRandom {
+            n_layers: 4,
+            rho: 0.6,
+        })
+        .transport(Transport::tcp_default(TcpVariant::Dctcp))
+        .workload(&specs)
+        .seed(3)
+        .run_mptcp(4);
     assert_eq!(groups.len(), 2);
     assert_eq!(groups[0].len(), 4);
-    let res = sim.run();
     assert_eq!(res.completion_rate(), 1.0);
     let fcts = mptcp_group_fcts(&res, &groups);
     assert!(fcts.iter().all(|f| f.is_some()));
     // Total bytes conserved across subflows.
-    let total: u64 = groups[0].iter().map(|&fid| res.flows[fid as usize].size).sum();
+    let total: u64 = groups[0]
+        .iter()
+        .map(|&fid| res.flows[fid as usize].size)
+        .sum();
     assert_eq!(total, 1 << 20);
 }
 
@@ -104,17 +138,21 @@ fn mptcp_survives_failure_of_one_layer_path() {
     // which case the test documents that pinning trades resilience for
     // stability (subflow stalls, connection FCT = None at horizon).
     let topo = slim_fly(5, 2).unwrap();
-    let ls = build_random_layers(&topo.graph, &LayerConfig::new(4, 0.6, 3));
-    let rt = RoutingTables::build(&topo.graph, &ls);
-    let cfg = SimConfig {
-        transport: Transport::tcp_default(TcpVariant::Dctcp),
-        lb: LoadBalancing::FatPathsLayers,
-        horizon: 30_000_000_000,
-        ..SimConfig::default()
-    };
-    let mut sim = Simulator::new(&topo, Routing::Layered(&rt), cfg);
-    let groups = sim.add_mptcp_flows(&[FlowSpec { src: 0, dst: 80, size: 400_000, start: 0 }], 2);
-    let res = sim.run();
+    let (res, groups) = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredRandom {
+            n_layers: 4,
+            rho: 0.6,
+        })
+        .transport(Transport::tcp_default(TcpVariant::Dctcp))
+        .workload(&[FlowSpec {
+            src: 0,
+            dst: 80,
+            size: 400_000,
+            start: 0,
+        }])
+        .seed(3)
+        .horizon(30_000_000_000)
+        .run_mptcp(2);
     let fcts = mptcp_group_fcts(&res, &groups);
     assert_eq!(fcts.len(), 1);
     // No failure injected here: baseline must complete.
@@ -123,21 +161,22 @@ fn mptcp_survives_failure_of_one_layer_path() {
 
 #[test]
 fn ecmp_minimal_survives_failure_when_alternatives_exist() {
-    // On a fat tree, ECMP has many minimal paths; killing one still leaves
-    // the flow-hash lottery. This documents what §V-G contrasts against.
+    // On a fat tree, packet spraying has many minimal paths; killing one
+    // still leaves the rest. This documents what §V-G contrasts against.
     let topo = fatpaths_net::topo::fattree::fat_tree(4, 1);
-    let dm = DistanceMatrix::build(&topo.graph);
-    let cfg = SimConfig {
-        lb: LoadBalancing::PacketSpray,
-        horizon: 50_000_000_000,
-        ..SimConfig::default()
-    };
-    let mut sim = Simulator::new(&topo, Routing::Minimal(&dm), cfg);
     // Fail one edge→agg link not on every path: edge 0 → agg (first).
     let agg = topo.graph.neighbors(0)[0];
-    sim.fail_link(0, agg);
-    // Flow from edge 0's endpoint to another pod.
-    sim.add_flows(&[FlowSpec { src: 0, dst: 10, size: 128 * 1024, start: 0 }]);
-    let res = sim.run();
+    let res = Scenario::on(&topo)
+        .scheme(SchemeSpec::Minimal)
+        .lb(fatpaths_sim::LoadBalancing::PacketSpray)
+        .workload(&[FlowSpec {
+            src: 0,
+            dst: 10,
+            size: 128 * 1024,
+            start: 0,
+        }])
+        .horizon(50_000_000_000)
+        .fail_link(0, agg)
+        .run();
     assert_eq!(res.completion_rate(), 1.0);
 }

@@ -1,23 +1,31 @@
 //! Behavioral validation of the packet simulator: line-rate sanity,
 //! congestion behavior, transport correctness, and the paper's headline
-//! routing effects at small scale.
+//! routing effects at small scale — all through the `RoutingScheme`-based
+//! API (direct `Simulator` construction and the `Scenario` builder).
 
 use fatpaths_core::ecmp::DistanceMatrix;
-use fatpaths_core::fwd::RoutingTables;
-use fatpaths_core::layers::{build_random_layers, LayerConfig, LayerSet};
+use fatpaths_core::scheme::MinimalScheme;
 use fatpaths_net::topo::{slimfly::slim_fly, star::star};
 use fatpaths_sim::{
-    LoadBalancing, Routing, SimConfig, Simulator, TcpVariant, Transport,
+    LoadBalancing, Scenario, SchemeSpec, SimConfig, Simulator, TcpVariant, Transport,
 };
 use fatpaths_workloads::arrivals::FlowSpec;
 use fatpaths_workloads::MIB;
 
 fn ndp_cfg(lb: LoadBalancing) -> SimConfig {
-    SimConfig { transport: Transport::ndp_default(), lb, ..SimConfig::default() }
+    SimConfig {
+        transport: Transport::ndp_default(),
+        lb,
+        ..SimConfig::default()
+    }
 }
 
 fn tcp_cfg(variant: TcpVariant, lb: LoadBalancing) -> SimConfig {
-    SimConfig { transport: Transport::tcp_default(variant), lb, ..SimConfig::default() }
+    SimConfig {
+        transport: Transport::tcp_default(variant),
+        lb,
+        ..SimConfig::default()
+    }
 }
 
 /// 10 Gb/s line rate in MiB/s.
@@ -27,8 +35,14 @@ const LINE_MIB_S: f64 = 10e9 / 8.0 / (1024.0 * 1024.0);
 fn single_ndp_flow_reaches_near_line_rate() {
     let topo = star(4);
     let dm = DistanceMatrix::build(&topo.graph);
-    let mut sim = Simulator::new(&topo, Routing::Minimal(&dm), ndp_cfg(LoadBalancing::EcmpFlow));
-    sim.add_flows(&[FlowSpec { src: 0, dst: 1, size: MIB, start: 0 }]);
+    let ms = MinimalScheme::new(&topo.graph, &dm);
+    let mut sim = Simulator::new(&topo, &ms, ndp_cfg(LoadBalancing::EcmpFlow));
+    sim.add_flows(&[FlowSpec {
+        src: 0,
+        dst: 1,
+        size: MIB,
+        start: 0,
+    }]);
     let res = sim.run();
     assert_eq!(res.completion_rate(), 1.0);
     let tp = res.flows[0].throughput_mib_s().unwrap();
@@ -40,17 +54,22 @@ fn single_ndp_flow_reaches_near_line_rate() {
 #[test]
 fn single_tcp_flow_completes_slower_than_ndp() {
     let topo = star(4);
-    let dm = DistanceMatrix::build(&topo.graph);
-    let mut ndp = Simulator::new(&topo, Routing::Minimal(&dm), ndp_cfg(LoadBalancing::EcmpFlow));
-    ndp.add_flows(&[FlowSpec { src: 0, dst: 1, size: 256 * 1024, start: 0 }]);
-    let rn = ndp.run();
-    let mut tcp = Simulator::new(
-        &topo,
-        Routing::Minimal(&dm),
-        tcp_cfg(TcpVariant::Reno, LoadBalancing::EcmpFlow),
-    );
-    tcp.add_flows(&[FlowSpec { src: 0, dst: 1, size: 256 * 1024, start: 0 }]);
-    let rt = tcp.run();
+    let flows = [FlowSpec {
+        src: 0,
+        dst: 1,
+        size: 256 * 1024,
+        start: 0,
+    }];
+    let rn = Scenario::on(&topo)
+        .scheme(SchemeSpec::Minimal)
+        .transport(Transport::ndp_default())
+        .workload(&flows)
+        .run();
+    let rt = Scenario::on(&topo)
+        .scheme(SchemeSpec::Minimal)
+        .transport(Transport::tcp_default(TcpVariant::Reno))
+        .workload(&flows)
+        .run();
     assert_eq!(rt.completion_rate(), 1.0);
     // Slow start costs TCP several RTTs that NDP's line-rate start avoids.
     let f_ndp = rn.flows[0].fct_s().unwrap();
@@ -63,13 +82,18 @@ fn ndp_incast_trims_but_completes_at_line_rate_aggregate() {
     // 8 senders → 1 receiver on a crossbar: the receiver downlink is the
     // bottleneck; trimming keeps it lossless-for-metadata and fully used.
     let topo = star(16);
-    let dm = DistanceMatrix::build(&topo.graph);
-    let mut sim = Simulator::new(&topo, Routing::Minimal(&dm), ndp_cfg(LoadBalancing::EcmpFlow));
     let flows: Vec<FlowSpec> = (1..=8)
-        .map(|s| FlowSpec { src: s, dst: 0, size: MIB, start: 0 })
+        .map(|s| FlowSpec {
+            src: s,
+            dst: 0,
+            size: MIB,
+            start: 0,
+        })
         .collect();
-    sim.add_flows(&flows);
-    let res = sim.run();
+    let res = Scenario::on(&topo)
+        .scheme(SchemeSpec::Minimal)
+        .workload(&flows)
+        .run();
     assert_eq!(res.completion_rate(), 1.0, "incast must complete");
     assert!(res.trims > 0, "incast should trim payloads");
     // Aggregate goodput ≈ line rate: total bytes / makespan.
@@ -82,19 +106,24 @@ fn ndp_incast_trims_but_completes_at_line_rate_aggregate() {
 #[test]
 fn tcp_incast_drops_but_completes() {
     let topo = star(16);
-    let dm = DistanceMatrix::build(&topo.graph);
-    let mut sim = Simulator::new(
-        &topo,
-        Routing::Minimal(&dm),
-        tcp_cfg(TcpVariant::Reno, LoadBalancing::EcmpFlow),
-    );
     let flows: Vec<FlowSpec> = (1..=12)
-        .map(|s| FlowSpec { src: s, dst: 0, size: 512 * 1024, start: 0 })
+        .map(|s| FlowSpec {
+            src: s,
+            dst: 0,
+            size: 512 * 1024,
+            start: 0,
+        })
         .collect();
-    sim.add_flows(&flows);
-    let res = sim.run();
+    let res = Scenario::on(&topo)
+        .scheme(SchemeSpec::Minimal)
+        .transport(Transport::tcp_default(TcpVariant::Reno))
+        .workload(&flows)
+        .run();
     assert_eq!(res.completion_rate(), 1.0);
-    assert!(res.drops > 0, "12-way TCP incast should overflow 100-pkt queues");
+    assert!(
+        res.drops > 0,
+        "12-way TCP incast should overflow 100-pkt queues"
+    );
 }
 
 #[test]
@@ -102,18 +131,20 @@ fn dctcp_keeps_queues_lower_than_reno() {
     // With ECN at 33 packets, DCTCP should lose far fewer packets than
     // Reno under the same incast.
     let topo = star(16);
-    let dm = DistanceMatrix::build(&topo.graph);
     let run = |variant| {
-        let mut sim = Simulator::new(
-            &topo,
-            Routing::Minimal(&dm),
-            tcp_cfg(variant, LoadBalancing::EcmpFlow),
-        );
         let flows: Vec<FlowSpec> = (1..=12)
-            .map(|s| FlowSpec { src: s, dst: 0, size: 512 * 1024, start: 0 })
+            .map(|s| FlowSpec {
+                src: s,
+                dst: 0,
+                size: 512 * 1024,
+                start: 0,
+            })
             .collect();
-        sim.add_flows(&flows);
-        sim.run()
+        Scenario::on(&topo)
+            .scheme(SchemeSpec::Minimal)
+            .transport(Transport::tcp_default(variant))
+            .workload(&flows)
+            .run()
     };
     let reno = run(TcpVariant::Reno);
     let dctcp = run(TcpVariant::Dctcp);
@@ -148,22 +179,18 @@ fn fatpaths_beats_ecmp_on_slim_fly_adversarial() {
     // SF's single-shortest-path collisions; ECMP cannot.
     let topo = slim_fly(5, 4).unwrap();
     let flows = sf_adversarial_flows(&topo);
-
-    let dm = DistanceMatrix::build(&topo.graph);
-    let mut ecmp = Simulator::new(&topo, Routing::Minimal(&dm), ndp_cfg(LoadBalancing::EcmpFlow));
-    ecmp.add_flows(&flows);
-    let r_ecmp = ecmp.run();
-
-    let layers = build_random_layers(&topo.graph, &LayerConfig::new(9, 0.6, 3));
-    let tables = RoutingTables::build(&topo.graph, &layers);
-    let mut fp = Simulator::new(
-        &topo,
-        Routing::Layered(&tables),
-        ndp_cfg(LoadBalancing::FatPathsLayers),
-    );
-    fp.add_flows(&flows);
-    let r_fp = fp.run();
-
+    let r_ecmp = Scenario::on(&topo)
+        .scheme(SchemeSpec::Minimal)
+        .workload(&flows)
+        .run();
+    let r_fp = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredRandom {
+            n_layers: 9,
+            rho: 0.6,
+        })
+        .workload(&flows)
+        .seed(1)
+        .run();
     assert_eq!(r_ecmp.completion_rate(), 1.0);
     assert_eq!(r_fp.completion_rate(), 1.0);
     let mk_ecmp = r_ecmp.makespan().unwrap();
@@ -181,39 +208,42 @@ fn letflow_between_ecmp_and_fatpaths_on_adversarial_sf() {
     // on SF and DF which have little minimal-path diversity").
     let topo = slim_fly(5, 4).unwrap();
     let flows = sf_adversarial_flows(&topo);
-    let dm = DistanceMatrix::build(&topo.graph);
-    let mut lf = Simulator::new(&topo, Routing::Minimal(&dm), ndp_cfg(LoadBalancing::LetFlow));
-    lf.add_flows(&flows);
-    let r_lf = lf.run();
-
-    let layers = build_random_layers(&topo.graph, &LayerConfig::new(9, 0.6, 3));
-    let tables = RoutingTables::build(&topo.graph, &layers);
-    let mut fp = Simulator::new(
-        &topo,
-        Routing::Layered(&tables),
-        ndp_cfg(LoadBalancing::FatPathsLayers),
-    );
-    fp.add_flows(&flows);
-    let r_fp = fp.run();
+    let r_lf = Scenario::on(&topo)
+        .scheme(SchemeSpec::Minimal)
+        .lb(LoadBalancing::LetFlow)
+        .workload(&flows)
+        .run();
+    let r_fp = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredRandom {
+            n_layers: 9,
+            rho: 0.6,
+        })
+        .workload(&flows)
+        .seed(1)
+        .run();
     assert!(r_fp.makespan().unwrap() < r_lf.makespan().unwrap());
 }
 
 #[test]
 fn runs_are_deterministic() {
     let topo = slim_fly(5, 2).unwrap();
-    let layers = build_random_layers(&topo.graph, &LayerConfig::new(4, 0.6, 1));
-    let tables = RoutingTables::build(&topo.graph, &layers);
     let flows: Vec<FlowSpec> = (0..40u32)
-        .map(|i| FlowSpec { src: i, dst: (i + 37) % 100, size: 128 * 1024, start: (i as u64) * 1000 })
+        .map(|i| FlowSpec {
+            src: i,
+            dst: (i + 37) % 100,
+            size: 128 * 1024,
+            start: (i as u64) * 1000,
+        })
         .collect();
     let run = || {
-        let mut sim = Simulator::new(
-            &topo,
-            Routing::Layered(&tables),
-            ndp_cfg(LoadBalancing::FatPathsLayers),
-        );
-        sim.add_flows(&flows);
-        sim.run()
+        Scenario::on(&topo)
+            .scheme(SchemeSpec::LayeredRandom {
+                n_layers: 4,
+                rho: 0.6,
+            })
+            .workload(&flows)
+            .seed(1)
+            .run()
     };
     let a = run();
     let b = run();
@@ -226,15 +256,15 @@ fn runs_are_deterministic() {
 fn minimal_layer_set_equals_single_path_routing() {
     // FatPaths with only layer 0 must route like plain minimal routing.
     let topo = slim_fly(5, 2).unwrap();
-    let ls = LayerSet::minimal_only(&topo.graph);
-    let tables = RoutingTables::build(&topo.graph, &ls);
-    let mut sim = Simulator::new(
-        &topo,
-        Routing::Layered(&tables),
-        ndp_cfg(LoadBalancing::FatPathsLayers),
-    );
-    sim.add_flows(&[FlowSpec { src: 0, dst: 55, size: MIB, start: 0 }]);
-    let res = sim.run();
+    let res = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredMinimal)
+        .workload(&[FlowSpec {
+            src: 0,
+            dst: 55,
+            size: MIB,
+            start: 0,
+        }])
+        .run();
     assert_eq!(res.completion_rate(), 1.0);
     let tp = res.flows[0].throughput_mib_s().unwrap();
     assert!(tp > 0.6 * LINE_MIB_S, "{tp}");
@@ -243,11 +273,16 @@ fn minimal_layer_set_equals_single_path_routing() {
 #[test]
 fn horizon_cuts_off_unfinished_flows() {
     let topo = star(4);
-    let dm = DistanceMatrix::build(&topo.graph);
-    let cfg = SimConfig { horizon: 10_000_000, ..ndp_cfg(LoadBalancing::EcmpFlow) }; // 10 µs
-    let mut sim = Simulator::new(&topo, Routing::Minimal(&dm), cfg);
-    sim.add_flows(&[FlowSpec { src: 0, dst: 1, size: 64 * MIB, start: 0 }]);
-    let res = sim.run();
+    let res = Scenario::on(&topo)
+        .scheme(SchemeSpec::Minimal)
+        .horizon(10_000_000) // 10 µs
+        .workload(&[FlowSpec {
+            src: 0,
+            dst: 1,
+            size: 64 * MIB,
+            start: 0,
+        }])
+        .run();
     assert_eq!(res.completion_rate(), 0.0);
     assert!(res.flows[0].finish.is_none());
 }
@@ -256,14 +291,16 @@ fn horizon_cuts_off_unfinished_flows() {
 fn tcp_ecn_reno_reacts_before_loss() {
     let topo = star(8);
     let dm = DistanceMatrix::build(&topo.graph);
+    let ms = MinimalScheme::new(&topo.graph, &dm);
     let run = |variant| {
-        let mut sim = Simulator::new(
-            &topo,
-            Routing::Minimal(&dm),
-            tcp_cfg(variant, LoadBalancing::EcmpFlow),
-        );
+        let mut sim = Simulator::new(&topo, &ms, tcp_cfg(variant, LoadBalancing::EcmpFlow));
         let flows: Vec<FlowSpec> = (1..=6)
-            .map(|s| FlowSpec { src: s, dst: 0, size: MIB, start: 0 })
+            .map(|s| FlowSpec {
+                src: s,
+                dst: 0,
+                size: MIB,
+                start: 0,
+            })
             .collect();
         sim.add_flows(&flows);
         sim.run()

@@ -72,7 +72,12 @@ pub fn poisson_flows(
 pub fn bulk_flows(pairs: &[(u32, u32)], size: u64, start: TimePs) -> Vec<FlowSpec> {
     pairs
         .iter()
-        .map(|&(src, dst)| FlowSpec { src, dst, size, start })
+        .map(|&(src, dst)| FlowSpec {
+            src,
+            dst,
+            size,
+            start,
+        })
         .collect()
 }
 
@@ -80,7 +85,11 @@ pub fn bulk_flows(pairs: &[(u32, u32)], size: u64, start: TimePs) -> Vec<FlowSpe
 /// §VII-A8) given the window length in seconds.
 pub fn drop_warmup(flows: &[FlowSpec], window_s: f64) -> Vec<FlowSpec> {
     let cutoff = (window_s * 0.5 * SEC_PS as f64) as TimePs;
-    flows.iter().copied().filter(|f| f.start >= cutoff).collect()
+    flows
+        .iter()
+        .copied()
+        .filter(|f| f.start >= cutoff)
+        .collect()
 }
 
 #[cfg(test)]
@@ -121,7 +130,9 @@ mod tests {
         let flows = poisson_flows(&pairs, 10_000.0, 0.01, &d, 5);
         let kept = drop_warmup(&flows, 0.01);
         assert!(kept.len() < flows.len());
-        assert!(kept.iter().all(|f| f.start >= (0.005 * SEC_PS as f64) as u64));
+        assert!(kept
+            .iter()
+            .all(|f| f.start >= (0.005 * SEC_PS as f64) as u64));
     }
 
     #[test]

@@ -64,12 +64,16 @@ impl Pattern {
 
     /// The canonical 2D stencil of the paper: offsets `{±1, ±42}`.
     pub fn stencil_small() -> Pattern {
-        Pattern::Stencil { offsets: vec![1, -1, 42, -42] }
+        Pattern::Stencil {
+            offsets: vec![1, -1, 42, -42],
+        }
     }
 
     /// Stencil for `N > 10,000` (offsets `{±1, ±1337}`, §II-C).
     pub fn stencil_large() -> Pattern {
-        Pattern::Stencil { offsets: vec![1, -1, 1337, -1337] }
+        Pattern::Stencil {
+            offsets: vec![1, -1, 1337, -1337],
+        }
     }
 
     /// Generates the flow pair list `(src, dst)` over `n` endpoints.
@@ -142,16 +146,16 @@ impl Pattern {
 /// Default adversarial pattern for a topology with `nr` routers and
 /// concentration `p`: router-level offset ≈ `nr/2 + 1` (large, skewed).
 pub fn adversarial_for(p: u32, nr: u32) -> Pattern {
-    Pattern::AdversarialOffDiagonal { p: p as u64, router_offset: (nr / 2 + 1) as u64 }
+    Pattern::AdversarialOffDiagonal {
+        p: p as u64,
+        router_offset: (nr / 2 + 1) as u64,
+    }
 }
 
 fn one_permutation(n: u64, rng: &mut StdRng) -> Vec<(u32, u32)> {
     let mut perm: Vec<u32> = (0..n as u32).collect();
     perm.shuffle(rng);
-    (0..n as u32)
-        .zip(perm)
-        .filter(|&(s, t)| s != t)
-        .collect()
+    (0..n as u32).zip(perm).filter(|&(s, t)| s != t).collect()
 }
 
 /// Rotate the low `bits`+1 bits of `s` left by one position — the paper's
@@ -197,7 +201,11 @@ mod tests {
         // With p=4 and router_offset=7, endpoints of router r all hit
         // router (r+7): p-way collisions on every router pair.
         let p = 4u64;
-        let flows = Pattern::AdversarialOffDiagonal { p, router_offset: 7 }.flows(400, 0);
+        let flows = Pattern::AdversarialOffDiagonal {
+            p,
+            router_offset: 7,
+        }
+        .flows(400, 0);
         for &(s, t) in &flows {
             assert_eq!((t as u64 / p + 100 - s as u64 / p) % 100, 7);
         }

@@ -8,7 +8,7 @@
 //! preserving the mice/elephant mix that drives the mean-vs-tail
 //! separation in Figs. 2/11/14 (see DESIGN.md §2.4).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// KiB/MiB helpers.
 pub const KIB: u64 = 1024;
@@ -75,7 +75,10 @@ impl FlowSizeDist {
 
     /// A degenerate single-size distribution (for fixed-size experiments).
     pub fn fixed(size: u64) -> Self {
-        FlowSizeDist { sizes: vec![size], cumulative: vec![1.0] }
+        FlowSizeDist {
+            sizes: vec![size],
+            cumulative: vec![1.0],
+        }
     }
 
     /// Draws one flow size.
@@ -114,7 +117,11 @@ mod tests {
         assert_eq!(d.sizes().len(), 20);
         assert_eq!(d.sizes()[0], 32 * KIB);
         assert_eq!(*d.sizes().last().unwrap(), 2 * MIB);
-        assert!((d.mean() - MIB as f64).abs() / (MIB as f64) < 0.01, "mean {}", d.mean());
+        assert!(
+            (d.mean() - MIB as f64).abs() / (MIB as f64) < 0.01,
+            "mean {}",
+            d.mean()
+        );
     }
 
     #[test]

@@ -25,13 +25,20 @@ pub struct StencilWorkload {
 impl StencilWorkload {
     /// The paper's small 2D stencil.
     pub fn new(n: u32, message_size: u64, iterations: u32) -> Self {
-        StencilWorkload { n, offsets: vec![1, -1, 42, -42], message_size, iterations }
+        StencilWorkload {
+            n,
+            offsets: vec![1, -1, 42, -42],
+            message_size,
+            iterations,
+        }
     }
 
     /// Flow list of one phase, with an optional endpoint mapping applied
     /// and all flows starting at `start`.
     pub fn phase_flows(&self, mapping: Option<&[u32]>, start: TimePs) -> Vec<FlowSpec> {
-        let pattern = Pattern::Stencil { offsets: self.offsets.clone() };
+        let pattern = Pattern::Stencil {
+            offsets: self.offsets.clone(),
+        };
         let mut pairs = pattern.flows(self.n as u64, 0);
         if let Some(m) = mapping {
             pairs = crate::mapping::apply_mapping(m, &pairs);

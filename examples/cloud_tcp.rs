@@ -24,13 +24,12 @@ fn main() {
     let pairs = fatpaths::workloads::apply_mapping(&mapping, &Pattern::Permutation.flows(n, 2));
     let dist = FlowSizeDist::web_search();
     let flows = poisson_flows(&pairs, 200.0, 0.008, &dist, 5);
-    println!("workload: {} flows over 8 ms (mean size 1 MiB)\n", flows.len());
+    println!(
+        "workload: {} flows over 8 ms (mean size 1 MiB)\n",
+        flows.len()
+    );
 
-    let dm = DistanceMatrix::build(&topo.graph);
-    let layers = build_random_layers(&topo.graph, &LayerConfig::new(4, 0.6, 9));
-    let tables = RoutingTables::build(&topo.graph, &layers);
-
-    let mut report = |name: &str, result: SimResult| {
+    let report = |name: &str, result: SimResult| {
         let fcts = result.fcts(None);
         println!(
             "{:<22} mean FCT {:>7.3} ms   p99 {:>8.3} ms   drops {:>5}",
@@ -41,24 +40,30 @@ fn main() {
         );
     };
 
-    for (name, lb) in [("ECMP (static)", LoadBalancing::EcmpFlow), ("LetFlow (flowlets)", LoadBalancing::LetFlow)] {
-        let cfg = SimConfig {
-            transport: Transport::tcp_default(TcpVariant::Dctcp),
-            lb,
-            ..SimConfig::default()
-        };
-        let mut sim = Simulator::new(&topo, Routing::Minimal(&dm), cfg);
-        sim.add_flows(&flows);
-        report(name, sim.run());
+    let dctcp = Transport::tcp_default(TcpVariant::Dctcp);
+    for (name, lb) in [
+        ("ECMP (static)", LoadBalancing::EcmpFlow),
+        ("LetFlow (flowlets)", LoadBalancing::LetFlow),
+    ] {
+        let result = Scenario::on(&topo)
+            .scheme(SchemeSpec::Minimal)
+            .lb(lb)
+            .transport(dctcp)
+            .workload(&flows)
+            .seed(9)
+            .run();
+        report(name, result);
     }
-    let cfg = SimConfig {
-        transport: Transport::tcp_default(TcpVariant::Dctcp),
-        lb: LoadBalancing::FatPathsLayers,
-        ..SimConfig::default()
-    };
-    let mut sim = Simulator::new(&topo, Routing::Layered(&tables), cfg);
-    sim.add_flows(&flows);
-    report("FatPaths (n=4, rho=.6)", sim.run());
+    let result = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredRandom {
+            n_layers: 4,
+            rho: 0.6,
+        })
+        .transport(dctcp)
+        .workload(&flows)
+        .seed(9)
+        .run();
+    report("FatPaths (n=4, rho=.6)", result);
 
     println!(
         "\nECMP and LetFlow can only use SF's (usually unique) minimal paths;\n\

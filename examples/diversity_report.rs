@@ -40,7 +40,10 @@ fn main() {
         stats.diameter, stats.avg_path_length
     );
     for l in 1..=stats.diameter as usize {
-        println!("  distance {l}: {:>5.1}% of pairs", 100.0 * stats.fraction_at(l));
+        println!(
+            "  distance {l}: {:>5.1}% of pairs",
+            100.0 * stats.fraction_at(l)
+        );
     }
 
     // Minimal-path diversity over sampled pairs (§IV-C1).

@@ -10,20 +10,18 @@ use fatpaths::prelude::*;
 use fatpaths::workloads::StencilWorkload;
 
 fn run_phase(topo: &Topology, flows: &[FlowSpec]) -> f64 {
+    let sc = Scenario::on(topo).workload(flows).seed(3);
     let result = if topo.kind == TopoKind::FatTree {
         // The fat tree runs its native NDP packet spraying.
-        let dm = DistanceMatrix::build(&topo.graph);
-        let cfg = SimConfig { lb: LoadBalancing::PacketSpray, ..SimConfig::default() };
-        let mut sim = Simulator::new(topo, Routing::Minimal(&dm), cfg);
-        sim.add_flows(flows);
-        sim.run()
+        sc.scheme(SchemeSpec::Minimal)
+            .lb(LoadBalancing::PacketSpray)
+            .run()
     } else {
-        let layers = build_random_layers(&topo.graph, &LayerConfig::new(9, 0.6, 3));
-        let tables = RoutingTables::build(&topo.graph, &layers);
-        let cfg = SimConfig { lb: LoadBalancing::FatPathsLayers, ..SimConfig::default() };
-        let mut sim = Simulator::new(topo, Routing::Layered(&tables), cfg);
-        sim.add_flows(flows);
-        sim.run()
+        sc.scheme(SchemeSpec::LayeredRandom {
+            n_layers: 9,
+            rho: 0.6,
+        })
+        .run()
     };
     assert_eq!(result.completion_rate(), 1.0, "stencil phase must complete");
     result.makespan().unwrap() as f64 / 1e9 // ms
@@ -41,7 +39,10 @@ fn main() {
     for topo in [&sf, &ft] {
         for (mapping_name, mapping) in [
             ("linear mapping ", None),
-            ("random mapping ", Some(fatpaths::workloads::random_mapping(n, 7))),
+            (
+                "random mapping ",
+                Some(fatpaths::workloads::random_mapping(n, 7)),
+            ),
         ] {
             let flows: Vec<FlowSpec> = stencil
                 .phase_flows(mapping.as_deref(), 0)

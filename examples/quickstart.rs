@@ -53,29 +53,32 @@ fn main() {
         .collect();
 
     // 5. Simulate: FatPaths (flowlets over layers, purified transport) vs
-    //    single-path minimal routing.
-    let run = |use_layers: bool| {
-        let min_only = LayerSet::minimal_only(&topo.graph);
-        let t_min = RoutingTables::build(&topo.graph, &min_only);
-        let (tb, lb) = if use_layers {
-            (&tables, LoadBalancing::FatPathsLayers)
-        } else {
-            (&t_min, LoadBalancing::FatPathsLayers)
-        };
-        let cfg = SimConfig { lb, ..SimConfig::default() };
-        let mut sim = Simulator::new(&topo, Routing::Layered(tb), cfg);
-        sim.add_flows(&flows);
-        sim.run()
+    //    single-path minimal routing — one builder line per scheme.
+    let run = |spec: SchemeSpec| {
+        Scenario::on(&topo)
+            .scheme(spec)
+            .transport(Transport::ndp_default())
+            .workload(&flows)
+            .seed(7)
+            .run()
     };
-    let minimal = run(false);
-    let fatpaths = run(true);
+    let minimal = run(SchemeSpec::LayeredMinimal);
+    let fatpaths = run(SchemeSpec::LayeredRandom {
+        n_layers: 9,
+        rho: 0.6,
+    });
     let mk = |r: &SimResult| r.makespan().unwrap() as f64 / 1e9;
+    println!("\nadversarial workload ({} flows of 512 KiB):", flows.len());
     println!(
-        "\nadversarial workload ({} flows of 512 KiB):",
-        flows.len()
+        "  minimal routing : makespan {:>8.2} ms, trims {}",
+        mk(&minimal),
+        minimal.trims
     );
-    println!("  minimal routing : makespan {:>8.2} ms, trims {}", mk(&minimal), minimal.trims);
-    println!("  FatPaths (n=9)  : makespan {:>8.2} ms, trims {}", mk(&fatpaths), fatpaths.trims);
+    println!(
+        "  FatPaths (n=9)  : makespan {:>8.2} ms, trims {}",
+        mk(&fatpaths),
+        fatpaths.trims
+    );
     println!(
         "  speedup {:.2}x — non-minimal path diversity absorbs the collisions",
         mk(&minimal) / mk(&fatpaths)

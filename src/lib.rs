@@ -13,18 +13,42 @@
 //! minimally *within* each layer, and balancing elastic **flowlets** across
 //! layers, on top of an NDP-derived "purified" transport.
 //!
+//! ## The routing-scheme registry
+//!
+//! Every routing scheme — FatPaths layered routing *and* all the paper's
+//! comparison baselines — implements the
+//! [`RoutingScheme`](core::scheme::RoutingScheme) trait: per
+//! `(layer, router, destination)` candidate output ports plus metadata.
+//! The packet simulator is generic over the trait, so SPAIN, PAST,
+//! k-shortest-paths, Valiant, ECMP-family, and layered routing all run
+//! through the same event loop under identical transports and workloads
+//! (the comparison §VII makes, now executable end to end). New schemes
+//! plug in without touching the simulator.
+//!
+//! | Scheme | Adapter | Paths per pair |
+//! |---|---|---|
+//! | FatPaths layers | [`RoutingTables`](core::fwd::RoutingTables) | one per layer (non-minimal in sparse layers) |
+//! | ECMP / spray / LetFlow | [`MinimalScheme`](core::scheme::MinimalScheme) | all minimal next hops |
+//! | SPAIN | [`SpainScheme`](core::scheme::SpainScheme) | one per merged VLAN forest |
+//! | PAST | [`PastScheme`](core::scheme::PastScheme) | exactly one (per-destination tree) |
+//! | k shortest paths | [`KspScheme`](core::scheme::KspScheme) | one per path rank |
+//! | Valiant (VLB) | [`ValiantScheme`](core::scheme::ValiantScheme) | one per intermediate |
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
 //! |---|---|
 //! | [`net`] | graph model, topology generators, size classes, cost model |
 //! | [`diversity`] | path-diversity metrics: CDP, PI, TNL, collisions (§IV) |
-//! | [`core`] | layered routing, forwarding tables, SPAIN/PAST/KSP/ECMP (§V–VI) |
+//! | [`core`] | layered routing, forwarding tables, the [`RoutingScheme`](core::scheme::RoutingScheme) trait and every baseline adapter (§V–VI) |
 //! | [`mcf`] | max-achievable-throughput solver, worst-case traffic (§VI) |
 //! | [`workloads`] | traffic patterns, flow sizes, arrivals, mappings (§II-C) |
-//! | [`sim`] | packet-level simulator (NDP + TCP/DCTCP) and fluid model (§VII) |
+//! | [`sim`] | packet-level simulator (NDP + TCP/DCTCP), fluid model, and the [`Scenario`](sim::Scenario) builder (§VII) |
 //!
 //! ## Quickstart
+//!
+//! Declare a scenario — topology, scheme, transport, workload, seed — and
+//! run it:
 //!
 //! ```
 //! use fatpaths::prelude::*;
@@ -32,19 +56,32 @@
 //! // A Slim Fly MMS(q=5) with 3 endpoints per router.
 //! let topo = fatpaths::net::topo::slimfly::slim_fly(5, 3).unwrap();
 //!
-//! // FatPaths layered routing: 1 complete layer + 5 sparse layers (ρ=0.6).
-//! let layers = build_random_layers(&topo.graph, &LayerConfig::new(6, 0.6, 1));
-//! let tables = RoutingTables::build(&topo.graph, &layers);
-//!
-//! // Simulate an adversarial workload with the purified transport.
+//! // An adversarial workload: all endpoints hit the same remote router.
 //! let flows: Vec<FlowSpec> = (0..topo.num_endpoints() as u32 / 2)
 //!     .map(|e| FlowSpec { src: e, dst: e + 75, size: 64 * 1024, start: 0 })
 //!     .collect();
-//! let mut sim = Simulator::new(&topo, Routing::Layered(&tables), SimConfig::default());
-//! sim.add_flows(&flows);
-//! let result = sim.run();
+//!
+//! // FatPaths layered routing over the purified transport.
+//! let result = Scenario::on(&topo)
+//!     .scheme(SchemeSpec::LayeredRandom { n_layers: 6, rho: 0.6 })
+//!     .transport(Transport::ndp_default())
+//!     .workload(&flows)
+//!     .seed(1)
+//!     .run();
 //! assert_eq!(result.completion_rate(), 1.0);
+//!
+//! // Swap a single line to simulate any baseline instead:
+//! let spain = Scenario::on(&topo)
+//!     .scheme(SchemeSpec::Spain { k_paths: 3 })
+//!     .workload(&flows)
+//!     .seed(1)
+//!     .run();
+//! assert_eq!(spain.completion_rate(), 1.0);
 //! ```
+//!
+//! For full control (custom schemes, MPTCP, link failures), construct the
+//! [`Simulator`](sim::Simulator) directly with any
+//! [`RoutingScheme`](core::scheme::RoutingScheme) implementation.
 
 pub use fatpaths_core as core;
 pub use fatpaths_diversity as diversity;
@@ -59,10 +96,16 @@ pub mod prelude {
     pub use fatpaths_core::fwd::RoutingTables;
     pub use fatpaths_core::interference_min::{build_interference_min_layers, ImConfig};
     pub use fatpaths_core::layers::{build_random_layers, LayerConfig, LayerSet};
+    pub use fatpaths_core::past::PastVariant;
+    pub use fatpaths_core::scheme::{
+        KspConfig, KspScheme, MinimalScheme, PastScheme, PortSet, RoutingScheme, SpainScheme,
+        ValiantScheme,
+    };
     pub use fatpaths_net::classes::{build, SizeClass};
     pub use fatpaths_net::topo::{TopoKind, Topology};
     pub use fatpaths_sim::{
-        LoadBalancing, Routing, SimConfig, SimResult, Simulator, TcpVariant, Transport,
+        BuiltScheme, LoadBalancing, Scenario, SchemeSpec, SimConfig, SimResult, Simulator,
+        TcpVariant, Transport,
     };
     pub use fatpaths_workloads::arrivals::FlowSpec;
     pub use fatpaths_workloads::patterns::Pattern;

@@ -8,7 +8,7 @@ use fatpaths::mcf::worstcase::worst_case_flows;
 use fatpaths::net::cost::cost_per_endpoint;
 use fatpaths::prelude::*;
 use fatpaths::sim::metrics::mean;
-use fatpaths::workloads::{poisson_flows, random_mapping, apply_mapping};
+use fatpaths::workloads::{apply_mapping, poisson_flows, random_mapping};
 
 /// The paper's §IV headline on the canonical SF instance: one shortest
 /// path for most pairs, but ≥3 disjoint almost-minimal paths.
@@ -36,7 +36,10 @@ fn shortest_paths_fall_short_but_almost_shortest_do_not() {
             }
         }
     }
-    assert!(unique * 2 > total, "most pairs should have a unique shortest path");
+    assert!(
+        unique * 2 > total,
+        "most pairs should have a unique shortest path"
+    );
     assert!(
         enough_nonminimal * 10 >= total * 9,
         "almost all pairs should have ≥3 disjoint almost-minimal paths"
@@ -57,18 +60,21 @@ fn adversarial_pipeline_fatpaths_wins() {
             src: e as u32,
             dst: ((e + offset) % n) as u32,
             size: 128 * 1024,
-            start: (e * 50_000) as u64,
+            start: (e * 50_000),
         })
         .collect();
-    let run = |layers: &LayerSet| {
-        let tables = RoutingTables::build(&topo.graph, layers);
-        let cfg = SimConfig { lb: LoadBalancing::FatPathsLayers, ..SimConfig::default() };
-        let mut sim = Simulator::new(&topo, Routing::Layered(&tables), cfg);
-        sim.add_flows(&flows);
-        sim.run()
+    let run = |spec: SchemeSpec| {
+        Scenario::on(&topo)
+            .scheme(spec)
+            .workload(&flows)
+            .seed(1)
+            .run()
     };
-    let minimal = run(&LayerSet::minimal_only(&topo.graph));
-    let layered = run(&build_random_layers(&topo.graph, &LayerConfig::new(9, 0.6, 3)));
+    let minimal = run(SchemeSpec::LayeredMinimal);
+    let layered = run(SchemeSpec::LayeredRandom {
+        n_layers: 9,
+        rho: 0.6,
+    });
     assert_eq!(minimal.completion_rate(), 1.0);
     assert_eq!(layered.completion_rate(), 1.0);
     let (m_min, m_fat) = (mean(&minimal.fcts(None)), mean(&layered.fcts(None)));
@@ -89,21 +95,29 @@ fn workload_randomization_helps() {
     let pairs: Vec<(u32, u32)> = (0..n).map(|e| (e, (e + offset) % n)).collect();
     let mapped = apply_mapping(&random_mapping(n, 5), &pairs);
     let run = |pairs: &[(u32, u32)]| {
-        let dm = DistanceMatrix::build(&topo.graph);
         let flows: Vec<FlowSpec> = pairs
             .iter()
             .filter(|(s, d)| topo.endpoint_router(*s) != topo.endpoint_router(*d))
-            .map(|&(s, d)| FlowSpec { src: s, dst: d, size: 128 * 1024, start: 0 })
+            .map(|&(s, d)| FlowSpec {
+                src: s,
+                dst: d,
+                size: 128 * 1024,
+                start: 0,
+            })
             .collect();
-        let cfg = SimConfig { lb: LoadBalancing::EcmpFlow, ..SimConfig::default() };
-        let mut sim = Simulator::new(&topo, Routing::Minimal(&dm), cfg);
-        sim.add_flows(&flows);
-        sim.run()
+        Scenario::on(&topo)
+            .scheme(SchemeSpec::Minimal)
+            .lb(LoadBalancing::EcmpFlow)
+            .workload(&flows)
+            .run()
     };
     let aligned = run(&pairs);
     let randomized = run(&mapped);
     let (fa, fr) = (mean(&aligned.fcts(None)), mean(&randomized.fcts(None)));
-    assert!(fr < fa, "randomized mapping {fr} not faster than aligned {fa}");
+    assert!(
+        fr < fa,
+        "randomized mapping {fr} not faster than aligned {fa}"
+    );
 }
 
 /// §VI: layered FatPaths routing achieves higher MAT than PAST under
@@ -115,10 +129,22 @@ fn mat_pipeline_fatpaths_beats_past() {
     let demands = router_demands(&flows, |e| topo.endpoint_router(e));
     let layers = build_interference_min_layers(
         &topo.graph,
-        &ImConfig { n_layers: 6, seed: 4, ..ImConfig::default() },
+        &ImConfig {
+            n_layers: 6,
+            seed: 4,
+            ..ImConfig::default()
+        },
     );
     let tables = RoutingTables::build(&topo.graph, &layers);
-    let fat = mat(&topo.graph, &demands, &LayeredPaths { base: &topo.graph, tables: &tables }, 0.08);
+    let fat = mat(
+        &topo.graph,
+        &demands,
+        &LayeredPaths {
+            base: &topo.graph,
+            tables: &tables,
+        },
+        0.08,
+    );
     let trees = fatpaths::core::past::PastTrees::build(
         &topo.graph,
         fatpaths::core::past::PastVariant::Bfs,
@@ -155,16 +181,19 @@ fn all_topologies_run_both_transports() {
             .collect();
         let dist = FlowSizeDist::web_search();
         let flows = poisson_flows(&pairs, 100.0, 0.002, &dist, 7);
-        let (_, tables) = {
-            let ls = build_random_layers(&topo.graph, &LayerConfig::new(4, 0.7, 5));
-            let rt = RoutingTables::build(&topo.graph, &ls);
-            (ls, rt)
-        };
-        for transport in [Transport::ndp_default(), Transport::tcp_default(TcpVariant::Dctcp)] {
-            let cfg = SimConfig { transport, lb: LoadBalancing::FatPathsLayers, ..SimConfig::default() };
-            let mut sim = Simulator::new(&topo, Routing::Layered(&tables), cfg);
-            sim.add_flows(&flows);
-            let res = sim.run();
+        let sc = Scenario::on(&topo)
+            .scheme(SchemeSpec::LayeredRandom {
+                n_layers: 4,
+                rho: 0.7,
+            })
+            .workload(&flows)
+            .seed(5);
+        let scheme = sc.build_scheme();
+        for transport in [
+            Transport::ndp_default(),
+            Transport::tcp_default(TcpVariant::Dctcp),
+        ] {
+            let res = sc.clone().transport(transport).run_with(&scheme);
             assert_eq!(res.completion_rate(), 1.0, "{kind:?} {transport:?}");
         }
     }
@@ -174,13 +203,60 @@ fn all_topologies_run_both_transports() {
 #[test]
 fn prelude_quickstart_compiles_and_runs() {
     let topo = fatpaths::net::topo::slimfly::slim_fly(5, 3).unwrap();
-    let layers = build_random_layers(&topo.graph, &LayerConfig::new(6, 0.6, 1));
-    let tables = RoutingTables::build(&topo.graph, &layers);
     let flows: Vec<FlowSpec> = (0..topo.num_endpoints() as u32 / 2)
-        .map(|e| FlowSpec { src: e, dst: e + 75, size: 64 * 1024, start: 0 })
+        .map(|e| FlowSpec {
+            src: e,
+            dst: e + 75,
+            size: 64 * 1024,
+            start: 0,
+        })
         .collect();
-    let mut sim = Simulator::new(&topo, Routing::Layered(&tables), SimConfig::default());
-    sim.add_flows(&flows);
-    let result = sim.run();
+    let result = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredRandom {
+            n_layers: 6,
+            rho: 0.6,
+        })
+        .transport(Transport::ndp_default())
+        .workload(&flows)
+        .seed(1)
+        .run();
     assert_eq!(result.completion_rate(), 1.0);
+}
+
+/// Every §VII baseline — including the four previously theory-only ones —
+/// runs through the same simulator on the same workload (the tentpole
+/// promise of the `RoutingScheme` redesign, exercised from the facade).
+#[test]
+fn all_baselines_simulate_through_one_api() {
+    let topo = fatpaths::net::topo::slimfly::slim_fly(5, 2).unwrap();
+    let n = topo.num_endpoints() as u64;
+    let flows: Vec<FlowSpec> = (0..n)
+        .map(|e| FlowSpec {
+            src: e as u32,
+            dst: ((e + 31) % n) as u32,
+            size: 48 * 1024,
+            start: 0,
+        })
+        .filter(|f| topo.endpoint_router(f.src) != topo.endpoint_router(f.dst))
+        .collect();
+    for spec in [
+        SchemeSpec::LayeredRandom {
+            n_layers: 4,
+            rho: 0.6,
+        },
+        SchemeSpec::Minimal,
+        SchemeSpec::Spain { k_paths: 2 },
+        SchemeSpec::Past {
+            variant: PastVariant::Bfs,
+        },
+        SchemeSpec::Ksp { k: 3 },
+        SchemeSpec::Valiant { n_layers: 4 },
+    ] {
+        let res = Scenario::on(&topo)
+            .scheme(spec)
+            .workload(&flows)
+            .seed(4)
+            .run();
+        assert_eq!(res.completion_rate(), 1.0, "{} failed", spec.label());
+    }
 }
