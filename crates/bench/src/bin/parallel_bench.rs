@@ -1,0 +1,159 @@
+//! Parallel-execution trajectory benchmark: times the three pool-bound
+//! pipeline stages — APSP, layered routing-table construction, and a
+//! scenario-grid sweep — at 1, 2, and N threads, and writes the results
+//! to `BENCH_parallel.json` so future PRs have a perf baseline to
+//! compare against.
+//!
+//! The pool size is fixed at process start, so the harness re-executes
+//! itself once per (stage, threads) cell with `FATPATHS_THREADS` set,
+//! parses the child's wall-clock, and assembles the JSON:
+//!
+//! ```text
+//! parallel_bench                 # writes BENCH_parallel.json (cwd)
+//! parallel_bench --stage apsp    # child mode: prints seconds to stdout
+//! ```
+
+use fatpaths_core::fwd::RoutingTables;
+use fatpaths_core::layers::{build_random_layers, LayerConfig};
+use fatpaths_diversity::apsp::shortest_path_stats;
+use fatpaths_net::topo::slimfly::slim_fly;
+use fatpaths_sim::{Scenario, SchemeSpec, SweepRunner};
+use fatpaths_workloads::arrivals::FlowSpec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Stages measured, in report order.
+const STAGES: [&str; 3] = ["apsp", "layer_build", "sweep"];
+
+/// Runs one stage and returns its wall-clock seconds.
+fn run_stage(stage: &str) -> f64 {
+    match stage {
+        "apsp" => {
+            // §IV-B1 statistics on a Large-class Slim Fly (~80k
+            // endpoints): one BFS per source, fanned out on the pool.
+            let t = fatpaths_net::classes::build(
+                fatpaths_net::topo::TopoKind::SlimFly,
+                fatpaths_net::classes::SizeClass::Large,
+                1,
+            );
+            let start = Instant::now();
+            let stats = shortest_path_stats(&t.graph);
+            assert_eq!(stats.diameter, 2);
+            start.elapsed().as_secs_f64()
+        }
+        "layer_build" => {
+            // The paper's headline configuration on a Medium-class Slim
+            // Fly: 9 random layers + full per-(layer, destination) tables.
+            let t = fatpaths_net::classes::build(
+                fatpaths_net::topo::TopoKind::SlimFly,
+                fatpaths_net::classes::SizeClass::Medium,
+                1,
+            );
+            let ls = build_random_layers(&t.graph, &LayerConfig::new(9, 0.6, 7));
+            let start = Instant::now();
+            let rt = RoutingTables::build(&t.graph, &ls);
+            assert_eq!(rt.n_layers(), 9);
+            start.elapsed().as_secs_f64()
+        }
+        "sweep" => {
+            // A miniature baselines-style grid: 4 schemes × 4 permutation
+            // offsets, each cell a scheme build + packet simulation.
+            let t = slim_fly(5, 2).unwrap();
+            let n = t.num_endpoints() as u64;
+            let specs = [
+                SchemeSpec::LayeredRandom {
+                    n_layers: 4,
+                    rho: 0.6,
+                },
+                SchemeSpec::Minimal,
+                SchemeSpec::Ksp { k: 3 },
+                SchemeSpec::Valiant { n_layers: 4 },
+            ];
+            let mut cells = Vec::new();
+            for si in 0..specs.len() {
+                for offset in [21u64, 33, 47, 61] {
+                    cells.push((si, offset));
+                }
+            }
+            let start = Instant::now();
+            let results = SweepRunner::new("bench-sweep", cells).run(|_, &(si, offset)| {
+                let flows: Vec<FlowSpec> = (0..n)
+                    .map(|e| FlowSpec {
+                        src: e as u32,
+                        dst: ((e + offset) % n) as u32,
+                        size: 192 * 1024,
+                        start: 0,
+                    })
+                    .filter(|f| t.endpoint_router(f.src) != t.endpoint_router(f.dst))
+                    .collect();
+                Scenario::on(&t)
+                    .scheme(specs[si])
+                    .workload(&flows)
+                    .seed(2)
+                    .run()
+                    .completion_rate()
+            });
+            assert!(results.iter().all(|&r| r == 1.0));
+            start.elapsed().as_secs_f64()
+        }
+        other => panic!("unknown stage '{other}'"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--stage") {
+        let stage = args.get(pos + 1).expect("--stage needs a name");
+        println!("{:.6}", run_stage(stage));
+        return;
+    }
+
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, machine];
+    thread_counts.dedup();
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"parallel_bench\",");
+    let _ = writeln!(json, "  \"machine_threads\": {machine},");
+    let _ = writeln!(json, "  \"wall_clock_seconds\": {{");
+    for (si, stage) in STAGES.iter().enumerate() {
+        let _ = write!(json, "    \"{stage}\": {{");
+        for (ti, &threads) in thread_counts.iter().enumerate() {
+            let out = std::process::Command::new(&exe)
+                .args(["--stage", stage])
+                .env("FATPATHS_THREADS", threads.to_string())
+                .output()
+                .expect("spawn child bench");
+            assert!(
+                out.status.success(),
+                "stage {stage} at {threads} threads failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let secs: f64 = String::from_utf8_lossy(&out.stdout)
+                .trim()
+                .parse()
+                .expect("child printed seconds");
+            eprintln!("{stage:<12} threads={threads}: {secs:.3}s");
+            let sep = if ti + 1 < thread_counts.len() {
+                ", "
+            } else {
+                ""
+            };
+            let _ = write!(json, "\"{threads}\": {secs:.6}{sep}");
+        }
+        let sep = if si + 1 < STAGES.len() { "," } else { "" };
+        let _ = writeln!(json, "}}{sep}");
+    }
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    let path = std::env::var("FATPATHS_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_parallel.json");
+    eprintln!("→ {path}");
+    print!("{json}");
+}

@@ -46,24 +46,33 @@ pub fn fnv1a(key: u64) -> u64 {
 impl RoutingTables {
     /// Builds tables for all layers. `base` must be the graph the layers
     /// were sampled from (ports refer to it).
+    ///
+    /// All `(layer, destination)` rows are filled in one flat parallel
+    /// pass across the entire layer vector — rather than layer by layer —
+    /// so thread utilization stays high even when the per-layer row count
+    /// is small relative to the pool.
     pub fn build(base: &Graph, layers: &LayerSet) -> Self {
         let nr = base.n();
-        let mut tables = Vec::with_capacity(layers.len());
-        let mut dists = Vec::with_capacity(layers.len());
-        for (li, lg) in layers.graphs.iter().enumerate() {
+        for lg in &layers.graphs {
             assert_eq!(lg.n(), nr, "layer router count mismatch");
-            let mut table = vec![NO_PORT; nr * nr];
-            let mut dmat = vec![u8::MAX; nr * nr];
-            table
-                .par_chunks_mut(nr)
-                .zip(dmat.par_chunks_mut(nr))
-                .enumerate()
-                .for_each(|(dst, (trow, drow))| {
-                    fill_destination(base, lg, li as u32, dst as u32, trow, drow);
-                });
-            tables.push(table);
-            dists.push(dmat);
         }
+        let mut tables: Vec<Vec<u16>> = (0..layers.len()).map(|_| vec![NO_PORT; nr * nr]).collect();
+        let mut dists: Vec<Vec<u8>> = (0..layers.len()).map(|_| vec![u8::MAX; nr * nr]).collect();
+        let rows: Vec<(usize, usize, &mut [u16], &mut [u8])> = tables
+            .iter_mut()
+            .zip(dists.iter_mut())
+            .enumerate()
+            .flat_map(|(li, (table, dmat))| {
+                table
+                    .chunks_mut(nr)
+                    .zip(dmat.chunks_mut(nr))
+                    .enumerate()
+                    .map(move |(dst, (trow, drow))| (li, dst, trow, drow))
+            })
+            .collect();
+        rows.into_par_iter().for_each(|(li, dst, trow, drow)| {
+            fill_destination(base, layers.layer(li), li as u32, dst as u32, trow, drow);
+        });
         RoutingTables { nr, tables, dists }
     }
 

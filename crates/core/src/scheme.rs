@@ -347,7 +347,8 @@ pub struct KspScheme {
 }
 
 impl KspScheme {
-    /// Runs Yen's algorithm over the (sampled) pairs and compiles the
+    /// Runs Yen's algorithm over the (sampled) pairs — in parallel, one
+    /// task per pair; Yen dominates construction cost — and compiles the
     /// per-rank path unions into forwarding tables.
     pub fn build(base: &Graph, cfg: &KspConfig) -> Self {
         assert!(cfg.k >= 1, "need at least one path per pair");
@@ -360,6 +361,7 @@ impl KspScheme {
         } else {
             total_pairs.div_ceil(cfg.max_pairs)
         };
+        let mut sampled: Vec<(u32, u32)> = Vec::new();
         let mut idx = 0usize;
         for s in 0..nr as u32 {
             for d in 0..nr as u32 {
@@ -367,16 +369,23 @@ impl KspScheme {
                     continue;
                 }
                 idx += 1;
-                if !idx.is_multiple_of(stride) {
-                    continue;
+                if idx.is_multiple_of(stride) {
+                    sampled.push((s, d));
                 }
-                let paths = k_shortest_paths(base, s, d, cfg.k);
-                for (i, set) in edge_sets.iter_mut().enumerate() {
-                    // Rank i path, or the longest available one.
-                    let p = paths.get(i).or(paths.last()).unwrap();
-                    for w in p.windows(2) {
-                        set.insert((w[0].min(w[1]), w[0].max(w[1])));
-                    }
+            }
+        }
+        use rayon::prelude::*;
+        let per_pair: Vec<Vec<Vec<u32>>> = sampled
+            .into_par_iter()
+            .map(|(s, d)| k_shortest_paths(base, s, d, cfg.k))
+            .collect();
+        // Union the rank-i paths sequentially (pair order, deterministic).
+        for paths in &per_pair {
+            for (i, set) in edge_sets.iter_mut().enumerate() {
+                // Rank i path, or the longest available one.
+                let p = paths.get(i).or(paths.last()).unwrap();
+                for w in p.windows(2) {
+                    set.insert((w[0].min(w[1]), w[0].max(w[1])));
                 }
             }
         }

@@ -5,13 +5,19 @@
 //! topologies. This is the experiment the `RoutingScheme` trait exists
 //! for: before it, SPAIN/PAST/KSP/VLB could only be scored by static
 //! theory figures (Fig. 9), never run through the event loop.
+//!
+//! The (topology × scheme) grid runs as a parallel [`SweepRunner`]
+//! sweep; [`baselines_matrix`] returns the CSV and summary as strings so
+//! the parity suite can assert byte equality between pooled and
+//! single-threaded execution.
 
-use crate::common::{f, label, pattern_workload, post_warmup, write_summary, Csv};
+use crate::common::{f, label, pattern_workload, post_warmup, write_summary, write_text};
 use fatpaths_core::past::PastVariant;
 use fatpaths_net::classes::{build, SizeClass};
-use fatpaths_net::topo::TopoKind;
+use fatpaths_net::topo::{TopoKind, Topology};
 use fatpaths_sim::metrics::{mean, percentile};
-use fatpaths_sim::{LoadBalancing, Scenario, SchemeSpec};
+use fatpaths_sim::{LoadBalancing, Scenario, SchemeSpec, SweepRunner};
+use fatpaths_workloads::arrivals::FlowSpec;
 use fatpaths_workloads::patterns::adversarial_for;
 use std::io;
 
@@ -46,79 +52,129 @@ fn matrix() -> Vec<(&'static str, SchemeSpec, Option<LoadBalancing>)> {
     ]
 }
 
-/// Runs the matrix on the small-class SF, DF, and FT3 under the skewed
-/// adversarial workload (the regime where scheme differences are
-/// starkest, Fig. 11) with the NDP transport.
-pub fn baselines(quick: bool) -> io::Result<()> {
-    let window = if quick { 0.003 } else { 0.006 };
+/// CSV header of the matrix artifact.
+const HEADER: &str =
+    "topology,scheme,layers,completion_rate,fct_mean_ms,fct_p50_ms,fct_p99_ms,trims,retx_total";
+
+/// Metrics of one (topology, scheme) cell, ready for ordered assembly.
+struct CellResult {
+    csv_row: String,
+    summary_line_parts: (String, usize, f64, f64),
+}
+
+/// Runs the full matrix on the evaluation-size SF/DF/FT3 set at the
+/// given injection window; see [`baselines_matrix_on`].
+pub fn baselines_matrix(window: f64) -> (String, String) {
     let kinds = [TopoKind::SlimFly, TopoKind::Dragonfly, TopoKind::FatTree];
-    let mut csv = Csv::new(
-        "baselines_matrix",
-        &[
-            "topology",
-            "scheme",
-            "layers",
-            "completion_rate",
-            "fct_mean_ms",
-            "fct_p50_ms",
-            "fct_p99_ms",
-            "trims",
-            "retx_total",
-        ],
-    )?;
-    let mut summary =
-        String::from("Baselines — every scheme packet-simulated, identical transport/workload\n");
-    for kind in kinds {
-        let topo = build(kind, SizeClass::Small, 1);
+    let topos = SweepRunner::new("baselines-topos", kinds.to_vec())
+        .run(|_, &kind| build(kind, SizeClass::Small, 1));
+    baselines_matrix_on(topos, window)
+}
+
+/// Runs the full scheme matrix on the given topologies and returns
+/// `(csv_text, summary_text)`. Deterministic for any thread count: the
+/// grid goes through [`SweepRunner`], and all output is assembled in
+/// grid order after the parallel phase. The parity suite calls this with
+/// miniature SF/DF/FT3 instances to pin thread-count invariance cheaply.
+pub fn baselines_matrix_on(topos: Vec<Topology>, window: f64) -> (String, String) {
+    // Per-topology prep (the shared adversarial workload), in parallel.
+    let prep_cells: Vec<usize> = (0..topos.len()).collect();
+    let prep = SweepRunner::new("baselines-prep", prep_cells).run(|_, &ti| {
+        let topo = topos[ti].clone();
         let p = topo.concentration.iter().copied().max().unwrap();
         let pattern = adversarial_for(p, topo.num_routers() as u32);
         let flows = pattern_workload(&topo, &pattern, 150.0, window, false, 23);
+        (topo, flows)
+    });
+    let specs = matrix();
+    // The (topology × scheme) grid itself.
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for ti in 0..prep.len() {
+        for si in 0..specs.len() {
+            cells.push((ti, si));
+        }
+    }
+    let results = SweepRunner::new("baselines", cells).run(|_, &(ti, si)| {
+        let (topo, flows): &(Topology, Vec<FlowSpec>) = &prep[ti];
+        let (name, spec, lb) = specs[si];
+        let mut sc = Scenario::on(topo).scheme(spec).workload(flows).seed(5);
+        if let Some(lb) = lb {
+            sc = sc.lb(lb);
+        }
+        let scheme = sc.build_scheme();
+        let layers = fatpaths_sim::RoutingScheme::num_layers(&scheme);
+        let res = post_warmup(&sc.run_with(&scheme), window);
+        let fcts = res.fcts(None);
+        let retx: u64 = res.flows.iter().map(|fl| fl.retx as u64).sum();
+        let csv_row = [
+            label(topo),
+            name.to_string(),
+            layers.to_string(),
+            f(res.completion_rate()),
+            f(mean(&fcts) * 1e3),
+            f(percentile(&fcts, 50.0) * 1e3),
+            f(percentile(&fcts, 99.0) * 1e3),
+            res.trims.to_string(),
+            retx.to_string(),
+        ]
+        .join(",");
+        CellResult {
+            csv_row,
+            summary_line_parts: (
+                name.to_string(),
+                layers,
+                mean(&fcts),
+                percentile(&fcts, 99.0),
+            ),
+        }
+    });
+    // Ordered assembly: rows in grid order, summaries grouped per topology
+    // with the fatpaths cell of that topology as the speedup reference.
+    let mut csv = String::from(HEADER);
+    csv.push('\n');
+    let mut summary =
+        String::from("Baselines — every scheme packet-simulated, identical transport/workload\n");
+    for (ti, (topo, flows)) in prep.iter().enumerate() {
         summary.push_str(&format!(
             "-- {} ({} endpoints, {} flows) --\n",
-            label(&topo),
+            label(topo),
             topo.num_endpoints(),
             flows.len()
         ));
-        let mut fat_mean = f64::NAN;
-        for (name, spec, lb) in matrix() {
-            let mut sc = Scenario::on(&topo).scheme(spec).workload(&flows).seed(5);
-            if let Some(lb) = lb {
-                sc = sc.lb(lb);
-            }
-            let scheme = sc.build_scheme();
-            let layers = fatpaths_sim::RoutingScheme::num_layers(&scheme);
-            let res = post_warmup(&sc.run_with(&scheme), window);
-            let fcts = res.fcts(None);
-            let retx: u64 = res.flows.iter().map(|fl| fl.retx as u64).sum();
-            csv.row(&[
-                label(&topo),
-                name.to_string(),
-                layers.to_string(),
-                f(res.completion_rate()),
-                f(mean(&fcts) * 1e3),
-                f(percentile(&fcts, 50.0) * 1e3),
-                f(percentile(&fcts, 99.0) * 1e3),
-                res.trims.to_string(),
-                retx.to_string(),
-            ])?;
-            if name == "fatpaths" {
-                fat_mean = mean(&fcts);
-            }
+        let group = &results[ti * specs.len()..(ti + 1) * specs.len()];
+        let fat_idx = specs
+            .iter()
+            .position(|(n, ..)| *n == "fatpaths")
+            .expect("matrix must contain the fatpaths reference scheme");
+        let fat_mean = group[fat_idx].summary_line_parts.2;
+        for cell in group {
+            csv.push_str(&cell.csv_row);
+            csv.push('\n');
+            let (name, layers, fct_mean, fct_p99) = &cell.summary_line_parts;
             summary.push_str(&format!(
                 "{:<9} layers={:<4} mean {:>7.3} ms  p99 {:>8.3} ms  ({:.2}x fatpaths)\n",
                 name,
                 layers,
-                mean(&fcts) * 1e3,
-                percentile(&fcts, 99.0) * 1e3,
-                mean(&fcts) / fat_mean
+                fct_mean * 1e3,
+                fct_p99 * 1e3,
+                fct_mean / fat_mean
             ));
         }
     }
-    csv.finish()?;
     summary.push_str(
         "Paper (§VII, Fig. 11/14): layered routing leads on the low-diameter networks;\n\
          SPAIN/PAST pay for tree-restricted paths, VLB pays double path length,\n\
          and the minimal-path family only competes where diversity exists (FT3).\n",
     );
+    (csv, summary)
+}
+
+/// Runs the matrix on the small-class SF, DF, and FT3 under the skewed
+/// adversarial workload (the regime where scheme differences are
+/// starkest, Fig. 11) with the NDP transport.
+pub fn baselines(quick: bool) -> io::Result<()> {
+    let window = if quick { 0.003 } else { 0.006 };
+    let (csv, summary) = baselines_matrix(window);
+    write_text("baselines_matrix.csv", &csv)?;
     write_summary("baselines_matrix", &summary)
 }

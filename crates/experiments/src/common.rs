@@ -108,6 +108,14 @@ pub fn post_warmup(result: &SimResult, window_s: f64) -> SimResult {
     }
 }
 
+/// Writes a fully assembled artifact (e.g. the CSV text a parallel
+/// sweep produced in memory) under `results/<name>`.
+pub fn write_text(name: &str, text: &str) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(name);
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
 /// Writes a short text summary next to the CSVs.
 pub fn write_summary(name: &str, text: &str) -> io::Result<()> {
     let path = results_dir()?.join(format!("{name}.txt"));

@@ -34,18 +34,28 @@ pub fn fig13_packet(quick: bool) -> io::Result<()> {
     )?;
     let mut hist_csv = Csv::new("fig13_large_fct_hist", &["topology", "fct_ms_bin", "count"])?;
     let mut summary = String::from("Fig. 13 (packet) — large-scale throughput and FCTs\n");
-    for topo in [&sf, &sfjf, &df] {
-        let n_layers = 4; // memory-conscious at Nr ≈ 3–7k (§VII-C uses 4 too)
-        let flows = pattern_workload(topo, &Pattern::Permutation, 300.0, window, true, 13);
-        let res = post_warmup(
-            &Scenario::on(topo)
-                .scheme(SchemeSpec::LayeredRandom { n_layers, rho: 0.6 })
-                .workload(&flows)
-                .seed(3)
-                .run(),
-            window,
-        );
-        let groups = throughput_by_size(&res);
+    // This is the one memory-bound experiment (per-topology tables are
+    // hundreds of MB at Nr ≈ 3–7k), so topologies run sequentially to
+    // keep peak memory at one topology's worth; parallelism comes from
+    // the stages *inside* each run (table builds, per-destination BFS).
+    let topos = [&sf, &sfjf, &df];
+    let results: Vec<_> = topos
+        .iter()
+        .map(|topo| {
+            let n_layers = 4; // memory-conscious at Nr ≈ 3–7k (§VII-C uses 4 too)
+            let flows = pattern_workload(topo, &Pattern::Permutation, 300.0, window, true, 13);
+            post_warmup(
+                &Scenario::on(topo)
+                    .scheme(SchemeSpec::LayeredRandom { n_layers, rho: 0.6 })
+                    .workload(&flows)
+                    .seed(3)
+                    .run(),
+                window,
+            )
+        })
+        .collect();
+    for (topo, res) in topos.iter().zip(&results) {
+        let groups = throughput_by_size(res);
         for &(size, m, t1, _) in &groups {
             csv.row(&[label(topo), (size / 1024).to_string(), f(m), f(t1)])?;
         }

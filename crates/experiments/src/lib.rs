@@ -1,0 +1,21 @@
+//! Experiment harnesses behind the `experiments` binary: one module per
+//! family of tables/figures from the FatPaths paper. Exposed as a
+//! library so integration tests (and benches) can run the same grid
+//! computations in-process — the parallel-vs-single-thread parity suite
+//! compares byte-for-byte CSV output of [`baselines::baselines_matrix`]
+//! under both execution modes.
+//!
+//! Every experiment sweeps its scenario grid through
+//! [`fatpaths_sim::SweepRunner`]: cells evaluate in parallel on the shim
+//! thread pool, seeds derive from cell coordinates via
+//! [`fatpaths_sim::cell_seed`], and rows/summaries are assembled in grid
+//! order — so `experiments <name>` writes bit-identical artifacts
+//! whether it runs on 1 thread or 64.
+
+pub mod baselines;
+pub mod common;
+pub mod diversity_figs;
+pub mod large_scale;
+pub mod perf_ndp;
+pub mod perf_tcp;
+pub mod theory_figs;

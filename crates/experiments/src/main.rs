@@ -7,13 +7,9 @@
 //! experiments list                   show available experiments
 //! ```
 
-mod baselines;
-mod common;
-mod diversity_figs;
-mod large_scale;
-mod perf_ndp;
-mod perf_tcp;
-mod theory_figs;
+use fatpaths_experiments::{
+    baselines, common, diversity_figs, large_scale, perf_ndp, perf_tcp, theory_figs,
+};
 
 type Runner = fn(bool) -> std::io::Result<()>;
 

@@ -2,12 +2,16 @@
 //! Fig. 2 (randomized workload, FatPaths vs NDP fat tree), Fig. 11
 //! (skewed adversarial workload), Fig. 12 (layer count × ρ sweep),
 //! Fig. 21 (λ sweep: fat tree vs crossbar baseline).
+//!
+//! Every figure's scenario grid runs as a parallel [`SweepRunner`]
+//! sweep; CSV rows and summary lines are assembled serially in grid
+//! order afterwards, so output is identical for any thread count.
 
 use crate::common::{f, label, pattern_workload, post_warmup, topo_set, write_summary, Csv};
 use fatpaths_net::classes::{build, SizeClass};
 use fatpaths_net::topo::{star::star, TopoKind, Topology};
 use fatpaths_sim::metrics::{mean, percentile, throughput_by_size};
-use fatpaths_sim::{LoadBalancing, Scenario, SchemeSpec, SimResult};
+use fatpaths_sim::{coord_str, LoadBalancing, Scenario, SchemeSpec, SimResult, SweepRunner};
 use fatpaths_workloads::arrivals::{poisson_flows, FlowSpec};
 use fatpaths_workloads::patterns::{adversarial_for, Pattern};
 use fatpaths_workloads::sizes::FlowSizeDist;
@@ -50,12 +54,18 @@ pub fn fig2(quick: bool) -> io::Result<()> {
         &["topology", "flow_kib", "mean_mib_s", "tail1_mib_s", "flows"],
     )?;
     let mut summary = String::from("Fig. 2 — throughput/flow (randomized workload, NDP-style)\n");
+    let topos = topo_set(class, 3);
+    // One cell per topology: workload generation + the simulation.
+    let cells: Vec<usize> = (0..topos.len()).collect();
+    let results = SweepRunner::new("fig2", cells).run(|_, &ti| {
+        let topo = &topos[ti];
+        let flows = pattern_workload(topo, &Pattern::Permutation, lambda, window, true, 9);
+        post_warmup(&run_native(topo, &flows, 4), window)
+    });
     let mut ft_mean = 0.0;
     let mut ld_best: f64 = 0.0;
-    for topo in &topo_set(class, 3) {
-        let flows = pattern_workload(topo, &Pattern::Permutation, lambda, window, true, 9);
-        let res = post_warmup(&run_native(topo, &flows, 4), window);
-        let groups = throughput_by_size(&res);
+    for (topo, res) in topos.iter().zip(&results) {
+        let groups = throughput_by_size(res);
         let mut all = Vec::new();
         for (size, m, t1, n) in &groups {
             csv.row(&[
@@ -107,33 +117,39 @@ pub fn fig11(quick: bool) -> io::Result<()> {
         ],
     )?;
     let mut summary = String::from("Fig. 11 — skewed adversarial traffic (no randomization)\n");
-    for topo in &topo_set(class, 3) {
+    let topos = topo_set(class, 3);
+    // Grid: (topology, variant) with variant 0 = FatPaths, 1 = minimal NDP.
+    let mut cells = Vec::new();
+    for ti in 0..topos.len() {
+        for vi in 0..2usize {
+            cells.push((ti, vi));
+        }
+    }
+    let results = SweepRunner::new("fig11", cells).run(|_, &(ti, vi)| {
+        let topo = &topos[ti];
         let p = topo.concentration.iter().copied().max().unwrap();
         let pattern = adversarial_for(p, topo.num_routers() as u32);
         let flows = pattern_workload(topo, &pattern, 200.0, window, false, 11);
-        // FatPaths (non-minimal multipathing).
-        let fp = post_warmup(
-            &Scenario::on(topo)
-                .scheme(SchemeSpec::LayeredRandom {
-                    n_layers: 9,
-                    rho: 0.6,
-                })
-                .workload(&flows)
-                .seed(6)
-                .run(),
-            window,
-        );
-        // Baseline: NDP on minimal paths (packet spraying, no layers).
-        let base = post_warmup(
-            &Scenario::on(topo)
-                .scheme(SchemeSpec::Minimal)
+        let sc = Scenario::on(topo).workload(&flows).seed(6);
+        let res = if vi == 0 {
+            // FatPaths (non-minimal multipathing).
+            sc.scheme(SchemeSpec::LayeredRandom {
+                n_layers: 9,
+                rho: 0.6,
+            })
+            .run()
+        } else {
+            // Baseline: NDP on minimal paths (packet spraying, no layers).
+            sc.scheme(SchemeSpec::Minimal)
                 .lb(LoadBalancing::PacketSpray)
-                .workload(&flows)
-                .seed(6)
-                .run(),
-            window,
-        );
-        for (scheme, res) in [("fatpaths", &fp), ("ndp_minimal", &base)] {
+                .run()
+        };
+        post_warmup(&res, window)
+    });
+    for (ti, topo) in topos.iter().enumerate() {
+        let fp = &results[ti * 2];
+        let base = &results[ti * 2 + 1];
+        for (scheme, res) in [("fatpaths", fp), ("ndp_minimal", base)] {
             for (size, m, t1, _) in throughput_by_size(res) {
                 csv.row(&[
                     label(topo),
@@ -190,29 +206,55 @@ pub fn fig12(quick: bool) -> io::Result<()> {
         ],
     )?;
     let mut summary = String::from("Fig. 12 — FCT vs (n, ρ), 1 MiB flows\n");
-    for topo in &topos {
-        // Adversarial aligned traffic: the collision resolver's stress test.
+    // Shared per-topology adversarial workload.
+    let prep_cells: Vec<usize> = (0..topos.len()).collect();
+    let flows_per_topo = SweepRunner::new("fig12-prep", prep_cells).run(|_, &ti| {
+        let topo = &topos[ti];
         let p = topo.concentration.iter().copied().max().unwrap();
         let pattern = adversarial_for(p, topo.num_routers() as u32);
         let pairs = pattern.flows(topo.num_endpoints() as u64, 1);
         let dist = FlowSizeDist::fixed(1 << 20);
-        let flows = poisson_flows(&pairs, 100.0, window, &dist, 2);
+        poisson_flows(&pairs, 100.0, window, &dist, 2)
+    });
+    // Grid: (topology, n, ρ); the scenario seed (layer sampling) derives
+    // from the cell coordinates — the topology coordinate is its *label*,
+    // not its grid position, so seeds survive reordering/filtering of the
+    // topology set — and each (n, ρ) point gets a decorrelated layer
+    // sample regardless of sweep order or thread count.
+    let mut cells: Vec<(usize, usize, f64)> = Vec::new();
+    for ti in 0..topos.len() {
         for &n in ns {
             for rho in rhos {
-                let res = post_warmup(
-                    &Scenario::on(topo)
-                        .scheme(SchemeSpec::LayeredRandom { n_layers: n, rho })
-                        .workload(&flows)
-                        .seed(7)
-                        .run(),
-                    window,
-                );
-                let fcts = res.fcts(None);
-                let row = (
-                    mean(&fcts) * 1e3,
-                    percentile(&fcts, 10.0) * 1e3,
-                    percentile(&fcts, 99.0) * 1e3,
-                );
+                cells.push((ti, n, rho));
+            }
+        }
+    }
+    let runner = SweepRunner::new("fig12", cells);
+    let results = runner.run_seeded(
+        |&(ti, n, rho)| vec![coord_str(&label(&topos[ti])), n as u64, rho.to_bits()],
+        |_, &(ti, n, rho), seed| {
+            let res = post_warmup(
+                &Scenario::on(&topos[ti])
+                    .scheme(SchemeSpec::LayeredRandom { n_layers: n, rho })
+                    .workload(&flows_per_topo[ti])
+                    .seed(seed)
+                    .run(),
+                window,
+            );
+            let fcts = res.fcts(None);
+            (
+                mean(&fcts) * 1e3,
+                percentile(&fcts, 10.0) * 1e3,
+                percentile(&fcts, 99.0) * 1e3,
+            )
+        },
+    );
+    let mut i = 0;
+    for topo in &topos {
+        for &n in ns {
+            for rho in rhos {
+                let row = results[i];
+                i += 1;
                 csv.row(&[
                     label(topo),
                     n.to_string(),
@@ -263,25 +305,38 @@ pub fn fig21(quick: bool) -> io::Result<()> {
         ],
     )?;
     let mut summary = String::from("Fig. 21 — NDP λ sweep (normalized FCT; fat tree vs star)\n");
-    for (name, topo) in [("fattree", &ft), ("star", &st)] {
+    let series = [("fattree", &ft), ("star", &st)];
+    let mut cells = Vec::new();
+    for si in 0..series.len() {
+        for &lambda in lambdas {
+            cells.push((si, lambda));
+        }
+    }
+    let results = SweepRunner::new("fig21", cells).run(|_, &(si, lambda)| {
+        let topo = series[si].1;
         let lb = if topo.kind == TopoKind::FatTree {
             LoadBalancing::PacketSpray
         } else {
             LoadBalancing::EcmpFlow
         };
+        let flows = pattern_workload(topo, &Pattern::Uniform, lambda, window, true, 21);
+        post_warmup(
+            &Scenario::on(topo)
+                .scheme(SchemeSpec::Minimal)
+                .lb(lb)
+                .workload(&flows)
+                .seed(3)
+                .run(),
+            window,
+        )
+    });
+    let mut i = 0;
+    for (name, _) in series {
         for &lambda in lambdas {
-            let flows = pattern_workload(topo, &Pattern::Uniform, lambda, window, true, 21);
-            let res = post_warmup(
-                &Scenario::on(topo)
-                    .scheme(SchemeSpec::Minimal)
-                    .lb(lb)
-                    .workload(&flows)
-                    .seed(3)
-                    .run(),
-                window,
-            );
+            let res = &results[i];
+            i += 1;
             // Normalize by the ideal line-rate FCT per size (µ=10Gb/s).
-            for (size, _grp_mean, _t1, _) in throughput_by_size(&res) {
+            for (size, _grp_mean, _t1, _) in throughput_by_size(res) {
                 let fcts: Vec<f64> = res
                     .completed()
                     .filter(|fl| fl.size == size)

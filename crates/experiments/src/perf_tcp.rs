@@ -2,12 +2,18 @@
 //! LetFlow speedups), Fig. 15 (SF long-flow FCT distribution vs queueing
 //! model), Fig. 16 (ρ sweep on TCP), Fig. 17 (stencil + barrier), Fig. 20
 //! (λ behavior on a crossbar).
+//!
+//! Scenario grids run as parallel [`SweepRunner`] sweeps with ordered
+//! post-processing (speedups against the ECMP cell of the same group are
+//! computed after the sweep, from grid-ordered results).
 
 use crate::common::{f, label, pattern_workload, post_warmup, topo_set, write_summary, Csv};
 use fatpaths_net::classes::{build, SizeClass};
 use fatpaths_net::topo::{star::star, TopoKind, Topology};
 use fatpaths_sim::metrics::{histogram, mean, percentile};
-use fatpaths_sim::{LoadBalancing, Scenario, SchemeSpec, SimResult, TcpVariant, Transport};
+use fatpaths_sim::{
+    coord_str, LoadBalancing, Scenario, SchemeSpec, SimResult, SweepRunner, TcpVariant, Transport,
+};
 use fatpaths_workloads::arrivals::poisson_flows;
 use fatpaths_workloads::patterns::Pattern;
 use fatpaths_workloads::sizes::FlowSizeDist;
@@ -16,6 +22,15 @@ use std::io;
 /// The four §VII-C comparison schemes: ECMP, LetFlow, FatPaths ρ=0.6, and
 /// FatPaths ρ=1 (minimal-path layers), all with n=4 layers.
 const SCHEMES: [&str; 4] = ["ecmp", "letflow", "fatpaths_rho06", "fatpaths_rho1"];
+
+/// Position of the ECMP reference scheme in [`SCHEMES`] — looked up by
+/// name so speedup baselines survive reordering of the scheme list.
+fn ecmp_index() -> usize {
+    SCHEMES
+        .iter()
+        .position(|&s| s == "ecmp")
+        .expect("SCHEMES must contain the ecmp reference")
+}
 
 fn run_scheme(topo: &Topology, scheme: &str, flows: &[fatpaths_workloads::FlowSpec]) -> SimResult {
     // The paper's TCP runs use ECN (§VII-A6).
@@ -69,22 +84,32 @@ pub fn fig14(quick: bool) -> io::Result<()> {
         ],
     )?;
     let mut summary = String::from("Fig. 14 — TCP FCT speedup over ECMP (n=4)\n");
-    for topo in &topo_set(class_for(quick), 3) {
-        let flows = pattern_workload(topo, &Pattern::Permutation, 200.0, window, true, 31);
-        let mut per_scheme: Vec<(String, SimResult)> = Vec::new();
-        for scheme in SCHEMES {
-            let res = post_warmup(&run_scheme(topo, scheme, &flows), window);
-            per_scheme.push((scheme.into(), res));
+    let topos = topo_set(class_for(quick), 3);
+    // Grid: (topology, scheme); the workload is shared per topology and
+    // regenerated inside the cell from the topology-indexed seed (cheap
+    // next to the simulation, and keeps cells self-contained).
+    let mut cells = Vec::new();
+    for ti in 0..topos.len() {
+        for si in 0..SCHEMES.len() {
+            cells.push((ti, si));
         }
+    }
+    let results = SweepRunner::new("fig14", cells).run(|_, &(ti, si)| {
+        let topo = &topos[ti];
+        let flows = pattern_workload(topo, &Pattern::Permutation, 200.0, window, true, 31);
+        post_warmup(&run_scheme(topo, SCHEMES[si], &flows), window)
+    });
+    for (ti, topo) in topos.iter().enumerate() {
+        let group = &results[ti * SCHEMES.len()..(ti + 1) * SCHEMES.len()];
         // Speedups relative to ECMP per size bucket.
-        let ecmp = &per_scheme[0].1;
+        let ecmp = &group[ecmp_index()];
         let sizes: Vec<u64> = {
             let mut s: Vec<u64> = ecmp.completed().map(|f| f.size).collect();
             s.sort_unstable();
             s.dedup();
             s
         };
-        for (scheme, res) in &per_scheme {
+        for (scheme, res) in SCHEMES.iter().zip(group) {
             let mut mean_sp = Vec::new();
             let mut best_tail = 0.0f64;
             for &size in &sizes {
@@ -97,7 +122,7 @@ pub fn fig14(quick: bool) -> io::Result<()> {
                 let sp_p99 = percentile(&base, 99.0) / percentile(&ours, 99.0).max(1e-12);
                 csv.row(&[
                     label(topo),
-                    scheme.clone(),
+                    scheme.to_string(),
                     (size / 1024).to_string(),
                     f(sp_mean),
                     f(sp_p99),
@@ -131,8 +156,9 @@ pub fn fig15(quick: bool) -> io::Result<()> {
     let dist = FlowSizeDist::fixed(1 << 20);
     let lambda = 150.0;
     let flows = poisson_flows(&pairs, lambda, window, &dist, 4);
-    let fp = post_warmup(&run_scheme(&topo, "fatpaths_rho06", &flows), window);
-    let ecmp = post_warmup(&run_scheme(&topo, "ecmp", &flows), window);
+    // Two independent cells: FatPaths and ECMP.
+    let runs = SweepRunner::new("fig15", vec!["fatpaths_rho06", "ecmp"])
+        .run(|_, scheme| post_warmup(&run_scheme(&topo, scheme, &flows), window));
     // Queueing prediction (see sim::queueing): M/M/1-PS sojourn for a
     // 1 MiB job at per-endpoint-link utilization ρ = λ·E[S].
     let service = (1u64 << 20) as f64 / (10e9 / 8.0);
@@ -143,7 +169,7 @@ pub fn fig15(quick: bool) -> io::Result<()> {
     let predicted = model.mm1_ps_fct(service);
     let mut csv = Csv::new("fig15_fct_dist", &["scheme", "fct_ms_bin", "count"])?;
     let mut summary = String::from("Fig. 15 — FCT distribution of 1 MiB flows on SF (TCP)\n");
-    for (scheme, res) in [("fatpaths", &fp), ("ecmp", &ecmp)] {
+    for (scheme, res) in [("fatpaths", &runs[0]), ("ecmp", &runs[1])] {
         let fcts: Vec<f64> = res.fcts(None).iter().map(|s| s * 1e3).collect();
         let hist = histogram(&fcts, 0.0, 40.0, 40);
         for (bin, &c) in hist.iter().enumerate() {
@@ -177,39 +203,63 @@ pub fn fig16(quick: bool) -> io::Result<()> {
         &["topology", "rho", "fct_mean_ms", "fct_p10_ms", "fct_p99_ms"],
     )?;
     let mut summary = String::from("Fig. 16 — ρ sweep, TCP long flows (1 MiB), n=4\n");
-    for topo in &topo_set(class_for(quick), 3) {
-        if topo.kind == TopoKind::FatTree {
-            continue; // figure covers the low-diameter set
-        }
-        let p = topo.concentration.iter().copied().max().unwrap();
-        let pattern = fatpaths_workloads::patterns::adversarial_for(p, topo.num_routers() as u32);
-        let pairs = pattern.flows(topo.num_endpoints() as u64, 2);
-        let dist = FlowSizeDist::fixed(1 << 20);
-        let flows = poisson_flows(&pairs, 100.0, window, &dist, 6);
+    let topos: Vec<Topology> = topo_set(class_for(quick), 3)
+        .into_iter()
+        .filter(|t| t.kind != TopoKind::FatTree) // figure covers the low-diameter set
+        .collect();
+    let flows_per_topo = {
+        let cells: Vec<usize> = (0..topos.len()).collect();
+        SweepRunner::new("fig16-prep", cells).run(|_, &ti| {
+            let topo = &topos[ti];
+            let p = topo.concentration.iter().copied().max().unwrap();
+            let pattern =
+                fatpaths_workloads::patterns::adversarial_for(p, topo.num_routers() as u32);
+            let pairs = pattern.flows(topo.num_endpoints() as u64, 2);
+            let dist = FlowSizeDist::fixed(1 << 20);
+            poisson_flows(&pairs, 100.0, window, &dist, 6)
+        })
+    };
+    let mut cells = Vec::new();
+    for ti in 0..topos.len() {
         for &rho in rhos {
+            cells.push((ti, rho));
+        }
+    }
+    // Layer-sampling seed from the cell coordinates; the topology
+    // coordinate is its label, so seeds survive set reordering/filtering.
+    let runner = SweepRunner::new("fig16", cells);
+    let results = runner.run_seeded(
+        |&(ti, rho)| vec![coord_str(&label(&topos[ti])), rho.to_bits()],
+        |_, &(ti, rho), seed| {
             let res = post_warmup(
-                &Scenario::on(topo)
+                &Scenario::on(&topos[ti])
                     .scheme(SchemeSpec::LayeredRandom { n_layers: 4, rho })
                     .transport(Transport::tcp_default(TcpVariant::Dctcp))
-                    .workload(&flows)
-                    .seed(7)
+                    .workload(&flows_per_topo[ti])
+                    .seed(seed)
                     .run(),
                 window,
             );
             let fcts = res.fcts(None);
-            csv.row(&[
-                label(topo),
-                f(rho),
-                f(mean(&fcts) * 1e3),
-                f(percentile(&fcts, 10.0) * 1e3),
-                f(percentile(&fcts, 99.0) * 1e3),
-            ])?;
+            (
+                mean(&fcts) * 1e3,
+                percentile(&fcts, 10.0) * 1e3,
+                percentile(&fcts, 99.0) * 1e3,
+            )
+        },
+    );
+    let mut i = 0;
+    for topo in &topos {
+        for &rho in rhos {
+            let (m, p10, p99) = results[i];
+            i += 1;
+            csv.row(&[label(topo), f(rho), f(m), f(p10), f(p99)])?;
             summary.push_str(&format!(
                 "{:<6} rho={:.1}: mean {:>7.2} ms p99 {:>8.2} ms\n",
                 label(topo),
                 rho,
-                mean(&fcts) * 1e3,
-                percentile(&fcts, 99.0) * 1e3
+                m,
+                p99
             ));
         }
     }
@@ -240,33 +290,52 @@ pub fn fig17(quick: bool) -> io::Result<()> {
         ],
     )?;
     let mut summary = String::from("Fig. 17 — stencil+barrier completion speedup\n");
-    for topo in &topo_set(class_for(quick), 3) {
-        let n = topo.num_endpoints() as u64;
-        let mapping = fatpaths_workloads::mapping::random_mapping(n as u32, 5);
-        let pairs = fatpaths_workloads::mapping::apply_mapping(
-            &mapping,
-            &Pattern::stencil_small().flows(n, 2),
-        );
-        let pairs: Vec<(u32, u32)> = pairs
-            .into_iter()
-            .filter(|&(s, d)| topo.endpoint_router(s) != topo.endpoint_router(d))
-            .collect();
+    let topos = topo_set(class_for(quick), 3);
+    // Per-topology randomized stencil pairs, shared across the grid.
+    let pairs_per_topo = {
+        let cells: Vec<usize> = (0..topos.len()).collect();
+        SweepRunner::new("fig17-prep", cells).run(|_, &ti| {
+            let topo = &topos[ti];
+            let n = topo.num_endpoints() as u64;
+            let mapping = fatpaths_workloads::mapping::random_mapping(n as u32, 5);
+            let pairs = fatpaths_workloads::mapping::apply_mapping(
+                &mapping,
+                &Pattern::stencil_small().flows(n, 2),
+            );
+            pairs
+                .into_iter()
+                .filter(|&(s, d)| topo.endpoint_router(s) != topo.endpoint_router(d))
+                .collect::<Vec<(u32, u32)>>()
+        })
+    };
+    // Grid: (topology, message size, scheme) — barrier percentile per cell.
+    let mut cells = Vec::new();
+    for ti in 0..topos.len() {
         for &msg in msg_sizes {
-            let dist = FlowSizeDist::fixed(msg);
-            let flows = poisson_flows(&pairs, 200.0, window, &dist, 6);
-            let mut base_ms = 0.0;
-            for scheme in SCHEMES {
-                let res = post_warmup(&run_scheme(topo, scheme, &flows), window);
-                // Barrier semantics: an iteration completes when its slowest
-                // exchange does — p99 FCT is the robust version of that max.
-                let ms = percentile(&res.fcts(None), 99.0) * 1e3;
-                if scheme == "ecmp" {
-                    base_ms = ms;
-                }
+            for si in 0..SCHEMES.len() {
+                cells.push((ti, msg, si));
+            }
+        }
+    }
+    let results = SweepRunner::new("fig17", cells).run(|_, &(ti, msg, si)| {
+        let dist = FlowSizeDist::fixed(msg);
+        let flows = poisson_flows(&pairs_per_topo[ti], 200.0, window, &dist, 6);
+        let res = post_warmup(&run_scheme(&topos[ti], SCHEMES[si], &flows), window);
+        // Barrier semantics: an iteration completes when its slowest
+        // exchange does — p99 FCT is the robust version of that max.
+        percentile(&res.fcts(None), 99.0) * 1e3
+    });
+    let mut i = 0;
+    for topo in &topos {
+        for &msg in msg_sizes {
+            let group = &results[i..i + SCHEMES.len()];
+            i += SCHEMES.len();
+            let base_ms = group[ecmp_index()];
+            for (scheme, &ms) in SCHEMES.iter().zip(group) {
                 let speedup = base_ms / ms.max(1e-12);
                 csv.row(&[
                     label(topo),
-                    scheme.into(),
+                    scheme.to_string(),
                     msg.to_string(),
                     f(ms),
                     f(speedup),
@@ -301,7 +370,7 @@ pub fn fig20(quick: bool) -> io::Result<()> {
         &["lambda", "fct_p10_ms", "fct_mean_ms", "fct_p90_ms", "flows"],
     )?;
     let mut summary = String::from("Fig. 20 — TCP crossbar λ sweep (2 MB flows)\n");
-    for &lambda in lambdas {
+    let results = SweepRunner::new("fig20", lambdas.to_vec()).run(|_, &lambda| {
         let pairs = Pattern::Uniform.flows(60, 3);
         let dist = FlowSizeDist::fixed(2_000_000);
         let window = 0.05;
@@ -315,19 +384,21 @@ pub fn fig20(quick: bool) -> io::Result<()> {
                 .run(),
             window,
         );
-        let fcts: Vec<f64> = res.fcts(None).iter().map(|s| s * 1e3).collect();
+        res.fcts(None).iter().map(|s| s * 1e3).collect::<Vec<f64>>()
+    });
+    for (&lambda, fcts) in lambdas.iter().zip(&results) {
         csv.row(&[
             f(lambda),
-            f(percentile(&fcts, 10.0)),
-            f(mean(&fcts)),
-            f(percentile(&fcts, 90.0)),
+            f(percentile(fcts, 10.0)),
+            f(mean(fcts)),
+            f(percentile(fcts, 90.0)),
             fcts.len().to_string(),
         ])?;
         summary.push_str(&format!(
             "λ={:<6} mean {:>8.2} ms p90 {:>8.2} ms ({} flows)\n",
             lambda,
-            mean(&fcts),
-            percentile(&fcts, 90.0),
+            mean(fcts),
+            percentile(fcts, 90.0),
             fcts.len()
         ));
     }

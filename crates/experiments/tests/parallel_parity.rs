@@ -1,0 +1,128 @@
+//! Parallel-vs-single-thread parity: the flagship guarantee of the
+//! execution layer. Extends PR 1's dispatch-parity suite (which pinned
+//! bit-identical results across static/dyn/enum dispatch) to the new
+//! axis — *thread count*. Every stage that fans out on the pool must
+//! produce byte-identical artifacts whether it runs on the 4-thread pool
+//! pinned here or inline on one thread via `rayon::run_sequential`.
+//!
+//! The headline test runs the full `baselines` matrix (all eight schemes
+//! on SF, DF, and FT3) both ways and compares the CSV and the summary
+//! byte for byte.
+
+use fatpaths_core::ecmp::DistanceMatrix;
+use fatpaths_core::fwd::RoutingTables;
+use fatpaths_core::layers::{build_random_layers, LayerConfig};
+use fatpaths_core::scheme::{KspConfig, KspScheme, RoutingScheme};
+use fatpaths_diversity::apsp::shortest_path_stats;
+use fatpaths_experiments::baselines::baselines_matrix_on;
+use fatpaths_net::topo::slimfly::slim_fly;
+use fatpaths_net::topo::Topology;
+
+/// Pin the process-global pool wide enough that the "parallel" side of
+/// every comparison really crosses threads, even on a 1-core runner.
+fn wide_pool() {
+    rayon::ensure_pool(4);
+}
+
+/// Miniature instances of the three `baselines` topologies — the same
+/// families as the real experiment (SF/DF/FT3), small enough that the
+/// 24-cell matrix runs twice within a debug test budget. Parity does
+/// not depend on instance size or on the statistics being meaningful.
+fn mini_topos() -> Vec<Topology> {
+    vec![
+        slim_fly(5, 2).unwrap(),
+        fatpaths_net::topo::dragonfly::dragonfly(3),
+        fatpaths_net::topo::fattree::fat_tree(4, 1),
+    ]
+}
+
+/// The `baselines` experiment — the full (topology × scheme) grid on
+/// SF/DF/FT3 — emits byte-identical CSV and summary text on the pool
+/// and on a single thread.
+#[test]
+fn baselines_matrix_is_bit_identical_across_thread_counts() {
+    wide_pool();
+    let window = 0.002;
+    let (csv_par, summary_par) = baselines_matrix_on(mini_topos(), window);
+    let (csv_seq, summary_seq) =
+        rayon::run_sequential(|| baselines_matrix_on(mini_topos(), window));
+    assert!(
+        csv_par == csv_seq,
+        "baselines CSV differs between pooled and single-threaded runs"
+    );
+    assert!(
+        summary_par == summary_seq,
+        "baselines summary differs between pooled and single-threaded runs"
+    );
+    // Sanity: the artifact is the real matrix, not an empty stub.
+    assert_eq!(
+        csv_par.lines().count(),
+        1 + 3 * 8,
+        "3 topologies × 8 schemes"
+    );
+}
+
+/// APSP statistics (parallel BFS fan-out per source) are identical in
+/// every field, including the f64 average, across execution modes.
+#[test]
+fn apsp_stats_parity() {
+    wide_pool();
+    let t = slim_fly(7, 1).unwrap();
+    let par = shortest_path_stats(&t.graph);
+    let seq = rayon::run_sequential(|| shortest_path_stats(&t.graph));
+    assert_eq!(par, seq);
+    assert_eq!(par.avg_path_length.to_bits(), seq.avg_path_length.to_bits());
+}
+
+/// Routing-table construction (flat parallel pass over all
+/// (layer, destination) rows) yields identical tables and distances.
+#[test]
+fn routing_table_build_parity() {
+    wide_pool();
+    let t = slim_fly(7, 1).unwrap();
+    let ls = build_random_layers(&t.graph, &LayerConfig::new(6, 0.6, 9));
+    let par = RoutingTables::build(&t.graph, &ls);
+    let seq = rayon::run_sequential(|| RoutingTables::build(&t.graph, &ls));
+    assert_eq!(par.n_layers(), seq.n_layers());
+    for layer in 0..par.n_layers() {
+        for s in 0..t.num_routers() as u32 {
+            for d in (0..t.num_routers() as u32).step_by(7) {
+                assert_eq!(par.next_port(layer, s, d), seq.next_port(layer, s, d));
+                assert_eq!(
+                    par.layer_distance(layer, s, d),
+                    seq.layer_distance(layer, s, d)
+                );
+            }
+        }
+    }
+}
+
+/// Distance-matrix and KSP scheme construction (parallel BFS rows /
+/// parallel Yen runs) agree with their single-threaded selves.
+#[test]
+fn scheme_construction_parity() {
+    wide_pool();
+    let t = slim_fly(5, 1).unwrap();
+    let dm_par = DistanceMatrix::build(&t.graph);
+    let dm_seq = rayon::run_sequential(|| DistanceMatrix::build(&t.graph));
+    for s in 0..t.num_routers() as u32 {
+        for d in 0..t.num_routers() as u32 {
+            assert_eq!(dm_par.get(s, d), dm_seq.get(s, d));
+        }
+    }
+    let cfg = KspConfig {
+        k: 3,
+        max_pairs: 400,
+    };
+    let ksp_par = KspScheme::build(&t.graph, &cfg);
+    let ksp_seq = rayon::run_sequential(|| KspScheme::build(&t.graph, &cfg));
+    for layer in 0..ksp_par.num_layers() as u8 {
+        for s in (0..t.num_routers() as u32).step_by(3) {
+            for d in (1..t.num_routers() as u32).step_by(5) {
+                let a = ksp_par.candidate_ports(layer, s, d);
+                let b = ksp_seq.candidate_ports(layer, s, d);
+                assert_eq!(a.as_slice(), b.as_slice(), "layer {layer} {s}->{d}");
+            }
+        }
+    }
+}

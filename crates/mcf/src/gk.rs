@@ -14,6 +14,49 @@
 //!
 //! The algorithm returns a `(1−O(ε))`-approximation; DESIGN.md §2.2 argues
 //! why that preserves every comparison in Fig. 9.
+//!
+//! # Parallelism
+//!
+//! GK's commodity updates within a phase are *data-dependent* — every
+//! routed increment reprices the edges the next commodity sees — so the
+//! phase loop is inherently sequential and stays that way (running
+//! commodities concurrently would compute a different, possibly
+//! infeasible, flow). What does parallelize without changing a single
+//! bit of output is the *pricing* step: evaluating the length of every
+//! candidate path under the current edge lengths. For the small layered
+//! path sets of Fig. 9 (≤ tens of paths) the fan-out costs more than it
+//! saves, so pricing only goes parallel past [`PAR_PATHS_THRESHOLD`]
+//! candidates; commodity *assembly* parallelism lives in
+//! [`crate::mat::mat`].
+
+use rayon::prelude::*;
+
+/// Candidate-set size beyond which path pricing fans out to the pool.
+pub const PAR_PATHS_THRESHOLD: usize = 64;
+
+/// Index of the cheapest path under `length`. The common small-set case
+/// is an allocation-free scan (this sits in GK's innermost loop); large
+/// sets materialize costs in path order and reduce sequentially, so the
+/// chosen index (ties included) is identical for any thread count.
+fn cheapest_path(paths: &[Vec<u32>], length: &[f64]) -> usize {
+    let price = |p: &Vec<u32>| p.iter().map(|&e| length[e as usize]).sum::<f64>();
+    if paths.len() < PAR_PATHS_THRESHOLD {
+        return paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, price(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+    }
+    let costs: Vec<f64> = paths.par_iter().map(price).collect();
+    costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap()
+}
 
 /// One commodity: a demand and its candidate paths (each a list of edge
 /// ids over the base graph).
@@ -74,13 +117,7 @@ pub fn max_concurrent_flow(capacities: &[f64], commodities: &[Commodity], eps: f
                     break 'outer;
                 }
                 // Cheapest candidate path under current lengths.
-                let (pi, _) = com
-                    .paths
-                    .iter()
-                    .enumerate()
-                    .map(|(i, p)| (i, p.iter().map(|&e| length[e as usize]).sum::<f64>()))
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                    .unwrap();
+                let pi = cheapest_path(&com.paths, &length);
                 let path = &com.paths[pi];
                 let bottleneck = path
                     .iter()

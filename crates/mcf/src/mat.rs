@@ -16,6 +16,7 @@ use fatpaths_core::fwd::RoutingTables;
 use fatpaths_core::ksp::k_shortest_paths;
 use fatpaths_core::past::PastTrees;
 use fatpaths_net::graph::{Graph, RouterId};
+use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 
 /// A demand between two routers.
@@ -99,7 +100,13 @@ impl PathProvider for KspPaths<'_> {
 
 /// Computes MAT: assembles commodities (router paths → edge-id paths) and
 /// runs the Garg–Könemann solver with unit edge capacities.
-pub fn mat<P: PathProvider>(
+///
+/// Commodity assembly — the table walks / Yen runs behind
+/// [`PathProvider::paths`] — is embarrassingly parallel and dominates
+/// wall-clock for large demand sets, so it fans out per demand (hence
+/// the `Sync` bound on providers); the GK iterations themselves are
+/// data-dependent and stay sequential (see [`crate::gk`]).
+pub fn mat<P: PathProvider + Sync>(
     g: &Graph,
     demands: &[RouterDemand],
     provider: &P,
@@ -107,7 +114,7 @@ pub fn mat<P: PathProvider>(
 ) -> McfResult {
     let edge_index: FxHashMap<(u32, u32), u32> = g.edge_index_map();
     let commodities: Vec<Commodity> = demands
-        .iter()
+        .par_iter()
         .map(|d| {
             let paths = provider
                 .paths(d.src, d.dst)

@@ -11,20 +11,29 @@ use fatpaths_net::graph::Graph;
 use fatpaths_net::topo::Topology;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use rayon::prelude::*;
 
 /// Pairs routers into a (near-)maximum-distance perfect matching.
 /// Returns ordered pairs `(a, b)`; each router appears in at most one pair.
 pub fn worst_case_router_matching(g: &Graph, seed: u64) -> Vec<(u32, u32)> {
     let nr = g.n();
     let mut rng = StdRng::seed_from_u64(seed);
-    // All pair distances (u8 is plenty). For large Nr this is the dominant
-    // cost; Fig. 9 instances stay ≤ a few thousand routers.
+    // All pair distances (u8 is plenty): one BFS per source, parallel in
+    // blocks of sources to bound memory at O(block · Nr). Random tiebreak
+    // keys are drawn sequentially afterwards so the stream (and thus the
+    // matching) is identical to a single-threaded run.
+    const BLOCK: usize = 256;
     let mut pairs: Vec<(u8, u32, u32, u32)> = Vec::with_capacity(nr * (nr - 1) / 2);
-    for s in 0..nr as u32 {
-        let dist = g.bfs(s);
-        for t in (s + 1)..nr as u32 {
-            let d = dist[t as usize].min(255) as u8;
-            pairs.push((d, rng.random::<u32>(), s, t));
+    for block_start in (0..nr).step_by(BLOCK) {
+        let block: Vec<u32> = (block_start..(block_start + BLOCK).min(nr))
+            .map(|s| s as u32)
+            .collect();
+        let dist_rows: Vec<Vec<u32>> = block.par_iter().map(|&s| g.bfs(s)).collect();
+        for (dist, &s) in dist_rows.iter().zip(&block) {
+            for t in (s + 1)..nr as u32 {
+                let d = dist[t as usize].min(255) as u8;
+                pairs.push((d, rng.random::<u32>(), s, t));
+            }
         }
     }
     // Longest first, random tiebreak.

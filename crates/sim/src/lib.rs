@@ -13,6 +13,8 @@
 //! * [`tcp`] — Reno, ECN-Reno, DCTCP (§VIII-A);
 //! * [`fluid`] — max-min fluid model (Fig. 13 at 1M endpoints);
 //! * [`metrics`] — FCT/throughput statistics;
+//! * [`sweep`] — [`SweepRunner`]: deterministic parallel execution of
+//!   scenario grids (bit-identical output for any thread count);
 //! * [`scenario`] — the [`Scenario`]/[`SchemeSpec`] builder: declare a
 //!   topology + routing scheme + transport + workload, get a
 //!   [`SimResult`]. The [`Simulator`] itself is generic over any
@@ -27,6 +29,7 @@ mod ndp;
 pub mod queueing;
 pub mod scenario;
 pub mod simulator;
+pub mod sweep;
 mod tcp;
 
 pub use config::{LoadBalancing, SimConfig, TcpVariant, Transport, HDR_BYTES};
@@ -35,3 +38,4 @@ pub use fatpaths_core::scheme::{PortSet, RoutingScheme};
 pub use metrics::{histogram, mean, percentile, throughput_by_size, FlowRecord, SimResult};
 pub use scenario::{BuiltScheme, Scenario, SchemeSpec};
 pub use simulator::Simulator;
+pub use sweep::{cell_seed, coord_str, SweepRunner};
