@@ -16,14 +16,15 @@
 use fatpaths_core::fwd::RoutingTables;
 use fatpaths_core::layers::{build_random_layers, LayerConfig};
 use fatpaths_diversity::apsp::shortest_path_stats;
+use fatpaths_net::fault::{FaultModel, FaultPlan};
 use fatpaths_net::topo::slimfly::slim_fly;
-use fatpaths_sim::{Scenario, SchemeSpec, SweepRunner};
+use fatpaths_sim::{cell_seed, Scenario, SchemeSpec, SweepRunner};
 use fatpaths_workloads::arrivals::FlowSpec;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Stages measured, in report order.
-const STAGES: [&str; 3] = ["apsp", "layer_build", "sweep"];
+const STAGES: [&str; 4] = ["apsp", "layer_build", "sweep", "degraded_sweep"];
 
 /// Runs one stage and returns its wall-clock seconds.
 fn run_stage(stage: &str) -> f64 {
@@ -94,6 +95,61 @@ fn run_stage(stage: &str) -> f64 {
                     .completion_rate()
             });
             assert!(results.iter().all(|&r| r == 1.0));
+            start.elapsed().as_secs_f64()
+        }
+        "degraded_sweep" => {
+            // Resilience-style cells: packet runs on a degraded Slim Fly
+            // (per-port down-bitmask on the hot path, detection-triggered
+            // route repair mid-run) across schemes × failure fractions.
+            let t = slim_fly(5, 2).unwrap();
+            let n = t.num_endpoints() as u64;
+            let specs = [
+                SchemeSpec::LayeredRandom {
+                    n_layers: 9,
+                    rho: 0.6,
+                },
+                SchemeSpec::Minimal,
+            ];
+            let mut cells = Vec::new();
+            for si in 0..specs.len() {
+                for frac_pct in [5u64, 10] {
+                    for offset in [21u64, 47] {
+                        cells.push((si, frac_pct, offset));
+                    }
+                }
+            }
+            let start = Instant::now();
+            let results =
+                SweepRunner::new("bench-degraded", cells).run(|_, &(si, frac_pct, offset)| {
+                    let flows: Vec<FlowSpec> = (0..n)
+                        .map(|e| FlowSpec {
+                            src: e as u32,
+                            dst: ((e + offset) % n) as u32,
+                            size: 128 * 1024,
+                            start: 0,
+                        })
+                        .filter(|f| t.endpoint_router(f.src) != t.endpoint_router(f.dst))
+                        .collect();
+                    let plan = FaultPlan::sample(
+                        &t,
+                        &FaultModel::UniformFraction {
+                            fraction: frac_pct as f64 / 100.0,
+                        },
+                        cell_seed("bench-degraded", &[frac_pct]),
+                    );
+                    Scenario::on(&t)
+                        .scheme(specs[si])
+                        .workload(&flows)
+                        .seed(2)
+                        .horizon(30_000_000_000)
+                        .fault_plan(plan)
+                        .detection_delay(50_000_000)
+                        .run()
+                        .completion_rate()
+                });
+            // Repaired routing delivers everything on a still-connected
+            // degraded SF (a correctness canary inside the benchmark).
+            assert!(results.iter().all(|&r| r > 0.99), "{results:?}");
             start.elapsed().as_secs_f64()
         }
         other => panic!("unknown stage '{other}'"),

@@ -14,6 +14,8 @@
 //! each layer", §V-B) and across sources.
 
 use crate::layers::LayerSet;
+use crate::repair::{DownLinks, RouteRepair};
+use crate::scheme::PortSet;
 use fatpaths_net::graph::{Graph, RouterId, UNREACHABLE};
 use rayon::prelude::*;
 
@@ -29,7 +31,20 @@ pub struct RoutingTables {
     /// `dists[layer][dst * nr + src]` = hop distance within the layer
     /// (`u8::MAX` if unreachable). Used by adaptivity and analysis.
     dists: Vec<Vec<u8>>,
+    /// `fallback[layer][dst * nr + src]` = a second, distinct minimal
+    /// next-hop port (`NO_PORT` if the chosen one is the only minimal
+    /// next hop) — precomputed at build so single-link repair is O(1)
+    /// when an equal-cost alternative exists.
+    fallback: Vec<Vec<u16>>,
+    /// The layer subgraphs the tables were built from, retained so link
+    /// failures can be repaired per layer (degraded BFS on the affected
+    /// rows only).
+    layers: LayerSet,
 }
+
+/// One `(layer, dst)` build unit: layer index, destination, and the
+/// mutable port/distance/fallback rows it fills.
+type DestRow<'a> = (usize, usize, &'a mut [u16], &'a mut [u8], &'a mut [u16]);
 
 /// FNV-1a on a 64-bit key — the deterministic tie-breaker (the paper's
 /// routers use Fowler–Noll–Vo hashing for ECMP; we reuse it here).
@@ -58,22 +73,41 @@ impl RoutingTables {
         }
         let mut tables: Vec<Vec<u16>> = (0..layers.len()).map(|_| vec![NO_PORT; nr * nr]).collect();
         let mut dists: Vec<Vec<u8>> = (0..layers.len()).map(|_| vec![u8::MAX; nr * nr]).collect();
-        let rows: Vec<(usize, usize, &mut [u16], &mut [u8])> = tables
+        let mut fallback: Vec<Vec<u16>> =
+            (0..layers.len()).map(|_| vec![NO_PORT; nr * nr]).collect();
+        let rows: Vec<DestRow<'_>> = tables
             .iter_mut()
             .zip(dists.iter_mut())
+            .zip(fallback.iter_mut())
             .enumerate()
-            .flat_map(|(li, (table, dmat))| {
+            .flat_map(|(li, ((table, dmat), fmat))| {
                 table
                     .chunks_mut(nr)
                     .zip(dmat.chunks_mut(nr))
+                    .zip(fmat.chunks_mut(nr))
                     .enumerate()
-                    .map(move |(dst, (trow, drow))| (li, dst, trow, drow))
+                    .map(move |(dst, ((trow, drow), frow))| (li, dst, trow, drow, frow))
             })
             .collect();
-        rows.into_par_iter().for_each(|(li, dst, trow, drow)| {
-            fill_destination(base, layers.layer(li), li as u32, dst as u32, trow, drow);
-        });
-        RoutingTables { nr, tables, dists }
+        rows.into_par_iter()
+            .for_each(|(li, dst, trow, drow, frow)| {
+                fill_destination(
+                    base,
+                    layers.layer(li),
+                    li as u32,
+                    dst as u32,
+                    trow,
+                    drow,
+                    frow,
+                );
+            });
+        RoutingTables {
+            nr,
+            tables,
+            dists,
+            fallback,
+            layers: layers.clone(),
+        }
     }
 
     /// Number of layers.
@@ -131,14 +165,216 @@ impl RoutingTables {
     }
 
     /// Approximate memory footprint in bytes (for the §VII-C remark that
-    /// routing tables are a simulation memory concern).
+    /// routing tables are a simulation memory concern). Counts the port,
+    /// fallback-port, and distance entries.
     pub fn memory_bytes(&self) -> usize {
-        self.tables.len() * self.nr * self.nr * (std::mem::size_of::<u16>() + 1)
+        self.tables.len() * self.nr * self.nr * (2 * std::mem::size_of::<u16>() + 1)
+    }
+
+    /// The layer subgraphs the tables were built from.
+    pub fn layer_set(&self) -> &LayerSet {
+        &self.layers
+    }
+
+    /// The precomputed second-choice minimal next-hop port at `src`
+    /// toward `dst` in `layer` (`None` if the chosen port is the only
+    /// minimal next hop).
+    #[inline]
+    pub fn fallback_port(&self, layer: usize, src: RouterId, dst: RouterId) -> Option<u16> {
+        let p = self.fallback[layer][dst as usize * self.nr + src as usize];
+        (p != NO_PORT).then_some(p)
+    }
+
+    /// Link-failure repair (the layered arm of
+    /// [`RoutingScheme::repair_routes`](crate::scheme::RoutingScheme::repair_routes)):
+    /// returns a sparse overlay covering exactly the `(layer, dst)` rows
+    /// the down links invalidate.
+    ///
+    /// Per affected row the repair is **incremental**: if every router
+    /// whose chosen next hop crosses a down link still has a live
+    /// equal-cost alternative (checked first against the precomputed
+    /// [`fallback_port`](RoutingTables::fallback_port)), in-layer
+    /// distances are provably unchanged and the repair is a handful of
+    /// O(1) port swaps. Only rows where a distance actually changes are
+    /// recomputed with a BFS on the degraded layer graph. Routers left
+    /// unable to reach `dst` within a sparse layer fall back to the
+    /// (repaired) layer-0 route; an empty overlay entry marks pairs
+    /// disconnected even in the degraded base graph.
+    ///
+    /// Assumes layer 0 is the complete layer (true for FatPaths tables),
+    /// so layer-0 reachability equals degraded-base reachability.
+    pub fn repair(&self, base: &Graph, down: &DownLinks) -> RouteRepair {
+        let mut rep = RouteRepair::none();
+        if down.is_empty() {
+            return rep;
+        }
+        let nr = self.nr;
+        let mut new_trow = vec![NO_PORT; nr];
+        let mut new_drow = vec![u8::MAX; nr];
+        let mut new_frow = vec![NO_PORT; nr];
+        // (src, dst) pairs whose layer-0 row the repair rewrote; pairs a
+        // sparse layer could never reach must shadow them too (below).
+        let mut layer0_touched: Vec<(RouterId, RouterId)> = Vec::new();
+        // Ascending layer order matters: sparse-layer fallbacks resolve
+        // against layer 0's already-repaired rows.
+        for l in 0..self.n_layers() {
+            let lg = self.layers.layer(l);
+            let layer_down: Vec<(RouterId, RouterId)> =
+                down.iter().filter(|&(u, v)| lg.has_edge(u, v)).collect();
+            if layer_down.is_empty() {
+                continue;
+            }
+            let degraded = lg.without_edges(&layer_down);
+            for dst in 0..nr as u32 {
+                let trow = &self.tables[l][dst as usize * nr..][..nr];
+                let drow = &self.dists[l][dst as usize * nr..][..nr];
+                let frow = &self.fallback[l][dst as usize * nr..][..nr];
+                let mut swaps: Vec<(RouterId, u16)> = Vec::new();
+                let mut full = false;
+                'edges: for &(u, v) in &layer_down {
+                    for (a, b) in [(u, v), (v, u)] {
+                        let (da, db) = (drow[a as usize], drow[b as usize]);
+                        if da == u8::MAX || db == u8::MAX || da != db + 1 {
+                            continue; // edge not used downhill from `a`
+                        }
+                        let to_b =
+                            base.port_of(a, b).expect("down link must be a base edge") as u16;
+                        if trow[a as usize] != to_b {
+                            // `a`'s chosen next hop is a different, still
+                            // minimal neighbor; if that link is also down
+                            // its own iteration handles it.
+                            continue;
+                        }
+                        // Live minimal alternative: the precomputed
+                        // fallback port if its link survives, else the
+                        // first live minimal layer-neighbor in port order.
+                        let fb = frow[a as usize];
+                        let alt =
+                            if fb != NO_PORT && !down.contains(a, base.neighbor_at(a, fb as u32)) {
+                                Some(fb)
+                            } else {
+                                scan_live_minimal(base, lg, drow, down, a, da)
+                            };
+                        match alt {
+                            Some(p) => swaps.push((a, p)),
+                            None => {
+                                full = true;
+                                break 'edges;
+                            }
+                        }
+                    }
+                }
+                if !full {
+                    // Every broken chosen hop has a live equal-cost
+                    // alternative ⇒ all in-layer distances are unchanged
+                    // (induction on BFS level) ⇒ the swaps alone repair
+                    // the row, loop-free.
+                    for (a, p) in swaps {
+                        if l == 0 {
+                            layer0_touched.push((a, dst));
+                        }
+                        rep.insert(l as u8, a, dst, PortSet::single(p));
+                    }
+                    continue;
+                }
+                new_trow.fill(NO_PORT);
+                new_drow.fill(u8::MAX);
+                new_frow.fill(NO_PORT);
+                fill_destination(
+                    base,
+                    &degraded,
+                    l as u32,
+                    dst,
+                    &mut new_trow,
+                    &mut new_drow,
+                    &mut new_frow,
+                );
+                for src in 0..nr as u32 {
+                    if src == dst {
+                        continue;
+                    }
+                    let (np, op) = (new_trow[src as usize], trow[src as usize]);
+                    if np == op {
+                        continue;
+                    }
+                    let entry = if np != NO_PORT {
+                        PortSet::single(np)
+                    } else if l == 0 {
+                        // Disconnected even in the (complete) base layer.
+                        PortSet::new()
+                    } else {
+                        // Unreachable within this sparse layer: resolve
+                        // the layer-0 fallback now so the overlay stores
+                        // the final decision.
+                        self.layer0_resolution(&rep, src, dst)
+                    };
+                    if l == 0 {
+                        layer0_touched.push((src, dst));
+                    }
+                    rep.insert(l as u8, src, dst, entry);
+                }
+            }
+        }
+        // Pairs a sparse layer could never reach (NO_PORT at build time)
+        // forward through `candidate_ports`' internal layer-0 fallback —
+        // which reads the *original* layer-0 table. Wherever the repair
+        // rewrote a layer-0 row, shadow those sparse-layer keys with the
+        // repaired entry so the fallback cannot resurrect a dead port.
+        // (FatPaths layers are connected by construction, so this pass is
+        // a no-op there; it matters for externally built layer sets with
+        // unreachable sparse-layer pairs.)
+        for &(src, dst) in &layer0_touched {
+            let repaired = rep
+                .lookup(0, src, dst)
+                .expect("touched layer-0 rows have entries")
+                .clone();
+            for l in 1..self.n_layers() {
+                if self.tables[l][dst as usize * nr + src as usize] == NO_PORT
+                    && rep.lookup(l as u8, src, dst).is_none()
+                {
+                    rep.insert(l as u8, src, dst, repaired.clone());
+                }
+            }
+        }
+        rep
+    }
+
+    /// The repaired layer-0 route for `(src, dst)`: the overlay row if
+    /// layer 0 was repaired there, else the original table entry.
+    fn layer0_resolution(&self, rep: &RouteRepair, src: RouterId, dst: RouterId) -> PortSet {
+        if let Some(e) = rep.lookup(0, src, dst) {
+            return e.clone();
+        }
+        match self.next_port(0, src, dst) {
+            Some(p) => PortSet::single(p),
+            None => PortSet::new(),
+        }
     }
 }
 
+/// A live minimal next-hop port at `a` (in-layer distance `da` per
+/// `drow`): the first layer-neighbor one step closer to the destination
+/// whose link is not down, in port order.
+fn scan_live_minimal(
+    base: &Graph,
+    lg: &Graph,
+    drow: &[u8],
+    down: &DownLinks,
+    a: RouterId,
+    da: u8,
+) -> Option<u16> {
+    for &w in lg.neighbors(a) {
+        if drow[w as usize] != u8::MAX && drow[w as usize] + 1 == da && !down.contains(a, w) {
+            return Some(base.port_of(a, w).expect("layer edge in base") as u16);
+        }
+    }
+    None
+}
+
 /// Fills one destination row: BFS from `dst` in the layer graph, then picks
-/// for every source a hash-selected minimal next hop.
+/// for every source a hash-selected minimal next hop, plus (when the tie
+/// has ≥ 2 candidates) the cyclically-next minimal neighbor as the
+/// precomputed repair fallback.
 fn fill_destination(
     base: &Graph,
     lg: &Graph,
@@ -146,6 +382,7 @@ fn fill_destination(
     dst: u32,
     trow: &mut [u16],
     drow: &mut [u8],
+    frow: &mut [u16],
 ) {
     let dist = lg.bfs(dst);
     for (src, &d) in dist.iter().enumerate() {
@@ -160,16 +397,24 @@ fn fill_destination(
         debug_assert!(count > 0);
         let key = (layer as u64) << 48 | (src as u64) << 24 | dst as u64;
         let pick = (fnv1a(key) % count as u64) as usize;
-        let chosen = nbs
-            .iter()
-            .filter(|&&v| dist[v as usize] + 1 == d)
-            .nth(pick)
-            .copied()
-            .unwrap();
+        let minimal = |n: usize| {
+            nbs.iter()
+                .filter(|&&v| dist[v as usize] + 1 == d)
+                .nth(n)
+                .copied()
+                .unwrap()
+        };
+        let chosen = minimal(pick);
         let port = base
             .port_of(src, chosen)
             .expect("layer edge must exist in base graph");
         trow[src as usize] = port as u16;
+        if count > 1 {
+            let alt = minimal((pick + 1) % count);
+            frow[src as usize] =
+                base.port_of(src, alt)
+                    .expect("layer edge must exist in base graph") as u16;
+        }
     }
     drow[dst as usize] = 0;
 }
@@ -282,6 +527,145 @@ mod tests {
         assert_eq!(rt.n_layers(), 1);
         assert!(rt.reachable(0, 0, 49));
         assert_eq!(rt.next_port(0, 7, 7), None);
+    }
+
+    /// Walks `src → dst` in `layer` through tables + repair overlay the
+    /// way the simulator does (overlay first, then the scheme's
+    /// `candidate_ports` with its internal layer-0 fallback). Returns the
+    /// path, or `None` if an unreachable entry is hit.
+    fn walk_repaired(
+        g: &Graph,
+        rt: &RoutingTables,
+        rep: &crate::repair::RouteRepair,
+        layer: usize,
+        src: u32,
+        dst: u32,
+    ) -> Option<Vec<u32>> {
+        use crate::scheme::RoutingScheme;
+        let mut at = src;
+        let mut path = vec![src];
+        while at != dst {
+            let port = match rep.lookup(layer as u8, at, dst) {
+                Some(e) if e.is_empty() => return None,
+                Some(e) => e.as_slice()[0],
+                None => rt.candidate_ports(layer as u8, at, dst).as_slice()[0],
+            };
+            at = g.neighbor_at(at, port as u32);
+            path.push(at);
+            assert!(path.len() <= g.n() + 1, "loop: {path:?}");
+        }
+        Some(path)
+    }
+
+    #[test]
+    fn empty_down_set_repairs_nothing() {
+        let (g, rt) = tables_for(5, 3, 0.6);
+        let rep = rt.repair(&g, &crate::repair::DownLinks::from_links(&[]));
+        assert!(rep.is_empty());
+    }
+
+    #[test]
+    fn repair_routes_around_single_failed_link() {
+        let (g, rt) = tables_for(5, 4, 0.6);
+        // Fail the first hop of layer 0's 0→41 path.
+        let p0 = rt.path(&g, 0, 0, 41).unwrap();
+        let down = crate::repair::DownLinks::from_links(&[(p0[0], p0[1])]);
+        let rep = rt.repair(&g, &down);
+        assert!(!rep.is_empty());
+        for layer in 0..rt.n_layers() {
+            for (s, t) in [(0u32, 41u32), (41, 0), (7, 30), (3, 44)] {
+                let p = walk_repaired(&g, &rt, &rep, layer, s, t)
+                    .expect("one dead link cannot disconnect SF");
+                // The repaired route never crosses the dead link.
+                for w in p.windows(2) {
+                    assert!(
+                        !(w[0] == p0[0] && w[1] == p0[1] || w[0] == p0[1] && w[1] == p0[0]),
+                        "layer {layer} {s}->{t} crossed the dead link: {p:?}"
+                    );
+                }
+                // No router repeats (loop-freedom).
+                let mut q = p.clone();
+                q.sort_unstable();
+                q.dedup();
+                assert_eq!(q.len(), p.len());
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_ports_exist_where_ties_do() {
+        let t = slim_fly(7, 1).unwrap();
+        let ls = build_random_layers(&t.graph, &LayerConfig::new(3, 0.7, 5));
+        let rt = RoutingTables::build(&t.graph, &ls);
+        let mut with_fb = 0;
+        let mut checked = 0;
+        for s in (0..98u32).step_by(7) {
+            for d in (1..98u32).step_by(11) {
+                if s == d {
+                    continue;
+                }
+                checked += 1;
+                if let Some(fb) = rt.fallback_port(0, s, d) {
+                    with_fb += 1;
+                    // The fallback is itself a minimal next hop, distinct
+                    // from the chosen one.
+                    let chosen = rt.next_port(0, s, d).unwrap();
+                    assert_ne!(fb, chosen);
+                    let w = t.graph.neighbor_at(s, fb as u32);
+                    assert_eq!(
+                        rt.layer_distance(0, w, d).unwrap() + 1,
+                        rt.layer_distance(0, s, d).unwrap()
+                    );
+                }
+            }
+        }
+        // SF is mostly single-minimal-path, but some pairs tie.
+        assert!(with_fb > 0, "no fallback among {checked} pairs");
+    }
+
+    #[test]
+    fn repair_marks_disconnected_pairs_unreachable() {
+        // Star-ish: cut the only edge to a leaf.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)]);
+        let ls = LayerSet::minimal_only(&g);
+        let rt = RoutingTables::build(&g, &ls);
+        let rep = rt.repair(&g, &crate::repair::DownLinks::from_links(&[(0, 1)]));
+        // 0 is now isolated: every pair involving 0 must be an empty entry.
+        for other in 1..4u32 {
+            assert!(rep.lookup(0, 0, other).unwrap().is_empty());
+            assert!(rep.lookup(0, other, 0).unwrap().is_empty());
+        }
+        // The triangle 1-2-3 stays routable.
+        assert!(walk_repaired(&g, &rt, &rep, 0, 2, 3).is_some());
+    }
+
+    #[test]
+    fn build_time_unreachable_sparse_rows_shadow_repaired_layer0() {
+        // Base: 4-cycle. Layer 1 deliberately leaves router 3 isolated,
+        // so (0, 3) is unreachable in layer 1 at build time and forwards
+        // through candidate_ports' internal layer-0 fallback. Fail layer
+        // 0's direct 0-3 link: the repair must shadow the (layer 1, 0, 3)
+        // key too, or the stale layer-0 port would resurrect the dead
+        // link.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let layer1 = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        let ls = LayerSet {
+            graphs: vec![g.clone(), layer1],
+        };
+        let rt = RoutingTables::build(&g, &ls);
+        assert_eq!(rt.next_port(1, 0, 3), None, "pair must start unreachable");
+        // Layer 0 routes 0 -> 3 over the direct edge; fail it.
+        let down = crate::repair::DownLinks::from_links(&[(0, 3)]);
+        let rep = rt.repair(&g, &down);
+        // The repaired layer-0 row detours 0 -> 1 -> 2 -> 3.
+        let p0 = rep.lookup(0, 0, 3).expect("layer-0 row repaired");
+        assert_eq!(p0.as_slice(), &[g.port_of(0, 1).unwrap() as u16]);
+        // The sparse layer's key is shadowed with the same repaired route.
+        let p1 = rep.lookup(1, 0, 3).expect("sparse-layer key shadowed");
+        assert_eq!(p1.as_slice(), p0.as_slice());
+        // And the walk on the sparse layer avoids the dead link.
+        let path = walk_repaired(&g, &rt, &rep, 1, 0, 3).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3]);
     }
 
     #[test]

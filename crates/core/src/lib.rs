@@ -17,6 +17,12 @@
 //! * [`fwd`] — per-layer destination-based forwarding tables σᵢ
 //!   (Listing 3), `O(Nr)` entries per destination; implements
 //!   [`RoutingScheme`](scheme::RoutingScheme) directly;
+//! * [`repair`] — the route-repair vocabulary
+//!   ([`DownLinks`](repair::DownLinks),
+//!   [`RouteRepair`](repair::RouteRepair)) behind the
+//!   [`RoutingScheme::repair_routes`](scheme::RoutingScheme::repair_routes)
+//!   link-state hook: layered tables repair affected rows incrementally,
+//!   adapters rebuild from the degraded graph;
 //! * [`ecmp`] — minimal multipath port sets, ECMP flow hashing, packet
 //!   spraying (adapter: [`MinimalScheme`](scheme::MinimalScheme));
 //! * [`spain`], [`past`], [`ksp`] — the SPAIN, PAST and k-shortest-paths
@@ -38,6 +44,7 @@ pub mod interference_min;
 pub mod ksp;
 pub mod layers;
 pub mod past;
+pub mod repair;
 pub mod scheme;
 pub mod schemes;
 pub mod spain;
@@ -48,6 +55,7 @@ pub use interference_min::{build_interference_min_layers, ImConfig};
 pub use ksp::k_shortest_paths;
 pub use layers::{build_random_layers, LayerConfig, LayerSet};
 pub use past::{PastTrees, PastVariant};
+pub use repair::{DownLinks, RouteRepair};
 pub use scheme::{
     KspConfig, KspScheme, MinimalScheme, PastScheme, PortSet, RoutingScheme, SpainScheme,
     ValiantScheme,

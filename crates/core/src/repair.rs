@@ -1,0 +1,147 @@
+//! Route repair: the routing-side response to link failures.
+//!
+//! When links die, a routing scheme has three options (§V-G and the
+//! fault-resiliency literature): do nothing and let end-to-end recovery
+//! re-pick layers (the FatPaths default — failures are masked by
+//! preprovisioned path diversity), *repair* the affected forwarding rows
+//! in place, or rebuild from the degraded topology. This module provides
+//! the shared vocabulary for the last two:
+//!
+//! * [`DownLinks`] — the canonical set of currently-down links, with
+//!   O(1) membership and deterministic (sorted) iteration;
+//! * [`RouteRepair`] — a sparse overlay of repaired forwarding rows the
+//!   simulator consults *before* the scheme's own
+//!   [`candidate_ports`](crate::scheme::RoutingScheme::candidate_ports).
+//!
+//! A repair entry stores the scheme's **final** decision for a
+//! `(layer, at_router, dst_router)` key — including any internal
+//! fallback (e.g. a sparse layer falling back to layer 0) — so the
+//! simulator stays scheme-agnostic: present + non-empty means "use
+//! exactly these ports", present + empty means "genuinely unreachable in
+//! the degraded network, drop", absent means "the original row is still
+//! valid, ask the scheme".
+
+use crate::scheme::PortSet;
+use fatpaths_net::graph::RouterId;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The set of currently-down bidirectional links, canonicalized to
+/// `(min, max)` pairs. Iteration order is sorted, so everything derived
+/// from a `DownLinks` is deterministic regardless of how the set was
+/// accumulated.
+#[derive(Clone, Debug, Default)]
+pub struct DownLinks {
+    sorted: Vec<(RouterId, RouterId)>,
+    set: FxHashSet<(RouterId, RouterId)>,
+}
+
+impl DownLinks {
+    /// Builds the set from links in any orientation (duplicates collapse).
+    pub fn from_links(links: &[(RouterId, RouterId)]) -> DownLinks {
+        let mut sorted: Vec<(RouterId, RouterId)> =
+            links.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let set = sorted.iter().copied().collect();
+        DownLinks { sorted, set }
+    }
+
+    /// True iff link `{u, v}` is down (orientation-insensitive).
+    #[inline]
+    pub fn contains(&self, u: RouterId, v: RouterId) -> bool {
+        self.set.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// The down links in canonical sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (RouterId, RouterId)> + '_ {
+        self.sorted.iter().copied()
+    }
+
+    /// The down links as a canonical sorted slice.
+    pub fn as_slice(&self) -> &[(RouterId, RouterId)] {
+        &self.sorted
+    }
+
+    /// Number of down links.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True iff nothing is down.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// A sparse overlay of repaired forwarding rows, keyed by
+/// `(layer, at_router, dst_router)`.
+///
+/// Semantics of [`RouteRepair::lookup`]:
+/// * `None` — the scheme's original row survived the failures; use
+///   [`candidate_ports`](crate::scheme::RoutingScheme::candidate_ports).
+/// * `Some(ports)` non-empty — the repaired candidates (already
+///   including any scheme-internal fallback).
+/// * `Some(ports)` empty — the destination is unreachable from here in
+///   the degraded network; the packet cannot be forwarded.
+#[derive(Clone, Debug, Default)]
+pub struct RouteRepair {
+    rows: FxHashMap<(u8, RouterId, RouterId), PortSet>,
+}
+
+impl RouteRepair {
+    /// An overlay with no repaired rows.
+    pub fn none() -> RouteRepair {
+        RouteRepair::default()
+    }
+
+    /// Installs a repaired row (empty `ports` = unreachable).
+    pub fn insert(&mut self, layer: u8, at: RouterId, dst: RouterId, ports: PortSet) {
+        self.rows.insert((layer, at, dst), ports);
+    }
+
+    /// Looks up a repaired row; see the type docs for the semantics.
+    #[inline]
+    pub fn lookup(&self, layer: u8, at: RouterId, dst: RouterId) -> Option<&PortSet> {
+        self.rows.get(&(layer, at, dst))
+    }
+
+    /// Number of repaired rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the overlay repairs nothing (the fast-path gate for the
+    /// simulator's per-hop lookup).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn down_links_canonicalize_and_sort() {
+        let d = DownLinks::from_links(&[(7, 2), (0, 1), (2, 7), (1, 0)]);
+        assert_eq!(d.as_slice(), &[(0, 1), (2, 7)]);
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(7, 2));
+        assert!(d.contains(2, 7));
+        assert!(!d.contains(0, 2));
+        assert!(DownLinks::from_links(&[]).is_empty());
+    }
+
+    #[test]
+    fn repair_lookup_semantics() {
+        let mut r = RouteRepair::none();
+        assert!(r.is_empty());
+        r.insert(1, 4, 9, PortSet::single(3));
+        r.insert(1, 5, 9, PortSet::new());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.lookup(1, 4, 9).unwrap().as_slice(), &[3]);
+        assert!(r.lookup(1, 5, 9).unwrap().is_empty());
+        assert!(r.lookup(0, 4, 9).is_none());
+    }
+}

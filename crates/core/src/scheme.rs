@@ -21,6 +21,7 @@ use crate::ecmp::DistanceMatrix;
 use crate::fwd::{fnv1a, RoutingTables};
 use crate::ksp::k_shortest_paths;
 use crate::past::{PastTrees, PastVariant};
+use crate::repair::{DownLinks, RouteRepair};
 use crate::spain::{build_spain_layers, SpainConfig, SpainLayers};
 use fatpaths_net::graph::{Graph, RouterId};
 
@@ -119,6 +120,23 @@ pub trait RoutingScheme {
         let _ = (at_router, dst_router);
         layer
     }
+
+    /// Link-state-change hook: the scheme's routing response to the given
+    /// set of down links, as a sparse [`RouteRepair`] overlay the
+    /// simulator consults before [`candidate_ports`]
+    /// (see the overlay's docs for entry semantics).
+    ///
+    /// The default returns an empty overlay — the scheme does not reroute
+    /// and recovery stays end-to-end (senders re-pick layers after
+    /// timeouts, §V-G). [`RoutingTables`] repairs affected `(layer, dst)`
+    /// rows incrementally; [`MinimalScheme`] rebuilds its distance view
+    /// from the degraded graph.
+    ///
+    /// [`candidate_ports`]: RoutingScheme::candidate_ports
+    fn repair_routes(&self, base: &Graph, down: &DownLinks) -> RouteRepair {
+        let _ = (base, down);
+        RouteRepair::none()
+    }
 }
 
 /// FatPaths layered forwarding: one deterministic port per (layer, src,
@@ -143,6 +161,10 @@ impl RoutingScheme for RoutingTables {
             Some(p) => PortSet::single(p),
             None => PortSet::new(),
         }
+    }
+
+    fn repair_routes(&self, base: &Graph, down: &DownLinks) -> RouteRepair {
+        self.repair(base, down)
     }
 }
 
@@ -177,6 +199,59 @@ impl RoutingScheme for MinimalScheme<'_> {
     fn candidate_ports(&self, _layer: u8, at_router: RouterId, dst_router: RouterId) -> PortSet {
         self.dm.minimal_port_set(self.graph, at_router, dst_router)
     }
+
+    /// Adapter rebuild: recompute all-pairs distances on the degraded
+    /// graph and overlay every pair whose minimal port set changed —
+    /// ports stay numbered by the *original* graph (the physical ports
+    /// the simulator addresses), with down links filtered out.
+    fn repair_routes(&self, base: &Graph, down: &DownLinks) -> RouteRepair {
+        let mut rep = RouteRepair::none();
+        if down.is_empty() {
+            return rep;
+        }
+        let degraded = base.without_edges(down.as_slice());
+        let dm2 = DistanceMatrix::build(&degraded);
+        let nr = base.n();
+        for dst in 0..nr as u32 {
+            for src in 0..nr as u32 {
+                if src == dst {
+                    continue;
+                }
+                let new = degraded_minimal_ports(base, &dm2, down, src, dst);
+                let old = self.dm.minimal_port_set(self.graph, src, dst);
+                if new.as_slice() != old.as_slice() {
+                    rep.insert(0, src, dst, new);
+                }
+            }
+        }
+        rep
+    }
+}
+
+/// Minimal ports of `src` toward `dst` under degraded distances `dm2`,
+/// numbered by the original `base` graph, skipping down links. Empty when
+/// the pair is disconnected in the degraded graph.
+fn degraded_minimal_ports(
+    base: &Graph,
+    dm2: &DistanceMatrix,
+    down: &DownLinks,
+    src: RouterId,
+    dst: RouterId,
+) -> PortSet {
+    let mut out = PortSet::new();
+    let Some(ds) = dm2.get(src, dst) else {
+        return out;
+    };
+    for (port, &nb) in base.neighbors(src).iter().enumerate() {
+        if down.contains(src, nb) {
+            continue;
+        }
+        if dm2.get(nb, dst) == Some(ds - 1) {
+            out.push(port as u16);
+        }
+    }
+    debug_assert!(!out.is_empty(), "reachable pair must have a minimal port");
+    out
 }
 
 /// SPAIN (Mudigonda et al., NSDI'10) as a simulatable scheme: the merged

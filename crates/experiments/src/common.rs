@@ -104,6 +104,7 @@ pub fn post_warmup(result: &SimResult, window_s: f64) -> SimResult {
             .collect(),
         drops: result.drops,
         trims: result.trims,
+        unroutable: result.unroutable,
         end_time: result.end_time,
     }
 }

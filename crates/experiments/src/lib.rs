@@ -18,4 +18,5 @@ pub mod diversity_figs;
 pub mod large_scale;
 pub mod perf_ndp;
 pub mod perf_tcp;
+pub mod resilience;
 pub mod theory_figs;

@@ -8,7 +8,7 @@
 //! ```
 
 use fatpaths_experiments::{
-    baselines, common, diversity_figs, large_scale, perf_ndp, perf_tcp, theory_figs,
+    baselines, common, diversity_figs, large_scale, perf_ndp, perf_tcp, resilience, theory_figs,
 };
 
 type Runner = fn(bool) -> std::io::Result<()>;
@@ -35,6 +35,11 @@ fn registry() -> Vec<(&'static str, Runner, &'static str)> {
             "baselines",
             baselines::baselines,
             "All schemes packet-simulated via RoutingScheme (SF/DF/FT3)",
+        ),
+        (
+            "resilience",
+            resilience::resilience,
+            "Link-failure sweep: completions + FCT slowdown vs failure fraction",
         ),
         (
             "fig2",

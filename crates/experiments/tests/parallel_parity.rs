@@ -15,6 +15,7 @@ use fatpaths_core::layers::{build_random_layers, LayerConfig};
 use fatpaths_core::scheme::{KspConfig, KspScheme, RoutingScheme};
 use fatpaths_diversity::apsp::shortest_path_stats;
 use fatpaths_experiments::baselines::baselines_matrix_on;
+use fatpaths_experiments::resilience::resilience_matrix_on;
 use fatpaths_net::topo::slimfly::slim_fly;
 use fatpaths_net::topo::Topology;
 
@@ -60,6 +61,37 @@ fn baselines_matrix_is_bit_identical_across_thread_counts() {
         1 + 3 * 8,
         "3 topologies × 8 schemes"
     );
+}
+
+/// The `resilience` experiment — fault sampling, degraded-network
+/// simulation, and route repair across the (topology × scheme ×
+/// fraction × detection) grid — emits byte-identical CSV and summary
+/// on the pool and on a single thread. Fault sets are seeded from cell
+/// coordinates via `cell_seed`, so this holds by construction; the test
+/// pins it.
+#[test]
+fn resilience_matrix_is_bit_identical_across_thread_counts() {
+    wide_pool();
+    let topos = || {
+        vec![
+            slim_fly(5, 2).unwrap(),
+            fatpaths_net::topo::fattree::fat_tree(4, 1),
+        ]
+    };
+    let fractions = [0.0, 0.05];
+    let (csv_par, summary_par) = resilience_matrix_on(topos(), &fractions);
+    let (csv_seq, summary_seq) =
+        rayon::run_sequential(|| resilience_matrix_on(topos(), &fractions));
+    assert!(
+        csv_par == csv_seq,
+        "resilience CSV differs between pooled and single-threaded runs"
+    );
+    assert!(
+        summary_par == summary_seq,
+        "resilience summary differs between pooled and single-threaded runs"
+    );
+    // Sanity: 2 topologies × 3 schemes × 2 fractions × 2 detection modes.
+    assert_eq!(csv_par.lines().count(), 1 + 2 * 3 * 2 * 2);
 }
 
 /// APSP statistics (parallel BFS fan-out per source) are identical in

@@ -1,0 +1,360 @@
+//! Link-failure modeling: deterministic fault plans over a [`Topology`].
+//!
+//! FatPaths' robustness argument (§V-G) is that preprovisioned layers keep
+//! traffic flowing when links die, while single-path minimal routing
+//! collapses. Testing that claim needs failures to be a *modeled,
+//! sweepable dimension*: a [`FaultPlan`] describes which links are down —
+//! either statically from `t = 0` or through timed [`LinkEvent`]s — and is
+//! sampled from seeded [`FaultModel`]s so a sweep cell's failure set is a
+//! pure function of its seed (the determinism discipline of the execution
+//! layer; see `fatpaths_sim::cell_seed`).
+//!
+//! The failure granularity is the bidirectional router-router link, the
+//! unit the paper's resilience evaluation (and the fat-tree fault-
+//! resiliency literature, e.g. Gliksberg et al.) uses. Endpoint access
+//! links never fail (a dead access link is an endpoint failure, a
+//! different phenomenon). Router-level (whole-node) failures are a
+//! ROADMAP item and compose naturally as "all incident links down".
+
+use crate::graph::RouterId;
+use crate::topo::{LinkClass, Topology};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Seeded failure-sampling models. All counts round to the nearest link
+/// and are clamped to the available population, so `fraction = 0.0`
+/// always yields an empty plan and `1.0` the whole population.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultModel {
+    /// Fail a uniform random `fraction` of all router-router links — the
+    /// classic independent-failure sweep axis.
+    UniformFraction {
+        /// Fraction of links to fail, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Correlated bursts: pick `routers` routers uniformly and fail
+    /// `fraction` of each one's incident links — models a failing
+    /// linecard / top-of-rack event rather than independent cable faults.
+    RouterBursts {
+        /// Number of routers hit by a burst.
+        routers: usize,
+        /// Fraction of each hit router's incident links that die.
+        fraction: f64,
+    },
+    /// Fail `fraction` of the links of one cable class only — e.g. the
+    /// long optical global links of a Dragonfly, which dominate cost and
+    /// fail differently than short copper.
+    ClassTargeted {
+        /// Cable class to target.
+        class: LinkClass,
+        /// Fraction of that class's links to fail.
+        fraction: f64,
+    },
+}
+
+/// A timed link state change, in simulation picoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// Absolute event time (ps).
+    pub at: u64,
+    /// Link endpoints (canonical order not required).
+    pub u: RouterId,
+    /// Second endpoint.
+    pub v: RouterId,
+    /// `true` = the link comes (back) up; `false` = it goes down.
+    pub up: bool,
+}
+
+/// A deterministic description of which links fail and when.
+///
+/// Static failures are down from `t = 0`; [`LinkEvent`]s flip link state
+/// mid-run. The simulator consumes the plan via
+/// `Simulator::apply_fault_plan`, and `Scenario::fault_plan` wires it
+/// into the fluent builder. The legacy single-link
+/// `Scenario::fail_link` / `Simulator::fail_link` APIs are thin wrappers
+/// over the static set, so there is exactly one failure mechanism.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    static_failures: Vec<(RouterId, RouterId)>,
+    events: Vec<LinkEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no failures).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan with the given links down from `t = 0`.
+    pub fn from_links(links: &[(RouterId, RouterId)]) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        for &(u, v) in links {
+            plan.add_static(u, v);
+        }
+        plan
+    }
+
+    /// Adds a static (down from `t = 0`) failure of link `{u, v}`.
+    /// Duplicates (in either orientation) collapse.
+    pub fn add_static(&mut self, u: RouterId, v: RouterId) {
+        let key = (u.min(v), u.max(v));
+        if !self.static_failures.contains(&key) {
+            self.static_failures.push(key);
+        }
+    }
+
+    /// Builder form of [`FaultPlan::add_static`].
+    pub fn fail(mut self, u: RouterId, v: RouterId) -> FaultPlan {
+        self.add_static(u, v);
+        self
+    }
+
+    /// Schedules link `{u, v}` to go down at `at` picoseconds.
+    pub fn link_down_at(mut self, at: u64, u: RouterId, v: RouterId) -> FaultPlan {
+        self.events.push(LinkEvent {
+            at,
+            u,
+            v,
+            up: false,
+        });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Schedules link `{u, v}` to come back up at `at` picoseconds.
+    pub fn link_up_at(mut self, at: u64, u: RouterId, v: RouterId) -> FaultPlan {
+        self.events.push(LinkEvent { at, u, v, up: true });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Samples a static failure set from `model` on `topo`. Deterministic:
+    /// the same `(topo, model, seed)` always yields the same plan, and the
+    /// draw is a pure function of the seed (never of thread count or call
+    /// order), so sweep cells may sample in parallel.
+    pub fn sample(topo: &Topology, model: &FaultModel, seed: u64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = topo.graph.edge_vec();
+        let mut plan = FaultPlan::default();
+        match *model {
+            // The fraction samplers draw from canonical edge lists, so
+            // their picks are distinct by construction: push directly
+            // instead of paying add_static's linear dedup scan per link.
+            FaultModel::UniformFraction { fraction } => {
+                plan.static_failures = sample_fraction(&edges, fraction, &mut rng);
+            }
+            FaultModel::RouterBursts { routers, fraction } => {
+                let nr = topo.num_routers();
+                let mut ids: Vec<RouterId> = (0..nr as u32).collect();
+                ids.shuffle(&mut rng);
+                // Two burst routers may share a link: dedup via a set,
+                // keeping first-drawn order.
+                let mut seen = rustc_hash::FxHashSet::default();
+                for &r in ids.iter().take(routers.min(nr)) {
+                    let mut nbs: Vec<RouterId> = topo.graph.neighbors(r).to_vec();
+                    let kill = count_of(nbs.len(), fraction);
+                    nbs.shuffle(&mut rng);
+                    for &nb in nbs.iter().take(kill) {
+                        let key = (r.min(nb), r.max(nb));
+                        if seen.insert(key) {
+                            plan.static_failures.push(key);
+                        }
+                    }
+                }
+            }
+            FaultModel::ClassTargeted { class, fraction } => {
+                let pool: Vec<(RouterId, RouterId)> = edges
+                    .iter()
+                    .zip(&topo.link_classes)
+                    .filter(|&(_, &c)| c == class)
+                    .map(|(&e, _)| e)
+                    .collect();
+                plan.static_failures = sample_fraction(&pool, fraction, &mut rng);
+            }
+        }
+        plan
+    }
+
+    /// Merges `other` into this plan: static failures dedup (set-based,
+    /// keeping this plan's order first), timed events interleave with one
+    /// stable sort by time.
+    pub fn merge(&mut self, other: &FaultPlan) {
+        let mut seen: rustc_hash::FxHashSet<(RouterId, RouterId)> =
+            self.static_failures.iter().copied().collect();
+        for &key in &other.static_failures {
+            if seen.insert(key) {
+                self.static_failures.push(key);
+            }
+        }
+        self.events.extend_from_slice(&other.events);
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// The links down from `t = 0`, in canonical `(min, max)` form.
+    pub fn static_failures(&self) -> &[(RouterId, RouterId)] {
+        &self.static_failures
+    }
+
+    /// Timed link events, sorted by time.
+    pub fn events(&self) -> &[LinkEvent] {
+        &self.events
+    }
+
+    /// True iff the plan fails nothing, ever.
+    pub fn is_empty(&self) -> bool {
+        self.static_failures.is_empty() && self.events.is_empty()
+    }
+
+    /// Number of statically failed links.
+    pub fn num_static(&self) -> usize {
+        self.static_failures.len()
+    }
+}
+
+/// Rounds `fraction` of `n` to the nearest whole count, clamped to `n`.
+fn count_of(n: usize, fraction: f64) -> usize {
+    ((fraction * n as f64).round() as usize).min(n)
+}
+
+/// Partial Fisher–Yates: draws a uniform random subset of
+/// `count_of(pool.len(), fraction)` links from `pool`.
+fn sample_fraction(
+    pool: &[(RouterId, RouterId)],
+    fraction: f64,
+    rng: &mut StdRng,
+) -> Vec<(RouterId, RouterId)> {
+    let n = pool.len();
+    let take = count_of(n, fraction);
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    for i in 0..take {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx[..take].iter().map(|&i| pool[i as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::dragonfly::dragonfly;
+    use crate::topo::slimfly::slim_fly;
+
+    #[test]
+    fn uniform_fraction_is_deterministic_in_seed() {
+        let t = slim_fly(5, 1).unwrap();
+        let m = FaultModel::UniformFraction { fraction: 0.1 };
+        let a = FaultPlan::sample(&t, &m, 42);
+        let b = FaultPlan::sample(&t, &m, 42);
+        let c = FaultPlan::sample(&t, &m, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.num_static(), (0.1 * t.graph.m() as f64).round() as usize);
+        for &(u, v) in a.static_failures() {
+            assert!(u < v, "canonical order");
+            assert!(t.graph.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn fraction_extremes() {
+        let t = slim_fly(5, 1).unwrap();
+        let none = FaultPlan::sample(&t, &FaultModel::UniformFraction { fraction: 0.0 }, 1);
+        assert!(none.is_empty());
+        let all = FaultPlan::sample(&t, &FaultModel::UniformFraction { fraction: 1.0 }, 1);
+        assert_eq!(all.num_static(), t.graph.m());
+    }
+
+    #[test]
+    fn router_bursts_concentrate_on_few_routers() {
+        let t = slim_fly(7, 1).unwrap();
+        let m = FaultModel::RouterBursts {
+            routers: 2,
+            fraction: 0.5,
+        };
+        let a = FaultPlan::sample(&t, &m, 9);
+        assert_eq!(a, FaultPlan::sample(&t, &m, 9));
+        // Every failed link touches one of at most 2 burst routers.
+        let mut touched = std::collections::BTreeSet::new();
+        for &(u, v) in a.static_failures() {
+            touched.insert(u);
+            touched.insert(v);
+        }
+        // Each burst router loses ~half its radix; with 2 bursts the
+        // failed set is far smaller than a uniform 50% draw would be.
+        assert!(a.num_static() <= t.graph.max_degree() + 2);
+        assert!(a.num_static() >= 2);
+        // Concentration: the burst centers are incident to many failed
+        // links (exactly 2 routers can cover every failed link), which a
+        // uniform draw of the same size essentially never produces.
+        let incident = |r: u32| {
+            a.static_failures()
+                .iter()
+                .filter(|&&(u, v)| u == r || v == r)
+                .count()
+        };
+        let hot: Vec<u32> = (0..t.num_routers() as u32)
+            .filter(|&r| incident(r) >= 3)
+            .collect();
+        assert!(
+            (1..=2).contains(&hot.len()),
+            "expected 1-2 burst centers, got {hot:?}"
+        );
+        assert!(
+            a.static_failures()
+                .iter()
+                .all(|&(u, v)| hot.contains(&u) || hot.contains(&v)),
+            "every failed link must touch a burst center"
+        );
+        assert!(touched.len() <= 2 + a.num_static());
+    }
+
+    #[test]
+    fn class_targeted_only_hits_that_class() {
+        let t = dragonfly(3);
+        let m = FaultModel::ClassTargeted {
+            class: LinkClass::Long,
+            fraction: 0.5,
+        };
+        let a = FaultPlan::sample(&t, &m, 4);
+        assert_eq!(a, FaultPlan::sample(&t, &m, 4));
+        assert!(!a.is_empty(), "DF must have long links");
+        let classes: std::collections::HashMap<_, _> =
+            t.graph.edges().zip(t.link_classes.iter()).collect();
+        for &(u, v) in a.static_failures() {
+            assert_eq!(classes[&(u, v)], &LinkClass::Long);
+        }
+    }
+
+    #[test]
+    fn timed_events_sorted_and_static_dedup() {
+        let plan = FaultPlan::none()
+            .fail(3, 1)
+            .fail(1, 3)
+            .link_up_at(2_000, 0, 2)
+            .link_down_at(1_000, 0, 2);
+        assert_eq!(plan.static_failures(), &[(1, 3)]);
+        let at: Vec<u64> = plan.events().iter().map(|e| e.at).collect();
+        assert_eq!(at, vec![1_000, 2_000]);
+        assert!(!plan.events()[0].up);
+        assert!(plan.events()[1].up);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn from_links_roundtrip() {
+        let plan = FaultPlan::from_links(&[(5, 2), (2, 5), (0, 1)]);
+        assert_eq!(plan.static_failures(), &[(2, 5), (0, 1)]);
+    }
+
+    #[test]
+    fn merge_dedups_statics_and_interleaves_events() {
+        let mut a = FaultPlan::from_links(&[(0, 1), (2, 3)]).link_down_at(5_000, 0, 1);
+        let b = FaultPlan::from_links(&[(1, 0), (4, 5)])
+            .link_up_at(9_000, 0, 1)
+            .link_down_at(1_000, 2, 3);
+        a.merge(&b);
+        assert_eq!(a.static_failures(), &[(0, 1), (2, 3), (4, 5)]);
+        let at: Vec<u64> = a.events().iter().map(|e| e.at).collect();
+        assert_eq!(at, vec![1_000, 5_000, 9_000]);
+    }
+}

@@ -234,6 +234,26 @@ impl Graph {
     pub fn total_ports(&self) -> usize {
         self.neigh.len()
     }
+
+    /// Degraded view: the same router set with the given links removed
+    /// (either orientation; links absent from the graph are ignored).
+    ///
+    /// **Port numbering caveat:** the returned graph renumbers ports
+    /// (CSR neighbor indices shift when edges vanish), so it is meant for
+    /// *connectivity and distance* queries — degraded BFS, reachability,
+    /// rebuilding routing state. Forwarding tables that must keep
+    /// addressing the physical ports of the original graph should be
+    /// rebuilt with the original graph as the port-lookup base (see
+    /// `RoutingTables::build`, which takes layer graphs and a base).
+    pub fn without_edges(&self, removed: &[(RouterId, RouterId)]) -> Graph {
+        let dead: rustc_hash::FxHashSet<(RouterId, RouterId)> =
+            removed.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
+        let edges: Vec<(RouterId, RouterId)> = self
+            .edges()
+            .filter(|&(u, v)| !dead.contains(&(u, v)))
+            .collect();
+        Graph::from_edges(self.n(), &edges)
+    }
 }
 
 #[cfg(test)]

@@ -12,13 +12,20 @@
 //!   graph, star), each returning a [`topo::Topology`];
 //! * [`classes`] — the paper's comparable-cost size classes (≈1k…≈1M
 //!   endpoints) with the Table IV configurations;
-//! * [`cost`] — the router/cable cost model behind Fig. 10.
+//! * [`cost`] — the router/cable cost model behind Fig. 10;
+//! * [`fault`] — deterministic link-failure plans
+//!   ([`fault::FaultPlan`]): seeded samplers (uniform fraction, router
+//!   bursts, cable-class targeted) and timed up/down events, plus the
+//!   degraded views [`Graph::without_edges`](graph::Graph::without_edges)
+//!   / [`Topology::degraded`](topo::Topology::degraded).
 
 pub mod classes;
 pub mod cost;
+pub mod fault;
 pub mod graph;
 pub mod topo;
 
 pub use classes::{build, SizeClass};
+pub use fault::{FaultModel, FaultPlan, LinkEvent};
 pub use graph::{Graph, RouterId, UNREACHABLE};
 pub use topo::{LinkClass, TopoKind, Topology};

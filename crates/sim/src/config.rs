@@ -108,6 +108,13 @@ pub struct SimConfig {
     /// Stop simulating at this time even if flows remain (0 = run to
     /// completion).
     pub horizon: TimePs,
+    /// Fault detection delay: how long after a link-state change the
+    /// routing repairs itself (the control plane's reaction time).
+    /// `None` (the default) means failures are never detected — routing
+    /// stays as built and recovery is purely end-to-end (§V-G), which is
+    /// the FatPaths story: preprovisioned layers mask failures without
+    /// any control-plane help.
+    pub detection_delay: Option<TimePs>,
 }
 
 impl Default for SimConfig {
@@ -120,6 +127,7 @@ impl Default for SimConfig {
             flowlet_gap: 50_000_000, // 50 µs
             seed: 1,
             horizon: 0,
+            detection_delay: None,
         }
     }
 }

@@ -49,6 +49,25 @@ pub enum EvKind {
         /// Timer generation (stale timers are ignored).
         gen: u32,
     },
+    /// Link `{u, v}` goes down: packets forwarded onto it are lost from
+    /// this instant.
+    LinkDown {
+        /// One endpoint router.
+        u: u32,
+        /// The other endpoint router.
+        v: u32,
+    },
+    /// Link `{u, v}` comes back up.
+    LinkUp {
+        /// One endpoint router.
+        u: u32,
+        /// The other endpoint router.
+        v: u32,
+    },
+    /// The control plane noticed a link-state change (one detection
+    /// delay after it): recompute the route-repair overlay from the
+    /// current down-link set.
+    RepairTick,
 }
 
 /// The deterministic event queue.

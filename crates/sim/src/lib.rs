@@ -34,7 +34,9 @@ mod tcp;
 
 pub use config::{LoadBalancing, SimConfig, TcpVariant, Transport, HDR_BYTES};
 pub use engine::TimePs;
+pub use fatpaths_core::repair::{DownLinks, RouteRepair};
 pub use fatpaths_core::scheme::{PortSet, RoutingScheme};
+pub use fatpaths_net::fault::{FaultModel, FaultPlan, LinkEvent};
 pub use metrics::{histogram, mean, percentile, throughput_by_size, FlowRecord, SimResult};
 pub use scenario::{BuiltScheme, Scenario, SchemeSpec};
 pub use simulator::Simulator;

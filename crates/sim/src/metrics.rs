@@ -36,10 +36,13 @@ impl FlowRecord {
 pub struct SimResult {
     /// Per-flow outcomes, in flow order.
     pub flows: Vec<FlowRecord>,
-    /// Packets dropped at tail-drop queues (TCP mode).
+    /// Packets dropped at tail-drop queues (TCP mode) or on down links.
     pub drops: u64,
     /// Payloads trimmed (NDP mode).
     pub trims: u64,
+    /// Packets dropped because routing had no live candidate port — the
+    /// destination was unreachable in the degraded network.
+    pub unroutable: u64,
     /// Time the last event executed.
     pub end_time: TimePs,
 }

@@ -36,12 +36,14 @@ use fatpaths_core::fwd::RoutingTables;
 use fatpaths_core::interference_min::{build_interference_min_layers, ImConfig};
 use fatpaths_core::layers::{build_random_layers, LayerConfig, LayerSet};
 use fatpaths_core::past::PastVariant;
+use fatpaths_core::repair::{DownLinks, RouteRepair};
 use fatpaths_core::scheme::{
     KspConfig, KspScheme, MinimalScheme, PastScheme, PortSet, RoutingScheme, SpainScheme,
     ValiantScheme,
 };
 use fatpaths_core::spain::SpainConfig;
-use fatpaths_net::graph::RouterId;
+use fatpaths_net::fault::FaultPlan;
+use fatpaths_net::graph::{Graph, RouterId};
 use fatpaths_net::topo::Topology;
 use fatpaths_workloads::arrivals::FlowSpec;
 
@@ -192,6 +194,23 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Valiant(s) => s.update_layer(layer, at, dst),
         }
     }
+
+    fn repair_routes(&self, base: &Graph, down: &DownLinks) -> RouteRepair {
+        match self {
+            BuiltScheme::Layered(s) => s.repair_routes(base, down),
+            BuiltScheme::Minimal { topo, dm } => {
+                MinimalScheme::new(&topo.graph, dm).repair_routes(base, down)
+            }
+            // The forest/tree/VLB baselines keep the trait default (no
+            // repair): their published constructions are static, so
+            // recovery stays end-to-end — exactly the deficiency §VI
+            // measures.
+            BuiltScheme::Spain(s) => s.repair_routes(base, down),
+            BuiltScheme::Past(s) => s.repair_routes(base, down),
+            BuiltScheme::Ksp(s) => s.repair_routes(base, down),
+            BuiltScheme::Valiant(s) => s.repair_routes(base, down),
+        }
+    }
 }
 
 /// Fluent scenario configuration; see the module docs for the shape.
@@ -206,7 +225,8 @@ pub struct Scenario<'a> {
     seed: u64,
     horizon: TimePs,
     flows: Vec<FlowSpec>,
-    failed_links: Vec<(u32, u32)>,
+    faults: FaultPlan,
+    detection_delay: Option<TimePs>,
 }
 
 impl<'a> Scenario<'a> {
@@ -225,7 +245,8 @@ impl<'a> Scenario<'a> {
             seed: 1,
             horizon: 0,
             flows: Vec::new(),
-            failed_links: Vec::new(),
+            faults: FaultPlan::none(),
+            detection_delay: None,
         }
     }
 
@@ -276,8 +297,27 @@ impl<'a> Scenario<'a> {
     }
 
     /// Fails the bidirectional link `{u, v}` before the run (§V-G).
+    /// Thin wrapper over [`Scenario::fault_plan`]'s static-failure set —
+    /// there is exactly one failure mechanism.
     pub fn fail_link(mut self, u: u32, v: u32) -> Self {
-        self.failed_links.push((u, v));
+        self.faults.add_static(u, v);
+        self
+    }
+
+    /// Installs a [`FaultPlan`]: static failures plus timed
+    /// `LinkDown`/`LinkUp` events. Merges with any links already failed
+    /// via [`Scenario::fail_link`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults.merge(&plan);
+        self
+    }
+
+    /// Enables fault detection: the routing scheme repairs itself (via
+    /// [`RoutingScheme::repair_routes`]) this long after every
+    /// link-state change. Without it (the default), failures are never
+    /// detected and recovery is purely end-to-end.
+    pub fn detection_delay(mut self, delay: TimePs) -> Self {
+        self.detection_delay = Some(delay);
         self
     }
 
@@ -344,6 +384,7 @@ impl<'a> Scenario<'a> {
             lb: self.lb.unwrap_or_else(|| self.spec.default_lb()),
             seed: self.seed,
             horizon: self.horizon,
+            detection_delay: self.detection_delay,
             ..SimConfig::default()
         }
     }
@@ -354,13 +395,11 @@ impl<'a> Scenario<'a> {
         self.run_with(&scheme)
     }
 
-    /// Constructs the simulator with this scenario's config and failed
-    /// links applied — the single wiring point every run path shares.
+    /// Constructs the simulator with this scenario's config and fault
+    /// plan applied — the single wiring point every run path shares.
     fn make_sim<'s>(&'s self, scheme: &'s BuiltScheme<'a>) -> Simulator<'s, BuiltScheme<'a>> {
         let mut sim = Simulator::new(self.topo, scheme, self.sim_config());
-        for &(u, v) in &self.failed_links {
-            sim.fail_link(u, v);
-        }
+        sim.apply_fault_plan(&self.faults);
         sim
     }
 

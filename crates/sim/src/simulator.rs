@@ -13,7 +13,9 @@ use crate::config::{LoadBalancing, SimConfig, Transport, HDR_BYTES};
 use crate::engine::{EvKind, EventQueue, Packet, PacketSlab, PktKind, TimePs};
 use crate::metrics::{FlowRecord, SimResult};
 use fatpaths_core::fwd::fnv1a;
+use fatpaths_core::repair::{DownLinks, RouteRepair};
 use fatpaths_core::scheme::RoutingScheme;
+use fatpaths_net::fault::FaultPlan;
 use fatpaths_net::topo::Topology;
 use fatpaths_workloads::arrivals::FlowSpec;
 use std::collections::VecDeque;
@@ -201,8 +203,19 @@ pub struct Simulator<'a, R: RoutingScheme + ?Sized = dyn RoutingScheme + 'a> {
     pub(crate) salt_ctr: u64,
     pub(crate) drops: u64,
     pub(crate) trim_count: u64,
+    pub(crate) unroutable: u64,
     pub(crate) finished_flows: usize,
-    failed_links: rustc_hash::FxHashSet<(u32, u32)>,
+    /// Down-state bitmask, one bit per output port (router net ports
+    /// only ever get set). Replaces the old per-packet hash-set lookup:
+    /// the hot path tests one bit, gated on `down_count != 0`.
+    port_down: Vec<u64>,
+    /// Number of currently-down links (gates the whole failure branch).
+    down_count: u32,
+    /// Currently-down links in canonical form (feeds route repair).
+    down_links: Vec<(u32, u32)>,
+    /// Scheme-computed repaired rows, installed one detection delay
+    /// after each link-state change (empty until then).
+    repair: RouteRepair,
 }
 
 impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
@@ -231,6 +244,7 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
         for e in 0..ne as u32 {
             ports.push(Port::new(true, topo.endpoint_router(e)));
         }
+        let down_words = ports.len().div_ceil(64);
         Simulator {
             topo,
             scheme,
@@ -248,19 +262,100 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             salt_ctr: 0,
             drops: 0,
             trim_count: 0,
+            unroutable: 0,
             finished_flows: 0,
-            failed_links: rustc_hash::FxHashSet::default(),
+            port_down: vec![0u64; down_words],
+            down_count: 0,
+            down_links: Vec::new(),
+            repair: RouteRepair::none(),
         }
     }
 
-    /// Fails the bidirectional link `{u, v}` (§V-G): packets forwarded onto
-    /// it are lost, and recovery happens end-to-end — senders re-pick a
-    /// layer on retransmission timeout, so preprovisioned alternate layers
-    /// carry the affected flows around the failure.
+    /// Fails the bidirectional link `{u, v}` from `t = 0` (§V-G): packets
+    /// forwarded onto it are lost, and — unless a
+    /// [detection delay](SimConfig::detection_delay) is configured —
+    /// recovery happens end-to-end: senders re-pick a layer on
+    /// retransmission timeout, so preprovisioned alternate layers carry
+    /// the affected flows around the failure.
+    ///
+    /// Thin wrapper over the [`FaultPlan`] path (see
+    /// [`Simulator::apply_fault_plan`]), kept for single-link ergonomics.
     pub fn fail_link(&mut self, u: u32, v: u32) {
+        self.apply_fault_plan(&FaultPlan::none().fail(u, v));
+    }
+
+    /// Applies a [`FaultPlan`]: static failures take effect immediately,
+    /// timed events are scheduled, and — when
+    /// [`SimConfig::detection_delay`] is set — a repair of the routing
+    /// state is scheduled one delay after each change.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for &(u, v) in plan.static_failures() {
+            self.set_link_state(u, v, false);
+        }
+        if !plan.static_failures().is_empty() {
+            self.schedule_repair();
+        }
+        for ev in plan.events() {
+            let kind = if ev.up {
+                EvKind::LinkUp { u: ev.u, v: ev.v }
+            } else {
+                EvKind::LinkDown { u: ev.u, v: ev.v }
+            };
+            self.events.push(ev.at, kind);
+        }
+    }
+
+    /// Flips the state of link `{u, v}` (both directions). Idempotent.
+    fn set_link_state(&mut self, u: u32, v: u32, up: bool) {
         assert!(self.topo.graph.has_edge(u, v), "no such link");
-        self.failed_links.insert((u, v));
-        self.failed_links.insert((v, u));
+        let key = (u.min(v), u.max(v));
+        let was_down = self.down_links.contains(&key);
+        if up == was_down {
+            // State actually changes.
+            if up {
+                self.down_links.retain(|&k| k != key);
+                self.down_count -= 1;
+            } else {
+                self.down_links.push(key);
+                self.down_count += 1;
+            }
+            for (a, b) in [(u, v), (v, u)] {
+                let port = self.net_base[a as usize]
+                    + self.topo.graph.port_of(a, b).expect("checked has_edge");
+                let (w, bit) = (port as usize / 64, port % 64);
+                if up {
+                    self.port_down[w] &= !(1u64 << bit);
+                } else {
+                    self.port_down[w] |= 1u64 << bit;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn is_port_down(&self, port: u32) -> bool {
+        self.port_down[port as usize / 64] >> (port % 64) & 1 == 1
+    }
+
+    /// Schedules the control plane's reaction to a link-state change, if
+    /// detection is enabled.
+    fn schedule_repair(&mut self) {
+        if let Some(delay) = self.cfg.detection_delay {
+            self.events.push(self.now + delay, EvKind::RepairTick);
+        }
+    }
+
+    /// Recomputes the route-repair overlay from the current down set via
+    /// the scheme's [`RoutingScheme::repair_routes`] hook.
+    fn recompute_repair(&mut self) {
+        let down = DownLinks::from_links(&self.down_links);
+        self.repair = self.scheme.repair_routes(&self.topo.graph, &down);
+    }
+
+    /// Packets dropped because routing had no live candidate port
+    /// (destination unreachable in the degraded network).
+    pub fn unroutable_drops(&self) -> u64 {
+        self.unroutable
     }
 
     /// Registers flows (any order); they start at their spec times.
@@ -352,6 +447,7 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             flows,
             drops: self.drops,
             trims: self.trim_count,
+            unroutable: self.unroutable,
             end_time,
         }
     }
@@ -367,6 +463,15 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             EvKind::ArriveEndpoint { pkt, ep } => self.on_endpoint_arrive(ep, pkt),
             EvKind::PullTick { ep } => self.on_pull_tick(ep),
             EvKind::RtoTimer { flow, gen } => self.on_rto(flow, gen),
+            EvKind::LinkDown { u, v } => {
+                self.set_link_state(u, v, false);
+                self.schedule_repair();
+            }
+            EvKind::LinkUp { u, v } => {
+                self.set_link_state(u, v, true);
+                self.schedule_repair();
+            }
+            EvKind::RepairTick => self.recompute_repair(),
         }
     }
 
@@ -505,32 +610,58 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             let first = self.topo.router_endpoints(r).start;
             self.down_base[r as usize] + (dst_ep - first)
         } else {
-            let sel = self.select_port(r, pid);
-            let next = self.topo.graph.neighbor_at(r, sel as u32);
-            if !self.failed_links.is_empty() && self.failed_links.contains(&(r, next)) {
-                // Link down: the packet is lost; end-to-end recovery
+            let Some(sel) = self.select_port(r, pid) else {
+                // No live candidate port: the destination is unreachable
+                // from here in the degraded network.
+                self.unroutable += 1;
+                self.packets.release(pid);
+                return;
+            };
+            let port = self.net_base[r as usize] + sel as u32;
+            if self.down_count != 0 && self.is_port_down(port) {
+                // Link down (not yet repaired, or the scheme cannot
+                // repair): the packet is lost; end-to-end recovery
                 // redirects the flow to another layer (§V-G).
                 self.drops += 1;
                 self.packets.release(pid);
                 return;
             }
-            self.net_base[r as usize] + sel as u32
+            port
         };
         self.router_enqueue(port, pid);
     }
 
-    fn select_port(&mut self, r: u32, pid: u32) -> u16 {
+    fn select_port(&mut self, r: u32, pid: u32) -> Option<u16> {
         let p = *self.packets.get(pid);
-        let ports = self.scheme.candidate_ports(p.layer, r, p.dst_router);
-        let cands = ports.as_slice();
-        assert!(!cands.is_empty(), "destination unreachable");
+        // Repaired rows (installed one detection delay after link-state
+        // changes) shadow the scheme's original tables.
+        let repaired_row = if self.repair.is_empty() {
+            None
+        } else {
+            self.repair.lookup(p.layer, r, p.dst_router)
+        };
+        let scheme_row;
+        let cands: &[u16] = match repaired_row {
+            Some(e) => e.as_slice(),
+            None => {
+                scheme_row = self.scheme.candidate_ports(p.layer, r, p.dst_router);
+                scheme_row.as_slice()
+            }
+        };
+        debug_assert!(
+            !cands.is_empty() || self.down_count != 0 || !self.repair.is_empty(),
+            "destination unreachable on a healthy network"
+        );
+        if cands.is_empty() {
+            return None;
+        }
         if cands.len() == 1 {
             // Single-path layer (FatPaths tables, SPAIN, PAST, …): load
             // balancing happens across layers, not candidates.
-            return cands[0];
+            return Some(cands[0]);
         }
         let len = cands.len() as u64;
-        match self.cfg.lb {
+        Some(match self.cfg.lb {
             // NDP's spraying cycles each flow round-robin over the
             // candidate ports (per hop, offset by a flow/router hash):
             // smooth arrivals keep 8-packet queues stable at ρ→1,
@@ -546,7 +677,7 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                 }
             }
             _ => cands[(fnv1a(p.nonce ^ ((r as u64) << 20)) % len) as usize],
-        }
+        })
     }
 
     // ---- shared endpoint helpers ------------------------------------------

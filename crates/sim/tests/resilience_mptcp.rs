@@ -1,11 +1,12 @@
 //! Tests for §V-G fault tolerance (layer-based failover around link
-//! failures) and the §VIII-A2 MPTCP integration.
+//! failures, the `FaultPlan` subsystem, timed link events, and
+//! detection-triggered route repair) and the §VIII-A2 MPTCP integration.
 
 use fatpaths_core::fwd::RoutingTables;
 use fatpaths_core::layers::{build_random_layers, LayerConfig};
 use fatpaths_net::topo::slimfly::slim_fly;
 use fatpaths_sim::metrics::mptcp_group_fcts;
-use fatpaths_sim::{Scenario, SchemeSpec, TcpVariant, Transport};
+use fatpaths_sim::{FaultPlan, Scenario, SchemeSpec, TcpVariant, Transport};
 use fatpaths_workloads::arrivals::FlowSpec;
 
 /// The unique layer-0 (minimal) path of the 2-hop pair the failure tests
@@ -39,7 +40,9 @@ fn fatpaths_routes_around_failed_link() {
             .seed(3)
             .horizon(50_000_000_000); // 50 ms
         if fail {
-            sc = sc.fail_link(p0[0], p0[1]);
+            // The FaultPlan path (Scenario::fail_link is a thin wrapper
+            // over the same static-failure set).
+            sc = sc.fault_plan(FaultPlan::from_links(&[(p0[0], p0[1])]));
         }
         sc.run()
     };
@@ -89,6 +92,109 @@ fn failure_recovery_costs_bounded_time() {
     let fct = res.flows[0].fct_s().expect("must complete");
     // Ideal ≈ 0.21 ms; recovery adds RTOs (2 ms each) but must stay small.
     assert!(fct < 0.05, "recovery took {fct}s");
+}
+
+#[test]
+fn timed_link_events_stall_then_recover() {
+    // Single-path minimal routing, link down from t = 0, back up at 5 ms:
+    // the flow stalls (every packet onto the dead link is dropped) until
+    // LinkUp, then an RTO retransmission completes it.
+    let topo = slim_fly(5, 2).unwrap();
+    let p0 = minimal_path_0_41(&topo);
+    let flow = [FlowSpec {
+        src: 0,
+        dst: 82,
+        size: 64 * 1024,
+        start: 0,
+    }];
+    let up_at = 5_000_000_000; // 5 ms
+    let run = |plan: FaultPlan| {
+        Scenario::on(&topo)
+            .scheme(SchemeSpec::LayeredMinimal)
+            .workload(&flow)
+            .seed(3)
+            .horizon(50_000_000_000)
+            .fault_plan(plan)
+            .run()
+    };
+    // Without the LinkUp the flow never completes.
+    let stuck = run(FaultPlan::from_links(&[(p0[0], p0[1])]));
+    assert_eq!(stuck.completion_rate(), 0.0);
+    // With it, the flow completes — but only after the outage window.
+    let healed = run(FaultPlan::from_links(&[(p0[0], p0[1])]).link_up_at(up_at, p0[0], p0[1]));
+    assert_eq!(healed.completion_rate(), 1.0);
+    let fct = healed.flows[0].fct_s().unwrap();
+    assert!(
+        fct > up_at as f64 / 1e12,
+        "flow finished during the outage: {fct}s"
+    );
+    assert!(healed.drops > 0, "the dead link must have eaten packets");
+}
+
+#[test]
+fn mid_run_link_down_hits_only_later_flows() {
+    // The link dies at 10 ms: a flow injected before completes untouched,
+    // an identical flow injected after the failure stalls.
+    let topo = slim_fly(5, 2).unwrap();
+    let p0 = minimal_path_0_41(&topo);
+    let down_at = 10_000_000_000; // 10 ms
+    let flows = [
+        FlowSpec {
+            src: 0,
+            dst: 82,
+            size: 64 * 1024,
+            start: 0,
+        },
+        FlowSpec {
+            src: 0,
+            dst: 82,
+            size: 64 * 1024,
+            start: down_at + 1_000_000,
+        },
+    ];
+    let res = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredMinimal)
+        .workload(&flows)
+        .seed(3)
+        .horizon(40_000_000_000)
+        .fault_plan(FaultPlan::none().link_down_at(down_at, p0[0], p0[1]))
+        .run();
+    assert!(
+        res.flows[0].finish.is_some(),
+        "pre-failure flow must finish"
+    );
+    assert!(
+        res.flows[1].finish.is_none(),
+        "post-failure flow has no path"
+    );
+}
+
+#[test]
+fn detection_and_repair_revive_single_path_routing() {
+    // The §V-G contrast, closed: minimal-only routing is dead without
+    // help, but with a detection delay the link-state hook repairs the
+    // affected (layer 0, dst) rows and the flow sails through.
+    let topo = slim_fly(5, 2).unwrap();
+    let p0 = minimal_path_0_41(&topo);
+    let flow = [FlowSpec {
+        src: 0,
+        dst: 82,
+        size: 256 * 1024,
+        start: 0,
+    }];
+    let base = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredMinimal)
+        .workload(&flow)
+        .seed(3)
+        .horizon(50_000_000_000)
+        .fault_plan(FaultPlan::from_links(&[(p0[0], p0[1])]));
+    // No detection: stuck forever (same as the legacy behavior).
+    assert_eq!(base.clone().run().completion_rate(), 0.0);
+    // 50 µs detection: repaired within one RTO.
+    let res = base.detection_delay(50_000_000).run();
+    assert_eq!(res.completion_rate(), 1.0, "repair must route around");
+    let fct = res.flows[0].fct_s().unwrap();
+    assert!(fct < 0.05, "repaired recovery took {fct}s");
 }
 
 #[test]

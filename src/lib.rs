@@ -38,7 +38,7 @@
 //!
 //! | Module | Contents |
 //! |---|---|
-//! | [`net`] | graph model, topology generators, size classes, cost model |
+//! | [`net`] | graph model, topology generators, size classes, cost model, fault plans (seeded link-failure samplers + timed events) |
 //! | [`diversity`] | path-diversity metrics: CDP, PI, TNL, collisions (§IV) |
 //! | [`core`] | layered routing, forwarding tables, the [`RoutingScheme`](core::scheme::RoutingScheme) trait and every baseline adapter (§V–VI) |
 //! | [`mcf`] | max-achievable-throughput solver, worst-case traffic (§VI) |
@@ -102,6 +102,7 @@ pub mod prelude {
         ValiantScheme,
     };
     pub use fatpaths_net::classes::{build, SizeClass};
+    pub use fatpaths_net::fault::{FaultModel, FaultPlan, LinkEvent};
     pub use fatpaths_net::topo::{TopoKind, Topology};
     pub use fatpaths_sim::{
         BuiltScheme, LoadBalancing, Scenario, SchemeSpec, SimConfig, SimResult, Simulator,
