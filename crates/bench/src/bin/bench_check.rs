@@ -1,0 +1,148 @@
+//! Bench-regression gate: compares a freshly generated
+//! `BENCH_parallel.json` (see `parallel_bench`) against the committed
+//! baseline and fails on a >25% wall-clock slowdown of any stage at a
+//! matching thread count.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json>
+//! ```
+//!
+//! Rules:
+//! * Only matching `(stage, threads)` keys are compared — stages or
+//!   thread counts present on one side only are reported and skipped,
+//!   so adding a stage never breaks CI and `--quick` runs (1/2-thread
+//!   cells only) compare against full baselines.
+//! * If the two files were generated on machines with different core
+//!   counts, the comparison is skipped gracefully (exit 0): wall-clock
+//!   against a different machine class is noise, not signal.
+//! * Sub-20 ms deltas never fail: timer jitter at that scale exceeds
+//!   any real regression signal.
+//!
+//! The parser handles exactly the JSON `parallel_bench` emits (one
+//! stage per line); this tool has no serde dependency by design — the
+//! workspace builds offline.
+
+use std::process::ExitCode;
+
+/// Slowdown factor that fails the gate.
+const THRESHOLD: f64 = 1.25;
+
+/// Absolute slowdown floor (seconds) below which jitter wins.
+const FLOOR_S: f64 = 0.020;
+
+/// A parsed benchmark file: machine core count + per-stage
+/// `(threads, seconds)` samples.
+struct Bench {
+    machine_threads: u64,
+    stages: Vec<(String, Vec<(String, f64)>)>,
+}
+
+/// Parses the `parallel_bench` JSON layout: `"machine_threads": N,` on
+/// its own line, then one `"<stage>": {"1": 0.1, "2": 0.2},` line per
+/// stage inside `wall_clock_seconds`.
+fn parse(text: &str) -> Result<Bench, String> {
+    let mut machine_threads = None;
+    let mut stages = Vec::new();
+    let mut in_stages = false;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("\"machine_threads\":") {
+            machine_threads = Some(
+                rest.trim()
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad machine_threads: {e}"))?,
+            );
+        } else if line.starts_with("\"wall_clock_seconds\"") {
+            in_stages = true;
+        } else if in_stages && line.starts_with('"') && line.contains(": {") {
+            let (name, body) = line.split_once(": {").ok_or("malformed stage line")?;
+            let name = name.trim_matches('"').to_string();
+            let body = body.trim_end_matches('}');
+            let mut samples = Vec::new();
+            for pair in body.split(',') {
+                let (t, v) = pair.split_once(':').ok_or("malformed stage sample")?;
+                samples.push((
+                    t.trim().trim_matches('"').to_string(),
+                    v.trim()
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad seconds in {name}: {e}"))?,
+                ));
+            }
+            stages.push((name, samples));
+        } else if in_stages && line.starts_with('}') {
+            in_stages = false;
+        }
+    }
+    Ok(Bench {
+        machine_threads: machine_threads.ok_or("no machine_threads field")?,
+        stages,
+    })
+}
+
+fn load(path: &str) -> Result<Bench, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench_check <baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if baseline.machine_threads != fresh.machine_threads {
+        println!(
+            "bench_check: skipping — core-count mismatch (baseline {} threads, this machine {}); \
+             wall-clock comparison across machine classes is noise",
+            baseline.machine_threads, fresh.machine_threads
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (stage, samples) in &fresh.stages {
+        let Some((_, base_samples)) = baseline.stages.iter().find(|(s, _)| s == stage) else {
+            println!("{stage:<16} new stage — no baseline, skipped");
+            continue;
+        };
+        for (threads, secs) in samples {
+            let Some((_, base)) = base_samples.iter().find(|(t, _)| t == threads) else {
+                println!("{stage:<16} threads={threads}: no baseline sample, skipped");
+                continue;
+            };
+            compared += 1;
+            let ratio = secs / base;
+            let verdict = if *secs > base * THRESHOLD && secs - base > FLOOR_S {
+                regressions += 1;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "{stage:<16} threads={threads}: {secs:.3}s vs baseline {base:.3}s \
+                 ({ratio:.2}x) {verdict}"
+            );
+        }
+    }
+    if compared == 0 {
+        println!("bench_check: no comparable (stage, threads) keys — nothing to gate");
+        return ExitCode::SUCCESS;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_check: {regressions} stage(s) slowed down more than \
+             {:.0}% vs {baseline_path}",
+            (THRESHOLD - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: all {compared} samples within {THRESHOLD}x of baseline");
+    ExitCode::SUCCESS
+}

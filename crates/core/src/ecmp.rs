@@ -78,7 +78,7 @@ impl DistanceMatrix {
         self.for_each_minimal_port(g, src, dst, |p| out.push(p));
     }
 
-    /// Ports of `src` on a shortest path toward `dst` as a [`PortSet`]
+    /// Ports of `src` on a shortest path toward `dst` as a [`PortSet`](crate::scheme::PortSet)
     /// (same order as [`DistanceMatrix::minimal_ports`]), the allocation-
     /// free form used by [`crate::scheme::MinimalScheme`].
     pub fn minimal_port_set(

@@ -1,4 +1,4 @@
-//! k-shortest-paths comparison baseline (Singla et al. [10]; Appendix C-D).
+//! k-shortest-paths comparison baseline (Singla et al., ref. 10; Appendix C-D).
 //!
 //! Yen's algorithm over unweighted graphs (BFS as the shortest-path
 //! subroutine): the `k` shortest *loop-free* paths per pair, over which

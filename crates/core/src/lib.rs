@@ -4,7 +4,7 @@
 //! plus every comparison routing scheme of §VI, unified behind one
 //! interface:
 //!
-//! * [`scheme`] — the **[`RoutingScheme`](scheme::RoutingScheme) trait**:
+//! * [`scheme`] — the **[`RoutingScheme`] trait**:
 //!   per `(layer, router, destination)` candidate-port sets plus
 //!   metadata. Everything below implements it (directly or through an
 //!   adapter), so the packet simulator and the analysis pipelines treat
@@ -16,25 +16,25 @@
 //!   (Listing 2);
 //! * [`fwd`] — per-layer destination-based forwarding tables σᵢ
 //!   (Listing 3), `O(Nr)` entries per destination; implements
-//!   [`RoutingScheme`](scheme::RoutingScheme) directly;
+//!   [`RoutingScheme`] directly;
 //! * [`repair`] — the route-repair vocabulary
-//!   ([`DownLinks`](repair::DownLinks),
-//!   [`RouteRepair`](repair::RouteRepair)) behind the
-//!   [`RoutingScheme::repair_routes`](scheme::RoutingScheme::repair_routes)
+//!   ([`DownLinks`],
+//!   [`RouteRepair`]) behind the
+//!   [`RoutingScheme::repair_routes`]
 //!   link-state hook: layered tables repair affected rows incrementally,
 //!   adapters rebuild from the degraded graph;
 //! * [`ecmp`] — minimal multipath port sets, ECMP flow hashing, packet
-//!   spraying (adapter: [`MinimalScheme`](scheme::MinimalScheme));
+//!   spraying (adapter: [`MinimalScheme`]);
 //! * [`spain`], [`past`], [`ksp`] — the SPAIN, PAST and k-shortest-paths
 //!   baselines (Appendix C), simulatable through
-//!   [`SpainScheme`](scheme::SpainScheme) /
-//!   [`PastScheme`](scheme::PastScheme) /
-//!   [`KspScheme`](scheme::KspScheme); Valiant load balancing is
-//!   [`ValiantScheme`](scheme::ValiantScheme);
+//!   [`SpainScheme`] /
+//!   [`PastScheme`] /
+//!   [`KspScheme`]; Valiant load balancing is
+//!   [`ValiantScheme`];
 //! * [`schemes`] — Table I's feature matrix as data.
 //!
 //! To add a new routing scheme, implement
-//! [`RoutingScheme`](scheme::RoutingScheme) (and, for the fluent config
+//! [`RoutingScheme`] (and, for the fluent config
 //! API, add a `SchemeSpec` variant in `fatpaths-sim`); the simulator's
 //! event loop needs no changes.
 

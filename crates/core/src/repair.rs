@@ -22,7 +22,7 @@
 //! valid, ask the scheme".
 
 use crate::scheme::PortSet;
-use fatpaths_net::graph::RouterId;
+use fatpaths_net::graph::{Graph, RouterId};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// The set of currently-down bidirectional links, canonicalized to
@@ -44,6 +44,24 @@ impl DownLinks {
         sorted.dedup();
         let set = sorted.iter().copied().collect();
         DownLinks { sorted, set }
+    }
+
+    /// Builds the set from explicitly failed links *plus* whole-router
+    /// failures: a dead router loses every incident link at once (the
+    /// node-level fault model), so `graph` is consulted to expand each
+    /// router in `dead_routers` into its incident links. Schemes stay
+    /// router-agnostic — a repair pass over this set routes around the
+    /// dead node because no live link reaches it.
+    pub fn from_failures(
+        graph: &Graph,
+        links: &[(RouterId, RouterId)],
+        dead_routers: &[RouterId],
+    ) -> DownLinks {
+        let mut all: Vec<(RouterId, RouterId)> = links.to_vec();
+        for &r in dead_routers {
+            all.extend(graph.neighbors(r).iter().map(|&nb| (r, nb)));
+        }
+        DownLinks::from_links(&all)
     }
 
     /// True iff link `{u, v}` is down (orientation-insensitive).
@@ -131,6 +149,20 @@ mod tests {
         assert!(d.contains(2, 7));
         assert!(!d.contains(0, 2));
         assert!(DownLinks::from_links(&[]).is_empty());
+    }
+
+    #[test]
+    fn from_failures_expands_dead_routers() {
+        // Triangle 0-1-2 plus a pendant 3 on router 1.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (1, 3)]);
+        let d = DownLinks::from_failures(&g, &[(0, 2)], &[1]);
+        assert_eq!(d.as_slice(), &[(0, 1), (0, 2), (1, 2), (1, 3)]);
+        // Dedup across sources: the explicit link may also be incident.
+        let d2 = DownLinks::from_failures(&g, &[(1, 0)], &[1]);
+        assert_eq!(d2.as_slice(), &[(0, 1), (1, 2), (1, 3)]);
+        // No routers → same as from_links.
+        let d3 = DownLinks::from_failures(&g, &[(2, 0)], &[]);
+        assert_eq!(d3.as_slice(), DownLinks::from_links(&[(0, 2)]).as_slice());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! behind Figs. 4, 6, 7, 8 and Table IV.
 //!
 //! * [`apsp`] — minimal path lengths/counts, diameter, average path length;
-//! * [`cdp`] — count of disjoint paths `c_l(A,B)` (greedy length-bounded
+//! * [`cdp`](mod@cdp) — count of disjoint paths `c_l(A,B)` (greedy length-bounded
 //!   Ford–Fulkerson, §IV-B1) and exact Menger max-flow for validation;
 //! * [`interference`] — path interference `I^l_{ac,bd}` (§IV-B2);
 //! * [`tnl`] — total network load bound (§IV-B3);

@@ -1,0 +1,308 @@
+//! Churn sweep: rolling-reboot (maintenance-roll) schedules as a
+//! first-class experiment axis — the node-level, *time-varying*
+//! counterpart of the static link-failure `resilience` sweep.
+//!
+//! Grid: topology × routing scheme × reboot fraction × stagger. Each
+//! cell replays the *same* seeded [`FaultPlan::rolling_reboot`]
+//! schedule (routers sampled and ordered from the cell's coordinates
+//! via [`cell_seed`]) under a wave workload that keeps flows starting
+//! throughout the churn window, then measures what actually got
+//! delivered:
+//!
+//! * `host_dead` — flows whose source or destination host sat behind a
+//!   dead router at start time; excluded from the denominator (no
+//!   scheme can serve a dead host), identical across schemes by
+//!   construction.
+//! * `completed` / `stranded` — eligible flows that did / did not
+//!   finish by the horizon (churn end + one tail).
+//! * `on_time` / `goodput_gbps` — completed-flow goodput *sustained
+//!   through the roll*: payload bits of flows that completed within
+//!   [`ON_TIME_PS`] of injection (one RTO-driven re-route plus the
+//!   transfer), per churn-window second. A flow that outwaits a
+//!   rebooting router's multi-RTO downtime still counts as `completed`,
+//!   but it did not sustain goodput during the event. This is the §V-G
+//!   contrast in time-varying form: FatPaths' preprovisioned layers
+//!   re-route a cut flow at its next timeout, so it lands on time,
+//!   while flow-hash ECMP on a single minimal path replays the same
+//!   dead path until the router returns — so ECMP goodput decays with
+//!   reboot fraction while layered routing holds.
+//!
+//! Detection is part of the scheme axis (`*_rep` rows repair routing
+//! 50 µs after every event batch), bracketing the design space the
+//! same way the resilience sweep does: multipath masking without any
+//! control plane vs. control-plane repair.
+
+use crate::common::{f, label, write_summary, write_text};
+use fatpaths_net::classes::{build, SizeClass};
+use fatpaths_net::fault::FaultPlan;
+use fatpaths_net::topo::{TopoKind, Topology};
+use fatpaths_sim::metrics::{mean, percentile};
+use fatpaths_sim::{cell_seed, coord_str, LoadBalancing, Scenario, SchemeSpec, SweepRunner};
+use fatpaths_workloads::arrivals::FlowSpec;
+use std::io;
+
+/// Fractions of routers rebooted by the roll (sweep axis).
+pub const REBOOT_FRACTIONS: [f64; 2] = [0.05, 0.12];
+
+/// Stagger between consecutive reboots, in µs (sweep axis).
+pub const STAGGERS_US: [u64; 2] = [500, 2_000];
+
+/// Per-router downtime: long against the 2 ms NDP RTO, so a stuck
+/// single-path flow pays many timeouts while a layered one re-picks
+/// once (a real firmware reboot is seconds; 8 ms = 4 RTOs keeps the
+/// same ordering at simulable scale).
+const DOWNTIME_PS: u64 = 8_000_000_000; // 8 ms
+
+/// The roll starts here (the first wave of flows launches healthy).
+const CHURN_START_PS: u64 = 1_000_000_000; // 1 ms
+
+/// Flow waves launched across the churn window.
+const N_WAVES: u64 = 5;
+
+/// Horizon tail past the last revival: enough for one more RTO + a
+/// transfer, so late-cut layered flows finish while flows that sat
+/// stuck on a down path through the window are cut off.
+const TAIL_PS: u64 = 1_500_000_000; // 1.5 ms
+
+/// Payload per flow (4 NDP jumbo packets).
+const FLOW_BYTES: u64 = 32 * 1024;
+
+/// On-time bound for sustained goodput: one 2 ms NDP RTO (the earliest
+/// moment a sender can re-route around a silent down-port loss) plus
+/// transfer slack. Completions beyond this outwaited the fault instead
+/// of routing around it.
+pub const ON_TIME_PS: u64 = 2_500_000_000; // 2.5 ms
+
+/// The scheme matrix: FatPaths layers vs flow-hash ECMP over minimal
+/// paths, each with and without a 50 µs-detection control plane.
+fn schemes() -> Vec<(&'static str, SchemeSpec, Option<LoadBalancing>, Option<u64>)> {
+    let fat = SchemeSpec::LayeredRandom {
+        n_layers: 9,
+        rho: 0.6,
+    };
+    vec![
+        ("fatpaths", fat, None, None),
+        (
+            "ecmp",
+            SchemeSpec::Minimal,
+            Some(LoadBalancing::EcmpFlow),
+            None,
+        ),
+        ("fatpaths_rep", fat, None, Some(50_000_000)),
+        (
+            "ecmp_rep",
+            SchemeSpec::Minimal,
+            Some(LoadBalancing::EcmpFlow),
+            Some(50_000_000),
+        ),
+    ]
+}
+
+/// CSV header of the churn artifact.
+const HEADER: &str = "topology,scheme,fraction,stagger_us,rebooted,flows,host_dead,completed,\
+                      on_time,stranded,goodput_gbps,fct_mean_ms,fct_p99_ms,drops,unroutable";
+
+/// The deterministic churn schedule of one `(topology, fraction,
+/// stagger)` coordinate, plus its end time (`last revival`).
+fn reboot_plan(topo: &Topology, fraction: f64, stagger_us: u64) -> (FaultPlan, u64) {
+    let seed = cell_seed(
+        "churn-faults",
+        &[coord_str(&label(topo)), fraction.to_bits(), stagger_us],
+    );
+    let stagger = stagger_us * 1_000_000; // µs → ps
+    let plan =
+        FaultPlan::rolling_reboot(topo, fraction, CHURN_START_PS, stagger, DOWNTIME_PS, seed);
+    let n = plan.router_events().len() as u64 / 2;
+    let end = CHURN_START_PS + n.saturating_sub(1) * stagger + DOWNTIME_PS;
+    (plan, end)
+}
+
+/// Wave workload: `N_WAVES` endpoint permutations spread evenly from
+/// `t = 0` to the end of the churn window, so reboots hit flows in
+/// every phase — before, during, and between their transfers.
+fn wave_flows(topo: &Topology, churn_end: u64) -> Vec<FlowSpec> {
+    let n = topo.num_endpoints() as u64;
+    let gap = churn_end / N_WAVES;
+    let mut flows = Vec::new();
+    for w in 0..N_WAVES {
+        let offset = [21u64, 33, 47, 5, 11][w as usize % 5] % n.max(2);
+        flows.extend(
+            (0..n)
+                .map(|e| FlowSpec {
+                    src: e as u32,
+                    dst: ((e + offset) % n) as u32,
+                    size: FLOW_BYTES,
+                    start: w * gap,
+                })
+                .filter(|fl| fl.src != fl.dst),
+        );
+    }
+    flows
+}
+
+/// Metrics of one grid cell, pre-assembly.
+struct CellOut {
+    rebooted: u64,
+    flows: usize,
+    host_dead: usize,
+    completed: usize,
+    on_time: usize,
+    goodput_gbps: f64,
+    fct_mean_s: f64,
+    fct_p99_s: f64,
+    drops: u64,
+    unroutable: u64,
+}
+
+/// Runs the churn grid and returns `(csv_text, summary_text)`,
+/// assembled in grid order after the parallel phase (bit-identical for
+/// any thread count; fault schedules and workloads are pure functions
+/// of cell coordinates).
+pub fn churn_matrix_on(
+    topos: Vec<Topology>,
+    fractions: &[f64],
+    staggers_us: &[u64],
+) -> (String, String) {
+    let specs = schemes();
+    let mut cells: Vec<(usize, usize, usize, usize)> = Vec::new();
+    for ti in 0..topos.len() {
+        for si in 0..specs.len() {
+            for fi in 0..fractions.len() {
+                for sti in 0..staggers_us.len() {
+                    cells.push((ti, si, fi, sti));
+                }
+            }
+        }
+    }
+    let (fr, st) = (fractions.to_vec(), staggers_us.to_vec());
+    let results = SweepRunner::new("churn", cells).run(|_, &(ti, si, fi, sti)| {
+        let topo = &topos[ti];
+        let (_, spec, lb, detect) = specs[si];
+        let (plan, churn_end) = reboot_plan(topo, fr[fi], st[sti]);
+        let rebooted = plan.router_events().len() as u64 / 2;
+        let flows = wave_flows(topo, churn_end);
+        let horizon = churn_end + TAIL_PS;
+        let mut sc = Scenario::on(topo)
+            .scheme(spec)
+            .workload(&flows)
+            .seed(5)
+            .horizon(horizon)
+            .fault_plan(plan);
+        if let Some(lb) = lb {
+            sc = sc.lb(lb);
+        }
+        if let Some(d) = detect {
+            sc = sc.detection_delay(d);
+        }
+        let res = sc.run();
+        let fcts = res.fcts(None);
+        // Goodput sustained *through* the roll: only bytes delivered
+        // on time count (a flow that outwaits a rebooting router's
+        // multi-RTO downtime completed, but it did not sustain goodput
+        // during the event).
+        let on_time: Vec<u64> = res
+            .completed()
+            .filter(|fl| fl.finish.is_some_and(|t| t - fl.start <= ON_TIME_PS))
+            .map(|fl| fl.size)
+            .collect();
+        CellOut {
+            rebooted,
+            flows: res.flows.len(),
+            host_dead: res.host_dead(),
+            completed: res.completed().count(),
+            on_time: on_time.len(),
+            // on-time bits / churn-window seconds, in Gb/s.
+            goodput_gbps: on_time.iter().sum::<u64>() as f64 * 8_000.0 / churn_end as f64,
+            fct_mean_s: mean(&fcts),
+            fct_p99_s: percentile(&fcts, 99.0),
+            drops: res.drops,
+            unroutable: res.unroutable,
+        }
+    });
+    let (nf, nst) = (fractions.len(), staggers_us.len());
+    let cell_index = |ti: usize, si: usize, fi: usize, sti: usize| {
+        ((ti * specs.len() + si) * nf + fi) * nst + sti
+    };
+    let mut csv = String::from(HEADER);
+    csv.push('\n');
+    let mut summary = String::from(
+        "Churn — completed-flow goodput through a rolling reboot (FatPaths vs ECMP)\n",
+    );
+    for (ti, topo) in topos.iter().enumerate() {
+        summary.push_str(&format!(
+            "-- {} ({} endpoints, {} routers) --\n",
+            label(topo),
+            topo.num_endpoints(),
+            topo.num_routers()
+        ));
+        for (si, (name, ..)) in specs.iter().enumerate() {
+            for (fi, &fraction) in fractions.iter().enumerate() {
+                for (sti, &stagger) in staggers_us.iter().enumerate() {
+                    let c = &results[cell_index(ti, si, fi, sti)];
+                    let stranded = c.flows - c.host_dead - c.completed;
+                    csv.push_str(&format!(
+                        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                        label(topo),
+                        name,
+                        f(fraction),
+                        stagger,
+                        c.rebooted,
+                        c.flows,
+                        c.host_dead,
+                        c.completed,
+                        c.on_time,
+                        stranded,
+                        f(c.goodput_gbps),
+                        f(c.fct_mean_s * 1e3),
+                        f(c.fct_p99_s * 1e3),
+                        c.drops,
+                        c.unroutable
+                    ));
+                    if sti + 1 == nst {
+                        summary.push_str(&format!(
+                            "{:<12} f={:.2} stagger={:>5}us: {:>5}/{:<5} done \
+                             ({} host_dead, {} stranded), {:>7.3} Gb/s\n",
+                            name,
+                            fraction,
+                            stagger,
+                            c.completed,
+                            c.flows - c.host_dead,
+                            c.host_dead,
+                            stranded,
+                            c.goodput_gbps
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    summary.push_str(
+        "Rolling reboots (node-level churn): a dead router takes its hosts out of the\n\
+         workload (host_dead) and its whole radix off the network at once. FatPaths'\n\
+         preprovisioned layers re-route cut flows one RTO after the hit; flow-hash\n\
+         ECMP strands them until the router returns, so its completed-flow goodput\n\
+         decays with reboot fraction. Detection + batched repair (*_rep) closes most\n\
+         of the gap for both.\n",
+    );
+    (csv, summary)
+}
+
+/// The shipped experiment: small-class SF, DF, and FT3 under the
+/// [`REBOOT_FRACTIONS`] × [`STAGGERS_US`] rolling-reboot sweep.
+pub fn churn(quick: bool) -> io::Result<()> {
+    let kinds: &[TopoKind] = if quick || crate::common::is_smoke() {
+        &[TopoKind::SlimFly, TopoKind::FatTree]
+    } else {
+        &[TopoKind::SlimFly, TopoKind::Dragonfly, TopoKind::FatTree]
+    };
+    let topos = SweepRunner::new("churn-topos", kinds.to_vec())
+        .run(|_, &kind| build(kind, SizeClass::Small, 1));
+    let (fractions, staggers): (&[f64], &[u64]) = if quick || crate::common::is_smoke() {
+        (&[0.05], &[500])
+    } else {
+        (&REBOOT_FRACTIONS, &STAGGERS_US)
+    };
+    let (csv, summary) = churn_matrix_on(topos, fractions, staggers);
+    write_text("churn.csv", &csv)?;
+    write_summary("churn", &summary)
+}

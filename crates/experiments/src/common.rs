@@ -131,6 +131,15 @@ pub fn is_quick(args: &[String]) -> bool {
     args.iter().any(|a| a == "--quick")
 }
 
+/// True when `FATPATHS_SMOKE` is set (and not `0`): the CI smoke gate's
+/// even-further-reduced scale. Smoke runs exist to prove every
+/// experiment binary still executes end-to-end and emits a non-empty
+/// artifact — numbers only need to be produced, not be meaningful — so
+/// experiments may shrink grids and size classes beyond `--quick`.
+pub fn is_smoke() -> bool {
+    std::env::var("FATPATHS_SMOKE").is_ok_and(|v| v != "0")
+}
+
 /// Per-topology label for CSV rows.
 pub fn label(topo: &Topology) -> String {
     match topo.kind {

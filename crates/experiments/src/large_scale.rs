@@ -19,7 +19,10 @@ use std::io;
 
 /// Packet-level part: SF, SF-JF and DF at the large class.
 pub fn fig13_packet(quick: bool) -> io::Result<()> {
-    let class = if quick {
+    // Smoke mode exists to prove the pipeline runs, not to be large.
+    let class = if crate::common::is_smoke() {
+        SizeClass::Small
+    } else if quick {
         SizeClass::Medium
     } else {
         SizeClass::Large
@@ -117,7 +120,10 @@ fn parents_toward(g: &Graph, dst: u32) -> Vec<u32> {
 /// Routing tables at this scale would need gigabytes, so paths come from
 /// per-(layer, destination) BFS batches over the layer graphs.
 pub fn fig13_fluid(quick: bool) -> io::Result<()> {
-    let class = if quick {
+    // Smoke mode exists to prove the pipeline runs, not to be large.
+    let class = if crate::common::is_smoke() {
+        SizeClass::Small
+    } else if quick {
         SizeClass::Large
     } else {
         SizeClass::Huge

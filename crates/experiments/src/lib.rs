@@ -13,6 +13,7 @@
 //! whether it runs on 1 thread or 64.
 
 pub mod baselines;
+pub mod churn;
 pub mod common;
 pub mod diversity_figs;
 pub mod large_scale;

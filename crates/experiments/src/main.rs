@@ -8,7 +8,8 @@
 //! ```
 
 use fatpaths_experiments::{
-    baselines, common, diversity_figs, large_scale, perf_ndp, perf_tcp, resilience, theory_figs,
+    baselines, churn, common, diversity_figs, large_scale, perf_ndp, perf_tcp, resilience,
+    theory_figs,
 };
 
 type Runner = fn(bool) -> std::io::Result<()>;
@@ -40,6 +41,11 @@ fn registry() -> Vec<(&'static str, Runner, &'static str)> {
             "resilience",
             resilience::resilience,
             "Link-failure sweep: completions + FCT slowdown vs failure fraction",
+        ),
+        (
+            "churn",
+            churn::churn,
+            "Rolling-reboot churn: completed-flow goodput vs reboot fraction × stagger",
         ),
         (
             "fig2",

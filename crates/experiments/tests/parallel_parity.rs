@@ -15,6 +15,7 @@ use fatpaths_core::layers::{build_random_layers, LayerConfig};
 use fatpaths_core::scheme::{KspConfig, KspScheme, RoutingScheme};
 use fatpaths_diversity::apsp::shortest_path_stats;
 use fatpaths_experiments::baselines::baselines_matrix_on;
+use fatpaths_experiments::churn::churn_matrix_on;
 use fatpaths_experiments::resilience::resilience_matrix_on;
 use fatpaths_net::topo::slimfly::slim_fly;
 use fatpaths_net::topo::Topology;
@@ -92,6 +93,37 @@ fn resilience_matrix_is_bit_identical_across_thread_counts() {
     );
     // Sanity: 2 topologies × 3 schemes × 2 fractions × 2 detection modes.
     assert_eq!(csv_par.lines().count(), 1 + 2 * 3 * 2 * 2);
+}
+
+/// The `churn` experiment — rolling-reboot schedules, timed
+/// router-down/up events, host-dead workload filtering, and batched
+/// route repair across the (topology × scheme × fraction × stagger)
+/// grid — emits byte-identical CSV and summary on the pool and on a
+/// single thread. Reboot schedules are seeded from cell coordinates
+/// via `cell_seed`, so this holds by construction; the test pins it.
+#[test]
+fn churn_matrix_is_bit_identical_across_thread_counts() {
+    wide_pool();
+    let topos = || {
+        vec![
+            slim_fly(5, 2).unwrap(),
+            fatpaths_net::topo::fattree::fat_tree(4, 1),
+        ]
+    };
+    let (fractions, staggers) = ([0.1], [500u64]);
+    let (csv_par, summary_par) = churn_matrix_on(topos(), &fractions, &staggers);
+    let (csv_seq, summary_seq) =
+        rayon::run_sequential(|| churn_matrix_on(topos(), &fractions, &staggers));
+    assert!(
+        csv_par == csv_seq,
+        "churn CSV differs between pooled and single-threaded runs"
+    );
+    assert!(
+        summary_par == summary_seq,
+        "churn summary differs between pooled and single-threaded runs"
+    );
+    // Sanity: 2 topologies × 4 schemes × 1 fraction × 1 stagger.
+    assert_eq!(csv_par.lines().count(), 1 + 2 * 4);
 }
 
 /// APSP statistics (parallel BFS fan-out per source) are identical in

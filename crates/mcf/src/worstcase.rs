@@ -1,4 +1,4 @@
-//! Worst-case traffic generation (§VI-C, from Jyothi et al. [85]).
+//! Worst-case traffic generation (§VI-C, from Jyothi et al., ref. 85).
 //!
 //! The pattern "maximizes stress on the network while hampering effective
 //! routing": endpoints are paired by a maximum-weight matching on router

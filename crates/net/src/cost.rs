@@ -1,7 +1,7 @@
 //! Construction cost model (§VII-A2, Fig. 10).
 //!
-//! Following the linear router/cable models of Kim et al. [23], Besta &
-//! Hoefler [55], and Kim/Dally/Abts [57], parameterized with 100 GbE
+//! Following the linear router/cable models of Kim et al. (ref. 23), Besta &
+//! Hoefler (ref. 55), and Kim/Dally/Abts (ref. 57), parameterized with 100 GbE
 //! list-price ballpark figures of the paper's era (Mellanox gear via
 //! ColfaxDirect). Costs split into:
 //!

@@ -9,12 +9,20 @@
 //! pure function of its seed (the determinism discipline of the execution
 //! layer; see `fatpaths_sim::cell_seed`).
 //!
-//! The failure granularity is the bidirectional router-router link, the
-//! unit the paper's resilience evaluation (and the fat-tree fault-
-//! resiliency literature, e.g. Gliksberg et al.) uses. Endpoint access
-//! links never fail (a dead access link is an endpoint failure, a
-//! different phenomenon). Router-level (whole-node) failures are a
-//! ROADMAP item and compose naturally as "all incident links down".
+//! Two failure granularities are modeled. The finer one is the
+//! bidirectional router-router link, the unit the paper's resilience
+//! evaluation uses; endpoint access links never fail on their own (a
+//! dead access link is an endpoint failure, a different phenomenon).
+//! The coarser one is the whole router (the node-level fault model of
+//! the fat-tree fault-resiliency literature, e.g. Gliksberg et al.):
+//! a dead router atomically loses *all* incident links **and** takes
+//! its attached endpoints out of the workload — flows whose source or
+//! destination host sits behind it are `host_dead`, a different
+//! phenomenon than `unroutable` pairs in a link-degraded network.
+//! Timed [`RouterEvent`]s compose into churn schedules:
+//! [`FaultPlan::rolling_reboot`] (staggered reboots, e.g. a firmware
+//! roll) and [`FaultPlan::maintenance_window`] (a rack taken down at
+//! once and restored later).
 
 use crate::graph::RouterId;
 use crate::topo::{LinkClass, Topology};
@@ -50,6 +58,15 @@ pub enum FaultModel {
         /// Fraction of that class's links to fail.
         fraction: f64,
     },
+    /// Whole-router failures: pick `routers` routers uniformly and kill
+    /// them outright — every incident link fails *and* the attached
+    /// endpoints drop out of the workload (power event, crashed control
+    /// plane). The node-level analogue of [`FaultModel::RouterBursts`],
+    /// which only damages links and keeps the router's hosts injecting.
+    RouterDown {
+        /// Number of routers that die.
+        routers: usize,
+    },
 }
 
 /// A timed link state change, in simulation picoseconds.
@@ -65,18 +82,34 @@ pub struct LinkEvent {
     pub up: bool,
 }
 
-/// A deterministic description of which links fail and when.
+/// A timed router state change, in simulation picoseconds. A router
+/// going down atomically fails every incident link and marks its
+/// attached endpoints dead; coming back up revives exactly the links
+/// whose other end is alive and not independently failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterEvent {
+    /// Absolute event time (ps).
+    pub at: u64,
+    /// The router whose state flips.
+    pub router: RouterId,
+    /// `true` = the router comes (back) up; `false` = it dies.
+    pub up: bool,
+}
+
+/// A deterministic description of which links and routers fail and when.
 ///
-/// Static failures are down from `t = 0`; [`LinkEvent`]s flip link state
-/// mid-run. The simulator consumes the plan via
-/// `Simulator::apply_fault_plan`, and `Scenario::fault_plan` wires it
-/// into the fluent builder. The legacy single-link
+/// Static failures are down from `t = 0`; [`LinkEvent`]s and
+/// [`RouterEvent`]s flip state mid-run. The simulator consumes the plan
+/// via `Simulator::apply_fault_plan`, and `Scenario::fault_plan` wires
+/// it into the fluent builder. The legacy single-link
 /// `Scenario::fail_link` / `Simulator::fail_link` APIs are thin wrappers
 /// over the static set, so there is exactly one failure mechanism.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     static_failures: Vec<(RouterId, RouterId)>,
     events: Vec<LinkEvent>,
+    static_router_failures: Vec<RouterId>,
+    router_events: Vec<RouterEvent>,
 }
 
 impl FaultPlan {
@@ -128,6 +161,87 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a static (dead from `t = 0`) whole-router failure: all of
+    /// `r`'s incident links fail and its endpoints drop out of the
+    /// workload. Duplicates collapse.
+    pub fn add_router(&mut self, r: RouterId) {
+        if !self.static_router_failures.contains(&r) {
+            self.static_router_failures.push(r);
+        }
+    }
+
+    /// Builder form of [`FaultPlan::add_router`].
+    pub fn fail_router(mut self, r: RouterId) -> FaultPlan {
+        self.add_router(r);
+        self
+    }
+
+    /// Schedules router `r` to die at `at` picoseconds.
+    pub fn router_down_at(mut self, at: u64, r: RouterId) -> FaultPlan {
+        self.router_events.push(RouterEvent {
+            at,
+            router: r,
+            up: false,
+        });
+        self.router_events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Schedules router `r` to come back up at `at` picoseconds.
+    pub fn router_up_at(mut self, at: u64, r: RouterId) -> FaultPlan {
+        self.router_events.push(RouterEvent {
+            at,
+            router: r,
+            up: true,
+        });
+        self.router_events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// A rolling-reboot (firmware roll / staggered maintenance)
+    /// schedule: `count_of(Nr, fraction)` routers sampled by `seed`
+    /// reboot one after another — router *i* of the draw goes down at
+    /// `start + i·stagger` and returns `downtime` later. With
+    /// `stagger ≥ downtime` at most one router is dead at a time; with
+    /// `stagger < downtime` reboots overlap, as aggressive rolls do.
+    /// Deterministic in `(topo, fraction, seed)`.
+    pub fn rolling_reboot(
+        topo: &Topology,
+        fraction: f64,
+        start: u64,
+        stagger: u64,
+        downtime: u64,
+        seed: u64,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        for (i, r) in sample_routers(topo, fraction, seed).into_iter().enumerate() {
+            let down = start + i as u64 * stagger;
+            plan = plan
+                .router_down_at(down, r)
+                .router_up_at(down + downtime, r);
+        }
+        plan
+    }
+
+    /// A maintenance window: the sampled routers all die at `start` and
+    /// all return at `start + duration` — one correlated burst of
+    /// simultaneous events, the worst case for per-change repair cost.
+    pub fn maintenance_window(
+        topo: &Topology,
+        fraction: f64,
+        start: u64,
+        duration: u64,
+        seed: u64,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        for r in sample_routers(topo, fraction, seed) {
+            plan = plan
+                .router_down_at(start, r)
+                .router_up_at(start + duration, r);
+        }
+        plan
+    }
+
     /// Samples a static failure set from `model` on `topo`. Deterministic:
     /// the same `(topo, model, seed)` always yields the same plan, and the
     /// draw is a pure function of the seed (never of thread count or call
@@ -171,13 +285,19 @@ impl FaultPlan {
                     .collect();
                 plan.static_failures = sample_fraction(&pool, fraction, &mut rng);
             }
+            FaultModel::RouterDown { routers } => {
+                let nr = topo.num_routers();
+                let mut ids: Vec<RouterId> = (0..nr as u32).collect();
+                ids.shuffle(&mut rng);
+                plan.static_router_failures = ids.into_iter().take(routers.min(nr)).collect();
+            }
         }
         plan
     }
 
-    /// Merges `other` into this plan: static failures dedup (set-based,
-    /// keeping this plan's order first), timed events interleave with one
-    /// stable sort by time.
+    /// Merges `other` into this plan: static link and router failures
+    /// dedup (keeping this plan's order first), timed events interleave
+    /// with one stable sort by time.
     pub fn merge(&mut self, other: &FaultPlan) {
         let mut seen: rustc_hash::FxHashSet<(RouterId, RouterId)> =
             self.static_failures.iter().copied().collect();
@@ -188,6 +308,11 @@ impl FaultPlan {
         }
         self.events.extend_from_slice(&other.events);
         self.events.sort_by_key(|e| e.at);
+        for &r in &other.static_router_failures {
+            self.add_router(r);
+        }
+        self.router_events.extend_from_slice(&other.router_events);
+        self.router_events.sort_by_key(|e| e.at);
     }
 
     /// The links down from `t = 0`, in canonical `(min, max)` form.
@@ -200,15 +325,44 @@ impl FaultPlan {
         &self.events
     }
 
+    /// The routers dead from `t = 0`, in draw order.
+    pub fn static_router_failures(&self) -> &[RouterId] {
+        &self.static_router_failures
+    }
+
+    /// Timed router events, sorted by time.
+    pub fn router_events(&self) -> &[RouterEvent] {
+        &self.router_events
+    }
+
     /// True iff the plan fails nothing, ever.
     pub fn is_empty(&self) -> bool {
-        self.static_failures.is_empty() && self.events.is_empty()
+        self.static_failures.is_empty()
+            && self.events.is_empty()
+            && self.static_router_failures.is_empty()
+            && self.router_events.is_empty()
     }
 
     /// Number of statically failed links.
     pub fn num_static(&self) -> usize {
         self.static_failures.len()
     }
+
+    /// Number of statically dead routers.
+    pub fn num_static_routers(&self) -> usize {
+        self.static_router_failures.len()
+    }
+}
+
+/// Draws `count_of(Nr, fraction)` distinct routers, uniformly, in a
+/// seed-determined order (shared by the churn schedule builders).
+fn sample_routers(topo: &Topology, fraction: f64, seed: u64) -> Vec<RouterId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nr = topo.num_routers();
+    let mut ids: Vec<RouterId> = (0..nr as u32).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(count_of(nr, fraction));
+    ids
 }
 
 /// Rounds `fraction` of `n` to the nearest whole count, clamped to `n`.
@@ -344,6 +498,78 @@ mod tests {
     fn from_links_roundtrip() {
         let plan = FaultPlan::from_links(&[(5, 2), (2, 5), (0, 1)]);
         assert_eq!(plan.static_failures(), &[(2, 5), (0, 1)]);
+    }
+
+    #[test]
+    fn router_down_samples_distinct_routers_deterministically() {
+        let t = slim_fly(5, 1).unwrap();
+        let m = FaultModel::RouterDown { routers: 3 };
+        let a = FaultPlan::sample(&t, &m, 11);
+        assert_eq!(a, FaultPlan::sample(&t, &m, 11));
+        assert_ne!(a, FaultPlan::sample(&t, &m, 12));
+        assert_eq!(a.num_static_routers(), 3);
+        assert_eq!(a.num_static(), 0, "router failures, not link failures");
+        let mut rs = a.static_router_failures().to_vec();
+        rs.sort_unstable();
+        rs.dedup();
+        assert_eq!(rs.len(), 3, "distinct routers");
+        assert!(rs.iter().all(|&r| (r as usize) < t.num_routers()));
+        // Clamped to the population.
+        let all = FaultPlan::sample(&t, &FaultModel::RouterDown { routers: 10_000 }, 1);
+        assert_eq!(all.num_static_routers(), t.num_routers());
+    }
+
+    #[test]
+    fn rolling_reboot_staggers_down_up_pairs() {
+        let t = slim_fly(5, 1).unwrap();
+        let plan = FaultPlan::rolling_reboot(&t, 0.1, 1_000, 500, 200, 7);
+        assert_eq!(plan, FaultPlan::rolling_reboot(&t, 0.1, 1_000, 500, 200, 7));
+        let expect = (0.1 * t.num_routers() as f64).round() as usize;
+        assert_eq!(plan.router_events().len(), 2 * expect);
+        assert!(plan.static_router_failures().is_empty());
+        // Each sampled router gets one down and one up, downtime apart,
+        // and consecutive reboots start one stagger apart.
+        let mut downs: Vec<&RouterEvent> = plan.router_events().iter().filter(|e| !e.up).collect();
+        downs.sort_by_key(|e| e.at);
+        for (i, d) in downs.iter().enumerate() {
+            assert_eq!(d.at, 1_000 + i as u64 * 500);
+            let up = plan
+                .router_events()
+                .iter()
+                .find(|e| e.up && e.router == d.router)
+                .expect("matching up event");
+            assert_eq!(up.at, d.at + 200);
+        }
+        // Events are time-sorted.
+        let at: Vec<u64> = plan.router_events().iter().map(|e| e.at).collect();
+        assert!(at.windows(2).all(|w| w[0] <= w[1]));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn maintenance_window_is_one_simultaneous_burst() {
+        let t = slim_fly(5, 1).unwrap();
+        let plan = FaultPlan::maintenance_window(&t, 0.2, 2_000, 900, 3);
+        let expect = (0.2 * t.num_routers() as f64).round() as usize;
+        let downs: Vec<_> = plan.router_events().iter().filter(|e| !e.up).collect();
+        let ups: Vec<_> = plan.router_events().iter().filter(|e| e.up).collect();
+        assert_eq!(downs.len(), expect);
+        assert_eq!(ups.len(), expect);
+        assert!(downs.iter().all(|e| e.at == 2_000));
+        assert!(ups.iter().all(|e| e.at == 2_900));
+    }
+
+    #[test]
+    fn merge_carries_router_failures() {
+        let mut a = FaultPlan::none().fail_router(3).router_down_at(1_000, 5);
+        let b = FaultPlan::none()
+            .fail_router(3)
+            .fail_router(7)
+            .router_up_at(500, 5);
+        a.merge(&b);
+        assert_eq!(a.static_router_failures(), &[3, 7]);
+        let at: Vec<u64> = a.router_events().iter().map(|e| e.at).collect();
+        assert_eq!(at, vec![500, 1_000]);
     }
 
     #[test]

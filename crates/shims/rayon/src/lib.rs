@@ -1,6 +1,6 @@
 //! Offline shim for `rayon`: the parallel-iterator API subset this
 //! workspace uses, executed on an in-tree work-stealing thread pool
-//! (see [`pool`] — `std::thread` + shared atomic chunk counters, no
+//! (see the internal `pool` module — `std::thread` + shared atomic chunk counters, no
 //! external dependencies). Observable semantics match rayon's: `collect`
 //! preserves item order, `zip` pairs by position, `map_init` reuses one
 //! scratch value per worker *chunk*, and closures need the same

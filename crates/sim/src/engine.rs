@@ -64,6 +64,20 @@ pub enum EvKind {
         /// The other endpoint router.
         v: u32,
     },
+    /// Router `router` dies: every incident link goes down atomically
+    /// and its attached endpoints stop injecting (flows starting while
+    /// it is dead are accounted `host_dead`).
+    RouterDown {
+        /// The dying router.
+        router: u32,
+    },
+    /// Router `router` comes back up: incident links whose other end is
+    /// alive and not independently failed are restored, and its
+    /// endpoints may inject again.
+    RouterUp {
+        /// The reviving router.
+        router: u32,
+    },
     /// The control plane noticed a link-state change (one detection
     /// delay after it): recompute the route-repair overlay from the
     /// current down-link set.

@@ -9,8 +9,8 @@
 //!   100-pkt queues / ECN@33 / 200 µs min-RTO for TCP, 50 µs flowlets);
 //! * [`simulator`] — ports, queues (trim+priority / taildrop+ECN), links,
 //!   routing and load balancing (ECMP, spraying, LetFlow, FatPaths layers);
-//! * [`ndp`] — the purified receiver-driven transport (§III-C);
-//! * [`tcp`] — Reno, ECN-Reno, DCTCP (§VIII-A);
+//! * `ndp` (internal) — the purified receiver-driven transport (§III-C);
+//! * `tcp` (internal) — Reno, ECN-Reno, DCTCP (§VIII-A);
 //! * [`fluid`] — max-min fluid model (Fig. 13 at 1M endpoints);
 //! * [`metrics`] — FCT/throughput statistics;
 //! * [`sweep`] — [`SweepRunner`]: deterministic parallel execution of
@@ -36,7 +36,7 @@ pub use config::{LoadBalancing, SimConfig, TcpVariant, Transport, HDR_BYTES};
 pub use engine::TimePs;
 pub use fatpaths_core::repair::{DownLinks, RouteRepair};
 pub use fatpaths_core::scheme::{PortSet, RoutingScheme};
-pub use fatpaths_net::fault::{FaultModel, FaultPlan, LinkEvent};
+pub use fatpaths_net::fault::{FaultModel, FaultPlan, LinkEvent, RouterEvent};
 pub use metrics::{histogram, mean, percentile, throughput_by_size, FlowRecord, SimResult};
 pub use scenario::{BuiltScheme, Scenario, SchemeSpec};
 pub use simulator::Simulator;

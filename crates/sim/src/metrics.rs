@@ -16,6 +16,12 @@ pub struct FlowRecord {
     pub retx: u32,
     /// NDP payload trims observed by this flow's receiver.
     pub trims: u32,
+    /// The flow was never injected: its source or destination host sat
+    /// behind a dead router at start time. Distinct from an incomplete
+    /// flow (`finish = None` with `host_dead = false`), which was
+    /// injected but cut off by the horizon, and from `unroutable`
+    /// drops, which are the network's failure between live hosts.
+    pub host_dead: bool,
 }
 
 impl FlowRecord {
@@ -53,12 +59,28 @@ impl SimResult {
         self.flows.iter().filter(|f| f.finish.is_some())
     }
 
-    /// Fraction of flows that completed.
+    /// Flows that were actually injected — both endpoints alive at start
+    /// time. The denominator for completion accounting: `host_dead`
+    /// flows are a property of the fault plan (the host is gone), not of
+    /// the routing scheme under test.
+    pub fn eligible(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.iter().filter(|f| !f.host_dead)
+    }
+
+    /// Flows excluded from the workload because an endpoint was behind a
+    /// dead router at start time.
+    pub fn host_dead(&self) -> usize {
+        self.flows.iter().filter(|f| f.host_dead).count()
+    }
+
+    /// Fraction of eligible flows that completed (`host_dead` flows are
+    /// excluded from the denominator; 1.0 when nothing was eligible).
     pub fn completion_rate(&self) -> f64 {
-        if self.flows.is_empty() {
+        let eligible = self.eligible().count();
+        if eligible == 0 {
             return 1.0;
         }
-        self.completed().count() as f64 / self.flows.len() as f64
+        self.completed().count() as f64 / eligible as f64
     }
 
     /// Makespan of a bulk phase: last finish − first start.
@@ -162,6 +184,7 @@ mod tests {
             finish: Some(1_000_000_000_000),
             retx: 0,
             trims: 0,
+            host_dead: false,
         };
         assert_eq!(f.fct_s(), Some(1.0));
         assert!((f.throughput_mib_s().unwrap() - 1.0).abs() < 1e-12);
@@ -193,6 +216,7 @@ mod tests {
             finish: Some(fct_ps),
             retx: 0,
             trims: 0,
+            host_dead: false,
         };
         let r = SimResult {
             flows: vec![mk(100, 1_000_000), mk(100, 2_000_000), mk(200, 1_000_000)],
@@ -214,6 +238,7 @@ mod tests {
                     finish: Some(5),
                     retx: 0,
                     trims: 0,
+                    host_dead: false,
                 },
                 FlowRecord {
                     size: 1,
@@ -221,10 +246,42 @@ mod tests {
                     finish: None,
                     retx: 0,
                     trims: 0,
+                    host_dead: false,
                 },
             ],
             ..Default::default()
         };
         assert_eq!(r.completion_rate(), 0.5);
+    }
+
+    #[test]
+    fn host_dead_flows_leave_the_denominator() {
+        let mk = |finish, host_dead| FlowRecord {
+            size: 1,
+            start: 0,
+            finish,
+            retx: 0,
+            trims: 0,
+            host_dead,
+        };
+        let r = SimResult {
+            // One completed, one stranded, two host-dead.
+            flows: vec![
+                mk(Some(5), false),
+                mk(None, false),
+                mk(None, true),
+                mk(None, true),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.host_dead(), 2);
+        assert_eq!(r.eligible().count(), 2);
+        assert_eq!(r.completion_rate(), 0.5);
+        // All flows host-dead: nothing was eligible, nothing failed.
+        let all_dead = SimResult {
+            flows: vec![mk(None, true)],
+            ..Default::default()
+        };
+        assert_eq!(all_dead.completion_rate(), 1.0);
     }
 }

@@ -162,8 +162,17 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
     /// Safety net: if the flow has stalled (all credits or announcements
     /// lost — rare under trimming, routine under link failures), re-pick
     /// the routing layer (§V-G fault tolerance: redirect to one of the
-    /// preprovisioned alternate layers) and re-send the first byte the
-    /// receiver is missing.
+    /// preprovisioned alternate layers) and re-push every sent-but-
+    /// unreceived sequence at line rate.
+    ///
+    /// The full re-push matters under link and router failures: a packet
+    /// dropped on a *down port* is silent — unlike a trim, nothing
+    /// announces it to the receiver, so the lost sequences sit in no
+    /// retransmission queue and the timeout is their only recovery path.
+    /// Resending one packet per 2 ms RTO would stretch a lost w-packet
+    /// window to w timeouts; resending the window mirrors the line-rate
+    /// first window of §III-C (receiver-side dedup makes spurious copies
+    /// harmless).
     pub(crate) fn ndp_on_rto(&mut self, flow: u32, gen: u32) {
         let f = &self.flows[flow as usize];
         if f.finished.is_some() || gen != f.rto_gen || !f.started {
@@ -175,10 +184,17 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
             f.flowlet_ctr += 1;
             f.layer = (fnv1a(((flow as u64) << 26) ^ 0xFA11 ^ f.flowlet_ctr as u64) % nl) as u8;
         }
+        let window = match self.cfg.transport {
+            Transport::Ndp { initial_window, .. } => initial_window,
+            _ => 8,
+        };
         let f = &self.flows[flow as usize];
-        let missing = (0..f.num_pkts).find(|&s| !f.has_received(s));
-        if let Some(seq) = missing {
-            self.flows[flow as usize].retx_count += 1;
+        let missing: Vec<u32> = (0..f.num_pkts)
+            .filter(|&s| !f.has_received(s))
+            .take(window as usize)
+            .collect();
+        self.flows[flow as usize].retx_count += missing.len() as u32;
+        for seq in missing {
             self.send_data(flow, seq, true);
         }
         self.ndp_arm_rto(flow);

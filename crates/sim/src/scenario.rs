@@ -304,9 +304,18 @@ impl<'a> Scenario<'a> {
         self
     }
 
-    /// Installs a [`FaultPlan`]: static failures plus timed
-    /// `LinkDown`/`LinkUp` events. Merges with any links already failed
-    /// via [`Scenario::fail_link`].
+    /// Installs a [`FaultPlan`]: static link and whole-router failures
+    /// plus timed `LinkDown`/`LinkUp`/`RouterDown`/`RouterUp` events
+    /// (e.g. the [`FaultPlan::rolling_reboot`] and
+    /// [`FaultPlan::maintenance_window`] churn schedules). Merges with
+    /// any links already failed via [`Scenario::fail_link`].
+    ///
+    /// Whole-router failures filter the workload: a flow whose source or
+    /// destination endpoint sits behind a dead router at its start time
+    /// is never injected and is accounted `host_dead` in the
+    /// [`SimResult`] — separate from `unroutable` (live hosts that the
+    /// degraded network cannot connect) and excluded from
+    /// [`SimResult::completion_rate`]'s denominator.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.faults.merge(&plan);
         self

@@ -1,6 +1,6 @@
 //! The packet-level simulator: network state (ports, queues, links),
 //! routing/load-balancing decisions, and the event loop. Endpoint
-//! transport logic lives in [`crate::ndp`] and [`crate::tcp`].
+//! transport logic lives in the crate-internal `ndp` and `tcp` modules.
 //!
 //! Model (matching htsim's structure, §VII-A6): every link is an output
 //! port with a serializer and a queue; packets are store-and-forward;
@@ -94,6 +94,10 @@ pub(crate) struct FlowState {
     pub rx_last_layer: u8,
     /// MPTCP subflow: layer is pinned, never re-picked.
     pub pinned_layer: Option<u8>,
+    /// The flow was never injected: its source or destination host sat
+    /// behind a dead router at start time (distinct from `unroutable`,
+    /// which is a property of the network between live hosts).
+    pub host_dead: bool,
     /// Congestion-avoidance increase factor (LIA-style coupling gives each
     /// of k subflows 1/k aggressiveness; plain TCP uses 1.0).
     pub ca_scale: f64,
@@ -144,6 +148,7 @@ impl FlowState {
             want_switch: false,
             rx_last_layer: 0,
             pinned_layer: None,
+            host_dead: false,
             ca_scale: 1.0,
         }
     }
@@ -212,7 +217,26 @@ pub struct Simulator<'a, R: RoutingScheme + ?Sized = dyn RoutingScheme + 'a> {
     /// Number of currently-down links (gates the whole failure branch).
     down_count: u32,
     /// Currently-down links in canonical form (feeds route repair).
+    /// This is the *effective* set: links failed in their own right
+    /// plus links incident to a dead router.
     down_links: Vec<(u32, u32)>,
+    /// Links failed in their own right (static failures + `LinkDown`
+    /// events). Kept apart from `down_links` so a reviving router does
+    /// not resurrect a link that was independently cut.
+    link_failed: rustc_hash::FxHashSet<(u32, u32)>,
+    /// Per-router dead flag (whole-node failures).
+    router_dead: Vec<bool>,
+    /// Number of currently-dead routers (gates the dead-router branch
+    /// on the packet arrival path).
+    dead_router_count: u32,
+    /// Flows never injected because an endpoint was behind a dead
+    /// router at start time.
+    host_dead: u64,
+    /// Time of the currently scheduled repair pass, if any: a burst of
+    /// simultaneous link-state changes (a router death, a maintenance
+    /// window) coalesces into *one* `RepairTick` — one repair pass per
+    /// event batch, not one per link.
+    repair_at: Option<TimePs>,
     /// Scheme-computed repaired rows, installed one detection delay
     /// after each link-state change (empty until then).
     repair: RouteRepair,
@@ -267,6 +291,11 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             port_down: vec![0u64; down_words],
             down_count: 0,
             down_links: Vec::new(),
+            link_failed: rustc_hash::FxHashSet::default(),
+            router_dead: vec![false; nr],
+            dead_router_count: 0,
+            host_dead: 0,
+            repair_at: None,
             repair: RouteRepair::none(),
         }
     }
@@ -284,15 +313,19 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
         self.apply_fault_plan(&FaultPlan::none().fail(u, v));
     }
 
-    /// Applies a [`FaultPlan`]: static failures take effect immediately,
-    /// timed events are scheduled, and — when
+    /// Applies a [`FaultPlan`]: static link and router failures take
+    /// effect immediately, timed events are scheduled, and — when
     /// [`SimConfig::detection_delay`] is set — a repair of the routing
-    /// state is scheduled one delay after each change.
+    /// state is scheduled one delay after each change (batched: any
+    /// number of simultaneous changes trigger exactly one repair pass).
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
         for &(u, v) in plan.static_failures() {
-            self.set_link_state(u, v, false);
+            self.fail_link_now(u, v);
         }
-        if !plan.static_failures().is_empty() {
+        for &r in plan.static_router_failures() {
+            self.set_router_state(r, false);
+        }
+        if plan.num_static() + plan.num_static_routers() > 0 {
             self.schedule_repair();
         }
         for ev in plan.events() {
@@ -302,6 +335,58 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                 EvKind::LinkDown { u: ev.u, v: ev.v }
             };
             self.events.push(ev.at, kind);
+        }
+        for ev in plan.router_events() {
+            let kind = if ev.up {
+                EvKind::RouterUp { router: ev.router }
+            } else {
+                EvKind::RouterDown { router: ev.router }
+            };
+            self.events.push(ev.at, kind);
+        }
+    }
+
+    /// Fails link `{u, v}` in its own right (static failure or a
+    /// `LinkDown` event): recorded in `link_failed` so a later router
+    /// revival does not resurrect it.
+    fn fail_link_now(&mut self, u: u32, v: u32) {
+        self.link_failed.insert((u.min(v), u.max(v)));
+        self.set_link_state(u, v, false);
+    }
+
+    /// Clears link `{u, v}`'s own failure; the link comes back only if
+    /// neither endpoint router is dead.
+    fn restore_link_now(&mut self, u: u32, v: u32) {
+        self.link_failed.remove(&(u.min(v), u.max(v)));
+        if !self.router_dead[u as usize] && !self.router_dead[v as usize] {
+            self.set_link_state(u, v, true);
+        }
+    }
+
+    /// Flips router `r`'s state. Death atomically fails every incident
+    /// link; revival restores exactly the incident links whose other end
+    /// is alive and not independently failed. Idempotent.
+    fn set_router_state(&mut self, r: u32, up: bool) {
+        if self.router_dead[r as usize] != up {
+            return; // already in that state (dead == !up)
+        }
+        let topo = self.topo;
+        if up {
+            self.router_dead[r as usize] = false;
+            self.dead_router_count -= 1;
+            for &nb in topo.graph.neighbors(r) {
+                if !self.router_dead[nb as usize]
+                    && !self.link_failed.contains(&(r.min(nb), r.max(nb)))
+                {
+                    self.set_link_state(r, nb, true);
+                }
+            }
+        } else {
+            self.router_dead[r as usize] = true;
+            self.dead_router_count += 1;
+            for &nb in topo.graph.neighbors(r) {
+                self.set_link_state(r, nb, false);
+            }
         }
     }
 
@@ -338,15 +423,25 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
     }
 
     /// Schedules the control plane's reaction to a link-state change, if
-    /// detection is enabled.
+    /// detection is enabled. A burst of simultaneous changes (a router
+    /// death fails its whole radix at once; a maintenance window kills
+    /// several routers in one timestamp) coalesces into a single
+    /// `RepairTick`: the repair pass runs once per event batch, over the
+    /// full down set, not once per changed link.
     fn schedule_repair(&mut self) {
         if let Some(delay) = self.cfg.detection_delay {
-            self.events.push(self.now + delay, EvKind::RepairTick);
+            let at = self.now + delay;
+            if self.repair_at != Some(at) {
+                self.events.push(at, EvKind::RepairTick);
+                self.repair_at = Some(at);
+            }
         }
     }
 
     /// Recomputes the route-repair overlay from the current down set via
-    /// the scheme's [`RoutingScheme::repair_routes`] hook.
+    /// the scheme's [`RoutingScheme::repair_routes`] hook. Dead routers
+    /// need no special plumbing here: their incident links are all in
+    /// the down set, so the repaired tables route around them.
     fn recompute_repair(&mut self) {
         let down = DownLinks::from_links(&self.down_links);
         self.repair = self.scheme.repair_routes(&self.topo.graph, &down);
@@ -356,6 +451,23 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
     /// (destination unreachable in the degraded network).
     pub fn unroutable_drops(&self) -> u64 {
         self.unroutable
+    }
+
+    /// Flows never injected because their source or destination host
+    /// sat behind a dead router at start time.
+    pub fn host_dead_flows(&self) -> u64 {
+        self.host_dead
+    }
+
+    /// True iff router `r` is currently dead.
+    pub fn router_is_dead(&self, r: u32) -> bool {
+        self.router_dead[r as usize]
+    }
+
+    /// True iff link `{u, v}` is currently down — failed in its own
+    /// right or incident to a dead router.
+    pub fn link_is_down(&self, u: u32, v: u32) -> bool {
+        self.down_links.contains(&(u.min(v), u.max(v)))
     }
 
     /// Registers flows (any order); they start at their spec times.
@@ -441,6 +553,7 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                 finish: f.finished,
                 retx: f.retx_count,
                 trims: f.trims,
+                host_dead: f.host_dead,
             })
             .collect();
         SimResult {
@@ -464,18 +577,45 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             EvKind::PullTick { ep } => self.on_pull_tick(ep),
             EvKind::RtoTimer { flow, gen } => self.on_rto(flow, gen),
             EvKind::LinkDown { u, v } => {
-                self.set_link_state(u, v, false);
+                self.fail_link_now(u, v);
                 self.schedule_repair();
             }
             EvKind::LinkUp { u, v } => {
-                self.set_link_state(u, v, true);
+                self.restore_link_now(u, v);
                 self.schedule_repair();
             }
-            EvKind::RepairTick => self.recompute_repair(),
+            EvKind::RouterDown { router } => {
+                self.set_router_state(router, false);
+                self.schedule_repair();
+            }
+            EvKind::RouterUp { router } => {
+                self.set_router_state(router, true);
+                self.schedule_repair();
+            }
+            EvKind::RepairTick => {
+                if self.repair_at == Some(self.now) {
+                    self.repair_at = None;
+                }
+                self.recompute_repair();
+            }
         }
     }
 
     fn on_flow_start(&mut self, flow: u32) {
+        if self.dead_router_count != 0 {
+            let f = &self.flows[flow as usize];
+            if self.router_dead[f.src_router as usize] || self.router_dead[f.dst_router as usize] {
+                // Workload filtering for whole-node failures: a flow
+                // whose host is dead at start time is excluded and
+                // accounted `host_dead` — it is not the network's
+                // failure to deliver (`unroutable`), the host itself is
+                // gone.
+                self.flows[flow as usize].host_dead = true;
+                self.host_dead += 1;
+                self.finished_flows += 1;
+                return;
+            }
+        }
         self.flows[flow as usize].started = true;
         match self.cfg.transport {
             Transport::Ndp { initial_window, .. } => self.ndp_start(flow, initial_window),
@@ -594,6 +734,14 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
     // ---- routing ---------------------------------------------------------
 
     fn on_router_arrive(&mut self, r: u32, pid: u32) {
+        if self.dead_router_count != 0 && self.router_dead[r as usize] {
+            // The router died while this packet was in flight toward it
+            // (or a local endpoint is still draining its NIC): a dead
+            // router forwards nothing.
+            self.drops += 1;
+            self.packets.release(pid);
+            return;
+        }
         let (dst_router, dst_ep, layer) = {
             let p = self.packets.get(pid);
             (p.dst_router, p.dst_ep, p.layer)
@@ -816,5 +964,109 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             Transport::Ndp { .. } => self.ndp_on_rto(flow, gen),
             Transport::Tcp { .. } => self.tcp_on_rto(flow, gen),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatpaths_core::fwd::RoutingTables;
+    use fatpaths_core::layers::LayerSet;
+    use fatpaths_net::topo::slimfly::slim_fly;
+
+    fn fixture() -> (Topology, RoutingTables) {
+        let topo = slim_fly(5, 1).unwrap();
+        let rt = RoutingTables::build(&topo.graph, &LayerSet::minimal_only(&topo.graph));
+        (topo, rt)
+    }
+
+    /// Router death fails every incident link atomically; revival
+    /// restores exactly the links whose other end is alive and that were
+    /// not failed in their own right.
+    #[test]
+    fn router_death_and_revival_state_machine() {
+        let (topo, rt) = fixture();
+        let mut sim = Simulator::new(&topo, &rt, SimConfig::default());
+        let r = 7u32;
+        let nbs: Vec<u32> = topo.graph.neighbors(r).to_vec();
+        let (cut, other_dead) = (nbs[0], nbs[1]);
+        // An independent link failure on one incident link, plus a
+        // second dead router adjacent to `r`.
+        sim.fail_link_now(r, cut);
+        sim.set_router_state(other_dead, false);
+        sim.set_router_state(r, false);
+        assert!(sim.router_is_dead(r));
+        for &nb in &nbs {
+            assert!(sim.link_is_down(r, nb), "incident link {r}-{nb} must die");
+        }
+        assert_eq!(sim.down_count as usize, sim.down_links.len());
+        // Idempotent.
+        let n_down = sim.down_count;
+        sim.set_router_state(r, false);
+        assert_eq!(sim.down_count, n_down);
+        // Revival: every incident link returns except the independently
+        // cut one and the one into the still-dead neighbor.
+        sim.set_router_state(r, true);
+        assert!(!sim.router_is_dead(r));
+        for &nb in &nbs {
+            let expect_down = nb == cut || nb == other_dead;
+            assert_eq!(
+                sim.link_is_down(r, nb),
+                expect_down,
+                "link {r}-{nb} after revival"
+            );
+        }
+        // The independently cut link returns only via LinkUp.
+        sim.restore_link_now(r, cut);
+        assert!(!sim.link_is_down(r, cut));
+    }
+
+    /// A burst of simultaneous link-state changes coalesces into one
+    /// scheduled repair pass (one `RepairTick` per event batch).
+    #[test]
+    fn repair_ticks_coalesce_per_batch() {
+        let (topo, rt) = fixture();
+        let cfg = SimConfig {
+            detection_delay: Some(1_000_000),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&topo, &rt, cfg);
+        sim.now = 5_000;
+        // A maintenance-window-sized burst: three routers die in the
+        // same instant.
+        for r in [3u32, 9, 14] {
+            sim.dispatch(EvKind::RouterDown { router: r });
+        }
+        assert_eq!(
+            sim.events.len(),
+            1,
+            "simultaneous changes must schedule exactly one RepairTick"
+        );
+        // A later batch gets its own tick.
+        sim.now = 9_000;
+        sim.dispatch(EvKind::RouterUp { router: 3 });
+        sim.dispatch(EvKind::RouterUp { router: 9 });
+        assert_eq!(sim.events.len(), 2);
+    }
+
+    /// Static whole-router failures coalesce with static link failures
+    /// into a single repair pass at `t = 0`.
+    #[test]
+    fn static_plan_schedules_one_repair() {
+        let (topo, rt) = fixture();
+        let cfg = SimConfig {
+            detection_delay: Some(1_000_000),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&topo, &rt, cfg);
+        let e = topo.graph.edge_vec()[0];
+        let plan = FaultPlan::none()
+            .fail(e.0, e.1)
+            .fail_router(20)
+            .fail_router(31);
+        sim.apply_fault_plan(&plan);
+        assert_eq!(sim.events.len(), 1, "one RepairTick for the static batch");
+        assert!(sim.router_is_dead(20) && sim.router_is_dead(31));
+        assert!(sim.link_is_down(e.0, e.1));
     }
 }
