@@ -104,6 +104,13 @@ impl DownLinks {
 #[derive(Clone, Debug, Default)]
 pub struct RouteRepair {
     rows: FxHashMap<(u8, RouterId, RouterId), PortSet>,
+    /// Control-plane cost of realizing this overlay in compiled
+    /// switch-forwarding state: the number of FIB rows (prefix rules)
+    /// that must be installed, rewritten, or deleted across all
+    /// switches. Zero for analytic schemes, which carry no FIB; the
+    /// FIB-compiled adapter (`fatpaths_fib::CompiledScheme`) fills it
+    /// from the range-merged overlay delta.
+    pub fib_rows_rewritten: u64,
 }
 
 impl RouteRepair {
@@ -126,6 +133,13 @@ impl RouteRepair {
     /// Number of repaired rows.
     pub fn len(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Iterates over the repaired rows as `((layer, at, dst), ports)`,
+    /// in unspecified order (sort the keys before deriving anything
+    /// order-sensitive).
+    pub fn rows(&self) -> impl Iterator<Item = ((u8, RouterId, RouterId), &PortSet)> + '_ {
+        self.rows.iter().map(|(&k, v)| (k, v))
     }
 
     /// True iff the overlay repairs nothing (the fast-path gate for the

@@ -106,6 +106,17 @@ pub trait RoutingScheme {
     /// within that range.
     fn num_layers(&self) -> usize;
 
+    /// Total span of layer tags that may appear on a packet under this
+    /// scheme: the endpoint-selectable tags `0..num_layers()` plus any
+    /// scheme-internal rewritten tags ([`RoutingScheme::update_layer`]
+    /// results, e.g. Valiant's phase-2 tags). FIB compilation
+    /// materializes one per-switch table row set per tag in this range,
+    /// so [`candidate_ports`](RoutingScheme::candidate_ports) must be
+    /// total over `0..tag_space()`.
+    fn tag_space(&self) -> usize {
+        self.num_layers()
+    }
+
     /// Output ports of `at_router` through which a packet tagged `layer`
     /// and destined to an endpoint of `dst_router` may leave. Never
     /// called with `at_router == dst_router`. An empty set means the
@@ -136,6 +147,35 @@ pub trait RoutingScheme {
     fn repair_routes(&self, base: &Graph, down: &DownLinks) -> RouteRepair {
         let _ = (base, down);
         RouteRepair::none()
+    }
+}
+
+/// Boxed schemes forward the whole contract — lets adapters (e.g. the
+/// FIB-compiled scheme) own an arbitrary inner scheme as
+/// `Box<dyn RoutingScheme>` while staying a `RoutingScheme` themselves.
+impl<T: RoutingScheme + ?Sized> RoutingScheme for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn num_layers(&self) -> usize {
+        (**self).num_layers()
+    }
+
+    fn tag_space(&self) -> usize {
+        (**self).tag_space()
+    }
+
+    fn candidate_ports(&self, layer: u8, at_router: RouterId, dst_router: RouterId) -> PortSet {
+        (**self).candidate_ports(layer, at_router, dst_router)
+    }
+
+    fn update_layer(&self, layer: u8, at_router: RouterId, dst_router: RouterId) -> u8 {
+        (**self).update_layer(layer, at_router, dst_router)
+    }
+
+    fn repair_routes(&self, base: &Graph, down: &DownLinks) -> RouteRepair {
+        (**self).repair_routes(base, down)
     }
 }
 
@@ -584,6 +624,13 @@ impl RoutingScheme for ValiantScheme<'_> {
 
     fn num_layers(&self) -> usize {
         self.n_vlb
+    }
+
+    /// Phase-1 tags `0..n_vlb` are endpoint-selectable; `update_layer`
+    /// rewrites tag `l` to `n_vlb + l` at the intermediate, so the full
+    /// tag span a packet can carry is twice the selectable range.
+    fn tag_space(&self) -> usize {
+        2 * self.n_vlb
     }
 
     fn candidate_ports(&self, layer: u8, at_router: RouterId, dst_router: RouterId) -> PortSet {

@@ -47,6 +47,15 @@ pub const REBOOT_FRACTIONS: [f64; 2] = [0.05, 0.12];
 /// Stagger between consecutive reboots, in µs (sweep axis).
 pub const STAGGERS_US: [u64; 2] = [500, 2_000];
 
+/// Reboot-sampler axis: `uniform` draws routers independently
+/// ([`FaultPlan::rolling_reboot`]); `domain` walks failure domains —
+/// a fat-tree pod's aggregation layer, a Dragonfly group — in sequence
+/// ([`FaultPlan::rolling_domain_reboot`]), concentrating simultaneous
+/// downtime inside fate-sharing units the way real maintenance rolls
+/// do. Topologies without domain metadata (SF) degrade to the uniform
+/// draw, so their two rows coincide by construction.
+pub const SAMPLERS: [&str; 2] = ["uniform", "domain"];
+
 /// Per-router downtime: long against the 2 ms NDP RTO, so a stuck
 /// single-path flow pays many timeouts while a layered one re-picks
 /// once (a real firmware reboot is seconds; 8 ms = 4 RTOs keeps the
@@ -99,19 +108,32 @@ fn schemes() -> Vec<(&'static str, SchemeSpec, Option<LoadBalancing>, Option<u64
 }
 
 /// CSV header of the churn artifact.
-const HEADER: &str = "topology,scheme,fraction,stagger_us,rebooted,flows,host_dead,completed,\
-                      on_time,stranded,goodput_gbps,fct_mean_ms,fct_p99_ms,drops,unroutable";
+const HEADER: &str = "topology,scheme,fraction,stagger_us,sampler,rebooted,flows,host_dead,\
+                      completed,on_time,stranded,goodput_gbps,fct_mean_ms,fct_p99_ms,drops,\
+                      unroutable,repair_ticks,repair_rows";
 
 /// The deterministic churn schedule of one `(topology, fraction,
-/// stagger)` coordinate, plus its end time (`last revival`).
-fn reboot_plan(topo: &Topology, fraction: f64, stagger_us: u64) -> (FaultPlan, u64) {
+/// stagger, sampler)` coordinate, plus its end time (`last revival`).
+/// The seed ignores the sampler, so uniform and domain rows of one
+/// coordinate draw from the same stream (and coincide exactly on
+/// domain-less topologies).
+fn reboot_plan(topo: &Topology, fraction: f64, stagger_us: u64, sampler: &str) -> (FaultPlan, u64) {
     let seed = cell_seed(
         "churn-faults",
         &[coord_str(&label(topo)), fraction.to_bits(), stagger_us],
     );
     let stagger = stagger_us * 1_000_000; // µs → ps
-    let plan =
-        FaultPlan::rolling_reboot(topo, fraction, CHURN_START_PS, stagger, DOWNTIME_PS, seed);
+    let plan = match sampler {
+        "domain" => FaultPlan::rolling_domain_reboot(
+            topo,
+            fraction,
+            CHURN_START_PS,
+            stagger,
+            DOWNTIME_PS,
+            seed,
+        ),
+        _ => FaultPlan::rolling_reboot(topo, fraction, CHURN_START_PS, stagger, DOWNTIME_PS, seed),
+    };
     let n = plan.router_events().len() as u64 / 2;
     let end = CHURN_START_PS + n.saturating_sub(1) * stagger + DOWNTIME_PS;
     (plan, end)
@@ -152,6 +174,8 @@ struct CellOut {
     fct_p99_s: f64,
     drops: u64,
     unroutable: u64,
+    repair_ticks: usize,
+    repair_rows: u64,
 }
 
 /// Runs the churn grid and returns `(csv_text, summary_text)`,
@@ -164,21 +188,23 @@ pub fn churn_matrix_on(
     staggers_us: &[u64],
 ) -> (String, String) {
     let specs = schemes();
-    let mut cells: Vec<(usize, usize, usize, usize)> = Vec::new();
+    let mut cells: Vec<(usize, usize, usize, usize, usize)> = Vec::new();
     for ti in 0..topos.len() {
         for si in 0..specs.len() {
             for fi in 0..fractions.len() {
                 for sti in 0..staggers_us.len() {
-                    cells.push((ti, si, fi, sti));
+                    for sai in 0..SAMPLERS.len() {
+                        cells.push((ti, si, fi, sti, sai));
+                    }
                 }
             }
         }
     }
     let (fr, st) = (fractions.to_vec(), staggers_us.to_vec());
-    let results = SweepRunner::new("churn", cells).run(|_, &(ti, si, fi, sti)| {
+    let results = SweepRunner::new("churn", cells).run(|_, &(ti, si, fi, sti, sai)| {
         let topo = &topos[ti];
         let (_, spec, lb, detect) = specs[si];
-        let (plan, churn_end) = reboot_plan(topo, fr[fi], st[sti]);
+        let (plan, churn_end) = reboot_plan(topo, fr[fi], st[sti], SAMPLERS[sai]);
         let rebooted = plan.router_events().len() as u64 / 2;
         let flows = wave_flows(topo, churn_end);
         let horizon = churn_end + TAIL_PS;
@@ -217,11 +243,13 @@ pub fn churn_matrix_on(
             fct_p99_s: percentile(&fcts, 99.0),
             drops: res.drops,
             unroutable: res.unroutable,
+            repair_ticks: res.repair_ticks(),
+            repair_rows: res.repair_rows(),
         }
     });
-    let (nf, nst) = (fractions.len(), staggers_us.len());
-    let cell_index = |ti: usize, si: usize, fi: usize, sti: usize| {
-        ((ti * specs.len() + si) * nf + fi) * nst + sti
+    let (nf, nst, nsa) = (fractions.len(), staggers_us.len(), SAMPLERS.len());
+    let cell_index = |ti: usize, si: usize, fi: usize, sti: usize, sai: usize| {
+        (((ti * specs.len() + si) * nf + fi) * nst + sti) * nsa + sai
     };
     let mut csv = String::from(HEADER);
     csv.push('\n');
@@ -238,39 +266,47 @@ pub fn churn_matrix_on(
         for (si, (name, ..)) in specs.iter().enumerate() {
             for (fi, &fraction) in fractions.iter().enumerate() {
                 for (sti, &stagger) in staggers_us.iter().enumerate() {
-                    let c = &results[cell_index(ti, si, fi, sti)];
-                    let stranded = c.flows - c.host_dead - c.completed;
-                    csv.push_str(&format!(
-                        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
-                        label(topo),
-                        name,
-                        f(fraction),
-                        stagger,
-                        c.rebooted,
-                        c.flows,
-                        c.host_dead,
-                        c.completed,
-                        c.on_time,
-                        stranded,
-                        f(c.goodput_gbps),
-                        f(c.fct_mean_s * 1e3),
-                        f(c.fct_p99_s * 1e3),
-                        c.drops,
-                        c.unroutable
-                    ));
-                    if sti + 1 == nst {
-                        summary.push_str(&format!(
-                            "{:<12} f={:.2} stagger={:>5}us: {:>5}/{:<5} done \
-                             ({} host_dead, {} stranded), {:>7.3} Gb/s\n",
+                    for (sai, sampler) in SAMPLERS.iter().enumerate() {
+                        let c = &results[cell_index(ti, si, fi, sti, sai)];
+                        let stranded = c.flows - c.host_dead - c.completed;
+                        csv.push_str(&format!(
+                            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                            label(topo),
                             name,
-                            fraction,
+                            f(fraction),
                             stagger,
-                            c.completed,
-                            c.flows - c.host_dead,
+                            sampler,
+                            c.rebooted,
+                            c.flows,
                             c.host_dead,
+                            c.completed,
+                            c.on_time,
                             stranded,
-                            c.goodput_gbps
+                            f(c.goodput_gbps),
+                            f(c.fct_mean_s * 1e3),
+                            f(c.fct_p99_s * 1e3),
+                            c.drops,
+                            c.unroutable,
+                            c.repair_ticks,
+                            c.repair_rows
                         ));
+                        if sti + 1 == nst {
+                            summary.push_str(&format!(
+                                "{:<12} f={:.2} stagger={:>5}us {:<7}: {:>5}/{:<5} done \
+                                 ({} host_dead, {} stranded), {:>7.3} Gb/s, \
+                                 {} repair rows\n",
+                                name,
+                                fraction,
+                                stagger,
+                                sampler,
+                                c.completed,
+                                c.flows - c.host_dead,
+                                c.host_dead,
+                                stranded,
+                                c.goodput_gbps,
+                                c.repair_rows
+                            ));
+                        }
                     }
                 }
             }
@@ -282,7 +318,10 @@ pub fn churn_matrix_on(
          preprovisioned layers re-route cut flows one RTO after the hit; flow-hash\n\
          ECMP strands them until the router returns, so its completed-flow goodput\n\
          decays with reboot fraction. Detection + batched repair (*_rep) closes most\n\
-         of the gap for both.\n",
+         of the gap for both. Domain walks (sampler=domain) concentrate the same\n\
+         reboot budget inside one fate-sharing unit — a pod's aggregation layer, a\n\
+         DF group — stressing repair harder than scattered uniform draws;\n\
+         repair_rows counts the routing rows the control plane rewrote per run.\n",
     );
     (csv, summary)
 }

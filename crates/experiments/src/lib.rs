@@ -17,6 +17,7 @@ pub mod churn;
 pub mod common;
 pub mod diversity_figs;
 pub mod large_scale;
+pub mod memory;
 pub mod perf_ndp;
 pub mod perf_tcp;
 pub mod resilience;

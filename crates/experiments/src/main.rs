@@ -8,7 +8,7 @@
 //! ```
 
 use fatpaths_experiments::{
-    baselines, churn, common, diversity_figs, large_scale, perf_ndp, perf_tcp, resilience,
+    baselines, churn, common, diversity_figs, large_scale, memory, perf_ndp, perf_tcp, resilience,
     theory_figs,
 };
 
@@ -46,6 +46,11 @@ fn registry() -> Vec<(&'static str, Runner, &'static str)> {
             "churn",
             churn::churn,
             "Rolling-reboot churn: completed-flow goodput vs reboot fraction × stagger",
+        ),
+        (
+            "memory",
+            memory::memory,
+            "FIB table state: entries/switch, ECMP groups, compression, budget overflow",
         ),
         (
             "fig2",

@@ -23,6 +23,7 @@ struct Row {
     scheme: String,
     fraction: f64,
     stagger_us: u64,
+    sampler: String,
     rebooted: u64,
     flows: usize,
     host_dead: usize,
@@ -30,6 +31,7 @@ struct Row {
     on_time: usize,
     stranded: usize,
     goodput: f64,
+    repair_rows: u64,
 }
 
 fn parse(csv: &str) -> Vec<Row> {
@@ -42,13 +44,15 @@ fn parse(csv: &str) -> Vec<Row> {
                 scheme: c[1].into(),
                 fraction: c[2].parse().unwrap(),
                 stagger_us: c[3].parse().unwrap(),
-                rebooted: c[4].parse().unwrap(),
-                flows: c[5].parse().unwrap(),
-                host_dead: c[6].parse().unwrap(),
-                completed: c[7].parse().unwrap(),
-                on_time: c[8].parse().unwrap(),
-                stranded: c[9].parse().unwrap(),
-                goodput: c[10].parse().unwrap(),
+                sampler: c[4].into(),
+                rebooted: c[5].parse().unwrap(),
+                flows: c[6].parse().unwrap(),
+                host_dead: c[7].parse().unwrap(),
+                completed: c[8].parse().unwrap(),
+                on_time: c[9].parse().unwrap(),
+                stranded: c[10].parse().unwrap(),
+                goodput: c[11].parse().unwrap(),
+                repair_rows: c[17].parse().unwrap(),
             }
         })
         .collect()
@@ -62,7 +66,12 @@ fn fatpaths_sustains_higher_goodput_through_rolling_reboot() {
     let rows = parse(&csv);
     let find = |topo: &str, scheme: &str, stagger: u64| -> &Row {
         rows.iter()
-            .find(|r| r.topology == topo && r.scheme == scheme && r.stagger_us == stagger)
+            .find(|r| {
+                r.topology == topo
+                    && r.scheme == scheme
+                    && r.stagger_us == stagger
+                    && r.sampler == "uniform"
+            })
             .unwrap_or_else(|| panic!("missing row {topo}/{scheme}/{stagger}"))
     };
     for topo in ["SF", "FT3"] {
@@ -121,11 +130,11 @@ fn detection_and_batched_repair_lift_ecmp_goodput() {
     for topo in ["SF", "FT3"] {
         let stuck = rows
             .iter()
-            .find(|r| r.topology == topo && r.scheme == "ecmp")
+            .find(|r| r.topology == topo && r.scheme == "ecmp" && r.sampler == "uniform")
             .unwrap();
         let repaired = rows
             .iter()
-            .find(|r| r.topology == topo && r.scheme == "ecmp_rep")
+            .find(|r| r.topology == topo && r.scheme == "ecmp_rep" && r.sampler == "uniform")
             .unwrap();
         assert!(
             repaired.completed >= stuck.completed,
@@ -140,4 +149,60 @@ fn detection_and_batched_repair_lift_ecmp_goodput() {
             stuck.goodput
         );
     }
+}
+
+/// The domain-aware sampler (ROADMAP's correlated-churn item): walking
+/// a fat-tree pod's aggregation layer concentrates the same reboot
+/// budget inside one fate-sharing unit, which (a) makes the repair
+/// path work harder per pass than scattered uniform draws and (b) hits
+/// delivered goodput harder. On SF — no domain metadata — the domain
+/// sampler degrades to the uniform draw and the rows must coincide.
+#[test]
+fn domain_walks_stress_repair_harder_than_uniform_draws() {
+    let (csv, _summary) = churn_matrix_on(mini_topos(), &[0.1], &[500]);
+    let rows = parse(&csv);
+    let find = |topo: &str, scheme: &str, sampler: &str| -> &Row {
+        rows.iter()
+            .find(|r| r.topology == topo && r.scheme == scheme && r.sampler == sampler)
+            .unwrap_or_else(|| panic!("missing row {topo}/{scheme}/{sampler}"))
+    };
+    // SF has no domains: the two samplers draw identical schedules.
+    for scheme in ["fatpaths", "ecmp", "fatpaths_rep"] {
+        let u = find("SF", scheme, "uniform");
+        let d = find("SF", scheme, "domain");
+        assert_eq!(u.completed, d.completed, "SF/{scheme}");
+        assert_eq!(u.goodput, d.goodput, "SF/{scheme}");
+        assert_eq!(u.repair_rows, d.repair_rows, "SF/{scheme}");
+    }
+    // FT3: same reboot budget, concentrated in one pod's agg layer.
+    for scheme in ["fatpaths_rep", "ecmp_rep"] {
+        let u = find("FT3", scheme, "uniform");
+        let d = find("FT3", scheme, "domain");
+        assert_eq!(u.rebooted, d.rebooted, "same budget by construction");
+        eprintln!(
+            "FT3/{scheme}: uniform rows={} goodput={:.3} stranded={} vs \
+             domain rows={} goodput={:.3} stranded={}",
+            u.repair_rows, u.goodput, u.stranded, d.repair_rows, d.goodput, d.stranded
+        );
+        assert!(
+            d.repair_rows > u.repair_rows,
+            "FT3/{scheme}: domain walk must touch more repair rows \
+             ({} !> {})",
+            d.repair_rows,
+            u.repair_rows
+        );
+    }
+    // Structural contrast: the FT3 domain walk reboots aggregation
+    // routers only (they host no endpoints), so no flow loses its host
+    // — the full workload stays eligible and every loss is routing's
+    // problem. The uniform draw at the same budget hits edge routers
+    // and removes their hosts from the workload instead.
+    let u = find("FT3", "fatpaths", "uniform");
+    let d = find("FT3", "fatpaths", "domain");
+    assert_eq!(d.host_dead, 0, "agg-layer walks kill no hosts");
+    assert!(
+        u.host_dead > 0,
+        "uniform draw at this seed must hit an edge router"
+    );
+    assert_eq!(d.flows, u.flows);
 }

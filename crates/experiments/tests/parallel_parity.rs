@@ -16,6 +16,7 @@ use fatpaths_core::scheme::{KspConfig, KspScheme, RoutingScheme};
 use fatpaths_diversity::apsp::shortest_path_stats;
 use fatpaths_experiments::baselines::baselines_matrix_on;
 use fatpaths_experiments::churn::churn_matrix_on;
+use fatpaths_experiments::memory::memory_matrix_on;
 use fatpaths_experiments::resilience::resilience_matrix_on;
 use fatpaths_net::topo::slimfly::slim_fly;
 use fatpaths_net::topo::Topology;
@@ -91,8 +92,8 @@ fn resilience_matrix_is_bit_identical_across_thread_counts() {
         summary_par == summary_seq,
         "resilience summary differs between pooled and single-threaded runs"
     );
-    // Sanity: 2 topologies × 3 schemes × 2 fractions × 2 detection modes.
-    assert_eq!(csv_par.lines().count(), 1 + 2 * 3 * 2 * 2);
+    // Sanity: 2 topologies × 4 schemes × 2 fractions × 2 detection modes.
+    assert_eq!(csv_par.lines().count(), 1 + 2 * 4 * 2 * 2);
 }
 
 /// The `churn` experiment — rolling-reboot schedules, timed
@@ -122,8 +123,38 @@ fn churn_matrix_is_bit_identical_across_thread_counts() {
         summary_par == summary_seq,
         "churn summary differs between pooled and single-threaded runs"
     );
-    // Sanity: 2 topologies × 4 schemes × 1 fraction × 1 stagger.
-    assert_eq!(csv_par.lines().count(), 1 + 2 * 4);
+    // Sanity: 2 topologies × 4 schemes × 1 fraction × 1 stagger × 2 samplers.
+    assert_eq!(csv_par.lines().count(), 1 + 2 * 4 * 2);
+}
+
+/// The `memory` experiment — FIB compilation (parallel per-switch row
+/// builds) and table statistics across the (topology × scheme × layer
+/// count × compile mode) grid — emits byte-identical CSV and summary
+/// on the pool and on a single thread. Compilation is a pure function
+/// of the cell coordinates, so this holds by construction; the test
+/// pins it (the acceptance criterion of the FIB subsystem).
+#[test]
+fn memory_matrix_is_bit_identical_across_thread_counts() {
+    wide_pool();
+    let topos = || {
+        vec![
+            slim_fly(5, 2).unwrap(),
+            fatpaths_net::topo::fattree::fat_tree(4, 1),
+        ]
+    };
+    let layer_counts = [3usize];
+    let (csv_par, summary_par) = memory_matrix_on(topos(), &layer_counts);
+    let (csv_seq, summary_seq) = rayon::run_sequential(|| memory_matrix_on(topos(), &layer_counts));
+    assert!(
+        csv_par == csv_seq,
+        "memory CSV differs between pooled and single-threaded runs"
+    );
+    assert!(
+        summary_par == summary_seq,
+        "memory summary differs between pooled and single-threaded runs"
+    );
+    // Sanity: 2 topologies × 2 schemes (layered@3 + ecmp) × 2 modes.
+    assert_eq!(csv_par.lines().count(), 1 + 2 * 2 * 2);
 }
 
 /// APSP statistics (parallel BFS fan-out per source) are identical in

@@ -1,0 +1,328 @@
+//! The switch-memory model: per-switch forwarding tables of
+//! `(layer tag, destination-address range) → ECMP group` entries, plus
+//! the capacity/statistics vocabulary built on them.
+//!
+//! Endpoint ids are dense and router-major (`Topology` attaches the
+//! endpoints of router `r` as one contiguous id range), so a
+//! "destination prefix" is modeled as a half-open endpoint-id range —
+//! the range-rule form TCAMs implement directly, and the shape §V-E's
+//! address-bit layering produces. Ranges within one `(switch, layer)`
+//! table are disjoint and sorted, so the longest-prefix-match lookup
+//! degenerates to a binary search; a lookup miss means the destination
+//! has no forwarding state here (unreachable — the packet drops).
+
+use crate::compile::CompileMode;
+use fatpaths_core::scheme::PortSet;
+use fatpaths_net::graph::RouterId;
+
+/// One forwarding rule: destinations in `lo..hi` (endpoint ids) leave
+/// through ECMP group `group` of the owning switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FibEntry {
+    /// First endpoint id covered (inclusive).
+    pub lo: u32,
+    /// One past the last endpoint id covered (exclusive).
+    pub hi: u32,
+    /// Index into the owning switch's ECMP group table.
+    pub group: u32,
+}
+
+/// Forwarding state of one switch: per-layer sorted rule vectors plus
+/// the deduplicated ECMP group table they point into.
+#[derive(Clone, Debug, Default)]
+pub struct SwitchFib {
+    /// `layers[tag]` = disjoint [`FibEntry`] ranges, ascending by `lo`.
+    pub(crate) layers: Vec<Vec<FibEntry>>,
+    /// Interned ECMP groups, in first-use order. Shared across layers
+    /// and destinations: every rule resolving to the same candidate
+    /// port set points at one slot, the ASIC group-table sharing that
+    /// keeps ECMP state sublinear in rule count.
+    pub(crate) groups: Vec<PortSet>,
+}
+
+impl SwitchFib {
+    /// The rule covering endpoint `ep` on `layer`, if any.
+    #[inline]
+    pub fn lookup(&self, layer: usize, ep: u32) -> Option<&PortSet> {
+        let rules = self.layers.get(layer)?;
+        let i = rules.partition_point(|e| e.hi <= ep);
+        let e = rules.get(i)?;
+        (e.lo <= ep).then(|| &self.groups[e.group as usize])
+    }
+
+    /// Total rule count across all layers.
+    pub fn num_entries(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// Number of distinct ECMP groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The rules of `layer`, sorted and disjoint.
+    pub fn rules(&self, layer: usize) -> &[FibEntry] {
+        &self.layers[layer]
+    }
+
+    /// The ports of ECMP group `id`.
+    pub fn group(&self, id: u32) -> &PortSet {
+        &self.groups[id as usize]
+    }
+}
+
+/// Per-switch hardware capacities the compiled state is judged against.
+/// The defaults model a low-end commodity ToR profile — small enough
+/// that host-route tables overflow on ≈250-router networks at nine
+/// layers while aggregated tables on structured topologies fit, which
+/// is exactly the contrast the paper's deployment argument turns on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableBudget {
+    /// Prefix-rule (TCAM) capacity per switch.
+    pub entries: u32,
+    /// ECMP group (SRAM) capacity per switch.
+    pub groups: u32,
+}
+
+impl Default for TableBudget {
+    fn default() -> Self {
+        TableBudget {
+            entries: 2048,
+            groups: 512,
+        }
+    }
+}
+
+/// Aggregate statistics of a [`Fib`], the `memory` experiment's raw
+/// material.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FibStats {
+    /// Number of switches compiled.
+    pub switches: usize,
+    /// Rule count before aggregation (one per reachable
+    /// `(layer, destination router)` pair — the host-route floor).
+    /// Identical across compile modes by construction.
+    pub raw_entries: u64,
+    /// Rules actually stored, summed over switches.
+    pub entries_total: u64,
+    /// Mean rules per switch.
+    pub entries_mean: f64,
+    /// Max rules on any one switch (the overflow-critical figure).
+    pub entries_max: usize,
+    /// ECMP groups summed over switches.
+    pub groups_total: u64,
+    /// Mean groups per switch.
+    pub groups_mean: f64,
+    /// Max groups on any one switch.
+    pub groups_max: usize,
+    /// `raw_entries / entries_total` (1.0 = no compression).
+    pub compression: f64,
+    /// Coarse byte estimate of the stored state (see
+    /// [`Fib::memory_bytes`] for the model).
+    pub bytes_total: u64,
+}
+
+/// Compiled forwarding state for every switch of one topology under one
+/// routing scheme. Produced by [`compile`](crate::compile::compile).
+#[derive(Clone, Debug)]
+pub struct Fib {
+    pub(crate) switches: Vec<SwitchFib>,
+    /// Prefix sums of per-router endpoint counts (length `n + 1`):
+    /// router `r` owns endpoint ids `endpoint_offset[r] ..
+    /// endpoint_offset[r + 1]`. Copied from the topology at compile
+    /// time so lookups need no `Topology` handle.
+    pub(crate) endpoint_offset: Vec<u32>,
+    pub(crate) tag_space: usize,
+    pub(crate) raw_entries: u64,
+    pub(crate) mode: CompileMode,
+}
+
+/// Modeled bytes per stored rule: an 8-byte range key (or equivalently
+/// prefix + mask) plus a 4-byte group pointer.
+pub const ENTRY_BYTES: u64 = 12;
+
+/// Modeled bytes per ECMP group: a 4-byte header plus 2 bytes per
+/// member port.
+pub const GROUP_HDR_BYTES: u64 = 4;
+
+impl Fib {
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// The compiled state of switch `r`.
+    pub fn switch(&self, r: RouterId) -> &SwitchFib {
+        &self.switches[r as usize]
+    }
+
+    /// The layer-tag span compiled (`RoutingScheme::tag_space`).
+    pub fn tag_space(&self) -> usize {
+        self.tag_space
+    }
+
+    /// Which compile mode produced this state.
+    pub fn mode(&self) -> CompileMode {
+        self.mode
+    }
+
+    /// The candidate ports switch `at` holds for endpoint `ep` on
+    /// `layer`, if any rule covers it.
+    #[inline]
+    pub fn lookup(&self, at: RouterId, layer: usize, ep: u32) -> Option<&PortSet> {
+        self.switches[at as usize].lookup(layer, ep)
+    }
+
+    /// Router-keyed lookup used by the simulator adapter: resolves
+    /// `dst_router` to its first attached endpoint and matches that.
+    /// Must only be called for routers that host endpoints (the
+    /// simulator only ever routes toward a flow's destination router,
+    /// which does by construction).
+    #[inline]
+    pub fn lookup_router(
+        &self,
+        at: RouterId,
+        layer: usize,
+        dst_router: RouterId,
+    ) -> Option<&PortSet> {
+        let lo = self.endpoint_offset[dst_router as usize];
+        debug_assert!(
+            lo < self.endpoint_offset[dst_router as usize + 1],
+            "router {dst_router} hosts no endpoints — nothing routes toward it"
+        );
+        self.lookup(at, layer, lo)
+    }
+
+    /// Aggregate table statistics.
+    pub fn stats(&self) -> FibStats {
+        let switches = self.switches.len().max(1);
+        let entries_total: u64 = self.switches.iter().map(|s| s.num_entries() as u64).sum();
+        let groups_total: u64 = self.switches.iter().map(|s| s.num_groups() as u64).sum();
+        let entries_max = self
+            .switches
+            .iter()
+            .map(SwitchFib::num_entries)
+            .max()
+            .unwrap_or(0);
+        let groups_max = self
+            .switches
+            .iter()
+            .map(SwitchFib::num_groups)
+            .max()
+            .unwrap_or(0);
+        FibStats {
+            switches: self.switches.len(),
+            raw_entries: self.raw_entries,
+            entries_total,
+            entries_mean: entries_total as f64 / switches as f64,
+            entries_max,
+            groups_total,
+            groups_mean: groups_total as f64 / switches as f64,
+            groups_max,
+            compression: if entries_total > 0 {
+                self.raw_entries as f64 / entries_total as f64
+            } else {
+                1.0
+            },
+            bytes_total: self.memory_bytes(),
+        }
+    }
+
+    /// Coarse byte estimate: [`ENTRY_BYTES`] per rule plus
+    /// [`GROUP_HDR_BYTES`]` + 2·ports` per ECMP group.
+    pub fn memory_bytes(&self) -> u64 {
+        self.switches
+            .iter()
+            .map(|s| {
+                s.num_entries() as u64 * ENTRY_BYTES
+                    + s.groups
+                        .iter()
+                        .map(|g| GROUP_HDR_BYTES + 2 * g.len() as u64)
+                        .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Number of switches whose rule or group count exceeds `budget` —
+    /// the state that would spill out of a real ASIC's tables.
+    pub fn overflowing_switches(&self, budget: &TableBudget) -> usize {
+        self.switches
+            .iter()
+            .filter(|s| {
+                s.num_entries() > budget.entries as usize || s.num_groups() > budget.groups as usize
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rule_switch() -> SwitchFib {
+        let mut g0 = PortSet::new();
+        g0.push(1);
+        g0.push(3);
+        SwitchFib {
+            layers: vec![vec![
+                FibEntry {
+                    lo: 0,
+                    hi: 4,
+                    group: 0,
+                },
+                FibEntry {
+                    lo: 8,
+                    hi: 10,
+                    group: 1,
+                },
+            ]],
+            groups: vec![g0, PortSet::single(7)],
+        }
+    }
+
+    #[test]
+    fn lookup_hits_ranges_and_misses_gaps() {
+        let s = two_rule_switch();
+        assert_eq!(s.lookup(0, 0).unwrap().as_slice(), &[1, 3]);
+        assert_eq!(s.lookup(0, 3).unwrap().as_slice(), &[1, 3]);
+        assert!(s.lookup(0, 4).is_none(), "gap between rules");
+        assert_eq!(s.lookup(0, 9).unwrap().as_slice(), &[7]);
+        assert!(s.lookup(0, 10).is_none(), "hi is exclusive");
+        assert!(s.lookup(1, 0).is_none(), "no such layer");
+        assert_eq!(s.num_entries(), 2);
+        assert_eq!(s.num_groups(), 2);
+    }
+
+    #[test]
+    fn budget_flags_overflow() {
+        let fib = Fib {
+            switches: vec![two_rule_switch(), SwitchFib::default()],
+            endpoint_offset: vec![0, 10, 10],
+            tag_space: 1,
+            raw_entries: 4,
+            mode: CompileMode::Aggregated,
+        };
+        assert_eq!(
+            fib.overflowing_switches(&TableBudget {
+                entries: 1,
+                groups: 512
+            }),
+            1
+        );
+        assert_eq!(
+            fib.overflowing_switches(&TableBudget {
+                entries: 2048,
+                groups: 1
+            }),
+            1
+        );
+        assert_eq!(fib.overflowing_switches(&TableBudget::default()), 0);
+        let st = fib.stats();
+        assert_eq!(st.entries_total, 2);
+        assert_eq!(st.raw_entries, 4);
+        assert_eq!(st.compression, 2.0);
+        assert_eq!(st.entries_max, 2);
+        // 2 rules · 12 B + group(2 ports) 8 B + group(1 port) 6 B.
+        assert_eq!(st.bytes_total, 24 + 8 + 6);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the FIB compression invariants: over
+//! randomly sampled layered schemes and topologies, the aggregated
+//! compile mode must forward every `(switch, layer, destination)`
+//! exactly like host routes (aggregation merges state, never changes
+//! it), and compression must never *increase* entry count.
+
+use fatpaths_core::fwd::RoutingTables;
+use fatpaths_core::layers::{build_random_layers, LayerConfig};
+use fatpaths_fib::{compile, CompileMode};
+use fatpaths_net::topo::Topology;
+use proptest::prelude::*;
+
+/// The two structurally opposite families: irregular SF (host-route
+/// shaped) and the fat tree (aggregation collapses whole pods).
+fn topo_for(pick: u8) -> Topology {
+    if pick.is_multiple_of(2) {
+        fatpaths_net::topo::slimfly::slim_fly(5, 2).unwrap()
+    } else {
+        fatpaths_net::topo::fattree::fat_tree(4, 2)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn aggregated_fib_forwards_identically_and_never_grows(
+        pick in 0u8..4,
+        n_layers in 2usize..5,
+        rho_pct in 45u32..85,
+        seed in 0u64..50_000,
+    ) {
+        let topo = topo_for(pick);
+        let ls = build_random_layers(
+            &topo.graph,
+            &LayerConfig::new(n_layers, rho_pct as f64 / 100.0, seed),
+        );
+        let rt = RoutingTables::build(&topo.graph, &ls);
+        let host = compile(&topo, &rt, CompileMode::HostRoutes);
+        let agg = compile(&topo, &rt, CompileMode::Aggregated);
+        let (hs, ags) = (host.stats(), agg.stats());
+
+        // Compression never increases entry count, globally or on any
+        // single switch, and never touches the raw (host-route) count.
+        prop_assert_eq!(hs.raw_entries, ags.raw_entries);
+        prop_assert!(ags.entries_total <= hs.entries_total);
+        prop_assert!(ags.entries_max <= hs.entries_max);
+        for r in 0..topo.num_routers() as u32 {
+            prop_assert!(
+                agg.switch(r).num_entries() <= host.switch(r).num_entries(),
+                "switch {} grew under aggregation", r
+            );
+            // Group tables are shared state, untouched by rule merging.
+            prop_assert_eq!(
+                agg.switch(r).num_groups(),
+                host.switch(r).num_groups()
+            );
+        }
+
+        // Aggregation preserves forwarding exactly: every (switch,
+        // layer, destination endpoint) resolves to the same port set.
+        for at in 0..topo.num_routers() as u32 {
+            for layer in 0..host.tag_space() {
+                for ep in (0..topo.num_endpoints() as u32).step_by(3) {
+                    let h = host.lookup(at, layer, ep);
+                    let a = agg.lookup(at, layer, ep);
+                    prop_assert_eq!(
+                        h.map(|p| p.as_slice()),
+                        a.map(|p| p.as_slice()),
+                        "switch {} layer {} ep {}", at, layer, ep
+                    );
+                }
+            }
+        }
+    }
+}

@@ -223,6 +223,63 @@ impl FaultPlan {
         plan
     }
 
+    /// A domain-aware maintenance roll: like
+    /// [`FaultPlan::rolling_reboot`], but instead of drawing routers
+    /// uniformly it walks the topology's failure *domains*
+    /// ([`Topology::domains`] — a fat-tree pod's aggregation layer, a
+    /// Dragonfly group, a HyperX row) in seed-shuffled order, rebooting
+    /// each domain's routers consecutively (ascending id) before moving
+    /// to the next. Real maintenance rolls work through one enclosure
+    /// at a time, which concentrates simultaneous downtime inside a
+    /// fate-sharing unit — with `stagger < downtime` a whole domain can
+    /// be dark at once, the case that stresses route repair far harder
+    /// than scattered uniform draws.
+    ///
+    /// The reboot budget is `count_of(Nr, fraction)` routers — the same
+    /// as the uniform roll, so the two samplers are directly comparable
+    /// at equal fractions (the last domain may be walked partially).
+    /// Routers outside every domain are never rebooted: when domains
+    /// cover only part of the machine (a fat tree's domains are its
+    /// aggregation layers, `k²/4` of `5k²/4` routers), the walk stops
+    /// at the covered population and the effective budget clamps there
+    /// — compare samplers at fractions below the coverage ratio.
+    /// Topologies without domain metadata degrade to per-router
+    /// domains, which reproduces [`FaultPlan::rolling_reboot`] exactly.
+    /// Deterministic in `(topo, fraction, seed)`.
+    pub fn rolling_domain_reboot(
+        topo: &Topology,
+        fraction: f64,
+        start: u64,
+        stagger: u64,
+        downtime: u64,
+        seed: u64,
+    ) -> FaultPlan {
+        let nr = topo.num_routers();
+        let budget = count_of(nr, fraction);
+        let mut domains: Vec<std::ops::Range<RouterId>> = if topo.domains.is_empty() {
+            (0..nr as u32).map(|r| r..r + 1).collect()
+        } else {
+            topo.domains.clone()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        domains.shuffle(&mut rng);
+        let mut plan = FaultPlan::default();
+        let mut i = 0u64;
+        'walk: for dom in domains {
+            for r in dom {
+                if i as usize >= budget {
+                    break 'walk;
+                }
+                let down = start + i * stagger;
+                plan = plan
+                    .router_down_at(down, r)
+                    .router_up_at(down + downtime, r);
+                i += 1;
+            }
+        }
+        plan
+    }
+
     /// A maintenance window: the sampled routers all die at `start` and
     /// all return at `start + duration` — one correlated burst of
     /// simultaneous events, the worst case for per-change repair cost.
@@ -544,6 +601,94 @@ mod tests {
         let at: Vec<u64> = plan.router_events().iter().map(|e| e.at).collect();
         assert!(at.windows(2).all(|w| w[0] <= w[1]));
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn domain_reboot_walks_whole_domains_in_sequence() {
+        use crate::topo::fattree::fat_tree;
+        let t = fat_tree(8, 1); // 8 pods × 4 agg routers, 80 routers total
+        assert_eq!(t.domains.len(), 8);
+        let plan = FaultPlan::rolling_domain_reboot(&t, 0.1, 1_000, 500, 200, 9);
+        assert_eq!(
+            plan,
+            FaultPlan::rolling_domain_reboot(&t, 0.1, 1_000, 500, 200, 9)
+        );
+        // Budget matches the uniform roll: count_of(80, 0.1) = 8 routers.
+        let mut downs: Vec<&RouterEvent> = plan.router_events().iter().filter(|e| !e.up).collect();
+        assert_eq!(downs.len(), 8);
+        downs.sort_by_key(|e| e.at);
+        // Staggered down/up pairs, like the uniform roll.
+        for (i, d) in downs.iter().enumerate() {
+            assert_eq!(d.at, 1_000 + i as u64 * 500);
+            let up = plan
+                .router_events()
+                .iter()
+                .find(|e| e.up && e.router == d.router)
+                .unwrap();
+            assert_eq!(up.at, d.at + 200);
+        }
+        // The walk consumes whole domains consecutively: the first four
+        // reboots are exactly one pod's aggregation layer (ascending),
+        // the next four exactly another's.
+        for half in downs.chunks(4) {
+            let ids: Vec<u32> = half.iter().map(|e| e.router).collect();
+            let dom = t
+                .domains
+                .iter()
+                .find(|d| d.contains(&ids[0]))
+                .expect("reboot target must sit in a domain");
+            assert_eq!(
+                ids,
+                dom.clone().collect::<Vec<u32>>(),
+                "domain walked in order"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_reboot_budget_clamps_to_domain_coverage() {
+        use crate::topo::fattree::fat_tree;
+        // fat_tree(8,1): 80 routers, domains cover only the 32 agg
+        // routers. A fraction above the 0.4 coverage ratio exhausts
+        // every domain and stops — the walk never reboots routers that
+        // belong to no fate-sharing unit.
+        let t = fat_tree(8, 1);
+        let covered: usize = t.domains.iter().map(|d| d.len()).sum();
+        assert_eq!(covered, 32);
+        let plan = FaultPlan::rolling_domain_reboot(&t, 0.9, 1_000, 500, 200, 2);
+        let downs = plan.router_events().iter().filter(|e| !e.up).count();
+        assert_eq!(downs, covered, "budget clamps at the covered population");
+        assert!(plan
+            .router_events()
+            .iter()
+            .all(|e| t.domains.iter().any(|d| d.contains(&e.router))));
+    }
+
+    #[test]
+    fn domain_reboot_without_domains_degrades_to_uniform_roll() {
+        let t = slim_fly(5, 1).unwrap();
+        assert!(t.domains.is_empty(), "SF is irregular — no domains");
+        let dom = FaultPlan::rolling_domain_reboot(&t, 0.12, 2_000, 700, 300, 4);
+        let uni = FaultPlan::rolling_reboot(&t, 0.12, 2_000, 700, 300, 4);
+        assert_eq!(dom, uni);
+    }
+
+    #[test]
+    fn structured_topologies_expose_domain_metadata() {
+        use crate::topo::dragonfly::dragonfly;
+        use crate::topo::hyperx::hyperx;
+        let df = dragonfly(2);
+        // One domain per group, each of size a = 2p, covering all routers.
+        assert_eq!(df.domains.len(), 2 * 2 * 2 + 1);
+        let covered: usize = df.domains.iter().map(|d| d.len()).sum();
+        assert_eq!(covered, df.num_routers());
+        assert!(df.domains.iter().all(|d| d.len() == 4));
+        let hx = hyperx(2, 4, 1);
+        assert_eq!(hx.domains.len(), 4);
+        assert!(hx.domains.iter().all(|d| d.len() == 4));
+        // Degraded views keep their domains.
+        let e = df.graph.edge_vec()[0];
+        assert_eq!(df.degraded(&[e]).domains, df.domains);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub fn dragonfly(p: u32) -> Topology {
             }
         }
     }
-    let topo = Topology::assemble(
+    let mut topo = Topology::assemble(
         TopoKind::Dragonfly,
         format!("DF(p={p})"),
         nr,
@@ -50,6 +50,9 @@ pub fn dragonfly(p: u32) -> Topology {
         Topology::uniform_concentration(nr, p),
         3,
     );
+    // Maintenance domains: whole groups (one electrical/mechanical
+    // enclosure per group in real Dragonfly deployments).
+    topo.domains = (0..g).map(|grp| rid(grp, 0)..rid(grp, a - 1) + 1).collect();
     debug_assert_eq!(topo.network_radix() as u32, 3 * p - 1);
     topo
 }

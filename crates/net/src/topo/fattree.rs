@@ -44,14 +44,21 @@ pub fn fat_tree(k: u32, oversubscription: u32) -> Topology {
     let p_edge = oversubscription * half;
     let mut conc = vec![0u32; nr];
     conc[..edge_count as usize].fill(p_edge);
-    Topology::assemble(
+    let mut topo = Topology::assemble(
         TopoKind::FatTree,
         format!("FT3(k={k},os={oversubscription})"),
         nr,
         edges,
         conc,
         4,
-    )
+    );
+    // Maintenance domains: each pod's aggregation layer — the routers a
+    // rolling firmware upgrade walks together, and whose loss cuts the
+    // pod's only uplinks.
+    topo.domains = (0..pods)
+        .map(|pod| agg_id(pod, 0)..agg_id(pod, half - 1) + 1)
+        .collect();
+    topo
 }
 
 /// Number of edge routers of a radix-`k` fat tree (`k²/2`).

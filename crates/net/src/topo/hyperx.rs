@@ -33,7 +33,7 @@ pub fn hyperx(dims: u32, side: u32, p: u32) -> Topology {
             }
         }
     }
-    let topo = Topology::assemble(
+    let mut topo = Topology::assemble(
         TopoKind::HyperX,
         format!("HX{dims}(S={side},p={p})"),
         nr,
@@ -41,6 +41,11 @@ pub fn hyperx(dims: u32, side: u32, p: u32) -> Topology {
         Topology::uniform_concentration(nr, p),
         dims,
     );
+    // Maintenance domains: dimension-0 rows (stride-1 cliques — the
+    // same-chassis-row grouping the short link class already encodes).
+    topo.domains = (0..nr as u32 / side)
+        .map(|row| row * side..(row + 1) * side)
+        .collect();
     debug_assert_eq!(topo.network_radix() as u32, dims * (side - 1));
     topo
 }

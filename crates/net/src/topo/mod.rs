@@ -79,6 +79,17 @@ pub struct Topology {
     pub link_classes: Vec<LinkClass>,
     /// Structural diameter `D` of the router graph.
     pub diameter: u32,
+    /// Maintenance / failure domains: router-id ranges that share fate
+    /// under correlated maintenance — a fat-tree pod's aggregation
+    /// layer, a Dragonfly group, a HyperX dimension-0 row. Generators
+    /// of structured topologies fill this after
+    /// [`Topology::assemble`]; irregular families (Slim Fly, Jellyfish,
+    /// Xpander) leave it empty, and domain-aware samplers
+    /// ([`FaultPlan::rolling_domain_reboot`]) then degrade to
+    /// per-router domains.
+    ///
+    /// [`FaultPlan::rolling_domain_reboot`]: crate::fault::FaultPlan::rolling_domain_reboot
+    pub domains: Vec<std::ops::Range<RouterId>>,
     /// Prefix sums over `concentration`, length `n+1`; endpoint ids are
     /// dense in `0..num_endpoints()`.
     endpoint_offset: Vec<u32>,
@@ -120,6 +131,7 @@ impl Topology {
             concentration,
             link_classes,
             diameter,
+            domains: Vec::new(),
             endpoint_offset,
         }
     }
@@ -191,14 +203,16 @@ impl Topology {
             .filter(|&((u, v), _)| !dead.contains(&(u, v)))
             .map(|((u, v), &c)| (u, v, c))
             .collect();
-        Topology::assemble(
+        let mut degraded = Topology::assemble(
             self.kind,
             format!("{}-degraded", self.name),
             self.num_routers(),
             edges,
             self.concentration.clone(),
             self.diameter,
-        )
+        );
+        degraded.domains = self.domains.clone();
+        degraded
     }
 }
 

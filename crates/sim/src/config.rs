@@ -115,6 +115,16 @@ pub struct SimConfig {
     /// the FatPaths story: preprovisioned layers mask failures without
     /// any control-plane help.
     pub detection_delay: Option<TimePs>,
+    /// Mid-flow host-death semantics: when `Some(k)`, a flow whose
+    /// source or destination endpoint is dead (its router is down) at
+    /// retransmission-timeout time aborts after burning `k` such RTOs —
+    /// the connection reset a real stack would surface. `None` (the
+    /// default) preserves the old behavior: the flow stalls and, if the
+    /// router revives before the horizon, the *same* transfer finishes,
+    /// indistinguishable from an undisturbed one. The knob separates
+    /// "host came back" from "transfer would have restarted" in
+    /// long-churn studies (see `FlowRecord::aborted`).
+    pub abort_on_host_death: Option<u32>,
 }
 
 impl Default for SimConfig {
@@ -128,6 +138,7 @@ impl Default for SimConfig {
             seed: 1,
             horizon: 0,
             detection_delay: None,
+            abort_on_host_death: None,
         }
     }
 }

@@ -36,8 +36,11 @@ pub use config::{LoadBalancing, SimConfig, TcpVariant, Transport, HDR_BYTES};
 pub use engine::TimePs;
 pub use fatpaths_core::repair::{DownLinks, RouteRepair};
 pub use fatpaths_core::scheme::{PortSet, RoutingScheme};
+pub use fatpaths_fib::{CompileMode, CompiledScheme, Fib, FibStats, TableBudget};
 pub use fatpaths_net::fault::{FaultModel, FaultPlan, LinkEvent, RouterEvent};
-pub use metrics::{histogram, mean, percentile, throughput_by_size, FlowRecord, SimResult};
+pub use metrics::{
+    histogram, mean, percentile, throughput_by_size, FlowRecord, RepairTickRecord, SimResult,
+};
 pub use scenario::{BuiltScheme, Scenario, SchemeSpec};
 pub use simulator::Simulator;
 pub use sweep::{cell_seed, coord_str, SweepRunner};

@@ -22,6 +22,15 @@ pub struct FlowRecord {
     /// injected but cut off by the horizon, and from `unroutable`
     /// drops, which are the network's failure between live hosts.
     pub host_dead: bool,
+    /// The flow was injected but aborted mid-transfer: an endpoint died
+    /// *after* injection and the sender burned
+    /// [`SimConfig::abort_on_host_death`](crate::config::SimConfig::abort_on_host_death)
+    /// RTOs against the dead host. Separates "the host came back and
+    /// the same transfer finished" (no abort, late `finish`) from "the
+    /// transfer would have to be restarted" (abort, `finish = None`).
+    /// Aborted flows stay in the eligible denominator — the connection
+    /// reset is the scheme-visible outcome of the fault.
+    pub aborted: bool,
 }
 
 impl FlowRecord {
@@ -35,6 +44,21 @@ impl FlowRecord {
         self.fct_s()
             .map(|s| self.size as f64 / (1024.0 * 1024.0) / s)
     }
+}
+
+/// One control-plane repair pass (`RepairTick`): when it ran and how
+/// much state it touched — the per-event cost record the churn and
+/// resilience sweeps aggregate into control-plane-work columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairTickRecord {
+    /// Simulation time the repair pass executed.
+    pub at: TimePs,
+    /// Routing rows the recomputed overlay covers
+    /// (`RouteRepair::len`).
+    pub rows: u64,
+    /// FIB rows a compiled scheme would push for this overlay
+    /// (`RouteRepair::fib_rows_rewritten`; zero for analytic schemes).
+    pub fib_rows: u64,
 }
 
 /// Aggregate simulation result.
@@ -51,6 +75,8 @@ pub struct SimResult {
     pub unroutable: u64,
     /// Time the last event executed.
     pub end_time: TimePs,
+    /// One record per control-plane repair pass, in execution order.
+    pub repair_log: Vec<RepairTickRecord>,
 }
 
 impl SimResult {
@@ -71,6 +97,28 @@ impl SimResult {
     /// dead router at start time.
     pub fn host_dead(&self) -> usize {
         self.flows.iter().filter(|f| f.host_dead).count()
+    }
+
+    /// Flows aborted mid-transfer after burning the configured RTO
+    /// budget against an endpoint that died post-injection.
+    pub fn aborted(&self) -> usize {
+        self.flows.iter().filter(|f| f.aborted).count()
+    }
+
+    /// Number of control-plane repair passes that ran.
+    pub fn repair_ticks(&self) -> usize {
+        self.repair_log.len()
+    }
+
+    /// Total routing rows touched across all repair passes.
+    pub fn repair_rows(&self) -> u64 {
+        self.repair_log.iter().map(|r| r.rows).sum()
+    }
+
+    /// Total FIB rows rewritten across all repair passes (nonzero only
+    /// for FIB-compiled schemes).
+    pub fn fib_rows(&self) -> u64 {
+        self.repair_log.iter().map(|r| r.fib_rows).sum()
     }
 
     /// Fraction of eligible flows that completed (`host_dead` flows are
@@ -185,6 +233,7 @@ mod tests {
             retx: 0,
             trims: 0,
             host_dead: false,
+            aborted: false,
         };
         assert_eq!(f.fct_s(), Some(1.0));
         assert!((f.throughput_mib_s().unwrap() - 1.0).abs() < 1e-12);
@@ -217,6 +266,7 @@ mod tests {
             retx: 0,
             trims: 0,
             host_dead: false,
+            aborted: false,
         };
         let r = SimResult {
             flows: vec![mk(100, 1_000_000), mk(100, 2_000_000), mk(200, 1_000_000)],
@@ -239,6 +289,7 @@ mod tests {
                     retx: 0,
                     trims: 0,
                     host_dead: false,
+                    aborted: false,
                 },
                 FlowRecord {
                     size: 1,
@@ -247,6 +298,7 @@ mod tests {
                     retx: 0,
                     trims: 0,
                     host_dead: false,
+                    aborted: false,
                 },
             ],
             ..Default::default()
@@ -263,6 +315,7 @@ mod tests {
             retx: 0,
             trims: 0,
             host_dead,
+            aborted: false,
         };
         let r = SimResult {
             // One completed, one stranded, two host-dead.

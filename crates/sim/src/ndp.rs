@@ -71,6 +71,7 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
             PktKind::Ack => {
                 // Sender side: per-packet ack. Adopt the receiver's layer
                 // suggestion and keep the safety timer fresh.
+                self.reset_dead_rtos(flow);
                 self.ndp_adopt_suggestion(flow, pkt.suggest_layer);
                 let f = &mut self.flows[flow as usize];
                 if pkt.seq >= f.cum_ack {
@@ -79,6 +80,7 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
                 self.ndp_arm_rto(flow);
             }
             PktKind::Nack => {
+                self.reset_dead_rtos(flow);
                 self.ndp_adopt_suggestion(flow, pkt.suggest_layer);
                 let f = &mut self.flows[flow as usize];
                 f.retx_count += 1;
@@ -86,6 +88,7 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
                 self.ndp_arm_rto(flow);
             }
             PktKind::Pull => {
+                self.reset_dead_rtos(flow);
                 self.ndp_adopt_suggestion(flow, pkt.suggest_layer);
                 self.ndp_send_next(flow);
                 self.ndp_arm_rto(flow);
@@ -132,7 +135,8 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
             return;
         };
         let suggest = self.flows[flow as usize].rx_suggest;
-        if self.flows[flow as usize].finished.is_none() {
+        let f = &self.flows[flow as usize];
+        if f.finished.is_none() && !f.aborted {
             self.send_control(flow, PktKind::Pull, 0, true, false, suggest);
         }
         // Pace: one pull per full-payload serialization interval.
@@ -150,7 +154,7 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
 
     fn ndp_arm_rto(&mut self, flow: u32) {
         let f = &mut self.flows[flow as usize];
-        if f.finished.is_some() {
+        if f.finished.is_some() || f.aborted {
             return;
         }
         f.rto_gen += 1;
@@ -175,7 +179,7 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
     /// harmless).
     pub(crate) fn ndp_on_rto(&mut self, flow: u32, gen: u32) {
         let f = &self.flows[flow as usize];
-        if f.finished.is_some() || gen != f.rto_gen || !f.started {
+        if f.finished.is_some() || f.aborted || gen != f.rto_gen || !f.started {
             return;
         }
         let nl = self.n_layers() as u64;

@@ -42,6 +42,7 @@ use fatpaths_core::scheme::{
     ValiantScheme,
 };
 use fatpaths_core::spain::SpainConfig;
+use fatpaths_fib::{CompileMode, CompiledScheme};
 use fatpaths_net::fault::FaultPlan;
 use fatpaths_net::graph::{Graph, RouterId};
 use fatpaths_net::topo::Topology;
@@ -144,6 +145,11 @@ pub enum BuiltScheme<'a> {
     Ksp(KspScheme),
     /// Valiant load balancing.
     Valiant(ValiantScheme<'a>),
+    /// Any of the above, compiled to per-switch FIBs
+    /// ([`Scenario::compiled`]): forwarding reads the compiled
+    /// prefix-rule tables instead of the analytic scheme, so the run
+    /// exercises exactly the state a switch would hold.
+    Compiled(CompiledScheme<Box<dyn RoutingScheme + Send + Sync + 'a>>),
 }
 
 impl RoutingScheme for BuiltScheme<'_> {
@@ -155,6 +161,7 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Past(s) => s.name(),
             BuiltScheme::Ksp(s) => s.name(),
             BuiltScheme::Valiant(s) => s.name(),
+            BuiltScheme::Compiled(s) => s.name(),
         }
     }
 
@@ -166,6 +173,19 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Past(s) => s.num_layers(),
             BuiltScheme::Ksp(s) => s.num_layers(),
             BuiltScheme::Valiant(s) => s.num_layers(),
+            BuiltScheme::Compiled(s) => s.num_layers(),
+        }
+    }
+
+    fn tag_space(&self) -> usize {
+        match self {
+            BuiltScheme::Layered(s) => s.tag_space(),
+            BuiltScheme::Minimal { topo, dm } => MinimalScheme::new(&topo.graph, dm).tag_space(),
+            BuiltScheme::Spain(s) => s.tag_space(),
+            BuiltScheme::Past(s) => s.tag_space(),
+            BuiltScheme::Ksp(s) => s.tag_space(),
+            BuiltScheme::Valiant(s) => s.tag_space(),
+            BuiltScheme::Compiled(s) => s.tag_space(),
         }
     }
 
@@ -179,6 +199,7 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Past(s) => s.candidate_ports(layer, at, dst),
             BuiltScheme::Ksp(s) => s.candidate_ports(layer, at, dst),
             BuiltScheme::Valiant(s) => s.candidate_ports(layer, at, dst),
+            BuiltScheme::Compiled(s) => s.candidate_ports(layer, at, dst),
         }
     }
 
@@ -192,6 +213,7 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Past(s) => s.update_layer(layer, at, dst),
             BuiltScheme::Ksp(s) => s.update_layer(layer, at, dst),
             BuiltScheme::Valiant(s) => s.update_layer(layer, at, dst),
+            BuiltScheme::Compiled(s) => s.update_layer(layer, at, dst),
         }
     }
 
@@ -209,6 +231,7 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Past(s) => s.repair_routes(base, down),
             BuiltScheme::Ksp(s) => s.repair_routes(base, down),
             BuiltScheme::Valiant(s) => s.repair_routes(base, down),
+            BuiltScheme::Compiled(s) => RoutingScheme::repair_routes(s, base, down),
         }
     }
 }
@@ -227,6 +250,8 @@ pub struct Scenario<'a> {
     flows: Vec<FlowSpec>,
     faults: FaultPlan,
     detection_delay: Option<TimePs>,
+    compiled: Option<CompileMode>,
+    abort_host_death: Option<u32>,
 }
 
 impl<'a> Scenario<'a> {
@@ -247,6 +272,8 @@ impl<'a> Scenario<'a> {
             flows: Vec::new(),
             faults: FaultPlan::none(),
             detection_delay: None,
+            compiled: None,
+            abort_host_death: None,
         }
     }
 
@@ -330,14 +357,50 @@ impl<'a> Scenario<'a> {
         self
     }
 
-    /// The spec's label (for CSV rows).
+    /// Compiles the built scheme into per-switch FIBs and simulates on
+    /// them: [`Scenario::build_scheme`] wraps the analytic scheme in a
+    /// [`CompiledScheme`], so every per-packet port lookup reads the
+    /// compiled prefix-rule tables — exactly the state a switch would
+    /// hold (byte-identical results to the analytic run, pinned by the
+    /// `compiled_parity` suite; use
+    /// [`fatpaths_fib::compile()`] directly for the table statistics).
+    pub fn compiled(mut self, mode: CompileMode) -> Self {
+        self.compiled = Some(mode);
+        self
+    }
+
+    /// Mid-flow host-death semantics: aborts a flow whose endpoint is
+    /// dead at RTO time after it burns `k` such timeouts (see
+    /// [`SimConfig::abort_on_host_death`]).
+    pub fn abort_on_host_death(mut self, k: u32) -> Self {
+        self.abort_host_death = Some(k);
+        self
+    }
+
+    /// The spec's label (for CSV rows), with a `+fib` suffix when the
+    /// scenario simulates on compiled FIBs.
     pub fn label(&self) -> String {
-        self.spec.label()
+        match self.compiled {
+            Some(mode) => format!("{}+fib({})", self.spec.label(), mode.label()),
+            None => self.spec.label(),
+        }
     }
 
     /// Constructs the routing scheme — the expensive step, split out so
     /// sweeps can reuse it via [`Scenario::run_with`].
     pub fn build_scheme(&self) -> BuiltScheme<'a> {
+        match self.compiled {
+            None => self.build_analytic(),
+            Some(mode) => {
+                let inner: Box<dyn RoutingScheme + Send + Sync + 'a> =
+                    Box::new(self.build_analytic());
+                BuiltScheme::Compiled(CompiledScheme::compile(self.topo, inner, mode))
+            }
+        }
+    }
+
+    /// Constructs the analytic (uncompiled) scheme for the spec.
+    fn build_analytic(&self) -> BuiltScheme<'a> {
         let g = &self.topo.graph;
         match self.spec {
             SchemeSpec::LayeredRandom { n_layers, rho } => {
@@ -394,6 +457,7 @@ impl<'a> Scenario<'a> {
             seed: self.seed,
             horizon: self.horizon,
             detection_delay: self.detection_delay,
+            abort_on_host_death: self.abort_host_death,
             ..SimConfig::default()
         }
     }

@@ -98,6 +98,13 @@ pub(crate) struct FlowState {
     /// behind a dead router at start time (distinct from `unroutable`,
     /// which is a property of the network between live hosts).
     pub host_dead: bool,
+    /// RTOs this flow has burned while one of its endpoints was dead
+    /// (only tracked when `SimConfig::abort_on_host_death` is set).
+    pub dead_rtos: u32,
+    /// The flow was aborted mid-transfer (endpoint died post-injection
+    /// and the RTO budget ran out): terminal — arrivals and timers are
+    /// ignored from then on, like a connection reset.
+    pub aborted: bool,
     /// Congestion-avoidance increase factor (LIA-style coupling gives each
     /// of k subflows 1/k aggressiveness; plain TCP uses 1.0).
     pub ca_scale: f64,
@@ -149,6 +156,8 @@ impl FlowState {
             rx_last_layer: 0,
             pinned_layer: None,
             host_dead: false,
+            dead_rtos: 0,
+            aborted: false,
             ca_scale: 1.0,
         }
     }
@@ -240,6 +249,9 @@ pub struct Simulator<'a, R: RoutingScheme + ?Sized = dyn RoutingScheme + 'a> {
     /// Scheme-computed repaired rows, installed one detection delay
     /// after each link-state change (empty until then).
     repair: RouteRepair,
+    /// One record per executed repair pass (time, overlay rows, FIB
+    /// rows) — the control-plane work log surfaced in `SimResult`.
+    repair_log: Vec<crate::metrics::RepairTickRecord>,
 }
 
 impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
@@ -297,6 +309,7 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             host_dead: 0,
             repair_at: None,
             repair: RouteRepair::none(),
+            repair_log: Vec::new(),
         }
     }
 
@@ -554,6 +567,7 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                 retx: f.retx_count,
                 trims: f.trims,
                 host_dead: f.host_dead,
+                aborted: f.aborted,
             })
             .collect();
         SimResult {
@@ -562,6 +576,7 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             trims: self.trim_count,
             unroutable: self.unroutable,
             end_time,
+            repair_log: self.repair_log,
         }
     }
 
@@ -597,6 +612,11 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                     self.repair_at = None;
                 }
                 self.recompute_repair();
+                self.repair_log.push(crate::metrics::RepairTickRecord {
+                    at: self.now,
+                    rows: self.repair.len() as u64,
+                    fib_rows: self.repair.fib_rows_rewritten,
+                });
             }
         }
     }
@@ -939,10 +959,12 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
         self.nic_enqueue(src, pid);
     }
 
-    /// Marks a flow complete (receiver got every byte).
+    /// Marks a flow complete (receiver got every byte). Aborted flows
+    /// stay aborted: late packets delivered after a host revival cannot
+    /// resurrect a reset connection.
     pub(crate) fn complete_flow(&mut self, flow: u32) {
         let f = &mut self.flows[flow as usize];
-        if f.finished.is_none() {
+        if f.finished.is_none() && !f.aborted {
             f.finished = Some(self.now);
             self.finished_flows += 1;
         }
@@ -960,9 +982,58 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
     }
 
     fn on_rto(&mut self, flow: u32, gen: u32) {
+        if self.abort_if_host_dead(flow, gen) {
+            return;
+        }
         match self.cfg.transport {
             Transport::Ndp { .. } => self.ndp_on_rto(flow, gen),
             Transport::Tcp { .. } => self.tcp_on_rto(flow, gen),
+        }
+    }
+
+    /// Mid-flow host-death semantics
+    /// ([`SimConfig::abort_on_host_death`]): when an endpoint of an
+    /// in-flight flow is dead at RTO time, the timeout counts against
+    /// the flow's dead-RTO budget; exhausting it aborts the transfer (a
+    /// connection reset — the real-stack outcome, instead of silently
+    /// outwaiting the reboot). Returns `true` when the flow was aborted
+    /// (the timer must not be re-armed or the transport consulted).
+    fn abort_if_host_dead(&mut self, flow: u32, gen: u32) -> bool {
+        let Some(budget) = self.cfg.abort_on_host_death else {
+            return false;
+        };
+        let f = &self.flows[flow as usize];
+        if f.finished.is_some() || f.aborted || !f.started || gen != f.rto_gen {
+            return f.aborted;
+        }
+        let endpoint_dead = self.dead_router_count != 0
+            && (self.router_dead[f.src_router as usize] || self.router_dead[f.dst_router as usize]);
+        let f = &mut self.flows[flow as usize];
+        if !endpoint_dead {
+            // The budget counts *consecutive* RTOs against a dead
+            // endpoint (one outage), so a timeout with both hosts alive
+            // clears it — separate survivable outages must not sum to
+            // an abort (`reset_dead_rtos` clears it on receiver-side
+            // evidence too).
+            f.dead_rtos = 0;
+            return false;
+        }
+        f.dead_rtos += 1;
+        if f.dead_rtos < budget.max(1) {
+            return false; // keep retrying: the transport re-arms the timer
+        }
+        f.aborted = true;
+        self.finished_flows += 1;
+        true
+    }
+
+    /// Clears the consecutive-dead-RTO budget on proof of life: any
+    /// receiver-originated packet reaching the sender means the
+    /// endpoint is (back) up, so a later outage starts a fresh count.
+    #[inline]
+    pub(crate) fn reset_dead_rtos(&mut self, flow: u32) {
+        if self.cfg.abort_on_host_death.is_some() {
+            self.flows[flow as usize].dead_rtos = 0;
         }
     }
 }

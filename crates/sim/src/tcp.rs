@@ -80,7 +80,10 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
                     self.complete_flow(flow);
                 }
             }
-            PktKind::Ack => self.tcp_on_ack(flow, pkt.seq, pkt.ecn_echo),
+            PktKind::Ack => {
+                self.reset_dead_rtos(flow);
+                self.tcp_on_ack(flow, pkt.seq, pkt.ecn_echo)
+            }
             _ => {}
         }
     }
@@ -240,7 +243,7 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
     fn tcp_arm_rto(&mut self, flow: u32) {
         let rto = self.tcp_rto_value(flow);
         let f = &mut self.flows[flow as usize];
-        if f.finished.is_some() && f.cum_ack >= f.num_pkts {
+        if (f.finished.is_some() && f.cum_ack >= f.num_pkts) || f.aborted {
             return;
         }
         f.rto_gen += 1;
@@ -252,7 +255,11 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
     pub(crate) fn tcp_on_rto(&mut self, flow: u32, gen: u32) {
         {
             let f = &mut self.flows[flow as usize];
-            if gen != f.rto_gen || !f.started || (f.finished.is_some() && f.cum_ack >= f.num_pkts) {
+            if gen != f.rto_gen
+                || !f.started
+                || f.aborted
+                || (f.finished.is_some() && f.cum_ack >= f.num_pkts)
+            {
                 return;
             }
             if f.cum_ack >= f.num_pkts {

@@ -43,6 +43,7 @@
 //! | [`core`] | layered routing, forwarding tables, the [`RoutingScheme`](core::scheme::RoutingScheme) trait and every baseline adapter (§V–VI) |
 //! | [`mcf`] | max-achievable-throughput solver, worst-case traffic (§VI) |
 //! | [`workloads`] | traffic patterns, flow sizes, arrivals, mappings (§II-C) |
+//! | [`fib`] | FIB compilation: per-switch prefix rules + ECMP groups, table budgets, and the [`CompiledScheme`](fib::CompiledScheme) adapter (§V-E) |
 //! | [`sim`] | packet-level simulator (NDP + TCP/DCTCP), fluid model, and the [`Scenario`](sim::Scenario) builder (§VII) |
 //!
 //! ## Quickstart
@@ -85,6 +86,7 @@
 
 pub use fatpaths_core as core;
 pub use fatpaths_diversity as diversity;
+pub use fatpaths_fib as fib;
 pub use fatpaths_mcf as mcf;
 pub use fatpaths_net as net;
 pub use fatpaths_sim as sim;
@@ -101,6 +103,7 @@ pub mod prelude {
         KspConfig, KspScheme, MinimalScheme, PastScheme, PortSet, RoutingScheme, SpainScheme,
         ValiantScheme,
     };
+    pub use fatpaths_fib::{compile, CompileMode, CompiledScheme, TableBudget};
     pub use fatpaths_net::classes::{build, SizeClass};
     pub use fatpaths_net::fault::{FaultModel, FaultPlan, LinkEvent};
     pub use fatpaths_net::topo::{TopoKind, Topology};
