@@ -30,10 +30,11 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Stages measured, in report order.
-const STAGES: [&str; 6] = [
+const STAGES: [&str; 7] = [
     "apsp",
     "layer_build",
     "fib_compile",
+    "te_negotiate",
     "sweep",
     "degraded_sweep",
     "churn_sweep",
@@ -89,6 +90,31 @@ fn run_stage(stage: &str) -> f64 {
             let (hs, ags) = (host.stats(), agg.stats());
             assert_eq!(hs.raw_entries, ags.raw_entries);
             assert!(ags.entries_total <= hs.entries_total);
+            start.elapsed().as_secs_f64()
+        }
+        "te_negotiate" => {
+            // Congestion negotiation on a Small-class Slim Fly under the
+            // worst-case matrix: per-iteration tree rebuilds fan out over
+            // (layer, destination) on the pool; load measurement and
+            // pricing stay sequential by design.
+            use fatpaths_te::{endpoint_demands, TeConfig, TeScheme};
+            use fatpaths_workloads::matrices::{matrix_flows, MatrixSpec};
+            let t = fatpaths_net::classes::build(
+                fatpaths_net::topo::TopoKind::SlimFly,
+                fatpaths_net::classes::SizeClass::Small,
+                1,
+            );
+            let ls = build_random_layers(&t.graph, &LayerConfig::new(9, 0.6, 7));
+            let rt = RoutingTables::build(&t.graph, &ls);
+            let flows = matrix_flows(&t, &MatrixSpec::WorstCase { intensity: 0.7 }, 3);
+            let demands = endpoint_demands(&t, &flows);
+            let cfg = TeConfig {
+                max_iterations: 12,
+                ..TeConfig::default()
+            };
+            let start = Instant::now();
+            let te = TeScheme::negotiate(&t.graph, &rt, &demands, &cfg);
+            assert!(te.peak().is_finite() && te.iterations() >= 1);
             start.elapsed().as_secs_f64()
         }
         "sweep" => {

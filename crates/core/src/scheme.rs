@@ -113,6 +113,16 @@ pub trait RoutingScheme {
     /// materializes one per-switch table row set per tag in this range,
     /// so [`candidate_ports`](RoutingScheme::candidate_ports) must be
     /// total over `0..tag_space()`.
+    ///
+    /// **Wrapper contract.** A scheme that wraps another (the FIB-
+    /// compiled scheme, the TE scheme over static tables, `Box<T>`) must
+    /// forward this method to the inner scheme rather than inherit the
+    /// `num_layers()` default: a wrapper that drops the override
+    /// silently truncates the inner tag range, and every packet carrying
+    /// a rewritten tag ≥ `num_layers()` becomes unroutable after
+    /// compilation. The blanket `Box` impl below forwards it; the
+    /// `boxed_wrappers_forward_the_whole_contract` test pins that this
+    /// stays true for non-default implementations.
     fn tag_space(&self) -> usize {
         self.num_layers()
     }
@@ -142,6 +152,16 @@ pub trait RoutingScheme {
     /// timeouts, §V-G). [`RoutingTables`] repairs affected `(layer, dst)`
     /// rows incrementally; [`MinimalScheme`] rebuilds its distance view
     /// from the degraded graph.
+    ///
+    /// **Wrapper contract.** A wrapper scheme must delegate this hook to
+    /// (or derive it from) its inner scheme — never inherit the empty
+    /// default. A wrapper that drops it silently disables fault repair
+    /// for every scheme it wraps: simulations still run, but failures
+    /// are only ever recovered end-to-end, which corrupts any resilience
+    /// comparison. The FIB-compiled scheme delegates and re-prices the
+    /// overlay in FIB rows; the TE scheme reroutes through its
+    /// controller on the negotiated cost snapshot; `Box<T>` forwards
+    /// verbatim (pinned by `boxed_wrappers_forward_the_whole_contract`).
     ///
     /// [`candidate_ports`]: RoutingScheme::candidate_ports
     fn repair_routes(&self, base: &Graph, down: &DownLinks) -> RouteRepair {
@@ -799,5 +819,54 @@ mod tests {
         let dm = DistanceMatrix::build(&t.graph);
         let ms = MinimalScheme::new(&t.graph, &dm);
         assert_eq!(ms.update_layer(3, 0, 10), 3);
+    }
+
+    /// A scheme overriding every defaultable method with sentinel
+    /// behavior; if boxing reached a trait default instead of the
+    /// override, the sentinels vanish.
+    struct SentinelScheme;
+
+    impl RoutingScheme for SentinelScheme {
+        fn name(&self) -> &'static str {
+            "sentinel"
+        }
+        fn num_layers(&self) -> usize {
+            2
+        }
+        fn tag_space(&self) -> usize {
+            5
+        }
+        fn candidate_ports(&self, layer: u8, _at: RouterId, _dst: RouterId) -> PortSet {
+            PortSet::single(layer as u16)
+        }
+        fn update_layer(&self, layer: u8, _at: RouterId, _dst: RouterId) -> u8 {
+            layer + 1
+        }
+        fn repair_routes(&self, _base: &Graph, down: &DownLinks) -> RouteRepair {
+            let mut r = RouteRepair::none();
+            r.insert(0, down.len() as u32, 9, PortSet::single(7));
+            r
+        }
+    }
+
+    /// Wrappers must forward the *whole* contract: a `Box<dyn
+    /// RoutingScheme>` (the representation compiled/TE wrappers own
+    /// their inner scheme as) must hit the inner overrides of
+    /// `tag_space` and `repair_routes`, not the trait defaults — a
+    /// wrapper that reaches the defaults silently truncates the tag
+    /// range and disables fault repair for everything it wraps.
+    #[test]
+    fn boxed_wrappers_forward_the_whole_contract() {
+        let t = slim_fly(5, 1).unwrap();
+        let boxed: Box<dyn RoutingScheme> = Box::new(SentinelScheme);
+        assert_eq!(boxed.name(), "sentinel");
+        assert_eq!(boxed.num_layers(), 2);
+        assert_eq!(boxed.tag_space(), 5, "tag_space fell back to num_layers");
+        assert_eq!(boxed.candidate_ports(3, 0, 1).as_slice(), &[3]);
+        assert_eq!(boxed.update_layer(3, 0, 1), 4);
+        let down = DownLinks::from_links(&[(0, 1)]);
+        let rep = boxed.repair_routes(&t.graph, &down);
+        assert_eq!(rep.len(), 1, "repair_routes fell back to the empty default");
+        assert_eq!(rep.lookup(0, 1, 9).unwrap().as_slice(), &[7]);
     }
 }

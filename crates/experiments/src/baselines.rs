@@ -13,10 +13,12 @@
 
 use crate::common::{f, label, pattern_workload, post_warmup, write_summary, write_text};
 use fatpaths_core::past::PastVariant;
+use fatpaths_mcf::{throughput_upper_bound, RouterDemand};
 use fatpaths_net::classes::{build, SizeClass};
 use fatpaths_net::topo::{TopoKind, Topology};
 use fatpaths_sim::metrics::{mean, percentile};
 use fatpaths_sim::{LoadBalancing, Scenario, SchemeSpec, SweepRunner};
+use fatpaths_te::{achieved_throughput, edge_loads, endpoint_demands};
 use fatpaths_workloads::arrivals::FlowSpec;
 use fatpaths_workloads::patterns::adversarial_for;
 use std::io;
@@ -52,9 +54,12 @@ fn matrix() -> Vec<(&'static str, SchemeSpec, Option<LoadBalancing>)> {
     ]
 }
 
-/// CSV header of the matrix artifact.
-const HEADER: &str =
-    "topology,scheme,layers,completion_rate,fct_mean_ms,fct_p50_ms,fct_p99_ms,trims,retx_total";
+/// CSV header of the matrix artifact. `mat_ratio` is the scheme's
+/// achieved/optimal throughput on the cell's traffic matrix: achieved
+/// comes from [`fatpaths_te::edge_loads`] (equal flowlet split, unit
+/// capacities), optimal from the [`throughput_upper_bound`] cut bound.
+const HEADER: &str = "topology,scheme,layers,completion_rate,fct_mean_ms,fct_p50_ms,fct_p99_ms,\
+                      trims,retx_total,mat_ratio";
 
 /// Metrics of one (topology, scheme) cell, ready for ordered assembly.
 struct CellResult {
@@ -84,7 +89,12 @@ pub fn baselines_matrix_on(topos: Vec<Topology>, window: f64) -> (String, String
         let p = topo.concentration.iter().copied().max().unwrap();
         let pattern = adversarial_for(p, topo.num_routers() as u32);
         let flows = pattern_workload(&topo, &pattern, 150.0, window, false, 23);
-        (topo, flows)
+        // Router traffic matrix of the workload + its MCF upper bound,
+        // the denominator of every scheme's `mat_ratio` on this topology.
+        let pairs: Vec<(u32, u32)> = flows.iter().map(|fl| (fl.src, fl.dst)).collect();
+        let demands = endpoint_demands(&topo, &pairs);
+        let upper = throughput_upper_bound(&topo, &demands);
+        (topo, flows, demands, upper)
     });
     let specs = matrix();
     // The (topology × scheme) grid itself.
@@ -95,7 +105,8 @@ pub fn baselines_matrix_on(topos: Vec<Topology>, window: f64) -> (String, String
         }
     }
     let results = SweepRunner::new("baselines", cells).run(|_, &(ti, si)| {
-        let (topo, flows): &(Topology, Vec<FlowSpec>) = &prep[ti];
+        let (topo, flows, demands, upper): &(Topology, Vec<FlowSpec>, Vec<RouterDemand>, f64) =
+            &prep[ti];
         let (name, spec, lb) = specs[si];
         let mut sc = Scenario::on(topo).scheme(spec).workload(flows).seed(5);
         if let Some(lb) = lb {
@@ -103,6 +114,7 @@ pub fn baselines_matrix_on(topos: Vec<Topology>, window: f64) -> (String, String
         }
         let scheme = sc.build_scheme();
         let layers = fatpaths_sim::RoutingScheme::num_layers(&scheme);
+        let mat_ratio = achieved_throughput(&edge_loads(&scheme, &topo.graph, demands)) / upper;
         let res = post_warmup(&sc.run_with(&scheme), window);
         let fcts = res.fcts(None);
         let retx: u64 = res.flows.iter().map(|fl| fl.retx as u64).sum();
@@ -116,6 +128,7 @@ pub fn baselines_matrix_on(topos: Vec<Topology>, window: f64) -> (String, String
             f(percentile(&fcts, 99.0) * 1e3),
             res.trims.to_string(),
             retx.to_string(),
+            f(mat_ratio),
         ]
         .join(",");
         CellResult {
@@ -134,7 +147,7 @@ pub fn baselines_matrix_on(topos: Vec<Topology>, window: f64) -> (String, String
     csv.push('\n');
     let mut summary =
         String::from("Baselines — every scheme packet-simulated, identical transport/workload\n");
-    for (ti, (topo, flows)) in prep.iter().enumerate() {
+    for (ti, (topo, flows, _, _)) in prep.iter().enumerate() {
         summary.push_str(&format!(
             "-- {} ({} endpoints, {} flows) --\n",
             label(topo),

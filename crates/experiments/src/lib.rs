@@ -21,4 +21,5 @@ pub mod memory;
 pub mod perf_ndp;
 pub mod perf_tcp;
 pub mod resilience;
+pub mod te;
 pub mod theory_figs;

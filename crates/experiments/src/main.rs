@@ -9,7 +9,7 @@
 
 use fatpaths_experiments::{
     baselines, churn, common, diversity_figs, large_scale, memory, perf_ndp, perf_tcp, resilience,
-    theory_figs,
+    te, theory_figs,
 };
 
 type Runner = fn(bool) -> std::io::Result<()>;
@@ -51,6 +51,11 @@ fn registry() -> Vec<(&'static str, Runner, &'static str)> {
             "memory",
             memory::memory,
             "FIB table state: entries/switch, ECMP groups, compression, budget overflow",
+        ),
+        (
+            "te",
+            te::te,
+            "Negotiated-congestion TE vs static layers, ECMP, and the MCF bound",
         ),
         (
             "fig2",

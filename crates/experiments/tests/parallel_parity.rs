@@ -18,6 +18,7 @@ use fatpaths_experiments::baselines::baselines_matrix_on;
 use fatpaths_experiments::churn::churn_matrix_on;
 use fatpaths_experiments::memory::memory_matrix_on;
 use fatpaths_experiments::resilience::resilience_matrix_on;
+use fatpaths_experiments::te::te_matrix_on;
 use fatpaths_net::topo::slimfly::slim_fly;
 use fatpaths_net::topo::Topology;
 
@@ -155,6 +156,37 @@ fn memory_matrix_is_bit_identical_across_thread_counts() {
     );
     // Sanity: 2 topologies × 2 schemes (layered@3 + ecmp) × 2 modes.
     assert_eq!(csv_par.lines().count(), 1 + 2 * 2 * 2);
+}
+
+/// The `te` experiment — PathFinder-style congestion negotiation
+/// (parallel per-(layer, destination) tree rebuilds each pricing
+/// iteration), matrix scoring, and the analytic throughput bound across
+/// the (topology × matrix × scheme) grid — emits byte-identical CSV and
+/// summary on the pool and on a single thread. Negotiation accumulates
+/// loads sequentially in demand order and rebuilds trees as pure
+/// functions of the iteration's price vector, so this holds by
+/// construction; the test pins it.
+#[test]
+fn te_matrix_is_bit_identical_across_thread_counts() {
+    wide_pool();
+    let topos = || {
+        vec![
+            slim_fly(5, 2).unwrap(),
+            fatpaths_net::topo::fattree::fat_tree(4, 1),
+        ]
+    };
+    let (csv_par, summary_par) = te_matrix_on(topos(), 4, 0.6);
+    let (csv_seq, summary_seq) = rayon::run_sequential(|| te_matrix_on(topos(), 4, 0.6));
+    assert!(
+        csv_par == csv_seq,
+        "te CSV differs between pooled and single-threaded runs"
+    );
+    assert!(
+        summary_par == summary_seq,
+        "te summary differs between pooled and single-threaded runs"
+    );
+    // Sanity: 2 topologies × 2 matrices × 3 schemes.
+    assert_eq!(csv_par.lines().count(), 1 + 2 * 2 * 3);
 }
 
 /// APSP statistics (parallel BFS fan-out per source) are identical in

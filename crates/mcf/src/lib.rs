@@ -9,5 +9,8 @@ pub mod mat;
 pub mod worstcase;
 
 pub use gk::{max_concurrent_flow, Commodity, McfResult};
-pub use mat::{mat, router_demands, KspPaths, LayeredPaths, PastPaths, PathProvider, RouterDemand};
+pub use mat::{
+    mat, router_demands, throughput_upper_bound, KspPaths, LayeredPaths, PastPaths, PathProvider,
+    RouterDemand,
+};
 pub use worstcase::{worst_case_flows, worst_case_router_matching};

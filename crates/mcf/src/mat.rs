@@ -136,6 +136,69 @@ pub fn mat<P: PathProvider + Sync>(
     max_concurrent_flow(&capacities, &commodities, eps)
 }
 
+/// Throughput upper bound for a traffic matrix on a topology, with unit
+/// link capacities: the minimum of the router egress/ingress cut bounds
+/// (`T · demand_out(r) ≤ degree(r)`, same for ingress) and the
+/// volumetric bound (every unit of a commodity consumes at least
+/// `dist(src, dst)` capacity units, so `T · Σ dᵢ·distᵢ ≤ m`). This is
+/// the denominator of the achieved/optimal ratio the `baselines` and
+/// `te` sweeps report.
+///
+/// These are *true* upper bounds on any routing — minimal or
+/// non-minimal, layered or not — so achieved/optimal is always ≤ 1
+/// (unlike a k-shortest-path MCF restriction, which grossly
+/// under-counts on fat trees where minimal path counts are quadratic in
+/// the radix). They are not tight on every instance: a ratio well
+/// below 1 can mean headroom *or* a loose cut.
+pub fn throughput_upper_bound(
+    topo: &fatpaths_net::topo::Topology,
+    demands: &[RouterDemand],
+) -> f64 {
+    let g = &topo.graph;
+    let nr = g.n();
+    let mut out = vec![0.0f64; nr];
+    let mut inn = vec![0.0f64; nr];
+    for d in demands {
+        if d.src != d.dst {
+            out[d.src as usize] += d.demand;
+            inn[d.dst as usize] += d.demand;
+        }
+    }
+    let mut bound = f64::INFINITY;
+    for r in 0..nr {
+        let deg = g.neighbors(r as u32).len() as f64;
+        if out[r] > 0.0 {
+            bound = bound.min(deg / out[r]);
+        }
+        if inn[r] > 0.0 {
+            bound = bound.min(deg / inn[r]);
+        }
+    }
+    // Volumetric: one BFS per distinct source. Demands are summed in
+    // (src, dst) order so the f64 accumulation — and therefore the bound
+    // — is independent of the caller's demand ordering.
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by_key(|&i| (demands[i].src, demands[i].dst));
+    let mut volume = 0.0f64;
+    let mut dist: Vec<u32> = Vec::new();
+    let mut dist_src = u32::MAX;
+    for &i in &order {
+        let d = &demands[i];
+        if d.src == d.dst {
+            continue;
+        }
+        if d.src != dist_src {
+            dist = g.bfs(d.src);
+            dist_src = d.src;
+        }
+        volume += d.demand * dist[d.dst as usize] as f64;
+    }
+    if volume > 0.0 {
+        bound = bound.min(g.m() as f64 / volume);
+    }
+    bound
+}
+
 /// Aggregates endpoint flows into router demands (flows between endpoints
 /// of the same router pair merge; intra-router flows are dropped).
 pub fn router_demands(

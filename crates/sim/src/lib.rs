@@ -38,6 +38,7 @@ pub use fatpaths_core::repair::{DownLinks, RouteRepair};
 pub use fatpaths_core::scheme::{PortSet, RoutingScheme};
 pub use fatpaths_fib::{CompileMode, CompiledScheme, Fib, FibStats, TableBudget};
 pub use fatpaths_net::fault::{FaultModel, FaultPlan, LinkEvent, RouterEvent};
+pub use fatpaths_te::{TeConfig, TeScheme};
 pub use metrics::{
     histogram, mean, percentile, throughput_by_size, FlowRecord, RepairTickRecord, SimResult,
 };

@@ -46,6 +46,7 @@ use fatpaths_fib::{CompileMode, CompiledScheme};
 use fatpaths_net::fault::FaultPlan;
 use fatpaths_net::graph::{Graph, RouterId};
 use fatpaths_net::topo::Topology;
+use fatpaths_te::{TeConfig, TeScheme};
 use fatpaths_workloads::arrivals::FlowSpec;
 
 /// Declarative routing-scheme selection — every baseline of the paper's
@@ -145,6 +146,9 @@ pub enum BuiltScheme<'a> {
     Ksp(KspScheme),
     /// Valiant load balancing.
     Valiant(ValiantScheme<'a>),
+    /// Layered tables specialized to the scenario's traffic matrix by
+    /// negotiated-congestion TE ([`Scenario::traffic_engineered`]).
+    Te(TeScheme),
     /// Any of the above, compiled to per-switch FIBs
     /// ([`Scenario::compiled`]): forwarding reads the compiled
     /// prefix-rule tables instead of the analytic scheme, so the run
@@ -161,6 +165,7 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Past(s) => s.name(),
             BuiltScheme::Ksp(s) => s.name(),
             BuiltScheme::Valiant(s) => s.name(),
+            BuiltScheme::Te(s) => s.name(),
             BuiltScheme::Compiled(s) => s.name(),
         }
     }
@@ -173,6 +178,7 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Past(s) => s.num_layers(),
             BuiltScheme::Ksp(s) => s.num_layers(),
             BuiltScheme::Valiant(s) => s.num_layers(),
+            BuiltScheme::Te(s) => RoutingScheme::num_layers(s),
             BuiltScheme::Compiled(s) => s.num_layers(),
         }
     }
@@ -185,6 +191,7 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Past(s) => s.tag_space(),
             BuiltScheme::Ksp(s) => s.tag_space(),
             BuiltScheme::Valiant(s) => s.tag_space(),
+            BuiltScheme::Te(s) => s.tag_space(),
             BuiltScheme::Compiled(s) => s.tag_space(),
         }
     }
@@ -199,6 +206,7 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Past(s) => s.candidate_ports(layer, at, dst),
             BuiltScheme::Ksp(s) => s.candidate_ports(layer, at, dst),
             BuiltScheme::Valiant(s) => s.candidate_ports(layer, at, dst),
+            BuiltScheme::Te(s) => s.candidate_ports(layer, at, dst),
             BuiltScheme::Compiled(s) => s.candidate_ports(layer, at, dst),
         }
     }
@@ -213,6 +221,7 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Past(s) => s.update_layer(layer, at, dst),
             BuiltScheme::Ksp(s) => s.update_layer(layer, at, dst),
             BuiltScheme::Valiant(s) => s.update_layer(layer, at, dst),
+            BuiltScheme::Te(s) => s.update_layer(layer, at, dst),
             BuiltScheme::Compiled(s) => s.update_layer(layer, at, dst),
         }
     }
@@ -231,6 +240,7 @@ impl RoutingScheme for BuiltScheme<'_> {
             BuiltScheme::Past(s) => s.repair_routes(base, down),
             BuiltScheme::Ksp(s) => s.repair_routes(base, down),
             BuiltScheme::Valiant(s) => s.repair_routes(base, down),
+            BuiltScheme::Te(s) => s.repair_routes(base, down),
             BuiltScheme::Compiled(s) => RoutingScheme::repair_routes(s, base, down),
         }
     }
@@ -252,6 +262,7 @@ pub struct Scenario<'a> {
     detection_delay: Option<TimePs>,
     compiled: Option<CompileMode>,
     abort_host_death: Option<u32>,
+    te: Option<TeConfig>,
 }
 
 impl<'a> Scenario<'a> {
@@ -274,6 +285,7 @@ impl<'a> Scenario<'a> {
             detection_delay: None,
             compiled: None,
             abort_host_death: None,
+            te: None,
         }
     }
 
@@ -369,6 +381,21 @@ impl<'a> Scenario<'a> {
         self
     }
 
+    /// Specializes the layered tables to this scenario's workload with
+    /// negotiated-congestion traffic engineering (`fatpaths_te`):
+    /// [`Scenario::build_scheme`] aggregates the workload's flows into a
+    /// router traffic matrix and runs [`TeScheme::negotiate`] over the
+    /// static tables, so per-packet forwarding (and route repair, via
+    /// the TE controller) reads the negotiated tables. Composes with
+    /// [`Scenario::compiled`] — the TE tables are what gets compiled.
+    ///
+    /// Only meaningful for layered specs; [`Scenario::build_scheme`]
+    /// panics if the spec does not build [`BuiltScheme::Layered`].
+    pub fn traffic_engineered(mut self, cfg: TeConfig) -> Self {
+        self.te = Some(cfg);
+        self
+    }
+
     /// Mid-flow host-death semantics: aborts a flow whose endpoint is
     /// dead at RTO time after it burns `k` such timeouts (see
     /// [`SimConfig::abort_on_host_death`]).
@@ -377,26 +404,46 @@ impl<'a> Scenario<'a> {
         self
     }
 
-    /// The spec's label (for CSV rows), with a `+fib` suffix when the
+    /// The spec's label (for CSV rows), with a `+te` suffix when the
+    /// tables are traffic-engineered and a `+fib` suffix when the
     /// scenario simulates on compiled FIBs.
     pub fn label(&self) -> String {
+        let mut label = self.spec.label();
+        if self.te.is_some() {
+            label.push_str("+te");
+        }
         match self.compiled {
-            Some(mode) => format!("{}+fib({})", self.spec.label(), mode.label()),
-            None => self.spec.label(),
+            Some(mode) => format!("{label}+fib({})", mode.label()),
+            None => label,
         }
     }
 
     /// Constructs the routing scheme — the expensive step, split out so
     /// sweeps can reuse it via [`Scenario::run_with`].
     pub fn build_scheme(&self) -> BuiltScheme<'a> {
+        let analytic = self.apply_te(self.build_analytic());
         match self.compiled {
-            None => self.build_analytic(),
+            None => analytic,
             Some(mode) => {
-                let inner: Box<dyn RoutingScheme + Send + Sync + 'a> =
-                    Box::new(self.build_analytic());
+                let inner: Box<dyn RoutingScheme + Send + Sync + 'a> = Box::new(analytic);
                 BuiltScheme::Compiled(CompiledScheme::compile(self.topo, inner, mode))
             }
         }
+    }
+
+    /// Applies [`Scenario::traffic_engineered`]: negotiates the static
+    /// layered tables against the router traffic matrix of this
+    /// scenario's workload.
+    fn apply_te(&self, analytic: BuiltScheme<'a>) -> BuiltScheme<'a> {
+        let Some(cfg) = self.te else {
+            return analytic;
+        };
+        let BuiltScheme::Layered(rt) = analytic else {
+            panic!("traffic_engineered requires a layered scheme spec");
+        };
+        let pairs: Vec<(u32, u32)> = self.flows.iter().map(|f| (f.src, f.dst)).collect();
+        let demands = fatpaths_te::endpoint_demands(self.topo, &pairs);
+        BuiltScheme::Te(TeScheme::negotiate(&self.topo.graph, &rt, &demands, &cfg))
     }
 
     /// Constructs the analytic (uncompiled) scheme for the spec.

@@ -168,3 +168,77 @@ fn compiled_label_is_distinct() {
         "minimal+fib(agg)"
     );
 }
+
+/// TE compiled parity — the PR 6 acceptance pin: negotiated TE tables
+/// compile through `crates/fib` like any other scheme, and simulating
+/// on the compiled form is byte-identical to the analytic TE run, both
+/// healthy and through a fault + detection-driven repair (which routes
+/// through the TE controller rather than the static-table repair).
+#[test]
+fn te_compiled_fib_runs_match_analytic_runs() {
+    for topo in mini_topos() {
+        let flows = permutation(&topo, 13);
+        let plan = FaultPlan::sample(&topo, &FaultModel::UniformFraction { fraction: 0.04 }, 9);
+        let run = |compiled: Option<CompileMode>, faulty: bool| {
+            let mut sc = Scenario::on(&topo)
+                .scheme(SchemeSpec::LayeredRandom {
+                    n_layers: 4,
+                    rho: 0.6,
+                })
+                .traffic_engineered(fatpaths_sim::TeConfig::default())
+                .workload(&flows)
+                .seed(5)
+                .horizon(40_000_000_000);
+            if faulty {
+                sc = sc.fault_plan(plan.clone()).detection_delay(50_000_000);
+            }
+            if let Some(mode) = compiled {
+                sc = sc.compiled(mode);
+            }
+            sc.run()
+        };
+        for faulty in [false, true] {
+            let analytic = run(None, faulty);
+            for mode in [CompileMode::HostRoutes, CompileMode::Aggregated] {
+                let compiled = run(Some(mode), faulty);
+                assert!(
+                    fingerprint(&analytic) == fingerprint(&compiled),
+                    "te {:?} diverged on {} (faulty {faulty})",
+                    mode,
+                    topo.name
+                );
+                if faulty {
+                    assert!(
+                        compiled.fib_rows() > 0,
+                        "TE repair must price rewritten FIB rows"
+                    );
+                }
+            }
+            if faulty {
+                assert!(
+                    analytic.repair_ticks() >= 1,
+                    "static faults must trigger a TE repair tick on {}",
+                    topo.name
+                );
+                assert_eq!(analytic.fib_rows(), 0, "analytic TE carries no FIB");
+            }
+        }
+    }
+}
+
+/// The `+te` label slots between the scheme label and the `+fib` suffix.
+#[test]
+fn te_label_composes() {
+    let topo = fatpaths_net::topo::slimfly::slim_fly(5, 1).unwrap();
+    let sc = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredRandom {
+            n_layers: 4,
+            rho: 0.6,
+        })
+        .traffic_engineered(fatpaths_sim::TeConfig::default());
+    assert_eq!(sc.clone().label(), "layered(n=4,rho=0.6)+te");
+    assert_eq!(
+        sc.compiled(CompileMode::Aggregated).label(),
+        "layered(n=4,rho=0.6)+te+fib(agg)"
+    );
+}

@@ -1,0 +1,216 @@
+//! The slow TE control loop: selective repair of negotiated trees.
+//!
+//! When fault or churn events invalidate links, only the `(layer, dst)`
+//! trees that actually *cross* an invalidated link need rerouting — every
+//! other tree's rows remain valid verbatim. The controller finds exactly
+//! those trees (a tree uses edge `(a, b)` iff `a`'s row points at `b` or
+//! vice versa), rebuilds them on the degraded layer subgraph **under the
+//! negotiated price vector** (so reroutes respect the congestion picture
+//! the negotiation settled on, not plain hop counts), and emits the
+//! changed rows as a [`RouteRepair`] overlay with the same semantics as
+//! the static tables' repair: whole trees are replaced, never mixed, so
+//! the overlay stays loop-free.
+//!
+//! The controller is stateful across ticks: per-layer rebuilds are
+//! cached keyed on the layer's down-link signature, so a rolling-churn
+//! sequence that leaves a layer's failures unchanged pays nothing for
+//! that layer on the next tick. [`TeScheme`]'s `repair_routes` constructs a
+//! fresh controller per call (the simulator's `RepairTick` path is
+//! stateless and deterministic either way); hold one explicitly to get
+//! the incremental behavior.
+
+use crate::negotiate::{weighted_tree, TeScheme};
+use fatpaths_core::fwd::NO_PORT;
+use fatpaths_core::repair::{DownLinks, RouteRepair};
+use fatpaths_core::scheme::PortSet;
+use fatpaths_net::graph::Graph;
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+
+/// Incremental repair driver for a [`TeScheme`]. See the module docs.
+pub struct TeController<'a> {
+    scheme: &'a TeScheme,
+    /// Per-layer down-link signature of the last repair (sorted).
+    sigs: Vec<Vec<(u32, u32)>>,
+    /// Per-layer rebuilt rows from the last repair: `dst → ports`.
+    rows: Vec<FxHashMap<u32, Vec<u16>>>,
+    ticks: u64,
+    rebuilt_trees: u64,
+}
+
+impl<'a> TeController<'a> {
+    /// A controller with an empty rebuild cache.
+    pub fn new(scheme: &'a TeScheme) -> Self {
+        let nl = scheme.tables.len();
+        TeController {
+            scheme,
+            sigs: vec![Vec::new(); nl],
+            rows: vec![FxHashMap::default(); nl],
+            ticks: 0,
+            rebuilt_trees: 0,
+        }
+    }
+
+    /// Repair ticks served so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total `(layer, dst)` trees rebuilt (cache hits excluded).
+    pub fn rebuilt_trees(&self) -> u64 {
+        self.rebuilt_trees
+    }
+
+    /// Number of matrix entries whose negotiated routes cross any of the
+    /// given down links — the demand-side blast radius of an event set.
+    pub fn affected_demands(&self, base: &Graph, down: &DownLinks) -> usize {
+        let nl = self.scheme.tables.len();
+        self.scheme
+            .demands
+            .iter()
+            .filter(|d| {
+                (0..nl).any(|l| {
+                    self.scheme
+                        .path(base, l, d.src, d.dst)
+                        .is_some_and(|p| p.windows(2).any(|w| down.contains(w[0], w[1])))
+                })
+            })
+            .count()
+    }
+
+    /// Computes the repair overlay for the *current* down set (the full
+    /// set, as the simulator hands to `repair_routes` — not a delta).
+    /// Trees whose per-layer signature is unchanged since the last call
+    /// reuse their cached rebuilds.
+    pub fn repair(&mut self, base: &Graph, down: &DownLinks) -> RouteRepair {
+        self.ticks += 1;
+        let mut rep = RouteRepair::none();
+        let scheme = self.scheme;
+        let nr = scheme.nr;
+        let nl = scheme.tables.len();
+        if down.is_empty() {
+            for l in 0..nl {
+                self.sigs[l].clear();
+                self.rows[l].clear();
+            }
+            return rep;
+        }
+        // (src, dst) pairs whose layer-0 row got rewritten; sparse-layer
+        // build-time gaps must shadow them (below), like the static
+        // tables' repair.
+        let mut layer0_touched: Vec<(u32, u32)> = Vec::new();
+        // Ascending layers: sparse-layer fallbacks resolve against the
+        // already-assembled layer-0 overlay.
+        for l in 0..nl {
+            let lg = scheme.layers.layer(l);
+            let mut layer_down: Vec<(u32, u32)> =
+                down.iter().filter(|&(u, v)| lg.has_edge(u, v)).collect();
+            layer_down.sort_unstable();
+            if layer_down.is_empty() {
+                self.sigs[l].clear();
+                self.rows[l].clear();
+                continue;
+            }
+            if self.sigs[l] != layer_down {
+                let mask = DownLinks::from_links(&layer_down);
+                let table = &scheme.tables[l];
+                // A tree is affected iff one of its rows crosses a down
+                // link — i.e., the link's endpoints point at each other.
+                let affected: Vec<u32> = (0..nr as u32)
+                    .filter(|&dst| {
+                        layer_down.iter().any(|&(a, b)| {
+                            let pa = base.port_of(a, b).expect("down link is a base edge") as u16;
+                            let pb = base.port_of(b, a).expect("down link is a base edge") as u16;
+                            table[dst as usize * nr + a as usize] == pa
+                                || table[dst as usize * nr + b as usize] == pb
+                        })
+                    })
+                    .collect();
+                let built: Vec<(u32, Vec<u16>)> = affected
+                    .par_iter()
+                    .map(|&dst| {
+                        let mut row = vec![NO_PORT; nr];
+                        weighted_tree(
+                            base,
+                            lg,
+                            &scheme.layer_eids[l],
+                            &scheme.costs,
+                            Some(&mask),
+                            l as u32,
+                            dst,
+                            &mut row,
+                        );
+                        (dst, row)
+                    })
+                    .collect();
+                self.rebuilt_trees += built.len() as u64;
+                self.rows[l] = built.into_iter().collect();
+                self.sigs[l] = layer_down;
+            }
+            // Emit every row that differs from the healthy tree — the
+            // effective forwarding becomes exactly the rebuilt tree, so
+            // the overlay cannot mix trees and stays loop-free.
+            let mut dsts: Vec<u32> = self.rows[l].keys().copied().collect();
+            dsts.sort_unstable();
+            for dst in dsts {
+                let new_row = &self.rows[l][&dst];
+                for src in 0..nr as u32 {
+                    if src == dst {
+                        continue;
+                    }
+                    let op = scheme.tables[l][dst as usize * nr + src as usize];
+                    let np = new_row[src as usize];
+                    if np == op {
+                        continue;
+                    }
+                    let entry = if np != NO_PORT {
+                        PortSet::single(np)
+                    } else if l == 0 {
+                        // Layer 0 is the complete layer: unreachable here
+                        // means disconnected in the degraded base.
+                        PortSet::new()
+                    } else {
+                        // Sparse layer lost the pair: resolve the layer-0
+                        // fallback now so the overlay stores the final
+                        // decision.
+                        layer0_resolution(scheme, &rep, src, dst)
+                    };
+                    if l == 0 {
+                        layer0_touched.push((src, dst));
+                    }
+                    rep.insert(l as u8, src, dst, entry);
+                }
+            }
+        }
+        // Pairs a sparse layer never reached at build time forward
+        // through candidate_ports' internal layer-0 fallback, which reads
+        // the original table — shadow those keys wherever layer 0 was
+        // rewritten so the fallback cannot resurrect a dead port.
+        for &(src, dst) in &layer0_touched {
+            let repaired = rep
+                .lookup(0, src, dst)
+                .expect("touched layer-0 rows have entries")
+                .clone();
+            for l in 1..nl {
+                if scheme.tables[l][dst as usize * nr + src as usize] == NO_PORT
+                    && rep.lookup(l as u8, src, dst).is_none()
+                {
+                    rep.insert(l as u8, src, dst, repaired.clone());
+                }
+            }
+        }
+        rep
+    }
+}
+
+/// The repaired layer-0 route for `(src, dst)`: the overlay row if layer
+/// 0 was rewritten there, else the healthy negotiated entry.
+fn layer0_resolution(scheme: &TeScheme, rep: &RouteRepair, src: u32, dst: u32) -> PortSet {
+    if let Some(e) = rep.lookup(0, src, dst) {
+        return e.clone();
+    }
+    match scheme.next_port(0, src, dst) {
+        Some(p) => PortSet::single(p),
+        None => PortSet::new(),
+    }
+}

@@ -1,0 +1,165 @@
+//! Adversarial traffic-matrix generators — the seeded source shared by
+//! the TE sweep and scenario-diversity work.
+//!
+//! [`Pattern`](crate::patterns::Pattern) generates *structural* traffic
+//! (off-diagonals, shuffles) oblivious to the topology; the matrices
+//! here are *topology-aware* stress cases built on
+//! `fatpaths-mcf::worstcase`'s distance-maximizing router matching:
+//!
+//! * [`MatrixSpec::WorstCase`] — the paper's worst-case permutation:
+//!   matched router pairs at maximal distance, bidirectional endpoint
+//!   flows (§VI-C / Fig. 9 machinery).
+//! * [`MatrixSpec::HeavyHitter`] — the worst-case permutation with a
+//!   skewed overlay: a fraction of every router's endpoints is redirected
+//!   toward a few hot destination routers, creating the incast-flavored
+//!   heavy hitters adaptive schemes are supposed to route around.
+//!
+//! Deterministic in `(topology, spec, seed)`: the only randomness is the
+//! seeded matching tie-break and hotspot draw.
+
+use fatpaths_mcf::{worst_case_flows, worst_case_router_matching};
+use fatpaths_net::topo::Topology;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A topology-aware adversarial traffic matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatrixSpec {
+    /// Distance-maximizing router permutation with `intensity` scaling
+    /// the per-router endpoint count (see
+    /// [`fatpaths_mcf::worst_case_flows`]).
+    WorstCase {
+        /// Fraction of each router's endpoints that participate.
+        intensity: f64,
+    },
+    /// [`MatrixSpec::WorstCase`] with `skew` of every router's endpoints
+    /// redirected to `hotspots` hot destination routers.
+    HeavyHitter {
+        /// Number of hot destination routers.
+        hotspots: usize,
+        /// Fraction of each source router's endpoints aimed at hotspots.
+        skew: f64,
+    },
+}
+
+impl MatrixSpec {
+    /// Short label used in result files.
+    pub fn label(&self) -> String {
+        match self {
+            MatrixSpec::WorstCase { .. } => "worstcase".into(),
+            MatrixSpec::HeavyHitter { hotspots, .. } => format!("hot{hotspots}"),
+        }
+    }
+}
+
+/// Generates the endpoint flow pairs of `spec` on `topo`. Deterministic
+/// in `seed`.
+pub fn matrix_flows(topo: &Topology, spec: &MatrixSpec, seed: u64) -> Vec<(u32, u32)> {
+    match spec {
+        MatrixSpec::WorstCase { intensity } => worst_case_flows(topo, *intensity, seed),
+        MatrixSpec::HeavyHitter { hotspots, skew } => {
+            heavy_hitter_flows(topo, *hotspots, *skew, seed)
+        }
+    }
+}
+
+/// Worst-case matching with a hotspot overlay: for every matched source
+/// router, the first `ceil(p · skew)` endpoints send to endpoints of hot
+/// routers (cycled deterministically); the rest keep their matched
+/// partner. Hot routers only receive.
+fn heavy_hitter_flows(topo: &Topology, hotspots: usize, skew: f64, seed: u64) -> Vec<(u32, u32)> {
+    let nr = topo.num_routers();
+    let hotspots = hotspots.clamp(1, nr.saturating_sub(1).max(1));
+    let matching = worst_case_router_matching(&topo.graph, seed);
+    let mut partner: Vec<Option<u32>> = vec![None; nr];
+    for &(a, b) in &matching {
+        partner[a as usize] = Some(b);
+        partner[b as usize] = Some(a);
+    }
+    let mut routers: Vec<u32> = (0..nr as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    routers.shuffle(&mut rng);
+    let hot = &routers[..hotspots];
+    let mut out = Vec::new();
+    for r in 0..nr as u32 {
+        if hot.contains(&r) {
+            continue; // hot routers only receive
+        }
+        let eps = topo.router_endpoints(r);
+        let p = eps.len();
+        let k_hot = ((p as f64 * skew).ceil() as usize).min(p);
+        for (i, e) in eps.enumerate() {
+            let dst_router = if i < k_hot {
+                hot[(r as usize + i) % hotspots]
+            } else {
+                match partner[r as usize] {
+                    Some(b) => b,
+                    None => continue, // unmatched router: hotspot flows only
+                }
+            };
+            let dsts = topo.router_endpoints(dst_router);
+            let dp = dsts.len();
+            if dp == 0 {
+                continue;
+            }
+            let dst = dsts.start + ((r as usize + i) % dp) as u32;
+            if e != dst {
+                out.push((e, dst));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatpaths_net::topo::slimfly::slim_fly;
+
+    #[test]
+    fn worst_case_matches_mcf_generator() {
+        let t = slim_fly(5, 2).unwrap();
+        let spec = MatrixSpec::WorstCase { intensity: 0.6 };
+        assert_eq!(matrix_flows(&t, &spec, 9), worst_case_flows(&t, 0.6, 9));
+        assert_eq!(spec.label(), "worstcase");
+    }
+
+    #[test]
+    fn heavy_hitter_is_deterministic_and_skewed() {
+        let t = slim_fly(5, 2).unwrap();
+        let spec = MatrixSpec::HeavyHitter {
+            hotspots: 2,
+            skew: 0.5,
+        };
+        let a = matrix_flows(&t, &spec, 4);
+        let b = matrix_flows(&t, &spec, 4);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert_eq!(spec.label(), "hot2");
+        // The hot routers dominate the destination distribution.
+        let mut counts = vec![0usize; t.num_routers()];
+        for &(_, d) in &a {
+            counts[t.endpoint_router(d) as usize] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|x, y| y.cmp(x));
+        let hot_share: usize = sorted[..2].iter().sum();
+        assert!(
+            hot_share * 3 > a.len(),
+            "hotspots got {hot_share}/{} flows",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn heavy_hitter_seed_changes_hotspots() {
+        let t = slim_fly(5, 2).unwrap();
+        let spec = MatrixSpec::HeavyHitter {
+            hotspots: 1,
+            skew: 1.0,
+        };
+        let a = matrix_flows(&t, &spec, 1);
+        let b = matrix_flows(&t, &spec, 2);
+        assert_ne!(a, b);
+    }
+}
