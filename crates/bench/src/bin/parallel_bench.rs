@@ -1,8 +1,9 @@
 //! Parallel-execution trajectory benchmark: times the pool-bound
 //! pipeline stages — APSP, layered routing-table construction, a
-//! scenario-grid sweep, and the degraded/churn fault sweeps — at 1, 2,
-//! and N threads, and writes the results to `BENCH_parallel.json` so
-//! future PRs have a perf baseline to compare against.
+//! single sharded packet simulation, a scenario-grid sweep, and the
+//! degraded/churn fault sweeps — at 1, 2, and N threads, and writes
+//! the results to `BENCH_parallel.json` so future PRs have a perf
+//! baseline to compare against.
 //!
 //! The pool size is fixed at process start, so the harness re-executes
 //! itself once per (stage, threads) cell with `FATPATHS_THREADS` set,
@@ -30,11 +31,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Stages measured, in report order.
-const STAGES: [&str; 7] = [
+const STAGES: [&str; 8] = [
     "apsp",
     "layer_build",
     "fib_compile",
     "te_negotiate",
+    "sim_run",
     "sweep",
     "degraded_sweep",
     "churn_sweep",
@@ -115,6 +117,40 @@ fn run_stage(stage: &str) -> f64 {
             let start = Instant::now();
             let te = TeScheme::negotiate(&t.graph, &rt, &demands, &cfg);
             assert!(te.peak().is_finite() && te.iterations() >= 1);
+            start.elapsed().as_secs_f64()
+        }
+        "sim_run" => {
+            // Single-scenario latency (not sweep throughput): one
+            // Medium-class fat tree (~11k endpoints), NDP + FatPaths
+            // layers, permutation traffic — the sharded event loop is
+            // the only parallelism, so the thread axis doubles as the
+            // shard axis (1 shard at 1 thread, 2 at 2, …).
+            let shards: u32 = std::env::var("FATPATHS_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1);
+            let t = fatpaths_net::topo::fattree::fat_tree(28, 2);
+            let n = t.num_endpoints() as u64;
+            let flows: Vec<FlowSpec> = (0..n)
+                .map(|e| FlowSpec {
+                    src: e as u32,
+                    dst: ((e + 37) % n) as u32,
+                    size: 64 * 1024,
+                    start: 0,
+                })
+                .filter(|f| t.endpoint_router(f.src) != t.endpoint_router(f.dst))
+                .collect();
+            let start = Instant::now();
+            let r = Scenario::on(&t)
+                .scheme(SchemeSpec::LayeredRandom {
+                    n_layers: 9,
+                    rho: 0.6,
+                })
+                .workload(&flows)
+                .seed(2)
+                .shards(shards)
+                .run();
+            assert!(r.completion_rate() == 1.0);
             start.elapsed().as_secs_f64()
         }
         "sweep" => {

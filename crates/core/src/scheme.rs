@@ -97,7 +97,13 @@ impl PortSet {
 /// candidate output ports plus metadata. Implementations must be
 /// loop-free per layer: following any candidate port must make progress
 /// toward the destination under the scheme's own forwarding rule.
-pub trait RoutingScheme {
+///
+/// `Sync` is a supertrait: the sharded simulator shares one scheme
+/// reference across all shard workers, so lookups must be safe from
+/// multiple threads. Every scheme is immutable routing state after
+/// construction, so this costs implementations nothing — it only rules
+/// out interior mutability (`Cell`/`RefCell`) in hot lookup paths.
+pub trait RoutingScheme: Sync {
     /// Short scheme identifier for logs and CSV rows.
     fn name(&self) -> &'static str;
 

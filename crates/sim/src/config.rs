@@ -125,6 +125,14 @@ pub struct SimConfig {
     /// "host came back" from "transfer would have restarted" in
     /// long-churn studies (see `FlowRecord::aborted`).
     pub abort_on_host_death: Option<u32>,
+    /// Number of event-loop shards (intra-simulation parallelism):
+    /// routers and their endpoints are partitioned into this many
+    /// regions, each stepped on its own event queue in conservative-
+    /// lookahead windows. `0` (the default) resolves from the
+    /// `FATPATHS_SHARDS` environment variable, falling back to 1.
+    /// Results are bit-identical for every value — sharding trades
+    /// memory and window overhead for wall-clock only.
+    pub shards: u32,
 }
 
 impl Default for SimConfig {
@@ -139,6 +147,7 @@ impl Default for SimConfig {
             horizon: 0,
             detection_delay: None,
             abort_on_host_death: None,
+            shards: 0,
         }
     }
 }
@@ -149,6 +158,25 @@ impl SimConfig {
     pub fn ser_time(&self, bytes: u32) -> TimePs {
         // 8 bits/byte at link_gbps·1e9 bit/s → bytes·8000/gbps ps.
         (bytes as f64 * 8000.0 / self.link_gbps) as TimePs
+    }
+
+    /// Sets the number of event-loop shards (see [`SimConfig::shards`]).
+    pub fn shards(mut self, k: u32) -> Self {
+        self.shards = k;
+        self
+    }
+
+    /// The shard count actually used: the explicit setting, else the
+    /// `FATPATHS_SHARDS` environment variable, else 1.
+    pub(crate) fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards as usize;
+        }
+        std::env::var("FATPATHS_SHARDS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&k| k > 0)
+            .unwrap_or(1)
     }
 }
 

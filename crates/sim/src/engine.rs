@@ -1,8 +1,17 @@
 //! Discrete-event core: a deterministic time-ordered event queue and a
 //! packet slab.
 //!
-//! Events at equal timestamps are ordered by insertion sequence, so runs
-//! are bit-reproducible for a fixed seed regardless of platform.
+//! Events are ordered by a **canonical key**, not by push sequence:
+//! `(time, class, key)` where `class` ranks event kinds (fault events
+//! before repair before flow starts before packet motion before timers)
+//! and `key` is derived from the event's *content* (global port/router/
+//! endpoint ids; for packet arrivals, the packet's unique transmission
+//! id). Two queues that hold the same set of events therefore pop them
+//! in the same order no matter how the pushes interleaved — this is
+//! what makes the sharded engine (`crate::shard`) bit-identical to the
+//! single-queue run at any shard count: a shard's queue sees exactly
+//! the events for its region, and the canonical order is independent of
+//! whether a packet arrived via a local push or a cross-shard mailbox.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -84,40 +93,152 @@ pub enum EvKind {
     RepairTick,
 }
 
+/// Flat heap entry. Ordering is the derived lexicographic order on
+/// `(t, cls, key, a, b)`; `a`/`b` are the raw `EvKind` payload words and
+/// only break ties between *distinct* events whose canonical key
+/// collides (e.g. `LinkDown{u,v}` vs `LinkDown{v,u}` at the same
+/// instant). For packet arrivals `key` is the globally unique
+/// transmission id, so the slab id in `a` — which *does* differ between
+/// shard layouts — is never consulted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct EvEntry {
+    t: TimePs,
+    cls: u8,
+    key: u64,
+    a: u32,
+    b: u32,
+}
+
+/// Canonical class ranks. Fault events sort before everything else at
+/// the same instant (a link that dies at `t` drops packets forwarded at
+/// `t`), repair before traffic, flow starts before packet motion, and
+/// timers last (an ACK and an RTO at the same instant: the ACK bumps
+/// the timer generation, so the RTO is stale — matching the pre-shard
+/// push-order behavior where timers were armed after sends).
+const CLS_LINK_DOWN: u8 = 0;
+const CLS_ROUTER_DOWN: u8 = 1;
+const CLS_LINK_UP: u8 = 2;
+const CLS_ROUTER_UP: u8 = 3;
+const CLS_REPAIR: u8 = 4;
+const CLS_FLOW_START: u8 = 5;
+const CLS_PORT_POP: u8 = 6;
+const CLS_ARRIVE_ROUTER: u8 = 7;
+const CLS_ARRIVE_EP: u8 = 8;
+const CLS_PULL_TICK: u8 = 9;
+const CLS_RTO: u8 = 10;
+
+fn link_key(u: u32, v: u32) -> u64 {
+    let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+impl EvEntry {
+    fn encode(t: TimePs, kind: EvKind, uid: Option<u64>) -> Self {
+        let (cls, key, a, b) = match kind {
+            EvKind::LinkDown { u, v } => (CLS_LINK_DOWN, link_key(u, v), u, v),
+            EvKind::RouterDown { router } => (CLS_ROUTER_DOWN, router as u64, router, 0),
+            EvKind::LinkUp { u, v } => (CLS_LINK_UP, link_key(u, v), u, v),
+            EvKind::RouterUp { router } => (CLS_ROUTER_UP, router as u64, router, 0),
+            EvKind::RepairTick => (CLS_REPAIR, 0, 0, 0),
+            EvKind::FlowStart { flow } => (CLS_FLOW_START, flow as u64, flow, 0),
+            EvKind::PortPop { port } => (CLS_PORT_POP, port as u64, port, 0),
+            EvKind::ArriveRouter { pkt, router } => {
+                let uid = uid.expect("router arrivals must be pushed with push_arrival");
+                (CLS_ARRIVE_ROUTER, uid, pkt, router)
+            }
+            EvKind::ArriveEndpoint { pkt, ep } => {
+                let uid = uid.expect("endpoint arrivals must be pushed with push_arrival");
+                (CLS_ARRIVE_EP, uid, pkt, ep)
+            }
+            EvKind::PullTick { ep } => (CLS_PULL_TICK, ep as u64, ep, 0),
+            EvKind::RtoTimer { flow, gen } => {
+                (CLS_RTO, ((flow as u64) << 32) | gen as u64, flow, gen)
+            }
+        };
+        EvEntry { t, cls, key, a, b }
+    }
+
+    fn decode(self) -> (TimePs, EvKind) {
+        let kind = match self.cls {
+            CLS_LINK_DOWN => EvKind::LinkDown {
+                u: self.a,
+                v: self.b,
+            },
+            CLS_ROUTER_DOWN => EvKind::RouterDown { router: self.a },
+            CLS_LINK_UP => EvKind::LinkUp {
+                u: self.a,
+                v: self.b,
+            },
+            CLS_ROUTER_UP => EvKind::RouterUp { router: self.a },
+            CLS_REPAIR => EvKind::RepairTick,
+            CLS_FLOW_START => EvKind::FlowStart { flow: self.a },
+            CLS_PORT_POP => EvKind::PortPop { port: self.a },
+            CLS_ARRIVE_ROUTER => EvKind::ArriveRouter {
+                pkt: self.a,
+                router: self.b,
+            },
+            CLS_ARRIVE_EP => EvKind::ArriveEndpoint {
+                pkt: self.a,
+                ep: self.b,
+            },
+            CLS_PULL_TICK => EvKind::PullTick { ep: self.a },
+            CLS_RTO => EvKind::RtoTimer {
+                flow: self.a,
+                gen: self.b,
+            },
+            _ => unreachable!("corrupt event class"),
+        };
+        (self.t, kind)
+    }
+}
+
 /// The deterministic event queue.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(TimePs, u64, EvKindOrd)>>,
-    seq: u64,
-}
-
-/// Wrapper giving `EvKind` a total order for heap storage (the order of
-/// equal-time events is by push sequence; the kind order never matters).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct EvKindOrd(EvKind);
-
-impl PartialOrd for EvKindOrd {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for EvKindOrd {
-    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
-    }
+    heap: BinaryHeap<Reverse<EvEntry>>,
 }
 
 impl EventQueue {
-    /// Schedules `kind` at absolute time `at`.
+    /// Schedules a non-arrival event at absolute time `at`. Packet
+    /// arrivals carry slab ids that are not canonical across shard
+    /// layouts — they must go through [`push_arrival`] with the
+    /// packet's transmission id instead.
+    ///
+    /// [`push_arrival`]: EventQueue::push_arrival
     pub fn push(&mut self, at: TimePs, kind: EvKind) {
-        self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, EvKindOrd(kind))));
+        debug_assert!(
+            !matches!(
+                kind,
+                EvKind::ArriveRouter { .. } | EvKind::ArriveEndpoint { .. }
+            ),
+            "arrival events need push_arrival(at, kind, uid)"
+        );
+        self.heap.push(Reverse(EvEntry::encode(at, kind, None)));
     }
 
-    /// Pops the earliest event.
+    /// Schedules a packet arrival ordered by the packet's unique
+    /// transmission id (`Packet::salt`), which is stable across shard
+    /// layouts — unlike the slab id embedded in the `EvKind`.
+    pub fn push_arrival(&mut self, at: TimePs, kind: EvKind, uid: u64) {
+        debug_assert!(
+            matches!(
+                kind,
+                EvKind::ArriveRouter { .. } | EvKind::ArriveEndpoint { .. }
+            ),
+            "push_arrival is for packet arrivals only"
+        );
+        self.heap
+            .push(Reverse(EvEntry::encode(at, kind, Some(uid))));
+    }
+
+    /// Pops the earliest event (canonical order within a timestamp).
     pub fn pop(&mut self) -> Option<(TimePs, EvKind)> {
-        self.heap.pop().map(|Reverse((t, _, k))| (t, k.0))
+        self.heap.pop().map(|Reverse(e)| e.decode())
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<TimePs> {
+        self.heap.peek().map(|Reverse(e)| e.t)
     }
 
     /// Number of pending events.
@@ -128,6 +249,11 @@ impl EventQueue {
     /// True iff no events remain.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Pre-sizes the heap for at least `n` additional events.
+    pub fn reserve(&mut self, n: usize) {
+        self.heap.reserve(n);
     }
 }
 
@@ -172,7 +298,12 @@ pub struct Packet {
     pub dst_ep: u32,
     /// Flowlet nonce (LetFlow router hashing).
     pub nonce: u64,
-    /// Unique per-transmission salt (packet spraying).
+    /// Unique per-transmission id: `(flow << 33) | (counter << 1) | dir`
+    /// where `dir` distinguishes sender-emitted (0) from
+    /// receiver-emitted (1) packets, each side counting independently.
+    /// Doubles as the spraying salt *and* the canonical arrival-order
+    /// key in the event queue, so the id — unlike a globally-sequenced
+    /// counter — must not depend on event interleaving across flows.
     pub salt: u64,
     /// Receiver's suggested layer carried on PULL/NACK (0xff = none).
     pub suggest_layer: u8,
@@ -219,6 +350,11 @@ impl PacketSlab {
     pub fn live(&self) -> usize {
         self.live
     }
+
+    /// Pre-sizes backing storage for at least `n` additional packets.
+    pub fn reserve(&mut self, n: usize) {
+        self.slots.reserve(n);
+    }
 }
 
 #[cfg(test)]
@@ -236,9 +372,11 @@ mod tests {
     }
 
     #[test]
-    fn equal_times_pop_in_push_order() {
+    fn equal_times_pop_in_canonical_order_not_push_order() {
+        // Push flow starts in descending id order; they must pop in
+        // ascending id order — the canonical key, not the push sequence.
         let mut q = EventQueue::default();
-        for i in 0..10u32 {
+        for i in (0..10u32).rev() {
             q.push(5, EvKind::FlowStart { flow: i });
         }
         let flows: Vec<u32> = std::iter::from_fn(|| {
@@ -249,6 +387,68 @@ mod tests {
         })
         .collect();
         assert_eq!(flows, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn equal_time_classes_rank_faults_before_traffic_before_timers() {
+        let mut q = EventQueue::default();
+        q.push(7, EvKind::RtoTimer { flow: 0, gen: 1 });
+        q.push_arrival(7, EvKind::ArriveRouter { pkt: 9, router: 2 }, 42);
+        q.push(7, EvKind::FlowStart { flow: 3 });
+        q.push(7, EvKind::RepairTick);
+        q.push(7, EvKind::LinkDown { u: 5, v: 1 });
+        let kinds: Vec<EvKind> = std::iter::from_fn(|| q.pop().map(|(_, k)| k)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EvKind::LinkDown { u: 5, v: 1 },
+                EvKind::RepairTick,
+                EvKind::FlowStart { flow: 3 },
+                EvKind::ArriveRouter { pkt: 9, router: 2 },
+                EvKind::RtoTimer { flow: 0, gen: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn arrivals_order_by_transmission_id_not_slab_id() {
+        // Two arrivals at the same instant: the one with the smaller
+        // transmission id pops first even though its slab id is larger.
+        let mut q = EventQueue::default();
+        q.push_arrival(5, EvKind::ArriveEndpoint { pkt: 1, ep: 0 }, 200);
+        q.push_arrival(5, EvKind::ArriveEndpoint { pkt: 7, ep: 0 }, 100);
+        let pkts: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|(_, k)| match k {
+                EvKind::ArriveEndpoint { pkt, .. } => pkt,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(pkts, vec![7, 1]);
+    }
+
+    #[test]
+    fn order_is_push_sequence_independent() {
+        // The same event set pushed in two different interleavings pops
+        // identically — the invariant the sharded engine relies on.
+        let evs = [
+            (9, EvKind::PortPop { port: 4 }),
+            (9, EvKind::PortPop { port: 2 }),
+            (3, EvKind::PullTick { ep: 8 }),
+            (9, EvKind::FlowStart { flow: 1 }),
+            (3, EvKind::RouterDown { router: 6 }),
+        ];
+        let mut fwd = EventQueue::default();
+        let mut rev = EventQueue::default();
+        for &(t, k) in evs.iter() {
+            fwd.push(t, k);
+        }
+        for &(t, k) in evs.iter().rev() {
+            rev.push(t, k);
+        }
+        let a: Vec<_> = std::iter::from_fn(|| fwd.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| rev.pop()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod metrics;
 mod ndp;
 pub mod queueing;
 pub mod scenario;
+mod shard;
 pub mod simulator;
 pub mod sweep;
 mod tcp;

@@ -9,10 +9,17 @@
 //!   rate, and — the FatPaths addition — requests a **layer change** when
 //!   trims reveal congestion on the current layer (§V-F), providing the
 //!   flowlet-elasticity that implements LetFlow adaptivity.
+//!
+//! Sharding note: handlers touch only the flow half that lives on the
+//! executing shard — data arrivals the [`RxFlow`](crate::shard::RxFlow),
+//! control arrivals the [`TxFlow`](crate::shard::TxFlow). The receiver
+//! acks *every* data arrival (duplicates included) so the sender can
+//! prove completion from its own ack bitmap without ever reading the
+//! receiver's state across the shard boundary.
 
 use crate::config::Transport;
 use crate::engine::{EvKind, PktKind, TimePs};
-use crate::simulator::Simulator;
+use crate::shard::{Ctx, Shard};
 use fatpaths_core::fwd::fnv1a;
 use fatpaths_core::scheme::RoutingScheme;
 
@@ -20,145 +27,178 @@ use fatpaths_core::scheme::RoutingScheme;
 /// trimming means losses are announced, not inferred).
 const NDP_RTO: TimePs = 2_000_000_000; // 2 ms
 
-impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
-    pub(crate) fn ndp_start(&mut self, flow: u32, initial_window: u32) {
-        let n = self.flows[flow as usize].num_pkts.min(initial_window);
+impl Shard {
+    pub(crate) fn ndp_start<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        flow: u32,
+        initial_window: u32,
+    ) {
+        let ti = cx.tx_idx(flow);
+        let n = cx.meta(flow).num_pkts.min(initial_window);
         for _ in 0..n {
-            let seq = self.flows[flow as usize].next_new;
-            self.flows[flow as usize].next_new += 1;
-            self.send_data(flow, seq, false);
+            let seq = self.tx[ti].next_new;
+            self.tx[ti].next_new += 1;
+            self.send_data(cx, flow, seq, false);
         }
-        self.ndp_arm_rto(flow);
+        self.ndp_arm_rto(cx, flow);
     }
 
-    pub(crate) fn ndp_on_arrive(&mut self, ep: u32, pid: u32) {
+    pub(crate) fn ndp_on_arrive<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        ep: u32,
+        pid: u32,
+    ) {
         let pkt = *self.packets.get(pid);
         self.packets.release(pid);
         let flow = pkt.flow;
         match pkt.kind {
             PktKind::Data => {
                 debug_assert_eq!(ep, pkt.dst_ep);
-                self.flows[flow as usize].rx_last_layer = pkt.layer;
+                let ri = cx.rx_idx(flow);
+                self.rx[ri].rx_last_layer = pkt.layer;
+                self.rx[ri].last_nonce = pkt.nonce;
                 if pkt.trimmed {
                     // Header-only arrival: the payload was cut. Record the
                     // congestion, suggest a different layer, request a
                     // retransmission (NACK) and schedule a pull credit.
-                    let nl = self.n_layers() as u64;
-                    let f = &mut self.flows[flow as usize];
+                    let nl = cx.n_layers as u64;
+                    let f = &mut self.rx[ri];
                     f.trims += 1;
                     if nl > 1 {
                         let pick = fnv1a(((flow as u64) << 24) ^ 0xBEEF ^ f.trims as u64) % nl;
                         f.rx_suggest = pick as u8;
                     }
-                    let suggest = self.flows[flow as usize].rx_suggest;
-                    self.send_control(flow, PktKind::Nack, pkt.seq, true, false, suggest);
-                    self.ndp_queue_pull(flow);
+                    let suggest = f.rx_suggest;
+                    self.send_control(cx, flow, PktKind::Nack, pkt.seq, false, suggest);
+                    self.ndp_queue_pull(cx, flow);
                 } else {
-                    let newly = self.flows[flow as usize].mark_received(pkt.seq);
-                    let done =
-                        self.flows[flow as usize].rcv_count == self.flows[flow as usize].num_pkts;
-                    if newly {
-                        let suggest = self.flows[flow as usize].rx_suggest;
-                        self.send_control(flow, PktKind::Ack, pkt.seq, true, false, suggest);
-                    }
+                    let newly = self.rx[ri].mark_received(pkt.seq);
+                    let done = self.rx[ri].rcv_count == cx.meta(flow).num_pkts;
+                    // Ack every arrival, duplicates included: the sender's
+                    // completion proof is its own ack bitmap, so a lost ack
+                    // must be replaced by the retransmission's ack.
+                    let suggest = self.rx[ri].rx_suggest;
+                    self.send_control(cx, flow, PktKind::Ack, pkt.seq, false, suggest);
                     if done {
-                        self.complete_flow(flow);
+                        self.complete_flow(cx, flow);
                     } else if newly {
-                        self.ndp_queue_pull(flow);
+                        self.ndp_queue_pull(cx, flow);
                     }
                 }
             }
             PktKind::Ack => {
                 // Sender side: per-packet ack. Adopt the receiver's layer
                 // suggestion and keep the safety timer fresh.
-                self.reset_dead_rtos(flow);
-                self.ndp_adopt_suggestion(flow, pkt.suggest_layer);
-                let f = &mut self.flows[flow as usize];
+                let ti = cx.tx_idx(flow);
+                if self.tx[ti].aborted {
+                    return;
+                }
+                self.reset_dead_rtos(cx, flow);
+                self.ndp_adopt_suggestion(cx, flow, pkt.suggest_layer);
+                let f = &mut self.tx[ti];
+                f.mark_acked(pkt.seq);
                 if pkt.seq >= f.cum_ack {
                     f.cum_ack = pkt.seq + 1;
                 }
-                self.ndp_arm_rto(flow);
+                self.ndp_arm_rto(cx, flow);
             }
             PktKind::Nack => {
-                self.reset_dead_rtos(flow);
-                self.ndp_adopt_suggestion(flow, pkt.suggest_layer);
-                let f = &mut self.flows[flow as usize];
+                let ti = cx.tx_idx(flow);
+                if self.tx[ti].aborted {
+                    return;
+                }
+                self.reset_dead_rtos(cx, flow);
+                self.ndp_adopt_suggestion(cx, flow, pkt.suggest_layer);
+                let f = &mut self.tx[ti];
                 f.retx_count += 1;
                 f.retxq.push_back(pkt.seq);
-                self.ndp_arm_rto(flow);
+                self.ndp_arm_rto(cx, flow);
             }
             PktKind::Pull => {
-                self.reset_dead_rtos(flow);
-                self.ndp_adopt_suggestion(flow, pkt.suggest_layer);
-                self.ndp_send_next(flow);
-                self.ndp_arm_rto(flow);
+                if self.tx[cx.tx_idx(flow)].aborted {
+                    return;
+                }
+                self.reset_dead_rtos(cx, flow);
+                self.ndp_adopt_suggestion(cx, flow, pkt.suggest_layer);
+                self.ndp_send_next(cx, flow);
+                self.ndp_arm_rto(cx, flow);
             }
         }
     }
 
-    fn ndp_adopt_suggestion(&mut self, flow: u32, suggest: u8) {
+    fn ndp_adopt_suggestion<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        flow: u32,
+        suggest: u8,
+    ) {
         if suggest != 0xff {
-            self.flows[flow as usize].layer = suggest;
+            self.tx[cx.tx_idx(flow)].layer = suggest;
         }
     }
 
     /// One pull credit = one packet: retransmissions first, then new data.
-    fn ndp_send_next(&mut self, flow: u32) {
-        let f = &mut self.flows[flow as usize];
-        if let Some(seq) = f.retxq.pop_front() {
-            self.send_data(flow, seq, true);
-        } else if f.next_new < f.num_pkts {
-            let seq = f.next_new;
-            f.next_new += 1;
-            self.send_data(flow, seq, false);
+    fn ndp_send_next<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
+        let ti = cx.tx_idx(flow);
+        if let Some(seq) = self.tx[ti].retxq.pop_front() {
+            self.send_data(cx, flow, seq, true);
+        } else if self.tx[ti].next_new < cx.meta(flow).num_pkts {
+            let seq = self.tx[ti].next_new;
+            self.tx[ti].next_new += 1;
+            self.send_data(cx, flow, seq, false);
         }
     }
 
     /// Queues a pull credit toward the sender, paced at the receiver's
-    /// access-link rate (one full-size packet interval per pull).
-    fn ndp_queue_pull(&mut self, flow: u32) {
-        let ep = self.flows[flow as usize].dst_ep;
-        self.pullq[ep as usize].push_back(flow);
-        let at = self.now.max(self.pull_ready[ep as usize]);
-        if self.pullq[ep as usize].len() == 1 {
+    /// access-link rate (one full-size packet interval per pull). The
+    /// pull queue lives on the receiving endpoint's shard.
+    fn ndp_queue_pull<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
+        let ep = cx.meta(flow).dst_ep;
+        let li = cx.ep_idx(ep);
+        self.pullq[li].push_back(flow);
+        let at = self.now.max(self.pull_ready[li]);
+        if self.pullq[li].len() == 1 {
             self.events.push(at, EvKind::PullTick { ep });
         }
     }
 
-    pub(crate) fn ndp_pull_tick(&mut self, ep: u32) {
-        if self.now < self.pull_ready[ep as usize] {
-            let at = self.pull_ready[ep as usize];
+    pub(crate) fn ndp_pull_tick<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, ep: u32) {
+        let li = cx.ep_idx(ep);
+        if self.now < self.pull_ready[li] {
+            let at = self.pull_ready[li];
             self.events.push(at, EvKind::PullTick { ep });
             return;
         }
-        let Some(flow) = self.pullq[ep as usize].pop_front() else {
+        let Some(flow) = self.pullq[li].pop_front() else {
             return;
         };
-        let suggest = self.flows[flow as usize].rx_suggest;
-        let f = &self.flows[flow as usize];
-        if f.finished.is_none() && !f.aborted {
-            self.send_control(flow, PktKind::Pull, 0, true, false, suggest);
+        let f = &self.rx[cx.rx_idx(flow)];
+        if f.finished.is_none() {
+            let suggest = f.rx_suggest;
+            self.send_control(cx, flow, PktKind::Pull, 0, false, suggest);
         }
         // Pace: one pull per full-payload serialization interval.
-        let payload = match self.cfg.transport {
+        let payload = match cx.cfg.transport {
             Transport::Ndp { mtu_payload, .. } => mtu_payload,
             Transport::Tcp { mss, .. } => mss,
         };
-        let interval = self.cfg.ser_time(payload + crate::config::HDR_BYTES);
-        self.pull_ready[ep as usize] = self.now + interval;
-        if !self.pullq[ep as usize].is_empty() {
+        let interval = cx.cfg.ser_time(payload + crate::config::HDR_BYTES);
+        self.pull_ready[li] = self.now + interval;
+        if !self.pullq[li].is_empty() {
             self.events
-                .push(self.pull_ready[ep as usize], EvKind::PullTick { ep });
+                .push(self.pull_ready[li], EvKind::PullTick { ep });
         }
     }
 
-    fn ndp_arm_rto(&mut self, flow: u32) {
-        let f = &mut self.flows[flow as usize];
-        if f.finished.is_some() || f.aborted {
+    fn ndp_arm_rto<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
+        let ti = cx.tx_idx(flow);
+        if self.tx[ti].aborted || self.tx[ti].acked_count >= cx.meta(flow).num_pkts {
             return;
         }
-        f.rto_gen += 1;
-        let gen = f.rto_gen;
+        self.tx[ti].rto_gen += 1;
+        let gen = self.tx[ti].rto_gen;
         self.events
             .push(self.now + NDP_RTO, EvKind::RtoTimer { flow, gen });
     }
@@ -167,7 +207,7 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
     /// lost — rare under trimming, routine under link failures), re-pick
     /// the routing layer (§V-G fault tolerance: redirect to one of the
     /// preprovisioned alternate layers) and re-push every sent-but-
-    /// unreceived sequence at line rate.
+    /// unacked sequence at line rate.
     ///
     /// The full re-push matters under link and router failures: a packet
     /// dropped on a *down port* is silent — unlike a trim, nothing
@@ -177,30 +217,40 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
     /// window to w timeouts; resending the window mirrors the line-rate
     /// first window of §III-C (receiver-side dedup makes spurious copies
     /// harmless).
-    pub(crate) fn ndp_on_rto(&mut self, flow: u32, gen: u32) {
-        let f = &self.flows[flow as usize];
-        if f.finished.is_some() || f.aborted || gen != f.rto_gen || !f.started {
-            return;
+    pub(crate) fn ndp_on_rto<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        flow: u32,
+        gen: u32,
+    ) {
+        let ti = cx.tx_idx(flow);
+        {
+            let f = &self.tx[ti];
+            if f.aborted || gen != f.rto_gen || !f.started || self.tx_done(cx, flow) {
+                return;
+            }
         }
-        let nl = self.n_layers() as u64;
+        let nl = cx.n_layers as u64;
         if nl > 1 {
-            let f = &mut self.flows[flow as usize];
+            let f = &mut self.tx[ti];
             f.flowlet_ctr += 1;
             f.layer = (fnv1a(((flow as u64) << 26) ^ 0xFA11 ^ f.flowlet_ctr as u64) % nl) as u8;
         }
-        let window = match self.cfg.transport {
+        let window = match cx.cfg.transport {
             Transport::Ndp { initial_window, .. } => initial_window,
             _ => 8,
         };
-        let f = &self.flows[flow as usize];
-        let missing: Vec<u32> = (0..f.num_pkts)
-            .filter(|&s| !f.has_received(s))
-            .take(window as usize)
-            .collect();
-        self.flows[flow as usize].retx_count += missing.len() as u32;
+        let missing: Vec<u32> = {
+            let f = &self.tx[ti];
+            (0..cx.meta(flow).num_pkts)
+                .filter(|&s| !f.is_acked(s))
+                .take(window as usize)
+                .collect()
+        };
+        self.tx[ti].retx_count += missing.len() as u32;
         for seq in missing {
-            self.send_data(flow, seq, true);
+            self.send_data(cx, flow, seq, true);
         }
-        self.ndp_arm_rto(flow);
+        self.ndp_arm_rto(cx, flow);
     }
 }

@@ -263,6 +263,7 @@ pub struct Scenario<'a> {
     compiled: Option<CompileMode>,
     abort_host_death: Option<u32>,
     te: Option<TeConfig>,
+    shards: u32,
 }
 
 impl<'a> Scenario<'a> {
@@ -286,6 +287,7 @@ impl<'a> Scenario<'a> {
             compiled: None,
             abort_host_death: None,
             te: None,
+            shards: 0,
         }
     }
 
@@ -404,6 +406,14 @@ impl<'a> Scenario<'a> {
         self
     }
 
+    /// Sets the number of event-loop shards for intra-simulation
+    /// parallelism (0 = resolve from `FATPATHS_SHARDS`, then 1; see
+    /// [`SimConfig::shards`]). Results are bit-identical for any value.
+    pub fn shards(mut self, k: u32) -> Self {
+        self.shards = k;
+        self
+    }
+
     /// The spec's label (for CSV rows), with a `+te` suffix when the
     /// tables are traffic-engineered and a `+fib` suffix when the
     /// scenario simulates on compiled FIBs.
@@ -505,6 +515,7 @@ impl<'a> Scenario<'a> {
             horizon: self.horizon,
             detection_delay: self.detection_delay,
             abort_on_host_death: self.abort_host_death,
+            shards: self.shards,
             ..SimConfig::default()
         }
     }

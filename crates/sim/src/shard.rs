@@ -1,0 +1,1261 @@
+//! The sharded execution core: per-region event queues, packet arenas,
+//! and network state, synchronized by conservative lookahead.
+//!
+//! The topology's routers (and their endpoints) are partitioned into K
+//! shards ([`partition_routers`]: whole `Topology::domains` where they
+//! cover the network, a BFS-balanced split otherwise). Each [`Shard`]
+//! owns the output ports, flow halves, and event queue for its region
+//! and runs windows of `[t0, t0 + L)` where the lookahead `L` is the
+//! minimum cross-shard link latency (links are homogeneous, so `L =
+//! SimConfig::link_latency`): every packet handoff takes at least
+//! serialization + latency ≥ L, so events a shard processes inside a
+//! window cannot be affected by any other shard's events in the same
+//! window. Cross-shard packets go through per-shard-pair mailboxes
+//! ([`deliver_mailboxes`]) merged deterministically by `(time,
+//! src_shard, seq)` — never by arrival order — and the queues order
+//! equal-time events by canonical content keys (see `crate::engine`),
+//! so results are bit-identical at any shard and thread count.
+//!
+//! Flow state is split by side so no hot-path read ever crosses a
+//! shard: [`FlowMeta`] (immutable) is shared read-only, [`TxFlow`]
+//! lives on the sender's shard, [`RxFlow`] on the receiver's. Fault
+//! state (down links, dead routers, repair overlay) is *replicated*:
+//! every fault event derives statically from the `FaultPlan`, so each
+//! shard plays the identical event sequence against its own replica
+//! and recomputes the identical repair overlay — K× control-plane
+//! work, zero synchronization.
+
+use crate::config::{LoadBalancing, SimConfig, Transport, HDR_BYTES};
+use crate::engine::{EvKind, EventQueue, Packet, PacketSlab, PktKind, TimePs};
+use crate::metrics::RepairTickRecord;
+use fatpaths_core::fwd::fnv1a;
+use fatpaths_core::repair::{DownLinks, RouteRepair};
+use fatpaths_core::scheme::RoutingScheme;
+use fatpaths_net::topo::Topology;
+use fatpaths_workloads::arrivals::FlowSpec;
+use std::collections::VecDeque;
+
+/// An output port: serializer + queues, owned by exactly one shard.
+pub(crate) struct Port {
+    pub to_is_router: bool,
+    pub to: u32,
+    pub busy: bool,
+    pub data_q: VecDeque<u32>,
+    pub prio_q: VecDeque<u32>,
+}
+
+impl Port {
+    pub(crate) fn new(to_is_router: bool, to: u32) -> Self {
+        Port {
+            to_is_router,
+            to,
+            busy: false,
+            data_q: VecDeque::new(),
+            prio_q: VecDeque::new(),
+        }
+    }
+}
+
+/// Where a sharded object lives: which shard, and at which local index.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SlotRef {
+    pub shard: u32,
+    pub idx: u32,
+}
+
+/// Immutable per-flow facts, shared read-only by every shard.
+pub(crate) struct FlowMeta {
+    pub src_ep: u32,
+    pub dst_ep: u32,
+    pub src_router: u32,
+    pub dst_router: u32,
+    pub size: u64,
+    pub start: TimePs,
+    pub num_pkts: u32,
+    /// MPTCP subflow: layer is pinned, never re-picked.
+    pub pinned_layer: Option<u8>,
+    /// Congestion-avoidance increase factor (LIA coupling: 1/k).
+    pub ca_scale: f64,
+    pub init_nonce: u64,
+    pub init_layer: u8,
+}
+
+impl FlowMeta {
+    pub(crate) fn new(
+        spec: &FlowSpec,
+        topo: &Topology,
+        payload: u32,
+        init_nonce: u64,
+        init_layer: u8,
+        pinned_layer: Option<u8>,
+        ca_scale: f64,
+    ) -> Self {
+        FlowMeta {
+            src_ep: spec.src,
+            dst_ep: spec.dst,
+            src_router: topo.endpoint_router(spec.src),
+            dst_router: topo.endpoint_router(spec.dst),
+            size: spec.size,
+            start: spec.start,
+            num_pkts: spec.size.div_ceil(payload as u64).max(1) as u32,
+            pinned_layer,
+            ca_scale,
+            init_nonce,
+            init_layer,
+        }
+    }
+
+    pub(crate) fn payload_of(&self, seq: u32, payload: u32) -> u32 {
+        if seq + 1 == self.num_pkts {
+            (self.size - (self.num_pkts as u64 - 1) * payload as u64) as u32
+        } else {
+            payload
+        }
+    }
+}
+
+/// Sender-side flow state, owned by the source router's shard.
+pub(crate) struct TxFlow {
+    pub started: bool,
+    pub next_new: u32,
+    pub retxq: VecDeque<u32>,
+    pub cum_ack: u32,
+    /// Per-sequence ack bitmap (NDP): the sender's own view of what the
+    /// receiver holds — replaces the pre-shard read of the receiver's
+    /// `received` bitmap, which may live on another shard.
+    pub acked: Vec<u64>,
+    pub acked_count: u32,
+    pub inflight: u32,
+    // load balancing
+    pub layer: u8,
+    pub nonce: u64,
+    pub last_tx: TimePs,
+    pub flowlet_ctr: u32,
+    /// Transmission counter feeding the packet uid (`Packet::salt`).
+    pub uid_ctr: u32,
+    // counters
+    pub retx_count: u32,
+    pub rto_gen: u32,
+    pub backoff: u32,
+    // TCP congestion state (unused in NDP mode)
+    pub cwnd: f64,
+    pub ssthresh: f64,
+    pub dup_acks: u32,
+    pub in_recovery: bool,
+    pub recovery_until: u32,
+    pub srtt: f64,
+    pub rttvar: f64,
+    pub timed: Option<(u32, TimePs)>,
+    // ECN / DCTCP
+    pub ce_marked: u32,
+    pub ce_total: u32,
+    pub alpha: f64,
+    pub window_end: u32,
+    pub cwr: bool,
+    /// A window reduction requested a path switch; applied once the
+    /// pipe is nearly empty (reorder-safe) or at a flowlet gap.
+    pub want_switch: bool,
+    /// The flow was never injected: its source or destination host sat
+    /// behind a dead router at start time.
+    pub host_dead: bool,
+    /// RTOs burned while an endpoint was dead (only tracked when
+    /// `SimConfig::abort_on_host_death` is set).
+    pub dead_rtos: u32,
+    /// Aborted mid-transfer (dead-RTO budget exhausted): terminal.
+    pub aborted: bool,
+}
+
+impl TxFlow {
+    pub(crate) fn new(m: &FlowMeta) -> Self {
+        TxFlow {
+            started: false,
+            next_new: 0,
+            retxq: VecDeque::new(),
+            cum_ack: 0,
+            acked: vec![0u64; m.num_pkts.div_ceil(64) as usize],
+            acked_count: 0,
+            inflight: 0,
+            layer: m.init_layer,
+            nonce: m.init_nonce,
+            last_tx: 0,
+            flowlet_ctr: 0,
+            uid_ctr: 0,
+            retx_count: 0,
+            rto_gen: 0,
+            backoff: 0,
+            cwnd: 4.0,
+            ssthresh: 1e9,
+            dup_acks: 0,
+            in_recovery: false,
+            recovery_until: 0,
+            srtt: 0.0,
+            rttvar: 0.0,
+            timed: None,
+            ce_marked: 0,
+            ce_total: 0,
+            alpha: 0.0,
+            window_end: 0,
+            cwr: false,
+            want_switch: false,
+            host_dead: false,
+            dead_rtos: 0,
+            aborted: false,
+        }
+    }
+
+    /// Records a per-sequence ack; returns whether it was new.
+    pub(crate) fn mark_acked(&mut self, seq: u32) -> bool {
+        let (w, b) = ((seq / 64) as usize, seq % 64);
+        if self.acked[w] >> b & 1 == 1 {
+            return false;
+        }
+        self.acked[w] |= 1 << b;
+        self.acked_count += 1;
+        true
+    }
+
+    pub(crate) fn is_acked(&self, seq: u32) -> bool {
+        self.acked[(seq / 64) as usize] >> (seq % 64) & 1 == 1
+    }
+}
+
+/// Receiver-side flow state, owned by the destination router's shard.
+pub(crate) struct RxFlow {
+    pub received: Vec<u64>,
+    pub rcv_count: u32,
+    pub rcv_next: u32,
+    pub finished: Option<TimePs>,
+    pub trims: u32,
+    pub rx_suggest: u8,
+    /// Layer the receiver last saw data on; control packets ride it
+    /// back (a layer the forward direction proved alive).
+    pub rx_last_layer: u8,
+    /// Nonce of the last data packet seen: control packets echo it so
+    /// LetFlow hashing of the reverse path tracks the sender's flowlet
+    /// without a cross-shard read of the live sender nonce.
+    pub last_nonce: u64,
+    /// Receiver-side transmission counter feeding control-packet uids.
+    pub uid_ctr: u32,
+}
+
+impl RxFlow {
+    pub(crate) fn new(m: &FlowMeta) -> Self {
+        RxFlow {
+            received: vec![0u64; m.num_pkts.div_ceil(64) as usize],
+            rcv_count: 0,
+            rcv_next: 0,
+            finished: None,
+            trims: 0,
+            rx_suggest: 0xff,
+            rx_last_layer: 0,
+            last_nonce: m.init_nonce,
+            uid_ctr: 0,
+        }
+    }
+
+    pub(crate) fn mark_received(&mut self, seq: u32) -> bool {
+        let (w, b) = ((seq / 64) as usize, seq % 64);
+        if self.received[w] >> b & 1 == 1 {
+            return false;
+        }
+        self.received[w] |= 1 << b;
+        self.rcv_count += 1;
+        while self.rcv_next < (self.received.len() * 64) as u32
+            && self.received[(self.rcv_next / 64) as usize] >> (self.rcv_next % 64) & 1 == 1
+        {
+            self.rcv_next += 1;
+        }
+        true
+    }
+}
+
+/// A boundary packet in a per-shard-pair mailbox.
+pub(crate) struct OutMsg {
+    pub at: TimePs,
+    pub to: u32,
+    pub to_is_router: bool,
+    pub pkt: Packet,
+}
+
+/// Read-only context shared by every shard during a run: topology,
+/// scheme, config, flow metadata, and the global→local index maps.
+/// `Sync` by construction (all shared references; `RoutingScheme`
+/// requires `Sync`), so one `&Ctx` is captured by all shard workers.
+pub(crate) struct Ctx<'a, R: ?Sized> {
+    pub topo: &'a Topology,
+    pub scheme: &'a R,
+    pub cfg: SimConfig,
+    pub meta: &'a [FlowMeta],
+    pub tx_home: &'a [SlotRef],
+    pub rx_home: &'a [SlotRef],
+    /// Global first-port id of each router's net ports.
+    pub net_base: &'a [u32],
+    /// Global first-port id of each router's endpoint down-ports.
+    pub down_base: &'a [u32],
+    /// Global first-port id of the endpoint NIC up-ports.
+    pub up_base: u32,
+    /// Global port id → owning shard + local index.
+    pub port_home: &'a [SlotRef],
+    /// Endpoint id → owning shard + local pull-queue index.
+    pub ep_home: &'a [SlotRef],
+    /// Router id → owning shard.
+    pub router_shard: &'a [u32],
+    /// Cached `scheme.num_layers()`.
+    pub n_layers: usize,
+}
+
+impl<R: ?Sized> Ctx<'_, R> {
+    #[inline]
+    pub(crate) fn meta(&self, flow: u32) -> &FlowMeta {
+        &self.meta[flow as usize]
+    }
+
+    #[inline]
+    pub(crate) fn tx_idx(&self, flow: u32) -> usize {
+        self.tx_home[flow as usize].idx as usize
+    }
+
+    #[inline]
+    pub(crate) fn rx_idx(&self, flow: u32) -> usize {
+        self.rx_home[flow as usize].idx as usize
+    }
+
+    #[inline]
+    pub(crate) fn port_idx(&self, port: u32) -> usize {
+        self.port_home[port as usize].idx as usize
+    }
+
+    #[inline]
+    pub(crate) fn ep_idx(&self, ep: u32) -> usize {
+        self.ep_home[ep as usize].idx as usize
+    }
+}
+
+/// One region's simulation state: event queue, packet arena, ports,
+/// flow halves, and a full replica of the fault/repair state.
+pub(crate) struct Shard {
+    pub id: u32,
+    pub now: TimePs,
+    /// Time of the last event this shard processed (for `end_time`).
+    pub last_t: TimePs,
+    pub events: EventQueue,
+    pub packets: PacketSlab,
+    /// This shard's output ports, in global-id order.
+    pub ports: Vec<Port>,
+    /// Sender-side flow halves owned here.
+    pub tx: Vec<TxFlow>,
+    /// Receiver-side flow halves owned here.
+    pub rx: Vec<RxFlow>,
+    // NDP receiver pull pacing, for endpoints owned here.
+    pub pullq: Vec<VecDeque<u32>>,
+    pub pull_ready: Vec<TimePs>,
+    // counters
+    pub drops: u64,
+    pub trim_count: u64,
+    pub unroutable: u64,
+    pub host_dead: u64,
+    /// Flows resolved this window (completed, aborted, or host-dead);
+    /// drained by the driver into its global termination bitset.
+    pub resolved: Vec<u32>,
+    /// Outgoing boundary packets, one mailbox per destination shard.
+    pub outbox: Vec<Vec<OutMsg>>,
+    // ---- replicated fault state (identical across shards) ----
+    /// Down-state bitmask, one bit per *global* output port.
+    pub port_down: Vec<u64>,
+    pub down_count: u32,
+    /// Currently-down links in canonical form (feeds route repair):
+    /// links failed in their own right plus links incident to a dead
+    /// router.
+    pub down_links: Vec<(u32, u32)>,
+    /// Links failed in their own right, kept apart from `down_links` so
+    /// a reviving router does not resurrect an independently cut link.
+    pub link_failed: rustc_hash::FxHashSet<(u32, u32)>,
+    pub router_dead: Vec<bool>,
+    pub dead_router_count: u32,
+    /// Time of the currently scheduled repair pass, if any (burst
+    /// coalescing: one `RepairTick` per event batch).
+    pub repair_at: Option<TimePs>,
+    /// Scheme-computed repaired rows (empty until a detection fires).
+    pub repair: RouteRepair,
+    /// One record per executed repair pass; identical on every shard.
+    pub repair_log: Vec<RepairTickRecord>,
+}
+
+impl Shard {
+    pub(crate) fn new(id: u32, n_shards: usize, n_ports_total: usize, n_routers: usize) -> Self {
+        Shard {
+            id,
+            now: 0,
+            last_t: 0,
+            events: EventQueue::default(),
+            packets: PacketSlab::default(),
+            ports: Vec::new(),
+            tx: Vec::new(),
+            rx: Vec::new(),
+            pullq: Vec::new(),
+            pull_ready: Vec::new(),
+            drops: 0,
+            trim_count: 0,
+            unroutable: 0,
+            host_dead: 0,
+            resolved: Vec::new(),
+            outbox: (0..n_shards).map(|_| Vec::new()).collect(),
+            port_down: vec![0u64; n_ports_total.div_ceil(64)],
+            down_count: 0,
+            down_links: Vec::new(),
+            link_failed: rustc_hash::FxHashSet::default(),
+            router_dead: vec![false; n_routers],
+            dead_router_count: 0,
+            repair_at: None,
+            repair: RouteRepair::none(),
+            repair_log: Vec::new(),
+        }
+    }
+
+    /// Runs this shard's events in `[peek, w_end)`, stopping at the
+    /// horizon. Window boundaries are exclusive so every shard agrees on
+    /// which events belong to which window.
+    pub(crate) fn run_window<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        w_end: TimePs,
+        horizon: TimePs,
+    ) {
+        while let Some(t) = self.events.peek_time() {
+            if t >= w_end || (horizon > 0 && t > horizon) {
+                return;
+            }
+            let (t, ev) = self.events.pop().expect("peeked");
+            self.now = t;
+            self.last_t = t;
+            self.dispatch(cx, ev);
+        }
+    }
+
+    pub(crate) fn dispatch<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, ev: EvKind) {
+        match ev {
+            EvKind::FlowStart { flow } => self.on_flow_start(cx, flow),
+            EvKind::PortPop { port } => {
+                debug_assert_eq!(cx.port_home[port as usize].shard, self.id);
+                self.ports[cx.port_idx(port)].busy = false;
+                self.port_try_start(cx, port);
+            }
+            EvKind::ArriveRouter { pkt, router } => self.on_router_arrive(cx, router, pkt),
+            EvKind::ArriveEndpoint { pkt, ep } => self.on_endpoint_arrive(cx, ep, pkt),
+            EvKind::PullTick { ep } => self.ndp_pull_tick(cx, ep),
+            EvKind::RtoTimer { flow, gen } => self.on_rto(cx, flow, gen),
+            EvKind::LinkDown { u, v } => {
+                self.fail_link_now(cx.topo, cx.net_base, u, v);
+                self.schedule_repair(cx.cfg.detection_delay);
+            }
+            EvKind::LinkUp { u, v } => {
+                self.restore_link_now(cx.topo, cx.net_base, u, v);
+                self.schedule_repair(cx.cfg.detection_delay);
+            }
+            EvKind::RouterDown { router } => {
+                self.set_router_state(cx.topo, cx.net_base, router, false);
+                self.schedule_repair(cx.cfg.detection_delay);
+            }
+            EvKind::RouterUp { router } => {
+                self.set_router_state(cx.topo, cx.net_base, router, true);
+                self.schedule_repair(cx.cfg.detection_delay);
+            }
+            EvKind::RepairTick => {
+                if self.repair_at == Some(self.now) {
+                    self.repair_at = None;
+                }
+                self.recompute_repair(cx);
+                self.repair_log.push(RepairTickRecord {
+                    at: self.now,
+                    rows: self.repair.len() as u64,
+                    fib_rows: self.repair.fib_rows_rewritten,
+                });
+            }
+        }
+    }
+
+    fn on_flow_start<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
+        if self.dead_router_count != 0 {
+            let m = cx.meta(flow);
+            if self.router_dead[m.src_router as usize] || self.router_dead[m.dst_router as usize] {
+                // Workload filtering for whole-node failures: a flow
+                // whose host is dead at start time is excluded and
+                // accounted `host_dead` — it is not the network's
+                // failure to deliver (`unroutable`), the host itself is
+                // gone.
+                self.tx[cx.tx_idx(flow)].host_dead = true;
+                self.host_dead += 1;
+                self.resolved.push(flow);
+                return;
+            }
+        }
+        self.tx[cx.tx_idx(flow)].started = true;
+        match cx.cfg.transport {
+            Transport::Ndp { initial_window, .. } => self.ndp_start(cx, flow, initial_window),
+            Transport::Tcp { .. } => self.tcp_start(cx, flow),
+        }
+    }
+
+    // ---- link layer -----------------------------------------------------
+
+    /// Enqueues a packet at a router output port, applying the queue
+    /// policy (trim / drop / mark). `port` is a global id owned here.
+    pub(crate) fn router_enqueue<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        port: u32,
+        pid: u32,
+    ) {
+        match cx.cfg.transport {
+            Transport::Ndp { queue_pkts, .. } => {
+                let (is_data, is_retx) = {
+                    let p = self.packets.get(pid);
+                    (p.kind == PktKind::Data && !p.trimmed, p.retx)
+                };
+                let li = cx.port_idx(port);
+                if is_data {
+                    if (self.ports[li].data_q.len() as u32) < queue_pkts {
+                        // Retransmissions jump the data queue (they unblock
+                        // stalled receivers, §III-C) but still count against
+                        // the shallow limit — a payload is a payload.
+                        if is_retx {
+                            self.ports[li].data_q.push_front(pid);
+                        } else {
+                            self.ports[li].data_q.push_back(pid);
+                        }
+                    } else {
+                        // Trim: drop payload, keep the header, prioritize.
+                        let p = self.packets.get_mut(pid);
+                        p.trimmed = true;
+                        p.wire_bytes = HDR_BYTES;
+                        self.trim_count += 1;
+                        self.push_prio_bounded(li, pid);
+                    }
+                } else {
+                    self.push_prio_bounded(li, pid);
+                }
+            }
+            Transport::Tcp {
+                queue_pkts,
+                ecn_threshold,
+                ..
+            } => {
+                let li = cx.port_idx(port);
+                let depth = self.ports[li].data_q.len() as u32;
+                if depth >= queue_pkts {
+                    self.drops += 1;
+                    self.packets.release(pid);
+                    return;
+                }
+                if depth >= ecn_threshold {
+                    self.packets.get_mut(pid).ecn_ce = true;
+                }
+                self.ports[li].data_q.push_back(pid);
+            }
+        }
+        self.port_try_start(cx, port);
+    }
+
+    fn push_prio_bounded(&mut self, local_port: usize, pid: u32) {
+        let q = &mut self.ports[local_port];
+        if q.prio_q.len() >= 1024 {
+            self.drops += 1;
+            self.packets.release(pid);
+        } else {
+            q.prio_q.push_back(pid);
+        }
+    }
+
+    /// Enqueues onto an endpoint NIC (no drops: window-bounded).
+    pub(crate) fn nic_enqueue<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        ep: u32,
+        pid: u32,
+    ) {
+        let port = cx.up_base + ep;
+        debug_assert_eq!(cx.port_home[port as usize].shard, self.id);
+        let is_control = self.packets.get(pid).kind != PktKind::Data;
+        let q = &mut self.ports[cx.port_idx(port)];
+        if is_control {
+            q.prio_q.push_back(pid);
+        } else {
+            q.data_q.push_back(pid);
+        }
+        self.port_try_start(cx, port);
+    }
+
+    /// Starts the serializer on `port` if idle. The arrival is pushed
+    /// locally when the far end is on this shard, otherwise the packet
+    /// is copied into the destination shard's mailbox (its local slab
+    /// slot is released — slab ids are shard-private).
+    fn port_try_start<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, port: u32) {
+        let (pid, to_is_router, to) = {
+            let q = &mut self.ports[cx.port_idx(port)];
+            if q.busy {
+                return;
+            }
+            let Some(pid) = q.prio_q.pop_front().or_else(|| q.data_q.pop_front()) else {
+                return;
+            };
+            q.busy = true;
+            (pid, q.to_is_router, q.to)
+        };
+        let bytes = self.packets.get(pid).wire_bytes;
+        let ser = cx.cfg.ser_time(bytes);
+        self.events.push(self.now + ser, EvKind::PortPop { port });
+        let arrive = self.now + ser + cx.cfg.link_latency;
+        let tshard = if to_is_router {
+            cx.router_shard[to as usize]
+        } else {
+            cx.ep_home[to as usize].shard
+        };
+        if tshard == self.id {
+            let uid = self.packets.get(pid).salt;
+            let kind = if to_is_router {
+                EvKind::ArriveRouter {
+                    pkt: pid,
+                    router: to,
+                }
+            } else {
+                EvKind::ArriveEndpoint { pkt: pid, ep: to }
+            };
+            self.events.push_arrival(arrive, kind, uid);
+        } else {
+            let pkt = *self.packets.get(pid);
+            self.packets.release(pid);
+            self.outbox[tshard as usize].push(OutMsg {
+                at: arrive,
+                to,
+                to_is_router,
+                pkt,
+            });
+        }
+    }
+
+    // ---- routing ---------------------------------------------------------
+
+    fn on_router_arrive<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, r: u32, pid: u32) {
+        debug_assert_eq!(cx.router_shard[r as usize], self.id);
+        if self.dead_router_count != 0 && self.router_dead[r as usize] {
+            // The router died while this packet was in flight toward it
+            // (or a local endpoint is still draining its NIC): a dead
+            // router forwards nothing.
+            self.drops += 1;
+            self.packets.release(pid);
+            return;
+        }
+        let (dst_router, dst_ep, layer) = {
+            let p = self.packets.get(pid);
+            (p.dst_router, p.dst_ep, p.layer)
+        };
+        // Per-hop layer rewrite (Valiant phase switch; identity for
+        // single-phase schemes).
+        if dst_router != r {
+            let nl = cx.scheme.update_layer(layer, r, dst_router);
+            if nl != layer {
+                self.packets.get_mut(pid).layer = nl;
+            }
+        }
+        let port = if dst_router == r {
+            let first = cx.topo.router_endpoints(r).start;
+            cx.down_base[r as usize] + (dst_ep - first)
+        } else {
+            let Some(sel) = self.select_port(cx, r, pid) else {
+                // No live candidate port: the destination is unreachable
+                // from here in the degraded network.
+                self.unroutable += 1;
+                self.packets.release(pid);
+                return;
+            };
+            let port = cx.net_base[r as usize] + sel as u32;
+            if self.down_count != 0 && self.is_port_down(port) {
+                // Link down (not yet repaired, or the scheme cannot
+                // repair): the packet is lost; end-to-end recovery
+                // redirects the flow to another layer (§V-G).
+                self.drops += 1;
+                self.packets.release(pid);
+                return;
+            }
+            port
+        };
+        self.router_enqueue(cx, port, pid);
+    }
+
+    fn select_port<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        r: u32,
+        pid: u32,
+    ) -> Option<u16> {
+        let p = *self.packets.get(pid);
+        // Repaired rows (installed one detection delay after link-state
+        // changes) shadow the scheme's original tables.
+        let repaired_row = if self.repair.is_empty() {
+            None
+        } else {
+            self.repair.lookup(p.layer, r, p.dst_router)
+        };
+        let scheme_row;
+        let cands: &[u16] = match repaired_row {
+            Some(e) => e.as_slice(),
+            None => {
+                scheme_row = cx.scheme.candidate_ports(p.layer, r, p.dst_router);
+                scheme_row.as_slice()
+            }
+        };
+        debug_assert!(
+            !cands.is_empty() || self.down_count != 0 || !self.repair.is_empty(),
+            "destination unreachable on a healthy network"
+        );
+        if cands.is_empty() {
+            return None;
+        }
+        if cands.len() == 1 {
+            // Single-path layer (FatPaths tables, SPAIN, PAST, …): load
+            // balancing happens across layers, not candidates.
+            return Some(cands[0]);
+        }
+        let len = cands.len() as u64;
+        Some(match cx.cfg.lb {
+            // NDP's spraying cycles each flow round-robin over the
+            // candidate ports (per hop, offset by a flow/router hash):
+            // smooth arrivals keep 8-packet queues stable at ρ→1,
+            // where random spraying would trim persistently.
+            // Retransmissions re-roll on their salt so a packet
+            // never re-walks into a failed or congested port.
+            LoadBalancing::PacketSpray => {
+                if p.retx {
+                    cands[(fnv1a(p.salt ^ r as u64) % len) as usize]
+                } else {
+                    let off = fnv1a(((p.flow as u64) << 32) ^ r as u64);
+                    cands[((p.seq as u64 + off) % len) as usize]
+                }
+            }
+            _ => cands[(fnv1a(p.nonce ^ ((r as u64) << 20)) % len) as usize],
+        })
+    }
+
+    // ---- shared endpoint helpers ------------------------------------------
+
+    /// Applies source-side flowlet logic before a data transmission:
+    /// after a gap > `flowlet_gap`, re-pick the layer (FatPaths) or the
+    /// nonce (LetFlow). ECMP keeps everything static; spraying ignores it.
+    ///
+    /// A ≥ gap pause implies the pipe has drained (the gap exceeds the
+    /// RTT), so switching paths at a gap cannot reorder — LetFlow's core
+    /// argument, which also protects the TCP modes from spurious
+    /// dup-ACK retransmissions after a layer change.
+    pub(crate) fn flowlet_update<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
+        let gap = cx.cfg.flowlet_gap;
+        let n_layers = cx.n_layers;
+        let lb = cx.cfg.lb;
+        let now = self.now;
+        let pinned = cx.meta(flow).pinned_layer.is_some();
+        let f = &mut self.tx[cx.tx_idx(flow)];
+        if pinned {
+            f.last_tx = now;
+            return;
+        }
+        if f.last_tx != 0 && now.saturating_sub(f.last_tx) > gap {
+            f.flowlet_ctr += 1;
+            match lb {
+                LoadBalancing::FatPathsLayers => {
+                    f.layer = (fnv1a(((flow as u64) << 20) ^ f.flowlet_ctr as u64)
+                        % n_layers as u64) as u8;
+                }
+                LoadBalancing::LetFlow => {
+                    f.nonce = fnv1a(((flow as u64) << 21) ^ f.flowlet_ctr as u64);
+                }
+                _ => {}
+            }
+        }
+        f.last_tx = now;
+    }
+
+    /// Crafts and sends one data packet of `flow` with sequence `seq`
+    /// (sender side — `flow`'s TxFlow lives on this shard).
+    pub(crate) fn send_data<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        flow: u32,
+        seq: u32,
+        retx: bool,
+    ) {
+        self.flowlet_update(cx, flow);
+        let payload = cx.cfg.transport.payload();
+        let m = cx.meta(flow);
+        let f = &mut self.tx[cx.tx_idx(flow)];
+        f.uid_ctr += 1;
+        // Canonical transmission id: (flow, per-sender counter, dir=0).
+        let salt = ((flow as u64) << 33) | ((f.uid_ctr as u64) << 1);
+        let pkt = Packet {
+            flow,
+            seq,
+            wire_bytes: m.payload_of(seq, payload) + HDR_BYTES,
+            kind: PktKind::Data,
+            layer: f.layer,
+            trimmed: false,
+            ecn_ce: false,
+            ecn_echo: false,
+            retx,
+            dst_router: m.dst_router,
+            dst_ep: m.dst_ep,
+            nonce: f.nonce,
+            salt,
+            suggest_layer: 0xff,
+        };
+        let pid = self.packets.alloc(pkt);
+        self.nic_enqueue(cx, m.src_ep, pid);
+    }
+
+    /// Crafts and sends a control packet from the receiver side toward
+    /// the sender (`Ack`, `Nack`, `Pull` — control is always
+    /// receiver-originated). Rides the layer the data last arrived on
+    /// (proven alive in the forward direction) and echoes the last data
+    /// nonce so reverse-path LetFlow hashing tracks the sender's
+    /// flowlet without a cross-shard read.
+    pub(crate) fn send_control<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        flow: u32,
+        kind: PktKind,
+        seq: u32,
+        ecn_echo: bool,
+        suggest: u8,
+    ) {
+        let m = cx.meta(flow);
+        let f = &mut self.rx[cx.rx_idx(flow)];
+        f.uid_ctr += 1;
+        // Canonical transmission id: (flow, per-receiver counter, dir=1).
+        let salt = ((flow as u64) << 33) | ((f.uid_ctr as u64) << 1) | 1;
+        let pkt = Packet {
+            flow,
+            seq,
+            wire_bytes: HDR_BYTES,
+            kind,
+            layer: f.rx_last_layer,
+            trimmed: false,
+            ecn_ce: false,
+            ecn_echo,
+            retx: false,
+            dst_router: m.src_router,
+            dst_ep: m.src_ep,
+            nonce: f.last_nonce,
+            salt,
+            suggest_layer: suggest,
+        };
+        let pid = self.packets.alloc(pkt);
+        self.nic_enqueue(cx, m.dst_ep, pid);
+    }
+
+    /// Marks a flow complete (receiver got every byte) and reports it
+    /// to the driver's termination set.
+    pub(crate) fn complete_flow<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
+        let f = &mut self.rx[cx.rx_idx(flow)];
+        if f.finished.is_none() {
+            f.finished = Some(self.now);
+            self.resolved.push(flow);
+        }
+    }
+
+    /// True when the sender has proof the transfer is done (every
+    /// sequence acked for NDP, cumulative ack at the end for TCP) —
+    /// the sender-side stand-in for the receiver's `finished`, which
+    /// may live on another shard.
+    pub(crate) fn tx_done<R: RoutingScheme + ?Sized>(&self, cx: &Ctx<R>, flow: u32) -> bool {
+        let f = &self.tx[cx.tx_idx(flow)];
+        match cx.cfg.transport {
+            Transport::Ndp { .. } => f.acked_count >= cx.meta(flow).num_pkts,
+            Transport::Tcp { .. } => f.cum_ack >= cx.meta(flow).num_pkts,
+        }
+    }
+
+    fn on_endpoint_arrive<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, ep: u32, pid: u32) {
+        match cx.cfg.transport {
+            Transport::Ndp { .. } => self.ndp_on_arrive(cx, ep, pid),
+            Transport::Tcp { .. } => self.tcp_on_arrive(cx, ep, pid),
+        }
+    }
+
+    fn on_rto<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32, gen: u32) {
+        if self.abort_if_host_dead(cx, flow, gen) {
+            return;
+        }
+        match cx.cfg.transport {
+            Transport::Ndp { .. } => self.ndp_on_rto(cx, flow, gen),
+            Transport::Tcp { .. } => self.tcp_on_rto(cx, flow, gen),
+        }
+    }
+
+    /// Mid-flow host-death semantics
+    /// ([`SimConfig::abort_on_host_death`]): when an endpoint of an
+    /// in-flight flow is dead at RTO time, the timeout counts against
+    /// the flow's dead-RTO budget; exhausting it aborts the transfer (a
+    /// connection reset — the real-stack outcome, instead of silently
+    /// outwaiting the reboot). Returns `true` when the flow was aborted
+    /// (the timer must not be re-armed or the transport consulted).
+    fn abort_if_host_dead<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        flow: u32,
+        gen: u32,
+    ) -> bool {
+        let Some(budget) = cx.cfg.abort_on_host_death else {
+            return false;
+        };
+        let m = cx.meta(flow);
+        let ti = cx.tx_idx(flow);
+        {
+            let f = &self.tx[ti];
+            if f.aborted || !f.started || gen != f.rto_gen || self.tx_done(cx, flow) {
+                return self.tx[ti].aborted;
+            }
+        }
+        let endpoint_dead = self.dead_router_count != 0
+            && (self.router_dead[m.src_router as usize] || self.router_dead[m.dst_router as usize]);
+        let f = &mut self.tx[ti];
+        if !endpoint_dead {
+            // The budget counts *consecutive* RTOs against a dead
+            // endpoint (one outage), so a timeout with both hosts alive
+            // clears it — separate survivable outages must not sum to
+            // an abort (`reset_dead_rtos` clears it on receiver-side
+            // evidence too).
+            f.dead_rtos = 0;
+            return false;
+        }
+        f.dead_rtos += 1;
+        if f.dead_rtos < budget.max(1) {
+            return false; // keep retrying: the transport re-arms the timer
+        }
+        f.aborted = true;
+        self.resolved.push(flow);
+        true
+    }
+
+    /// Clears the consecutive-dead-RTO budget on proof of life: any
+    /// receiver-originated packet reaching the sender means the
+    /// endpoint is (back) up, so a later outage starts a fresh count.
+    #[inline]
+    pub(crate) fn reset_dead_rtos<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
+        if cx.cfg.abort_on_host_death.is_some() {
+            self.tx[cx.tx_idx(flow)].dead_rtos = 0;
+        }
+    }
+
+    // ---- replicated fault-state machine -----------------------------------
+
+    /// Fails link `{u, v}` in its own right (static failure or a
+    /// `LinkDown` event): recorded in `link_failed` so a later router
+    /// revival does not resurrect it.
+    pub(crate) fn fail_link_now(&mut self, topo: &Topology, net_base: &[u32], u: u32, v: u32) {
+        self.link_failed.insert((u.min(v), u.max(v)));
+        self.set_link_state(topo, net_base, u, v, false);
+    }
+
+    /// Clears link `{u, v}`'s own failure; the link comes back only if
+    /// neither endpoint router is dead.
+    pub(crate) fn restore_link_now(&mut self, topo: &Topology, net_base: &[u32], u: u32, v: u32) {
+        self.link_failed.remove(&(u.min(v), u.max(v)));
+        if !self.router_dead[u as usize] && !self.router_dead[v as usize] {
+            self.set_link_state(topo, net_base, u, v, true);
+        }
+    }
+
+    /// Flips router `r`'s state. Death atomically fails every incident
+    /// link; revival restores exactly the incident links whose other end
+    /// is alive and not independently failed. Idempotent.
+    pub(crate) fn set_router_state(&mut self, topo: &Topology, net_base: &[u32], r: u32, up: bool) {
+        if self.router_dead[r as usize] != up {
+            return; // already in that state (dead == !up)
+        }
+        if up {
+            self.router_dead[r as usize] = false;
+            self.dead_router_count -= 1;
+            for &nb in topo.graph.neighbors(r) {
+                if !self.router_dead[nb as usize]
+                    && !self.link_failed.contains(&(r.min(nb), r.max(nb)))
+                {
+                    self.set_link_state(topo, net_base, r, nb, true);
+                }
+            }
+        } else {
+            self.router_dead[r as usize] = true;
+            self.dead_router_count += 1;
+            for &nb in topo.graph.neighbors(r) {
+                self.set_link_state(topo, net_base, r, nb, false);
+            }
+        }
+    }
+
+    /// Flips the state of link `{u, v}` (both directions). Idempotent.
+    pub(crate) fn set_link_state(
+        &mut self,
+        topo: &Topology,
+        net_base: &[u32],
+        u: u32,
+        v: u32,
+        up: bool,
+    ) {
+        assert!(topo.graph.has_edge(u, v), "no such link");
+        let key = (u.min(v), u.max(v));
+        let was_down = self.down_links.contains(&key);
+        if up == was_down {
+            // State actually changes.
+            if up {
+                self.down_links.retain(|&k| k != key);
+                self.down_count -= 1;
+            } else {
+                self.down_links.push(key);
+                self.down_count += 1;
+            }
+            for (a, b) in [(u, v), (v, u)] {
+                let port =
+                    net_base[a as usize] + topo.graph.port_of(a, b).expect("checked has_edge");
+                let (w, bit) = (port as usize / 64, port % 64);
+                if up {
+                    self.port_down[w] &= !(1u64 << bit);
+                } else {
+                    self.port_down[w] |= 1u64 << bit;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_port_down(&self, port: u32) -> bool {
+        self.port_down[port as usize / 64] >> (port % 64) & 1 == 1
+    }
+
+    /// Schedules the control plane's reaction to a link-state change, if
+    /// detection is enabled. A burst of simultaneous changes (a router
+    /// death fails its whole radix at once; a maintenance window kills
+    /// several routers in one timestamp) coalesces into a single
+    /// `RepairTick`: the repair pass runs once per event batch, over the
+    /// full down set, not once per changed link. Every shard schedules
+    /// its own tick from the same replicated event sequence, so the
+    /// replicas stay in lockstep.
+    pub(crate) fn schedule_repair(&mut self, delay: Option<TimePs>) {
+        if let Some(delay) = delay {
+            let at = self.now + delay;
+            if self.repair_at != Some(at) {
+                self.events.push(at, EvKind::RepairTick);
+                self.repair_at = Some(at);
+            }
+        }
+    }
+
+    /// Recomputes the route-repair overlay from the current down set via
+    /// the scheme's [`RoutingScheme::repair_routes`] hook. Dead routers
+    /// need no special plumbing here: their incident links are all in
+    /// the down set, so the repaired tables route around them.
+    fn recompute_repair<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>) {
+        let down = DownLinks::from_links(&self.down_links);
+        self.repair = cx.scheme.repair_routes(&cx.topo.graph, &down);
+    }
+}
+
+/// Drains every shard's outboxes into the destination shards' queues in
+/// the canonical merge order `(time, src_shard, seq)`: destination
+/// shards iterate sources in ascending shard id, each source's messages
+/// stable-sorted by time (the stable sort preserves send order — the
+/// `seq` component — within equal times). The packet is re-allocated in
+/// the destination's arena and its arrival keyed by the canonical
+/// transmission id, so where a packet was buffered never shows in the
+/// event order.
+pub(crate) fn deliver_mailboxes(shards: &mut [Shard]) {
+    let k = shards.len();
+    for d in 0..k {
+        for s in 0..k {
+            if s == d || shards[s].outbox[d].is_empty() {
+                continue;
+            }
+            let mut msgs = std::mem::take(&mut shards[s].outbox[d]);
+            msgs.sort_by_key(|m| m.at);
+            let dst = &mut shards[d];
+            dst.packets.reserve(msgs.len());
+            dst.events.reserve(msgs.len());
+            for m in msgs.drain(..) {
+                let uid = m.pkt.salt;
+                let pid = dst.packets.alloc(m.pkt);
+                let kind = if m.to_is_router {
+                    EvKind::ArriveRouter {
+                        pkt: pid,
+                        router: m.to,
+                    }
+                } else {
+                    EvKind::ArriveEndpoint { pkt: pid, ep: m.to }
+                };
+                dst.events.push_arrival(m.at, kind, uid);
+            }
+            // Hand the emptied buffer back so its capacity is reused.
+            shards[s].outbox[d] = msgs;
+        }
+    }
+}
+
+/// Assigns every router to one of `k` shards (clamped to the router
+/// count). Topologies that publish `Topology::domains` (pods, dragonfly
+/// groups) keep whole domains together — routers outside every domain
+/// (e.g. a fat tree's core) become singleton groups — and the groups
+/// are walked in router-id order and cut into `k` balanced chunks.
+/// Without domains, a BFS order from router 0 is cut into `k` balanced
+/// contiguous chunks, which keeps each shard a connected region on any
+/// topology the BFS can reach.
+pub(crate) fn partition_routers(topo: &Topology, k: usize) -> Vec<u32> {
+    let nr = topo.num_routers();
+    let k = k.clamp(1, nr.max(1));
+    let mut assign = vec![0u32; nr];
+    if k <= 1 {
+        return assign;
+    }
+    let mut in_domain = vec![false; nr];
+    for d in &topo.domains {
+        for r in d.clone() {
+            in_domain[r as usize] = true;
+        }
+    }
+    let mut groups: Vec<(u32, u32)> = topo.domains.iter().map(|d| (d.start, d.end)).collect();
+    for r in 0..nr as u32 {
+        if !in_domain[r as usize] {
+            groups.push((r, r + 1));
+        }
+    }
+    groups.sort_unstable_by_key(|g| g.0);
+    if !topo.domains.is_empty() && groups.len() >= k {
+        let mut idx = 0usize;
+        for (s, e) in groups {
+            let shard = (idx * k / nr) as u32;
+            for r in s..e {
+                assign[r as usize] = shard;
+            }
+            idx += (e - s) as usize;
+        }
+    } else {
+        let order = bfs_order(topo);
+        for (i, &r) in order.iter().enumerate() {
+            assign[r as usize] = (i * k / nr) as u32;
+        }
+    }
+    assign
+}
+
+/// Deterministic BFS visit order over the router graph, restarting from
+/// the lowest unvisited id for disconnected components.
+fn bfs_order(topo: &Topology) -> Vec<u32> {
+    let nr = topo.num_routers();
+    let mut seen = vec![false; nr];
+    let mut order = Vec::with_capacity(nr);
+    let mut q = VecDeque::new();
+    for seed in 0..nr as u32 {
+        if seen[seed as usize] {
+            continue;
+        }
+        seen[seed as usize] = true;
+        q.push_back(seed);
+        while let Some(r) = q.pop_front() {
+            order.push(r);
+            for &nb in topo.graph.neighbors(r) {
+                if !seen[nb as usize] {
+                    seen[nb as usize] = true;
+                    q.push_back(nb);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatpaths_net::topo::fattree::fat_tree;
+    use fatpaths_net::topo::slimfly::slim_fly;
+
+    #[test]
+    fn partition_covers_and_balances_on_bfs_topologies() {
+        // Slim fly publishes no domains, so the BFS path is exercised.
+        let topo = slim_fly(5, 1).unwrap();
+        assert!(topo.domains.is_empty());
+        let k = 4;
+        let assign = partition_routers(&topo, k);
+        assert_eq!(assign.len(), topo.num_routers());
+        let mut counts = vec![0usize; k];
+        for &s in &assign {
+            assert!((s as usize) < k);
+            counts[s as usize] += 1;
+        }
+        let (lo, hi) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        assert!(hi - lo <= 1, "BFS chunks must balance: {counts:?}");
+    }
+
+    #[test]
+    fn partition_keeps_domains_whole() {
+        // Fat trees publish per-pod domains.
+        let topo = fat_tree(8, 1);
+        assert!(!topo.domains.is_empty());
+        let assign = partition_routers(&topo, 4);
+        for d in &topo.domains {
+            let first = assign[d.start as usize];
+            for r in d.clone() {
+                assert_eq!(assign[r as usize], first, "domain {d:?} split");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_clamps_to_router_count() {
+        let topo = slim_fly(5, 1).unwrap();
+        let nr = topo.num_routers();
+        let assign = partition_routers(&topo, nr + 100);
+        let used = assign.iter().map(|&s| s as usize + 1).max().unwrap();
+        assert!(used <= nr);
+        assert_eq!(partition_routers(&topo, 1), vec![0u32; nr]);
+    }
+
+    #[test]
+    fn mailbox_merge_orders_by_time_src_shard_seq() {
+        // Two source shards post into shard 0's mailbox with interleaved
+        // times; the merged queue must order by (time, src_shard, seq),
+        // realized through the canonical per-packet uids.
+        let mut shards: Vec<Shard> = (0..3).map(|i| Shard::new(i, 3, 64, 4)).collect();
+        let mk = |salt: u64| Packet {
+            flow: 0,
+            seq: 0,
+            wire_bytes: 64,
+            kind: PktKind::Ack,
+            layer: 0,
+            trimmed: false,
+            ecn_ce: false,
+            ecn_echo: false,
+            retx: false,
+            dst_router: 0,
+            dst_ep: 0,
+            nonce: 0,
+            salt,
+            suggest_layer: 0xff,
+        };
+        // src shard 2 posts first (push order must not matter), with a
+        // message earlier in time than src shard 1's first.
+        for (src, at, salt) in [(2u32, 10u64, 7u64), (2, 30, 5), (1, 20, 9), (1, 30, 3)] {
+            shards[src as usize].outbox[0].push(OutMsg {
+                at,
+                to: 0,
+                to_is_router: false,
+                pkt: mk(salt),
+            });
+        }
+        deliver_mailboxes(&mut shards);
+        assert!(shards[1].outbox[0].is_empty() && shards[2].outbox[0].is_empty());
+        let mut got = Vec::new();
+        while let Some((t, ev)) = shards[0].events.pop() {
+            let EvKind::ArriveEndpoint { pkt, .. } = ev else {
+                panic!("unexpected event {ev:?}");
+            };
+            got.push((t, shards[0].packets.get(pkt).salt));
+        }
+        // Time dominates; at t=30 the uid (content key) decides, and the
+        // uids were assigned in (src_shard, seq) send order upstream.
+        assert_eq!(got, vec![(10, 7), (20, 9), (30, 3), (30, 5)]);
+    }
+}

@@ -1,6 +1,6 @@
-//! The packet-level simulator: network state (ports, queues, links),
-//! routing/load-balancing decisions, and the event loop. Endpoint
-//! transport logic lives in the crate-internal `ndp` and `tcp` modules.
+//! The packet-level simulator: public facade over the sharded execution
+//! core (`crate::shard`). Endpoint transport logic lives in the
+//! crate-internal `ndp` and `tcp` modules.
 //!
 //! Model (matching htsim's structure, §VII-A6): every link is an output
 //! port with a serializer and a queue; packets are store-and-forward;
@@ -8,187 +8,29 @@
 //! links of the same rate. NDP mode uses shallow data queues with payload
 //! trimming and a priority queue for control/trimmed/retransmitted
 //! packets; TCP mode uses 100-packet tail-drop queues with ECN marking.
+//!
+//! Execution: routers and endpoints are partitioned into K shards
+//! ([`SimConfig::shards`] / `FATPATHS_SHARDS`), each with its own event
+//! queue and packet arena, stepped in conservative-lookahead windows on
+//! the in-tree rayon pool and exchanging boundary packets through
+//! deterministically merged mailboxes. Results are **bit-identical for
+//! every K and every thread count** — see `crate::shard` for the
+//! ordering contract. K = 1 (the default) runs the same windowed loop
+//! on a single queue.
 
-use crate::config::{LoadBalancing, SimConfig, Transport, HDR_BYTES};
-use crate::engine::{EvKind, EventQueue, Packet, PacketSlab, PktKind, TimePs};
+use crate::config::{SimConfig, Transport};
+use crate::engine::{EvKind, TimePs};
 use crate::metrics::{FlowRecord, SimResult};
+use crate::shard::{
+    deliver_mailboxes, partition_routers, Ctx, FlowMeta, Port, RxFlow, Shard, SlotRef, TxFlow,
+};
 use fatpaths_core::fwd::fnv1a;
-use fatpaths_core::repair::{DownLinks, RouteRepair};
 use fatpaths_core::scheme::RoutingScheme;
 use fatpaths_net::fault::FaultPlan;
 use fatpaths_net::topo::Topology;
 use fatpaths_workloads::arrivals::FlowSpec;
+use rayon::prelude::*;
 use std::collections::VecDeque;
-
-pub(crate) struct Port {
-    pub to_is_router: bool,
-    pub to: u32,
-    pub busy: bool,
-    pub data_q: VecDeque<u32>,
-    pub prio_q: VecDeque<u32>,
-}
-
-impl Port {
-    fn new(to_is_router: bool, to: u32) -> Self {
-        Port {
-            to_is_router,
-            to,
-            busy: false,
-            data_q: VecDeque::new(),
-            prio_q: VecDeque::new(),
-        }
-    }
-}
-
-/// Per-flow simulation state shared by both transports.
-pub(crate) struct FlowState {
-    pub src_ep: u32,
-    pub dst_ep: u32,
-    pub src_router: u32,
-    pub dst_router: u32,
-    pub size: u64,
-    pub start: TimePs,
-    pub num_pkts: u32,
-    // receiver progress
-    pub received: Vec<u64>,
-    pub rcv_count: u32,
-    pub rcv_next: u32,
-    pub finished: Option<TimePs>,
-    pub started: bool,
-    // sender progress
-    pub next_new: u32,
-    pub retxq: VecDeque<u32>,
-    pub cum_ack: u32,
-    pub inflight: u32,
-    // load balancing
-    pub layer: u8,
-    pub nonce: u64,
-    pub last_tx: TimePs,
-    pub flowlet_ctr: u32,
-    pub rx_suggest: u8,
-    // counters
-    pub retx_count: u32,
-    pub trims: u32,
-    // TCP congestion state (unused in NDP mode)
-    pub cwnd: f64,
-    pub ssthresh: f64,
-    pub dup_acks: u32,
-    pub in_recovery: bool,
-    pub recovery_until: u32,
-    pub srtt: f64,
-    pub rttvar: f64,
-    pub timed: Option<(u32, TimePs)>,
-    pub rto_gen: u32,
-    pub backoff: u32,
-    // ECN / DCTCP
-    pub ce_marked: u32,
-    pub ce_total: u32,
-    pub alpha: f64,
-    pub window_end: u32,
-    pub cwr: bool,
-    /// A window reduction requested a path switch; applied once the pipe
-    /// is nearly empty (reorder-safe) or at a flowlet gap.
-    pub want_switch: bool,
-    /// Layer the receiver last saw data on; control packets ride it back
-    /// (a layer the forward direction proved alive).
-    pub rx_last_layer: u8,
-    /// MPTCP subflow: layer is pinned, never re-picked.
-    pub pinned_layer: Option<u8>,
-    /// The flow was never injected: its source or destination host sat
-    /// behind a dead router at start time (distinct from `unroutable`,
-    /// which is a property of the network between live hosts).
-    pub host_dead: bool,
-    /// RTOs this flow has burned while one of its endpoints was dead
-    /// (only tracked when `SimConfig::abort_on_host_death` is set).
-    pub dead_rtos: u32,
-    /// The flow was aborted mid-transfer (endpoint died post-injection
-    /// and the RTO budget ran out): terminal — arrivals and timers are
-    /// ignored from then on, like a connection reset.
-    pub aborted: bool,
-    /// Congestion-avoidance increase factor (LIA-style coupling gives each
-    /// of k subflows 1/k aggressiveness; plain TCP uses 1.0).
-    pub ca_scale: f64,
-}
-
-impl FlowState {
-    fn new(spec: &FlowSpec, topo: &Topology, payload: u32) -> Self {
-        let num_pkts = spec.size.div_ceil(payload as u64).max(1) as u32;
-        FlowState {
-            src_ep: spec.src,
-            dst_ep: spec.dst,
-            src_router: topo.endpoint_router(spec.src),
-            dst_router: topo.endpoint_router(spec.dst),
-            size: spec.size,
-            start: spec.start,
-            num_pkts,
-            received: vec![0u64; num_pkts.div_ceil(64) as usize],
-            rcv_count: 0,
-            rcv_next: 0,
-            finished: None,
-            started: false,
-            next_new: 0,
-            retxq: VecDeque::new(),
-            cum_ack: 0,
-            inflight: 0,
-            layer: 0,
-            nonce: 0,
-            last_tx: 0,
-            flowlet_ctr: 0,
-            rx_suggest: 0xff,
-            retx_count: 0,
-            trims: 0,
-            cwnd: 4.0,
-            ssthresh: 1e9,
-            dup_acks: 0,
-            in_recovery: false,
-            recovery_until: 0,
-            srtt: 0.0,
-            rttvar: 0.0,
-            timed: None,
-            rto_gen: 0,
-            backoff: 0,
-            ce_marked: 0,
-            ce_total: 0,
-            alpha: 0.0,
-            window_end: 0,
-            cwr: false,
-            want_switch: false,
-            rx_last_layer: 0,
-            pinned_layer: None,
-            host_dead: false,
-            dead_rtos: 0,
-            aborted: false,
-            ca_scale: 1.0,
-        }
-    }
-
-    pub(crate) fn mark_received(&mut self, seq: u32) -> bool {
-        let (w, b) = ((seq / 64) as usize, seq % 64);
-        if self.received[w] >> b & 1 == 1 {
-            return false;
-        }
-        self.received[w] |= 1 << b;
-        self.rcv_count += 1;
-        while self.rcv_next < self.num_pkts
-            && self.received[(self.rcv_next / 64) as usize] >> (self.rcv_next % 64) & 1 == 1
-        {
-            self.rcv_next += 1;
-        }
-        true
-    }
-
-    pub(crate) fn has_received(&self, seq: u32) -> bool {
-        self.received[(seq / 64) as usize] >> (seq % 64) & 1 == 1
-    }
-
-    pub(crate) fn payload_of(&self, seq: u32, payload: u32) -> u32 {
-        if seq + 1 == self.num_pkts {
-            (self.size - (self.num_pkts as u64 - 1) * payload as u64) as u32
-        } else {
-            payload
-        }
-    }
-}
 
 /// The packet-level simulator. Construct with [`Simulator::new`], inject
 /// flows, and [`Simulator::run`].
@@ -203,59 +45,29 @@ pub struct Simulator<'a, R: RoutingScheme + ?Sized = dyn RoutingScheme + 'a> {
     pub(crate) topo: &'a Topology,
     pub(crate) scheme: &'a R,
     pub(crate) cfg: SimConfig,
-    pub(crate) now: TimePs,
-    pub(crate) events: EventQueue,
-    pub(crate) packets: PacketSlab,
-    pub(crate) flows: Vec<FlowState>,
-    pub(crate) ports: Vec<Port>,
+    /// Immutable per-flow facts, indexed by flow id.
+    meta: Vec<FlowMeta>,
+    /// Flow id → sender-half home (shard of the source router).
+    tx_home: Vec<SlotRef>,
+    /// Flow id → receiver-half home (shard of the destination router).
+    rx_home: Vec<SlotRef>,
     net_base: Vec<u32>,
     down_base: Vec<u32>,
     up_base: u32,
-    // NDP receiver pull pacing, per endpoint.
-    pub(crate) pullq: Vec<VecDeque<u32>>,
-    pub(crate) pull_ready: Vec<TimePs>,
-    pub(crate) salt_ctr: u64,
-    pub(crate) drops: u64,
-    pub(crate) trim_count: u64,
-    pub(crate) unroutable: u64,
-    pub(crate) finished_flows: usize,
-    /// Down-state bitmask, one bit per output port (router net ports
-    /// only ever get set). Replaces the old per-packet hash-set lookup:
-    /// the hot path tests one bit, gated on `down_count != 0`.
-    port_down: Vec<u64>,
-    /// Number of currently-down links (gates the whole failure branch).
-    down_count: u32,
-    /// Currently-down links in canonical form (feeds route repair).
-    /// This is the *effective* set: links failed in their own right
-    /// plus links incident to a dead router.
-    down_links: Vec<(u32, u32)>,
-    /// Links failed in their own right (static failures + `LinkDown`
-    /// events). Kept apart from `down_links` so a reviving router does
-    /// not resurrect a link that was independently cut.
-    link_failed: rustc_hash::FxHashSet<(u32, u32)>,
-    /// Per-router dead flag (whole-node failures).
-    router_dead: Vec<bool>,
-    /// Number of currently-dead routers (gates the dead-router branch
-    /// on the packet arrival path).
-    dead_router_count: u32,
-    /// Flows never injected because an endpoint was behind a dead
-    /// router at start time.
-    host_dead: u64,
-    /// Time of the currently scheduled repair pass, if any: a burst of
-    /// simultaneous link-state changes (a router death, a maintenance
-    /// window) coalesces into *one* `RepairTick` — one repair pass per
-    /// event batch, not one per link.
-    repair_at: Option<TimePs>,
-    /// Scheme-computed repaired rows, installed one detection delay
-    /// after each link-state change (empty until then).
-    repair: RouteRepair,
-    /// One record per executed repair pass (time, overlay rows, FIB
-    /// rows) — the control-plane work log surfaced in `SimResult`.
-    repair_log: Vec<crate::metrics::RepairTickRecord>,
+    /// Global port id → owning shard + local index.
+    port_home: Vec<SlotRef>,
+    /// Endpoint id → owning shard + local pull-queue index.
+    ep_home: Vec<SlotRef>,
+    /// Router id → owning shard.
+    router_shard: Vec<u32>,
+    pub(crate) shards: Vec<Shard>,
 }
 
 impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
-    /// Builds the network state for `topo` routed by `scheme`.
+    /// Builds the network state for `topo` routed by `scheme`,
+    /// partitioned into [`SimConfig::shards`] regions (resolved against
+    /// the `FATPATHS_SHARDS` environment variable when 0, clamped to
+    /// the router count).
     pub fn new(topo: &'a Topology, scheme: &'a R, cfg: SimConfig) -> Self {
         assert!(
             scheme.num_layers() >= 1,
@@ -263,54 +75,102 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
         );
         let nr = topo.num_routers();
         let ne = topo.num_endpoints();
-        let mut ports = Vec::new();
+        let router_shard = partition_routers(topo, cfg.resolved_shards());
+        // Shard count = highest shard actually used: a coarse domain
+        // walk may occupy fewer shards than requested.
+        let k = router_shard
+            .iter()
+            .map(|&s| s as usize + 1)
+            .max()
+            .unwrap_or(1);
+
+        // Global port layout (identical to the pre-shard simulator): per
+        // router its net ports in graph-neighbor order then its endpoint
+        // down-ports, then all endpoint NIC up-ports. Each port is owned
+        // by its router's (resp. endpoint's router's) shard.
+        let n_ports_total = {
+            let mut n = 0usize;
+            for r in 0..nr as u32 {
+                n += topo.graph.neighbors(r).len() + topo.router_endpoints(r).len();
+            }
+            n + ne
+        };
+        let mut shards: Vec<Shard> = (0..k as u32)
+            .map(|i| Shard::new(i, k, n_ports_total, nr))
+            .collect();
+        let mut port_home = Vec::with_capacity(n_ports_total);
         let mut net_base = Vec::with_capacity(nr);
         let mut down_base = Vec::with_capacity(nr);
+        fn push_port(shards: &mut [Shard], port_home: &mut Vec<SlotRef>, shard: u32, p: Port) {
+            let sh = &mut shards[shard as usize];
+            port_home.push(SlotRef {
+                shard,
+                idx: sh.ports.len() as u32,
+            });
+            sh.ports.push(p);
+        }
         for r in 0..nr as u32 {
-            net_base.push(ports.len() as u32);
+            let shard = router_shard[r as usize];
+            net_base.push(port_home.len() as u32);
             for &nb in topo.graph.neighbors(r) {
-                ports.push(Port::new(true, nb));
+                push_port(&mut shards, &mut port_home, shard, Port::new(true, nb));
             }
-            down_base.push(ports.len() as u32);
+            down_base.push(port_home.len() as u32);
             for e in topo.router_endpoints(r) {
-                ports.push(Port::new(false, e));
+                push_port(&mut shards, &mut port_home, shard, Port::new(false, e));
             }
         }
-        let up_base = ports.len() as u32;
+        let up_base = port_home.len() as u32;
+        let mut ep_home = Vec::with_capacity(ne);
         for e in 0..ne as u32 {
-            ports.push(Port::new(true, topo.endpoint_router(e)));
+            let r = topo.endpoint_router(e);
+            let shard = router_shard[r as usize];
+            push_port(&mut shards, &mut port_home, shard, Port::new(true, r));
+            let sh = &mut shards[shard as usize];
+            ep_home.push(SlotRef {
+                shard,
+                idx: sh.pullq.len() as u32,
+            });
+            sh.pullq.push(VecDeque::new());
+            sh.pull_ready.push(0);
         }
-        let down_words = ports.len().div_ceil(64);
         Simulator {
             topo,
             scheme,
             cfg,
-            now: 0,
-            events: EventQueue::default(),
-            packets: PacketSlab::default(),
-            flows: Vec::new(),
-            ports,
+            meta: Vec::new(),
+            tx_home: Vec::new(),
+            rx_home: Vec::new(),
             net_base,
             down_base,
             up_base,
-            pullq: vec![VecDeque::new(); ne],
-            pull_ready: vec![0; ne],
-            salt_ctr: 0,
-            drops: 0,
-            trim_count: 0,
-            unroutable: 0,
-            finished_flows: 0,
-            port_down: vec![0u64; down_words],
-            down_count: 0,
-            down_links: Vec::new(),
-            link_failed: rustc_hash::FxHashSet::default(),
-            router_dead: vec![false; nr],
-            dead_router_count: 0,
-            host_dead: 0,
-            repair_at: None,
-            repair: RouteRepair::none(),
-            repair_log: Vec::new(),
+            port_home,
+            ep_home,
+            router_shard,
+            shards,
         }
+    }
+
+    /// Builds the shared read-only context and hands it to `f` together
+    /// with the shards — the split-borrow point every execution path
+    /// goes through.
+    pub(crate) fn with_parts<T>(&mut self, f: impl FnOnce(&Ctx<'_, R>, &mut [Shard]) -> T) -> T {
+        let cx = Ctx {
+            topo: self.topo,
+            scheme: self.scheme,
+            cfg: self.cfg,
+            meta: &self.meta,
+            tx_home: &self.tx_home,
+            rx_home: &self.rx_home,
+            net_base: &self.net_base,
+            down_base: &self.down_base,
+            up_base: self.up_base,
+            port_home: &self.port_home,
+            ep_home: &self.ep_home,
+            router_shard: &self.router_shard,
+            n_layers: self.scheme.num_layers(),
+        };
+        f(&cx, &mut self.shards)
     }
 
     /// Fails the bidirectional link `{u, v}` from `t = 0` (§V-G): packets
@@ -331,170 +191,140 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
     /// [`SimConfig::detection_delay`] is set — a repair of the routing
     /// state is scheduled one delay after each change (batched: any
     /// number of simultaneous changes trigger exactly one repair pass).
+    ///
+    /// Fault state is *replicated*: the statics are applied to, and the
+    /// timed events pushed into, **every** shard, so each shard plays
+    /// the identical fault sequence against its own replica (see
+    /// `crate::shard`).
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
-        for &(u, v) in plan.static_failures() {
-            self.fail_link_now(u, v);
-        }
-        for &r in plan.static_router_failures() {
-            self.set_router_state(r, false);
-        }
-        if plan.num_static() + plan.num_static_routers() > 0 {
-            self.schedule_repair();
-        }
-        for ev in plan.events() {
-            let kind = if ev.up {
-                EvKind::LinkUp { u: ev.u, v: ev.v }
-            } else {
-                EvKind::LinkDown { u: ev.u, v: ev.v }
-            };
-            self.events.push(ev.at, kind);
-        }
-        for ev in plan.router_events() {
-            let kind = if ev.up {
-                EvKind::RouterUp { router: ev.router }
-            } else {
-                EvKind::RouterDown { router: ev.router }
-            };
-            self.events.push(ev.at, kind);
-        }
-    }
-
-    /// Fails link `{u, v}` in its own right (static failure or a
-    /// `LinkDown` event): recorded in `link_failed` so a later router
-    /// revival does not resurrect it.
-    fn fail_link_now(&mut self, u: u32, v: u32) {
-        self.link_failed.insert((u.min(v), u.max(v)));
-        self.set_link_state(u, v, false);
-    }
-
-    /// Clears link `{u, v}`'s own failure; the link comes back only if
-    /// neither endpoint router is dead.
-    fn restore_link_now(&mut self, u: u32, v: u32) {
-        self.link_failed.remove(&(u.min(v), u.max(v)));
-        if !self.router_dead[u as usize] && !self.router_dead[v as usize] {
-            self.set_link_state(u, v, true);
-        }
-    }
-
-    /// Flips router `r`'s state. Death atomically fails every incident
-    /// link; revival restores exactly the incident links whose other end
-    /// is alive and not independently failed. Idempotent.
-    fn set_router_state(&mut self, r: u32, up: bool) {
-        if self.router_dead[r as usize] != up {
-            return; // already in that state (dead == !up)
-        }
         let topo = self.topo;
-        if up {
-            self.router_dead[r as usize] = false;
-            self.dead_router_count -= 1;
-            for &nb in topo.graph.neighbors(r) {
-                if !self.router_dead[nb as usize]
-                    && !self.link_failed.contains(&(r.min(nb), r.max(nb)))
-                {
-                    self.set_link_state(r, nb, true);
-                }
+        let delay = self.cfg.detection_delay;
+        let net_base = &self.net_base;
+        for sh in &mut self.shards {
+            for &(u, v) in plan.static_failures() {
+                sh.fail_link_now(topo, net_base, u, v);
             }
-        } else {
-            self.router_dead[r as usize] = true;
-            self.dead_router_count += 1;
-            for &nb in topo.graph.neighbors(r) {
-                self.set_link_state(r, nb, false);
+            for &r in plan.static_router_failures() {
+                sh.set_router_state(topo, net_base, r, false);
             }
-        }
-    }
-
-    /// Flips the state of link `{u, v}` (both directions). Idempotent.
-    fn set_link_state(&mut self, u: u32, v: u32, up: bool) {
-        assert!(self.topo.graph.has_edge(u, v), "no such link");
-        let key = (u.min(v), u.max(v));
-        let was_down = self.down_links.contains(&key);
-        if up == was_down {
-            // State actually changes.
-            if up {
-                self.down_links.retain(|&k| k != key);
-                self.down_count -= 1;
-            } else {
-                self.down_links.push(key);
-                self.down_count += 1;
+            if plan.num_static() + plan.num_static_routers() > 0 {
+                sh.schedule_repair(delay);
             }
-            for (a, b) in [(u, v), (v, u)] {
-                let port = self.net_base[a as usize]
-                    + self.topo.graph.port_of(a, b).expect("checked has_edge");
-                let (w, bit) = (port as usize / 64, port % 64);
-                if up {
-                    self.port_down[w] &= !(1u64 << bit);
+            for ev in plan.events() {
+                let kind = if ev.up {
+                    EvKind::LinkUp { u: ev.u, v: ev.v }
                 } else {
-                    self.port_down[w] |= 1u64 << bit;
-                }
+                    EvKind::LinkDown { u: ev.u, v: ev.v }
+                };
+                sh.events.push(ev.at, kind);
+            }
+            for ev in plan.router_events() {
+                let kind = if ev.up {
+                    EvKind::RouterUp { router: ev.router }
+                } else {
+                    EvKind::RouterDown { router: ev.router }
+                };
+                sh.events.push(ev.at, kind);
             }
         }
-    }
-
-    #[inline]
-    fn is_port_down(&self, port: u32) -> bool {
-        self.port_down[port as usize / 64] >> (port % 64) & 1 == 1
-    }
-
-    /// Schedules the control plane's reaction to a link-state change, if
-    /// detection is enabled. A burst of simultaneous changes (a router
-    /// death fails its whole radix at once; a maintenance window kills
-    /// several routers in one timestamp) coalesces into a single
-    /// `RepairTick`: the repair pass runs once per event batch, over the
-    /// full down set, not once per changed link.
-    fn schedule_repair(&mut self) {
-        if let Some(delay) = self.cfg.detection_delay {
-            let at = self.now + delay;
-            if self.repair_at != Some(at) {
-                self.events.push(at, EvKind::RepairTick);
-                self.repair_at = Some(at);
-            }
-        }
-    }
-
-    /// Recomputes the route-repair overlay from the current down set via
-    /// the scheme's [`RoutingScheme::repair_routes`] hook. Dead routers
-    /// need no special plumbing here: their incident links are all in
-    /// the down set, so the repaired tables route around them.
-    fn recompute_repair(&mut self) {
-        let down = DownLinks::from_links(&self.down_links);
-        self.repair = self.scheme.repair_routes(&self.topo.graph, &down);
     }
 
     /// Packets dropped because routing had no live candidate port
-    /// (destination unreachable in the degraded network).
+    /// (destination unreachable in the degraded network). Summed over
+    /// shards in shard order.
     pub fn unroutable_drops(&self) -> u64 {
-        self.unroutable
+        self.shards.iter().map(|s| s.unroutable).sum()
     }
 
     /// Flows never injected because their source or destination host
     /// sat behind a dead router at start time.
     pub fn host_dead_flows(&self) -> u64 {
-        self.host_dead
+        self.shards.iter().map(|s| s.host_dead).sum()
     }
 
-    /// True iff router `r` is currently dead.
+    /// True iff router `r` is currently dead (read from shard 0's
+    /// replica; all replicas are identical by construction).
     pub fn router_is_dead(&self, r: u32) -> bool {
-        self.router_dead[r as usize]
+        self.shards[0].router_dead[r as usize]
     }
 
     /// True iff link `{u, v}` is currently down — failed in its own
     /// right or incident to a dead router.
     pub fn link_is_down(&self, u: u32, v: u32) -> bool {
-        self.down_links.contains(&(u.min(v), u.max(v)))
+        self.shards[0].down_links.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Registers a flow's halves on their home shards and schedules its
+    /// start event on the sender's shard.
+    fn push_flow(&mut self, m: FlowMeta, start: TimePs) -> u32 {
+        let id = self.meta.len() as u32;
+        let ts = self.router_shard[m.src_router as usize];
+        let rs = self.router_shard[m.dst_router as usize];
+        let tsh = &mut self.shards[ts as usize];
+        self.tx_home.push(SlotRef {
+            shard: ts,
+            idx: tsh.tx.len() as u32,
+        });
+        tsh.tx.push(TxFlow::new(&m));
+        tsh.events.push(start, EvKind::FlowStart { flow: id });
+        let rsh = &mut self.shards[rs as usize];
+        self.rx_home.push(SlotRef {
+            shard: rs,
+            idx: rsh.rx.len() as u32,
+        });
+        rsh.rx.push(RxFlow::new(&m));
+        self.meta.push(m);
+        id
+    }
+
+    /// Pre-sizes each shard's flow, event, and packet arenas from the
+    /// incoming spec counts (one allocation instead of doubling growth
+    /// through the hot loop).
+    fn reserve_for(&mut self, specs: &[FlowSpec]) {
+        let k = self.shards.len();
+        let mut ntx = vec![0usize; k];
+        let mut nrx = vec![0usize; k];
+        for spec in specs {
+            let ts = self.router_shard[self.topo.endpoint_router(spec.src) as usize];
+            let rs = self.router_shard[self.topo.endpoint_router(spec.dst) as usize];
+            ntx[ts as usize] += 1;
+            nrx[rs as usize] += 1;
+        }
+        let win = match self.cfg.transport {
+            Transport::Ndp { initial_window, .. } => initial_window.min(16) as usize,
+            Transport::Tcp { .. } => 4,
+        };
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            sh.tx.reserve(ntx[i]);
+            sh.rx.reserve(nrx[i]);
+            // Each sender holds a start event plus roughly a window of
+            // in-flight events; receivers hold arrivals and pull ticks.
+            sh.events.reserve(ntx[i].saturating_mul(2) + nrx[i]);
+            sh.packets.reserve(ntx[i].saturating_mul(win) + nrx[i]);
+        }
+        self.meta.reserve(specs.len());
+        self.tx_home.reserve(specs.len());
+        self.rx_home.reserve(specs.len());
     }
 
     /// Registers flows (any order); they start at their spec times.
     pub fn add_flows(&mut self, specs: &[FlowSpec]) {
         let payload = self.cfg.transport.payload();
+        self.reserve_for(specs);
         for spec in specs {
             assert_ne!(spec.src, spec.dst, "self-flow");
-            let id = self.flows.len() as u32;
-            let mut fs = FlowState::new(spec, self.topo, payload);
+            let id = self.meta.len() as u32;
             // Initial layer / nonce: deterministic per flow.
-            fs.nonce = fnv1a(0x5151 ^ id as u64);
-            fs.layer = 0;
-            self.flows.push(fs);
-            self.events.push(spec.start, EvKind::FlowStart { flow: id });
+            let m = FlowMeta::new(
+                spec,
+                self.topo,
+                payload,
+                fnv1a(0x5151 ^ id as u64),
+                0,
+                None,
+                1.0,
+            );
+            self.push_flow(m, spec.start);
         }
     }
 
@@ -509,7 +339,7 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             matches!(self.cfg.transport, Transport::Tcp { .. }),
             "MPTCP runs on the TCP transport"
         );
-        let subflows = subflows.clamp(1, self.n_layers() as u32);
+        let subflows = subflows.clamp(1, self.scheme.num_layers() as u32);
         let payload = self.cfg.transport.payload();
         let mut groups = Vec::with_capacity(specs.len());
         for spec in specs {
@@ -528,14 +358,17 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                     continue;
                 }
                 let sub = FlowSpec { size, ..*spec };
-                let id = self.flows.len() as u32;
-                let mut fs = FlowState::new(&sub, self.topo, payload);
-                fs.nonce = fnv1a(0x3333 ^ id as u64);
-                fs.layer = k as u8;
-                fs.pinned_layer = Some(k as u8);
-                fs.ca_scale = 1.0 / subflows as f64;
-                self.flows.push(fs);
-                self.events.push(sub.start, EvKind::FlowStart { flow: id });
+                let id = self.meta.len() as u32;
+                let m = FlowMeta::new(
+                    &sub,
+                    self.topo,
+                    payload,
+                    fnv1a(0x3333 ^ id as u64),
+                    k as u8,
+                    Some(k as u8),
+                    1.0 / subflows as f64,
+                );
+                self.push_flow(m, sub.start);
                 group.push(id);
             }
             groups.push(group);
@@ -544,496 +377,91 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
     }
 
     /// Runs to completion (or the horizon) and returns per-flow records.
+    ///
+    /// The driver loop: find the earliest pending event across shards,
+    /// step every shard through the window `[t0, t0 + L)` (in parallel
+    /// for K > 1 — lookahead `L` = link latency guarantees window
+    /// independence), then deliver the cross-shard mailboxes in
+    /// canonical `(time, src_shard, seq)` order. Terminates when every
+    /// flow is resolved (completed, aborted, or host-dead), the queues
+    /// drain, or the horizon passes.
     pub fn run(mut self) -> SimResult {
-        let total = self.flows.len();
-        while let Some((t, ev)) = self.events.pop() {
-            if self.cfg.horizon > 0 && t > self.cfg.horizon {
-                break;
+        let total = self.meta.len();
+        self.with_parts(|cx, shards| {
+            let horizon = cx.cfg.horizon;
+            let lookahead = cx.cfg.link_latency.max(1);
+            let k = shards.len();
+            let mut resolved_bits = vec![0u64; total.div_ceil(64)];
+            let mut resolved = 0usize;
+            loop {
+                for sh in shards.iter_mut() {
+                    for f in sh.resolved.drain(..) {
+                        let (w, b) = ((f / 64) as usize, f % 64);
+                        if resolved_bits[w] >> b & 1 == 0 {
+                            resolved_bits[w] |= 1 << b;
+                            resolved += 1;
+                        }
+                    }
+                }
+                if total > 0 && resolved >= total {
+                    break;
+                }
+                if k > 1 {
+                    deliver_mailboxes(shards);
+                }
+                let Some(t0) = shards.iter().filter_map(|s| s.events.peek_time()).min() else {
+                    break;
+                };
+                if horizon > 0 && t0 > horizon {
+                    break;
+                }
+                let w_end = t0.saturating_add(lookahead);
+                if k == 1 {
+                    shards[0].run_window(cx, w_end, horizon);
+                } else {
+                    shards
+                        .par_chunks_mut(1)
+                        .for_each(|c| c[0].run_window(cx, w_end, horizon));
+                }
             }
-            self.now = t;
-            self.dispatch(ev);
-            if self.finished_flows == total {
-                break;
-            }
-        }
-        let end_time = self.now;
-        let flows = self
-            .flows
-            .iter()
-            .map(|f| FlowRecord {
-                size: f.size,
-                start: f.start,
-                finish: f.finished,
-                retx: f.retx_count,
-                trims: f.trims,
-                host_dead: f.host_dead,
-                aborted: f.aborted,
+        });
+        // Deterministic shard-merged assembly: per-flow records in flow-id
+        // order, counters summed in shard order, repair log from shard
+        // 0's replica (all replicas are identical — debug-asserted).
+        let flows = (0..total)
+            .map(|i| {
+                let m = &self.meta[i];
+                let th = self.tx_home[i];
+                let rh = self.rx_home[i];
+                let tx = &self.shards[th.shard as usize].tx[th.idx as usize];
+                let rx = &self.shards[rh.shard as usize].rx[rh.idx as usize];
+                FlowRecord {
+                    size: m.size,
+                    start: m.start,
+                    finish: rx.finished,
+                    retx: tx.retx_count,
+                    trims: rx.trims,
+                    host_dead: tx.host_dead,
+                    // Completion wins over a post-delivery abort: if every
+                    // byte arrived, the transfer succeeded.
+                    aborted: tx.aborted && rx.finished.is_none(),
+                }
             })
             .collect();
+        let end_time = self.shards.iter().map(|s| s.last_t).max().unwrap_or(0);
+        debug_assert!(
+            self.shards
+                .iter()
+                .all(|s| s.repair_log == self.shards[0].repair_log),
+            "replicated repair logs diverged across shards"
+        );
         SimResult {
             flows,
-            drops: self.drops,
-            trims: self.trim_count,
-            unroutable: self.unroutable,
+            drops: self.shards.iter().map(|s| s.drops).sum(),
+            trims: self.shards.iter().map(|s| s.trim_count).sum(),
+            unroutable: self.shards.iter().map(|s| s.unroutable).sum(),
             end_time,
-            repair_log: self.repair_log,
-        }
-    }
-
-    fn dispatch(&mut self, ev: EvKind) {
-        match ev {
-            EvKind::FlowStart { flow } => self.on_flow_start(flow),
-            EvKind::PortPop { port } => {
-                self.ports[port as usize].busy = false;
-                self.port_try_start(port);
-            }
-            EvKind::ArriveRouter { pkt, router } => self.on_router_arrive(router, pkt),
-            EvKind::ArriveEndpoint { pkt, ep } => self.on_endpoint_arrive(ep, pkt),
-            EvKind::PullTick { ep } => self.on_pull_tick(ep),
-            EvKind::RtoTimer { flow, gen } => self.on_rto(flow, gen),
-            EvKind::LinkDown { u, v } => {
-                self.fail_link_now(u, v);
-                self.schedule_repair();
-            }
-            EvKind::LinkUp { u, v } => {
-                self.restore_link_now(u, v);
-                self.schedule_repair();
-            }
-            EvKind::RouterDown { router } => {
-                self.set_router_state(router, false);
-                self.schedule_repair();
-            }
-            EvKind::RouterUp { router } => {
-                self.set_router_state(router, true);
-                self.schedule_repair();
-            }
-            EvKind::RepairTick => {
-                if self.repair_at == Some(self.now) {
-                    self.repair_at = None;
-                }
-                self.recompute_repair();
-                self.repair_log.push(crate::metrics::RepairTickRecord {
-                    at: self.now,
-                    rows: self.repair.len() as u64,
-                    fib_rows: self.repair.fib_rows_rewritten,
-                });
-            }
-        }
-    }
-
-    fn on_flow_start(&mut self, flow: u32) {
-        if self.dead_router_count != 0 {
-            let f = &self.flows[flow as usize];
-            if self.router_dead[f.src_router as usize] || self.router_dead[f.dst_router as usize] {
-                // Workload filtering for whole-node failures: a flow
-                // whose host is dead at start time is excluded and
-                // accounted `host_dead` — it is not the network's
-                // failure to deliver (`unroutable`), the host itself is
-                // gone.
-                self.flows[flow as usize].host_dead = true;
-                self.host_dead += 1;
-                self.finished_flows += 1;
-                return;
-            }
-        }
-        self.flows[flow as usize].started = true;
-        match self.cfg.transport {
-            Transport::Ndp { initial_window, .. } => self.ndp_start(flow, initial_window),
-            Transport::Tcp { .. } => self.tcp_start(flow),
-        }
-    }
-
-    // ---- link layer -----------------------------------------------------
-
-    /// Enqueues a packet at a router output port, applying the queue
-    /// policy (trim / drop / mark).
-    pub(crate) fn router_enqueue(&mut self, port: u32, pid: u32) {
-        match self.cfg.transport {
-            Transport::Ndp { queue_pkts, .. } => {
-                let (is_data, is_retx) = {
-                    let p = self.packets.get(pid);
-                    (p.kind == PktKind::Data && !p.trimmed, p.retx)
-                };
-                let q = &mut self.ports[port as usize];
-                if is_data {
-                    if (q.data_q.len() as u32) < queue_pkts {
-                        // Retransmissions jump the data queue (they unblock
-                        // stalled receivers, §III-C) but still count against
-                        // the shallow limit — a payload is a payload.
-                        if is_retx {
-                            q.data_q.push_front(pid);
-                        } else {
-                            q.data_q.push_back(pid);
-                        }
-                    } else {
-                        // Trim: drop payload, keep the header, prioritize.
-                        let p = self.packets.get_mut(pid);
-                        p.trimmed = true;
-                        p.wire_bytes = HDR_BYTES;
-                        self.trim_count += 1;
-                        self.push_prio_bounded(port, pid);
-                    }
-                } else {
-                    self.push_prio_bounded(port, pid);
-                }
-            }
-            Transport::Tcp {
-                queue_pkts,
-                ecn_threshold,
-                ..
-            } => {
-                let q = &mut self.ports[port as usize];
-                let depth = q.data_q.len() as u32;
-                if depth >= queue_pkts {
-                    self.drops += 1;
-                    self.packets.release(pid);
-                    return;
-                }
-                if depth >= ecn_threshold {
-                    self.packets.get_mut(pid).ecn_ce = true;
-                }
-                self.ports[port as usize].data_q.push_back(pid);
-            }
-        }
-        self.port_try_start(port);
-    }
-
-    fn push_prio_bounded(&mut self, port: u32, pid: u32) {
-        let q = &mut self.ports[port as usize];
-        if q.prio_q.len() >= 1024 {
-            self.drops += 1;
-            self.packets.release(pid);
-        } else {
-            q.prio_q.push_back(pid);
-        }
-    }
-
-    /// Enqueues onto an endpoint NIC (no drops: window-bounded).
-    pub(crate) fn nic_enqueue(&mut self, ep: u32, pid: u32) {
-        let port = self.up_base + ep;
-        let is_control = self.packets.get(pid).kind != PktKind::Data;
-        let q = &mut self.ports[port as usize];
-        if is_control {
-            q.prio_q.push_back(pid);
-        } else {
-            q.data_q.push_back(pid);
-        }
-        self.port_try_start(port);
-    }
-
-    fn port_try_start(&mut self, port: u32) {
-        let (pid, to_is_router, to) = {
-            let q = &mut self.ports[port as usize];
-            if q.busy {
-                return;
-            }
-            let Some(pid) = q.prio_q.pop_front().or_else(|| q.data_q.pop_front()) else {
-                return;
-            };
-            q.busy = true;
-            (pid, q.to_is_router, q.to)
-        };
-        let bytes = self.packets.get(pid).wire_bytes;
-        let ser = self.cfg.ser_time(bytes);
-        self.events.push(self.now + ser, EvKind::PortPop { port });
-        let arrive = self.now + ser + self.cfg.link_latency;
-        if to_is_router {
-            self.events.push(
-                arrive,
-                EvKind::ArriveRouter {
-                    pkt: pid,
-                    router: to,
-                },
-            );
-        } else {
-            self.events
-                .push(arrive, EvKind::ArriveEndpoint { pkt: pid, ep: to });
-        }
-    }
-
-    // ---- routing ---------------------------------------------------------
-
-    fn on_router_arrive(&mut self, r: u32, pid: u32) {
-        if self.dead_router_count != 0 && self.router_dead[r as usize] {
-            // The router died while this packet was in flight toward it
-            // (or a local endpoint is still draining its NIC): a dead
-            // router forwards nothing.
-            self.drops += 1;
-            self.packets.release(pid);
-            return;
-        }
-        let (dst_router, dst_ep, layer) = {
-            let p = self.packets.get(pid);
-            (p.dst_router, p.dst_ep, p.layer)
-        };
-        // Per-hop layer rewrite (Valiant phase switch; identity for
-        // single-phase schemes).
-        if dst_router != r {
-            let nl = self.scheme.update_layer(layer, r, dst_router);
-            if nl != layer {
-                self.packets.get_mut(pid).layer = nl;
-            }
-        }
-        let port = if dst_router == r {
-            let first = self.topo.router_endpoints(r).start;
-            self.down_base[r as usize] + (dst_ep - first)
-        } else {
-            let Some(sel) = self.select_port(r, pid) else {
-                // No live candidate port: the destination is unreachable
-                // from here in the degraded network.
-                self.unroutable += 1;
-                self.packets.release(pid);
-                return;
-            };
-            let port = self.net_base[r as usize] + sel as u32;
-            if self.down_count != 0 && self.is_port_down(port) {
-                // Link down (not yet repaired, or the scheme cannot
-                // repair): the packet is lost; end-to-end recovery
-                // redirects the flow to another layer (§V-G).
-                self.drops += 1;
-                self.packets.release(pid);
-                return;
-            }
-            port
-        };
-        self.router_enqueue(port, pid);
-    }
-
-    fn select_port(&mut self, r: u32, pid: u32) -> Option<u16> {
-        let p = *self.packets.get(pid);
-        // Repaired rows (installed one detection delay after link-state
-        // changes) shadow the scheme's original tables.
-        let repaired_row = if self.repair.is_empty() {
-            None
-        } else {
-            self.repair.lookup(p.layer, r, p.dst_router)
-        };
-        let scheme_row;
-        let cands: &[u16] = match repaired_row {
-            Some(e) => e.as_slice(),
-            None => {
-                scheme_row = self.scheme.candidate_ports(p.layer, r, p.dst_router);
-                scheme_row.as_slice()
-            }
-        };
-        debug_assert!(
-            !cands.is_empty() || self.down_count != 0 || !self.repair.is_empty(),
-            "destination unreachable on a healthy network"
-        );
-        if cands.is_empty() {
-            return None;
-        }
-        if cands.len() == 1 {
-            // Single-path layer (FatPaths tables, SPAIN, PAST, …): load
-            // balancing happens across layers, not candidates.
-            return Some(cands[0]);
-        }
-        let len = cands.len() as u64;
-        Some(match self.cfg.lb {
-            // NDP's spraying cycles each flow round-robin over the
-            // candidate ports (per hop, offset by a flow/router hash):
-            // smooth arrivals keep 8-packet queues stable at ρ→1,
-            // where random spraying would trim persistently.
-            // Retransmissions re-roll on their salt so a packet
-            // never re-walks into a failed or congested port.
-            LoadBalancing::PacketSpray => {
-                if p.retx {
-                    cands[(fnv1a(p.salt ^ r as u64) % len) as usize]
-                } else {
-                    let off = fnv1a(((p.flow as u64) << 32) ^ r as u64);
-                    cands[((p.seq as u64 + off) % len) as usize]
-                }
-            }
-            _ => cands[(fnv1a(p.nonce ^ ((r as u64) << 20)) % len) as usize],
-        })
-    }
-
-    // ---- shared endpoint helpers ------------------------------------------
-
-    /// Number of endpoint-selectable routing layers (1 when minimal-only).
-    pub(crate) fn n_layers(&self) -> usize {
-        self.scheme.num_layers()
-    }
-
-    /// Applies source-side flowlet logic before a data transmission:
-    /// after a gap > `flowlet_gap`, re-pick the layer (FatPaths) or the
-    /// nonce (LetFlow). ECMP keeps everything static; spraying ignores it.
-    ///
-    /// A ≥ gap pause implies the pipe has drained (the gap exceeds the
-    /// RTT), so switching paths at a gap cannot reorder — LetFlow's core
-    /// argument, which also protects the TCP modes from spurious
-    /// dup-ACK retransmissions after a layer change.
-    pub(crate) fn flowlet_update(&mut self, flow: u32) {
-        let gap = self.cfg.flowlet_gap;
-        let n_layers = self.n_layers();
-        let lb = self.cfg.lb;
-        let now = self.now;
-        let f = &mut self.flows[flow as usize];
-        if f.pinned_layer.is_some() {
-            f.last_tx = now;
-            return;
-        }
-        if f.last_tx != 0 && now.saturating_sub(f.last_tx) > gap {
-            f.flowlet_ctr += 1;
-            match lb {
-                LoadBalancing::FatPathsLayers => {
-                    f.layer = (fnv1a(((flow as u64) << 20) ^ f.flowlet_ctr as u64)
-                        % n_layers as u64) as u8;
-                }
-                LoadBalancing::LetFlow => {
-                    f.nonce = fnv1a(((flow as u64) << 21) ^ f.flowlet_ctr as u64);
-                }
-                _ => {}
-            }
-        }
-        f.last_tx = now;
-    }
-
-    /// Crafts and sends one data packet of `flow` with sequence `seq`.
-    pub(crate) fn send_data(&mut self, flow: u32, seq: u32, retx: bool) {
-        self.flowlet_update(flow);
-        let payload = self.cfg.transport.payload();
-        self.salt_ctr += 1;
-        let salt = self.salt_ctr;
-        let f = &self.flows[flow as usize];
-        let pkt = Packet {
-            flow,
-            seq,
-            wire_bytes: f.payload_of(seq, payload) + HDR_BYTES,
-            kind: PktKind::Data,
-            layer: f.layer,
-            trimmed: false,
-            ecn_ce: false,
-            ecn_echo: false,
-            retx,
-            dst_router: f.dst_router,
-            dst_ep: f.dst_ep,
-            nonce: f.nonce,
-            salt,
-            suggest_layer: 0xff,
-        };
-        let src = f.src_ep;
-        let pid = self.packets.alloc(pkt);
-        self.nic_enqueue(src, pid);
-    }
-
-    /// Crafts and sends a control packet from the receiver side (`Ack`,
-    /// `Nack`) or sender side — destination chosen by `to_sender`.
-    pub(crate) fn send_control(
-        &mut self,
-        flow: u32,
-        kind: PktKind,
-        seq: u32,
-        to_sender: bool,
-        ecn_echo: bool,
-        suggest: u8,
-    ) {
-        self.salt_ctr += 1;
-        let salt = self.salt_ctr;
-        let f = &self.flows[flow as usize];
-        let (dst_router, dst_ep, src) = if to_sender {
-            (f.src_router, f.src_ep, f.dst_ep)
-        } else {
-            (f.dst_router, f.dst_ep, f.src_ep)
-        };
-        let pkt = Packet {
-            flow,
-            seq,
-            wire_bytes: HDR_BYTES,
-            kind,
-            // Receiver→sender control rides the layer the data came in on
-            // (proven alive in the forward direction); sender→receiver
-            // control uses the flow's current layer.
-            layer: if to_sender { f.rx_last_layer } else { f.layer },
-            trimmed: false,
-            ecn_ce: false,
-            ecn_echo,
-            retx: false,
-            dst_router,
-            dst_ep,
-            nonce: f.nonce,
-            salt,
-            suggest_layer: suggest,
-        };
-        let pid = self.packets.alloc(pkt);
-        self.nic_enqueue(src, pid);
-    }
-
-    /// Marks a flow complete (receiver got every byte). Aborted flows
-    /// stay aborted: late packets delivered after a host revival cannot
-    /// resurrect a reset connection.
-    pub(crate) fn complete_flow(&mut self, flow: u32) {
-        let f = &mut self.flows[flow as usize];
-        if f.finished.is_none() && !f.aborted {
-            f.finished = Some(self.now);
-            self.finished_flows += 1;
-        }
-    }
-
-    fn on_endpoint_arrive(&mut self, ep: u32, pid: u32) {
-        match self.cfg.transport {
-            Transport::Ndp { .. } => self.ndp_on_arrive(ep, pid),
-            Transport::Tcp { .. } => self.tcp_on_arrive(ep, pid),
-        }
-    }
-
-    fn on_pull_tick(&mut self, ep: u32) {
-        self.ndp_pull_tick(ep);
-    }
-
-    fn on_rto(&mut self, flow: u32, gen: u32) {
-        if self.abort_if_host_dead(flow, gen) {
-            return;
-        }
-        match self.cfg.transport {
-            Transport::Ndp { .. } => self.ndp_on_rto(flow, gen),
-            Transport::Tcp { .. } => self.tcp_on_rto(flow, gen),
-        }
-    }
-
-    /// Mid-flow host-death semantics
-    /// ([`SimConfig::abort_on_host_death`]): when an endpoint of an
-    /// in-flight flow is dead at RTO time, the timeout counts against
-    /// the flow's dead-RTO budget; exhausting it aborts the transfer (a
-    /// connection reset — the real-stack outcome, instead of silently
-    /// outwaiting the reboot). Returns `true` when the flow was aborted
-    /// (the timer must not be re-armed or the transport consulted).
-    fn abort_if_host_dead(&mut self, flow: u32, gen: u32) -> bool {
-        let Some(budget) = self.cfg.abort_on_host_death else {
-            return false;
-        };
-        let f = &self.flows[flow as usize];
-        if f.finished.is_some() || f.aborted || !f.started || gen != f.rto_gen {
-            return f.aborted;
-        }
-        let endpoint_dead = self.dead_router_count != 0
-            && (self.router_dead[f.src_router as usize] || self.router_dead[f.dst_router as usize]);
-        let f = &mut self.flows[flow as usize];
-        if !endpoint_dead {
-            // The budget counts *consecutive* RTOs against a dead
-            // endpoint (one outage), so a timeout with both hosts alive
-            // clears it — separate survivable outages must not sum to
-            // an abort (`reset_dead_rtos` clears it on receiver-side
-            // evidence too).
-            f.dead_rtos = 0;
-            return false;
-        }
-        f.dead_rtos += 1;
-        if f.dead_rtos < budget.max(1) {
-            return false; // keep retrying: the transport re-arms the timer
-        }
-        f.aborted = true;
-        self.finished_flows += 1;
-        true
-    }
-
-    /// Clears the consecutive-dead-RTO budget on proof of life: any
-    /// receiver-originated packet reaching the sender means the
-    /// endpoint is (back) up, so a later outage starts a fresh count.
-    #[inline]
-    pub(crate) fn reset_dead_rtos(&mut self, flow: u32) {
-        if self.cfg.abort_on_host_death.is_some() {
-            self.flows[flow as usize].dead_rtos = 0;
+            repair_log: std::mem::take(&mut self.shards[0].repair_log),
         }
     }
 }
@@ -1057,29 +485,39 @@ mod tests {
     #[test]
     fn router_death_and_revival_state_machine() {
         let (topo, rt) = fixture();
-        let mut sim = Simulator::new(&topo, &rt, SimConfig::default());
+        let mut sim = Simulator::new(&topo, &rt, SimConfig::default().shards(1));
         let r = 7u32;
-        let nbs: Vec<u32> = topo.graph.neighbors(r).to_vec();
+        let nbs = topo.graph.neighbors(r);
         let (cut, other_dead) = (nbs[0], nbs[1]);
         // An independent link failure on one incident link, plus a
         // second dead router adjacent to `r`.
-        sim.fail_link_now(r, cut);
-        sim.set_router_state(other_dead, false);
-        sim.set_router_state(r, false);
+        sim.with_parts(|cx, shards| {
+            let sh = &mut shards[0];
+            sh.fail_link_now(cx.topo, cx.net_base, r, cut);
+            sh.set_router_state(cx.topo, cx.net_base, other_dead, false);
+            sh.set_router_state(cx.topo, cx.net_base, r, false);
+        });
         assert!(sim.router_is_dead(r));
-        for &nb in &nbs {
+        for &nb in nbs {
             assert!(sim.link_is_down(r, nb), "incident link {r}-{nb} must die");
         }
-        assert_eq!(sim.down_count as usize, sim.down_links.len());
+        assert_eq!(
+            sim.shards[0].down_count as usize,
+            sim.shards[0].down_links.len()
+        );
         // Idempotent.
-        let n_down = sim.down_count;
-        sim.set_router_state(r, false);
-        assert_eq!(sim.down_count, n_down);
+        let n_down = sim.shards[0].down_count;
+        sim.with_parts(|cx, shards| {
+            shards[0].set_router_state(cx.topo, cx.net_base, r, false);
+        });
+        assert_eq!(sim.shards[0].down_count, n_down);
         // Revival: every incident link returns except the independently
         // cut one and the one into the still-dead neighbor.
-        sim.set_router_state(r, true);
+        sim.with_parts(|cx, shards| {
+            shards[0].set_router_state(cx.topo, cx.net_base, r, true);
+        });
         assert!(!sim.router_is_dead(r));
-        for &nb in &nbs {
+        for &nb in nbs {
             let expect_down = nb == cut || nb == other_dead;
             assert_eq!(
                 sim.link_is_down(r, nb),
@@ -1088,7 +526,9 @@ mod tests {
             );
         }
         // The independently cut link returns only via LinkUp.
-        sim.restore_link_now(r, cut);
+        sim.with_parts(|cx, shards| {
+            shards[0].restore_link_now(cx.topo, cx.net_base, r, cut);
+        });
         assert!(!sim.link_is_down(r, cut));
     }
 
@@ -1100,24 +540,28 @@ mod tests {
         let cfg = SimConfig {
             detection_delay: Some(1_000_000),
             ..SimConfig::default()
-        };
-        let mut sim = Simulator::new(&topo, &rt, cfg);
-        sim.now = 5_000;
-        // A maintenance-window-sized burst: three routers die in the
-        // same instant.
-        for r in [3u32, 9, 14] {
-            sim.dispatch(EvKind::RouterDown { router: r });
         }
-        assert_eq!(
-            sim.events.len(),
-            1,
-            "simultaneous changes must schedule exactly one RepairTick"
-        );
-        // A later batch gets its own tick.
-        sim.now = 9_000;
-        sim.dispatch(EvKind::RouterUp { router: 3 });
-        sim.dispatch(EvKind::RouterUp { router: 9 });
-        assert_eq!(sim.events.len(), 2);
+        .shards(1);
+        let mut sim = Simulator::new(&topo, &rt, cfg);
+        sim.with_parts(|cx, shards| {
+            let sh = &mut shards[0];
+            sh.now = 5_000;
+            // A maintenance-window-sized burst: three routers die in the
+            // same instant.
+            for r in [3u32, 9, 14] {
+                sh.dispatch(cx, EvKind::RouterDown { router: r });
+            }
+            assert_eq!(
+                sh.events.len(),
+                1,
+                "simultaneous changes must schedule exactly one RepairTick"
+            );
+            // A later batch gets its own tick.
+            sh.now = 9_000;
+            sh.dispatch(cx, EvKind::RouterUp { router: 3 });
+            sh.dispatch(cx, EvKind::RouterUp { router: 9 });
+            assert_eq!(sh.events.len(), 2);
+        });
     }
 
     /// Static whole-router failures coalesce with static link failures
@@ -1128,7 +572,8 @@ mod tests {
         let cfg = SimConfig {
             detection_delay: Some(1_000_000),
             ..SimConfig::default()
-        };
+        }
+        .shards(1);
         let mut sim = Simulator::new(&topo, &rt, cfg);
         let e = topo.graph.edge_vec()[0];
         let plan = FaultPlan::none()
@@ -1136,8 +581,29 @@ mod tests {
             .fail_router(20)
             .fail_router(31);
         sim.apply_fault_plan(&plan);
-        assert_eq!(sim.events.len(), 1, "one RepairTick for the static batch");
+        assert_eq!(
+            sim.shards[0].events.len(),
+            1,
+            "one RepairTick for the static batch"
+        );
         assert!(sim.router_is_dead(20) && sim.router_is_dead(31));
         assert!(sim.link_is_down(e.0, e.1));
+    }
+
+    /// The same fault plan replicated into K shards keeps every
+    /// replica's link-state view identical.
+    #[test]
+    fn fault_replicas_agree_across_shards() {
+        let (topo, rt) = fixture();
+        let mut sim = Simulator::new(&topo, &rt, SimConfig::default().shards(4));
+        assert!(sim.shards.len() > 1, "fixture must actually shard");
+        let e = topo.graph.edge_vec()[3];
+        sim.apply_fault_plan(&FaultPlan::none().fail(e.0, e.1).fail_router(5));
+        let reference: Vec<(u32, u32)> = sim.shards[0].down_links.clone();
+        for sh in &sim.shards {
+            assert_eq!(sh.down_links, reference);
+            assert_eq!(sh.dead_router_count, 1);
+            assert!(sh.router_dead[5]);
+        }
     }
 }

@@ -4,10 +4,16 @@
 //! (low-latency datacenter stacks disable delayed ACKs); ACKs carry the
 //! data packet's CE mark as ECE. Window reductions are flowlet boundaries
 //! for FatPaths layer re-selection (§VIII-A1).
+//!
+//! Sharding note: data arrivals run on the receiver's shard against the
+//! [`RxFlow`](crate::shard::RxFlow), ACKs on the sender's shard against
+//! the [`TxFlow`](crate::shard::TxFlow); the cumulative-ACK protocol
+//! already carries everything the sender needs, so no state is read
+//! across the shard boundary.
 
-use crate::config::{LoadBalancing, TcpVariant, Transport};
+use crate::config::{LoadBalancing, SimConfig, TcpVariant, Transport};
 use crate::engine::{EvKind, PktKind, TimePs};
-use crate::simulator::Simulator;
+use crate::shard::{Ctx, Shard};
 use fatpaths_core::fwd::fnv1a;
 use fatpaths_core::scheme::RoutingScheme;
 
@@ -16,85 +22,109 @@ const DCTCP_G: f64 = 1.0 / 16.0;
 /// Initial RTO before the first RTT sample.
 const INITIAL_RTO: TimePs = 1_000_000_000; // 1 ms
 
-impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
-    fn tcp_params(&self) -> (TcpVariant, TimePs) {
-        match self.cfg.transport {
-            Transport::Tcp {
-                variant, min_rto, ..
-            } => (variant, min_rto),
-            _ => unreachable!("tcp handler in non-tcp mode"),
-        }
+fn tcp_params(cfg: &SimConfig) -> (TcpVariant, TimePs) {
+    match cfg.transport {
+        Transport::Tcp {
+            variant, min_rto, ..
+        } => (variant, min_rto),
+        _ => unreachable!("tcp handler in non-tcp mode"),
     }
+}
 
-    pub(crate) fn tcp_start(&mut self, flow: u32) {
-        self.tcp_try_send(flow);
-        self.tcp_arm_rto(flow);
+impl Shard {
+    pub(crate) fn tcp_start<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
+        self.tcp_try_send(cx, flow);
+        self.tcp_arm_rto(cx, flow);
     }
 
     /// Sends while the window allows: retransmissions first, then new data.
-    fn tcp_try_send(&mut self, flow: u32) {
+    fn tcp_try_send<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
+        let ti = cx.tx_idx(flow);
+        let num_pkts = cx.meta(flow).num_pkts;
         loop {
-            let f = &mut self.flows[flow as usize];
-            if f.finished.is_some() {
-                return;
-            }
-            let window = f.cwnd.floor().max(1.0) as u32;
-            if f.inflight >= window {
-                return;
-            }
-            if let Some(seq) = f.retxq.pop_front() {
-                f.inflight += 1;
-                self.send_data(flow, seq, true);
-            } else if f.next_new < f.num_pkts {
-                let seq = f.next_new;
-                f.next_new += 1;
-                f.inflight += 1;
-                if f.timed.is_none() {
-                    f.timed = Some((seq, self.now));
+            let send = {
+                let now = self.now;
+                let f = &mut self.tx[ti];
+                if f.cum_ack >= num_pkts || f.aborted {
+                    return;
                 }
-                if f.window_end <= seq && f.window_end == 0 {
-                    f.window_end = f.cwnd as u32 + 1;
+                let window = f.cwnd.floor().max(1.0) as u32;
+                if f.inflight >= window {
+                    return;
                 }
-                self.send_data(flow, seq, false);
-            } else {
-                return;
-            }
+                if let Some(seq) = f.retxq.pop_front() {
+                    f.inflight += 1;
+                    (seq, true)
+                } else if f.next_new < num_pkts {
+                    let seq = f.next_new;
+                    f.next_new += 1;
+                    f.inflight += 1;
+                    if f.timed.is_none() {
+                        f.timed = Some((seq, now));
+                    }
+                    if f.window_end <= seq && f.window_end == 0 {
+                        f.window_end = f.cwnd as u32 + 1;
+                    }
+                    (seq, false)
+                } else {
+                    return;
+                }
+            };
+            self.send_data(cx, flow, send.0, send.1);
         }
     }
 
-    pub(crate) fn tcp_on_arrive(&mut self, ep: u32, pid: u32) {
+    pub(crate) fn tcp_on_arrive<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        ep: u32,
+        pid: u32,
+    ) {
         let pkt = *self.packets.get(pid);
         self.packets.release(pid);
         let flow = pkt.flow;
         match pkt.kind {
             PktKind::Data => {
                 debug_assert_eq!(ep, pkt.dst_ep);
-                let f = &mut self.flows[flow as usize];
+                let f = &mut self.rx[cx.rx_idx(flow)];
                 f.rx_last_layer = pkt.layer;
+                f.last_nonce = pkt.nonce;
                 f.mark_received(pkt.seq);
                 let cum = f.rcv_next;
-                let done = f.rcv_count == f.num_pkts;
+                let done = f.rcv_count == cx.meta(flow).num_pkts;
                 // ACK every segment; echo this segment's CE mark.
-                self.send_control(flow, PktKind::Ack, cum, true, pkt.ecn_ce, 0xff);
+                self.send_control(cx, flow, PktKind::Ack, cum, pkt.ecn_ce, 0xff);
                 if done {
-                    self.complete_flow(flow);
+                    self.complete_flow(cx, flow);
                 }
             }
             PktKind::Ack => {
-                self.reset_dead_rtos(flow);
-                self.tcp_on_ack(flow, pkt.seq, pkt.ecn_echo)
+                if self.tx[cx.tx_idx(flow)].aborted {
+                    return;
+                }
+                self.reset_dead_rtos(cx, flow);
+                self.tcp_on_ack(cx, flow, pkt.seq, pkt.ecn_echo)
             }
             _ => {}
         }
     }
 
-    fn tcp_on_ack(&mut self, flow: u32, cum: u32, ece: bool) {
-        let (variant, _) = self.tcp_params();
+    fn tcp_on_ack<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        flow: u32,
+        cum: u32,
+        ece: bool,
+    ) {
+        let (variant, _) = tcp_params(&cx.cfg);
+        let ti = cx.tx_idx(flow);
+        let num_pkts = cx.meta(flow).num_pkts;
+        let ca_scale = cx.meta(flow).ca_scale;
         let mut became_boundary = false; // cwnd reduction = flowlet boundary
         {
             let now = self.now;
-            let f = &mut self.flows[flow as usize];
-            if f.finished.is_some() && f.cum_ack >= f.num_pkts {
+            let f = &mut self.tx[ti];
+            if f.cum_ack >= num_pkts {
                 return;
             }
             // DCTCP mark bookkeeping counts every ACK.
@@ -134,7 +164,7 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
                     } else {
                         // Congestion avoidance; ca_scale couples MPTCP
                         // subflows (1/k aggressiveness each).
-                        f.cwnd += f.ca_scale * delta as f64 / f.cwnd;
+                        f.cwnd += ca_scale * delta as f64 / f.cwnd;
                     }
                 }
                 // Window rollover: apply per-window ECN reactions.
@@ -193,29 +223,29 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
         // (≤ 3 packets can produce at most 2 dup-ACKs — under the fast-
         // retransmit threshold), so path changes never masquerade as loss.
         if became_boundary {
-            self.flows[flow as usize].want_switch = true;
+            self.tx[ti].want_switch = true;
         }
         let (want, inflight) = {
-            let f = &self.flows[flow as usize];
+            let f = &self.tx[ti];
             (f.want_switch, f.inflight)
         };
         if want && inflight <= 3 {
-            self.flows[flow as usize].want_switch = false;
-            self.tcp_flowlet_boundary(flow);
+            self.tx[ti].want_switch = false;
+            self.tcp_flowlet_boundary(cx, flow);
         }
-        self.tcp_arm_rto(flow);
-        self.tcp_try_send(flow);
+        self.tcp_arm_rto(cx, flow);
+        self.tcp_try_send(cx, flow);
     }
 
     /// Immediate path re-pick, safe only when the pipe is empty (RTO):
     /// FatPaths re-picks the layer, LetFlow the nonce.
-    fn tcp_flowlet_boundary(&mut self, flow: u32) {
-        let n_layers = self.n_layers() as u64;
-        let lb = self.cfg.lb;
-        let f = &mut self.flows[flow as usize];
-        if f.pinned_layer.is_some() {
+    fn tcp_flowlet_boundary<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
+        let n_layers = cx.n_layers as u64;
+        let lb = cx.cfg.lb;
+        if cx.meta(flow).pinned_layer.is_some() {
             return; // MPTCP subflows own their layer
         }
+        let f = &mut self.tx[cx.tx_idx(flow)];
         f.flowlet_ctr += 1;
         match lb {
             LoadBalancing::FatPathsLayers => {
@@ -229,9 +259,9 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
         }
     }
 
-    fn tcp_rto_value(&self, flow: u32) -> TimePs {
-        let (_, min_rto) = self.tcp_params();
-        let f = &self.flows[flow as usize];
+    fn tcp_rto_value<R: RoutingScheme + ?Sized>(&self, cx: &Ctx<R>, flow: u32) -> TimePs {
+        let (_, min_rto) = tcp_params(&cx.cfg);
+        let f = &self.tx[cx.tx_idx(flow)];
         let base = if f.srtt == 0.0 {
             INITIAL_RTO
         } else {
@@ -240,29 +270,28 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
         (base.max(min_rto)) << f.backoff.min(6)
     }
 
-    fn tcp_arm_rto(&mut self, flow: u32) {
-        let rto = self.tcp_rto_value(flow);
-        let f = &mut self.flows[flow as usize];
-        if (f.finished.is_some() && f.cum_ack >= f.num_pkts) || f.aborted {
+    fn tcp_arm_rto<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
+        let rto = self.tcp_rto_value(cx, flow);
+        let ti = cx.tx_idx(flow);
+        if self.tx[ti].cum_ack >= cx.meta(flow).num_pkts || self.tx[ti].aborted {
             return;
         }
-        f.rto_gen += 1;
-        let gen = f.rto_gen;
+        self.tx[ti].rto_gen += 1;
+        let gen = self.tx[ti].rto_gen;
         self.events
             .push(self.now + rto, EvKind::RtoTimer { flow, gen });
     }
 
-    pub(crate) fn tcp_on_rto(&mut self, flow: u32, gen: u32) {
+    pub(crate) fn tcp_on_rto<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        flow: u32,
+        gen: u32,
+    ) {
+        let ti = cx.tx_idx(flow);
         {
-            let f = &mut self.flows[flow as usize];
-            if gen != f.rto_gen
-                || !f.started
-                || f.aborted
-                || (f.finished.is_some() && f.cum_ack >= f.num_pkts)
-            {
-                return;
-            }
-            if f.cum_ack >= f.num_pkts {
+            let f = &mut self.tx[ti];
+            if gen != f.rto_gen || !f.started || f.aborted || f.cum_ack >= cx.meta(flow).num_pkts {
                 return;
             }
             // Timeout: collapse to slow start and go back to cum_ack.
@@ -277,8 +306,8 @@ impl<R: RoutingScheme + ?Sized> Simulator<'_, R> {
             f.timed = None;
             f.backoff += 1;
         }
-        self.tcp_flowlet_boundary(flow);
-        self.tcp_arm_rto(flow);
-        self.tcp_try_send(flow);
+        self.tcp_flowlet_boundary(cx, flow);
+        self.tcp_arm_rto(cx, flow);
+        self.tcp_try_send(cx, flow);
     }
 }

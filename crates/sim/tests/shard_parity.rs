@@ -1,0 +1,367 @@
+//! Sharded-execution parity: the flagship guarantee of the sharded
+//! event engine. Running a scenario on K event-loop shards — each with
+//! its own queue and packet arena, stepped in conservative-lookahead
+//! windows on the thread pool — must produce **byte-identical** results
+//! to the single-shard run, for every routing scheme of the baselines
+//! grid, healthy and under fault/churn/TE/compiled-FIB configurations,
+//! at any shard and thread count. Any divergence means event order
+//! leaked through the cross-shard merge, which is ordered by
+//! `(time, src_shard, seq)` and never by arrival order.
+
+use fatpaths_core::past::PastVariant;
+use fatpaths_net::fault::{FaultModel, FaultPlan};
+use fatpaths_net::topo::Topology;
+use fatpaths_sim::{CompileMode, LoadBalancing, Scenario, SchemeSpec, SimResult};
+use fatpaths_workloads::arrivals::FlowSpec;
+use proptest::prelude::*;
+
+/// The full baselines scheme matrix (same specs as the `baselines`
+/// experiment).
+fn matrix() -> Vec<(SchemeSpec, Option<LoadBalancing>)> {
+    vec![
+        (
+            SchemeSpec::LayeredRandom {
+                n_layers: 4,
+                rho: 0.6,
+            },
+            None,
+        ),
+        (SchemeSpec::Minimal, Some(LoadBalancing::EcmpFlow)),
+        (SchemeSpec::Minimal, Some(LoadBalancing::PacketSpray)),
+        (SchemeSpec::Minimal, Some(LoadBalancing::LetFlow)),
+        (SchemeSpec::Spain { k_paths: 2 }, None),
+        (
+            SchemeSpec::Past {
+                variant: PastVariant::Bfs,
+            },
+            None,
+        ),
+        (SchemeSpec::Ksp { k: 3 }, None),
+        (SchemeSpec::Valiant { n_layers: 4 }, None),
+    ]
+}
+
+/// SF exercises the BFS partition (no domains), FT3 the domain walk.
+fn mini_topos() -> Vec<Topology> {
+    vec![
+        fatpaths_net::topo::slimfly::slim_fly(5, 2).unwrap(),
+        fatpaths_net::topo::fattree::fat_tree(4, 1),
+    ]
+}
+
+fn permutation(topo: &Topology, offset: u64) -> Vec<FlowSpec> {
+    let n = topo.num_endpoints() as u64;
+    (0..n)
+        .map(|e| FlowSpec {
+            src: e as u32,
+            dst: ((e + offset) % n) as u32,
+            size: 48 * 1024,
+            start: 0,
+        })
+        .filter(|f| f.src != f.dst)
+        .collect()
+}
+
+/// Serializes everything a result CSV could ever derive — per-flow
+/// records, global counters, and the repair log — so equality here is
+/// equality of any downstream artifact.
+fn fingerprint(r: &SimResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!(
+        "end={} drops={} trims={} unroutable={}\n",
+        r.end_time, r.drops, r.trims, r.unroutable
+    );
+    for f in &r.flows {
+        let _ = writeln!(
+            s,
+            "{},{},{:?},{},{},{},{}",
+            f.size, f.start, f.finish, f.retx, f.trims, f.host_dead, f.aborted
+        );
+    }
+    for t in &r.repair_log {
+        let _ = writeln!(s, "tick {} rows={} fib={}", t.at, t.rows, t.fib_rows);
+    }
+    s
+}
+
+/// Healthy-network parity: all eight baselines, two topology families,
+/// shard counts from degenerate to finer than the domain structure.
+#[test]
+fn sharded_runs_are_byte_identical_to_single_shard() {
+    rayon::ensure_pool(4);
+    for topo in mini_topos() {
+        let flows = permutation(&topo, 17);
+        for (spec, lb) in matrix() {
+            let run = |k: u32| {
+                let mut sc = Scenario::on(&topo)
+                    .scheme(spec)
+                    .workload(&flows)
+                    .seed(3)
+                    .shards(k);
+                if let Some(lb) = lb {
+                    sc = sc.lb(lb);
+                }
+                sc.run()
+            };
+            let single = fingerprint(&run(1));
+            for k in [2, 3, 4, 9] {
+                let sharded = fingerprint(&run(k));
+                assert!(
+                    single == sharded,
+                    "{} diverged at {k} shards on {} (lb {:?})",
+                    spec.label(),
+                    topo.name,
+                    lb
+                );
+            }
+        }
+    }
+}
+
+/// Fault parity: static failures plus mid-run router churn with
+/// detection-driven repair. Fault state is replicated per shard, so the
+/// repair log — assembled from shard 0's replica — must match the
+/// single-shard run tick for tick (the `SimResult` deterministic-merge
+/// guarantee), and so must every packet-visible outcome.
+#[test]
+fn sharded_fault_churn_repair_runs_match_single_shard() {
+    rayon::ensure_pool(4);
+    for topo in mini_topos() {
+        let flows = permutation(&topo, 21);
+        let plan = FaultPlan::sample(&topo, &FaultModel::UniformFraction { fraction: 0.06 }, 11)
+            .router_down_at(2_000_000_000, 7)
+            .router_up_at(6_000_000_000, 7);
+        let run = |k: u32| {
+            Scenario::on(&topo)
+                .scheme(SchemeSpec::LayeredRandom {
+                    n_layers: 4,
+                    rho: 0.6,
+                })
+                .workload(&flows)
+                .seed(3)
+                .horizon(40_000_000_000)
+                .fault_plan(plan.clone())
+                .detection_delay(50_000_000)
+                .abort_on_host_death(3)
+                .shards(k)
+                .run()
+        };
+        let single = run(1);
+        assert!(
+            single.repair_ticks() >= 2,
+            "churn must trigger repairs on {}",
+            topo.name
+        );
+        for k in [2, 4] {
+            let sharded = run(k);
+            assert_eq!(
+                single.repair_log, sharded.repair_log,
+                "repair log diverged at {k} shards on {}",
+                topo.name
+            );
+            assert!(
+                fingerprint(&single) == fingerprint(&sharded),
+                "fault run diverged at {k} shards on {}",
+                topo.name
+            );
+        }
+    }
+}
+
+/// TE-negotiated tables and compiled FIBs ride the same sharded engine:
+/// both must stay byte-identical to their single-shard runs.
+#[test]
+fn sharded_te_and_compiled_runs_match_single_shard() {
+    rayon::ensure_pool(4);
+    let topo = fatpaths_net::topo::fattree::fat_tree(4, 1);
+    let flows = permutation(&topo, 13);
+    for (te, compiled) in [(true, None), (false, Some(CompileMode::Aggregated))] {
+        let run = |k: u32| {
+            let mut sc = Scenario::on(&topo)
+                .scheme(SchemeSpec::LayeredRandom {
+                    n_layers: 4,
+                    rho: 0.6,
+                })
+                .workload(&flows)
+                .seed(5)
+                .shards(k);
+            if te {
+                sc = sc.traffic_engineered(fatpaths_sim::TeConfig::default());
+            }
+            if let Some(mode) = compiled {
+                sc = sc.compiled(mode);
+            }
+            sc.run()
+        };
+        let single = fingerprint(&run(1));
+        let sharded = fingerprint(&run(4));
+        assert!(
+            single == sharded,
+            "te={te} compiled={compiled:?} diverged at 4 shards"
+        );
+    }
+}
+
+/// Thread count is orthogonal to shard count: a 4-shard run on the
+/// 4-thread pool and the same 4-shard run forced onto one thread via
+/// `rayon::run_sequential` are byte-identical — window execution order
+/// across shards must never matter.
+#[test]
+fn sharded_runs_match_across_thread_counts() {
+    rayon::ensure_pool(4);
+    let topo = fatpaths_net::topo::slimfly::slim_fly(5, 2).unwrap();
+    let flows = permutation(&topo, 7);
+    let run = || {
+        Scenario::on(&topo)
+            .scheme(SchemeSpec::LayeredRandom {
+                n_layers: 4,
+                rho: 0.6,
+            })
+            .workload(&flows)
+            .seed(9)
+            .shards(4)
+            .run()
+    };
+    let pooled = fingerprint(&run());
+    let sequential = fingerprint(&rayon::run_sequential(run));
+    assert!(
+        pooled == sequential,
+        "4-shard run differs between pooled and single-threaded execution"
+    );
+}
+
+/// MPTCP subflow groups (pinned layers, coupled congestion avoidance)
+/// survive sharding bit-for-bit, including the group structure.
+#[test]
+fn sharded_mptcp_runs_match_single_shard() {
+    rayon::ensure_pool(4);
+    let topo = fatpaths_net::topo::slimfly::slim_fly(5, 2).unwrap();
+    let flows = permutation(&topo, 11);
+    let run = |k: u32| {
+        Scenario::on(&topo)
+            .scheme(SchemeSpec::LayeredRandom {
+                n_layers: 4,
+                rho: 0.6,
+            })
+            .transport(fatpaths_sim::Transport::tcp_default(
+                fatpaths_sim::TcpVariant::Dctcp,
+            ))
+            .workload(&flows)
+            .seed(3)
+            .shards(k)
+            .run_mptcp(3)
+    };
+    let (res1, groups1) = run(1);
+    let (res4, groups4) = run(4);
+    assert_eq!(groups1, groups4);
+    assert!(fingerprint(&res1) == fingerprint(&res4));
+}
+
+/// Strategy for the cross-shard merge key. The engine realizes this
+/// order through canonical per-transmission uids; the model here is the
+/// contract the docs state: time first, then source shard, then send
+/// sequence. Small ranges force plenty of per-component ties.
+fn merge_key() -> impl Strategy<Value = (u64, u32, u64)> {
+    (0u64..16, 0u32..4, 0u64..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // `(time, src_shard, seq)` is a total order: antisymmetric,
+    // transitive, total — so a merge keyed on it admits exactly one
+    // result, independent of mailbox arrival order.
+    #[test]
+    fn merge_key_is_a_total_order(
+        a in merge_key(),
+        b in merge_key(),
+        c in merge_key(),
+    ) {
+        use std::cmp::Ordering;
+        // Totality + antisymmetry: exactly one relation holds.
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(ab == Ordering::Equal, a == b);
+        // Transitivity over the sampled triple.
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert!(a.cmp(&c) != Ordering::Greater);
+        }
+    }
+
+    // Sorting any permutation of a key multiset yields the same
+    // sequence: the merge result cannot depend on arrival order.
+    #[test]
+    fn merge_order_is_arrival_order_independent(
+        mut keys in prop::collection::vec(merge_key(), 0..40),
+        rot in 0usize..40,
+    ) {
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let r = rot % keys.len().max(1);
+        keys.rotate_left(r);
+        keys.sort_unstable();
+        prop_assert_eq!(keys, sorted);
+    }
+
+    // End-to-end sharded parity over randomized workloads: arbitrary
+    // flow sets (sizes, starts, pairs) on the layered scheme stay
+    // byte-identical between one and three shards.
+    #[test]
+    fn random_workloads_are_shard_count_invariant(
+        picks in prop::collection::vec((0u32..50, 0u32..50, 1u64..200_000, 0u64..4), 1..12),
+    ) {
+        let topo = fatpaths_net::topo::slimfly::slim_fly(5, 1).unwrap();
+        let n = topo.num_endpoints() as u32;
+        let flows: Vec<FlowSpec> = picks
+            .iter()
+            .map(|&(s, d, size, start)| FlowSpec {
+                src: s % n,
+                dst: d % n,
+                size,
+                start: start * 1_000_000,
+            })
+            .filter(|f| f.src != f.dst)
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let run = |k: u32| {
+            Scenario::on(&topo)
+                .scheme(SchemeSpec::LayeredRandom { n_layers: 3, rho: 0.7 })
+                .workload(&flows)
+                .seed(2)
+                .shards(k)
+                .run()
+        };
+        prop_assert_eq!(fingerprint(&run(1)), fingerprint(&run(3)));
+    }
+}
+
+/// Scale acceptance: a full FT3 at ≥100k endpoints completes on the
+/// sharded engine. `fat_tree(62, 2)` is 4805 routers / 119,164
+/// endpoints; minimal routing + packet spray keeps scheme construction
+/// tractable while every packet still crosses the sharded fabric.
+/// Run manually: `cargo test --release -- --ignored hundred_k`.
+#[test]
+#[ignore = "multi-minute large-scale run; exercised manually and by the scale sweep"]
+fn hundred_k_endpoint_fat_tree_completes() {
+    rayon::ensure_pool(4);
+    let topo = fatpaths_net::topo::fattree::fat_tree(62, 2);
+    assert!(topo.num_endpoints() >= 100_000);
+    let n = topo.num_endpoints() as u64;
+    let flows: Vec<FlowSpec> = (0..n)
+        .map(|e| FlowSpec {
+            src: e as u32,
+            dst: ((e + n / 2) % n) as u32,
+            size: 16 * 1024,
+            start: 0,
+        })
+        .filter(|f| f.src != f.dst)
+        .collect();
+    let res = Scenario::on(&topo)
+        .scheme(SchemeSpec::Minimal)
+        .lb(LoadBalancing::PacketSpray)
+        .workload(&flows)
+        .shards(8)
+        .run();
+    assert_eq!(res.completion_rate(), 1.0);
+}
