@@ -13,6 +13,8 @@
 //! parallel_bench                 # writes BENCH_parallel.json (cwd)
 //! parallel_bench --quick         # CI mode: 1- and 2-thread cells only
 //! parallel_bench --stage apsp    # child mode: prints seconds to stdout
+//! parallel_bench --profile       # execution-layer profile of the
+//!                                # 119k-endpoint scale scenario, JSON
 //! ```
 //!
 //! `--quick` keeps each stage's workload identical to the full run (so
@@ -25,22 +27,51 @@ use fatpaths_core::layers::{build_random_layers, LayerConfig};
 use fatpaths_diversity::apsp::shortest_path_stats;
 use fatpaths_net::fault::{FaultModel, FaultPlan};
 use fatpaths_net::topo::slimfly::slim_fly;
-use fatpaths_sim::{cell_seed, Scenario, SchemeSpec, SweepRunner};
+use fatpaths_sim::{cell_seed, LoadBalancing, Scenario, SchemeSpec, SweepRunner};
 use fatpaths_workloads::arrivals::FlowSpec;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Stages measured, in report order.
-const STAGES: [&str; 8] = [
+const STAGES: [&str; 9] = [
     "apsp",
     "layer_build",
     "fib_compile",
     "te_negotiate",
     "sim_run",
+    "sim_scale",
     "sweep",
     "degraded_sweep",
     "churn_sweep",
 ];
+
+/// The endpoint-scale scenario shared by the `sim_scale` stage and
+/// `--profile`: an all-to-all permutation (`e → e + n/2`) of 16 KiB NDP
+/// flows on `fat_tree(62, 2)` — 4805 routers / 119,164 endpoints —
+/// under minimal routing + packet spray. The same configuration as the
+/// `FATPATHS_SCALE=1` acceptance test, so a wall-clock or memory
+/// regression here is a regression of the scale story itself.
+fn scale_run(shards: u32) -> fatpaths_sim::SimResult {
+    let t = fatpaths_net::topo::fattree::fat_tree(62, 2);
+    let n = t.num_endpoints() as u64;
+    let flows: Vec<FlowSpec> = (0..n)
+        .map(|e| FlowSpec {
+            src: e as u32,
+            dst: ((e + n / 2) % n) as u32,
+            size: 16 * 1024,
+            start: 0,
+        })
+        .filter(|f| f.src != f.dst)
+        .collect();
+    let r = Scenario::on(&t)
+        .scheme(SchemeSpec::Minimal)
+        .lb(LoadBalancing::PacketSpray)
+        .workload(&flows)
+        .shards(shards)
+        .run();
+    assert!(r.completion_rate() == 1.0);
+    r
+}
 
 /// Runs one stage and returns its wall-clock seconds.
 fn run_stage(stage: &str) -> f64 {
@@ -151,6 +182,20 @@ fn run_stage(stage: &str) -> f64 {
                 .shards(shards)
                 .run();
             assert!(r.completion_rate() == 1.0);
+            start.elapsed().as_secs_f64()
+        }
+        "sim_scale" => {
+            // Endpoint-scale latency: the 119k-endpoint permutation from
+            // `scale_run`, with the thread axis doubling as the shard
+            // axis (as in `sim_run`). Guards the hot loop's allocation
+            // discipline — wall-clock here moves when per-packet work or
+            // arena churn regresses at scale.
+            let shards: u32 = std::env::var("FATPATHS_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1);
+            let start = Instant::now();
+            scale_run(shards);
             start.elapsed().as_secs_f64()
         }
         "sweep" => {
@@ -314,6 +359,32 @@ fn main() {
     if let Some(pos) = args.iter().position(|a| a == "--stage") {
         let stage = args.get(pos + 1).expect("--stage needs a name");
         println!("{:.6}", run_stage(stage));
+        return;
+    }
+    if args.iter().any(|a| a == "--profile") {
+        // Execution-layer profile of the scale scenario: window count,
+        // mailbox traffic, fault-epoch publications, and peak RSS, as
+        // JSON on stdout. `FATPATHS_THREADS` picks the shard count.
+        let shards: u32 = std::env::var("FATPATHS_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1);
+        let start = Instant::now();
+        let r = scale_run(shards);
+        let secs = start.elapsed().as_secs_f64();
+        let p = r.profile;
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"scenario\": \"sim_scale\",");
+        let _ = writeln!(json, "  \"wall_clock_seconds\": {secs:.6},");
+        let _ = writeln!(json, "  \"shards\": {},", p.shards);
+        let _ = writeln!(json, "  \"windows\": {},", p.windows);
+        let _ = writeln!(json, "  \"mailbox_msgs\": {},", p.mailbox_msgs);
+        let _ = writeln!(json, "  \"mailbox_bytes\": {},", p.mailbox_bytes);
+        let _ = writeln!(json, "  \"epochs_published\": {},", p.epochs_published);
+        let _ = writeln!(json, "  \"repair_ticks\": {},", p.repair_ticks);
+        let _ = writeln!(json, "  \"peak_rss_kb\": {}", p.peak_rss_kb);
+        json.push_str("}\n");
+        print!("{json}");
         return;
     }
 

@@ -20,6 +20,18 @@
 //! exactly these ports", present + empty means "genuinely unreachable in
 //! the degraded network, drop", absent means "the original row is still
 //! valid, ask the scheme".
+//!
+//! The overlay has two representations. During construction it is a
+//! *staged* hash map, so scheme repair passes can interleave inserts and
+//! lookups freely. [`RouteRepair::seal`] then collapses the staged rows
+//! into sorted destination-range intervals ([`lookup`] becomes a binary
+//! search): repairs cluster on the contiguous router-id ranges behind a
+//! failure (a fat-tree pod, a dragonfly group), so the sealed form's
+//! size tracks the *damage*, not the network — the property that lets
+//! one shared copy serve every simulation shard at million-endpoint
+//! scale.
+//!
+//! [`lookup`]: RouteRepair::lookup
 
 use crate::scheme::PortSet;
 use fatpaths_net::graph::{Graph, RouterId};
@@ -91,6 +103,19 @@ impl DownLinks {
     }
 }
 
+/// One sealed repair interval: every destination in
+/// `dst_start..dst_end` shares the same repaired row at
+/// `(layer, at)`.
+#[derive(Clone, Debug)]
+struct RepairSpan {
+    layer: u8,
+    at: RouterId,
+    dst_start: RouterId,
+    /// Exclusive.
+    dst_end: RouterId,
+    ports: PortSet,
+}
+
 /// A sparse overlay of repaired forwarding rows, keyed by
 /// `(layer, at_router, dst_router)`.
 ///
@@ -101,9 +126,23 @@ impl DownLinks {
 ///   including any scheme-internal fallback).
 /// * `Some(ports)` empty — the destination is unreachable from here in
 ///   the degraded network; the packet cannot be forwarded.
+///
+/// Construction uses the staged hash-map form ([`insert`]/[`lookup`]
+/// interleave freely); [`seal`] converts to the interval form that the
+/// simulator shares read-only across shards. Sealing is optional —
+/// every read works in either state.
+///
+/// [`insert`]: RouteRepair::insert
+/// [`seal`]: RouteRepair::seal
 #[derive(Clone, Debug, Default)]
 pub struct RouteRepair {
-    rows: FxHashMap<(u8, RouterId, RouterId), PortSet>,
+    /// Staged rows (construction form; empty once sealed).
+    staged: FxHashMap<(u8, RouterId, RouterId), PortSet>,
+    /// Sealed destination-range intervals, sorted by
+    /// `(layer, at, dst_start)` with no overlap within `(layer, at)`.
+    spans: Vec<RepairSpan>,
+    /// Row count covered by `spans` (cached: spans compress rows).
+    sealed_rows: usize,
     /// Control-plane cost of realizing this overlay in compiled
     /// switch-forwarding state: the number of FIB rows (prefix rules)
     /// that must be installed, rewritten, or deleted across all
@@ -121,32 +160,85 @@ impl RouteRepair {
 
     /// Installs a repaired row (empty `ports` = unreachable).
     pub fn insert(&mut self, layer: u8, at: RouterId, dst: RouterId, ports: PortSet) {
-        self.rows.insert((layer, at, dst), ports);
+        debug_assert!(self.spans.is_empty(), "insert into a sealed overlay");
+        self.staged.insert((layer, at, dst), ports);
     }
 
     /// Looks up a repaired row; see the type docs for the semantics.
     #[inline]
     pub fn lookup(&self, layer: u8, at: RouterId, dst: RouterId) -> Option<&PortSet> {
-        self.rows.get(&(layer, at, dst))
+        if !self.staged.is_empty() {
+            return self.staged.get(&(layer, at, dst));
+        }
+        let i = self
+            .spans
+            .partition_point(|s| (s.layer, s.at, s.dst_start) <= (layer, at, dst));
+        let s = self.spans[..i].last()?;
+        (s.layer == layer && s.at == at && dst < s.dst_end).then_some(&s.ports)
     }
 
-    /// Number of repaired rows.
+    /// Collapses the staged rows into sorted destination-range
+    /// intervals: adjacent destinations with identical repaired ports at
+    /// the same `(layer, at)` merge into one span, so memory tracks the
+    /// damage (failures repair contiguous id ranges — pods, groups),
+    /// not the network size. Idempotent; every read works before or
+    /// after.
+    pub fn seal(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let mut rows: Vec<((u8, RouterId, RouterId), PortSet)> =
+            std::mem::take(&mut self.staged).into_iter().collect();
+        rows.sort_unstable_by_key(|&(k, _)| k);
+        self.sealed_rows = rows.len();
+        for ((layer, at, dst), ports) in rows {
+            if let Some(last) = self.spans.last_mut() {
+                if last.layer == layer
+                    && last.at == at
+                    && last.dst_end == dst
+                    && last.ports == ports
+                {
+                    last.dst_end = dst + 1;
+                    continue;
+                }
+            }
+            self.spans.push(RepairSpan {
+                layer,
+                at,
+                dst_start: dst,
+                dst_end: dst + 1,
+                ports,
+            });
+        }
+    }
+
+    /// Sealed intervals currently held (0 before [`RouteRepair::seal`]).
+    pub fn num_spans(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Number of repaired rows (in either representation).
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.staged.len() + self.sealed_rows
     }
 
     /// Iterates over the repaired rows as `((layer, at, dst), ports)`,
-    /// in unspecified order (sort the keys before deriving anything
-    /// order-sensitive).
+    /// in unspecified order before sealing and sorted key order after
+    /// (sort the keys before deriving anything order-sensitive from an
+    /// unsealed overlay).
     pub fn rows(&self) -> impl Iterator<Item = ((u8, RouterId, RouterId), &PortSet)> + '_ {
-        self.rows.iter().map(|(&k, v)| (k, v))
+        self.staged.iter().map(|(&k, v)| (k, v)).chain(
+            self.spans.iter().flat_map(|s| {
+                (s.dst_start..s.dst_end).map(move |d| ((s.layer, s.at, d), &s.ports))
+            }),
+        )
     }
 
     /// True iff the overlay repairs nothing (the fast-path gate for the
     /// simulator's per-hop lookup).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.staged.is_empty() && self.spans.is_empty()
     }
 }
 
@@ -189,5 +281,54 @@ mod tests {
         assert_eq!(r.lookup(1, 4, 9).unwrap().as_slice(), &[3]);
         assert!(r.lookup(1, 5, 9).unwrap().is_empty());
         assert!(r.lookup(0, 4, 9).is_none());
+    }
+
+    #[test]
+    fn sealed_overlay_answers_identically() {
+        let mut r = RouteRepair::none();
+        // Two contiguous dst runs with equal ports (merge), one row with
+        // different ports (breaks the run), plus an unreachable row.
+        for dst in 10..14 {
+            r.insert(0, 2, dst, PortSet::single(7));
+        }
+        r.insert(0, 2, 14, PortSet::single(8));
+        r.insert(1, 2, 10, PortSet::new());
+        r.insert(0, 3, 11, PortSet::single(7));
+        let staged: Vec<_> = {
+            let mut v: Vec<_> = r.rows().map(|(k, p)| (k, p.clone())).collect();
+            v.sort_unstable_by_key(|&(k, _)| k);
+            v
+        };
+        r.seal();
+        assert_eq!(r.len(), 7);
+        assert_eq!(r.num_spans(), 4, "contiguous equal rows must merge");
+        let sealed: Vec<_> = r.rows().map(|(k, p)| (k, p.clone())).collect();
+        assert_eq!(staged, sealed, "rows() must survive sealing");
+        for &(k, ref p) in &staged {
+            assert_eq!(
+                r.lookup(k.0, k.1, k.2).map(|x| x.as_slice()),
+                Some(p.as_slice())
+            );
+        }
+        // Misses on either side of the spans.
+        assert!(r.lookup(0, 2, 9).is_none());
+        assert!(r.lookup(0, 2, 15).is_none());
+        assert!(r.lookup(0, 4, 11).is_none());
+        assert!(r.lookup(2, 2, 10).is_none());
+        // Unreachable row stays Some(empty) after sealing.
+        assert!(r.lookup(1, 2, 10).unwrap().is_empty());
+        // Sealing twice is a no-op.
+        r.seal();
+        assert_eq!(r.len(), 7);
+        assert_eq!(r.num_spans(), 4);
+    }
+
+    #[test]
+    fn sealing_an_empty_overlay_is_empty() {
+        let mut r = RouteRepair::none();
+        r.seal();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.lookup(0, 0, 0).is_none());
     }
 }

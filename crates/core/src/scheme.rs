@@ -93,6 +93,16 @@ impl PortSet {
     }
 }
 
+/// Set equality is slice equality (order is part of the contract), so
+/// an inline set equals its spilled twin.
+impl PartialEq for PortSet {
+    fn eq(&self, other: &PortSet) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PortSet {}
+
 /// A pluggable routing scheme: per (layer, router, destination-router)
 /// candidate output ports plus metadata. Implementations must be
 /// loop-free per layer: following any candidate port must make progress

@@ -107,6 +107,7 @@ pub fn post_warmup(result: &SimResult, window_s: f64) -> SimResult {
         unroutable: result.unroutable,
         end_time: result.end_time,
         repair_log: result.repair_log.clone(),
+        profile: result.profile,
     }
 }
 

@@ -94,16 +94,20 @@ pub enum EvKind {
 }
 
 /// Flat heap entry. Ordering is the derived lexicographic order on
-/// `(t, cls, key, a, b)`; `a`/`b` are the raw `EvKind` payload words and
-/// only break ties between *distinct* events whose canonical key
+/// `(tcls, key, a, b)` where `tcls` packs the timestamp (high 56 bits)
+/// over the class rank (low 8 bits) — identical to ordering by
+/// `(t, cls, …)` while keeping the entry at 24 bytes instead of 32,
+/// which is tens of MB of heap high-water at fat-tree scale. 2^56 ps
+/// is ~20 hours of simulated time, far beyond any run; `encode`
+/// debug-asserts the bound. `a`/`b` are the raw `EvKind` payload words
+/// and only break ties between *distinct* events whose canonical key
 /// collides (e.g. `LinkDown{u,v}` vs `LinkDown{v,u}` at the same
 /// instant). For packet arrivals `key` is the globally unique
 /// transmission id, so the slab id in `a` — which *does* differ between
 /// shard layouts — is never consulted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct EvEntry {
-    t: TimePs,
-    cls: u8,
+    tcls: u64,
     key: u64,
     a: u32,
     b: u32,
@@ -155,11 +159,22 @@ impl EvEntry {
                 (CLS_RTO, ((flow as u64) << 32) | gen as u64, flow, gen)
             }
         };
-        EvEntry { t, cls, key, a, b }
+        debug_assert!(t >> 56 == 0, "timestamp exceeds the 56-bit heap encoding");
+        EvEntry {
+            tcls: (t << 8) | cls as u64,
+            key,
+            a,
+            b,
+        }
+    }
+
+    #[inline]
+    fn t(&self) -> TimePs {
+        self.tcls >> 8
     }
 
     fn decode(self) -> (TimePs, EvKind) {
-        let kind = match self.cls {
+        let kind = match self.tcls as u8 {
             CLS_LINK_DOWN => EvKind::LinkDown {
                 u: self.a,
                 v: self.b,
@@ -188,7 +203,7 @@ impl EvEntry {
             },
             _ => unreachable!("corrupt event class"),
         };
-        (self.t, kind)
+        (self.t(), kind)
     }
 }
 
@@ -213,6 +228,7 @@ impl EventQueue {
             ),
             "arrival events need push_arrival(at, kind, uid)"
         );
+        self.ensure_slot();
         self.heap.push(Reverse(EvEntry::encode(at, kind, None)));
     }
 
@@ -227,8 +243,21 @@ impl EventQueue {
             ),
             "push_arrival is for packet arrivals only"
         );
+        self.ensure_slot();
         self.heap
             .push(Reverse(EvEntry::encode(at, kind, Some(uid))));
+    }
+
+    /// Grows a full heap by a bounded exact step (⅛ of capacity) before
+    /// the next push would trigger the collection's amortized doubling:
+    /// a doubling realloc of a multi-hundred-k-entry heap permanently
+    /// raises the process high-water mark far past the true event peak.
+    #[inline]
+    fn ensure_slot(&mut self) {
+        if self.heap.len() == self.heap.capacity() {
+            self.heap
+                .reserve_exact((self.heap.capacity() / 8).max(1024));
+        }
     }
 
     /// Pops the earliest event (canonical order within a timestamp).
@@ -238,7 +267,7 @@ impl EventQueue {
 
     /// Timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<TimePs> {
-        self.heap.peek().map(|Reverse(e)| e.t)
+        self.heap.peek().map(|Reverse(e)| e.t())
     }
 
     /// Number of pending events.
@@ -251,51 +280,72 @@ impl EventQueue {
         self.heap.is_empty()
     }
 
-    /// Pre-sizes the heap for at least `n` additional events.
+    /// Pre-sizes the heap for at least `n` additional events. Growth is
+    /// exact, not amortized — see [`PacketSlab::reserve`].
     pub fn reserve(&mut self, n: usize) {
-        self.heap.reserve(n);
+        self.heap.reserve_exact(n);
+    }
+
+    /// Allocated heap capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Releases capacity the heap no longer needs (down to 1.5× the
+    /// live count, with hysteresis so oscillating load cannot thrash).
+    /// Event demand is front-loaded — the flow-start burst can need
+    /// twice the steady-state heap — so without this the burst-sized
+    /// buffer would be carried through the late-run memory plateau
+    /// where the process high-water mark actually forms.
+    pub fn shrink_excess(&mut self) {
+        let len = self.heap.len();
+        if len * 2 <= self.heap.capacity() && self.heap.capacity() > 8192 {
+            self.heap.shrink_to((len + len / 2).max(8192));
+        }
     }
 }
 
 /// What a packet is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
 pub enum PktKind {
     /// Payload-carrying data packet.
-    Data,
+    Data = 0,
     /// Acknowledgment (TCP cumulative; NDP per-packet).
-    Ack,
+    Ack = 1,
     /// NDP "payload was trimmed" notification.
-    Nack,
+    Nack = 2,
     /// NDP receiver-paced credit.
-    Pull,
+    Pull = 3,
 }
 
-/// A packet in flight. Small enough to copy around freely.
+/// A packet in flight, packed to 32 bytes — at the 119k-endpoint scale
+/// each shard's slab peaks in the hundreds of thousands of slots, so
+/// every byte here is hundreds of kilobytes of arena high-water mark.
+///
+/// Two fields of the logical packet are *derived*, not stored:
+///
+/// * the owning flow is the top bits of [`salt`](Packet::salt)
+///   ([`Packet::flow`]);
+/// * the destination router is a flat lookup from
+///   [`dst_ep`](Packet::dst_ep) (`Ctx::ep_router`).
+///
+/// Kind and flag bits share one byte behind accessors.
 #[derive(Clone, Copy, Debug)]
 pub struct Packet {
-    /// Owning flow index.
-    pub flow: u32,
     /// Packet index within the flow (data), or the cumulative-ack /
     /// sequence payload for control packets.
     pub seq: u32,
     /// Bytes on the wire (payload + header, or header only).
     pub wire_bytes: u32,
-    /// Kind.
-    pub kind: PktKind,
-    /// Routing layer tag (FatPaths); 0 = minimal layer.
-    pub layer: u8,
-    /// Payload was trimmed by a congested NDP queue.
-    pub trimmed: bool,
-    /// ECN congestion-experienced mark.
-    pub ecn_ce: bool,
-    /// ECE echo on ACKs.
-    pub ecn_echo: bool,
-    /// Retransmission (NDP prioritizes these).
-    pub retx: bool,
-    /// Destination router.
-    pub dst_router: u32,
     /// Destination endpoint.
     pub dst_ep: u32,
+    /// Kind (low 2 bits) and flag bits; see the `F_*` constants.
+    meta: u8,
+    /// Routing layer tag (FatPaths); 0 = minimal layer.
+    pub layer: u8,
+    /// Receiver's suggested layer carried on PULL/NACK (0xff = none).
+    pub suggest_layer: u8,
     /// Flowlet nonce (LetFlow router hashing).
     pub nonce: u64,
     /// Unique per-transmission id: `(flow << 33) | (counter << 1) | dir`
@@ -305,27 +355,147 @@ pub struct Packet {
     /// key in the event queue, so the id — unlike a globally-sequenced
     /// counter — must not depend on event interleaving across flows.
     pub salt: u64,
-    /// Receiver's suggested layer carried on PULL/NACK (0xff = none).
-    pub suggest_layer: u8,
 }
 
+/// Payload was trimmed by a congested NDP queue.
+const F_TRIMMED: u8 = 1 << 2;
+/// ECN congestion-experienced mark.
+const F_ECN_CE: u8 = 1 << 3;
+/// ECE echo on ACKs.
+const F_ECN_ECHO: u8 = 1 << 4;
+/// Retransmission (NDP prioritizes these).
+const F_RETX: u8 = 1 << 5;
+
+impl Packet {
+    /// Builds a packet with all flag bits clear; set flags with
+    /// [`Packet::with_retx`] / [`Packet::with_ecn_echo`] at the source
+    /// and the `set_*` mutators in flight.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: PktKind,
+        seq: u32,
+        wire_bytes: u32,
+        layer: u8,
+        dst_ep: u32,
+        nonce: u64,
+        salt: u64,
+        suggest_layer: u8,
+    ) -> Packet {
+        Packet {
+            seq,
+            wire_bytes,
+            dst_ep,
+            meta: kind as u8,
+            layer,
+            suggest_layer,
+            nonce,
+            salt,
+        }
+    }
+
+    /// Marks the packet a retransmission.
+    pub fn with_retx(mut self, retx: bool) -> Packet {
+        self.meta |= if retx { F_RETX } else { 0 };
+        self
+    }
+
+    /// Sets the ACK's ECE echo bit.
+    pub fn with_ecn_echo(mut self, echo: bool) -> Packet {
+        self.meta |= if echo { F_ECN_ECHO } else { 0 };
+        self
+    }
+
+    /// Owning flow index (the top bits of the transmission id).
+    #[inline]
+    pub fn flow(&self) -> u32 {
+        (self.salt >> 33) as u32
+    }
+
+    /// Kind.
+    #[inline]
+    pub fn kind(&self) -> PktKind {
+        match self.meta & 0b11 {
+            0 => PktKind::Data,
+            1 => PktKind::Ack,
+            2 => PktKind::Nack,
+            _ => PktKind::Pull,
+        }
+    }
+
+    /// Payload was trimmed by a congested NDP queue.
+    #[inline]
+    pub fn trimmed(&self) -> bool {
+        self.meta & F_TRIMMED != 0
+    }
+
+    /// Records a payload trim (the caller also rewrites `wire_bytes`).
+    #[inline]
+    pub fn set_trimmed(&mut self) {
+        self.meta |= F_TRIMMED;
+    }
+
+    /// ECN congestion-experienced mark.
+    #[inline]
+    pub fn ecn_ce(&self) -> bool {
+        self.meta & F_ECN_CE != 0
+    }
+
+    /// Applies the ECN congestion-experienced mark.
+    #[inline]
+    pub fn set_ecn_ce(&mut self) {
+        self.meta |= F_ECN_CE;
+    }
+
+    /// ECE echo on ACKs.
+    #[inline]
+    pub fn ecn_echo(&self) -> bool {
+        self.meta & F_ECN_ECHO != 0
+    }
+
+    /// Retransmission (NDP prioritizes these).
+    #[inline]
+    pub fn retx(&self) -> bool {
+        self.meta & F_RETX != 0
+    }
+}
+
+/// Sentinel for "no packet" in the slab's intrusive queue links.
+pub const NO_PKT: u32 = u32::MAX;
+
 /// Fixed-capacity-free packet slab with id reuse.
+///
+/// Each slot carries an intrusive `next` link so queued packets chain
+/// through the slab itself: a port queue is then just a `(head, tail)`
+/// pair instead of a heap-allocated deque — at fat-tree scale the
+/// hundreds of thousands of per-port queue allocations were a dominant
+/// share of the event loop's transient memory.
 #[derive(Debug, Default)]
 pub struct PacketSlab {
     slots: Vec<Packet>,
+    /// Intrusive successor link per slot ([`NO_PKT`] = end of chain).
+    next: Vec<u32>,
     free: Vec<u32>,
     live: usize,
 }
 
 impl PacketSlab {
-    /// Stores a packet, returning its id.
+    /// Stores a packet, returning its id (its `next` link is reset).
     pub fn alloc(&mut self, p: Packet) -> u32 {
         self.live += 1;
         if let Some(id) = self.free.pop() {
             self.slots[id as usize] = p;
+            self.next[id as usize] = NO_PKT;
             id
         } else {
+            // Bounded exact growth (see `EventQueue::ensure_slot`):
+            // never let a push double a multi-MB arena.
+            if self.slots.len() == self.slots.capacity() {
+                let step = (self.slots.capacity() / 8).max(1024);
+                self.slots.reserve_exact(step);
+                self.next.reserve_exact(step);
+            }
             self.slots.push(p);
+            self.next.push(NO_PKT);
             (self.slots.len() - 1) as u32
         }
     }
@@ -334,6 +504,18 @@ impl PacketSlab {
     pub fn release(&mut self, id: u32) {
         self.live -= 1;
         self.free.push(id);
+    }
+
+    /// The intrusive successor of `id` ([`NO_PKT`] at chain end).
+    #[inline]
+    pub fn next_of(&self, id: u32) -> u32 {
+        self.next[id as usize]
+    }
+
+    /// Links `id`'s intrusive successor.
+    #[inline]
+    pub fn set_next(&mut self, id: u32, next: u32) {
+        self.next[id as usize] = next;
     }
 
     /// Immutable access.
@@ -351,9 +533,23 @@ impl PacketSlab {
         self.live
     }
 
-    /// Pre-sizes backing storage for at least `n` additional packets.
+    /// Allocated slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// Pre-sizes backing storage so `n` further [`PacketSlab::alloc`]
+    /// calls need no growth. Free-list slots count toward that budget:
+    /// a steady-state slab with plenty of released ids reserves
+    /// nothing, so per-window bulk reserves (mailbox delivery) cannot
+    /// inflate the arena past its true high-water mark.
+    /// Growth is exact, not amortized: bulk reserves arrive every
+    /// delivery window, and doubling a multi-MB arena on each would
+    /// push the high-water mark far past the true peak population.
     pub fn reserve(&mut self, n: usize) {
-        self.slots.reserve(n);
+        let fresh = n.saturating_sub(self.free.len());
+        self.slots.reserve_exact(fresh);
+        self.next.reserve_exact(fresh);
     }
 }
 
@@ -454,22 +650,7 @@ mod tests {
     #[test]
     fn slab_reuses_ids() {
         let mut s = PacketSlab::default();
-        let p = Packet {
-            flow: 0,
-            seq: 0,
-            wire_bytes: 64,
-            kind: PktKind::Ack,
-            layer: 0,
-            trimmed: false,
-            ecn_ce: false,
-            ecn_echo: false,
-            retx: false,
-            dst_router: 0,
-            dst_ep: 0,
-            nonce: 0,
-            salt: 0,
-            suggest_layer: 0xff,
-        };
+        let p = Packet::new(PktKind::Ack, 0, 64, 0, 0, 0, 0, 0xff);
         let a = s.alloc(p);
         let b = s.alloc(p);
         assert_ne!(a, b);

@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod engine;
+mod faults;
 pub mod fluid;
 pub mod metrics;
 mod ndp;
@@ -41,8 +42,10 @@ pub use fatpaths_fib::{CompileMode, CompiledScheme, Fib, FibStats, TableBudget};
 pub use fatpaths_net::fault::{FaultModel, FaultPlan, LinkEvent, RouterEvent};
 pub use fatpaths_te::{TeConfig, TeScheme};
 pub use metrics::{
-    histogram, mean, percentile, throughput_by_size, FlowRecord, RepairTickRecord, SimResult,
+    histogram, mean, peak_rss_kb, percentile, throughput_by_size, FlowRecord, RepairTickRecord,
+    RunProfile, SimResult,
 };
 pub use scenario::{BuiltScheme, Scenario, SchemeSpec};
+pub use shard::partition_routers;
 pub use simulator::Simulator;
 pub use sweep::{cell_seed, coord_str, SweepRunner};

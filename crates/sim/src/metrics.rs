@@ -61,6 +61,49 @@ pub struct RepairTickRecord {
     pub fib_rows: u64,
 }
 
+/// Execution-layer counters for one run: how many lookahead windows the
+/// driver stepped, how much traffic crossed shard boundaries, and how
+/// much fault state was published. Purely observational — none of it
+/// feeds back into the simulation, so the determinism contract (results
+/// bit-identical across shard and thread counts) is unaffected; the
+/// counters themselves (except `peak_rss_kb`, a process-wide OS
+/// measurement) are deterministic for a fixed shard count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunProfile {
+    /// Shards the run executed with.
+    pub shards: u32,
+    /// Conservative-lookahead windows stepped.
+    pub windows: u64,
+    /// Boundary packets exchanged through the mailboxes.
+    pub mailbox_msgs: u64,
+    /// Wire bytes those boundary packets carried.
+    pub mailbox_bytes: u64,
+    /// Fault epochs published by the writer (≥ 1: the post-static
+    /// snapshot counts).
+    pub epochs_published: u64,
+    /// Control-plane repair passes the run reached.
+    pub repair_ticks: u64,
+    /// Peak resident set size of the process in KiB (`VmHWM`), read at
+    /// the end of the run; 0 where `/proc` is unavailable.
+    pub peak_rss_kb: u64,
+}
+
+/// Peak resident set size of this process in KiB (Linux `VmHWM`), or 0
+/// where `/proc/self/status` is unavailable. A high-water mark: it
+/// never decreases over a process lifetime, so within one process only
+/// the first large run measures itself accurately.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Aggregate simulation result.
 #[derive(Clone, Debug, Default)]
 pub struct SimResult {
@@ -77,6 +120,8 @@ pub struct SimResult {
     pub end_time: TimePs,
     /// One record per control-plane repair pass, in execution order.
     pub repair_log: Vec<RepairTickRecord>,
+    /// Execution-layer counters (windows, mailbox traffic, memory).
+    pub profile: RunProfile,
 }
 
 impl SimResult {

@@ -19,7 +19,7 @@
 
 use crate::config::Transport;
 use crate::engine::{EvKind, PktKind, TimePs};
-use crate::shard::{Ctx, Shard};
+use crate::shard::{pop_front, Ctx, Shard};
 use fatpaths_core::fwd::fnv1a;
 use fatpaths_core::scheme::RoutingScheme;
 
@@ -52,14 +52,14 @@ impl Shard {
     ) {
         let pkt = *self.packets.get(pid);
         self.packets.release(pid);
-        let flow = pkt.flow;
-        match pkt.kind {
+        let flow = pkt.flow();
+        match pkt.kind() {
             PktKind::Data => {
                 debug_assert_eq!(ep, pkt.dst_ep);
                 let ri = cx.rx_idx(flow);
                 self.rx[ri].rx_last_layer = pkt.layer;
                 self.rx[ri].last_nonce = pkt.nonce;
-                if pkt.trimmed {
+                if pkt.trimmed() {
                     // Header-only arrival: the payload was cut. Record the
                     // congestion, suggest a different layer, request a
                     // retransmission (NACK) and schedule a pull credit.
@@ -113,7 +113,7 @@ impl Shard {
                 self.ndp_adopt_suggestion(cx, flow, pkt.suggest_layer);
                 let f = &mut self.tx[ti];
                 f.retx_count += 1;
-                f.retxq.push_back(pkt.seq);
+                f.retxq.push(pkt.seq);
                 self.ndp_arm_rto(cx, flow);
             }
             PktKind::Pull => {
@@ -142,7 +142,7 @@ impl Shard {
     /// One pull credit = one packet: retransmissions first, then new data.
     fn ndp_send_next<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
         let ti = cx.tx_idx(flow);
-        if let Some(seq) = self.tx[ti].retxq.pop_front() {
+        if let Some(seq) = pop_front(&mut self.tx[ti].retxq) {
             self.send_data(cx, flow, seq, true);
         } else if self.tx[ti].next_new < cx.meta(flow).num_pkts {
             let seq = self.tx[ti].next_new;
@@ -157,9 +157,9 @@ impl Shard {
     fn ndp_queue_pull<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
         let ep = cx.meta(flow).dst_ep;
         let li = cx.ep_idx(ep);
-        self.pullq[li].push_back(flow);
+        let was_empty = self.pull_push(li, flow);
         let at = self.now.max(self.pull_ready[li]);
-        if self.pullq[li].len() == 1 {
+        if was_empty {
             self.events.push(at, EvKind::PullTick { ep });
         }
     }
@@ -171,11 +171,11 @@ impl Shard {
             self.events.push(at, EvKind::PullTick { ep });
             return;
         }
-        let Some(flow) = self.pullq[li].pop_front() else {
+        let Some(flow) = self.pull_pop(li) else {
             return;
         };
         let f = &self.rx[cx.rx_idx(flow)];
-        if f.finished.is_none() {
+        if !f.is_finished() {
             let suggest = f.rx_suggest;
             self.send_control(cx, flow, PktKind::Pull, 0, false, suggest);
         }
@@ -186,21 +186,30 @@ impl Shard {
         };
         let interval = cx.cfg.ser_time(payload + crate::config::HDR_BYTES);
         self.pull_ready[li] = self.now + interval;
-        if !self.pullq[li].is_empty() {
+        if self.pull_pending(li) {
             self.events
                 .push(self.pull_ready[li], EvKind::PullTick { ep });
         }
     }
 
+    /// Arms (or extends) the lazy retransmission timer: the deadline
+    /// moves to `now + RTO`, and a timer event is queued only if none is
+    /// outstanding — `Shard::on_rto` re-arms a too-early firing at the
+    /// extended deadline, so at most one `RtoTimer` event per flow is
+    /// ever live (the eager push-per-ack scheme kept every superseded
+    /// timer in the heap for a full RTO).
     fn ndp_arm_rto<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
         let ti = cx.tx_idx(flow);
         if self.tx[ti].aborted || self.tx[ti].acked_count >= cx.meta(flow).num_pkts {
             return;
         }
-        self.tx[ti].rto_gen += 1;
-        let gen = self.tx[ti].rto_gen;
-        self.events
-            .push(self.now + NDP_RTO, EvKind::RtoTimer { flow, gen });
+        let at = self.now + NDP_RTO;
+        self.tx[ti].rto_deadline = at;
+        if !self.tx[ti].rto_armed {
+            self.tx[ti].rto_armed = true;
+            let gen = self.tx[ti].rto_gen;
+            self.events.push(at, EvKind::RtoTimer { flow, gen });
+        }
     }
 
     /// Safety net: if the flow has stalled (all credits or announcements
@@ -221,12 +230,15 @@ impl Shard {
         &mut self,
         cx: &Ctx<R>,
         flow: u32,
-        gen: u32,
+        _gen: u32,
     ) {
         let ti = cx.tx_idx(flow);
         {
             let f = &self.tx[ti];
-            if f.aborted || gen != f.rto_gen || !f.started || self.tx_done(cx, flow) {
+            // Staleness is handled by the deadline check in
+            // `Shard::on_rto`: a firing only reaches here at the true
+            // (fully extended) timeout instant.
+            if f.aborted || !f.started || self.tx_done(cx, flow) {
                 return;
             }
         }
@@ -240,17 +252,23 @@ impl Shard {
             Transport::Ndp { initial_window, .. } => initial_window,
             _ => 8,
         };
-        let missing: Vec<u32> = {
+        // Collect into the shard's scratch buffer: RTOs fire per flow,
+        // and a fresh Vec per firing is an allocation storm at scale.
+        let mut missing = std::mem::take(&mut self.scratch);
+        missing.clear();
+        {
             let f = &self.tx[ti];
-            (0..cx.meta(flow).num_pkts)
-                .filter(|&s| !f.is_acked(s))
-                .take(window as usize)
-                .collect()
-        };
+            missing.extend(
+                (0..cx.meta(flow).num_pkts)
+                    .filter(|&s| !f.is_acked(s))
+                    .take(window as usize),
+            );
+        }
         self.tx[ti].retx_count += missing.len() as u32;
-        for seq in missing {
+        for &seq in &missing {
             self.send_data(cx, flow, seq, true);
         }
+        self.scratch = missing;
         self.ndp_arm_rto(cx, flow);
     }
 }

@@ -19,56 +19,174 @@
 //! Flow state is split by side so no hot-path read ever crosses a
 //! shard: [`FlowMeta`] (immutable) is shared read-only, [`TxFlow`]
 //! lives on the sender's shard, [`RxFlow`] on the receiver's. Fault
-//! state (down links, dead routers, repair overlay) is *replicated*:
-//! every fault event derives statically from the `FaultPlan`, so each
-//! shard plays the identical event sequence against its own replica
-//! and recomputes the identical repair overlay — K× control-plane
-//! work, zero synchronization.
+//! state (down links, dead routers, repair overlay) is *shared, not
+//! replicated*: every fault event derives statically from the
+//! `FaultPlan`, so a single writer (`crate::faults::FaultWriter`)
+//! replays the sequence once before the run and publishes one
+//! immutable [`FaultEpoch`] per fault event. Shards keep the fault
+//! events in their queues purely as epoch-cursor advances — popping
+//! one bumps `Shard::fault_epoch`, and every hot-path read goes
+//! through the shared snapshot `cx.faults.epochs[fault_epoch]`. One
+//! copy of the fault state regardless of K, zero synchronization.
 
 use crate::config::{LoadBalancing, SimConfig, Transport, HDR_BYTES};
-use crate::engine::{EvKind, EventQueue, Packet, PacketSlab, PktKind, TimePs};
-use crate::metrics::RepairTickRecord;
+use crate::engine::{EvKind, EventQueue, Packet, PacketSlab, PktKind, TimePs, NO_PKT};
+use crate::faults::{FaultEpoch, FaultTimeline};
 use fatpaths_core::fwd::fnv1a;
-use fatpaths_core::repair::{DownLinks, RouteRepair};
 use fatpaths_core::scheme::RoutingScheme;
 use fatpaths_net::topo::Topology;
 use fatpaths_workloads::arrivals::FlowSpec;
 use std::collections::VecDeque;
 
 /// An output port: serializer + queues, owned by exactly one shard.
+///
+/// The queues are intrusive chains through the owning shard's
+/// [`PacketSlab`] (`head`/`tail` slot ids linked by `PacketSlab::next`),
+/// not heap-allocated deques: at fat-tree scale the port array is
+/// hundreds of thousands of entries, and per-port deque buffers were
+/// the single largest static *and* transient allocation of a run.
 pub(crate) struct Port {
-    pub to_is_router: bool,
-    pub to: u32,
-    pub busy: bool,
-    pub data_q: VecDeque<u32>,
-    pub prio_q: VecDeque<u32>,
+    /// Far-end id (bits 0..30), `to_is_router` (bit 30) and `busy`
+    /// (bit 31) — packed because the port array is the largest static
+    /// allocation and ids stay far below 2³⁰.
+    to_flags: u32,
+    pub data_head: u32,
+    pub data_tail: u32,
+    pub prio_head: u32,
+    pub prio_tail: u32,
+    /// Queue depths. `u16` is ample: data queues are policy-capped at
+    /// the transport's `queue_pkts` (≤ 100), priority queues at 1024
+    /// (`push_prio_bounded`), and NIC queue depth is never consulted.
+    pub data_len: u16,
+    pub prio_len: u16,
 }
+
+const PORT_TO_ROUTER: u32 = 1 << 30;
+const PORT_BUSY: u32 = 1 << 31;
 
 impl Port {
     pub(crate) fn new(to_is_router: bool, to: u32) -> Self {
+        debug_assert!(to < PORT_TO_ROUTER);
         Port {
-            to_is_router,
-            to,
-            busy: false,
-            data_q: VecDeque::new(),
-            prio_q: VecDeque::new(),
+            to_flags: to | if to_is_router { PORT_TO_ROUTER } else { 0 },
+            data_head: NO_PKT,
+            data_tail: NO_PKT,
+            prio_head: NO_PKT,
+            prio_tail: NO_PKT,
+            data_len: 0,
+            prio_len: 0,
         }
+    }
+
+    /// Far-end id.
+    #[inline]
+    pub(crate) fn to(&self) -> u32 {
+        self.to_flags & (PORT_TO_ROUTER - 1)
+    }
+
+    /// Whether the far end is a router (vs. an endpoint NIC).
+    #[inline]
+    pub(crate) fn to_is_router(&self) -> bool {
+        self.to_flags & PORT_TO_ROUTER != 0
+    }
+
+    /// Whether the serializer is running.
+    #[inline]
+    pub(crate) fn busy(&self) -> bool {
+        self.to_flags & PORT_BUSY != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_busy(&mut self, busy: bool) {
+        if busy {
+            self.to_flags |= PORT_BUSY;
+        } else {
+            self.to_flags &= !PORT_BUSY;
+        }
+    }
+
+    #[inline]
+    fn queue(&mut self, data: bool) -> (&mut u32, &mut u32, &mut u16) {
+        if data {
+            (&mut self.data_head, &mut self.data_tail, &mut self.data_len)
+        } else {
+            (&mut self.prio_head, &mut self.prio_tail, &mut self.prio_len)
+        }
+    }
+
+    /// Appends `pid` to the data (`data = true`) or priority queue.
+    pub(crate) fn push_back(&mut self, slab: &mut PacketSlab, data: bool, pid: u32) {
+        slab.set_next(pid, NO_PKT);
+        let (head, tail, len) = self.queue(data);
+        if *tail == NO_PKT {
+            *head = pid;
+        } else {
+            slab.set_next(*tail, pid);
+        }
+        *tail = pid;
+        *len += 1;
+    }
+
+    /// Head-inserts `pid` (retransmissions jump the data queue).
+    pub(crate) fn push_front(&mut self, slab: &mut PacketSlab, data: bool, pid: u32) {
+        let (head, tail, len) = self.queue(data);
+        slab.set_next(pid, *head);
+        if *tail == NO_PKT {
+            *tail = pid;
+        }
+        *head = pid;
+        *len += 1;
+    }
+
+    /// Pops the queue head, if any.
+    pub(crate) fn pop_front(&mut self, slab: &PacketSlab, data: bool) -> Option<u32> {
+        let (head, tail, len) = self.queue(data);
+        let pid = *head;
+        if pid == NO_PKT {
+            return None;
+        }
+        *head = slab.next_of(pid);
+        if *head == NO_PKT {
+            *tail = NO_PKT;
+        }
+        *len -= 1;
+        Some(pid)
     }
 }
 
-/// Where a sharded object lives: which shard, and at which local index.
+/// Where a sharded object lives: which shard (high byte) and at which
+/// local index (low 24 bits). Four of these maps cover every flow and
+/// every port, so the packing matters: 8 → 4 bytes halves several MB of
+/// always-resident lookup tables at the 119k-endpoint scale.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct SlotRef {
-    pub shard: u32,
-    pub idx: u32,
+pub(crate) struct SlotRef(u32);
+
+impl SlotRef {
+    const IDX_BITS: u32 = 24;
+
+    pub fn new(shard: u32, idx: u32) -> Self {
+        assert!(shard < 1 << (32 - Self::IDX_BITS) && idx < 1 << Self::IDX_BITS);
+        SlotRef(shard << Self::IDX_BITS | idx)
+    }
+
+    #[inline]
+    pub fn shard(self) -> u32 {
+        self.0 >> Self::IDX_BITS
+    }
+
+    #[inline]
+    pub fn idx(self) -> u32 {
+        self.0 & ((1 << Self::IDX_BITS) - 1)
+    }
 }
 
-/// Immutable per-flow facts, shared read-only by every shard.
+/// Immutable per-flow facts, shared read-only by every shard. The
+/// attachment routers are *not* stored — `Ctx::ep_router` derives them
+/// from the endpoint ids on the rare paths that need them — because
+/// this table is resident for the whole run at one entry per flow.
 pub(crate) struct FlowMeta {
     pub src_ep: u32,
     pub dst_ep: u32,
-    pub src_router: u32,
-    pub dst_router: u32,
     pub size: u64,
     pub start: TimePs,
     pub num_pkts: u32,
@@ -83,7 +201,6 @@ pub(crate) struct FlowMeta {
 impl FlowMeta {
     pub(crate) fn new(
         spec: &FlowSpec,
-        topo: &Topology,
         payload: u32,
         init_nonce: u64,
         init_layer: u8,
@@ -93,8 +210,6 @@ impl FlowMeta {
         FlowMeta {
             src_ep: spec.src,
             dst_ep: spec.dst,
-            src_router: topo.endpoint_router(spec.src),
-            dst_router: topo.endpoint_router(spec.dst),
             size: spec.size,
             start: spec.start,
             num_pkts: spec.size.div_ceil(payload as u64).max(1) as u32,
@@ -114,18 +229,87 @@ impl FlowMeta {
     }
 }
 
+/// A per-sequence bitmap that stays allocation-free for flows of ≤ 64
+/// packets — the common case at scale, where a 16 KiB flow is a
+/// handful of MTUs — spilling to the heap only for larger transfers.
+#[derive(Debug, Default)]
+pub(crate) struct SeqBits {
+    inline: u64,
+    /// Boxed, not a `Vec`: the word count is fixed at flow creation, so
+    /// the slice never grows and the thinner header is worth 8 bytes on
+    /// every flow half.
+    spill: Box<[u64]>,
+}
+
+impl SeqBits {
+    pub(crate) fn new(bits: u32) -> Self {
+        SeqBits {
+            inline: 0,
+            spill: if bits <= 64 {
+                Box::default()
+            } else {
+                vec![0u64; bits.div_ceil(64) as usize].into_boxed_slice()
+            },
+        }
+    }
+
+    #[inline]
+    pub(crate) fn test(&self, i: u32) -> bool {
+        if self.spill.is_empty() {
+            debug_assert!(i < 64);
+            self.inline >> i & 1 == 1
+        } else {
+            self.spill[(i / 64) as usize] >> (i % 64) & 1 == 1
+        }
+    }
+
+    /// Sets bit `i`; returns whether it was previously clear.
+    #[inline]
+    pub(crate) fn set(&mut self, i: u32) -> bool {
+        let w = if self.spill.is_empty() {
+            debug_assert!(i < 64);
+            &mut self.inline
+        } else {
+            &mut self.spill[(i / 64) as usize]
+        };
+        let bit = 1u64 << (i % 64);
+        if *w & bit != 0 {
+            return false;
+        }
+        *w |= bit;
+        true
+    }
+
+    /// Capacity in bits (an upper bound on valid indices).
+    #[inline]
+    pub(crate) fn bits(&self) -> u32 {
+        if self.spill.is_empty() {
+            64
+        } else {
+            (self.spill.len() * 64) as u32
+        }
+    }
+}
+
 /// Sender-side flow state, owned by the source router's shard.
+///
+/// TCP congestion state lives in the parallel [`TcpState`] array
+/// (`Shard::tcp`), populated only when the run's transport is TCP, so
+/// NDP runs at endpoint scale do not carry ~100 bytes of dead
+/// congestion fields per flow.
 pub(crate) struct TxFlow {
     pub started: bool,
     pub next_new: u32,
-    pub retxq: VecDeque<u32>,
+    /// Pending retransmissions, FIFO (head at index 0: the queue is
+    /// almost always empty or a handful of entries, so a `Vec` beats a
+    /// `VecDeque` header per flow).
+    pub retxq: Vec<u32>,
     pub cum_ack: u32,
     /// Per-sequence ack bitmap (NDP): the sender's own view of what the
     /// receiver holds — replaces the pre-shard read of the receiver's
     /// `received` bitmap, which may live on another shard.
-    pub acked: Vec<u64>,
+    pub acked: SeqBits,
     pub acked_count: u32,
-    pub inflight: u32,
     // load balancing
     pub layer: u8,
     pub nonce: u64,
@@ -136,25 +320,14 @@ pub(crate) struct TxFlow {
     // counters
     pub retx_count: u32,
     pub rto_gen: u32,
-    pub backoff: u32,
-    // TCP congestion state (unused in NDP mode)
-    pub cwnd: f64,
-    pub ssthresh: f64,
-    pub dup_acks: u32,
-    pub in_recovery: bool,
-    pub recovery_until: u32,
-    pub srtt: f64,
-    pub rttvar: f64,
-    pub timed: Option<(u32, TimePs)>,
-    // ECN / DCTCP
-    pub ce_marked: u32,
-    pub ce_total: u32,
-    pub alpha: f64,
-    pub window_end: u32,
-    pub cwr: bool,
-    /// A window reduction requested a path switch; applied once the
-    /// pipe is nearly empty (reorder-safe) or at a flowlet gap.
-    pub want_switch: bool,
+    /// Lazy NDP retransmission timer: progress moves this deadline
+    /// forward without touching the event queue; a timer event firing
+    /// before it simply re-arms at the deadline. Keeps at most one live
+    /// `RtoTimer` event per flow instead of one per ack — at 100k+
+    /// flows the difference is tens of MB of event-heap high-water.
+    pub rto_deadline: TimePs,
+    /// Whether an `RtoTimer` event for this flow is in the queue.
+    pub rto_armed: bool,
     /// The flow was never injected: its source or destination host sat
     /// behind a dead router at start time.
     pub host_dead: bool,
@@ -170,11 +343,10 @@ impl TxFlow {
         TxFlow {
             started: false,
             next_new: 0,
-            retxq: VecDeque::new(),
+            retxq: Vec::new(),
             cum_ack: 0,
-            acked: vec![0u64; m.num_pkts.div_ceil(64) as usize],
+            acked: SeqBits::new(m.num_pkts),
             acked_count: 0,
-            inflight: 0,
             layer: m.init_layer,
             nonce: m.init_nonce,
             last_tx: 0,
@@ -182,21 +354,8 @@ impl TxFlow {
             uid_ctr: 0,
             retx_count: 0,
             rto_gen: 0,
-            backoff: 0,
-            cwnd: 4.0,
-            ssthresh: 1e9,
-            dup_acks: 0,
-            in_recovery: false,
-            recovery_until: 0,
-            srtt: 0.0,
-            rttvar: 0.0,
-            timed: None,
-            ce_marked: 0,
-            ce_total: 0,
-            alpha: 0.0,
-            window_end: 0,
-            cwr: false,
-            want_switch: false,
+            rto_deadline: 0,
+            rto_armed: false,
             host_dead: false,
             dead_rtos: 0,
             aborted: false,
@@ -205,26 +364,75 @@ impl TxFlow {
 
     /// Records a per-sequence ack; returns whether it was new.
     pub(crate) fn mark_acked(&mut self, seq: u32) -> bool {
-        let (w, b) = ((seq / 64) as usize, seq % 64);
-        if self.acked[w] >> b & 1 == 1 {
+        if !self.acked.set(seq) {
             return false;
         }
-        self.acked[w] |= 1 << b;
         self.acked_count += 1;
         true
     }
 
     pub(crate) fn is_acked(&self, seq: u32) -> bool {
-        self.acked[(seq / 64) as usize] >> (seq % 64) & 1 == 1
+        self.acked.test(seq)
+    }
+}
+
+/// TCP congestion/RTT state, parallel to [`TxFlow`] by local index.
+/// Allocated only for TCP transports — NDP's receiver-driven pull loop
+/// uses none of it.
+pub(crate) struct TcpState {
+    pub cwnd: f64,
+    pub ssthresh: f64,
+    pub srtt: f64,
+    pub rttvar: f64,
+    pub inflight: u32,
+    pub dup_acks: u32,
+    pub in_recovery: bool,
+    pub recovery_until: u32,
+    pub timed: Option<(u32, TimePs)>,
+    pub backoff: u32,
+    // ECN / DCTCP
+    pub ce_marked: u32,
+    pub ce_total: u32,
+    pub alpha: f64,
+    pub window_end: u32,
+    pub cwr: bool,
+    /// A window reduction requested a path switch; applied once the
+    /// pipe is nearly empty (reorder-safe) or at a flowlet gap.
+    pub want_switch: bool,
+}
+
+impl TcpState {
+    pub(crate) fn new() -> Self {
+        TcpState {
+            cwnd: 4.0,
+            ssthresh: 1e9,
+            srtt: 0.0,
+            rttvar: 0.0,
+            inflight: 0,
+            dup_acks: 0,
+            in_recovery: false,
+            recovery_until: 0,
+            timed: None,
+            backoff: 0,
+            ce_marked: 0,
+            ce_total: 0,
+            alpha: 0.0,
+            window_end: 0,
+            cwr: false,
+            want_switch: false,
+        }
     }
 }
 
 /// Receiver-side flow state, owned by the destination router's shard.
 pub(crate) struct RxFlow {
-    pub received: Vec<u64>,
+    pub received: SeqBits,
     pub rcv_count: u32,
     pub rcv_next: u32,
-    pub finished: Option<TimePs>,
+    /// Completion time, `TimePs::MAX` while in flight (a packed
+    /// `Option`: no transfer can complete at the end of time, and the
+    /// niche-less `Option<u64>` doubled the field).
+    finished: TimePs,
     pub trims: u32,
     pub rx_suggest: u8,
     /// Layer the receiver last saw data on; control packets ride it
@@ -239,12 +447,23 @@ pub(crate) struct RxFlow {
 }
 
 impl RxFlow {
+    #[inline]
+    pub(crate) fn is_finished(&self) -> bool {
+        self.finished != TimePs::MAX
+    }
+
+    /// Completion time as the `Option` the public records expose.
+    #[inline]
+    pub(crate) fn finish_time(&self) -> Option<TimePs> {
+        self.is_finished().then_some(self.finished)
+    }
+
     pub(crate) fn new(m: &FlowMeta) -> Self {
         RxFlow {
-            received: vec![0u64; m.num_pkts.div_ceil(64) as usize],
+            received: SeqBits::new(m.num_pkts),
             rcv_count: 0,
             rcv_next: 0,
-            finished: None,
+            finished: TimePs::MAX,
             trims: 0,
             rx_suggest: 0xff,
             rx_last_layer: 0,
@@ -254,33 +473,72 @@ impl RxFlow {
     }
 
     pub(crate) fn mark_received(&mut self, seq: u32) -> bool {
-        let (w, b) = ((seq / 64) as usize, seq % 64);
-        if self.received[w] >> b & 1 == 1 {
+        if !self.received.set(seq) {
             return false;
         }
-        self.received[w] |= 1 << b;
         self.rcv_count += 1;
-        while self.rcv_next < (self.received.len() * 64) as u32
-            && self.received[(self.rcv_next / 64) as usize] >> (self.rcv_next % 64) & 1 == 1
-        {
+        while self.rcv_next < self.received.bits() && self.received.test(self.rcv_next) {
             self.rcv_next += 1;
         }
         true
     }
 }
 
-/// A boundary packet in a per-shard-pair mailbox.
+/// Pops the front of a small FIFO `Vec` (see `TxFlow::retxq`): the
+/// `O(len)` shift is cheaper than a `VecDeque` header per flow for
+/// queues that are empty in the common case.
+pub(crate) fn pop_front(q: &mut Vec<u32>) -> Option<u32> {
+    if q.is_empty() {
+        None
+    } else {
+        Some(q.remove(0))
+    }
+}
+
+/// A boundary packet in a per-shard-pair mailbox: 40 bytes, not 48 —
+/// the arrival time is a `u32` offset from the sender's window base
+/// (a boundary hop is at most serialization + latency past the window,
+/// microseconds even for jumbo frames, so picosecond deltas fit with
+/// room to spare) and the router/endpoint discriminator rides the high
+/// bit of the far-end id.
 pub(crate) struct OutMsg {
-    pub at: TimePs,
-    pub to: u32,
-    pub to_is_router: bool,
+    dt: u32,
+    to_flags: u32,
     pub pkt: Packet,
 }
 
+impl OutMsg {
+    pub(crate) fn new(at: TimePs, base: TimePs, to: u32, to_is_router: bool, pkt: Packet) -> Self {
+        debug_assert!(at >= base && at - base <= u32::MAX as u64);
+        debug_assert!(to < PORT_TO_ROUTER);
+        OutMsg {
+            dt: (at - base) as u32,
+            to_flags: to | if to_is_router { PORT_TO_ROUTER } else { 0 },
+            pkt,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn at(&self, base: TimePs) -> TimePs {
+        base + self.dt as TimePs
+    }
+
+    #[inline]
+    pub(crate) fn to(&self) -> u32 {
+        self.to_flags & (PORT_TO_ROUTER - 1)
+    }
+
+    #[inline]
+    pub(crate) fn to_is_router(&self) -> bool {
+        self.to_flags & PORT_TO_ROUTER != 0
+    }
+}
+
 /// Read-only context shared by every shard during a run: topology,
-/// scheme, config, flow metadata, and the global→local index maps.
-/// `Sync` by construction (all shared references; `RoutingScheme`
-/// requires `Sync`), so one `&Ctx` is captured by all shard workers.
+/// scheme, config, flow metadata, the global→local index maps, and the
+/// pre-computed fault timeline. `Sync` by construction (all shared
+/// references; `RoutingScheme` requires `Sync`), so one `&Ctx` is
+/// captured by all shard workers.
 pub(crate) struct Ctx<'a, R: ?Sized> {
     pub topo: &'a Topology,
     pub scheme: &'a R,
@@ -298,10 +556,18 @@ pub(crate) struct Ctx<'a, R: ?Sized> {
     pub port_home: &'a [SlotRef],
     /// Endpoint id → owning shard + local pull-queue index.
     pub ep_home: &'a [SlotRef],
+    /// Endpoint id → attached router: the packet no longer carries its
+    /// destination router (32-byte packing), so routing derives it from
+    /// `dst_ep` through this flat map (the topology's own lookup is a
+    /// binary search — too slow for a per-hop read).
+    pub ep_router: &'a [u32],
     /// Router id → owning shard.
     pub router_shard: &'a [u32],
     /// Cached `scheme.num_layers()`.
     pub n_layers: usize,
+    /// The shared fault timeline: one immutable epoch per fault event,
+    /// indexed by each shard's `fault_epoch` cursor.
+    pub faults: &'a FaultTimeline,
 }
 
 impl<R: ?Sized> Ctx<'_, R> {
@@ -312,30 +578,40 @@ impl<R: ?Sized> Ctx<'_, R> {
 
     #[inline]
     pub(crate) fn tx_idx(&self, flow: u32) -> usize {
-        self.tx_home[flow as usize].idx as usize
+        self.tx_home[flow as usize].idx() as usize
     }
 
     #[inline]
     pub(crate) fn rx_idx(&self, flow: u32) -> usize {
-        self.rx_home[flow as usize].idx as usize
+        self.rx_home[flow as usize].idx() as usize
     }
 
     #[inline]
     pub(crate) fn port_idx(&self, port: u32) -> usize {
-        self.port_home[port as usize].idx as usize
+        self.port_home[port as usize].idx() as usize
     }
 
     #[inline]
     pub(crate) fn ep_idx(&self, ep: u32) -> usize {
-        self.ep_home[ep as usize].idx as usize
+        self.ep_home[ep as usize].idx() as usize
+    }
+
+    /// The router a packet is headed for (derived, see
+    /// [`Ctx::ep_router`]).
+    #[inline]
+    pub(crate) fn dst_router_of(&self, p: &Packet) -> u32 {
+        self.ep_router[p.dst_ep as usize]
     }
 }
 
 /// One region's simulation state: event queue, packet arena, ports,
-/// flow halves, and a full replica of the fault/repair state.
+/// flow halves, and an epoch cursor into the shared fault timeline.
 pub(crate) struct Shard {
     pub id: u32,
     pub now: TimePs,
+    /// Start of the window currently executing: the base outgoing
+    /// mailbox messages encode their arrival-time deltas against.
+    pub window_base: TimePs,
     /// Time of the last event this shard processed (for `end_time`).
     pub last_t: TimePs,
     pub events: EventQueue,
@@ -344,10 +620,21 @@ pub(crate) struct Shard {
     pub ports: Vec<Port>,
     /// Sender-side flow halves owned here.
     pub tx: Vec<TxFlow>,
+    /// TCP congestion state, parallel to `tx` (empty for NDP runs).
+    pub tcp: Vec<TcpState>,
     /// Receiver-side flow halves owned here.
     pub rx: Vec<RxFlow>,
-    // NDP receiver pull pacing, for endpoints owned here.
-    pub pullq: Vec<VecDeque<u32>>,
+    // NDP receiver pull pacing, for endpoints owned here. The credit
+    // queues are intrusive FIFO chains through a shared node pool (one
+    // node per outstanding credit, free-listed) instead of a `VecDeque`
+    // per endpoint — at fat-tree scale the deque headers and their
+    // minimum heap buffers dominated the queues' actual content.
+    pub pull_head: Vec<u32>,
+    pub pull_tail: Vec<u32>,
+    /// Credit nodes: `(flow, next)`; `next` chains both live queues and
+    /// the free list.
+    pull_pool: Vec<(u32, u32)>,
+    pull_free: u32,
     pub pull_ready: Vec<TimePs>,
     // counters
     pub drops: u64,
@@ -359,40 +646,39 @@ pub(crate) struct Shard {
     pub resolved: Vec<u32>,
     /// Outgoing boundary packets, one mailbox per destination shard.
     pub outbox: Vec<Vec<OutMsg>>,
-    // ---- replicated fault state (identical across shards) ----
-    /// Down-state bitmask, one bit per *global* output port.
-    pub port_down: Vec<u64>,
-    pub down_count: u32,
-    /// Currently-down links in canonical form (feeds route repair):
-    /// links failed in their own right plus links incident to a dead
-    /// router.
-    pub down_links: Vec<(u32, u32)>,
-    /// Links failed in their own right, kept apart from `down_links` so
-    /// a reviving router does not resurrect an independently cut link.
-    pub link_failed: rustc_hash::FxHashSet<(u32, u32)>,
-    pub router_dead: Vec<bool>,
-    pub dead_router_count: u32,
+    /// Reusable scratch indices (RTO missing-sequence collection).
+    pub scratch: Vec<u32>,
+    // ---- shared-fault-state cursor ----
+    /// Index into `Ctx::faults.epochs`: the number of fault events this
+    /// shard has popped so far. Every shard pops the identical global
+    /// fault-event sequence, so equal cursors mean identical views.
+    pub fault_epoch: u32,
+    /// Repair passes popped so far (prefix length of the shared
+    /// `FaultTimeline::log` this shard has reached).
+    pub repair_seen: u32,
     /// Time of the currently scheduled repair pass, if any (burst
-    /// coalescing: one `RepairTick` per event batch).
+    /// coalescing: one `RepairTick` per event batch). Mirrors the
+    /// writer's pre-run dedup decisions exactly.
     pub repair_at: Option<TimePs>,
-    /// Scheme-computed repaired rows (empty until a detection fires).
-    pub repair: RouteRepair,
-    /// One record per executed repair pass; identical on every shard.
-    pub repair_log: Vec<RepairTickRecord>,
 }
 
 impl Shard {
-    pub(crate) fn new(id: u32, n_shards: usize, n_ports_total: usize, n_routers: usize) -> Self {
+    pub(crate) fn new(id: u32, n_shards: usize) -> Self {
         Shard {
             id,
             now: 0,
+            window_base: 0,
             last_t: 0,
             events: EventQueue::default(),
             packets: PacketSlab::default(),
             ports: Vec::new(),
             tx: Vec::new(),
+            tcp: Vec::new(),
             rx: Vec::new(),
-            pullq: Vec::new(),
+            pull_head: Vec::new(),
+            pull_tail: Vec::new(),
+            pull_pool: Vec::new(),
+            pull_free: NO_PKT,
             pull_ready: Vec::new(),
             drops: 0,
             trim_count: 0,
@@ -400,16 +686,82 @@ impl Shard {
             host_dead: 0,
             resolved: Vec::new(),
             outbox: (0..n_shards).map(|_| Vec::new()).collect(),
-            port_down: vec![0u64; n_ports_total.div_ceil(64)],
-            down_count: 0,
-            down_links: Vec::new(),
-            link_failed: rustc_hash::FxHashSet::default(),
-            router_dead: vec![false; n_routers],
-            dead_router_count: 0,
+            scratch: Vec::new(),
+            fault_epoch: 0,
+            repair_seen: 0,
             repair_at: None,
-            repair: RouteRepair::none(),
-            repair_log: Vec::new(),
         }
+    }
+
+    /// Drops the run-time arenas — event heap, packet slab, ports,
+    /// mailboxes, pull queues — while keeping the flow halves and
+    /// counters the driver reads during result assembly. Called once
+    /// the event loop finishes so the per-flow record vector is not
+    /// stacked on top of tens of MB of dead arena capacity (the
+    /// process high-water mark would record the sum).
+    pub(crate) fn release_arenas(&mut self) {
+        self.events = EventQueue::default();
+        self.packets = PacketSlab::default();
+        self.ports = Vec::new();
+        self.tcp = Vec::new();
+        self.pull_head = Vec::new();
+        self.pull_tail = Vec::new();
+        self.pull_pool = Vec::new();
+        self.pull_ready = Vec::new();
+        self.resolved = Vec::new();
+        self.outbox = Vec::new();
+        self.scratch = Vec::new();
+    }
+
+    /// Appends a pull credit for `flow` to endpoint slot `li`'s FIFO.
+    /// Returns whether the queue was empty (the caller schedules the
+    /// first tick).
+    pub(crate) fn pull_push(&mut self, li: usize, flow: u32) -> bool {
+        let node = if self.pull_free != NO_PKT {
+            let n = self.pull_free;
+            self.pull_free = self.pull_pool[n as usize].1;
+            self.pull_pool[n as usize] = (flow, NO_PKT);
+            n
+        } else {
+            self.pull_pool.push((flow, NO_PKT));
+            (self.pull_pool.len() - 1) as u32
+        };
+        let was_empty = self.pull_head[li] == NO_PKT;
+        if was_empty {
+            self.pull_head[li] = node;
+        } else {
+            self.pull_pool[self.pull_tail[li] as usize].1 = node;
+        }
+        self.pull_tail[li] = node;
+        was_empty
+    }
+
+    /// Pops the head credit of endpoint slot `li`'s FIFO, if any.
+    pub(crate) fn pull_pop(&mut self, li: usize) -> Option<u32> {
+        let node = self.pull_head[li];
+        if node == NO_PKT {
+            return None;
+        }
+        let (flow, next) = self.pull_pool[node as usize];
+        self.pull_head[li] = next;
+        if next == NO_PKT {
+            self.pull_tail[li] = NO_PKT;
+        }
+        self.pull_pool[node as usize].1 = self.pull_free;
+        self.pull_free = node;
+        Some(flow)
+    }
+
+    #[inline]
+    pub(crate) fn pull_pending(&self, li: usize) -> bool {
+        self.pull_head[li] != NO_PKT
+    }
+
+    /// The fault snapshot this shard currently sees: immutable, shared
+    /// by every shard at the same cursor position.
+    #[inline]
+    pub(crate) fn faults<'c, R: ?Sized>(&self, cx: &Ctx<'c, R>) -> &'c FaultEpoch {
+        &cx.faults.epochs[self.fault_epoch as usize]
     }
 
     /// Runs this shard's events in `[peek, w_end)`, stopping at the
@@ -436,48 +788,42 @@ impl Shard {
         match ev {
             EvKind::FlowStart { flow } => self.on_flow_start(cx, flow),
             EvKind::PortPop { port } => {
-                debug_assert_eq!(cx.port_home[port as usize].shard, self.id);
-                self.ports[cx.port_idx(port)].busy = false;
+                debug_assert_eq!(cx.port_home[port as usize].shard(), self.id);
+                self.ports[cx.port_idx(port)].set_busy(false);
                 self.port_try_start(cx, port);
             }
             EvKind::ArriveRouter { pkt, router } => self.on_router_arrive(cx, router, pkt),
             EvKind::ArriveEndpoint { pkt, ep } => self.on_endpoint_arrive(cx, ep, pkt),
             EvKind::PullTick { ep } => self.ndp_pull_tick(cx, ep),
             EvKind::RtoTimer { flow, gen } => self.on_rto(cx, flow, gen),
-            EvKind::LinkDown { u, v } => {
-                self.fail_link_now(cx.topo, cx.net_base, u, v);
-                self.schedule_repair(cx.cfg.detection_delay);
-            }
-            EvKind::LinkUp { u, v } => {
-                self.restore_link_now(cx.topo, cx.net_base, u, v);
-                self.schedule_repair(cx.cfg.detection_delay);
-            }
-            EvKind::RouterDown { router } => {
-                self.set_router_state(cx.topo, cx.net_base, router, false);
-                self.schedule_repair(cx.cfg.detection_delay);
-            }
-            EvKind::RouterUp { router } => {
-                self.set_router_state(cx.topo, cx.net_base, router, true);
+            // Fault events are pre-applied by the writer; in the shards
+            // they only advance the epoch cursor (and mirror the
+            // writer's RepairTick scheduling so the cursors stay in
+            // lockstep with the published timeline).
+            EvKind::LinkDown { .. }
+            | EvKind::LinkUp { .. }
+            | EvKind::RouterDown { .. }
+            | EvKind::RouterUp { .. } => {
+                self.fault_epoch += 1;
                 self.schedule_repair(cx.cfg.detection_delay);
             }
             EvKind::RepairTick => {
                 if self.repair_at == Some(self.now) {
                     self.repair_at = None;
                 }
-                self.recompute_repair(cx);
-                self.repair_log.push(RepairTickRecord {
-                    at: self.now,
-                    rows: self.repair.len() as u64,
-                    fib_rows: self.repair.fib_rows_rewritten,
-                });
+                self.fault_epoch += 1;
+                self.repair_seen += 1;
             }
         }
     }
 
     fn on_flow_start<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
-        if self.dead_router_count != 0 {
+        let fe = self.faults(cx);
+        if fe.dead_router_count != 0 {
             let m = cx.meta(flow);
-            if self.router_dead[m.src_router as usize] || self.router_dead[m.dst_router as usize] {
+            if fe.router_is_dead(cx.ep_router[m.src_ep as usize])
+                || fe.router_is_dead(cx.ep_router[m.dst_ep as usize])
+            {
                 // Workload filtering for whole-node failures: a flow
                 // whose host is dead at start time is excluded and
                 // accounted `host_dead` — it is not the network's
@@ -510,23 +856,23 @@ impl Shard {
             Transport::Ndp { queue_pkts, .. } => {
                 let (is_data, is_retx) = {
                     let p = self.packets.get(pid);
-                    (p.kind == PktKind::Data && !p.trimmed, p.retx)
+                    (p.kind() == PktKind::Data && !p.trimmed(), p.retx())
                 };
                 let li = cx.port_idx(port);
                 if is_data {
-                    if (self.ports[li].data_q.len() as u32) < queue_pkts {
+                    if (self.ports[li].data_len as u32) < queue_pkts {
                         // Retransmissions jump the data queue (they unblock
                         // stalled receivers, §III-C) but still count against
                         // the shallow limit — a payload is a payload.
                         if is_retx {
-                            self.ports[li].data_q.push_front(pid);
+                            self.ports[li].push_front(&mut self.packets, true, pid);
                         } else {
-                            self.ports[li].data_q.push_back(pid);
+                            self.ports[li].push_back(&mut self.packets, true, pid);
                         }
                     } else {
                         // Trim: drop payload, keep the header, prioritize.
                         let p = self.packets.get_mut(pid);
-                        p.trimmed = true;
+                        p.set_trimmed();
                         p.wire_bytes = HDR_BYTES;
                         self.trim_count += 1;
                         self.push_prio_bounded(li, pid);
@@ -541,28 +887,27 @@ impl Shard {
                 ..
             } => {
                 let li = cx.port_idx(port);
-                let depth = self.ports[li].data_q.len() as u32;
+                let depth = self.ports[li].data_len as u32;
                 if depth >= queue_pkts {
                     self.drops += 1;
                     self.packets.release(pid);
                     return;
                 }
                 if depth >= ecn_threshold {
-                    self.packets.get_mut(pid).ecn_ce = true;
+                    self.packets.get_mut(pid).set_ecn_ce();
                 }
-                self.ports[li].data_q.push_back(pid);
+                self.ports[li].push_back(&mut self.packets, true, pid);
             }
         }
         self.port_try_start(cx, port);
     }
 
     fn push_prio_bounded(&mut self, local_port: usize, pid: u32) {
-        let q = &mut self.ports[local_port];
-        if q.prio_q.len() >= 1024 {
+        if self.ports[local_port].prio_len >= 1024 {
             self.drops += 1;
             self.packets.release(pid);
         } else {
-            q.prio_q.push_back(pid);
+            self.ports[local_port].push_back(&mut self.packets, false, pid);
         }
     }
 
@@ -574,14 +919,10 @@ impl Shard {
         pid: u32,
     ) {
         let port = cx.up_base + ep;
-        debug_assert_eq!(cx.port_home[port as usize].shard, self.id);
-        let is_control = self.packets.get(pid).kind != PktKind::Data;
-        let q = &mut self.ports[cx.port_idx(port)];
-        if is_control {
-            q.prio_q.push_back(pid);
-        } else {
-            q.data_q.push_back(pid);
-        }
+        debug_assert_eq!(cx.port_home[port as usize].shard(), self.id);
+        let is_control = self.packets.get(pid).kind() != PktKind::Data;
+        let li = cx.port_idx(port);
+        self.ports[li].push_back(&mut self.packets, !is_control, pid);
         self.port_try_start(cx, port);
     }
 
@@ -591,15 +932,20 @@ impl Shard {
     /// slot is released — slab ids are shard-private).
     fn port_try_start<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, port: u32) {
         let (pid, to_is_router, to) = {
-            let q = &mut self.ports[cx.port_idx(port)];
-            if q.busy {
+            let li = cx.port_idx(port);
+            if self.ports[li].busy() {
                 return;
             }
-            let Some(pid) = q.prio_q.pop_front().or_else(|| q.data_q.pop_front()) else {
+            let mut popped = self.ports[li].pop_front(&self.packets, false);
+            if popped.is_none() {
+                popped = self.ports[li].pop_front(&self.packets, true);
+            }
+            let Some(pid) = popped else {
                 return;
             };
-            q.busy = true;
-            (pid, q.to_is_router, q.to)
+            let q = &mut self.ports[li];
+            q.set_busy(true);
+            (pid, q.to_is_router(), q.to())
         };
         let bytes = self.packets.get(pid).wire_bytes;
         let ser = cx.cfg.ser_time(bytes);
@@ -608,7 +954,7 @@ impl Shard {
         let tshard = if to_is_router {
             cx.router_shard[to as usize]
         } else {
-            cx.ep_home[to as usize].shard
+            cx.ep_home[to as usize].shard()
         };
         if tshard == self.id {
             let uid = self.packets.get(pid).salt;
@@ -624,12 +970,14 @@ impl Shard {
         } else {
             let pkt = *self.packets.get(pid);
             self.packets.release(pid);
-            self.outbox[tshard as usize].push(OutMsg {
-                at: arrive,
-                to,
-                to_is_router,
-                pkt,
-            });
+            let ob = &mut self.outbox[tshard as usize];
+            // Bounded exact growth — a doubling push on a mailbox that
+            // already holds a window's worth of boundary packets would
+            // permanently raise the high-water mark.
+            if ob.len() == ob.capacity() {
+                ob.reserve_exact((ob.capacity() / 8).max(256));
+            }
+            ob.push(OutMsg::new(arrive, self.window_base, to, to_is_router, pkt));
         }
     }
 
@@ -637,7 +985,8 @@ impl Shard {
 
     fn on_router_arrive<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, r: u32, pid: u32) {
         debug_assert_eq!(cx.router_shard[r as usize], self.id);
-        if self.dead_router_count != 0 && self.router_dead[r as usize] {
+        let fe = self.faults(cx);
+        if fe.dead_router_count != 0 && fe.router_is_dead(r) {
             // The router died while this packet was in flight toward it
             // (or a local endpoint is still draining its NIC): a dead
             // router forwards nothing.
@@ -647,7 +996,7 @@ impl Shard {
         }
         let (dst_router, dst_ep, layer) = {
             let p = self.packets.get(pid);
-            (p.dst_router, p.dst_ep, p.layer)
+            (cx.dst_router_of(p), p.dst_ep, p.layer)
         };
         // Per-hop layer rewrite (Valiant phase switch; identity for
         // single-phase schemes).
@@ -669,7 +1018,7 @@ impl Shard {
                 return;
             };
             let port = cx.net_base[r as usize] + sel as u32;
-            if self.down_count != 0 && self.is_port_down(port) {
+            if fe.down_count != 0 && fe.is_port_down(port) {
                 // Link down (not yet repaired, or the scheme cannot
                 // repair): the packet is lost; end-to-end recovery
                 // redirects the flow to another layer (§V-G).
@@ -682,30 +1031,27 @@ impl Shard {
         self.router_enqueue(cx, port, pid);
     }
 
-    fn select_port<R: RoutingScheme + ?Sized>(
-        &mut self,
-        cx: &Ctx<R>,
-        r: u32,
-        pid: u32,
-    ) -> Option<u16> {
+    fn select_port<R: RoutingScheme + ?Sized>(&self, cx: &Ctx<R>, r: u32, pid: u32) -> Option<u16> {
         let p = *self.packets.get(pid);
+        let dst_router = cx.dst_router_of(&p);
+        let fe = self.faults(cx);
         // Repaired rows (installed one detection delay after link-state
         // changes) shadow the scheme's original tables.
-        let repaired_row = if self.repair.is_empty() {
+        let repaired_row = if fe.repair.is_empty() {
             None
         } else {
-            self.repair.lookup(p.layer, r, p.dst_router)
+            fe.repair.lookup(p.layer, r, dst_router)
         };
         let scheme_row;
         let cands: &[u16] = match repaired_row {
             Some(e) => e.as_slice(),
             None => {
-                scheme_row = cx.scheme.candidate_ports(p.layer, r, p.dst_router);
+                scheme_row = cx.scheme.candidate_ports(p.layer, r, dst_router);
                 scheme_row.as_slice()
             }
         };
         debug_assert!(
-            !cands.is_empty() || self.down_count != 0 || !self.repair.is_empty(),
+            !cands.is_empty() || fe.down_count != 0 || !fe.repair.is_empty(),
             "destination unreachable on a healthy network"
         );
         if cands.is_empty() {
@@ -725,10 +1071,10 @@ impl Shard {
             // Retransmissions re-roll on their salt so a packet
             // never re-walks into a failed or congested port.
             LoadBalancing::PacketSpray => {
-                if p.retx {
+                if p.retx() {
                     cands[(fnv1a(p.salt ^ r as u64) % len) as usize]
                 } else {
-                    let off = fnv1a(((p.flow as u64) << 32) ^ r as u64);
+                    let off = fnv1a(((p.flow() as u64) << 32) ^ r as u64);
                     cands[((p.seq as u64 + off) % len) as usize]
                 }
             }
@@ -789,22 +1135,17 @@ impl Shard {
         f.uid_ctr += 1;
         // Canonical transmission id: (flow, per-sender counter, dir=0).
         let salt = ((flow as u64) << 33) | ((f.uid_ctr as u64) << 1);
-        let pkt = Packet {
-            flow,
+        let pkt = Packet::new(
+            PktKind::Data,
             seq,
-            wire_bytes: m.payload_of(seq, payload) + HDR_BYTES,
-            kind: PktKind::Data,
-            layer: f.layer,
-            trimmed: false,
-            ecn_ce: false,
-            ecn_echo: false,
-            retx,
-            dst_router: m.dst_router,
-            dst_ep: m.dst_ep,
-            nonce: f.nonce,
+            m.payload_of(seq, payload) + HDR_BYTES,
+            f.layer,
+            m.dst_ep,
+            f.nonce,
             salt,
-            suggest_layer: 0xff,
-        };
+            0xff,
+        )
+        .with_retx(retx);
         let pid = self.packets.alloc(pkt);
         self.nic_enqueue(cx, m.src_ep, pid);
     }
@@ -829,22 +1170,17 @@ impl Shard {
         f.uid_ctr += 1;
         // Canonical transmission id: (flow, per-receiver counter, dir=1).
         let salt = ((flow as u64) << 33) | ((f.uid_ctr as u64) << 1) | 1;
-        let pkt = Packet {
-            flow,
-            seq,
-            wire_bytes: HDR_BYTES,
+        let pkt = Packet::new(
             kind,
-            layer: f.rx_last_layer,
-            trimmed: false,
-            ecn_ce: false,
-            ecn_echo,
-            retx: false,
-            dst_router: m.src_router,
-            dst_ep: m.src_ep,
-            nonce: f.last_nonce,
+            seq,
+            HDR_BYTES,
+            f.rx_last_layer,
+            m.src_ep,
+            f.last_nonce,
             salt,
-            suggest_layer: suggest,
-        };
+            suggest,
+        )
+        .with_ecn_echo(ecn_echo);
         let pid = self.packets.alloc(pkt);
         self.nic_enqueue(cx, m.dst_ep, pid);
     }
@@ -853,8 +1189,8 @@ impl Shard {
     /// to the driver's termination set.
     pub(crate) fn complete_flow<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
         let f = &mut self.rx[cx.rx_idx(flow)];
-        if f.finished.is_none() {
-            f.finished = Some(self.now);
+        if !f.is_finished() {
+            f.finished = self.now;
             self.resolved.push(flow);
         }
     }
@@ -879,6 +1215,25 @@ impl Shard {
     }
 
     fn on_rto<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32, gen: u32) {
+        if matches!(cx.cfg.transport, Transport::Ndp { .. }) {
+            // Lazy timer discipline: acks extend `rto_deadline` without
+            // queueing anything, so a firing before the (extended)
+            // deadline is a deferral — push the single timer event out
+            // to the deadline and do nothing else. Only a firing at the
+            // deadline is a real timeout. The effective timeout instant
+            // (last progress + RTO) is identical to the eager
+            // one-event-per-ack scheme, so results are unchanged.
+            let ti = cx.tx_idx(flow);
+            self.tx[ti].rto_armed = false;
+            if self.now < self.tx[ti].rto_deadline {
+                if !self.tx[ti].aborted && !self.tx_done(cx, flow) {
+                    let at = self.tx[ti].rto_deadline;
+                    self.tx[ti].rto_armed = true;
+                    self.events.push(at, EvKind::RtoTimer { flow, gen });
+                }
+                return;
+            }
+        }
         if self.abort_if_host_dead(cx, flow, gen) {
             return;
         }
@@ -912,8 +1267,10 @@ impl Shard {
                 return self.tx[ti].aborted;
             }
         }
-        let endpoint_dead = self.dead_router_count != 0
-            && (self.router_dead[m.src_router as usize] || self.router_dead[m.dst_router as usize]);
+        let fe = self.faults(cx);
+        let endpoint_dead = fe.dead_router_count != 0
+            && (fe.router_is_dead(cx.ep_router[m.src_ep as usize])
+                || fe.router_is_dead(cx.ep_router[m.dst_ep as usize]));
         let f = &mut self.tx[ti];
         if !endpoint_dead {
             // The budget counts *consecutive* RTOs against a dead
@@ -943,98 +1300,13 @@ impl Shard {
         }
     }
 
-    // ---- replicated fault-state machine -----------------------------------
-
-    /// Fails link `{u, v}` in its own right (static failure or a
-    /// `LinkDown` event): recorded in `link_failed` so a later router
-    /// revival does not resurrect it.
-    pub(crate) fn fail_link_now(&mut self, topo: &Topology, net_base: &[u32], u: u32, v: u32) {
-        self.link_failed.insert((u.min(v), u.max(v)));
-        self.set_link_state(topo, net_base, u, v, false);
-    }
-
-    /// Clears link `{u, v}`'s own failure; the link comes back only if
-    /// neither endpoint router is dead.
-    pub(crate) fn restore_link_now(&mut self, topo: &Topology, net_base: &[u32], u: u32, v: u32) {
-        self.link_failed.remove(&(u.min(v), u.max(v)));
-        if !self.router_dead[u as usize] && !self.router_dead[v as usize] {
-            self.set_link_state(topo, net_base, u, v, true);
-        }
-    }
-
-    /// Flips router `r`'s state. Death atomically fails every incident
-    /// link; revival restores exactly the incident links whose other end
-    /// is alive and not independently failed. Idempotent.
-    pub(crate) fn set_router_state(&mut self, topo: &Topology, net_base: &[u32], r: u32, up: bool) {
-        if self.router_dead[r as usize] != up {
-            return; // already in that state (dead == !up)
-        }
-        if up {
-            self.router_dead[r as usize] = false;
-            self.dead_router_count -= 1;
-            for &nb in topo.graph.neighbors(r) {
-                if !self.router_dead[nb as usize]
-                    && !self.link_failed.contains(&(r.min(nb), r.max(nb)))
-                {
-                    self.set_link_state(topo, net_base, r, nb, true);
-                }
-            }
-        } else {
-            self.router_dead[r as usize] = true;
-            self.dead_router_count += 1;
-            for &nb in topo.graph.neighbors(r) {
-                self.set_link_state(topo, net_base, r, nb, false);
-            }
-        }
-    }
-
-    /// Flips the state of link `{u, v}` (both directions). Idempotent.
-    pub(crate) fn set_link_state(
-        &mut self,
-        topo: &Topology,
-        net_base: &[u32],
-        u: u32,
-        v: u32,
-        up: bool,
-    ) {
-        assert!(topo.graph.has_edge(u, v), "no such link");
-        let key = (u.min(v), u.max(v));
-        let was_down = self.down_links.contains(&key);
-        if up == was_down {
-            // State actually changes.
-            if up {
-                self.down_links.retain(|&k| k != key);
-                self.down_count -= 1;
-            } else {
-                self.down_links.push(key);
-                self.down_count += 1;
-            }
-            for (a, b) in [(u, v), (v, u)] {
-                let port =
-                    net_base[a as usize] + topo.graph.port_of(a, b).expect("checked has_edge");
-                let (w, bit) = (port as usize / 64, port % 64);
-                if up {
-                    self.port_down[w] &= !(1u64 << bit);
-                } else {
-                    self.port_down[w] |= 1u64 << bit;
-                }
-            }
-        }
-    }
-
-    #[inline]
-    pub(crate) fn is_port_down(&self, port: u32) -> bool {
-        self.port_down[port as usize / 64] >> (port % 64) & 1 == 1
-    }
-
-    /// Schedules the control plane's reaction to a link-state change, if
-    /// detection is enabled. A burst of simultaneous changes (a router
+    /// Mirrors the writer's repair scheduling, purely to keep this
+    /// shard's event queue (and thus its epoch cursor) aligned with the
+    /// published timeline. A burst of simultaneous changes (a router
     /// death fails its whole radix at once; a maintenance window kills
     /// several routers in one timestamp) coalesces into a single
-    /// `RepairTick`: the repair pass runs once per event batch, over the
-    /// full down set, not once per changed link. Every shard schedules
-    /// its own tick from the same replicated event sequence, so the
-    /// replicas stay in lockstep.
+    /// `RepairTick` — the same dedup the writer applies, so shard
+    /// queues and writer replay stay in lockstep.
     pub(crate) fn schedule_repair(&mut self, delay: Option<TimePs>) {
         if let Some(delay) = delay {
             let at = self.now + delay;
@@ -1044,54 +1316,68 @@ impl Shard {
             }
         }
     }
-
-    /// Recomputes the route-repair overlay from the current down set via
-    /// the scheme's [`RoutingScheme::repair_routes`] hook. Dead routers
-    /// need no special plumbing here: their incident links are all in
-    /// the down set, so the repaired tables route around them.
-    fn recompute_repair<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>) {
-        let down = DownLinks::from_links(&self.down_links);
-        self.repair = cx.scheme.repair_routes(&cx.topo.graph, &down);
-    }
 }
 
 /// Drains every shard's outboxes into the destination shards' queues in
 /// the canonical merge order `(time, src_shard, seq)`: destination
 /// shards iterate sources in ascending shard id, each source's messages
-/// stable-sorted by time (the stable sort preserves send order — the
-/// `seq` component — within equal times). The packet is re-allocated in
-/// the destination's arena and its arrival keyed by the canonical
-/// transmission id, so where a packet was buffered never shows in the
-/// event order.
-pub(crate) fn deliver_mailboxes(shards: &mut [Shard]) {
+/// sorted by time. The sort need not be stable: the event queue orders
+/// equal-time arrivals by the canonical transmission id regardless of
+/// push order (pinned by `order_is_push_sequence_independent`), so an
+/// unstable sort — which avoids merge sort's temporary buffer — changes
+/// nothing observable. The packet is re-allocated in the destination's
+/// arena and its arrival keyed by the canonical transmission id, so
+/// where a packet was buffered never shows in the event order.
+///
+/// Returns `(messages, wire_bytes)` crossed, for the run profile.
+pub(crate) fn deliver_mailboxes(shards: &mut [Shard]) -> (u64, u64) {
     let k = shards.len();
+    let (mut n_msgs, mut n_bytes) = (0u64, 0u64);
     for d in 0..k {
         for s in 0..k {
             if s == d || shards[s].outbox[d].is_empty() {
                 continue;
             }
+            // All of a mailbox's messages were posted during the same
+            // window, so the sender's window base rebases their time
+            // deltas (and ordering by delta is ordering by time).
+            let base = shards[s].window_base;
             let mut msgs = std::mem::take(&mut shards[s].outbox[d]);
-            msgs.sort_by_key(|m| m.at);
+            let before = n_msgs as usize;
+            msgs.sort_unstable_by_key(|m| m.dt);
             let dst = &mut shards[d];
             dst.packets.reserve(msgs.len());
             dst.events.reserve(msgs.len());
             for m in msgs.drain(..) {
+                n_msgs += 1;
+                n_bytes += m.pkt.wire_bytes as u64;
                 let uid = m.pkt.salt;
+                let (at, to, to_is_router) = (m.at(base), m.to(), m.to_is_router());
                 let pid = dst.packets.alloc(m.pkt);
-                let kind = if m.to_is_router {
+                let kind = if to_is_router {
                     EvKind::ArriveRouter {
                         pkt: pid,
-                        router: m.to,
+                        router: to,
                     }
                 } else {
-                    EvKind::ArriveEndpoint { pkt: pid, ep: m.to }
+                    EvKind::ArriveEndpoint { pkt: pid, ep: to }
                 };
-                dst.events.push_arrival(m.at, kind, uid);
+                dst.events.push_arrival(at, kind, uid);
             }
-            // Hand the emptied buffer back so its capacity is reused.
+            // Hand the emptied buffer back so its capacity is reused —
+            // trimmed toward this window's demand (the buffer is empty,
+            // so shrinking is a free realloc, no copy): boundary
+            // traffic peaks in a handful of windows, and a mailbox
+            // sized for its all-time busiest window otherwise holds
+            // that peak for the rest of the run.
+            let used = n_msgs as usize - before;
+            if msgs.capacity() > 1024 && msgs.capacity() / 2 > used {
+                msgs.shrink_to((used + used / 2).max(1024));
+            }
             shards[s].outbox[d] = msgs;
         }
     }
+    (n_msgs, n_bytes)
 }
 
 /// Assigns every router to one of `k` shards (clamped to the router
@@ -1102,7 +1388,10 @@ pub(crate) fn deliver_mailboxes(shards: &mut [Shard]) {
 /// Without domains, a BFS order from router 0 is cut into `k` balanced
 /// contiguous chunks, which keeps each shard a connected region on any
 /// topology the BFS can reach.
-pub(crate) fn partition_routers(topo: &Topology, k: usize) -> Vec<u32> {
+///
+/// Deterministic: repeated calls with the same inputs produce the same
+/// assignment (the simulator's bit-reproducibility depends on it).
+pub fn partition_routers(topo: &Topology, k: usize) -> Vec<u32> {
     let nr = topo.num_routers();
     let k = k.clamp(1, nr.max(1));
     let mut assign = vec![0u32; nr];
@@ -1111,7 +1400,7 @@ pub(crate) fn partition_routers(topo: &Topology, k: usize) -> Vec<u32> {
     }
     let mut in_domain = vec![false; nr];
     for d in &topo.domains {
-        for r in d.clone() {
+        for r in d.start..d.end {
             in_domain[r as usize] = true;
         }
     }
@@ -1197,7 +1486,7 @@ mod tests {
         let assign = partition_routers(&topo, 4);
         for d in &topo.domains {
             let first = assign[d.start as usize];
-            for r in d.clone() {
+            for r in d.start..d.end {
                 assert_eq!(assign[r as usize], first, "domain {d:?} split");
             }
         }
@@ -1214,38 +1503,60 @@ mod tests {
     }
 
     #[test]
+    fn seqbits_inline_and_spilled_agree() {
+        // ≤ 64 packets stays allocation-free; > 64 spills. Both must
+        // behave identically at the seam.
+        let mut small = SeqBits::new(64);
+        assert_eq!(small.bits(), 64);
+        assert!(small.set(0) && small.set(63));
+        assert!(!small.set(63), "double-set must report already-set");
+        assert!(small.test(0) && small.test(63) && !small.test(1));
+
+        let mut big = SeqBits::new(65);
+        assert_eq!(big.bits(), 128);
+        assert!(big.set(64) && big.set(7));
+        assert!(!big.set(64));
+        assert!(big.test(64) && big.test(7) && !big.test(63));
+    }
+
+    #[test]
+    fn intrusive_port_queues_are_fifo_with_head_insert() {
+        let mut slab = PacketSlab::default();
+        let mut port = Port::new(true, 0);
+        let mk = |slab: &mut PacketSlab, salt: u64| {
+            slab.alloc(Packet::new(PktKind::Data, 0, 64, 0, 0, 0, salt, 0xff))
+        };
+        let (a, b, c) = (mk(&mut slab, 1), mk(&mut slab, 2), mk(&mut slab, 3));
+        port.push_back(&mut slab, true, a);
+        port.push_back(&mut slab, true, b);
+        port.push_front(&mut slab, true, c); // retx jumps the queue
+        assert_eq!(port.data_len, 3);
+        assert_eq!(port.pop_front(&slab, true), Some(c));
+        assert_eq!(port.pop_front(&slab, true), Some(a));
+        assert_eq!(port.pop_front(&slab, true), Some(b));
+        assert_eq!(port.pop_front(&slab, true), None);
+        assert_eq!(port.data_len, 0);
+        // The two queues chain through the same slab independently.
+        let d = mk(&mut slab, 4);
+        port.push_back(&mut slab, false, d);
+        assert_eq!(port.pop_front(&slab, true), None);
+        assert_eq!(port.pop_front(&slab, false), Some(d));
+    }
+
+    #[test]
     fn mailbox_merge_orders_by_time_src_shard_seq() {
         // Two source shards post into shard 0's mailbox with interleaved
         // times; the merged queue must order by (time, src_shard, seq),
         // realized through the canonical per-packet uids.
-        let mut shards: Vec<Shard> = (0..3).map(|i| Shard::new(i, 3, 64, 4)).collect();
-        let mk = |salt: u64| Packet {
-            flow: 0,
-            seq: 0,
-            wire_bytes: 64,
-            kind: PktKind::Ack,
-            layer: 0,
-            trimmed: false,
-            ecn_ce: false,
-            ecn_echo: false,
-            retx: false,
-            dst_router: 0,
-            dst_ep: 0,
-            nonce: 0,
-            salt,
-            suggest_layer: 0xff,
-        };
+        let mut shards: Vec<Shard> = (0..3).map(|i| Shard::new(i, 3)).collect();
+        let mk = |salt: u64| Packet::new(PktKind::Ack, 0, 64, 0, 0, 0, salt, 0xff);
         // src shard 2 posts first (push order must not matter), with a
         // message earlier in time than src shard 1's first.
         for (src, at, salt) in [(2u32, 10u64, 7u64), (2, 30, 5), (1, 20, 9), (1, 30, 3)] {
-            shards[src as usize].outbox[0].push(OutMsg {
-                at,
-                to: 0,
-                to_is_router: false,
-                pkt: mk(salt),
-            });
+            shards[src as usize].outbox[0].push(OutMsg::new(at, 0, 0, false, mk(salt)));
         }
-        deliver_mailboxes(&mut shards);
+        let (n, bytes) = deliver_mailboxes(&mut shards);
+        assert_eq!((n, bytes), (4, 4 * 64));
         assert!(shards[1].outbox[0].is_empty() && shards[2].outbox[0].is_empty());
         let mut got = Vec::new();
         while let Some((t, ev)) = shards[0].events.pop() {

@@ -13,16 +13,21 @@
 //! ([`SimConfig::shards`] / `FATPATHS_SHARDS`), each with its own event
 //! queue and packet arena, stepped in conservative-lookahead windows on
 //! the in-tree rayon pool and exchanging boundary packets through
-//! deterministically merged mailboxes. Results are **bit-identical for
-//! every K and every thread count** — see `crate::shard` for the
-//! ordering contract. K = 1 (the default) runs the same windowed loop
-//! on a single queue.
+//! deterministically merged mailboxes. Fault state is shared, not
+//! replicated: a single `crate::faults::FaultWriter` replays the fault
+//! plan once at run start and publishes copy-on-write epoch snapshots
+//! the shards read through their epoch cursors. Results are
+//! **bit-identical for every K and every thread count** — see
+//! `crate::shard` for the ordering contract. K = 1 (the default) runs
+//! the same windowed loop on a single queue.
 
 use crate::config::{SimConfig, Transport};
 use crate::engine::{EvKind, TimePs};
-use crate::metrics::{FlowRecord, SimResult};
+use crate::faults::{FaultTimeline, FaultWriter};
+use crate::metrics::{peak_rss_kb, FlowRecord, RunProfile, SimResult};
 use crate::shard::{
-    deliver_mailboxes, partition_routers, Ctx, FlowMeta, Port, RxFlow, Shard, SlotRef, TxFlow,
+    deliver_mailboxes, partition_routers, Ctx, FlowMeta, Port, RxFlow, Shard, SlotRef, TcpState,
+    TxFlow,
 };
 use fatpaths_core::fwd::fnv1a;
 use fatpaths_core::scheme::RoutingScheme;
@@ -30,7 +35,6 @@ use fatpaths_net::fault::FaultPlan;
 use fatpaths_net::topo::Topology;
 use fatpaths_workloads::arrivals::FlowSpec;
 use rayon::prelude::*;
-use std::collections::VecDeque;
 
 /// The packet-level simulator. Construct with [`Simulator::new`], inject
 /// flows, and [`Simulator::run`].
@@ -58,8 +62,13 @@ pub struct Simulator<'a, R: RoutingScheme + ?Sized = dyn RoutingScheme + 'a> {
     port_home: Vec<SlotRef>,
     /// Endpoint id → owning shard + local pull-queue index.
     ep_home: Vec<SlotRef>,
+    /// Endpoint id → attached router (flat per-hop routing lookup; see
+    /// `Ctx::ep_router`).
+    ep_router: Vec<u32>,
     /// Router id → owning shard.
     router_shard: Vec<u32>,
+    /// The single owner of the fault state (one copy for all shards).
+    faults: FaultWriter,
     pub(crate) shards: Vec<Shard>,
 }
 
@@ -95,18 +104,35 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             }
             n + ne
         };
-        let mut shards: Vec<Shard> = (0..k as u32)
-            .map(|i| Shard::new(i, k, n_ports_total, nr))
-            .collect();
+        let mut shards: Vec<Shard> = (0..k as u32).map(|i| Shard::new(i, k)).collect();
+        // Pre-size each shard's port and pull-queue arrays from local
+        // counts: one allocation each instead of doubling growth (at
+        // fat-tree scale the port array is the largest static vector).
+        {
+            let mut nports = vec![0usize; k];
+            let mut neps = vec![0usize; k];
+            for r in 0..nr as u32 {
+                let s = router_shard[r as usize] as usize;
+                nports[s] += topo.graph.neighbors(r).len() + topo.router_endpoints(r).len();
+            }
+            for e in 0..ne as u32 {
+                let s = router_shard[topo.endpoint_router(e) as usize] as usize;
+                nports[s] += 1;
+                neps[s] += 1;
+            }
+            for (i, sh) in shards.iter_mut().enumerate() {
+                sh.ports.reserve_exact(nports[i]);
+                sh.pull_head.reserve_exact(neps[i]);
+                sh.pull_tail.reserve_exact(neps[i]);
+                sh.pull_ready.reserve_exact(neps[i]);
+            }
+        }
         let mut port_home = Vec::with_capacity(n_ports_total);
         let mut net_base = Vec::with_capacity(nr);
         let mut down_base = Vec::with_capacity(nr);
         fn push_port(shards: &mut [Shard], port_home: &mut Vec<SlotRef>, shard: u32, p: Port) {
             let sh = &mut shards[shard as usize];
-            port_home.push(SlotRef {
-                shard,
-                idx: sh.ports.len() as u32,
-            });
+            port_home.push(SlotRef::new(shard, sh.ports.len() as u32));
             sh.ports.push(p);
         }
         for r in 0..nr as u32 {
@@ -122,16 +148,16 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
         }
         let up_base = port_home.len() as u32;
         let mut ep_home = Vec::with_capacity(ne);
+        let mut ep_router = Vec::with_capacity(ne);
         for e in 0..ne as u32 {
             let r = topo.endpoint_router(e);
+            ep_router.push(r);
             let shard = router_shard[r as usize];
             push_port(&mut shards, &mut port_home, shard, Port::new(true, r));
             let sh = &mut shards[shard as usize];
-            ep_home.push(SlotRef {
-                shard,
-                idx: sh.pullq.len() as u32,
-            });
-            sh.pullq.push(VecDeque::new());
+            ep_home.push(SlotRef::new(shard, sh.pull_head.len() as u32));
+            sh.pull_head.push(crate::engine::NO_PKT);
+            sh.pull_tail.push(crate::engine::NO_PKT);
             sh.pull_ready.push(0);
         }
         Simulator {
@@ -146,7 +172,9 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             up_base,
             port_home,
             ep_home,
+            ep_router,
             router_shard,
+            faults: FaultWriter::new(n_ports_total, nr),
             shards,
         }
     }
@@ -154,7 +182,11 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
     /// Builds the shared read-only context and hands it to `f` together
     /// with the shards — the split-borrow point every execution path
     /// goes through.
-    pub(crate) fn with_parts<T>(&mut self, f: impl FnOnce(&Ctx<'_, R>, &mut [Shard]) -> T) -> T {
+    pub(crate) fn with_parts<T>(
+        &mut self,
+        faults: &FaultTimeline,
+        f: impl FnOnce(&Ctx<'_, R>, &mut [Shard]) -> T,
+    ) -> T {
         let cx = Ctx {
             topo: self.topo,
             scheme: self.scheme,
@@ -167,8 +199,10 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             up_base: self.up_base,
             port_home: &self.port_home,
             ep_home: &self.ep_home,
+            ep_router: &self.ep_router,
             router_shard: &self.router_shard,
             n_layers: self.scheme.num_layers(),
+            faults,
         };
         f(&cx, &mut self.shards)
     }
@@ -192,22 +226,19 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
     /// state is scheduled one delay after each change (batched: any
     /// number of simultaneous changes trigger exactly one repair pass).
     ///
-    /// Fault state is *replicated*: the statics are applied to, and the
-    /// timed events pushed into, **every** shard, so each shard plays
-    /// the identical fault sequence against its own replica (see
-    /// `crate::shard`).
+    /// The fault *state* lives once, in the writer; the timed events are
+    /// still replicated into every shard's queue, where they serve
+    /// purely as epoch-cursor advances (each is a few bytes on the
+    /// queue, not a copy of the network state — see `crate::faults`).
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
-        let topo = self.topo;
         let delay = self.cfg.detection_delay;
-        let net_base = &self.net_base;
+        self.faults.apply_plan(self.topo, &self.net_base, plan);
+        let statics = plan.num_static() + plan.num_static_routers() > 0;
+        if statics {
+            self.faults.schedule_repair(delay);
+        }
         for sh in &mut self.shards {
-            for &(u, v) in plan.static_failures() {
-                sh.fail_link_now(topo, net_base, u, v);
-            }
-            for &r in plan.static_router_failures() {
-                sh.set_router_state(topo, net_base, r, false);
-            }
-            if plan.num_static() + plan.num_static_routers() > 0 {
+            if statics {
                 sh.schedule_repair(delay);
             }
             for ev in plan.events() {
@@ -242,36 +273,33 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
         self.shards.iter().map(|s| s.host_dead).sum()
     }
 
-    /// True iff router `r` is currently dead (read from shard 0's
-    /// replica; all replicas are identical by construction).
+    /// True iff router `r` is currently dead in the writer's working
+    /// state (statics applied immediately; timed events at run start).
     pub fn router_is_dead(&self, r: u32) -> bool {
-        self.shards[0].router_dead[r as usize]
+        self.faults.router_is_dead(r)
     }
 
     /// True iff link `{u, v}` is currently down — failed in its own
     /// right or incident to a dead router.
     pub fn link_is_down(&self, u: u32, v: u32) -> bool {
-        self.shards[0].down_links.contains(&(u.min(v), u.max(v)))
+        self.faults.link_is_down(u, v)
     }
 
     /// Registers a flow's halves on their home shards and schedules its
     /// start event on the sender's shard.
     fn push_flow(&mut self, m: FlowMeta, start: TimePs) -> u32 {
         let id = self.meta.len() as u32;
-        let ts = self.router_shard[m.src_router as usize];
-        let rs = self.router_shard[m.dst_router as usize];
+        let ts = self.router_shard[self.ep_router[m.src_ep as usize] as usize];
+        let rs = self.router_shard[self.ep_router[m.dst_ep as usize] as usize];
         let tsh = &mut self.shards[ts as usize];
-        self.tx_home.push(SlotRef {
-            shard: ts,
-            idx: tsh.tx.len() as u32,
-        });
+        self.tx_home.push(SlotRef::new(ts, tsh.tx.len() as u32));
         tsh.tx.push(TxFlow::new(&m));
+        if matches!(self.cfg.transport, Transport::Tcp { .. }) {
+            tsh.tcp.push(TcpState::new());
+        }
         tsh.events.push(start, EvKind::FlowStart { flow: id });
         let rsh = &mut self.shards[rs as usize];
-        self.rx_home.push(SlotRef {
-            shard: rs,
-            idx: rsh.rx.len() as u32,
-        });
+        self.rx_home.push(SlotRef::new(rs, rsh.rx.len() as u32));
         rsh.rx.push(RxFlow::new(&m));
         self.meta.push(m);
         id
@@ -279,28 +307,53 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
 
     /// Pre-sizes each shard's flow, event, and packet arenas from the
     /// incoming spec counts (one allocation instead of doubling growth
-    /// through the hot loop).
+    /// through the hot loop). Packet arenas are sized per spec — a
+    /// flow's in-flight data is bounded by `min(num_pkts, window)`, so
+    /// short flows (the scale workloads) reserve a couple of slots, not
+    /// a full window each.
     fn reserve_for(&mut self, specs: &[FlowSpec]) {
         let k = self.shards.len();
+        let payload = self.cfg.transport.payload() as u64;
+        let win_cap = match self.cfg.transport {
+            Transport::Ndp { initial_window, .. } => initial_window.min(16) as u64,
+            Transport::Tcp { .. } => 4,
+        };
         let mut ntx = vec![0usize; k];
         let mut nrx = vec![0usize; k];
+        let mut npkt = vec![0usize; k];
         for spec in specs {
             let ts = self.router_shard[self.topo.endpoint_router(spec.src) as usize];
             let rs = self.router_shard[self.topo.endpoint_router(spec.dst) as usize];
             ntx[ts as usize] += 1;
             nrx[rs as usize] += 1;
+            let num_pkts = spec.size.div_ceil(payload).max(1);
+            npkt[ts as usize] += num_pkts.min(win_cap) as usize;
         }
-        let win = match self.cfg.transport {
-            Transport::Ndp { initial_window, .. } => initial_window.min(16) as usize,
-            Transport::Tcp { .. } => 4,
-        };
+        let tcp = matches!(self.cfg.transport, Transport::Tcp { .. });
         for (i, sh) in self.shards.iter_mut().enumerate() {
             sh.tx.reserve(ntx[i]);
+            if tcp {
+                sh.tcp.reserve(ntx[i]);
+            }
             sh.rx.reserve(nrx[i]);
-            // Each sender holds a start event plus roughly a window of
-            // in-flight events; receivers hold arrivals and pull ticks.
-            sh.events.reserve(ntx[i].saturating_mul(2) + nrx[i]);
-            sh.packets.reserve(ntx[i].saturating_mul(win) + nrx[i]);
+            // Event-heap baseline: the start-burst census of an
+            // endpoint-owning shard — a start event and an armed (lazy)
+            // RTO timer per sender plus an arrival or serializer event
+            // per windowed packet. Transit-heavy shards (no local
+            // flows) start empty and grow in bounded exact steps
+            // (`EventQueue` never doubles) toward their own high-water
+            // mark; sizing the flow-owning shards exactly matters
+            // because their burst coincides with the process-wide
+            // memory peak, where a growth realloc would briefly hold
+            // two copies of a multi-MB heap.
+            sh.events.reserve(ntx[i].saturating_mul(2) + npkt[i]);
+            // Sender-side slabs hold roughly half the windowed packets
+            // at once (the rest are in flight on transit shards or
+            // already acked) plus the control packets local receivers
+            // originate. Transit-heavy shards grow in bounded exact
+            // steps instead — their peaks depend on routing, not on
+            // flow ownership.
+            sh.packets.reserve(npkt[i] / 2 + nrx[i]);
         }
         self.meta.reserve(specs.len());
         self.tx_home.reserve(specs.len());
@@ -315,15 +368,7 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             assert_ne!(spec.src, spec.dst, "self-flow");
             let id = self.meta.len() as u32;
             // Initial layer / nonce: deterministic per flow.
-            let m = FlowMeta::new(
-                spec,
-                self.topo,
-                payload,
-                fnv1a(0x5151 ^ id as u64),
-                0,
-                None,
-                1.0,
-            );
+            let m = FlowMeta::new(spec, payload, fnv1a(0x5151 ^ id as u64), 0, None, 1.0);
             self.push_flow(m, spec.start);
         }
     }
@@ -361,7 +406,6 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                 let id = self.meta.len() as u32;
                 let m = FlowMeta::new(
                     &sub,
-                    self.topo,
                     payload,
                     fnv1a(0x3333 ^ id as u64),
                     k as u8,
@@ -378,16 +422,26 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
 
     /// Runs to completion (or the horizon) and returns per-flow records.
     ///
-    /// The driver loop: find the earliest pending event across shards,
-    /// step every shard through the window `[t0, t0 + L)` (in parallel
-    /// for K > 1 — lookahead `L` = link latency guarantees window
-    /// independence), then deliver the cross-shard mailboxes in
-    /// canonical `(time, src_shard, seq)` order. Terminates when every
-    /// flow is resolved (completed, aborted, or host-dead), the queues
-    /// drain, or the horizon passes.
+    /// The driver loop: finalize the fault timeline (the writer replays
+    /// the fault events once and publishes the epoch snapshots), then
+    /// find the earliest pending event across shards, step every shard
+    /// through the window `[t0, t0 + L)` (in parallel for K > 1 —
+    /// lookahead `L` = link latency guarantees window independence),
+    /// then deliver the cross-shard mailboxes in canonical `(time,
+    /// src_shard, seq)` order. Terminates when every flow is resolved
+    /// (completed, aborted, or host-dead), the queues drain, or the
+    /// horizon passes.
     pub fn run(mut self) -> SimResult {
         let total = self.meta.len();
-        self.with_parts(|cx, shards| {
+        let timeline = self
+            .faults
+            .finalize(self.topo, &self.net_base, self.scheme, &self.cfg);
+        let mut profile = RunProfile {
+            shards: self.shards.len() as u32,
+            epochs_published: timeline.epochs.len() as u64,
+            ..RunProfile::default()
+        };
+        self.with_parts(&timeline, |cx, shards| {
             let horizon = cx.cfg.horizon;
             let lookahead = cx.cfg.link_latency.max(1);
             let k = shards.len();
@@ -407,7 +461,9 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                     break;
                 }
                 if k > 1 {
-                    deliver_mailboxes(shards);
+                    let (msgs, bytes) = deliver_mailboxes(shards);
+                    profile.mailbox_msgs += msgs;
+                    profile.mailbox_bytes += bytes;
                 }
                 let Some(t0) = shards.iter().filter_map(|s| s.events.peek_time()).min() else {
                     break;
@@ -415,7 +471,11 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                 if horizon > 0 && t0 > horizon {
                     break;
                 }
+                profile.windows += 1;
                 let w_end = t0.saturating_add(lookahead);
+                for sh in shards.iter_mut() {
+                    sh.window_base = t0;
+                }
                 if k == 1 {
                     shards[0].run_window(cx, w_end, horizon);
                 } else {
@@ -423,45 +483,60 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                         .par_chunks_mut(1)
                         .for_each(|c| c[0].run_window(cx, w_end, horizon));
                 }
+                for sh in shards.iter_mut() {
+                    sh.events.shrink_excess();
+                }
             }
         });
+        // Free the run-time arenas before assembling records: the
+        // record vector must not stack on top of dead heap capacity.
+        for sh in &mut self.shards {
+            sh.release_arenas();
+        }
         // Deterministic shard-merged assembly: per-flow records in flow-id
-        // order, counters summed in shard order, repair log from shard
-        // 0's replica (all replicas are identical — debug-asserted).
+        // order, counters summed in shard order, repair log truncated to
+        // the prefix of the shared timeline the run actually reached
+        // (identical on every shard — window boundaries are global, so
+        // every shard pops the same fault events; debug-asserted).
         let flows = (0..total)
             .map(|i| {
                 let m = &self.meta[i];
                 let th = self.tx_home[i];
                 let rh = self.rx_home[i];
-                let tx = &self.shards[th.shard as usize].tx[th.idx as usize];
-                let rx = &self.shards[rh.shard as usize].rx[rh.idx as usize];
+                let tx = &self.shards[th.shard() as usize].tx[th.idx() as usize];
+                let rx = &self.shards[rh.shard() as usize].rx[rh.idx() as usize];
                 FlowRecord {
                     size: m.size,
                     start: m.start,
-                    finish: rx.finished,
+                    finish: rx.finish_time(),
                     retx: tx.retx_count,
                     trims: rx.trims,
                     host_dead: tx.host_dead,
                     // Completion wins over a post-delivery abort: if every
                     // byte arrived, the transfer succeeded.
-                    aborted: tx.aborted && rx.finished.is_none(),
+                    aborted: tx.aborted && !rx.is_finished(),
                 }
             })
             .collect();
         let end_time = self.shards.iter().map(|s| s.last_t).max().unwrap_or(0);
         debug_assert!(
-            self.shards
-                .iter()
-                .all(|s| s.repair_log == self.shards[0].repair_log),
-            "replicated repair logs diverged across shards"
+            self.shards.iter().all(|s| {
+                s.repair_seen == self.shards[0].repair_seen
+                    && s.fault_epoch == self.shards[0].fault_epoch
+            }),
+            "fault-epoch cursors diverged across shards"
         );
+        let seen = self.shards[0].repair_seen as usize;
+        profile.repair_ticks = seen as u64;
+        profile.peak_rss_kb = peak_rss_kb();
         SimResult {
             flows,
             drops: self.shards.iter().map(|s| s.drops).sum(),
             trims: self.shards.iter().map(|s| s.trim_count).sum(),
             unroutable: self.shards.iter().map(|s| s.unroutable).sum(),
             end_time,
-            repair_log: std::mem::take(&mut self.shards[0].repair_log),
+            repair_log: timeline.log[..seen].to_vec(),
+            profile,
         }
     }
 }
@@ -472,6 +547,7 @@ mod tests {
     use fatpaths_core::fwd::RoutingTables;
     use fatpaths_core::layers::LayerSet;
     use fatpaths_net::topo::slimfly::slim_fly;
+    use std::sync::Arc;
 
     fn fixture() -> (Topology, RoutingTables) {
         let topo = slim_fly(5, 1).unwrap();
@@ -481,7 +557,8 @@ mod tests {
 
     /// Router death fails every incident link atomically; revival
     /// restores exactly the links whose other end is alive and that were
-    /// not failed in their own right.
+    /// not failed in their own right. (Driven directly on the fault
+    /// writer — the single owner of this state machine.)
     #[test]
     fn router_death_and_revival_state_machine() {
         let (topo, rt) = fixture();
@@ -491,31 +568,25 @@ mod tests {
         let (cut, other_dead) = (nbs[0], nbs[1]);
         // An independent link failure on one incident link, plus a
         // second dead router adjacent to `r`.
-        sim.with_parts(|cx, shards| {
-            let sh = &mut shards[0];
-            sh.fail_link_now(cx.topo, cx.net_base, r, cut);
-            sh.set_router_state(cx.topo, cx.net_base, other_dead, false);
-            sh.set_router_state(cx.topo, cx.net_base, r, false);
-        });
+        sim.faults.fail_link_now(&topo, &sim.net_base, r, cut);
+        sim.faults
+            .set_router_state(&topo, &sim.net_base, other_dead, false);
+        sim.faults.set_router_state(&topo, &sim.net_base, r, false);
         assert!(sim.router_is_dead(r));
         for &nb in nbs {
             assert!(sim.link_is_down(r, nb), "incident link {r}-{nb} must die");
         }
         assert_eq!(
-            sim.shards[0].down_count as usize,
-            sim.shards[0].down_links.len()
+            sim.faults.down_count() as usize,
+            sim.faults.down_links().len()
         );
         // Idempotent.
-        let n_down = sim.shards[0].down_count;
-        sim.with_parts(|cx, shards| {
-            shards[0].set_router_state(cx.topo, cx.net_base, r, false);
-        });
-        assert_eq!(sim.shards[0].down_count, n_down);
+        let n_down = sim.faults.down_count();
+        sim.faults.set_router_state(&topo, &sim.net_base, r, false);
+        assert_eq!(sim.faults.down_count(), n_down);
         // Revival: every incident link returns except the independently
         // cut one and the one into the still-dead neighbor.
-        sim.with_parts(|cx, shards| {
-            shards[0].set_router_state(cx.topo, cx.net_base, r, true);
-        });
+        sim.faults.set_router_state(&topo, &sim.net_base, r, true);
         assert!(!sim.router_is_dead(r));
         for &nb in nbs {
             let expect_down = nb == cut || nb == other_dead;
@@ -526,14 +597,14 @@ mod tests {
             );
         }
         // The independently cut link returns only via LinkUp.
-        sim.with_parts(|cx, shards| {
-            shards[0].restore_link_now(cx.topo, cx.net_base, r, cut);
-        });
+        sim.faults.restore_link_now(&topo, &sim.net_base, r, cut);
         assert!(!sim.link_is_down(r, cut));
     }
 
     /// A burst of simultaneous link-state changes coalesces into one
-    /// scheduled repair pass (one `RepairTick` per event batch).
+    /// scheduled repair pass (one `RepairTick` per event batch) — on the
+    /// shard side, where fault events are pure epoch-cursor advances but
+    /// the tick scheduling must still mirror the writer's.
     #[test]
     fn repair_ticks_coalesce_per_batch() {
         let (topo, rt) = fixture();
@@ -543,7 +614,8 @@ mod tests {
         }
         .shards(1);
         let mut sim = Simulator::new(&topo, &rt, cfg);
-        sim.with_parts(|cx, shards| {
+        let tl = FaultTimeline::default();
+        sim.with_parts(&tl, |cx, shards| {
             let sh = &mut shards[0];
             sh.now = 5_000;
             // A maintenance-window-sized burst: three routers die in the
@@ -556,6 +628,7 @@ mod tests {
                 1,
                 "simultaneous changes must schedule exactly one RepairTick"
             );
+            assert_eq!(sh.fault_epoch, 3, "each fault event advances the cursor");
             // A later batch gets its own tick.
             sh.now = 9_000;
             sh.dispatch(cx, EvKind::RouterUp { router: 3 });
@@ -565,7 +638,8 @@ mod tests {
     }
 
     /// Static whole-router failures coalesce with static link failures
-    /// into a single repair pass at `t = 0`.
+    /// into a single repair pass at `t = 0` — scheduled identically in
+    /// the writer's replay queue and every shard's event queue.
     #[test]
     fn static_plan_schedules_one_repair() {
         let (topo, rt) = fixture();
@@ -586,24 +660,54 @@ mod tests {
             1,
             "one RepairTick for the static batch"
         );
+        assert_eq!(
+            sim.faults.pending_events(),
+            1,
+            "the writer queues the same single RepairTick"
+        );
         assert!(sim.router_is_dead(20) && sim.router_is_dead(31));
         assert!(sim.link_is_down(e.0, e.1));
     }
 
-    /// The same fault plan replicated into K shards keeps every
-    /// replica's link-state view identical.
+    /// Finalizing the writer publishes one epoch per fault event, and
+    /// the epochs are copy-on-write: components an event did not touch
+    /// re-share the previous epoch's allocation.
     #[test]
-    fn fault_replicas_agree_across_shards() {
+    fn timeline_publishes_cow_epochs() {
         let (topo, rt) = fixture();
-        let mut sim = Simulator::new(&topo, &rt, SimConfig::default().shards(4));
-        assert!(sim.shards.len() > 1, "fixture must actually shard");
-        let e = topo.graph.edge_vec()[3];
-        sim.apply_fault_plan(&FaultPlan::none().fail(e.0, e.1).fail_router(5));
-        let reference: Vec<(u32, u32)> = sim.shards[0].down_links.clone();
-        for sh in &sim.shards {
-            assert_eq!(sh.down_links, reference);
-            assert_eq!(sh.dead_router_count, 1);
-            assert!(sh.router_dead[5]);
+        let cfg = SimConfig {
+            detection_delay: Some(1_000),
+            ..SimConfig::default()
         }
+        .shards(2);
+        let mut sim = Simulator::new(&topo, &rt, cfg);
+        let e = topo.graph.edge_vec()[3];
+        let plan = FaultPlan::none()
+            .link_down_at(5_000, e.0, e.1)
+            .router_down_at(9_000, 5);
+        sim.apply_fault_plan(&plan);
+        let tl = sim
+            .faults
+            .finalize(sim.topo, &sim.net_base, sim.scheme, &sim.cfg);
+        // Epochs: 0 post-static, 1 LinkDown, 2 RepairTick, 3 RouterDown,
+        // 4 RepairTick. Two repair records.
+        assert_eq!(tl.epochs.len(), 5);
+        assert_eq!(tl.log.len(), 2);
+        assert_eq!((tl.log[0].at, tl.log[1].at), (6_000, 10_000));
+        let ep = &tl.epochs;
+        assert_eq!(ep[0].down_count, 0);
+        assert_eq!(ep[1].down_count, 1);
+        // LinkDown touches links, not routers.
+        assert!(Arc::ptr_eq(&ep[0].router_dead, &ep[1].router_dead));
+        assert!(!Arc::ptr_eq(&ep[0].port_down, &ep[1].port_down));
+        // RepairTick touches neither bitmask, only the overlay.
+        assert!(Arc::ptr_eq(&ep[1].port_down, &ep[2].port_down));
+        assert!(Arc::ptr_eq(&ep[1].router_dead, &ep[2].router_dead));
+        assert!(!Arc::ptr_eq(&ep[1].repair, &ep[2].repair));
+        // RouterDown touches both (its incident links go down with it).
+        assert_eq!(ep[3].dead_router_count, 1);
+        assert!(!Arc::ptr_eq(&ep[2].router_dead, &ep[3].router_dead));
+        assert!(!Arc::ptr_eq(&ep[2].port_down, &ep[3].port_down));
+        assert!(Arc::ptr_eq(&ep[3].port_down, &ep[4].port_down));
     }
 }

@@ -9,7 +9,9 @@
 //! [`RxFlow`](crate::shard::RxFlow), ACKs on the sender's shard against
 //! the [`TxFlow`](crate::shard::TxFlow); the cumulative-ACK protocol
 //! already carries everything the sender needs, so no state is read
-//! across the shard boundary.
+//! across the shard boundary. Congestion state lives in the parallel
+//! [`TcpState`](crate::shard::TcpState) array (`Shard::tcp`, same local
+//! index as `Shard::tx`), allocated only for TCP transports.
 
 use crate::config::{LoadBalancing, SimConfig, TcpVariant, Transport};
 use crate::engine::{EvKind, PktKind, TimePs};
@@ -44,26 +46,28 @@ impl Shard {
         loop {
             let send = {
                 let now = self.now;
-                let f = &mut self.tx[ti];
+                let (txs, tcps) = (&mut self.tx, &mut self.tcp);
+                let f = &mut txs[ti];
+                let c = &mut tcps[ti];
                 if f.cum_ack >= num_pkts || f.aborted {
                     return;
                 }
-                let window = f.cwnd.floor().max(1.0) as u32;
-                if f.inflight >= window {
+                let window = c.cwnd.floor().max(1.0) as u32;
+                if c.inflight >= window {
                     return;
                 }
-                if let Some(seq) = f.retxq.pop_front() {
-                    f.inflight += 1;
+                if let Some(seq) = crate::shard::pop_front(&mut f.retxq) {
+                    c.inflight += 1;
                     (seq, true)
                 } else if f.next_new < num_pkts {
                     let seq = f.next_new;
                     f.next_new += 1;
-                    f.inflight += 1;
-                    if f.timed.is_none() {
-                        f.timed = Some((seq, now));
+                    c.inflight += 1;
+                    if c.timed.is_none() {
+                        c.timed = Some((seq, now));
                     }
-                    if f.window_end <= seq && f.window_end == 0 {
-                        f.window_end = f.cwnd as u32 + 1;
+                    if c.window_end <= seq && c.window_end == 0 {
+                        c.window_end = c.cwnd as u32 + 1;
                     }
                     (seq, false)
                 } else {
@@ -82,8 +86,8 @@ impl Shard {
     ) {
         let pkt = *self.packets.get(pid);
         self.packets.release(pid);
-        let flow = pkt.flow;
-        match pkt.kind {
+        let flow = pkt.flow();
+        match pkt.kind() {
             PktKind::Data => {
                 debug_assert_eq!(ep, pkt.dst_ep);
                 let f = &mut self.rx[cx.rx_idx(flow)];
@@ -93,7 +97,7 @@ impl Shard {
                 let cum = f.rcv_next;
                 let done = f.rcv_count == cx.meta(flow).num_pkts;
                 // ACK every segment; echo this segment's CE mark.
-                self.send_control(cx, flow, PktKind::Ack, cum, pkt.ecn_ce, 0xff);
+                self.send_control(cx, flow, PktKind::Ack, cum, pkt.ecn_ce(), 0xff);
                 if done {
                     self.complete_flow(cx, flow);
                 }
@@ -103,7 +107,7 @@ impl Shard {
                     return;
                 }
                 self.reset_dead_rtos(cx, flow);
-                self.tcp_on_ack(cx, flow, pkt.seq, pkt.ecn_echo)
+                self.tcp_on_ack(cx, flow, pkt.seq, pkt.ecn_echo())
             }
             _ => {}
         }
@@ -123,98 +127,100 @@ impl Shard {
         let mut became_boundary = false; // cwnd reduction = flowlet boundary
         {
             let now = self.now;
-            let f = &mut self.tx[ti];
+            let (txs, tcps) = (&mut self.tx, &mut self.tcp);
+            let f = &mut txs[ti];
+            let c = &mut tcps[ti];
             if f.cum_ack >= num_pkts {
                 return;
             }
             // DCTCP mark bookkeeping counts every ACK.
-            f.ce_total += 1;
+            c.ce_total += 1;
             if ece {
-                f.ce_marked += 1;
+                c.ce_marked += 1;
             }
             if cum > f.cum_ack {
                 let delta = cum - f.cum_ack;
                 f.cum_ack = cum;
-                f.inflight = f.inflight.saturating_sub(delta);
-                f.dup_acks = 0;
-                f.backoff = 0;
+                c.inflight = c.inflight.saturating_sub(delta);
+                c.dup_acks = 0;
+                c.backoff = 0;
                 // RTT sample (Karn: only when the timed packet is covered
                 // and was not retransmitted — retx clears `timed`).
-                if let Some((seq, t)) = f.timed {
+                if let Some((seq, t)) = c.timed {
                     if cum > seq {
                         let rtt = (now - t) as f64;
-                        if f.srtt == 0.0 {
-                            f.srtt = rtt;
-                            f.rttvar = rtt / 2.0;
+                        if c.srtt == 0.0 {
+                            c.srtt = rtt;
+                            c.rttvar = rtt / 2.0;
                         } else {
-                            let err = rtt - f.srtt;
-                            f.srtt += 0.125 * err;
-                            f.rttvar += 0.25 * (err.abs() - f.rttvar);
+                            let err = rtt - c.srtt;
+                            c.srtt += 0.125 * err;
+                            c.rttvar += 0.25 * (err.abs() - c.rttvar);
                         }
-                        f.timed = None;
+                        c.timed = None;
                     }
                 }
-                if f.in_recovery && cum >= f.recovery_until {
-                    f.in_recovery = false;
-                    f.cwnd = f.ssthresh.max(2.0);
+                if c.in_recovery && cum >= c.recovery_until {
+                    c.in_recovery = false;
+                    c.cwnd = c.ssthresh.max(2.0);
                 }
-                if !f.in_recovery {
-                    if f.cwnd < f.ssthresh {
-                        f.cwnd += delta as f64; // slow start
+                if !c.in_recovery {
+                    if c.cwnd < c.ssthresh {
+                        c.cwnd += delta as f64; // slow start
                     } else {
                         // Congestion avoidance; ca_scale couples MPTCP
                         // subflows (1/k aggressiveness each).
-                        f.cwnd += ca_scale * delta as f64 / f.cwnd;
+                        c.cwnd += ca_scale * delta as f64 / c.cwnd;
                     }
                 }
                 // Window rollover: apply per-window ECN reactions.
-                if cum >= f.window_end {
+                if cum >= c.window_end {
                     match variant {
                         TcpVariant::Dctcp => {
-                            let frac = if f.ce_total > 0 {
-                                f.ce_marked as f64 / f.ce_total as f64
+                            let frac = if c.ce_total > 0 {
+                                c.ce_marked as f64 / c.ce_total as f64
                             } else {
                                 0.0
                             };
-                            f.alpha = (1.0 - DCTCP_G) * f.alpha + DCTCP_G * frac;
-                            if f.ce_marked > 0 {
-                                f.cwnd = (f.cwnd * (1.0 - f.alpha / 2.0)).max(2.0);
-                                f.ssthresh = f.cwnd;
+                            c.alpha = (1.0 - DCTCP_G) * c.alpha + DCTCP_G * frac;
+                            if c.ce_marked > 0 {
+                                c.cwnd = (c.cwnd * (1.0 - c.alpha / 2.0)).max(2.0);
+                                c.ssthresh = c.cwnd;
                                 became_boundary = true;
                             }
                         }
                         TcpVariant::EcnReno => {
-                            f.cwr = false;
+                            c.cwr = false;
                         }
                         TcpVariant::Reno => {}
                     }
-                    f.ce_marked = 0;
-                    f.ce_total = 0;
-                    f.window_end = cum + (f.cwnd as u32).max(1);
+                    c.ce_marked = 0;
+                    c.ce_total = 0;
+                    c.window_end = cum + (c.cwnd as u32).max(1);
                 }
                 // ECN-Reno reacts at most once per window, immediately.
-                if variant == TcpVariant::EcnReno && ece && !f.cwr {
-                    f.ssthresh = (f.cwnd / 2.0).max(2.0);
-                    f.cwnd = f.ssthresh;
-                    f.cwr = true;
+                if variant == TcpVariant::EcnReno && ece && !c.cwr {
+                    c.ssthresh = (c.cwnd / 2.0).max(2.0);
+                    c.cwnd = c.ssthresh;
+                    c.cwr = true;
                     became_boundary = true;
                 }
             } else {
                 // Duplicate ACK.
-                f.dup_acks += 1;
-                if f.dup_acks == 3 && !f.in_recovery {
+                c.dup_acks += 1;
+                if c.dup_acks == 3 && !c.in_recovery {
                     // Fast retransmit.
-                    f.retxq.push_front(f.cum_ack);
+                    f.retxq.insert(0, f.cum_ack);
                     f.retx_count += 1;
-                    f.timed = None;
-                    f.ssthresh = (f.cwnd / 2.0).max(2.0);
-                    f.cwnd = f.ssthresh + 3.0;
-                    f.in_recovery = true;
-                    f.recovery_until = f.next_new;
-                    f.inflight = f.inflight.saturating_sub(1);
+                    c.timed = None;
+                    c.ssthresh = (c.cwnd / 2.0).max(2.0);
+                    c.cwnd = c.ssthresh + 3.0;
+                    c.in_recovery = true;
+                    c.recovery_until = f.next_new;
+                    c.inflight = c.inflight.saturating_sub(1);
                     became_boundary = true;
-                } else if f.dup_acks > 3 && f.in_recovery {
-                    f.cwnd += 1.0; // window inflation
+                } else if c.dup_acks > 3 && c.in_recovery {
+                    c.cwnd += 1.0; // window inflation
                 }
             }
         }
@@ -223,14 +229,14 @@ impl Shard {
         // (≤ 3 packets can produce at most 2 dup-ACKs — under the fast-
         // retransmit threshold), so path changes never masquerade as loss.
         if became_boundary {
-            self.tx[ti].want_switch = true;
+            self.tcp[ti].want_switch = true;
         }
         let (want, inflight) = {
-            let f = &self.tx[ti];
-            (f.want_switch, f.inflight)
+            let c = &self.tcp[ti];
+            (c.want_switch, c.inflight)
         };
         if want && inflight <= 3 {
-            self.tx[ti].want_switch = false;
+            self.tcp[ti].want_switch = false;
             self.tcp_flowlet_boundary(cx, flow);
         }
         self.tcp_arm_rto(cx, flow);
@@ -261,13 +267,13 @@ impl Shard {
 
     fn tcp_rto_value<R: RoutingScheme + ?Sized>(&self, cx: &Ctx<R>, flow: u32) -> TimePs {
         let (_, min_rto) = tcp_params(&cx.cfg);
-        let f = &self.tx[cx.tx_idx(flow)];
-        let base = if f.srtt == 0.0 {
+        let c = &self.tcp[cx.tx_idx(flow)];
+        let base = if c.srtt == 0.0 {
             INITIAL_RTO
         } else {
-            (f.srtt + 4.0 * f.rttvar) as TimePs
+            (c.srtt + 4.0 * c.rttvar) as TimePs
         };
-        (base.max(min_rto)) << f.backoff.min(6)
+        (base.max(min_rto)) << c.backoff.min(6)
     }
 
     fn tcp_arm_rto<R: RoutingScheme + ?Sized>(&mut self, cx: &Ctx<R>, flow: u32) {
@@ -290,21 +296,23 @@ impl Shard {
     ) {
         let ti = cx.tx_idx(flow);
         {
-            let f = &mut self.tx[ti];
+            let (txs, tcps) = (&mut self.tx, &mut self.tcp);
+            let f = &mut txs[ti];
+            let c = &mut tcps[ti];
             if gen != f.rto_gen || !f.started || f.aborted || f.cum_ack >= cx.meta(flow).num_pkts {
                 return;
             }
             // Timeout: collapse to slow start and go back to cum_ack.
-            f.ssthresh = (f.cwnd / 2.0).max(2.0);
-            f.cwnd = 1.0;
-            f.inflight = 0;
-            f.dup_acks = 0;
-            f.in_recovery = false;
+            c.ssthresh = (c.cwnd / 2.0).max(2.0);
+            c.cwnd = 1.0;
+            c.inflight = 0;
+            c.dup_acks = 0;
+            c.in_recovery = false;
             f.retxq.clear();
-            f.retxq.push_back(f.cum_ack);
+            f.retxq.push(f.cum_ack);
             f.retx_count += 1;
-            f.timed = None;
-            f.backoff += 1;
+            c.timed = None;
+            c.backoff += 1;
         }
         self.tcp_flowlet_boundary(cx, flow);
         self.tcp_arm_rto(cx, flow);
