@@ -103,6 +103,25 @@ fn main() -> ExitCode {
              wall-clock comparison across machine classes is noise",
             baseline.machine_threads, fresh.machine_threads
         );
+        // GitHub Actions annotation: surface the silent skip on the
+        // run summary, naming every (stage, threads) key that went
+        // ungated, so an unarmed perf gate is visible at a glance.
+        let skipped: Vec<String> = fresh
+            .stages
+            .iter()
+            .flat_map(|(stage, samples)| {
+                samples
+                    .iter()
+                    .map(move |(threads, _)| format!("{stage}/t{threads}"))
+            })
+            .collect();
+        println!(
+            "::notice title=bench_check skipped::baseline machine class differs \
+             ({} vs {} threads) — perf gate not armed; skipped keys: {}",
+            baseline.machine_threads,
+            fresh.machine_threads,
+            skipped.join(", ")
+        );
         return ExitCode::SUCCESS;
     }
     let mut regressions = 0usize;

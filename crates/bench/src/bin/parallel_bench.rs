@@ -1,9 +1,10 @@
 //! Parallel-execution trajectory benchmark: times the pool-bound
 //! pipeline stages — APSP, layered routing-table construction, a
-//! single sharded packet simulation, a scenario-grid sweep, and the
-//! degraded/churn fault sweeps — at 1, 2, and N threads, and writes
-//! the results to `BENCH_parallel.json` so future PRs have a perf
-//! baseline to compare against.
+//! single sharded packet simulation, a scenario-grid sweep, the
+//! degraded/churn fault sweeps, and the adaptive-flowlet sweep — at
+//! 1, 2, and N threads, and writes the results to
+//! `BENCH_parallel.json` so future PRs have a perf baseline to
+//! compare against.
 //!
 //! The pool size is fixed at process start, so the harness re-executes
 //! itself once per (stage, threads) cell with `FATPATHS_THREADS` set,
@@ -33,7 +34,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Stages measured, in report order.
-const STAGES: [&str; 9] = [
+const STAGES: [&str; 10] = [
     "apsp",
     "layer_build",
     "fib_compile",
@@ -43,6 +44,7 @@ const STAGES: [&str; 9] = [
     "sweep",
     "degraded_sweep",
     "churn_sweep",
+    "adaptive_sweep",
 ];
 
 /// The endpoint-scale scenario shared by the `sim_scale` stage and
@@ -347,6 +349,64 @@ fn run_stage(stage: &str) -> f64 {
                 });
             // Eligible flows all complete once the roll ends within the
             // horizon (a correctness canary inside the benchmark).
+            assert!(results.iter().all(|&r| r > 0.99), "{results:?}");
+            start.elapsed().as_secs_f64()
+        }
+        "adaptive_sweep" => {
+            // Adaptive-flowlet cells: every flowlet boundary snapshots
+            // the sender's attachment-router queue depths and runs the
+            // least-loaded pick, so this stage prices the adaptive hot
+            // path against the oblivious hash on the same adversarial
+            // matrices the `adaptive` experiment scores.
+            use fatpaths_sim::AdaptiveMode;
+            use fatpaths_workloads::matrices::{matrix_flows, MatrixSpec};
+            let t = slim_fly(5, 2).unwrap();
+            let specs = [
+                MatrixSpec::HeavyHitter {
+                    hotspots: 2,
+                    skew: 0.5,
+                },
+                MatrixSpec::Incast {
+                    targets: 4,
+                    fan_in: 8,
+                },
+            ];
+            let mut cells = Vec::new();
+            for mi in 0..specs.len() {
+                for adaptive in [false, true] {
+                    for seed in [3u64, 9] {
+                        cells.push((mi, adaptive, seed));
+                    }
+                }
+            }
+            let start = Instant::now();
+            let results =
+                SweepRunner::new("bench-adaptive", cells).run(|_, &(mi, adaptive, seed)| {
+                    let flows: Vec<FlowSpec> = matrix_flows(&t, &specs[mi], seed)
+                        .into_iter()
+                        .map(|(src, dst)| FlowSpec {
+                            src,
+                            dst,
+                            size: 256 * 1024,
+                            start: 0,
+                        })
+                        .collect();
+                    let mut sc = Scenario::on(&t)
+                        .scheme(SchemeSpec::LayeredRandom {
+                            n_layers: 9,
+                            rho: 0.6,
+                        })
+                        .workload(&flows)
+                        .seed(2)
+                        .horizon(30_000_000_000);
+                    if adaptive {
+                        sc = sc.adaptive(AdaptiveMode::QueueDepth);
+                    }
+                    sc.run().completion_rate()
+                });
+            // Skewed SF cells all drain within the horizon whether the
+            // boundary steers or hashes (a correctness canary inside
+            // the benchmark).
             assert!(results.iter().all(|&r| r > 0.99), "{results:?}");
             start.elapsed().as_secs_f64()
         }

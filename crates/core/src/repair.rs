@@ -133,6 +133,7 @@ struct RepairSpan {
 /// every read works in either state.
 ///
 /// [`insert`]: RouteRepair::insert
+/// [`lookup`]: RouteRepair::lookup
 /// [`seal`]: RouteRepair::seal
 #[derive(Clone, Debug, Default)]
 pub struct RouteRepair {

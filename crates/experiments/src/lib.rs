@@ -12,6 +12,7 @@
 //! order — so `experiments <name>` writes bit-identical artifacts
 //! whether it runs on 1 thread or 64.
 
+pub mod adaptive;
 pub mod baselines;
 pub mod churn;
 pub mod common;

@@ -8,8 +8,8 @@
 //! ```
 
 use fatpaths_experiments::{
-    baselines, churn, common, diversity_figs, large_scale, memory, perf_ndp, perf_tcp, resilience,
-    te, theory_figs,
+    adaptive, baselines, churn, common, diversity_figs, large_scale, memory, perf_ndp, perf_tcp,
+    resilience, te, theory_figs,
 };
 
 type Runner = fn(bool) -> std::io::Result<()>;
@@ -56,6 +56,11 @@ fn registry() -> Vec<(&'static str, Runner, &'static str)> {
             "te",
             te::te,
             "Negotiated-congestion TE vs static layers, ECMP, and the MCF bound",
+        ),
+        (
+            "adaptive",
+            adaptive::adaptive,
+            "Adaptive (queue-depth) vs oblivious flowlet re-picks, static and TE tables",
         ),
         (
             "fig2",

@@ -1,0 +1,109 @@
+//! Acceptance pin for the adaptive flowlet sweep: on every topology of
+//! the acceptance pair at least one congestion-dominated cell
+//! (heavy-hitter or incast, either routing) must show adaptive on-time
+//! goodput at or above its oblivious twin, and the adaptive data path
+//! must demonstrably engage — some cell's packet-visible counters
+//! (trims, FCT) must differ from the oblivious run, proving boundary
+//! decisions actually fired rather than the sweep comparing a no-op
+//! against itself. The grid is deterministic at any thread and shard
+//! count (see `parallel_parity` / `shard_parity`), so these pins are
+//! stable across machines.
+
+use fatpaths_experiments::adaptive::adaptive_matrix_on;
+use fatpaths_net::topo::slimfly::slim_fly;
+
+/// One parsed CSV row of the adaptive sweep artifact.
+struct Row {
+    topology: String,
+    matrix: String,
+    routing: String,
+    boundary: String,
+    goodput_gbps: f64,
+    trims: u64,
+    fct_mean_ms: f64,
+    fct_p99_ms: f64,
+}
+
+fn parse(csv: &str) -> Vec<Row> {
+    csv.lines()
+        .skip(1)
+        .map(|line| {
+            // The scheme label (column 5) may itself contain commas —
+            // e.g. `layered(n=4,rho=0.6)` — so split the four leading
+            // coordinate fields from the front and the eight numeric
+            // fields from the back, leaving the label in the middle.
+            let head: Vec<&str> = line.splitn(5, ',').collect();
+            let tail: Vec<&str> = line.rsplit(',').take(8).collect();
+            assert_eq!(head.len(), 5, "malformed row: {line}");
+            assert_eq!(tail.len(), 8, "malformed row: {line}");
+            Row {
+                topology: head[0].into(),
+                matrix: head[1].into(),
+                routing: head[2].into(),
+                boundary: head[3].into(),
+                // `tail` is reversed: fct_p99, fct_mean, drops, trims,
+                // goodput, on_time, completed, flows.
+                goodput_gbps: tail[4].parse().unwrap(),
+                trims: tail[3].parse().unwrap(),
+                fct_mean_ms: tail[1].parse().unwrap(),
+                fct_p99_ms: tail[0].parse().unwrap(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn adaptive_meets_oblivious_on_a_congested_cell_per_topology() {
+    rayon::ensure_pool(4);
+    let (csv, _summary) = adaptive_matrix_on(
+        vec![
+            slim_fly(5, 2).unwrap(),
+            fatpaths_net::topo::fattree::fat_tree(4, 1),
+        ],
+        4,
+        0.6,
+    );
+    let rows = parse(&csv);
+    for topo in ["SF", "FT3"] {
+        let mut met = false;
+        let mut engaged = false;
+        for obl in rows
+            .iter()
+            .filter(|r| r.topology == topo && r.boundary == "oblivious")
+        {
+            let ada = rows
+                .iter()
+                .find(|r| {
+                    r.topology == topo
+                        && r.matrix == obl.matrix
+                        && r.routing == obl.routing
+                        && r.boundary == "adaptive"
+                })
+                .unwrap_or_else(|| {
+                    panic!(
+                        "missing adaptive twin for {topo}/{}/{}",
+                        obl.matrix, obl.routing
+                    )
+                });
+            // The acceptance cell: a skewed or incast matrix where
+            // queue-depth steering holds or beats the oblivious draw.
+            if obl.matrix != "worstcase" && ada.goodput_gbps >= obl.goodput_gbps {
+                met = true;
+            }
+            if ada.trims != obl.trims
+                || ada.fct_mean_ms != obl.fct_mean_ms
+                || ada.fct_p99_ms != obl.fct_p99_ms
+            {
+                engaged = true;
+            }
+        }
+        assert!(
+            met,
+            "{topo}: no heavy-hitter/incast cell with adaptive goodput >= oblivious"
+        );
+        assert!(
+            engaged,
+            "{topo}: adaptive runs are byte-identical to oblivious — boundary decisions never fired"
+        );
+    }
+}

@@ -14,6 +14,7 @@ use fatpaths_core::fwd::RoutingTables;
 use fatpaths_core::layers::{build_random_layers, LayerConfig};
 use fatpaths_core::scheme::{KspConfig, KspScheme, RoutingScheme};
 use fatpaths_diversity::apsp::shortest_path_stats;
+use fatpaths_experiments::adaptive::adaptive_matrix_on;
 use fatpaths_experiments::baselines::baselines_matrix_on;
 use fatpaths_experiments::churn::churn_matrix_on;
 use fatpaths_experiments::memory::memory_matrix_on;
@@ -187,6 +188,36 @@ fn te_matrix_is_bit_identical_across_thread_counts() {
     );
     // Sanity: 2 topologies × 2 matrices × 3 schemes.
     assert_eq!(csv_par.lines().count(), 1 + 2 * 2 * 3);
+}
+
+/// The `adaptive` experiment — queue-depth flowlet steering scored
+/// against oblivious hashing across the (topology × matrix × routing ×
+/// boundary) grid — emits byte-identical CSV and summary on the pool
+/// and on a single thread. The boundary decision is a pure function of
+/// shard-local queue snapshots taken at canonical event times, so this
+/// holds by construction; the test pins it (the acceptance criterion of
+/// the adaptive subsystem, alongside `shard_parity`'s shard-count leg).
+#[test]
+fn adaptive_matrix_is_bit_identical_across_thread_counts() {
+    wide_pool();
+    let topos = || {
+        vec![
+            slim_fly(5, 2).unwrap(),
+            fatpaths_net::topo::fattree::fat_tree(4, 1),
+        ]
+    };
+    let (csv_par, summary_par) = adaptive_matrix_on(topos(), 4, 0.6);
+    let (csv_seq, summary_seq) = rayon::run_sequential(|| adaptive_matrix_on(topos(), 4, 0.6));
+    assert!(
+        csv_par == csv_seq,
+        "adaptive CSV differs between pooled and single-threaded runs"
+    );
+    assert!(
+        summary_par == summary_seq,
+        "adaptive summary differs between pooled and single-threaded runs"
+    );
+    // Sanity: 2 topologies × 3 matrices × 2 routings × 2 boundaries.
+    assert_eq!(csv_par.lines().count(), 1 + 2 * 3 * 2 * 2);
 }
 
 /// APSP statistics (parallel BFS fan-out per source) are identical in

@@ -90,6 +90,26 @@ pub enum LoadBalancing {
     FatPathsLayers,
 }
 
+/// Flowlet-boundary path selection policy: what a sender consults when
+/// a flowlet boundary (gap, RTO, or TCP window reduction) re-picks the
+/// path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdaptiveMode {
+    /// Hash-based re-pick, oblivious to congestion (the paper's default
+    /// data plane): a new layer (FatPaths) or nonce (LetFlow) is drawn
+    /// uniformly from the flowlet counter.
+    Oblivious,
+    /// CONGA/LetFlow-style local congestion awareness: the sender reads
+    /// the **live queue depths of its attachment router's output
+    /// ports** — shard-local by construction, endpoints live on their
+    /// router's shard — and steers the flowlet to the least-loaded
+    /// candidate (layer for FatPaths-family schemes, minimal-path port
+    /// for LetFlow/ECMP). Ties break by a deterministic hash of
+    /// `(flow, flowlet counter)`, so results stay byte-identical at any
+    /// shard and thread count.
+    QueueDepth,
+}
+
 /// Full simulator configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
@@ -101,6 +121,9 @@ pub struct SimConfig {
     pub transport: Transport,
     /// Load-balancing scheme.
     pub lb: LoadBalancing,
+    /// Flowlet-boundary path selection policy (congestion-oblivious
+    /// hashing vs. local queue-depth awareness).
+    pub adaptive: AdaptiveMode,
     /// Flowlet gap (§VII-A6: 50 µs).
     pub flowlet_gap: TimePs,
     /// RNG seed (full determinism).
@@ -142,6 +165,7 @@ impl Default for SimConfig {
             link_latency: 1_000_000, // 1 µs
             transport: Transport::ndp_default(),
             lb: LoadBalancing::FatPathsLayers,
+            adaptive: AdaptiveMode::Oblivious,
             flowlet_gap: 50_000_000, // 50 µs
             seed: 1,
             horizon: 0,

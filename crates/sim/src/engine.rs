@@ -13,6 +13,7 @@
 //! the events for its region, and the canonical order is independent of
 //! whether a packet arrived via a local push or a cross-shard mailbox.
 
+use fatpaths_core::fwd::fnv1a;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -553,9 +554,54 @@ impl PacketSlab {
     }
 }
 
+/// The congestion-aware flowlet-boundary decision
+/// ([`AdaptiveMode::QueueDepth`](crate::config::AdaptiveMode)): given a
+/// snapshot of local queue depths (one entry per candidate — layer or
+/// port — with `u32::MAX` marking dead/unusable candidates), returns
+/// the index of the least-loaded candidate. Ties break by a
+/// deterministic hash of `(flow, flowlet counter)` so repeated
+/// boundaries of one flow spread over equally idle candidates instead
+/// of herding onto the first.
+///
+/// This is a pure function of exactly `(depths, flow, ctr)` — no clock,
+/// no RNG, no global state — which is what keeps adaptive runs
+/// byte-identical at any shard and thread count (the shard-parity
+/// proptests pin this contract). Returns `None` when every candidate is
+/// unusable; the caller falls back to the oblivious hash. Cost is two
+/// passes over `depths`, no allocation.
+pub fn least_loaded(depths: &[u32], flow: u32, ctr: u32) -> Option<usize> {
+    let min = *depths.iter().min()?;
+    if min == u32::MAX {
+        return None;
+    }
+    let ties = depths.iter().filter(|&&d| d == min).count() as u64;
+    let k = (fnv1a(((flow as u64) << 32) ^ 0xADA7 ^ ctr as u64) % ties) as usize;
+    depths
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d == min)
+        .nth(k)
+        .map(|(i, _)| i)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn least_loaded_picks_a_minimum_and_is_deterministic() {
+        let depths = [4, 1, 7, 1, 1];
+        let pick = least_loaded(&depths, 9, 3).unwrap();
+        assert_eq!(depths[pick], 1);
+        assert_eq!(least_loaded(&depths, 9, 3), Some(pick));
+        // A unique minimum is always chosen regardless of the tie-break.
+        for ctr in 0..32 {
+            assert_eq!(least_loaded(&[5, 0, 9], 1, ctr), Some(1));
+        }
+        // All-dead snapshots defer to the oblivious fallback.
+        assert_eq!(least_loaded(&[u32::MAX, u32::MAX], 1, 1), None);
+        assert_eq!(least_loaded(&[], 1, 1), None);
+    }
 
     #[test]
     fn events_pop_in_time_order() {

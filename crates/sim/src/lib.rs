@@ -34,8 +34,8 @@ pub mod simulator;
 pub mod sweep;
 mod tcp;
 
-pub use config::{LoadBalancing, SimConfig, TcpVariant, Transport, HDR_BYTES};
-pub use engine::TimePs;
+pub use config::{AdaptiveMode, LoadBalancing, SimConfig, TcpVariant, Transport, HDR_BYTES};
+pub use engine::{least_loaded, TimePs};
 pub use fatpaths_core::repair::{DownLinks, RouteRepair};
 pub use fatpaths_core::scheme::{PortSet, RoutingScheme};
 pub use fatpaths_fib::{CompileMode, CompiledScheme, Fib, FibStats, TableBudget};

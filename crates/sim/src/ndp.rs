@@ -17,7 +17,7 @@
 //! prove completion from its own ack bitmap without ever reading the
 //! receiver's state across the shard boundary.
 
-use crate::config::Transport;
+use crate::config::{AdaptiveMode, LoadBalancing, Transport};
 use crate::engine::{EvKind, PktKind, TimePs};
 use crate::shard::{pop_front, Ctx, Shard};
 use fatpaths_core::fwd::fnv1a;
@@ -243,10 +243,18 @@ impl Shard {
             }
         }
         let nl = cx.n_layers as u64;
-        if nl > 1 {
-            let f = &mut self.tx[ti];
-            f.flowlet_ctr += 1;
-            f.layer = (fnv1a(((flow as u64) << 26) ^ 0xFA11 ^ f.flowlet_ctr as u64) % nl) as u8;
+        let adaptive = cx.cfg.adaptive == AdaptiveMode::QueueDepth;
+        // A timeout is a flowlet boundary. Obliviously only a layer
+        // re-pick applies (single-layer schemes have nothing to redraw);
+        // adaptive LetFlow/ECMP also re-steers the minimal-path nonce.
+        if nl > 1
+            || (adaptive && matches!(cx.cfg.lb, LoadBalancing::LetFlow | LoadBalancing::EcmpFlow))
+        {
+            self.tx[ti].flowlet_ctr += 1;
+            if !(adaptive && self.adaptive_repick(cx, flow)) && nl > 1 {
+                let f = &mut self.tx[ti];
+                f.layer = (fnv1a(((flow as u64) << 26) ^ 0xFA11 ^ f.flowlet_ctr as u64) % nl) as u8;
+            }
         }
         let window = match cx.cfg.transport {
             Transport::Ndp { initial_window, .. } => initial_window,

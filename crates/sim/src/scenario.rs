@@ -27,7 +27,7 @@
 //! instead of a vtable (the "thin enum shim"; `cargo bench` compares
 //! both).
 
-use crate::config::{LoadBalancing, SimConfig, Transport};
+use crate::config::{AdaptiveMode, LoadBalancing, SimConfig, Transport};
 use crate::engine::TimePs;
 use crate::metrics::SimResult;
 use crate::simulator::Simulator;
@@ -255,6 +255,7 @@ pub struct Scenario<'a> {
     spec: SchemeSpec,
     transport: Transport,
     lb: Option<LoadBalancing>,
+    adaptive: AdaptiveMode,
     seed: u64,
     horizon: TimePs,
     flows: Vec<FlowSpec>,
@@ -279,6 +280,7 @@ impl<'a> Scenario<'a> {
             },
             transport: Transport::ndp_default(),
             lb: None,
+            adaptive: AdaptiveMode::Oblivious,
             seed: 1,
             horizon: 0,
             flows: Vec::new(),
@@ -312,6 +314,19 @@ impl<'a> Scenario<'a> {
     /// re-rolled. Pick `LetFlow` for flowlet behavior on minimal paths.
     pub fn lb(mut self, lb: LoadBalancing) -> Self {
         self.lb = Some(lb);
+        self
+    }
+
+    /// Sets the flowlet-boundary path selection policy (default:
+    /// [`AdaptiveMode::Oblivious`], the paper's hash-based re-pick).
+    /// [`AdaptiveMode::QueueDepth`] makes boundaries CONGA/LetFlow-style
+    /// congestion-aware: the sender steers each new flowlet to the
+    /// least-loaded candidate as seen in its attachment router's live
+    /// queue depths. Composes with [`Scenario::traffic_engineered`] and
+    /// [`Scenario::compiled`]; a no-op under
+    /// [`LoadBalancing::PacketSpray`], which has no flowlet decision.
+    pub fn adaptive(mut self, mode: AdaptiveMode) -> Self {
+        self.adaptive = mode;
         self
     }
 
@@ -414,11 +429,15 @@ impl<'a> Scenario<'a> {
         self
     }
 
-    /// The spec's label (for CSV rows), with a `+te` suffix when the
+    /// The spec's label (for CSV rows), with an `+adapt` suffix under
+    /// queue-depth-adaptive flowlet re-picks, a `+te` suffix when the
     /// tables are traffic-engineered and a `+fib` suffix when the
     /// scenario simulates on compiled FIBs.
     pub fn label(&self) -> String {
         let mut label = self.spec.label();
+        if self.adaptive == AdaptiveMode::QueueDepth {
+            label.push_str("+adapt");
+        }
         if self.te.is_some() {
             label.push_str("+te");
         }
@@ -511,6 +530,7 @@ impl<'a> Scenario<'a> {
         SimConfig {
             transport: self.transport,
             lb: self.lb.unwrap_or_else(|| self.spec.default_lb()),
+            adaptive: self.adaptive,
             seed: self.seed,
             horizon: self.horizon,
             detection_delay: self.detection_delay,

@@ -29,8 +29,10 @@
 //! through the shared snapshot `cx.faults.epochs[fault_epoch]`. One
 //! copy of the fault state regardless of K, zero synchronization.
 
-use crate::config::{LoadBalancing, SimConfig, Transport, HDR_BYTES};
-use crate::engine::{EvKind, EventQueue, Packet, PacketSlab, PktKind, TimePs, NO_PKT};
+use crate::config::{AdaptiveMode, LoadBalancing, SimConfig, Transport, HDR_BYTES};
+use crate::engine::{
+    least_loaded, EvKind, EventQueue, Packet, PacketSlab, PktKind, TimePs, NO_PKT,
+};
 use crate::faults::{FaultEpoch, FaultTimeline};
 use fatpaths_core::fwd::fnv1a;
 use fatpaths_core::scheme::RoutingScheme;
@@ -648,6 +650,11 @@ pub(crate) struct Shard {
     pub outbox: Vec<Vec<OutMsg>>,
     /// Reusable scratch indices (RTO missing-sequence collection).
     pub scratch: Vec<u32>,
+    /// Reusable scratch queue-depth snapshot for adaptive flowlet
+    /// decisions. Separate from `scratch`: an NDP RTO holds `scratch`
+    /// across its `send_data` calls, and the first of those can itself
+    /// hit a flowlet boundary.
+    pub depth_scratch: Vec<u32>,
     // ---- shared-fault-state cursor ----
     /// Index into `Ctx::faults.epochs`: the number of fault events this
     /// shard has popped so far. Every shard pops the identical global
@@ -687,6 +694,7 @@ impl Shard {
             resolved: Vec::new(),
             outbox: (0..n_shards).map(|_| Vec::new()).collect(),
             scratch: Vec::new(),
+            depth_scratch: Vec::new(),
             fault_epoch: 0,
             repair_seen: 0,
             repair_at: None,
@@ -711,6 +719,7 @@ impl Shard {
         self.resolved = Vec::new();
         self.outbox = Vec::new();
         self.scratch = Vec::new();
+        self.depth_scratch = Vec::new();
     }
 
     /// Appends a pull credit for `flow` to endpoint slot `li`'s FIFO.
@@ -1082,6 +1091,165 @@ impl Shard {
         })
     }
 
+    /// Congestion-aware flowlet-boundary decision
+    /// ([`AdaptiveMode::QueueDepth`]): consult the live queue depths of
+    /// the flow's attachment router and steer the new flowlet to the
+    /// least-loaded candidate — the layer for FatPaths-family schemes,
+    /// the minimal-path port for LetFlow/ECMP (CONGA/LetFlow-style local
+    /// adaptivity). Reads are shard-local by construction: the sender's
+    /// `TxFlow` lives on the source router's shard, and so do that
+    /// router's output ports — no cross-shard state is touched, which
+    /// (together with the canonical event order making the port state
+    /// identical at the decision instant for every K) keeps adaptive
+    /// runs byte-identical at any shard and thread count.
+    ///
+    /// Returns `true` when a decision was applied; `false` defers to the
+    /// caller's oblivious hash (spraying, pinned MPTCP subflows,
+    /// same-router pairs, single-candidate rows, or every candidate
+    /// down). Cost is O(candidates) per boundary with no allocation
+    /// (`depth_scratch` is reused across decisions).
+    pub(crate) fn adaptive_repick<R: RoutingScheme + ?Sized>(
+        &mut self,
+        cx: &Ctx<R>,
+        flow: u32,
+    ) -> bool {
+        let m = cx.meta(flow);
+        if m.pinned_layer.is_some() {
+            return false;
+        }
+        let r = cx.ep_router[m.src_ep as usize];
+        let dst_router = cx.ep_router[m.dst_ep as usize];
+        if r == dst_router {
+            return false; // no network hop: nothing to steer
+        }
+        debug_assert_eq!(cx.router_shard[r as usize], self.id);
+        let ti = cx.tx_idx(flow);
+        let ctr = self.tx[ti].flowlet_ctr;
+        match cx.cfg.lb {
+            LoadBalancing::FatPathsLayers => {
+                if cx.n_layers <= 1 {
+                    return false;
+                }
+                let nonce = self.tx[ti].nonce;
+                let mut depths = std::mem::take(&mut self.depth_scratch);
+                depths.clear();
+                for l in 0..cx.n_layers {
+                    depths.push(self.first_hop_depth(cx, r, dst_router, l as u8, nonce));
+                }
+                let pick = least_loaded(&depths, flow, ctr);
+                self.depth_scratch = depths;
+                match pick {
+                    Some(l) => {
+                        self.tx[ti].layer = l as u8;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            LoadBalancing::LetFlow | LoadBalancing::EcmpFlow => {
+                let layer = cx.scheme.update_layer(self.tx[ti].layer, r, dst_router);
+                let fe = self.faults(cx);
+                let repaired_row = if fe.repair.is_empty() {
+                    None
+                } else {
+                    fe.repair.lookup(layer, r, dst_router)
+                };
+                let scheme_row;
+                let cands: &[u16] = match repaired_row {
+                    Some(e) => e.as_slice(),
+                    None => {
+                        scheme_row = cx.scheme.candidate_ports(layer, r, dst_router);
+                        scheme_row.as_slice()
+                    }
+                };
+                if cands.len() <= 1 {
+                    return false; // port selection has no choice to make
+                }
+                let mut depths = std::mem::take(&mut self.depth_scratch);
+                depths.clear();
+                for &sel in cands {
+                    let port = cx.net_base[r as usize] + sel as u32;
+                    depths.push(if fe.down_count != 0 && fe.is_port_down(port) {
+                        // A dead port's empty queue must not attract
+                        // flowlets.
+                        u32::MAX
+                    } else {
+                        let p = &self.ports[cx.port_idx(port)];
+                        p.data_len as u32 + p.prio_len as u32
+                    });
+                }
+                let pick = least_loaded(&depths, flow, ctr);
+                self.depth_scratch = depths;
+                let Some(j) = pick else { return false };
+                // Routers hash the flow nonce per hop (`select_port`),
+                // so the sender steers by *searching* for a nonce that
+                // lands on the chosen port at this first hop: a bounded
+                // deterministic trial sequence — 8·len draws hit a 1/len
+                // target with probability 1 − (1−1/len)^(8·len) ≈
+                // 1 − e⁻⁸. On the rare exhaustion the first draw stands:
+                // an oblivious re-pick, never a stale path.
+                let len = cands.len() as u64;
+                let base = ((flow as u64) << 21) ^ 0xC0A6 ^ ((ctr as u64) << 8);
+                let mut nonce = fnv1a(base);
+                for t in 0..(8 * len).max(16) {
+                    let cand = fnv1a(base ^ t);
+                    if (fnv1a(cand ^ ((r as u64) << 20)) % len) as usize == j {
+                        nonce = cand;
+                        break;
+                    }
+                }
+                self.tx[ti].nonce = nonce;
+                true
+            }
+            // Spraying re-balances per packet already; there is no
+            // flowlet decision to make.
+            _ => false,
+        }
+    }
+
+    /// Queue depth (data + priority packets) of the first-hop port a
+    /// packet of this flow tagged `layer` would leave router `r` on,
+    /// mirroring the forwarding path exactly: per-hop layer rewrite,
+    /// repair-overlay shadow, then the nonce-hash candidate pick of
+    /// `select_port`. `u32::MAX` marks unusable candidates (unreachable
+    /// rows, down ports) so `least_loaded` never steers into them.
+    fn first_hop_depth<R: RoutingScheme + ?Sized>(
+        &self,
+        cx: &Ctx<R>,
+        r: u32,
+        dst_router: u32,
+        layer: u8,
+        nonce: u64,
+    ) -> u32 {
+        let layer = cx.scheme.update_layer(layer, r, dst_router);
+        let fe = self.faults(cx);
+        let repaired_row = if fe.repair.is_empty() {
+            None
+        } else {
+            fe.repair.lookup(layer, r, dst_router)
+        };
+        let scheme_row;
+        let cands: &[u16] = match repaired_row {
+            Some(e) => e.as_slice(),
+            None => {
+                scheme_row = cx.scheme.candidate_ports(layer, r, dst_router);
+                scheme_row.as_slice()
+            }
+        };
+        let sel = match *cands {
+            [] => return u32::MAX,
+            [only] => only,
+            _ => cands[(fnv1a(nonce ^ ((r as u64) << 20)) % cands.len() as u64) as usize],
+        };
+        let port = cx.net_base[r as usize] + sel as u32;
+        if fe.down_count != 0 && fe.is_port_down(port) {
+            return u32::MAX;
+        }
+        debug_assert_eq!(cx.port_home[port as usize].shard(), self.id);
+        let p = &self.ports[cx.port_idx(port)];
+        p.data_len as u32 + p.prio_len as u32
+    }
+
     // ---- shared endpoint helpers ------------------------------------------
 
     /// Applies source-side flowlet logic before a data transmission:
@@ -1097,26 +1265,31 @@ impl Shard {
         let n_layers = cx.n_layers;
         let lb = cx.cfg.lb;
         let now = self.now;
-        let pinned = cx.meta(flow).pinned_layer.is_some();
-        let f = &mut self.tx[cx.tx_idx(flow)];
-        if pinned {
-            f.last_tx = now;
+        let ti = cx.tx_idx(flow);
+        if cx.meta(flow).pinned_layer.is_some() {
+            self.tx[ti].last_tx = now;
             return;
         }
+        let f = &mut self.tx[ti];
         if f.last_tx != 0 && now.saturating_sub(f.last_tx) > gap {
             f.flowlet_ctr += 1;
-            match lb {
-                LoadBalancing::FatPathsLayers => {
-                    f.layer = (fnv1a(((flow as u64) << 20) ^ f.flowlet_ctr as u64)
-                        % n_layers as u64) as u8;
+            let adapted =
+                cx.cfg.adaptive == AdaptiveMode::QueueDepth && self.adaptive_repick(cx, flow);
+            if !adapted {
+                let f = &mut self.tx[ti];
+                match lb {
+                    LoadBalancing::FatPathsLayers => {
+                        f.layer = (fnv1a(((flow as u64) << 20) ^ f.flowlet_ctr as u64)
+                            % n_layers as u64) as u8;
+                    }
+                    LoadBalancing::LetFlow => {
+                        f.nonce = fnv1a(((flow as u64) << 21) ^ f.flowlet_ctr as u64);
+                    }
+                    _ => {}
                 }
-                LoadBalancing::LetFlow => {
-                    f.nonce = fnv1a(((flow as u64) << 21) ^ f.flowlet_ctr as u64);
-                }
-                _ => {}
             }
         }
-        f.last_tx = now;
+        self.tx[ti].last_tx = now;
     }
 
     /// Crafts and sends one data packet of `flow` with sequence `seq`

@@ -13,7 +13,7 @@
 //! [`TcpState`](crate::shard::TcpState) array (`Shard::tcp`, same local
 //! index as `Shard::tx`), allocated only for TCP transports.
 
-use crate::config::{LoadBalancing, SimConfig, TcpVariant, Transport};
+use crate::config::{AdaptiveMode, LoadBalancing, SimConfig, TcpVariant, Transport};
 use crate::engine::{EvKind, PktKind, TimePs};
 use crate::shard::{Ctx, Shard};
 use fatpaths_core::fwd::fnv1a;
@@ -251,8 +251,12 @@ impl Shard {
         if cx.meta(flow).pinned_layer.is_some() {
             return; // MPTCP subflows own their layer
         }
-        let f = &mut self.tx[cx.tx_idx(flow)];
-        f.flowlet_ctr += 1;
+        let ti = cx.tx_idx(flow);
+        self.tx[ti].flowlet_ctr += 1;
+        if cx.cfg.adaptive == AdaptiveMode::QueueDepth && self.adaptive_repick(cx, flow) {
+            return;
+        }
+        let f = &mut self.tx[ti];
         match lb {
             LoadBalancing::FatPathsLayers => {
                 f.layer =

@@ -11,7 +11,7 @@
 use fatpaths_core::past::PastVariant;
 use fatpaths_net::fault::{FaultModel, FaultPlan};
 use fatpaths_net::topo::Topology;
-use fatpaths_sim::{CompileMode, LoadBalancing, Scenario, SchemeSpec, SimResult};
+use fatpaths_sim::{AdaptiveMode, CompileMode, LoadBalancing, Scenario, SchemeSpec, SimResult};
 use fatpaths_workloads::arrivals::FlowSpec;
 use proptest::prelude::*;
 
@@ -162,6 +162,111 @@ fn sharded_fault_churn_repair_runs_match_single_shard() {
             assert!(
                 fingerprint(&single) == fingerprint(&sharded),
                 "fault run diverged at {k} shards on {}",
+                topo.name
+            );
+        }
+    }
+}
+
+/// Adaptive flowlet steering reads live queue depths at the sender's
+/// attachment router — state that is shard-local by construction — so
+/// every boundary decision sees the same snapshot at the same canonical
+/// event time regardless of how routers are sharded. Pins both
+/// adaptive-capable load balancers (layered FatPaths re-picks the
+/// least-loaded layer, LetFlow the least-loaded minimal port) across
+/// shard counts AND both thread configurations.
+#[test]
+fn sharded_adaptive_runs_match_single_shard() {
+    rayon::ensure_pool(4);
+    for topo in mini_topos() {
+        let flows = permutation(&topo, 17);
+        for (spec, lb) in [
+            (
+                SchemeSpec::LayeredRandom {
+                    n_layers: 4,
+                    rho: 0.6,
+                },
+                None,
+            ),
+            (SchemeSpec::Minimal, Some(LoadBalancing::LetFlow)),
+        ] {
+            let run = |k: u32| {
+                let mut sc = Scenario::on(&topo)
+                    .scheme(spec)
+                    .adaptive(AdaptiveMode::QueueDepth)
+                    .workload(&flows)
+                    .seed(3)
+                    .shards(k);
+                if let Some(lb) = lb {
+                    sc = sc.lb(lb);
+                }
+                sc.run()
+            };
+            let single = fingerprint(&run(1));
+            for k in [2, 4] {
+                assert!(
+                    single == fingerprint(&run(k)),
+                    "adaptive {} diverged at {k} shards on {} (lb {:?})",
+                    spec.label(),
+                    topo.name,
+                    lb
+                );
+            }
+            let sequential = fingerprint(&rayon::run_sequential(|| run(4)));
+            assert!(
+                single == sequential,
+                "adaptive {} differs between pooled and single-threaded execution on {}",
+                spec.label(),
+                topo.name
+            );
+        }
+    }
+}
+
+/// Adaptive steering under static faults plus mid-run churn: down
+/// candidates are excluded from the depth snapshot (scored `u32::MAX`),
+/// and repaired rows replace the scheme's candidate set — both paths
+/// must stay byte-identical across shard counts, repair log included.
+#[test]
+fn sharded_adaptive_fault_churn_runs_match_single_shard() {
+    rayon::ensure_pool(4);
+    for topo in mini_topos() {
+        let flows = permutation(&topo, 21);
+        let plan = FaultPlan::sample(&topo, &FaultModel::UniformFraction { fraction: 0.06 }, 11)
+            .router_down_at(2_000_000_000, 7)
+            .router_up_at(6_000_000_000, 7);
+        let run = |k: u32| {
+            Scenario::on(&topo)
+                .scheme(SchemeSpec::LayeredRandom {
+                    n_layers: 4,
+                    rho: 0.6,
+                })
+                .adaptive(AdaptiveMode::QueueDepth)
+                .workload(&flows)
+                .seed(3)
+                .horizon(40_000_000_000)
+                .fault_plan(plan.clone())
+                .detection_delay(50_000_000)
+                .abort_on_host_death(3)
+                .shards(k)
+                .run()
+        };
+        let single = run(1);
+        assert!(
+            single.repair_ticks() >= 2,
+            "churn must trigger repairs on {}",
+            topo.name
+        );
+        for k in [2, 4] {
+            let sharded = run(k);
+            assert_eq!(
+                single.repair_log, sharded.repair_log,
+                "adaptive repair log diverged at {k} shards on {}",
+                topo.name
+            );
+            assert!(
+                fingerprint(&single) == fingerprint(&sharded),
+                "adaptive fault run diverged at {k} shards on {}",
                 topo.name
             );
         }
@@ -335,6 +440,38 @@ proptest! {
                 let s0 = a[d.start as usize];
                 prop_assert!((d.start..d.end).all(|r| a[r as usize] == s0));
             }
+        }
+    }
+
+    // The adaptive flowlet boundary decision is a pure function of its
+    // three inputs — (local queue-depth snapshot, flow id, flowlet
+    // counter) — and nothing else: deterministic across calls, always
+    // an index of minimum depth, never a dead (`u32::MAX`-scored)
+    // candidate, and `None` exactly when no live candidate exists.
+    // This is the property that makes adaptivity shard- and
+    // thread-count invariant: no clocks, no RNG state, no global load.
+    #[test]
+    fn adaptive_boundary_decision_is_a_pure_minimum_pick(
+        raw in prop::collection::vec(0u32..10, 0..12),
+        flow in 0u32..1_000_000,
+        ctr in 0u32..64,
+    ) {
+        // Draws of 8..10 model dead candidates (down ports / empty
+        // rows), which the snapshot scores `u32::MAX`.
+        let depths: Vec<u32> = raw
+            .into_iter()
+            .map(|d| if d >= 8 { u32::MAX } else { d })
+            .collect();
+        let pick = fatpaths_sim::least_loaded(&depths, flow, ctr);
+        prop_assert_eq!(pick, fatpaths_sim::least_loaded(&depths, flow, ctr));
+        let min = depths.iter().copied().min();
+        match pick {
+            Some(i) => {
+                prop_assert!(i < depths.len());
+                prop_assert!(depths[i] != u32::MAX);
+                prop_assert_eq!(Some(depths[i]), min);
+            }
+            None => prop_assert!(min.is_none() || min == Some(u32::MAX)),
         }
     }
 

@@ -40,6 +40,17 @@ pub enum MatrixSpec {
         /// Fraction of each source router's endpoints aimed at hotspots.
         skew: f64,
     },
+    /// Synchronized incast: a few seeded target endpoints (one per
+    /// distinct router) each receive `fan_in` concurrent flows from
+    /// endpoints of distinct other routers — the many-to-one microburst
+    /// (partition/aggregate) that adaptive flowlet steering is supposed
+    /// to absorb at the senders' first hops.
+    Incast {
+        /// Number of incast target endpoints.
+        targets: usize,
+        /// Concurrent senders per target.
+        fan_in: usize,
+    },
 }
 
 impl MatrixSpec {
@@ -48,6 +59,7 @@ impl MatrixSpec {
         match self {
             MatrixSpec::WorstCase { .. } => "worstcase".into(),
             MatrixSpec::HeavyHitter { hotspots, .. } => format!("hot{hotspots}"),
+            MatrixSpec::Incast { fan_in, .. } => format!("incast{fan_in}"),
         }
     }
 }
@@ -60,7 +72,52 @@ pub fn matrix_flows(topo: &Topology, spec: &MatrixSpec, seed: u64) -> Vec<(u32, 
         MatrixSpec::HeavyHitter { hotspots, skew } => {
             heavy_hitter_flows(topo, *hotspots, *skew, seed)
         }
+        MatrixSpec::Incast { targets, fan_in } => incast_flows(topo, *targets, *fan_in, seed),
     }
+}
+
+/// Seeded incast targets, each served by `fan_in` senders cycling over
+/// the non-target routers (one endpoint per router first, wrapping into
+/// deeper endpoints only once every router contributed).
+fn incast_flows(topo: &Topology, targets: usize, fan_in: usize, seed: u64) -> Vec<(u32, u32)> {
+    // Only endpoint-bearing routers participate: fat-tree aggregation
+    // and core switches can neither host an incast target nor a sender.
+    let mut routers: Vec<u32> = (0..topo.num_routers() as u32)
+        .filter(|&r| !topo.router_endpoints(r).is_empty())
+        .collect();
+    let targets = targets.clamp(1, routers.len().saturating_sub(1).max(1));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642f);
+    routers.shuffle(&mut rng);
+    let (hot, rest) = routers.split_at(targets.min(routers.len()));
+    let mut out = Vec::new();
+    for (ti, &tr) in hot.iter().enumerate() {
+        let teps = topo.router_endpoints(tr);
+        let tp = teps.len();
+        if tp == 0 || rest.is_empty() {
+            continue;
+        }
+        let dst = teps.start + (ti % tp) as u32;
+        let mut placed = 0usize;
+        // Offset by the target index so targets do not draw the same
+        // sender routers in lockstep; bounded in case of empty routers.
+        for k in ti..ti + 4 * fan_in * rest.len() {
+            if placed == fan_in {
+                break;
+            }
+            let sr = rest[k % rest.len()];
+            let seps = topo.router_endpoints(sr);
+            let sp = seps.len();
+            if sp == 0 {
+                continue;
+            }
+            let src = seps.start + ((k / rest.len()) % sp) as u32;
+            if src != dst {
+                out.push((src, dst));
+                placed += 1;
+            }
+        }
+    }
+    out
 }
 
 /// Worst-case matching with a hotspot overlay: for every matched source
@@ -149,6 +206,29 @@ mod tests {
             "hotspots got {hot_share}/{} flows",
             a.len()
         );
+    }
+
+    #[test]
+    fn incast_converges_on_targets() {
+        let t = slim_fly(5, 2).unwrap();
+        let spec = MatrixSpec::Incast {
+            targets: 3,
+            fan_in: 8,
+        };
+        let a = matrix_flows(&t, &spec, 6);
+        assert_eq!(a, matrix_flows(&t, &spec, 6));
+        assert_eq!(a.len(), 3 * 8);
+        assert_eq!(spec.label(), "incast8");
+        // Exactly `targets` distinct destinations, `fan_in` flows each,
+        // and every sender sits on a different router than its target.
+        let mut dsts: Vec<u32> = a.iter().map(|&(_, d)| d).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        assert_eq!(dsts.len(), 3);
+        for &(s, d) in &a {
+            assert_ne!(t.endpoint_router(s), t.endpoint_router(d));
+        }
+        assert_ne!(matrix_flows(&t, &spec, 6), matrix_flows(&t, &spec, 7));
     }
 
     #[test]
