@@ -1,7 +1,8 @@
 //! Parallel-execution trajectory benchmark: times the pool-bound
 //! pipeline stages — APSP, layered routing-table construction, a
-//! single sharded packet simulation, a scenario-grid sweep, the
-//! degraded/churn fault sweeps, and the adaptive-flowlet sweep — at
+//! single sharded packet simulation (with and without telemetry), a
+//! scenario-grid sweep, the degraded/churn fault sweeps, and the
+//! adaptive-flowlet sweep — at
 //! 1, 2, and N threads, and writes the results to
 //! `BENCH_parallel.json` so future PRs have a perf baseline to
 //! compare against.
@@ -34,13 +35,14 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Stages measured, in report order.
-const STAGES: [&str; 10] = [
+const STAGES: [&str; 11] = [
     "apsp",
     "layer_build",
     "fib_compile",
     "te_negotiate",
     "sim_run",
     "sim_scale",
+    "telemetry_overhead",
     "sweep",
     "degraded_sweep",
     "churn_sweep",
@@ -198,6 +200,48 @@ fn run_stage(stage: &str) -> f64 {
                 .unwrap_or(1);
             let start = Instant::now();
             scale_run(shards);
+            start.elapsed().as_secs_f64()
+        }
+        "telemetry_overhead" => {
+            // The `sim_run` workload with full telemetry on (interval
+            // probes + span sampling of every flow). Priced against the
+            // `sim_run` baseline this stage bounds the *enabled* cost;
+            // the *disabled* cost is bounded by `sim_run` itself staying
+            // flat, since its hot loop sees telemetry only as one
+            // `Option` check per wire start.
+            use fatpaths_sim::TelemetryConfig;
+            let shards: u32 = std::env::var("FATPATHS_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1);
+            let t = fatpaths_net::topo::fattree::fat_tree(28, 2);
+            let n = t.num_endpoints() as u64;
+            let flows: Vec<FlowSpec> = (0..n)
+                .map(|e| FlowSpec {
+                    src: e as u32,
+                    dst: ((e + 37) % n) as u32,
+                    size: 64 * 1024,
+                    start: 0,
+                })
+                .filter(|f| t.endpoint_router(f.src) != t.endpoint_router(f.dst))
+                .collect();
+            let start = Instant::now();
+            let (r, trace) = Scenario::on(&t)
+                .scheme(SchemeSpec::LayeredRandom {
+                    n_layers: 9,
+                    rho: 0.6,
+                })
+                .workload(&flows)
+                .seed(2)
+                .shards(shards)
+                .telemetry(TelemetryConfig {
+                    span_every: 1,
+                    seed: 2,
+                    ..TelemetryConfig::on()
+                })
+                .run_traced();
+            assert!(r.completion_rate() == 1.0);
+            assert!(trace.total_wire_bytes() > 0);
             start.elapsed().as_secs_f64()
         }
         "sweep" => {

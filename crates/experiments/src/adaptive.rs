@@ -19,7 +19,7 @@
 use crate::common::{f, is_smoke, label, write_summary, write_text};
 use fatpaths_net::classes::{build, SizeClass};
 use fatpaths_net::topo::{TopoKind, Topology};
-use fatpaths_sim::metrics::{mean, percentile};
+use fatpaths_sim::metrics::Summary;
 use fatpaths_sim::{
     cell_seed, coord_str, AdaptiveMode, Scenario, SchemeSpec, SweepRunner, TeConfig,
 };
@@ -29,7 +29,7 @@ use std::io;
 
 /// CSV header of the adaptive sweep artifact.
 pub const HEADER: &str = "topology,matrix,routing,boundary,scheme,flows,completed,on_time,\
-                          goodput_gbps,trims,drops,fct_mean_ms,fct_p99_ms";
+                          goodput_gbps,trims,drops,fct_mean_ms,fct_p99_ms,peak_layer_gbps";
 
 /// Routing-table axis: the static seeded layers vs the same layers
 /// negotiated against the cell's matrix.
@@ -76,6 +76,8 @@ struct CellOut {
     drops: u64,
     fct_mean_s: f64,
     fct_p99_s: f64,
+    /// Telemetry-derived: peak per-layer wire utilization over the run.
+    peak_layer_gbps: f64,
     scheme_label: String,
 }
 
@@ -128,8 +130,10 @@ pub fn adaptive_matrix_on(topos: Vec<Topology>, n_layers: usize, rho: f64) -> (S
             sc = sc.adaptive(AdaptiveMode::QueueDepth);
         }
         let scheme_label = sc.label();
-        let res = sc.run();
-        let fcts = res.fcts(None);
+        // Traced run: the trace feeds the peak-layer-utilization column
+        // (deterministic — integer byte counts per canonical interval).
+        let (res, trace) = sc.run_traced();
+        let fct = Summary::of(&res.fcts(None));
         let on_time: Vec<u64> = res
             .completed()
             .filter(|fl| fl.finish.is_some_and(|t| t - fl.start <= ON_TIME_PS))
@@ -143,8 +147,9 @@ pub fn adaptive_matrix_on(topos: Vec<Topology>, n_layers: usize, rho: f64) -> (S
             goodput_gbps: on_time.iter().sum::<u64>() as f64 * 8_000.0 / ON_TIME_PS as f64,
             trims: res.trims,
             drops: res.drops,
-            fct_mean_s: mean(&fcts),
-            fct_p99_s: percentile(&fcts, 99.0),
+            fct_mean_s: fct.mean,
+            fct_p99_s: fct.p99,
+            peak_layer_gbps: trace.peak_layer_gbps(),
             scheme_label,
         }
     });
@@ -164,7 +169,7 @@ pub fn adaptive_matrix_on(topos: Vec<Topology>, n_layers: usize, rho: f64) -> (S
                 for (bi, boundary) in BOUNDARIES.iter().enumerate() {
                     let c = &results[cell_index(specs.len(), ti, mi, ri, bi)];
                     csv.push_str(&format!(
-                        "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                        "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                         label(topo),
                         spec.label(),
                         routing,
@@ -178,6 +183,7 @@ pub fn adaptive_matrix_on(topos: Vec<Topology>, n_layers: usize, rho: f64) -> (S
                         c.drops,
                         f(c.fct_mean_s * 1e3),
                         f(c.fct_p99_s * 1e3),
+                        f(c.peak_layer_gbps),
                     ));
                 }
                 let obl = &results[cell_index(specs.len(), ti, mi, ri, 0)];

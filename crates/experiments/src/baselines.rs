@@ -16,7 +16,7 @@ use fatpaths_core::past::PastVariant;
 use fatpaths_mcf::{throughput_upper_bound, RouterDemand};
 use fatpaths_net::classes::{build, SizeClass};
 use fatpaths_net::topo::{TopoKind, Topology};
-use fatpaths_sim::metrics::{mean, percentile};
+use fatpaths_sim::metrics::Summary;
 use fatpaths_sim::{LoadBalancing, Scenario, SchemeSpec, SweepRunner};
 use fatpaths_te::{achieved_throughput, edge_loads, endpoint_demands};
 use fatpaths_workloads::arrivals::FlowSpec;
@@ -116,16 +116,16 @@ pub fn baselines_matrix_on(topos: Vec<Topology>, window: f64) -> (String, String
         let layers = fatpaths_sim::RoutingScheme::num_layers(&scheme);
         let mat_ratio = achieved_throughput(&edge_loads(&scheme, &topo.graph, demands)) / upper;
         let res = post_warmup(&sc.run_with(&scheme), window);
-        let fcts = res.fcts(None);
+        let fct = Summary::of(&res.fcts(None));
         let retx: u64 = res.flows.iter().map(|fl| fl.retx as u64).sum();
         let csv_row = [
             label(topo),
             name.to_string(),
             layers.to_string(),
             f(res.completion_rate()),
-            f(mean(&fcts) * 1e3),
-            f(percentile(&fcts, 50.0) * 1e3),
-            f(percentile(&fcts, 99.0) * 1e3),
+            f(fct.mean * 1e3),
+            f(fct.p50 * 1e3),
+            f(fct.p99 * 1e3),
             res.trims.to_string(),
             retx.to_string(),
             f(mat_ratio),
@@ -133,12 +133,7 @@ pub fn baselines_matrix_on(topos: Vec<Topology>, window: f64) -> (String, String
         .join(",");
         CellResult {
             csv_row,
-            summary_line_parts: (
-                name.to_string(),
-                layers,
-                mean(&fcts),
-                percentile(&fcts, 99.0),
-            ),
+            summary_line_parts: (name.to_string(), layers, fct.mean, fct.p99),
         }
     });
     // Ordered assembly: rows in grid order, summaries grouped per topology

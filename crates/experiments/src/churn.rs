@@ -36,7 +36,7 @@ use crate::common::{f, label, write_summary, write_text};
 use fatpaths_net::classes::{build, SizeClass};
 use fatpaths_net::fault::FaultPlan;
 use fatpaths_net::topo::{TopoKind, Topology};
-use fatpaths_sim::metrics::{mean, percentile};
+use fatpaths_sim::metrics::Summary;
 use fatpaths_sim::{cell_seed, coord_str, LoadBalancing, Scenario, SchemeSpec, SweepRunner};
 use fatpaths_workloads::arrivals::FlowSpec;
 use std::io;
@@ -221,7 +221,7 @@ pub fn churn_matrix_on(
             sc = sc.detection_delay(d);
         }
         let res = sc.run();
-        let fcts = res.fcts(None);
+        let fct = Summary::of(&res.fcts(None));
         // Goodput sustained *through* the roll: only bytes delivered
         // on time count (a flow that outwaits a rebooting router's
         // multi-RTO downtime completed, but it did not sustain goodput
@@ -239,8 +239,8 @@ pub fn churn_matrix_on(
             on_time: on_time.len(),
             // on-time bits / churn-window seconds, in Gb/s.
             goodput_gbps: on_time.iter().sum::<u64>() as f64 * 8_000.0 / churn_end as f64,
-            fct_mean_s: mean(&fcts),
-            fct_p99_s: percentile(&fcts, 99.0),
+            fct_mean_s: fct.mean,
+            fct_p99_s: fct.p99,
             drops: res.drops,
             unroutable: res.unroutable,
             repair_ticks: res.repair_ticks(),

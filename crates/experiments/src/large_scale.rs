@@ -10,7 +10,7 @@ use fatpaths_net::graph::{Graph, UNREACHABLE};
 use fatpaths_net::topo::jellyfish::equivalent_jellyfish;
 use fatpaths_net::topo::{TopoKind, Topology};
 use fatpaths_sim::fluid::{bulk_fcts, LinkSpace};
-use fatpaths_sim::metrics::{histogram, mean, percentile, throughput_by_size};
+use fatpaths_sim::metrics::{histogram, throughput_by_size, Summary};
 use fatpaths_sim::{Scenario, SchemeSpec};
 use fatpaths_workloads::patterns::Pattern;
 use rayon::prelude::*;
@@ -73,7 +73,12 @@ pub fn fig13_packet(quick: bool) -> io::Result<()> {
             .filter(|fl| fl.size == long_size)
             .filter_map(|fl| fl.fct_s().map(|s| s * 1e3))
             .collect();
-        for (bin, &c) in histogram(&fcts_1mib, 0.0, 25.0, 50).iter().enumerate() {
+        let fct = Summary::of(&fcts_1mib);
+        for (bin, &c) in histogram(&fcts_1mib, 0.0, 25.0, 50)
+            .counts
+            .iter()
+            .enumerate()
+        {
             if c > 0 {
                 hist_csv.row(&[label(topo), f(bin as f64 * 0.5), c.to_string()])?;
             }
@@ -83,8 +88,8 @@ pub fn fig13_packet(quick: bool) -> io::Result<()> {
             label(topo),
             topo.num_endpoints(),
             res.flows.len(),
-            mean(&fcts_1mib),
-            percentile(&fcts_1mib, 99.0)
+            fct.mean,
+            fct.p99
         ));
     }
     csv.finish()?;
@@ -137,7 +142,8 @@ pub fn fig13_fluid(quick: bool) -> io::Result<()> {
     );
     for topo in [&sf, &sfjf] {
         let fcts_ms = fluid_fcts(topo, 4);
-        for (bin, &c) in histogram(&fcts_ms, 0.0, 10.0, 50).iter().enumerate() {
+        let fct = Summary::of(&fcts_ms);
+        for (bin, &c) in histogram(&fcts_ms, 0.0, 10.0, 50).counts.iter().enumerate() {
             if c > 0 {
                 csv.row(&[label(topo), f(bin as f64 * 0.2), c.to_string()])?;
             }
@@ -146,9 +152,9 @@ pub fn fig13_fluid(quick: bool) -> io::Result<()> {
             "{:<6} flows={} mean {:>5.2} ms p99 {:>5.2} ms max {:>6.2} ms\n",
             label(topo),
             fcts_ms.len(),
-            mean(&fcts_ms),
-            percentile(&fcts_ms, 99.0),
-            fcts_ms.iter().cloned().fold(0.0, f64::max)
+            fct.mean,
+            fct.p99,
+            fct.max
         ));
     }
     csv.finish()?;

@@ -24,3 +24,4 @@ pub mod perf_tcp;
 pub mod resilience;
 pub mod te;
 pub mod theory_figs;
+pub mod trace;

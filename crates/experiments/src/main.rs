@@ -9,7 +9,7 @@
 
 use fatpaths_experiments::{
     adaptive, baselines, churn, common, diversity_figs, large_scale, memory, perf_ndp, perf_tcp,
-    resilience, te, theory_figs,
+    resilience, te, theory_figs, trace,
 };
 
 type Runner = fn(bool) -> std::io::Result<()>;
@@ -61,6 +61,11 @@ fn registry() -> Vec<(&'static str, Runner, &'static str)> {
             "adaptive",
             adaptive::adaptive,
             "Adaptive (queue-depth) vs oblivious flowlet re-picks, static and TE tables",
+        ),
+        (
+            "trace",
+            trace::trace,
+            "Telemetry trace export: NDJSON trace + time-series CSV for fatpaths-trace",
         ),
         (
             "fig2",

@@ -178,7 +178,7 @@ pub fn fig15(quick: bool) -> io::Result<()> {
     for (scheme, res) in [("fatpaths", &runs[0]), ("ecmp", &runs[1])] {
         let fcts: Vec<f64> = res.fcts(None).iter().map(|s| s * 1e3).collect();
         let hist = histogram(&fcts, 0.0, 40.0, 40);
-        for (bin, &c) in hist.iter().enumerate() {
+        for (bin, &c) in hist.counts.iter().enumerate() {
             if c > 0 {
                 csv.row(&[scheme.to_string(), bin.to_string(), c.to_string()])?;
             }

@@ -26,7 +26,7 @@ use crate::common::{f, label, write_summary, write_text};
 use fatpaths_net::classes::{build, SizeClass};
 use fatpaths_net::fault::{FaultModel, FaultPlan};
 use fatpaths_net::topo::{TopoKind, Topology};
-use fatpaths_sim::metrics::{mean, percentile};
+use fatpaths_sim::metrics::Summary;
 use fatpaths_sim::{
     cell_seed, coord_str, CompileMode, LoadBalancing, Scenario, SchemeSpec, SweepRunner,
 };
@@ -85,7 +85,7 @@ fn schemes() -> Vec<(
 /// CSV header of the resilience artifact.
 const HEADER: &str = "topology,scheme,detect,fraction,failed_links,flows,completed,\
                       unreachable_pairs,fct_mean_ms,fct_p99_ms,slowdown,drops,unroutable,\
-                      repair_ticks,repair_rows,fib_rows";
+                      repair_ticks,repair_rows,fib_rows,quiesce_ms";
 
 /// One endpoint-permutation flow set: endpoint `e` sends `size` bytes to
 /// `e + offset (mod n)` (self-pairs skipped).
@@ -152,6 +152,9 @@ struct CellOut {
     repair_ticks: usize,
     repair_rows: u64,
     fib_rows: u64,
+    /// Telemetry-derived: time from the last repair pass to network
+    /// quiescence (0 when nothing was repaired).
+    quiesce_s: f64,
 }
 
 /// Runs the resilience grid on the given topologies and returns
@@ -207,20 +210,23 @@ pub fn resilience_matrix_on(topos: Vec<Topology>, fractions: &[f64]) -> (String,
         if let (_, Some(delay)) = DETECTION[di] {
             sc = sc.detection_delay(delay);
         }
-        let res = sc.run();
-        let fcts = res.fcts(None);
+        // Traced run: the trace feeds the time-to-quiescence column
+        // (how long traffic kept flowing after the last repair pass).
+        let (res, trace) = sc.run_traced();
+        let fct = Summary::of(&res.fcts(None));
         CellOut {
             completed: res.completed().count(),
             flows: res.flows.len(),
             unreachable,
             failed_links,
-            fct_mean_s: mean(&fcts),
-            fct_p99_s: percentile(&fcts, 99.0),
+            fct_mean_s: fct.mean,
+            fct_p99_s: fct.p99,
             drops: res.drops,
             unroutable: res.unroutable,
             repair_ticks: res.repair_ticks(),
             repair_rows: res.repair_rows(),
             fib_rows: res.fib_rows(),
+            quiesce_s: trace.time_to_quiescence_ps() as f64 * 1e-12,
         }
     });
     // Serial assembly in grid order; slowdown references the fraction-0
@@ -251,7 +257,7 @@ pub fn resilience_matrix_on(topos: Vec<Topology>, fractions: &[f64]) -> (String,
                         0.0
                     };
                     csv.push_str(&format!(
-                        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                         label(topo),
                         name,
                         dlabel,
@@ -267,7 +273,8 @@ pub fn resilience_matrix_on(topos: Vec<Topology>, fractions: &[f64]) -> (String,
                         c.unroutable,
                         c.repair_ticks,
                         c.repair_rows,
-                        c.fib_rows
+                        c.fib_rows,
+                        f(c.quiesce_s * 1e3)
                     ));
                     if fi + 1 == nf {
                         summary.push_str(&format!(

@@ -284,3 +284,57 @@ fn scheme_construction_parity() {
         }
     }
 }
+
+/// The `trace` experiment's telemetry artifacts — the NDJSON trace and
+/// the per-interval time-series CSV — are byte-identical on the pool
+/// and on a single thread. This is the export-layer face of the
+/// telemetry determinism contract: shard-local collection plus a
+/// canonical-order merge means thread scheduling can never leak into a
+/// trace a user diffs or archives from CI.
+#[test]
+fn telemetry_trace_artifacts_are_bit_identical_across_thread_counts() {
+    use fatpaths_sim::{Scenario, SchemeSpec, TelemetryConfig};
+    use fatpaths_workloads::arrivals::FlowSpec;
+    wide_pool();
+    let topo = slim_fly(5, 2).unwrap();
+    let n = topo.num_endpoints() as u64;
+    let flows: Vec<FlowSpec> = (0..n)
+        .map(|e| FlowSpec {
+            src: e as u32,
+            dst: ((e + 21) % n) as u32,
+            size: 64 * 1024,
+            start: 0,
+        })
+        .filter(|fl| fl.src != fl.dst)
+        .collect();
+    let run = || {
+        Scenario::on(&topo)
+            .scheme(SchemeSpec::LayeredRandom {
+                n_layers: 4,
+                rho: 0.6,
+            })
+            .workload(&flows)
+            .seed(7)
+            .shards(4)
+            .telemetry(TelemetryConfig {
+                span_every: 1,
+                seed: 7,
+                ..TelemetryConfig::on()
+            })
+            .run_traced()
+            .1
+    };
+    let tr_par = run();
+    let tr_seq = rayon::run_sequential(run);
+    assert!(
+        tr_par.to_ndjson() == tr_seq.to_ndjson(),
+        "trace NDJSON differs between pooled and single-threaded runs"
+    );
+    assert!(
+        tr_par.to_timeseries_csv() == tr_seq.to_timeseries_csv(),
+        "trace time-series CSV differs between pooled and single-threaded runs"
+    );
+    // Sanity: the artifact carries real samples and spans.
+    assert!(tr_par.total_wire_bytes() > 0);
+    assert!(!tr_par.spans.is_empty());
+}

@@ -1,6 +1,7 @@
 //! Simulator configuration (§VII-A6 parameters).
 
 use crate::engine::TimePs;
+use fatpaths_telemetry::TelemetryConfig;
 
 /// Transport family. Constants default to §VII-A6: NDP uses 9 KB jumbo
 /// frames, an 8-packet window and 8-packet queues; TCP uses 100-packet
@@ -156,6 +157,12 @@ pub struct SimConfig {
     /// Results are bit-identical for every value — sharding trades
     /// memory and window overhead for wall-clock only.
     pub shards: u32,
+    /// In-simulation telemetry (time-series probes + flow spans; see
+    /// `fatpaths-telemetry`). Disabled by default — the hot loop then
+    /// pays exactly one `Option` check per hook and allocates nothing.
+    /// Exported traces are byte-identical across thread counts for a
+    /// fixed shard count, same contract as the results themselves.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SimConfig {
@@ -172,6 +179,7 @@ impl Default for SimConfig {
             detection_delay: None,
             abort_on_host_death: None,
             shards: 0,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }

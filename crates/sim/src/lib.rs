@@ -41,9 +41,10 @@ pub use fatpaths_core::scheme::{PortSet, RoutingScheme};
 pub use fatpaths_fib::{CompileMode, CompiledScheme, Fib, FibStats, TableBudget};
 pub use fatpaths_net::fault::{FaultModel, FaultPlan, LinkEvent, RouterEvent};
 pub use fatpaths_te::{TeConfig, TeScheme};
+pub use fatpaths_telemetry::{SpanEvent, SpanKind, TelemetryConfig, Trace, TraceMeta};
 pub use metrics::{
-    histogram, mean, peak_rss_kb, percentile, throughput_by_size, FlowRecord, RepairTickRecord,
-    RunProfile, SimResult,
+    histogram, mean, peak_rss_kb, percentile, reset_peak_rss, throughput_by_size, FlowRecord,
+    HistogramResult, RepairTickRecord, RunProfile, SimResult, Summary,
 };
 pub use scenario::{BuiltScheme, Scenario, SchemeSpec};
 pub use shard::partition_routers;

@@ -88,10 +88,24 @@ pub struct RunProfile {
     pub peak_rss_kb: u64,
 }
 
+/// Best-effort reset of the process peak-RSS high-water mark: writes
+/// `5` to `/proc/self/clear_refs` (Linux: reset `VmHWM` to the current
+/// RSS). [`Simulator::run`](crate::Simulator::run) calls this at run
+/// start so each run's [`RunProfile::peak_rss_kb`] measures *that* run
+/// instead of the process-lifetime peak. Silently a no-op where the
+/// file is absent or not writable (non-Linux, locked-down containers) —
+/// the residual caveat there is the old behavior: only the first large
+/// run in a process measures itself accurately. Even on Linux the reset
+/// floor is the *current* RSS, so memory still held from earlier runs
+/// (allocator caches, leaked arenas) stays in the baseline.
+pub fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
 /// Peak resident set size of this process in KiB (Linux `VmHWM`), or 0
 /// where `/proc/self/status` is unavailable. A high-water mark: it
-/// never decreases over a process lifetime, so within one process only
-/// the first large run measures itself accurately.
+/// never decreases on its own over a process lifetime — pair with
+/// [`reset_peak_rss`] to scope it to a run.
 pub fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
@@ -203,25 +217,103 @@ pub fn mean(xs: &[f64]) -> f64 {
 }
 
 /// `pct`-th percentile by nearest-rank on a copy (0 for empty);
-/// `pct` in `[0, 100]`.
+/// `pct` in `[0, 100]`. For the common mean/p50/p99/max bundle prefer
+/// [`Summary::of`], which sorts once instead of once per percentile.
 pub fn percentile(xs: &[f64], pct: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let idx = ((pct / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
-    v[idx.min(v.len() - 1)]
+    v[rank(v.len(), pct)]
 }
 
-/// Histogram with fixed-width bins over `[lo, hi)`; returns per-bin counts.
-pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+/// Nearest-rank index for `pct` in `[0, 100]` over a sorted sample of
+/// `n` elements — the one formula [`percentile`] and [`Summary`] share.
+fn rank(n: usize, pct: f64) -> usize {
+    let idx = ((pct / 100.0) * (n as f64 - 1.0)).round() as usize;
+    idx.min(n - 1)
+}
+
+/// The standard sample digest every sweep reports — computed with a
+/// single sort instead of one sort per [`percentile`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Median by nearest-rank.
+    pub p50: f64,
+    /// 99th percentile by nearest-rank.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Digest of `xs`. Percentiles use the same nearest-rank formula as
+    /// [`percentile`], so `Summary::of(xs).p99 == percentile(xs, 99.0)`
+    /// exactly; the mean is summed in input order, matching [`mean`].
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Summary::default();
+        }
+        let mean = mean(xs);
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Summary {
+            mean,
+            p50: v[rank(v.len(), 50.0)],
+            p99: v[rank(v.len(), 99.0)],
+            max: v[v.len() - 1],
+            n: v.len(),
+        }
+    }
+}
+
+/// [`histogram`]'s result: per-bin counts over `[lo, hi)` plus explicit
+/// counts of the samples that fell outside the range — previously those
+/// were dropped silently, which made a histogram over a misjudged range
+/// indistinguishable from one over a sparse sample.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramResult {
+    /// Per-bin counts; bin `i` covers `[lo + i·w, lo + (i+1)·w)`.
+    pub counts: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above `hi`.
+    pub overflow: u64,
+}
+
+impl HistogramResult {
+    /// Samples that landed inside `[lo, hi)`.
+    pub fn in_range(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total samples seen, out-of-range included.
+    pub fn total(&self) -> u64 {
+        self.in_range() + self.underflow + self.overflow
+    }
+}
+
+/// Histogram with fixed-width bins over `[lo, hi)`. Out-of-range
+/// samples are counted, not dropped — see [`HistogramResult`].
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> HistogramResult {
     assert!(hi > lo && bins > 0);
-    let mut h = vec![0u64; bins];
+    let mut h = HistogramResult {
+        counts: vec![0u64; bins],
+        ..HistogramResult::default()
+    };
     let w = (hi - lo) / bins as f64;
     for &x in xs {
-        if x >= lo && x < hi {
-            h[((x - lo) / w) as usize] += 1;
+        if x < lo {
+            h.underflow += 1;
+        } else if x >= hi {
+            h.overflow += 1;
+        } else {
+            h.counts[((x - lo) / w) as usize] += 1;
         }
     }
     h
@@ -294,12 +386,27 @@ mod tests {
 
     #[test]
     fn histogram_bins() {
-        let xs = [0.5, 1.5, 1.6, 9.9, 10.0];
+        let xs = [0.5, 1.5, 1.6, 9.9, 10.0, -0.1];
         let h = histogram(&xs, 0.0, 10.0, 10);
-        assert_eq!(h[0], 1);
-        assert_eq!(h[1], 2);
-        assert_eq!(h[9], 1); // 10.0 excluded
-        assert_eq!(h.iter().sum::<u64>(), 4);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[9], 1);
+        assert_eq!(h.overflow, 1); // 10.0 sits outside [lo, hi)
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.in_range(), 4);
+        assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    #[test]
+    fn summary_matches_scalar_helpers() {
+        let xs: Vec<f64> = (1..=100).rev().map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.mean, mean(&xs));
+        assert_eq!(s.p50, percentile(&xs, 50.0));
+        assert_eq!(s.p99, percentile(&xs, 99.0));
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.n, 100);
+        assert_eq!(Summary::of(&[]), Summary::default());
     }
 
     #[test]

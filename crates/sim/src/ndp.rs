@@ -22,6 +22,7 @@ use crate::engine::{EvKind, PktKind, TimePs};
 use crate::shard::{pop_front, Ctx, Shard};
 use fatpaths_core::fwd::fnv1a;
 use fatpaths_core::scheme::RoutingScheme;
+use fatpaths_telemetry::SpanKind;
 
 /// Fixed NDP sender retransmission timeout (a rare safety net: payload
 /// trimming means losses are announced, not inferred).
@@ -71,6 +72,7 @@ impl Shard {
                         f.rx_suggest = pick as u8;
                     }
                     let suggest = f.rx_suggest;
+                    self.span_once(flow, SpanKind::FirstTrim, pkt.seq, 0);
                     self.send_control(cx, flow, PktKind::Nack, pkt.seq, false, suggest);
                     self.ndp_queue_pull(cx, flow);
                 } else {
@@ -135,7 +137,12 @@ impl Shard {
         suggest: u8,
     ) {
         if suggest != 0xff {
-            self.tx[cx.tx_idx(flow)].layer = suggest;
+            let ti = cx.tx_idx(flow);
+            let old = self.tx[ti].layer;
+            self.tx[ti].layer = suggest;
+            if old != suggest {
+                self.span(flow, SpanKind::LayerSwitch, old as u32, suggest as u32);
+            }
         }
     }
 
@@ -242,6 +249,7 @@ impl Shard {
                 return;
             }
         }
+        self.span(flow, SpanKind::Rto, 0, 0);
         let nl = cx.n_layers as u64;
         let adaptive = cx.cfg.adaptive == AdaptiveMode::QueueDepth;
         // A timeout is a flowlet boundary. Obliviously only a layer

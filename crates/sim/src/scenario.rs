@@ -47,6 +47,7 @@ use fatpaths_net::fault::FaultPlan;
 use fatpaths_net::graph::{Graph, RouterId};
 use fatpaths_net::topo::Topology;
 use fatpaths_te::{TeConfig, TeScheme};
+use fatpaths_telemetry::{TelemetryConfig, Trace};
 use fatpaths_workloads::arrivals::FlowSpec;
 
 /// Declarative routing-scheme selection — every baseline of the paper's
@@ -265,6 +266,7 @@ pub struct Scenario<'a> {
     abort_host_death: Option<u32>,
     te: Option<TeConfig>,
     shards: u32,
+    telemetry: TelemetryConfig,
 }
 
 impl<'a> Scenario<'a> {
@@ -290,6 +292,7 @@ impl<'a> Scenario<'a> {
             abort_host_death: None,
             te: None,
             shards: 0,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 
@@ -429,6 +432,16 @@ impl<'a> Scenario<'a> {
         self
     }
 
+    /// Enables in-simulation telemetry (time-series probes and sampled
+    /// flow spans; see [`TelemetryConfig`]). Off by default. Retrieve
+    /// the collected [`Trace`] with [`Scenario::run_traced`] — a plain
+    /// [`Scenario::run`] with telemetry set still pays the collection
+    /// cost but discards the trace.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = cfg;
+        self
+    }
+
     /// The spec's label (for CSV rows), with an `+adapt` suffix under
     /// queue-depth-adaptive flowlet re-picks, a `+te` suffix when the
     /// tables are traffic-engineered and a `+fib` suffix when the
@@ -536,6 +549,7 @@ impl<'a> Scenario<'a> {
             detection_delay: self.detection_delay,
             abort_on_host_death: self.abort_host_death,
             shards: self.shards,
+            telemetry: self.telemetry,
             ..SimConfig::default()
         }
     }
@@ -559,6 +573,25 @@ impl<'a> Scenario<'a> {
         let mut sim = self.make_sim(scheme);
         sim.add_flows(&self.flows);
         sim.run()
+    }
+
+    /// Builds the scheme and runs with telemetry collection, returning
+    /// the result and the merged [`Trace`]. Uses the config set via
+    /// [`Scenario::telemetry`], force-enabled: when none was set, the
+    /// defaults ([`TelemetryConfig::on`] with this scenario's seed)
+    /// apply.
+    pub fn run_traced(mut self) -> (SimResult, Trace) {
+        if !self.telemetry.enabled {
+            self.telemetry = TelemetryConfig {
+                seed: self.seed,
+                ..TelemetryConfig::on()
+            };
+        }
+        let scheme = self.build_scheme();
+        let mut sim = self.make_sim(&scheme);
+        sim.add_flows(&self.flows);
+        let (result, trace) = sim.run_traced();
+        (result, trace.expect("telemetry was enabled"))
     }
 
     /// Runs the scenario with each workload flow striped over `subflows`

@@ -37,6 +37,7 @@ use crate::faults::{FaultEpoch, FaultTimeline};
 use fatpaths_core::fwd::fnv1a;
 use fatpaths_core::scheme::RoutingScheme;
 use fatpaths_net::topo::Topology;
+use fatpaths_telemetry::{ShardTelemetry, SpanKind};
 use fatpaths_workloads::arrivals::FlowSpec;
 use std::collections::VecDeque;
 
@@ -667,6 +668,13 @@ pub(crate) struct Shard {
     /// coalescing: one `RepairTick` per event batch). Mirrors the
     /// writer's pre-run dedup decisions exactly.
     pub repair_at: Option<TimePs>,
+    /// Shard-local telemetry collector (`None` when telemetry is off —
+    /// every hook is then a single pointer-null check). Installed by the
+    /// driver before the run, flushed at interval boundaries in the
+    /// serial driver section, harvested after the loop. Writes are
+    /// strictly shard-local, so the determinism contract extends to the
+    /// collected series.
+    pub tel: Option<Box<ShardTelemetry>>,
 }
 
 impl Shard {
@@ -698,6 +706,29 @@ impl Shard {
             fault_epoch: 0,
             repair_seen: 0,
             repair_at: None,
+            tel: None,
+        }
+    }
+
+    /// Records a span event for `flow` if telemetry is on and the flow
+    /// is sampled — the one-branch disabled path every span site shares.
+    #[inline]
+    pub(crate) fn span(&mut self, flow: u32, kind: SpanKind, a: u32, b: u32) {
+        if let Some(tel) = self.tel.as_deref_mut() {
+            if tel.flow_sampled(flow) {
+                tel.span(flow, self.now, kind, a, b);
+            }
+        }
+    }
+
+    /// Like [`Shard::span`] but deduplicated per `(flow, kind)` — the
+    /// "first data / first trim / first retx" events.
+    #[inline]
+    pub(crate) fn span_once(&mut self, flow: u32, kind: SpanKind, a: u32, b: u32) {
+        if let Some(tel) = self.tel.as_deref_mut() {
+            if tel.flow_sampled(flow) {
+                tel.span_once(flow, self.now, kind, a, b);
+            }
         }
     }
 
@@ -841,10 +872,12 @@ impl Shard {
                 self.tx[cx.tx_idx(flow)].host_dead = true;
                 self.host_dead += 1;
                 self.resolved.push(flow);
+                self.span(flow, SpanKind::Abort, 0, 0);
                 return;
             }
         }
         self.tx[cx.tx_idx(flow)].started = true;
+        self.span(flow, SpanKind::Inject, 0, 0);
         match cx.cfg.transport {
             Transport::Ndp { initial_window, .. } => self.ndp_start(cx, flow, initial_window),
             Transport::Tcp { .. } => self.tcp_start(cx, flow),
@@ -956,7 +989,13 @@ impl Shard {
             q.set_busy(true);
             (pid, q.to_is_router(), q.to())
         };
-        let bytes = self.packets.get(pid).wire_bytes;
+        let (bytes, layer) = {
+            let p = self.packets.get(pid);
+            (p.wire_bytes, p.layer)
+        };
+        if let Some(tel) = self.tel.as_deref_mut() {
+            tel.on_wire(cx.port_idx(port) as u32, layer, bytes);
+        }
         let ser = cx.cfg.ser_time(bytes);
         self.events.push(self.now + ser, EvKind::PortPop { port });
         let arrive = self.now + ser + cx.cfg.link_latency;
@@ -1272,6 +1311,7 @@ impl Shard {
         }
         let f = &mut self.tx[ti];
         if f.last_tx != 0 && now.saturating_sub(f.last_tx) > gap {
+            let old_layer = f.layer;
             f.flowlet_ctr += 1;
             let adapted =
                 cx.cfg.adaptive == AdaptiveMode::QueueDepth && self.adaptive_repick(cx, flow);
@@ -1288,6 +1328,15 @@ impl Shard {
                     _ => {}
                 }
             }
+            let new_layer = self.tx[ti].layer;
+            if new_layer != old_layer {
+                self.span(
+                    flow,
+                    SpanKind::LayerSwitch,
+                    old_layer as u32,
+                    new_layer as u32,
+                );
+            }
         }
         self.tx[ti].last_tx = now;
     }
@@ -1302,6 +1351,14 @@ impl Shard {
         retx: bool,
     ) {
         self.flowlet_update(cx, flow);
+        if self.tel.is_some() {
+            let kind = if retx {
+                SpanKind::FirstRetx
+            } else {
+                SpanKind::FirstData
+            };
+            self.span_once(flow, kind, seq, 0);
+        }
         let payload = cx.cfg.transport.payload();
         let m = cx.meta(flow);
         let f = &mut self.tx[cx.tx_idx(flow)];
@@ -1364,7 +1421,9 @@ impl Shard {
         let f = &mut self.rx[cx.rx_idx(flow)];
         if !f.is_finished() {
             f.finished = self.now;
+            let (rcv, trims) = (f.rcv_count, f.trims);
             self.resolved.push(flow);
+            self.span(flow, SpanKind::Finish, rcv, trims);
         }
     }
 
@@ -1460,6 +1519,7 @@ impl Shard {
         }
         f.aborted = true;
         self.resolved.push(flow);
+        self.span(flow, SpanKind::Abort, 0, 0);
         true
     }
 

@@ -24,7 +24,7 @@
 use crate::config::{SimConfig, Transport};
 use crate::engine::{EvKind, TimePs};
 use crate::faults::{FaultTimeline, FaultWriter};
-use crate::metrics::{peak_rss_kb, FlowRecord, RunProfile, SimResult};
+use crate::metrics::{peak_rss_kb, reset_peak_rss, FlowRecord, RunProfile, SimResult};
 use crate::shard::{
     deliver_mailboxes, partition_routers, Ctx, FlowMeta, Port, RxFlow, Shard, SlotRef, TcpState,
     TxFlow,
@@ -33,6 +33,7 @@ use fatpaths_core::fwd::fnv1a;
 use fatpaths_core::scheme::RoutingScheme;
 use fatpaths_net::fault::FaultPlan;
 use fatpaths_net::topo::Topology;
+use fatpaths_telemetry::{MailboxSample, RepairSample, ShardTelemetry, Trace, TraceMeta};
 use fatpaths_workloads::arrivals::FlowSpec;
 use rayon::prelude::*;
 
@@ -431,7 +432,25 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
     /// src_shard, seq)` order. Terminates when every flow is resolved
     /// (completed, aborted, or host-dead), the queues drain, or the
     /// horizon passes.
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        self.run_traced().0
+    }
+
+    /// [`run`](Simulator::run), additionally returning the telemetry
+    /// [`Trace`] when [`SimConfig::telemetry`] is enabled (`None`
+    /// otherwise — the disabled path adds one `Option` check per wire
+    /// start and nothing else to the hot loop).
+    ///
+    /// Collection is strictly shard-local: each shard accumulates into
+    /// its own [`ShardTelemetry`], and the driver flushes interval rows
+    /// *between* windows, where execution is serial and the interval
+    /// boundary (`t0 / interval_ps`) is globally agreed. The merged
+    /// trace is therefore byte-identical for every thread count at a
+    /// fixed shard count. Events inside a window are attributed to the
+    /// window's start interval, so the effective resolution is
+    /// `max(interval_ps, lookahead)`.
+    pub fn run_traced(mut self) -> (SimResult, Option<Trace>) {
+        reset_peak_rss();
         let total = self.meta.len();
         let timeline = self
             .faults
@@ -441,12 +460,34 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             epochs_published: timeline.epochs.len() as u64,
             ..RunProfile::default()
         };
+        let tcfg = self.cfg.telemetry;
+        if tcfg.enabled {
+            // Local index → global port id, per shard: `push_port`
+            // appends in ascending global order, so each table comes
+            // out sorted by construction.
+            let mut owned: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+            for (g, slot) in self.port_home.iter().enumerate() {
+                owned[slot.shard() as usize].push(g as u32);
+            }
+            let nl = self.scheme.num_layers();
+            for (sh, ports) in self.shards.iter_mut().zip(owned) {
+                sh.tel = Some(Box::new(ShardTelemetry::new(tcfg, sh.id, ports, nl)));
+            }
+        }
+        let mut mailbox_rows: Vec<MailboxSample> = Vec::new();
         self.with_parts(&timeline, |cx, shards| {
             let horizon = cx.cfg.horizon;
             let lookahead = cx.cfg.link_latency.max(1);
             let k = shards.len();
             let mut resolved_bits = vec![0u64; total.div_ceil(64)];
             let mut resolved = 0usize;
+            // Telemetry interval bookkeeping — driven entirely from the
+            // serial between-window section, never read across shards
+            // mid-window.
+            let interval = tcfg.interval_ps.max(1);
+            let mut cur_iv: u64 = 0;
+            let mut mb_msgs: u64 = 0;
+            let mut mb_bytes: u64 = 0;
             loop {
                 for sh in shards.iter_mut() {
                     for f in sh.resolved.drain(..) {
@@ -464,12 +505,30 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                     let (msgs, bytes) = deliver_mailboxes(shards);
                     profile.mailbox_msgs += msgs;
                     profile.mailbox_bytes += bytes;
+                    mb_msgs += msgs;
+                    mb_bytes += bytes;
                 }
                 let Some(t0) = shards.iter().filter_map(|s| s.events.peek_time()).min() else {
                     break;
                 };
                 if horizon > 0 && t0 > horizon {
                     break;
+                }
+                if tcfg.enabled {
+                    let iv = t0 / interval;
+                    if iv > cur_iv {
+                        flush_telemetry(shards, cur_iv);
+                        if mb_msgs != 0 {
+                            mailbox_rows.push(MailboxSample {
+                                iv: cur_iv,
+                                msgs: mb_msgs,
+                                bytes: mb_bytes,
+                            });
+                            mb_msgs = 0;
+                            mb_bytes = 0;
+                        }
+                        cur_iv = iv;
+                    }
                 }
                 profile.windows += 1;
                 let w_end = t0.saturating_add(lookahead);
@@ -487,7 +546,23 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
                     sh.events.shrink_excess();
                 }
             }
+            if tcfg.enabled {
+                flush_telemetry(shards, cur_iv);
+                if mb_msgs != 0 {
+                    mailbox_rows.push(MailboxSample {
+                        iv: cur_iv,
+                        msgs: mb_msgs,
+                        bytes: mb_bytes,
+                    });
+                }
+            }
         });
+        // Harvest the collectors before the arenas are torn down.
+        let collectors: Vec<ShardTelemetry> = self
+            .shards
+            .iter_mut()
+            .filter_map(|sh| sh.tel.take().map(|b| *b))
+            .collect();
         // Free the run-time arenas before assembling records: the
         // record vector must not stack on top of dead heap capacity.
         for sh in &mut self.shards {
@@ -529,7 +604,30 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
         let seen = self.shards[0].repair_seen as usize;
         profile.repair_ticks = seen as u64;
         profile.peak_rss_kb = peak_rss_kb();
-        SimResult {
+        let trace = tcfg.enabled.then(|| {
+            let repairs = timeline.log[..seen]
+                .iter()
+                .map(|r| RepairSample {
+                    at: r.at,
+                    rows: r.rows,
+                    fib_rows: r.fib_rows,
+                })
+                .collect();
+            Trace::assemble(
+                TraceMeta {
+                    shards: self.shards.len() as u32,
+                    interval_ps: tcfg.interval_ps.max(1),
+                    span_every: tcfg.span_every,
+                    seed: tcfg.seed,
+                    end_time,
+                    n_layers: self.scheme.num_layers() as u32,
+                },
+                collectors,
+                mailbox_rows,
+                repairs,
+            )
+        });
+        let result = SimResult {
             flows,
             drops: self.shards.iter().map(|s| s.drops).sum(),
             trims: self.shards.iter().map(|s| s.trim_count).sum(),
@@ -537,6 +635,30 @@ impl<'a, R: RoutingScheme + ?Sized> Simulator<'a, R> {
             end_time,
             repair_log: timeline.log[..seen].to_vec(),
             profile,
+        };
+        (result, trace)
+    }
+}
+
+/// Closes telemetry interval `iv` on every shard: each collector samples
+/// its own queue-depth histogram, event-queue length, and packet-slab
+/// occupancy, and drains its per-link byte accumulators into rows. Runs
+/// only in the serial between-window section of the driver loop.
+fn flush_telemetry(shards: &mut [Shard], iv: u64) {
+    for sh in shards.iter_mut() {
+        if let Some(mut tel) = sh.tel.take() {
+            let ports = &sh.ports;
+            tel.flush(
+                iv,
+                |l| {
+                    let p = &ports[l as usize];
+                    p.data_len as u32 + p.prio_len as u32
+                },
+                sh.events.len() as u64,
+                sh.packets.live() as u64,
+                sh.packets.capacity() as u64,
+            );
+            sh.tel = Some(tel);
         }
     }
 }

@@ -18,6 +18,7 @@ use crate::engine::{EvKind, PktKind, TimePs};
 use crate::shard::{Ctx, Shard};
 use fatpaths_core::fwd::fnv1a;
 use fatpaths_core::scheme::RoutingScheme;
+use fatpaths_telemetry::SpanKind;
 
 /// DCTCP's EWMA gain g = 1/16.
 const DCTCP_G: f64 = 1.0 / 16.0;
@@ -253,19 +254,28 @@ impl Shard {
         }
         let ti = cx.tx_idx(flow);
         self.tx[ti].flowlet_ctr += 1;
-        if cx.cfg.adaptive == AdaptiveMode::QueueDepth && self.adaptive_repick(cx, flow) {
-            return;
+        let old_layer = self.tx[ti].layer;
+        if !(cx.cfg.adaptive == AdaptiveMode::QueueDepth && self.adaptive_repick(cx, flow)) {
+            let f = &mut self.tx[ti];
+            match lb {
+                LoadBalancing::FatPathsLayers => {
+                    f.layer = (fnv1a(((flow as u64) << 22) ^ 0xACED ^ f.flowlet_ctr as u64)
+                        % n_layers) as u8;
+                }
+                LoadBalancing::LetFlow => {
+                    f.nonce = fnv1a(((flow as u64) << 23) ^ 0xACED ^ f.flowlet_ctr as u64);
+                }
+                _ => {}
+            }
         }
-        let f = &mut self.tx[ti];
-        match lb {
-            LoadBalancing::FatPathsLayers => {
-                f.layer =
-                    (fnv1a(((flow as u64) << 22) ^ 0xACED ^ f.flowlet_ctr as u64) % n_layers) as u8;
-            }
-            LoadBalancing::LetFlow => {
-                f.nonce = fnv1a(((flow as u64) << 23) ^ 0xACED ^ f.flowlet_ctr as u64);
-            }
-            _ => {}
+        let new_layer = self.tx[ti].layer;
+        if new_layer != old_layer {
+            self.span(
+                flow,
+                SpanKind::LayerSwitch,
+                old_layer as u32,
+                new_layer as u32,
+            );
         }
     }
 
@@ -318,6 +328,7 @@ impl Shard {
             c.timed = None;
             c.backoff += 1;
         }
+        self.span(flow, SpanKind::Rto, 0, 0);
         self.tcp_flowlet_boundary(cx, flow);
         self.tcp_arm_rto(cx, flow);
         self.tcp_try_send(cx, flow);

@@ -11,7 +11,10 @@
 use fatpaths_core::past::PastVariant;
 use fatpaths_net::fault::{FaultModel, FaultPlan};
 use fatpaths_net::topo::Topology;
-use fatpaths_sim::{AdaptiveMode, CompileMode, LoadBalancing, Scenario, SchemeSpec, SimResult};
+use fatpaths_sim::{
+    AdaptiveMode, CompileMode, LoadBalancing, Scenario, SchemeSpec, SimResult, TelemetryConfig,
+    Trace,
+};
 use fatpaths_workloads::arrivals::FlowSpec;
 use proptest::prelude::*;
 
@@ -333,6 +336,99 @@ fn sharded_runs_match_across_thread_counts() {
         pooled == sequential,
         "4-shard run differs between pooled and single-threaded execution"
     );
+}
+
+/// Telemetry determinism contract: for a fixed shard count, the exported
+/// NDJSON trace and time-series CSV are byte-identical whether the
+/// 4-shard windows run on the 4-thread pool or inline on one thread —
+/// collection is shard-local and the merge runs in canonical shard
+/// order, so thread scheduling must never show in an artifact. Also pins
+/// the NDJSON round trip (parse → re-export is the identity) and that
+/// observation is pure: the traced run's `SimResult` fingerprints equal
+/// the untraced run's.
+#[test]
+fn telemetry_exports_are_byte_identical_across_thread_counts() {
+    rayon::ensure_pool(4);
+    for topo in mini_topos() {
+        let flows = permutation(&topo, 17);
+        let run = || {
+            Scenario::on(&topo)
+                .scheme(SchemeSpec::LayeredRandom {
+                    n_layers: 4,
+                    rho: 0.6,
+                })
+                .workload(&flows)
+                .seed(3)
+                .shards(4)
+                .telemetry(TelemetryConfig {
+                    span_every: 1,
+                    seed: 3,
+                    ..TelemetryConfig::on()
+                })
+                .run_traced()
+        };
+        let (res_pool, tr_pool) = run();
+        let (res_seq, tr_seq) = rayon::run_sequential(run);
+        assert!(
+            fingerprint(&res_pool) == fingerprint(&res_seq),
+            "traced results diverged across thread counts on {}",
+            topo.name
+        );
+        let ndjson = tr_pool.to_ndjson();
+        assert!(
+            ndjson == tr_seq.to_ndjson(),
+            "NDJSON trace differs between pooled and single-threaded runs on {}",
+            topo.name
+        );
+        assert!(
+            tr_pool.to_timeseries_csv() == tr_seq.to_timeseries_csv(),
+            "time-series CSV differs between pooled and single-threaded runs on {}",
+            topo.name
+        );
+        // The artifact is real, not an empty stub.
+        assert!(!tr_pool.link_rows.is_empty() && !tr_pool.spans.is_empty());
+        // Round trip: parse → re-export is the identity.
+        let parsed = Trace::parse_ndjson(&ndjson).expect("own NDJSON must parse");
+        assert!(parsed.to_ndjson() == ndjson, "NDJSON round trip diverged");
+        // Observation is pure: the untraced run is bit-identical.
+        let untraced = Scenario::on(&topo)
+            .scheme(SchemeSpec::LayeredRandom {
+                n_layers: 4,
+                rho: 0.6,
+            })
+            .workload(&flows)
+            .seed(3)
+            .shards(4)
+            .run();
+        assert!(
+            fingerprint(&untraced) == fingerprint(&res_pool),
+            "telemetry perturbed the simulation on {}",
+            topo.name
+        );
+    }
+}
+
+/// Telemetry parity across *shard* counts is a non-goal (interval rows
+/// are per shard by design), but the disabled path is a hard contract:
+/// no collectors are installed, `run_traced` returns no trace, and the
+/// run costs exactly one `Option` check per wire start.
+#[test]
+fn disabled_telemetry_emits_nothing() {
+    let topo = fatpaths_net::topo::slimfly::slim_fly(5, 1).unwrap();
+    let flows = permutation(&topo, 5);
+    let sc = Scenario::on(&topo)
+        .scheme(SchemeSpec::LayeredRandom {
+            n_layers: 3,
+            rho: 0.6,
+        })
+        .workload(&flows)
+        .seed(2);
+    let scheme = sc.build_scheme();
+    let mut sim = fatpaths_sim::Simulator::new(&topo, &scheme, sc.sim_config());
+    sim.add_flows(&flows);
+    let (res, trace) = sim.run_traced();
+    assert!(trace.is_none(), "disabled telemetry must yield no trace");
+    assert_eq!(res.completion_rate(), 1.0);
 }
 
 /// MPTCP subflow groups (pinned layers, coupled congestion avoidance)

@@ -1,0 +1,176 @@
+//! `fatpaths-trace` — summarize an NDJSON telemetry trace.
+//!
+//! ```text
+//! fatpaths-trace <trace.ndjson>
+//! ```
+//!
+//! Prints the run header, the top-loaded links, the per-layer
+//! utilization timeline, span waterfalls for the first sampled flows,
+//! and the repair-convergence timeline. Exits nonzero on a missing,
+//! empty, or malformed trace — CI uses that as the "trace parses"
+//! assertion.
+
+use fatpaths_telemetry::{SpanKind, Trace};
+use std::process::ExitCode;
+
+/// Max timeline rows / waterfall flows printed before truncating.
+const MAX_INTERVALS: usize = 48;
+const MAX_FLOWS: usize = 8;
+
+fn gbps(bytes: u64, interval_ps: u64) -> f64 {
+    if interval_ps == 0 {
+        return 0.0;
+    }
+    bytes as f64 * 8_000.0 / interval_ps as f64
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: fatpaths-trace <trace.ndjson>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fatpaths-trace: read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let tr = match Trace::parse_ndjson(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fatpaths-trace: parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let m = &tr.meta;
+    println!(
+        "trace: {} shard(s), interval {} µs, span 1-in-{}, end {:.3} ms",
+        m.shards,
+        m.interval_ps as f64 / 1e6,
+        m.span_every,
+        m.end_time as f64 / 1e9
+    );
+    println!(
+        "       {} link rows, {} layer rows, {} shard samples, {} spans, {} repairs; \
+         {:.3} MiB on the wire",
+        tr.link_rows.len(),
+        tr.layer_rows.len(),
+        tr.shard_rows.len(),
+        tr.spans.len(),
+        tr.repairs.len(),
+        tr.total_wire_bytes() as f64 / (1 << 20) as f64
+    );
+
+    println!("\n== top-loaded links (directed output ports) ==");
+    let top = tr.top_links(10);
+    if top.is_empty() {
+        println!("(no wire traffic recorded)");
+    }
+    for (port, bytes) in top {
+        println!(
+            "port {port:>7}: {:>12} bytes  ({:.4} Gb/s run-average over active intervals)",
+            bytes,
+            gbps(
+                bytes
+                    / tr.link_rows
+                        .iter()
+                        .filter(|r| r.port == port)
+                        .count()
+                        .max(1) as u64,
+                m.interval_ps
+            )
+        );
+    }
+
+    println!("\n== layer-utilization timeline (Gb/s per interval) ==");
+    let n_layers = m.n_layers.max(1) as usize;
+    let last_iv = tr.layer_rows.iter().map(|r| r.iv).max();
+    if let Some(last_iv) = last_iv {
+        print!("{:>8}", "t_ms");
+        for l in 0..n_layers {
+            print!(" {:>8}", format!("L{l}"));
+        }
+        println!();
+        let shown = (last_iv + 1).min(MAX_INTERVALS as u64);
+        for iv in 0..shown {
+            let mut per = vec![0u64; n_layers];
+            for r in tr.layer_rows.iter().filter(|r| r.iv == iv) {
+                if (r.layer as usize) < n_layers {
+                    per[r.layer as usize] += r.bytes;
+                }
+            }
+            print!("{:>8.3}", (iv * m.interval_ps) as f64 / 1e9);
+            for b in per {
+                print!(" {:>8.3}", gbps(b, m.interval_ps));
+            }
+            println!();
+        }
+        if last_iv + 1 > shown {
+            println!("… {} more interval(s)", last_iv + 1 - shown);
+        }
+        println!(
+            "peak per-layer utilization: {:.4} Gb/s",
+            tr.peak_layer_gbps()
+        );
+    } else {
+        println!("(no layer traffic recorded)");
+    }
+
+    println!("\n== span waterfalls ==");
+    if tr.spans.is_empty() {
+        println!("(no spans sampled — span_every = {})", m.span_every);
+    }
+    let mut shown = 0usize;
+    let mut i = 0usize;
+    while i < tr.spans.len() && shown < MAX_FLOWS {
+        let flow = tr.spans[i].flow;
+        let start = tr.spans[i].t;
+        println!("flow {flow} (t0 = {:.3} ms):", start as f64 / 1e9);
+        while i < tr.spans.len() && tr.spans[i].flow == flow {
+            let s = &tr.spans[i];
+            let detail = match s.kind {
+                SpanKind::LayerSwitch => format!("  layer {} → {}", s.a, s.b),
+                SpanKind::Finish => format!("  pkts={} trims={}", s.a, s.b),
+                _ => String::new(),
+            };
+            println!(
+                "  +{:>10.3} µs  {}{}",
+                (s.t - start) as f64 / 1e6,
+                s.kind.name(),
+                detail
+            );
+            i += 1;
+        }
+        shown += 1;
+    }
+    let remaining = tr.spans[i..]
+        .iter()
+        .map(|s| s.flow)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    if remaining > 0 {
+        println!("… {remaining} more sampled flow(s)");
+    }
+
+    println!("\n== repair convergence ==");
+    if tr.repairs.is_empty() {
+        println!("(no repair passes)");
+    }
+    for r in &tr.repairs {
+        println!(
+            "repair @ {:>9.3} ms: {} row(s), {} FIB row(s)",
+            r.at as f64 / 1e9,
+            r.rows,
+            r.fib_rows
+        );
+    }
+    if !tr.repairs.is_empty() {
+        println!(
+            "time to quiescence after last repair: {:.3} ms",
+            tr.time_to_quiescence_ps() as f64 / 1e9
+        );
+    }
+    ExitCode::SUCCESS
+}

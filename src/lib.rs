@@ -45,6 +45,7 @@
 //! | [`workloads`] | traffic patterns, flow sizes, arrivals, mappings (§II-C) |
 //! | [`fib`] | FIB compilation: per-switch prefix rules + ECMP groups, table budgets, and the [`CompiledScheme`](fib::CompiledScheme) adapter (§V-E) |
 //! | [`sim`] | packet-level simulator (NDP + TCP/DCTCP), fluid model, and the [`Scenario`](sim::Scenario) builder (§VII) |
+//! | [`telemetry`] | deterministic in-simulation telemetry: time-series probes, flow spans, NDJSON/CSV trace export, and the `fatpaths-trace` inspector |
 //!
 //! ## Quickstart
 //!
@@ -90,6 +91,7 @@ pub use fatpaths_fib as fib;
 pub use fatpaths_mcf as mcf;
 pub use fatpaths_net as net;
 pub use fatpaths_sim as sim;
+pub use fatpaths_telemetry as telemetry;
 pub use fatpaths_workloads as workloads;
 
 /// One-stop imports for the common workflow.
@@ -109,7 +111,7 @@ pub mod prelude {
     pub use fatpaths_net::topo::{TopoKind, Topology};
     pub use fatpaths_sim::{
         BuiltScheme, LoadBalancing, Scenario, SchemeSpec, SimConfig, SimResult, Simulator,
-        TcpVariant, Transport,
+        TcpVariant, TelemetryConfig, Trace, Transport,
     };
     pub use fatpaths_workloads::arrivals::FlowSpec;
     pub use fatpaths_workloads::patterns::Pattern;
